@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Ablations of the design choices DESIGN.md calls out (not a paper
+ * figure — these quantify the knobs around the reproduction):
+ *
+ *  1. MGT template budget (the paper's 512 vs starved MGTs),
+ *  2. mini-graph issue bandwidth (ALU pipelines per cycle),
+ *  3. maximum mini-graph size (2..4 constituents),
+ *  4. the loop-carried recurrence guard in the slack model.
+ *
+ * Uses a suite-balanced subset of programs (honours MG_QUICK /
+ * MG_BENCH_PROGRAMS); Slack-Profile on the reduced machine throughout.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_support.h"
+
+using namespace mg;
+using minigraph::SelectorKind;
+
+namespace
+{
+
+std::vector<workloads::WorkloadSpec>
+ablationPrograms()
+{
+    auto all = bench::benchPrograms();
+    if (all.size() <= 16)
+        return all;
+    // Cap the ablation set: 16 programs, suite-balanced.
+    std::vector<workloads::WorkloadSpec> out;
+    for (size_t i = 0; i < all.size() && out.size() < 16;
+         i += all.size() / 16)
+        out.push_back(all[i]);
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    auto programs = ablationPrograms();
+    auto full = uarch::fullConfig();
+    auto reduced = uarch::reducedConfig();
+    std::printf("Design ablations over %zu programs "
+                "(Slack-Profile, reduced machine)\n",
+                programs.size());
+
+    // ---- 1. MGT budget ----
+    {
+        TextTable t;
+        t.header({"MGT budget", "mean coverage", "mean rel. perf"});
+        for (uint32_t budget : {2u, 8u, 32u, 128u, 512u}) {
+            std::vector<double> cov, perf;
+            for (const auto &spec : programs) {
+                sim::ProgramContext ctx(spec);
+                double base =
+                    static_cast<double>(ctx.baseline(full).cycles);
+                auto r = ctx.runSelector(SelectorKind::SlackProfile,
+                                         reduced, nullptr, budget);
+                cov.push_back(r.coverage());
+                perf.push_back(base / r.sim.cycles);
+            }
+            t.row({std::to_string(budget), fmtDouble(mean(cov), 3),
+                   fmtDouble(mean(perf), 3)});
+        }
+        std::printf("\n== Ablation 1: MGT template budget ==\n%s",
+                    t.render().c_str());
+    }
+
+    // ---- 2. mini-graph issue bandwidth ----
+    {
+        TextTable t;
+        t.header({"MG/cycle", "mean rel. perf"});
+        for (uint32_t width : {1u, 2u, 4u}) {
+            std::vector<double> perf;
+            for (const auto &spec : programs) {
+                sim::ProgramContext ctx(spec);
+                double base =
+                    static_cast<double>(ctx.baseline(full).cycles);
+                auto cfg = reduced;
+                cfg.name = "reduced-mg" + std::to_string(width);
+                cfg.mgIssuePerCycle = width;
+                cfg.mgMemIssuePerCycle = std::max(1u, width / 2);
+                auto r = ctx.runSelector(SelectorKind::SlackProfile, cfg);
+                perf.push_back(base / r.sim.cycles);
+            }
+            t.row({std::to_string(width), fmtDouble(mean(perf), 3)});
+        }
+        std::printf("\n== Ablation 2: ALU pipelines (mini-graph issue "
+                    "bandwidth) ==\n%s",
+                    t.render().c_str());
+    }
+
+    // ---- 3. maximum mini-graph size ----
+    {
+        TextTable t;
+        t.header({"max size", "mean coverage", "mean rel. perf"});
+        for (unsigned max_size : {2u, 3u, 4u}) {
+            std::vector<double> cov, perf;
+            for (const auto &spec : programs) {
+                sim::ProgramContext ctx(spec);
+                double base =
+                    static_cast<double>(ctx.baseline(full).cycles);
+                minigraph::CandidateOptions copts;
+                copts.maxSize = max_size;
+                auto pool = minigraph::enumerateCandidates(
+                    ctx.program(), copts);
+                auto filtered = minigraph::filterPool(
+                    pool, SelectorKind::SlackProfile, ctx.program(),
+                    &ctx.profileOn(reduced));
+                auto sel = minigraph::selectGreedy(filtered,
+                                                   ctx.counts(), 512);
+                auto r = ctx.runChosen(sel.chosen, reduced);
+                cov.push_back(r.coverage());
+                perf.push_back(base / r.sim.cycles);
+            }
+            t.row({std::to_string(max_size), fmtDouble(mean(cov), 3),
+                   fmtDouble(mean(perf), 3)});
+        }
+        std::printf("\n== Ablation 3: maximum mini-graph size ==\n%s",
+                    t.render().c_str());
+    }
+
+    // ---- 4. recurrence guard ----
+    {
+        TextTable t;
+        t.header({"recurrence guard", "mean coverage", "mean rel. perf"});
+        for (bool guard : {false, true}) {
+            std::vector<double> cov, perf;
+            for (const auto &spec : programs) {
+                sim::ProgramContext ctx(spec);
+                double base =
+                    static_cast<double>(ctx.baseline(full).cycles);
+                const auto &prof = ctx.profileOn(reduced);
+                minigraph::SlackModelOptions mopts;
+                mopts.recurrenceGuard = guard;
+                std::vector<minigraph::Candidate> filtered;
+                for (const auto &c : ctx.candidatePool()) {
+                    auto m = minigraph::evaluateSlackModel(
+                        c, ctx.program(), prof, mopts);
+                    if (!m.degrades)
+                        filtered.push_back(c);
+                }
+                auto sel = minigraph::selectGreedy(filtered,
+                                                   ctx.counts(), 512);
+                auto r = ctx.runChosen(sel.chosen, reduced);
+                cov.push_back(r.coverage());
+                perf.push_back(base / r.sim.cycles);
+            }
+            t.row({guard ? "on" : "off", fmtDouble(mean(cov), 3),
+                   fmtDouble(mean(perf), 3)});
+        }
+        std::printf("\n== Ablation 4: loop-carried recurrence guard "
+                    "(DESIGN.md §6.3) ==\n%s",
+                    t.render().c_str());
+    }
+    return 0;
+}

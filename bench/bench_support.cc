@@ -1,0 +1,144 @@
+#include "bench/bench_support.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/stats_util.h"
+
+namespace mg::bench
+{
+
+namespace
+{
+
+size_t
+requestedCount()
+{
+    if (const char *quick = std::getenv("MG_QUICK");
+        quick && quick[0] == '1') {
+        return 12;
+    }
+    if (const char *n = std::getenv("MG_BENCH_PROGRAMS")) {
+        long v = std::atol(n);
+        if (v > 0)
+            return static_cast<size_t>(v);
+    }
+    return workloads::workloadList().size();
+}
+
+std::vector<workloads::WorkloadSpec>
+takeBalanced(std::vector<workloads::WorkloadSpec> all, size_t want)
+{
+    if (want >= all.size())
+        return all;
+    // Round-robin across the list (which is grouped by kernel) with a
+    // stride, so every suite stays represented.
+    std::vector<workloads::WorkloadSpec> out;
+    size_t stride = all.size() / want;
+    if (stride == 0)
+        stride = 1;
+    for (size_t i = 0; i < all.size() && out.size() < want; i += stride)
+        out.push_back(all[i]);
+    return out;
+}
+
+} // namespace
+
+std::vector<workloads::WorkloadSpec>
+benchPrograms()
+{
+    return takeBalanced(workloads::workloadList(), requestedCount());
+}
+
+std::vector<workloads::WorkloadSpec>
+benchPrograms(const std::vector<std::string> &suites)
+{
+    std::vector<workloads::WorkloadSpec> all;
+    for (const auto &w : workloads::workloadList()) {
+        if (std::find(suites.begin(), suites.end(), w.suite) !=
+            suites.end()) {
+            all.push_back(w);
+        }
+    }
+    size_t want = requestedCount();
+    if (want >= workloads::workloadList().size())
+        return all;
+    // Scale the subset proportionally.
+    size_t scaled = std::max<size_t>(
+        4, want * all.size() / workloads::workloadList().size());
+    return takeBalanced(all, scaled);
+}
+
+void
+printSCurves(const std::string &title, const std::vector<Series> &series)
+{
+    std::printf("\n== %s ==\n", title.c_str());
+    std::printf("(S-curves: each column sorted independently, "
+                "worst-to-best, as in the paper's figures)\n\n");
+
+    std::vector<std::vector<double>> sorted;
+    size_t n = 0;
+    for (const auto &s : series) {
+        sorted.push_back(mg::sCurve(s.values));
+        n = std::max(n, s.values.size());
+    }
+
+    TextTable t;
+    std::vector<std::string> head{"rank"};
+    for (const auto &s : series)
+        head.push_back(s.label);
+    t.header(head);
+    for (size_t i = 0; i < n; ++i) {
+        std::vector<std::string> row{std::to_string(i + 1)};
+        for (const auto &col : sorted) {
+            row.push_back(i < col.size() ? fmtDouble(col[i], 3) : "-");
+        }
+        t.row(row);
+    }
+    auto stat_row = [&](const char *name, auto f) {
+        std::vector<std::string> row{name};
+        for (const auto &s : series)
+            row.push_back(fmtDouble(f(s.values), 3));
+        t.row(row);
+    };
+    t.row({"----"});
+    stat_row("min", [](const std::vector<double> &v) { return minOf(v); });
+    stat_row("mean", [](const std::vector<double> &v) { return mean(v); });
+    stat_row("median",
+             [](const std::vector<double> &v) { return median(v); });
+    stat_row("max", [](const std::vector<double> &v) { return maxOf(v); });
+    std::printf("%s", t.render().c_str());
+}
+
+void
+printPerProgram(const std::string &title,
+                const std::vector<std::string> &names,
+                const std::vector<Series> &series)
+{
+    std::printf("\n-- %s (per program) --\n", title.c_str());
+    TextTable t;
+    std::vector<std::string> head{"program"};
+    for (const auto &s : series)
+        head.push_back(s.label);
+    t.header(head);
+    for (size_t i = 0; i < names.size(); ++i) {
+        std::vector<std::string> row{names[i]};
+        for (const auto &s : series)
+            row.push_back(i < s.values.size() ? fmtDouble(s.values[i], 3)
+                                              : "-");
+        t.row(row);
+    }
+    std::printf("%s", t.render().c_str());
+}
+
+void
+printHeadline(const std::string &what, const std::string &paper,
+              double measured)
+{
+    std::printf("HEADLINE  %-58s paper: %-10s measured: %s\n",
+                what.c_str(), paper.c_str(),
+                fmtDouble(measured, 3).c_str());
+}
+
+} // namespace mg::bench

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Shared support for the figure-reproduction benches: program-set
+ * selection (with MG_QUICK / MG_BENCH_PROGRAMS environment knobs),
+ * S-curve rendering, and summary statistics.
+ */
+
+#ifndef MG_BENCH_BENCH_SUPPORT_H
+#define MG_BENCH_BENCH_SUPPORT_H
+
+#include <string>
+#include <vector>
+
+#include "common/stats_util.h"
+#include "sim/experiment.h"
+#include "workloads/workload.h"
+
+namespace mg::bench
+{
+
+/**
+ * The benchmark set for this run: all 78 programs by default, or a
+ * suite-balanced subset when MG_QUICK=1 (12 programs) or
+ * MG_BENCH_PROGRAMS=<n> is set.
+ */
+std::vector<workloads::WorkloadSpec> benchPrograms();
+
+/** Programs restricted to the given suites. */
+std::vector<workloads::WorkloadSpec>
+benchPrograms(const std::vector<std::string> &suites);
+
+/**
+ * One experiment series for an S-curve graph: a label and one value
+ * per program (same program order across series).
+ */
+struct Series
+{
+    std::string label;
+    std::vector<double> values;
+};
+
+/**
+ * Print the paper-style S-curve table: each series sorted
+ * independently worst-to-best (the paper's Figures 1/3/6/7/9), then
+ * min / mean / median / max summary rows.
+ */
+void printSCurves(const std::string &title,
+                  const std::vector<Series> &series);
+
+/** Print per-program values (unsorted, labelled) for reference. */
+void printPerProgram(const std::string &title,
+                     const std::vector<std::string> &names,
+                     const std::vector<Series> &series);
+
+/** One-line "paper vs measured" summary row. */
+void printHeadline(const std::string &what, const std::string &paper,
+                   double measured);
+
+} // namespace mg::bench
+
+#endif // MG_BENCH_BENCH_SUPPORT_H

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Figure 1: Serialization-aware mini-graph selection — performance on
+ * the reduced processor relative to the fully-provisioned one, for
+ * the no-mini-graph baseline and the Struct-All / Struct-None /
+ * Slack-Profile selectors, across all 78 programs.
+ *
+ * Paper shape: no-mini-graphs averages ~0.85 (18% slower); Struct-All
+ * and Struct-None recover part of the loss; the serialization-aware
+ * Slack-Profile outperforms both and on average beats the
+ * fully-provisioned baseline (~1.02).
+ */
+
+#include <cstdio>
+
+#include "bench/bench_support.h"
+
+using namespace mg;
+using minigraph::SelectorKind;
+
+int
+main()
+{
+    auto programs = bench::benchPrograms();
+    std::printf("Figure 1 reproduction: %zu programs\n", programs.size());
+
+    bench::Series no_mg{"no-minigraphs", {}};
+    bench::Series s_all{"Struct-All", {}};
+    bench::Series s_none{"Struct-None", {}};
+    bench::Series s_prof{"Slack-Profile", {}};
+    std::vector<std::string> names;
+
+    auto full = uarch::fullConfig();
+    auto reduced = uarch::reducedConfig();
+
+    for (const auto &spec : programs) {
+        sim::ProgramContext ctx(spec);
+        double base = static_cast<double>(ctx.baseline(full).cycles);
+        names.push_back(spec.name());
+        no_mg.values.push_back(base / ctx.baseline(reduced).cycles);
+        s_all.values.push_back(
+            base /
+            ctx.runSelector(SelectorKind::StructAll, reduced).sim.cycles);
+        s_none.values.push_back(
+            base /
+            ctx.runSelector(SelectorKind::StructNone, reduced).sim.cycles);
+        s_prof.values.push_back(
+            base / ctx.runSelector(SelectorKind::SlackProfile, reduced)
+                       .sim.cycles);
+        std::fprintf(stderr, "  done %s\n", spec.name().c_str());
+    }
+
+    std::vector<bench::Series> series{no_mg, s_all, s_none, s_prof};
+    bench::printPerProgram("Figure 1", names, series);
+    bench::printSCurves(
+        "Figure 1: reduced-processor performance relative to the "
+        "fully-provisioned baseline",
+        series);
+
+    std::printf("\n");
+    bench::printHeadline("reduced, no mini-graphs (rel. perf)", "~0.85",
+                         mean(no_mg.values));
+    bench::printHeadline("reduced + Struct-All (rel. perf)", "~0.90",
+                         mean(s_all.values));
+    bench::printHeadline("reduced + Struct-None (rel. perf)", "~0.95",
+                         mean(s_none.values));
+    bench::printHeadline("reduced + Slack-Profile (rel. perf)", "~1.02",
+                         mean(s_prof.values));
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Figure 6: the serialization-aware selectors.  Three S-curve groups:
+ * performance on the reduced processor (top), performance on the
+ * fully-provisioned processor (middle), and dynamic coverage
+ * (bottom) for Struct-All, Struct-None, Struct-Bounded,
+ * Slack-Dynamic and Slack-Profile.
+ *
+ * Paper shape: Slack-Profile dominates, Struct-Bounded ~ shifted
+ * Struct-All, Slack-Dynamic between None and Bounded; coverage
+ * ordering All > Profile > Bounded ~ Dynamic > None.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_support.h"
+
+using namespace mg;
+using minigraph::SelectorKind;
+
+int
+main()
+{
+    auto programs = bench::benchPrograms();
+    std::printf("Figure 6 reproduction: %zu programs\n", programs.size());
+
+    const std::vector<SelectorKind> kinds{
+        SelectorKind::StructAll, SelectorKind::StructNone,
+        SelectorKind::StructBounded, SelectorKind::SlackDynamic,
+        SelectorKind::SlackProfile};
+
+    auto full = uarch::fullConfig();
+    auto reduced = uarch::reducedConfig();
+
+    std::vector<bench::Series> red, ful, cov;
+    bench::Series base_red{"no-minigraphs", {}};
+    for (auto k : kinds) {
+        red.push_back({minigraph::selectorName(k), {}});
+        ful.push_back({minigraph::selectorName(k), {}});
+        cov.push_back({minigraph::selectorName(k), {}});
+    }
+    std::vector<std::string> names;
+
+    for (const auto &spec : programs) {
+        sim::ProgramContext ctx(spec);
+        double base = static_cast<double>(ctx.baseline(full).cycles);
+        names.push_back(spec.name());
+        base_red.values.push_back(base / ctx.baseline(reduced).cycles);
+        for (size_t i = 0; i < kinds.size(); ++i) {
+            auto r = ctx.runSelector(kinds[i], reduced);
+            auto f = ctx.runSelector(kinds[i], full);
+            red[i].values.push_back(base / r.sim.cycles);
+            ful[i].values.push_back(base / f.sim.cycles);
+            cov[i].values.push_back(r.coverage());
+        }
+        std::fprintf(stderr, "  done %s\n", spec.name().c_str());
+    }
+
+    std::vector<bench::Series> red_all{base_red};
+    red_all.insert(red_all.end(), red.begin(), red.end());
+    bench::printSCurves(
+        "Figure 6 top: performance on the REDUCED processor", red_all);
+    bench::printSCurves(
+        "Figure 6 middle: performance on the FULLY-PROVISIONED "
+        "processor",
+        ful);
+    bench::printSCurves("Figure 6 bottom: dynamic coverage", cov);
+
+    std::printf("\n");
+    bench::printHeadline("Struct-All coverage", "0.38",
+                         mean(cov[0].values));
+    bench::printHeadline("Struct-None coverage", "0.20",
+                         mean(cov[1].values));
+    bench::printHeadline("Struct-Bounded coverage", "0.30",
+                         mean(cov[2].values));
+    bench::printHeadline("Slack-Dynamic coverage", "0.30",
+                         mean(cov[3].values));
+    bench::printHeadline("Slack-Profile coverage", "0.34",
+                         mean(cov[4].values));
+    bench::printHeadline("Struct-Bounded, reduced (rel. perf)", "~0.98",
+                         mean(red[2].values));
+    bench::printHeadline("Slack-Dynamic, reduced (rel. perf)", "~0.94",
+                         mean(red[3].values));
+    bench::printHeadline("Slack-Profile, reduced (rel. perf)", "~1.02",
+                         mean(red[4].values));
+    return 0;
+}

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Figure 8: limit study.  For the adpcm_c benchmark, take the 10 most
+ * frequently executed non-overlapping mini-graph candidates, evaluate
+ * all 1024 subsets exhaustively on the reduced processor (coverage vs
+ * performance scatter), and mark the subset each selector would pick.
+ *
+ * Paper shape: Struct-All right-most; Struct-None left-most;
+ * Struct-Bounded decent coverage / poor performance; the slack-based
+ * selectors approach the exhaustive best; no selector finds the
+ * optimum (selection is non-decomposable).
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "bench/bench_support.h"
+
+using namespace mg;
+using minigraph::Candidate;
+using minigraph::SelectorKind;
+
+namespace
+{
+
+/** Subset bitmask -> which of the base candidates are included. */
+std::vector<Candidate>
+subset(const std::vector<Candidate> &base, unsigned mask)
+{
+    std::vector<Candidate> out;
+    for (size_t i = 0; i < base.size(); ++i) {
+        if (mask & (1u << i))
+            out.push_back(base[i]);
+    }
+    return out;
+}
+
+/** Mask of base candidates a selector's chosen set corresponds to. */
+unsigned
+maskOf(const std::vector<Candidate> &base,
+       const std::vector<Candidate> &chosen)
+{
+    unsigned mask = 0;
+    for (const auto &c : chosen) {
+        for (size_t i = 0; i < base.size(); ++i) {
+            if (c.firstPc == base[i].firstPc && c.len == base[i].len)
+                mask |= 1u << i;
+        }
+    }
+    return mask;
+}
+
+} // namespace
+
+int
+main()
+{
+    bool quick = std::getenv("MG_QUICK") != nullptr;
+    unsigned pool_size = quick ? 7 : 10;
+
+    auto spec = *workloads::findWorkload("adpcm_c.0");
+    sim::ProgramContext ctx(spec);
+    auto reduced = uarch::reducedConfig();
+    auto full = uarch::fullConfig();
+    double base_cycles = static_cast<double>(ctx.baseline(full).cycles);
+
+    // The pool: most frequent candidates, pairwise non-overlapping.
+    std::vector<Candidate> sorted = ctx.candidatePool();
+    const auto &counts = ctx.counts();
+    std::sort(sorted.begin(), sorted.end(),
+              [&](const Candidate &a, const Candidate &b) {
+                  uint64_t fa = counts[a.firstPc] *
+                                static_cast<uint64_t>(a.len - 1);
+                  uint64_t fb = counts[b.firstPc] *
+                                static_cast<uint64_t>(b.len - 1);
+                  return fa > fb;
+              });
+    std::vector<Candidate> base;
+    for (const auto &c : sorted) {
+        bool clash = false;
+        for (const auto &b : base)
+            clash |= c.overlaps(b);
+        if (!clash) {
+            base.push_back(c);
+            if (base.size() == pool_size)
+                break;
+        }
+    }
+    std::printf("Figure 8 reproduction: adpcm_c, %zu candidate "
+                "mini-graphs, %u combinations\n",
+                base.size(), 1u << base.size());
+    for (size_t i = 0; i < base.size(); ++i) {
+        std::printf("  MG %zu: pc=%u len=%u class=%s freq=%llu\n", i,
+                    base[i].firstPc, base[i].len,
+                    base[i].serialClass ==
+                            minigraph::SerialClass::NonSerializing
+                        ? "none"
+                    : base[i].serialClass ==
+                            minigraph::SerialClass::Bounded
+                        ? "bounded"
+                        : "unbounded",
+                    static_cast<unsigned long long>(
+                        counts[base[i].firstPc]));
+    }
+
+    // Exhaustive sweep.
+    unsigned n_masks = 1u << base.size();
+    std::vector<double> perf(n_masks), cov(n_masks);
+    for (unsigned mask = 0; mask < n_masks; ++mask) {
+        auto run = ctx.runChosen(subset(base, mask), reduced);
+        perf[mask] = base_cycles / run.sim.cycles;
+        cov[mask] = run.coverage();
+        if (mask % 128 == 0)
+            std::fprintf(stderr, "  ... %u/%u\n", mask, n_masks);
+    }
+
+    unsigned best = 0;
+    for (unsigned m = 1; m < n_masks; ++m) {
+        if (perf[m] > perf[best])
+            best = m;
+    }
+
+    // Scatter, bucketed by coverage decile: min/max performance.
+    std::printf("\n== Figure 8 scatter (coverage bucket -> perf range, "
+                "%u subsets) ==\n",
+                n_masks);
+    std::map<int, std::pair<double, double>> buckets;
+    for (unsigned m = 0; m < n_masks; ++m) {
+        int b = static_cast<int>(cov[m] * 20); // 5% buckets
+        auto it = buckets.find(b);
+        if (it == buckets.end())
+            buckets[b] = {perf[m], perf[m]};
+        else {
+            it->second.first = std::min(it->second.first, perf[m]);
+            it->second.second = std::max(it->second.second, perf[m]);
+        }
+    }
+    TextTable t;
+    t.header({"coverage", "min perf", "max perf"});
+    for (auto &[b, mm] : buckets) {
+        t.row({fmtDouble(b * 0.05, 2) + "-" + fmtDouble((b + 1) * 0.05, 2),
+               fmtDouble(mm.first, 3), fmtDouble(mm.second, 3)});
+    }
+    std::printf("%s", t.render().c_str());
+
+    // Selector choices restricted to this pool (Figure 8 bottom).
+    auto pick = [&](SelectorKind kind) -> unsigned {
+        const profile::SlackProfileData *prof = nullptr;
+        if (minigraph::selectorNeedsProfile(kind))
+            prof = &ctx.profileOn(reduced);
+        auto filtered =
+            minigraph::filterPool(base, kind, ctx.program(), prof);
+        auto sel = minigraph::selectGreedy(filtered, counts, 512);
+        return maskOf(base, sel.chosen);
+    };
+
+    std::printf("\n== Figure 8 selector choices ==\n");
+    TextTable ct;
+    ct.header({"selector", "chosen set", "coverage", "perf"});
+    auto row = [&](const std::string &name, unsigned mask) {
+        std::string bits;
+        for (size_t i = 0; i < base.size(); ++i)
+            bits += (mask & (1u << i)) ? ('0' + static_cast<char>(i % 10))
+                                       : '.';
+        ct.row({name, bits, fmtDouble(cov[mask], 3),
+                fmtDouble(perf[mask], 3)});
+    };
+    row("Struct-All", pick(SelectorKind::StructAll));
+    row("Struct-None", pick(SelectorKind::StructNone));
+    row("Struct-Bounded", pick(SelectorKind::StructBounded));
+    row("Slack-Profile", pick(SelectorKind::SlackProfile));
+    row("exhaustive best", best);
+    std::printf("%s", ct.render().c_str());
+
+    // Slack-Dynamic runs the Struct-All set with disable hardware.
+    auto sd = ctx.runChosen(subset(base, pick(SelectorKind::StructAll)),
+                            reduced, SelectorKind::SlackDynamic);
+    std::printf("Slack-Dynamic (Struct-All set + hardware): cov=%s "
+                "perf=%s\n",
+                fmtDouble(sd.coverage(), 3).c_str(),
+                fmtDouble(base_cycles / sd.sim.cycles, 3).c_str());
+
+    std::printf("\n");
+    bench::printHeadline("exhaustive best perf (this pool only)", "n/a",
+                         perf[best]);
+    bench::printHeadline("Struct-All (right-most point) perf", "low",
+                         perf[pick(SelectorKind::StructAll)]);
+    bench::printHeadline("Slack-Profile perf vs best", "close",
+                         perf[pick(SelectorKind::SlackProfile)]);
+    return 0;
+}

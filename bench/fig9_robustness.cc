@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Figure 9: robustness of slack profiles.
+ *
+ * Top: MediaBench/CommBench analogues on the reduced processor,
+ * Slack-Profile mini-graphs self-trained (profile collected on the
+ * reduced machine itself) vs cross-trained on a 2-way machine, an
+ * 8-way machine, and a machine with 1/4 the data-memory hierarchy.
+ *
+ * Bottom: SPEC/MiBench analogues, self-trained vs cross-trained on
+ * the alternate input data set (the paper's train/ref and
+ * large/small splits).
+ *
+ * Paper shape: cross-trained points sit almost on the self-trained
+ * S-curve (<2% average difference for inputs).
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_support.h"
+
+using namespace mg;
+using minigraph::SelectorKind;
+
+int
+main()
+{
+    auto reduced = uarch::reducedConfig();
+    auto full = uarch::fullConfig();
+
+    // ---- Top: microarchitecture sensitivity ----
+    {
+        auto programs = bench::benchPrograms({"media", "comm"});
+        std::printf("Figure 9 top: %zu media/comm programs\n",
+                    programs.size());
+        bench::Series self{"self-trained", {}};
+        bench::Series c2{"cross 2-way", {}};
+        bench::Series c8{"cross 8-way", {}};
+        bench::Series cd{"cross dmem/4", {}};
+        std::vector<std::string> names;
+        auto cfg2 = uarch::twoWayConfig();
+        auto cfg8 = uarch::eightWayConfig();
+        auto cfgd = uarch::dmemQuarterConfig();
+
+        for (const auto &spec : programs) {
+            sim::ProgramContext ctx(spec);
+            double base = static_cast<double>(ctx.baseline(full).cycles);
+            names.push_back(spec.name());
+            self.values.push_back(
+                base /
+                ctx.runSelector(SelectorKind::SlackProfile, reduced)
+                    .sim.cycles);
+            c2.values.push_back(
+                base / ctx.runSelector(SelectorKind::SlackProfile,
+                                       reduced, &cfg2)
+                           .sim.cycles);
+            c8.values.push_back(
+                base / ctx.runSelector(SelectorKind::SlackProfile,
+                                       reduced, &cfg8)
+                           .sim.cycles);
+            cd.values.push_back(
+                base / ctx.runSelector(SelectorKind::SlackProfile,
+                                       reduced, &cfgd)
+                           .sim.cycles);
+            std::fprintf(stderr, "  done %s\n", spec.name().c_str());
+        }
+        bench::printPerProgram("Figure 9 top (machine sensitivity)",
+                               names, {self, c2, c8, cd});
+
+        auto mean_abs_delta = [&](const bench::Series &s) {
+            double sum = 0;
+            for (size_t i = 0; i < s.values.size(); ++i)
+                sum += std::fabs(s.values[i] - self.values[i]);
+            return sum / static_cast<double>(s.values.size());
+        };
+        std::printf("\n");
+        bench::printHeadline("mean |delta| cross 2-way", "small",
+                             mean_abs_delta(c2));
+        bench::printHeadline("mean |delta| cross 8-way", "small",
+                             mean_abs_delta(c8));
+        bench::printHeadline("mean |delta| cross dmem/4", "small",
+                             mean_abs_delta(cd));
+    }
+
+    // ---- Bottom: input-set sensitivity ----
+    {
+        auto programs = bench::benchPrograms({"spec", "mibench"});
+        std::printf("\nFigure 9 bottom: %zu spec/mibench programs\n",
+                    programs.size());
+        bench::Series self{"self-trained", {}};
+        bench::Series cross{"cross-input", {}};
+        bench::Series cov_self{"cov self", {}};
+        bench::Series cov_cross{"cov cross", {}};
+        std::vector<std::string> names;
+
+        for (const auto &spec : programs) {
+            sim::ProgramContext ctx(spec);
+            double base = static_cast<double>(ctx.baseline(full).cycles);
+            names.push_back(spec.name());
+            auto s = ctx.runSelector(SelectorKind::SlackProfile, reduced);
+            self.values.push_back(base / s.sim.cycles);
+            cov_self.values.push_back(s.coverage());
+
+            // Profile collected on the *alternate* input's run.
+            sim::ProgramContext alt_ctx(spec, /*alt_input=*/true);
+            const auto &alt_prof = alt_ctx.profileOn(reduced);
+            auto c = ctx.runSelectorWithProfile(SelectorKind::SlackProfile,
+                                                reduced, alt_prof);
+            cross.values.push_back(base / c.sim.cycles);
+            cov_cross.values.push_back(c.coverage());
+            std::fprintf(stderr, "  done %s\n", spec.name().c_str());
+        }
+        bench::printPerProgram("Figure 9 bottom (input sensitivity)",
+                               names,
+                               {self, cross, cov_self, cov_cross});
+
+        double sum = 0;
+        for (size_t i = 0; i < cross.values.size(); ++i)
+            sum += std::fabs(cross.values[i] - self.values[i]);
+        std::printf("\n");
+        bench::printHeadline("mean |delta| cross-input (rel. perf)",
+                             "<0.02",
+                             sum / static_cast<double>(
+                                       cross.values.size()));
+    }
+    return 0;
+}

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's component
+ * models: cache, TLB, branch predictor, StoreSets, the assembler,
+ * candidate enumeration, the functional core and the timing core.
+ * These document simulation throughput, not paper results.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "assembler/assembler.h"
+#include "common/rng.h"
+#include "minigraph/candidate.h"
+#include "uarch/branch_pred.h"
+#include "uarch/cache.h"
+#include "uarch/core.h"
+#include "uarch/functional.h"
+#include "uarch/store_sets.h"
+#include "workloads/workload.h"
+
+namespace
+{
+
+using namespace mg;
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    uarch::Cache cache(uarch::CacheConfig{32 * 1024, 2, 32, 3});
+    Rng rng(1);
+    std::vector<uint64_t> addrs(4096);
+    for (auto &a : addrs)
+        a = rng.below(256 * 1024);
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(addrs[i++ & 4095]));
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_TlbAccess(benchmark::State &state)
+{
+    uarch::Tlb tlb(uarch::TlbConfig{64, 4, 4096, 30});
+    Rng rng(2);
+    std::vector<uint64_t> addrs(4096);
+    for (auto &a : addrs)
+        a = rng.below(8ull << 20);
+    size_t i = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(tlb.access(addrs[i++ & 4095]));
+}
+BENCHMARK(BM_TlbAccess);
+
+void
+BM_BranchPredict(benchmark::State &state)
+{
+    uarch::BranchPredictor bp(uarch::BranchPredConfig{});
+    Rng rng(3);
+    uint32_t pc = 0;
+    for (auto _ : state) {
+        pc = (pc + 7) & 1023;
+        benchmark::DoNotOptimize(
+            bp.predictConditional(pc, rng.chance(0.7)));
+    }
+}
+BENCHMARK(BM_BranchPredict);
+
+void
+BM_StoreSets(benchmark::State &state)
+{
+    uarch::StoreSets ss(1024, 128);
+    uint64_t seq = 0;
+    for (auto _ : state) {
+        ss.storeRenamed((seq * 13) & 511, seq);
+        benchmark::DoNotOptimize(ss.loadRenamed((seq * 7) & 511));
+        ++seq;
+    }
+}
+BENCHMARK(BM_StoreSets);
+
+void
+BM_Assemble(benchmark::State &state)
+{
+    auto spec = *workloads::findWorkload("crc32.0");
+    for (auto _ : state) {
+        auto built = workloads::buildWorkload(spec);
+        benchmark::DoNotOptimize(built.program.code.size());
+    }
+}
+BENCHMARK(BM_Assemble);
+
+void
+BM_CandidateEnumeration(benchmark::State &state)
+{
+    auto built = workloads::buildWorkload(
+        *workloads::findWorkload("sha_like.0"));
+    for (auto _ : state) {
+        auto pool = minigraph::enumerateCandidates(built.program);
+        benchmark::DoNotOptimize(pool.size());
+    }
+}
+BENCHMARK(BM_CandidateEnumeration);
+
+void
+BM_FunctionalExecution(benchmark::State &state)
+{
+    auto built = workloads::buildWorkload(
+        *workloads::findWorkload("bitcount.0"));
+    for (auto _ : state) {
+        uarch::FunctionalCore core(built.program);
+        uint64_t insts = core.run(1ull << 26);
+        state.SetItemsProcessed(state.items_processed() +
+                                static_cast<int64_t>(insts));
+    }
+}
+BENCHMARK(BM_FunctionalExecution)->Unit(benchmark::kMillisecond);
+
+void
+BM_TimingSimulation(benchmark::State &state)
+{
+    auto built = workloads::buildWorkload(
+        *workloads::findWorkload("bitcount.0"));
+    for (auto _ : state) {
+        uarch::Core core(uarch::fullConfig(), built.program);
+        auto r = core.run();
+        state.SetItemsProcessed(state.items_processed() +
+                                static_cast<int64_t>(r.originalInsts));
+    }
+}
+BENCHMARK(BM_TimingSimulation)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

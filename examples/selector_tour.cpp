@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Selector tour: run every selector from the paper on one benchmark
+ * and print the §5.1-style comparison — coverage, performance on the
+ * reduced machine, and performance on the fully-provisioned machine.
+ *
+ * Usage:  ./build/examples/selector_tour [workload]
+ *         (default adpcm_c.0; try crc32.0, sha_like.0, mcf_like.0,
+ *          or list all with "--list")
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/stats_util.h"
+#include "sim/experiment.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mg;
+    using minigraph::SelectorKind;
+
+    if (argc > 1 && std::strcmp(argv[1], "--list") == 0) {
+        for (const auto &w : workloads::workloadList())
+            std::printf("%s (%s)\n", w.name().c_str(), w.suite.c_str());
+        return 0;
+    }
+
+    std::string name = argc > 1 ? argv[1] : "adpcm_c.0";
+    auto spec = workloads::findWorkload(name);
+    if (!spec) {
+        std::fprintf(stderr, "unknown workload '%s' (try --list)\n",
+                     name.c_str());
+        return 1;
+    }
+
+    sim::ProgramContext ctx(*spec);
+    auto full = uarch::fullConfig();
+    auto reduced = uarch::reducedConfig();
+    double base = static_cast<double>(ctx.baseline(full).cycles);
+    double base_red = static_cast<double>(ctx.baseline(reduced).cycles);
+
+    std::printf("%s: %llu instructions, %zu mini-graph candidates\n",
+                name.c_str(),
+                static_cast<unsigned long long>(
+                    ctx.baseline(full).originalInsts),
+                ctx.candidatePool().size());
+    std::printf("no mini-graphs: reduced machine at %.3fx the "
+                "fully-provisioned baseline\n\n",
+                base / base_red);
+
+    TextTable t;
+    t.header({"selector", "coverage", "templates", "reduced perf",
+              "full perf"});
+    for (auto kind :
+         {SelectorKind::StructAll, SelectorKind::StructNone,
+          SelectorKind::StructBounded, SelectorKind::SlackDynamic,
+          SelectorKind::SlackProfile}) {
+        auto r = ctx.runSelector(kind, reduced);
+        auto f = ctx.runSelector(kind, full);
+        t.row({minigraph::selectorName(kind),
+               fmtDouble(r.coverage(), 3),
+               std::to_string(r.templatesUsed),
+               fmtDouble(base / r.sim.cycles, 3),
+               fmtDouble(base / f.sim.cycles, 3)});
+    }
+    std::printf("%s", t.render().c_str());
+    std::printf("\n(perf is relative to the 4-way baseline: 1.000 means "
+                "fully compensated)\n");
+    return 0;
+}

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * A walk through the paper's Figures 4 and 5: what serialization is,
+ * how the structural classes (none / bounded / unbounded) arise, and
+ * how the Slack-Profile rules quantify mini-graph-induced delay.
+ *
+ * The program builds three small code shapes, shows their candidate
+ * classifications, then collects a real slack profile and prints the
+ * rule-by-rule evaluation for each candidate.
+ *
+ * Build and run:  ./build/examples/serialization_anatomy
+ */
+
+#include <cstdio>
+
+#include "assembler/assembler.h"
+#include "minigraph/selectors.h"
+#include "profile/slack_profile.h"
+#include "uarch/config.h"
+
+namespace
+{
+
+using namespace mg;
+
+const char *
+className(minigraph::SerialClass c)
+{
+    switch (c) {
+      case minigraph::SerialClass::NonSerializing: return "none";
+      case minigraph::SerialClass::Bounded: return "bounded";
+      case minigraph::SerialClass::Unbounded: return "unbounded";
+    }
+    return "?";
+}
+
+void
+analyse(const char *title, const char *source)
+{
+    std::printf("==== %s ====\n", title);
+    assembler::Program prog = assembler::assemble(source);
+    std::printf("%s", prog.listing().c_str());
+
+    auto pool = minigraph::enumerateCandidates(prog);
+    profile::SlackProfileData prof =
+        profile::profileProgram(prog, uarch::reducedConfig());
+
+    std::printf("%-8s %-4s %-10s %-28s %s\n", "firstPc", "len", "class",
+                "per-constituent delay (r#3)", "verdicts");
+    for (const auto &c : pool) {
+        auto m = minigraph::evaluateSlackModel(c, prog, prof);
+        std::string delays;
+        for (unsigned k = 0; k < c.len; ++k) {
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "%.1f ", m.delay[k]);
+            delays += buf;
+        }
+        std::printf("%-8u %-4u %-10s %-28s %s%s%s\n", c.firstPc, c.len,
+                    className(c.serialClass), delays.c_str(),
+                    m.degrades ? "DEGRADES " : "ok ",
+                    m.anyOutputDelayed ? "(output delayed) " : "",
+                    m.serialInputArrivesLast ? "(SIAL)" : "");
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    // Shape 1 (Figure 4b/c, bounded): the serializing input feeds the
+    // instruction that produces the output, so in a singleton
+    // execution the output would wait for it anyway.  The slow value
+    // r2 comes from a multiply chain.
+    analyse("bounded serialization (Figure 4c)",
+            "main:  li r29, 3000\n"
+            "       li r2, 3\n"
+            "loop:  mul r2, r2, r2\n"
+            "       ori r2, r2, 1\n"
+            "       add r5, r29, r29\n" // window start: fast input
+            "       add r6, r5, r2\n"   // slow input -> output producer
+            "       sd r6, 0(r28)\n"
+            "       addi r29, r29, -1\n"
+            "       bnez r29, loop\n"
+            "       halt\n");
+
+    // Shape 2 (Figure 4d, unbounded): the output comes from the
+    // *first* instruction; the serializing input feeds a later,
+    // independent store-address computation.  If the slow input is n
+    // cycles late, the output is n cycles late — unbounded.
+    analyse("unbounded serialization (Figure 4d)",
+            "main:  li r29, 3000\n"
+            "       li r2, 3\n"
+            "loop:  mul r2, r2, r2\n"
+            "       ori r2, r2, 1\n"
+            "       add r6, r29, r29\n" // produces the live-out value
+            "       andi r7, r2, 248\n" // slow input, feeds the store
+            "       sd r6, 0(r7)\n"
+            "       add r8, r6, r6\n"   // consumer of the output
+            "       sd r8, 8(r28)\n"
+            "       addi r29, r29, -1\n"
+            "       bnez r29, loop\n"
+            "       halt\n");
+
+    // Shape 3: structurally serializing, but the "serializing" input
+    // is always ready first at run time — the profile shows no actual
+    // delay (the reason Struct-None is too conservative).
+    analyse("structural-but-harmless serialization",
+            "main:  li r29, 3000\n"
+            "       li r2, 7\n"         // ready long before each iter
+            "loop:  mul r9, r29, r29\n"
+            "       andi r9, r9, 1023\n"
+            "       add r5, r9, r9\n"   // slow input feeds FIRST op
+            "       add r6, r5, r2\n"   // early input feeds SECOND op
+            "       sd r6, 0(r28)\n"
+            "       addi r29, r29, -1\n"
+            "       bnez r29, loop\n"
+            "       halt\n");
+
+    std::printf("Legend: rule #1/2 compute each constituent's issue\n"
+                "time inside the mini-graph; rule #3 is the delay vs\n"
+                "its singleton issue time; rule #4 (DEGRADES) fires\n"
+                "when an output's delay exceeds its local slack.\n");
+    return 0;
+}

@@ -1,0 +1,568 @@
+#include "assembler/assembler.h"
+
+#include <algorithm>
+#include <cstring>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace mg::assembler
+{
+
+namespace
+{
+
+using isa::Addr;
+using isa::Format;
+using isa::Instruction;
+using isa::Opcode;
+
+/** One parsed source statement (label-stripped, comment-stripped). */
+struct Statement
+{
+    int line = 0;
+    std::string mnemonic;          // lower case
+    std::vector<std::string> args; // comma-separated operand strings
+};
+
+/** Pseudo-op rewrite: mnemonic plus how to map its operands. */
+struct PseudoInfo
+{
+    const char *realMnemonic;
+    enum class Kind
+    {
+        Mov,   // mov rd, rs        -> addi rd, rs, 0
+        La,    // la rd, label      -> li rd, addr
+        B,     // b label           -> j label
+        BleSwap, // ble a,b,l       -> bge b,a,l
+        BgtSwap, // bgt a,b,l       -> blt b,a,l
+        BleuSwap,// bleu a,b,l      -> bgeu b,a,l
+        BgtuSwap,// bgtu a,b,l      -> bltu b,a,l
+        Call,  // call label        -> jal ra, label
+        Ret,   // ret               -> jr ra
+        Neg,   // neg rd, rs        -> sub rd, zero, rs
+        Not,   // not rd, rs        -> xori rd, rs, -1
+        Beqz,  // beqz rs, l        -> beq rs, zero, l
+        Bnez,  // bnez rs, l        -> bne rs, zero, l
+    } kind;
+};
+
+const std::unordered_map<std::string, PseudoInfo> &
+pseudoMap()
+{
+    static const std::unordered_map<std::string, PseudoInfo> map = {
+        {"mov",  {"addi", PseudoInfo::Kind::Mov}},
+        {"la",   {"li",   PseudoInfo::Kind::La}},
+        {"b",    {"j",    PseudoInfo::Kind::B}},
+        {"ble",  {"bge",  PseudoInfo::Kind::BleSwap}},
+        {"bgt",  {"blt",  PseudoInfo::Kind::BgtSwap}},
+        {"bleu", {"bgeu", PseudoInfo::Kind::BleuSwap}},
+        {"bgtu", {"bltu", PseudoInfo::Kind::BgtuSwap}},
+        {"call", {"jal",  PseudoInfo::Kind::Call}},
+        {"ret",  {"jr",   PseudoInfo::Kind::Ret}},
+        {"neg",  {"sub",  PseudoInfo::Kind::Neg}},
+        {"not",  {"xori", PseudoInfo::Kind::Not}},
+        {"beqz", {"beq",  PseudoInfo::Kind::Beqz}},
+        {"bnez", {"bne",  PseudoInfo::Kind::Bnez}},
+    };
+    return map;
+}
+
+/** Assembler working state across both passes. */
+class Assembler
+{
+  public:
+    Assembler(std::string_view source, const AssembleOptions &opts)
+        : opts(opts)
+    {
+        prog.name = opts.name;
+        prog.dataBase = opts.dataBase;
+        prog.memSize = opts.memSize;
+        parseLines(source);
+    }
+
+    Program
+    run()
+    {
+        passOne();
+        passTwo();
+        auto it = prog.codeLabels.find("main");
+        prog.entry = (it != prog.codeLabels.end()) ? it->second : 0;
+        return std::move(prog);
+    }
+
+  private:
+    [[noreturn]] void
+    err(int line, const char *fmt, auto... args)
+    {
+        mg_fatal("%s:%d: %s", opts.name.c_str(), line,
+                 strprintf(fmt, args...).c_str());
+    }
+
+    /** Strip comments, extract labels, split statements. */
+    void
+    parseLines(std::string_view source)
+    {
+        int line_no = 0;
+        for (const std::string &raw : split(source, '\n')) {
+            ++line_no;
+            std::string text = raw;
+            size_t cpos = text.find_first_of(";#");
+            if (cpos != std::string::npos)
+                text.resize(cpos);
+            text = trim(text);
+
+            // Peel off any leading labels ("foo:").
+            while (true) {
+                size_t colon = text.find(':');
+                if (colon == std::string::npos)
+                    break;
+                std::string label = trim(text.substr(0, colon));
+                if (label.empty() ||
+                    label.find_first_of(" \t") != std::string::npos) {
+                    break;
+                }
+                pendingLabels.push_back({label, line_no});
+                text = trim(text.substr(colon + 1));
+            }
+            if (text.empty())
+                continue;
+
+            Statement st;
+            st.line = line_no;
+            size_t sp = text.find_first_of(" \t");
+            st.mnemonic = toLower(text.substr(0, sp));
+            if (sp != std::string::npos) {
+                std::string rest = trim(text.substr(sp));
+                if (st.mnemonic == ".asciiz") {
+                    st.args.push_back(rest);
+                } else {
+                    for (auto &a : split(rest, ','))
+                        st.args.push_back(trim(a));
+                }
+            }
+            st.args.erase(std::remove_if(st.args.begin(), st.args.end(),
+                                         [](const std::string &s) {
+                                             return s.empty();
+                                         }),
+                          st.args.end());
+            attachLabels(st);
+            statements.push_back(std::move(st));
+        }
+        // Labels at EOF with no following statement attach to a
+        // synthetic end-of-data marker: record them in pass one.
+        trailingLabels = std::move(pendingLabels);
+    }
+
+    struct PendingLabel
+    {
+        std::string name;
+        int line;
+    };
+
+    void
+    attachLabels(Statement &st)
+    {
+        labelsFor[statements.size()] = std::move(pendingLabels);
+        pendingLabels.clear();
+        (void)st;
+    }
+
+    enum class Section { Text, Data };
+
+    /** Pass one: lay out code slots and data offsets, bind labels. */
+    void
+    passOne()
+    {
+        Section section = Section::Text;
+        Addr pc = 0;
+        uint64_t doff = 0;
+
+        auto bind = [&](const PendingLabel &pl) {
+            bool dup = prog.codeLabels.count(pl.name) ||
+                       prog.dataLabels.count(pl.name);
+            if (dup)
+                err(pl.line, "duplicate label '%s'", pl.name.c_str());
+            if (section == Section::Text)
+                prog.codeLabels[pl.name] = pc;
+            else
+                prog.dataLabels[pl.name] = prog.dataBase + doff;
+        };
+
+        for (size_t i = 0; i < statements.size(); ++i) {
+            const Statement &st = statements[i];
+            if (st.mnemonic == ".text") {
+                // Bind pending labels in the *new* section.
+                section = Section::Text;
+                for (const auto &pl : labelsFor[i])
+                    bind(pl);
+                continue;
+            }
+            if (st.mnemonic == ".data") {
+                section = Section::Data;
+                for (const auto &pl : labelsFor[i])
+                    bind(pl);
+                continue;
+            }
+            for (const auto &pl : labelsFor[i])
+                bind(pl);
+
+            if (section == Section::Text) {
+                if (st.mnemonic[0] == '.')
+                    err(st.line, "directive '%s' not allowed in .text",
+                        st.mnemonic.c_str());
+                pc += 1; // every mnemonic (incl. pseudo) is one slot
+            } else {
+                doff += dataSizeOf(st, doff);
+            }
+        }
+        for (const auto &pl : trailingLabels) {
+            if (section == Section::Text)
+                prog.codeLabels[pl.name] = pc;
+            else
+                prog.dataLabels[pl.name] = prog.dataBase + doff;
+        }
+        prog.code.reserve(pc);
+        prog.dataInit.resize(doff, 0);
+        if (prog.dataBase + doff > prog.memSize)
+            mg_fatal("program '%s': data segment (%llu bytes) exceeds "
+                     "memory size", opts.name.c_str(),
+                     static_cast<unsigned long long>(doff));
+    }
+
+    /** Size in bytes of a data directive at the given offset. */
+    uint64_t
+    dataSizeOf(const Statement &st, uint64_t doff)
+    {
+        if (st.mnemonic == ".byte")
+            return st.args.size();
+        if (st.mnemonic == ".half")
+            return st.args.size() * 2;
+        if (st.mnemonic == ".word")
+            return st.args.size() * 4;
+        if (st.mnemonic == ".dword")
+            return st.args.size() * 8;
+        if (st.mnemonic == ".space") {
+            int64_t n;
+            if (st.args.size() != 1 || !parseInt(st.args[0], n) || n < 0)
+                err(st.line, ".space requires one non-negative integer");
+            return static_cast<uint64_t>(n);
+        }
+        if (st.mnemonic == ".align") {
+            int64_t n;
+            if (st.args.size() != 1 || !parseInt(st.args[0], n) || n <= 0)
+                err(st.line, ".align requires one positive integer");
+            uint64_t a = static_cast<uint64_t>(n);
+            return (a - (doff % a)) % a;
+        }
+        if (st.mnemonic == ".asciiz") {
+            std::string s = decodeString(st);
+            return s.size() + 1;
+        }
+        err(st.line, "unknown data directive '%s'", st.mnemonic.c_str());
+    }
+
+    std::string
+    decodeString(const Statement &st)
+    {
+        if (st.args.size() != 1 || st.args[0].size() < 2 ||
+            st.args[0].front() != '"' || st.args[0].back() != '"') {
+            err(st.line, ".asciiz requires one quoted string");
+        }
+        std::string_view body(st.args[0]);
+        body = body.substr(1, body.size() - 2);
+        std::string out;
+        for (size_t i = 0; i < body.size(); ++i) {
+            if (body[i] == '\\' && i + 1 < body.size()) {
+                ++i;
+                switch (body[i]) {
+                  case 'n': out.push_back('\n'); break;
+                  case 't': out.push_back('\t'); break;
+                  case '0': out.push_back('\0'); break;
+                  case '\\': out.push_back('\\'); break;
+                  case '"': out.push_back('"'); break;
+                  default: out.push_back(body[i]); break;
+                }
+            } else {
+                out.push_back(body[i]);
+            }
+        }
+        return out;
+    }
+
+    /** Resolve "label", "label+n", or integer to a 64-bit value. */
+    int64_t
+    resolveValue(const Statement &st, std::string_view expr)
+    {
+        int64_t v;
+        if (parseInt(expr, v))
+            return v;
+        std::string_view base = expr;
+        int64_t addend = 0;
+        size_t plus = expr.find_last_of("+-");
+        if (plus != std::string::npos && plus > 0) {
+            int64_t a;
+            if (parseInt(expr.substr(plus), a)) {
+                base = expr.substr(0, plus);
+                addend = a;
+            }
+        }
+        std::string key{trim(base)};
+        if (auto it = prog.dataLabels.find(key); it != prog.dataLabels.end())
+            return static_cast<int64_t>(it->second) + addend;
+        if (auto it = prog.codeLabels.find(key); it != prog.codeLabels.end())
+            return static_cast<int64_t>(it->second) + addend;
+        err(st.line, "undefined symbol '%s'", key.c_str());
+    }
+
+    uint8_t
+    reg(const Statement &st, const std::string &token)
+    {
+        int r = parseRegister(token);
+        if (r < 0)
+            err(st.line, "bad register '%s'", token.c_str());
+        return static_cast<uint8_t>(r);
+    }
+
+    void
+    wantArgs(const Statement &st, size_t n)
+    {
+        if (st.args.size() != n) {
+            err(st.line, "'%s' expects %zu operand(s), got %zu",
+                st.mnemonic.c_str(), n, st.args.size());
+        }
+    }
+
+    /** Parse "imm(reg)", "label(reg)", "label", "imm", "(reg)". */
+    void
+    parseMemOperand(const Statement &st, const std::string &token,
+                    uint8_t &base_reg, int64_t &imm)
+    {
+        size_t open = token.find('(');
+        if (open == std::string::npos) {
+            base_reg = isa::kZeroReg;
+            imm = resolveValue(st, token);
+            return;
+        }
+        if (token.back() != ')')
+            err(st.line, "malformed memory operand '%s'", token.c_str());
+        std::string inner =
+            trim(token.substr(open + 1, token.size() - open - 2));
+        base_reg = reg(st, inner);
+        std::string off = trim(token.substr(0, open));
+        imm = off.empty() ? 0 : resolveValue(st, off);
+    }
+
+    /** Pass two: encode each statement. */
+    void
+    passTwo()
+    {
+        Section section = Section::Text;
+        uint64_t doff = 0;
+
+        for (const Statement &orig : statements) {
+            if (orig.mnemonic == ".text") {
+                section = Section::Text;
+                continue;
+            }
+            if (orig.mnemonic == ".data") {
+                section = Section::Data;
+                continue;
+            }
+            if (section == Section::Data) {
+                emitData(orig, doff);
+                continue;
+            }
+            emitInstruction(orig);
+        }
+    }
+
+    void
+    emitData(const Statement &st, uint64_t &doff)
+    {
+        auto poke = [&](uint64_t v, unsigned bytes) {
+            for (unsigned b = 0; b < bytes; ++b)
+                prog.dataInit[doff++] = static_cast<uint8_t>(v >> (8 * b));
+        };
+        if (st.mnemonic == ".byte" || st.mnemonic == ".half" ||
+            st.mnemonic == ".word" || st.mnemonic == ".dword") {
+            unsigned bytes = st.mnemonic == ".byte"  ? 1
+                           : st.mnemonic == ".half"  ? 2
+                           : st.mnemonic == ".word"  ? 4
+                                                     : 8;
+            for (const auto &a : st.args)
+                poke(static_cast<uint64_t>(resolveValue(st, a)), bytes);
+        } else if (st.mnemonic == ".space") {
+            int64_t n = 0;
+            parseInt(st.args[0], n);
+            doff += static_cast<uint64_t>(n);
+        } else if (st.mnemonic == ".align") {
+            doff += dataSizeOf(st, doff);
+        } else if (st.mnemonic == ".asciiz") {
+            std::string s = decodeString(st);
+            for (char c : s)
+                prog.dataInit[doff++] = static_cast<uint8_t>(c);
+            prog.dataInit[doff++] = 0;
+        }
+    }
+
+    void
+    emitInstruction(const Statement &orig)
+    {
+        Statement st = orig;
+        // Expand pseudo-ops into real statements.
+        if (auto it = pseudoMap().find(st.mnemonic);
+            it != pseudoMap().end()) {
+            const PseudoInfo &pi = it->second;
+            using K = PseudoInfo::Kind;
+            switch (pi.kind) {
+              case K::Mov:
+                wantArgs(st, 2);
+                st.args.push_back("0");
+                break;
+              case K::La:
+                wantArgs(st, 2);
+                break;
+              case K::B:
+                wantArgs(st, 1);
+                break;
+              case K::BleSwap:
+              case K::BgtSwap:
+              case K::BleuSwap:
+              case K::BgtuSwap:
+                wantArgs(st, 3);
+                std::swap(st.args[0], st.args[1]);
+                break;
+              case K::Call:
+                wantArgs(st, 1);
+                st.args.insert(st.args.begin(), "ra");
+                break;
+              case K::Ret:
+                wantArgs(st, 0);
+                st.args.push_back("ra");
+                break;
+              case K::Neg:
+                wantArgs(st, 2);
+                st.args.insert(st.args.begin() + 1, "zero");
+                break;
+              case K::Not:
+                wantArgs(st, 2);
+                st.args.push_back("-1");
+                break;
+              case K::Beqz:
+              case K::Bnez:
+                wantArgs(st, 2);
+                st.args.insert(st.args.begin() + 1, "zero");
+                break;
+            }
+            st.mnemonic = pi.realMnemonic;
+        }
+
+        auto opc = isa::parseMnemonic(st.mnemonic);
+        if (!opc)
+            err(st.line, "unknown mnemonic '%s'", st.mnemonic.c_str());
+
+        Instruction inst;
+        inst.op = *opc;
+        const isa::OpInfo &info = isa::opInfo(*opc);
+        switch (info.format) {
+          case Format::RRR:
+            wantArgs(st, 3);
+            inst.rd = reg(st, st.args[0]);
+            inst.rs1 = reg(st, st.args[1]);
+            inst.rs2 = reg(st, st.args[2]);
+            break;
+          case Format::RRI:
+            wantArgs(st, 3);
+            inst.rd = reg(st, st.args[0]);
+            inst.rs1 = reg(st, st.args[1]);
+            inst.imm = resolveValue(st, st.args[2]);
+            break;
+          case Format::RI:
+            wantArgs(st, 2);
+            inst.rd = reg(st, st.args[0]);
+            inst.imm = resolveValue(st, st.args[1]);
+            break;
+          case Format::Load:
+            wantArgs(st, 2);
+            inst.rd = reg(st, st.args[0]);
+            parseMemOperand(st, st.args[1], inst.rs1, inst.imm);
+            break;
+          case Format::Store:
+            wantArgs(st, 2);
+            inst.rs2 = reg(st, st.args[0]);
+            parseMemOperand(st, st.args[1], inst.rs1, inst.imm);
+            break;
+          case Format::Branch:
+            wantArgs(st, 3);
+            inst.rs1 = reg(st, st.args[0]);
+            inst.rs2 = reg(st, st.args[1]);
+            inst.imm = resolveValue(st, st.args[2]);
+            break;
+          case Format::JTarget:
+            wantArgs(st, 1);
+            inst.imm = resolveValue(st, st.args[0]);
+            break;
+          case Format::JLink:
+            wantArgs(st, 2);
+            inst.rd = reg(st, st.args[0]);
+            inst.imm = resolveValue(st, st.args[1]);
+            break;
+          case Format::JReg:
+            wantArgs(st, 1);
+            inst.rs1 = reg(st, st.args[0]);
+            break;
+          case Format::JLinkReg:
+            wantArgs(st, 2);
+            inst.rd = reg(st, st.args[0]);
+            inst.rs1 = reg(st, st.args[1]);
+            break;
+          case Format::None:
+            wantArgs(st, 0);
+            break;
+          case Format::Handle:
+            err(st.line, "mghandle cannot be written in assembly source");
+        }
+        prog.code.push_back(inst);
+    }
+
+    AssembleOptions opts;
+    Program prog;
+    std::vector<Statement> statements;
+    std::unordered_map<size_t, std::vector<PendingLabel>> labelsFor;
+    std::vector<PendingLabel> pendingLabels;
+    std::vector<PendingLabel> trailingLabels;
+};
+
+} // namespace
+
+int
+parseRegister(std::string_view token)
+{
+    std::string t = toLower(trim(token));
+    if (t == "zero")
+        return 0;
+    if (t == "sp")
+        return isa::kStackReg;
+    if (t == "ra")
+        return isa::kLinkReg;
+    if (t.size() >= 2 && t[0] == 'r') {
+        int64_t n;
+        if (parseInt(t.substr(1), n) && n >= 0 &&
+            n < static_cast<int64_t>(isa::kNumArchRegs)) {
+            return static_cast<int>(n);
+        }
+    }
+    return -1;
+}
+
+Program
+assemble(std::string_view source, const AssembleOptions &opts)
+{
+    return Assembler(source, opts).run();
+}
+
+} // namespace mg::assembler

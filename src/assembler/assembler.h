@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Two-pass assembler for MG-RISC assembly text.
+ *
+ * Syntax overview:
+ *
+ * @code
+ *         .data
+ * arr:    .word 1, 2, 3        ; 4-byte words
+ * buf:    .space 256
+ *         .text
+ * main:   li   r1, 0
+ * loop:   lw   r2, arr(r1)     ; load from label+register
+ *         add  r3, r3, r2
+ *         addi r1, r1, 4
+ *         blt  r1, r4, loop
+ *         halt
+ * @endcode
+ *
+ * Directives: .text .data .byte .half .word .dword .space .align .asciiz
+ * Registers:  r0..r31 with aliases zero (r0), sp (r30), ra (r31)
+ * Pseudo-ops: mov, la, b, ble, bgt, bleu, bgtu, call, ret, neg, not,
+ *             beqz, bnez
+ * Comments:   from ';' or '#' to end of line
+ *
+ * Branch/jump targets are resolved to absolute PCs; data labels resolve
+ * to absolute virtual addresses.  Errors raise mg_fatal with the line
+ * number.
+ */
+
+#ifndef MG_ASSEMBLER_ASSEMBLER_H
+#define MG_ASSEMBLER_ASSEMBLER_H
+
+#include <string>
+#include <string_view>
+
+#include "assembler/program.h"
+
+namespace mg::assembler
+{
+
+/** Options controlling assembly. */
+struct AssembleOptions
+{
+    /** Program name recorded in the output. */
+    std::string name = "program";
+
+    /** Data segment base address. */
+    uint64_t dataBase = 0x10000;
+
+    /** Total flat memory size (bytes). */
+    uint64_t memSize = 8ull << 20;
+};
+
+/**
+ * Assemble MG-RISC source text into a Program.
+ *
+ * @param source assembly text
+ * @param opts   assembly options
+ * @return the assembled program
+ */
+Program assemble(std::string_view source, const AssembleOptions &opts = {});
+
+/** Parse a register name ("r7", "sp", "zero", ...) or return -1. */
+int parseRegister(std::string_view token);
+
+} // namespace mg::assembler
+
+#endif // MG_ASSEMBLER_ASSEMBLER_H

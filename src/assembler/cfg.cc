@@ -1,0 +1,101 @@
+#include "assembler/cfg.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+
+namespace mg::assembler
+{
+
+using isa::Addr;
+using isa::Instruction;
+using isa::Opcode;
+
+Cfg::Cfg(const Program &program) : prog(&program)
+{
+    const auto &code = program.code;
+    if (code.empty())
+        return;
+
+    // Leaders: entry, control targets, fall-throughs of control.
+    std::set<Addr> leaders;
+    leaders.insert(program.entry);
+    leaders.insert(0);
+    for (Addr pc = 0; pc < code.size(); ++pc) {
+        const Instruction &inst = code[pc];
+        if (inst.isDirectControl()) {
+            Addr target = static_cast<Addr>(inst.imm);
+            mg_assert(target < code.size(),
+                      "control target %u out of range at pc %u", target, pc);
+            leaders.insert(target);
+        }
+        if (inst.isControl() || inst.isHalt()) {
+            if (pc + 1 < code.size())
+                leaders.insert(pc + 1);
+        }
+    }
+
+    // Carve blocks between consecutive leaders.
+    std::vector<Addr> sorted(leaders.begin(), leaders.end());
+    pcToBlock.assign(code.size(), 0);
+    for (size_t i = 0; i < sorted.size(); ++i) {
+        BasicBlock bb;
+        bb.id = static_cast<uint32_t>(i);
+        bb.first = sorted[i];
+        bb.last = (i + 1 < sorted.size())
+                      ? sorted[i + 1] - 1
+                      : static_cast<Addr>(code.size() - 1);
+        const Instruction &end = code[bb.last];
+        bb.endsIndirect = end.isIndirectControl();
+        blockList.push_back(bb);
+        for (Addr pc = bb.first; pc <= bb.last; ++pc)
+            pcToBlock[pc] = bb.id;
+    }
+
+    // Wire successor / predecessor edges.
+    for (BasicBlock &bb : blockList) {
+        const Instruction &end = code[bb.last];
+        auto link = [&](Addr target_pc) {
+            if (target_pc >= code.size())
+                return;
+            uint32_t succ = pcToBlock[target_pc];
+            bb.succs.push_back(succ);
+            blockList[succ].preds.push_back(bb.id);
+        };
+        if (end.isCondBranch()) {
+            link(static_cast<Addr>(end.imm));
+            link(bb.last + 1);
+        } else if (end.op == Opcode::J) {
+            link(static_cast<Addr>(end.imm));
+        } else if (end.op == Opcode::JAL) {
+            // A call both transfers to the target and (eventually)
+            // resumes at the return point; model both edges so
+            // liveness sees values that survive across the call.
+            link(static_cast<Addr>(end.imm));
+            link(bb.last + 1);
+        } else if (end.isIndirectControl()) {
+            // No static successors; liveness treats this as an exit
+            // with everything live.
+        } else if (end.isHalt()) {
+            // Program exit: no successors.
+        } else {
+            link(bb.last + 1);
+        }
+    }
+}
+
+const BasicBlock &
+Cfg::blockOf(Addr pc) const
+{
+    return blockList[blockIdOf(pc)];
+}
+
+uint32_t
+Cfg::blockIdOf(Addr pc) const
+{
+    mg_assert(pc < pcToBlock.size(), "pc %u outside program", pc);
+    return pcToBlock[pc];
+}
+
+} // namespace mg::assembler

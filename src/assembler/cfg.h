@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Control-flow graph and basic-block discovery over a Program.
+ *
+ * Mini-graph candidates live inside basic blocks (atomicity restricts
+ * mini-graphs to basic blocks, §2 of the paper), so the selection
+ * pipeline starts here.  Indirect jumps (jr/jalr) end blocks and have
+ * no static successors; liveness treats them conservatively.
+ */
+
+#ifndef MG_ASSEMBLER_CFG_H
+#define MG_ASSEMBLER_CFG_H
+
+#include <cstdint>
+#include <vector>
+
+#include "assembler/program.h"
+
+namespace mg::assembler
+{
+
+/** One basic block: PCs [first, last] inclusive. */
+struct BasicBlock
+{
+    uint32_t id = 0;
+    isa::Addr first = 0;
+    isa::Addr last = 0;
+    std::vector<uint32_t> succs; ///< successor block ids
+    std::vector<uint32_t> preds; ///< predecessor block ids
+
+    /** True if the block ends in jr/jalr (statically unknown target). */
+    bool endsIndirect = false;
+
+    /** Number of instructions in the block. */
+    uint32_t size() const { return last - first + 1; }
+};
+
+/** Control-flow graph: blocks in ascending PC order. */
+class Cfg
+{
+  public:
+    /** Build the CFG of a program. */
+    explicit Cfg(const Program &prog);
+
+    const std::vector<BasicBlock> &blocks() const { return blockList; }
+
+    /** Block containing the given PC. */
+    const BasicBlock &blockOf(isa::Addr pc) const;
+
+    /** Block id containing the given PC. */
+    uint32_t blockIdOf(isa::Addr pc) const;
+
+    const Program &program() const { return *prog; }
+
+  private:
+    const Program *prog;
+    std::vector<BasicBlock> blockList;
+    std::vector<uint32_t> pcToBlock; ///< PC -> block id
+};
+
+} // namespace mg::assembler
+
+#endif // MG_ASSEMBLER_CFG_H

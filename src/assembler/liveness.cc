@@ -1,0 +1,104 @@
+#include "assembler/liveness.h"
+
+#include "common/logging.h"
+
+namespace mg::assembler
+{
+
+using isa::Addr;
+using isa::Instruction;
+
+namespace
+{
+
+constexpr RegSet kAllRegs = 0xffffffffu;
+
+/** use/def transfer of a single instruction. */
+void
+useDef(const Instruction &inst, RegSet &use, RegSet &def)
+{
+    auto srcs = inst.srcRegs();
+    for (uint8_t i = 0; i < srcs.count; ++i) {
+        unsigned r = srcs.regs[i];
+        if (!regIn(def, r))
+            use |= regBit(r);
+    }
+    int d = inst.destReg();
+    if (d >= 0)
+        def |= regBit(static_cast<unsigned>(d));
+}
+
+} // namespace
+
+Liveness::Liveness(const Cfg &cfg_ref) : cfg(&cfg_ref)
+{
+    const auto &blocks = cfg->blocks();
+    const auto &code = cfg->program().code;
+    size_t n = blocks.size();
+
+    // Per-block use/def summaries.
+    std::vector<RegSet> use(n, 0), def(n, 0);
+    for (size_t b = 0; b < n; ++b) {
+        for (Addr pc = blocks[b].first; pc <= blocks[b].last; ++pc)
+            useDef(code[pc], use[b], def[b]);
+    }
+
+    liveInSets.assign(n, 0);
+    liveOutSets.assign(n, 0);
+
+    // Backward fixpoint.  Blocks ending in indirect control have all
+    // registers live-out (unknown continuation).
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (size_t i = n; i-- > 0;) {
+            const BasicBlock &bb = blocks[i];
+            RegSet out = bb.endsIndirect ? kAllRegs : 0;
+            for (uint32_t s : bb.succs)
+                out |= liveInSets[s];
+            RegSet in = use[i] | (out & ~def[i]);
+            if (out != liveOutSets[i] || in != liveInSets[i]) {
+                liveOutSets[i] = out;
+                liveInSets[i] = in;
+                changed = true;
+            }
+        }
+    }
+
+    // Per-PC live-after sets via a backward scan of each block.
+    liveAfterPc.assign(code.size(), 0);
+    for (size_t b = 0; b < n; ++b) {
+        const BasicBlock &bb = blocks[b];
+        RegSet live = liveOutSets[b];
+        for (Addr pc = bb.last + 1; pc-- > bb.first;) {
+            liveAfterPc[pc] = live;
+            const Instruction &inst = code[pc];
+            int d = inst.destReg();
+            if (d >= 0)
+                live &= ~regBit(static_cast<unsigned>(d));
+            auto srcs = inst.srcRegs();
+            for (uint8_t s = 0; s < srcs.count; ++s)
+                live |= regBit(srcs.regs[s]);
+            if (pc == bb.first)
+                break;
+        }
+    }
+}
+
+RegSet
+Liveness::liveBefore(isa::Addr pc) const
+{
+    const auto &code = cfg->program().code;
+    mg_assert(pc < code.size(), "pc %u outside program", pc);
+    RegSet live = liveAfterPc[pc];
+    const Instruction &inst = code[pc];
+    int d = inst.destReg();
+    if (d >= 0)
+        live &= ~regBit(static_cast<unsigned>(d));
+    auto srcs = inst.srcRegs();
+    for (uint8_t s = 0; s < srcs.count; ++s)
+        live |= regBit(srcs.regs[s]);
+    return live;
+}
+
+} // namespace mg::assembler

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Register liveness analysis over the CFG.
+ *
+ * Mini-graph formation needs to prove that values produced inside a
+ * candidate are "interior" — consumed only inside the candidate and
+ * dead afterwards — because interior values never receive physical
+ * registers (that is the source of capacity amplification, §2).
+ *
+ * The analysis is a standard backward may-analysis at basic-block
+ * granularity, iterated to a fixpoint.  Blocks that end in indirect
+ * jumps (jr/jalr) are treated as having every register live-out, which
+ * is conservative and therefore safe: it can only shrink the set of
+ * provably-dead values.
+ */
+
+#ifndef MG_ASSEMBLER_LIVENESS_H
+#define MG_ASSEMBLER_LIVENESS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "assembler/cfg.h"
+
+namespace mg::assembler
+{
+
+/** Bit set over the 32 architectural registers. */
+using RegSet = uint32_t;
+
+/** Set/test helpers for RegSet. */
+inline RegSet regBit(unsigned r) { return 1u << r; }
+inline bool regIn(RegSet s, unsigned r) { return (s >> r) & 1u; }
+
+/** Liveness results for one program. */
+class Liveness
+{
+  public:
+    /** Run the analysis over a CFG. */
+    explicit Liveness(const Cfg &cfg);
+
+    /** Registers live on entry to a block. */
+    RegSet liveIn(uint32_t block_id) const { return liveInSets[block_id]; }
+
+    /** Registers live on exit from a block. */
+    RegSet liveOut(uint32_t block_id) const { return liveOutSets[block_id]; }
+
+    /**
+     * Registers live immediately *after* the instruction at pc
+     * (i.e. just before pc+1 within the block, or the block live-out
+     * at the block's last instruction).
+     */
+    RegSet liveAfter(isa::Addr pc) const { return liveAfterPc[pc]; }
+
+    /**
+     * Registers live immediately *before* the instruction at pc.
+     */
+    RegSet liveBefore(isa::Addr pc) const;
+
+  private:
+    const Cfg *cfg;
+    std::vector<RegSet> liveInSets;
+    std::vector<RegSet> liveOutSets;
+    std::vector<RegSet> liveAfterPc;
+};
+
+} // namespace mg::assembler
+
+#endif // MG_ASSEMBLER_LIVENESS_H

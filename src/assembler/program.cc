@@ -1,0 +1,37 @@
+#include "assembler/program.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace mg::assembler
+{
+
+const isa::Instruction &
+Program::at(isa::Addr pc) const
+{
+    mg_assert(pc < code.size(), "pc %u out of range (program '%s', %zu "
+              "instructions)", pc, name.c_str(), code.size());
+    return code[pc];
+}
+
+std::string
+Program::listing() const
+{
+    // Invert the label map for annotation.
+    std::map<isa::Addr, std::string> by_pc;
+    for (const auto &[label, pc] : codeLabels)
+        by_pc[pc] = label;
+
+    std::ostringstream out;
+    for (size_t pc = 0; pc < code.size(); ++pc) {
+        auto it = by_pc.find(static_cast<isa::Addr>(pc));
+        if (it != by_pc.end())
+            out << it->second << ":\n";
+        out << strprintf("  %5zu: %s\n", pc,
+                         isa::disassemble(code[pc]).c_str());
+    }
+    return out.str();
+}
+
+} // namespace mg::assembler

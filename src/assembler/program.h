@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The Program container: assembled MG-RISC code plus its data image.
+ *
+ * A Program is the unit the functional core executes, the profiler
+ * profiles, the mini-graph rewriter transforms, and the timing core
+ * simulates.  PCs are indices into @ref code; the data segment is a
+ * byte image loaded at @ref dataBase inside a flat memory of
+ * @ref memSize bytes.
+ */
+
+#ifndef MG_ASSEMBLER_PROGRAM_H
+#define MG_ASSEMBLER_PROGRAM_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.h"
+
+namespace mg::assembler
+{
+
+/** An assembled program image. */
+struct Program
+{
+    std::string name;
+
+    /** Decoded instructions; PC == index. */
+    std::vector<isa::Instruction> code;
+
+    /** Initial bytes of the data segment (starting at dataBase). */
+    std::vector<uint8_t> dataInit;
+
+    /** Virtual address where the data segment begins. */
+    uint64_t dataBase = 0x10000;
+
+    /** Total flat memory size (data + heap + stack). */
+    uint64_t memSize = 8ull << 20;
+
+    /** Entry PC (label "main" if present, else 0). */
+    isa::Addr entry = 0;
+
+    /** Code labels -> PC (kept for tooling and tests). */
+    std::map<std::string, isa::Addr> codeLabels;
+
+    /** Data labels -> absolute virtual address. */
+    std::map<std::string, uint64_t> dataLabels;
+
+    /** Number of instructions. */
+    size_t size() const { return code.size(); }
+
+    /** Bounds-checked instruction access. */
+    const isa::Instruction &at(isa::Addr pc) const;
+
+    /** Full listing with PCs and labels (debugging aid). */
+    std::string listing() const;
+};
+
+} // namespace mg::assembler
+
+#endif // MG_ASSEMBLER_PROGRAM_H

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Error-reporting and status-message helpers.
+ *
+ * Follows the gem5 convention: panic() is for internal invariant
+ * violations (bugs in this library), fatal() is for user errors
+ * (bad configuration, malformed assembly input), warn()/inform()
+ * are non-terminating status channels.
+ */
+
+#ifndef MG_COMMON_LOGGING_H
+#define MG_COMMON_LOGGING_H
+
+#include <cstdarg>
+#include <cstdint>
+#include <string>
+
+namespace mg
+{
+
+/** Printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** va_list flavour of strprintf(). */
+std::string vstrprintf(const char *fmt, va_list args);
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Abort due to an internal invariant violation (a library bug). */
+#define mg_panic(...) \
+    ::mg::panicImpl(__FILE__, __LINE__, ::mg::strprintf(__VA_ARGS__))
+
+/** Terminate due to a user-caused error (bad input or configuration). */
+#define mg_fatal(...) \
+    ::mg::fatalImpl(__FILE__, __LINE__, ::mg::strprintf(__VA_ARGS__))
+
+/** Non-fatal warning to stderr. */
+#define mg_warn(...) ::mg::warnImpl(::mg::strprintf(__VA_ARGS__))
+
+/** Informational message to stderr. */
+#define mg_inform(...) ::mg::informImpl(::mg::strprintf(__VA_ARGS__))
+
+/** Assert an internal invariant with a formatted message. */
+#define mg_assert(cond, ...)                                        \
+    do {                                                            \
+        if (!(cond)) {                                              \
+            ::mg::panicImpl(__FILE__, __LINE__,                     \
+                            std::string("assertion failed: " #cond  \
+                                        " — ") +                    \
+                                ::mg::strprintf(__VA_ARGS__));      \
+        }                                                           \
+    } while (0)
+
+} // namespace mg
+
+#endif // MG_COMMON_LOGGING_H

@@ -1,0 +1,137 @@
+#include "common/stats_util.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace mg
+{
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double x : xs) {
+        mg_assert(x > 0.0, "geomean requires positive inputs, got %f", x);
+        log_sum += std::log(x);
+    }
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double
+median(std::vector<double> xs)
+{
+    if (xs.empty())
+        return 0.0;
+    std::sort(xs.begin(), xs.end());
+    size_t n = xs.size();
+    if (n % 2 == 1)
+        return xs[n / 2];
+    return 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+double
+minOf(const std::vector<double> &xs)
+{
+    return xs.empty() ? 0.0 : *std::min_element(xs.begin(), xs.end());
+}
+
+double
+maxOf(const std::vector<double> &xs)
+{
+    return xs.empty() ? 0.0 : *std::max_element(xs.begin(), xs.end());
+}
+
+std::vector<double>
+sCurve(std::vector<double> xs)
+{
+    std::sort(xs.begin(), xs.end());
+    return xs;
+}
+
+std::vector<LabelledValue>
+sCurve(std::vector<LabelledValue> xs)
+{
+    std::sort(xs.begin(), xs.end(),
+              [](const LabelledValue &a, const LabelledValue &b) {
+                  return a.value < b.value;
+              });
+    return xs;
+}
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    head = std::move(cells);
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    rows.push_back(std::move(cells));
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<size_t> widths;
+    auto grow = [&](const std::vector<std::string> &cells) {
+        if (widths.size() < cells.size())
+            widths.resize(cells.size(), 0);
+        for (size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    grow(head);
+    for (const auto &r : rows)
+        grow(r);
+
+    std::ostringstream out;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (size_t i = 0; i < cells.size(); ++i) {
+            out << cells[i];
+            if (i + 1 < cells.size())
+                out << std::string(widths[i] - cells[i].size() + 2, ' ');
+        }
+        out << '\n';
+    };
+    if (!head.empty()) {
+        emit(head);
+        size_t total = 0;
+        for (size_t w : widths)
+            total += w + 2;
+        out << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+    }
+    for (const auto &r : rows)
+        emit(r);
+    return out.str();
+}
+
+std::string
+fmtDouble(double v, int precision)
+{
+    return strprintf("%.*f", precision, v);
+}
+
+std::string
+fmtPercentDelta(double ratio, int precision)
+{
+    double pct = (ratio - 1.0) * 100.0;
+    return strprintf("%+.*f%%", precision, pct);
+}
+
+} // namespace mg

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Small statistics helpers used by the experiment harness.
+ *
+ * The paper reports averages over 78 benchmarks and displays most data
+ * as "S-curves" (each experiment's per-program results sorted
+ * independently from worst to best).  These helpers compute the
+ * summary statistics and the S-curve orderings.
+ */
+
+#ifndef MG_COMMON_STATS_UTIL_H
+#define MG_COMMON_STATS_UTIL_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mg
+{
+
+/** Arithmetic mean; 0.0 for an empty vector. */
+double mean(const std::vector<double> &xs);
+
+/** Geometric mean; 0.0 for an empty vector. All inputs must be > 0. */
+double geomean(const std::vector<double> &xs);
+
+/** Median (average of middle two for even sizes); 0.0 for empty. */
+double median(std::vector<double> xs);
+
+/** Minimum; 0.0 for empty. */
+double minOf(const std::vector<double> &xs);
+
+/** Maximum; 0.0 for empty. */
+double maxOf(const std::vector<double> &xs);
+
+/** Sorted copy, ascending (the paper's worst-to-best S-curve order). */
+std::vector<double> sCurve(std::vector<double> xs);
+
+/**
+ * One labelled point of an experiment series (program name + value),
+ * used when an S-curve must keep its program labels.
+ */
+struct LabelledValue
+{
+    std::string label;
+    double value = 0.0;
+};
+
+/** Sort labelled values ascending by value (S-curve order). */
+std::vector<LabelledValue> sCurve(std::vector<LabelledValue> xs);
+
+/**
+ * Fixed-width text table writer for bench output.
+ *
+ * Collects rows of strings and prints them with aligned columns, the
+ * closest text equivalent of the paper's figures.
+ */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row. */
+    void row(std::vector<std::string> cells);
+
+    /** Render the table with space-padded columns. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> head;
+    std::vector<std::vector<std::string>> rows;
+};
+
+/** Format a double with the given precision. */
+std::string fmtDouble(double v, int precision = 3);
+
+/** Format a ratio as a signed percentage, e.g. 1.02 -> "+2.0%". */
+std::string fmtPercentDelta(double ratio, int precision = 1);
+
+} // namespace mg
+
+#endif // MG_COMMON_STATS_UTIL_H

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * String manipulation helpers shared by the assembler and tools.
+ */
+
+#ifndef MG_COMMON_STRING_UTIL_H
+#define MG_COMMON_STRING_UTIL_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mg
+{
+
+/** Strip leading and trailing whitespace. */
+std::string trim(std::string_view s);
+
+/** Split on a delimiter character; empty fields are kept. */
+std::vector<std::string> split(std::string_view s, char delim);
+
+/** Split on arbitrary whitespace runs; empty fields are dropped. */
+std::vector<std::string> splitWhitespace(std::string_view s);
+
+/** True if s begins with prefix. */
+bool startsWith(std::string_view s, std::string_view prefix);
+
+/** True if s ends with suffix. */
+bool endsWith(std::string_view s, std::string_view suffix);
+
+/** Lower-case an ASCII string. */
+std::string toLower(std::string_view s);
+
+/**
+ * Parse a signed integer with optional 0x prefix and +- sign.
+ * @retval true on success (value stored in out).
+ */
+bool parseInt(std::string_view s, int64_t &out);
+
+} // namespace mg
+
+#endif // MG_COMMON_STRING_UTIL_H

@@ -1,0 +1,184 @@
+#include "isa/instruction.h"
+
+#include "common/logging.h"
+
+namespace mg::isa
+{
+
+Instruction::SrcList
+Instruction::srcRegs() const
+{
+    SrcList out;
+    auto push = [&out](uint8_t r) {
+        if (r != kZeroReg)
+            out.regs[out.count++] = r;
+    };
+    if (op == Opcode::MGHANDLE) {
+        if (numSrcs >= 1)
+            push(rs1);
+        if (numSrcs >= 2)
+            push(rs2);
+        if (numSrcs >= 3)
+            push(rs3);
+        return out;
+    }
+    const OpInfo &info = opInfo(op);
+    if (info.readsRs1)
+        push(rs1);
+    if (info.readsRs2)
+        push(rs2);
+    return out;
+}
+
+int
+Instruction::destReg() const
+{
+    if (op == Opcode::MGHANDLE)
+        return (hasDest && rd != kZeroReg) ? rd : -1;
+    const OpInfo &info = opInfo(op);
+    if (!info.writesRd || rd == kZeroReg)
+        return -1;
+    return rd;
+}
+
+std::string
+disassemble(const Instruction &inst)
+{
+    const OpInfo &info = opInfo(inst.op);
+    std::string m(info.mnemonic);
+    switch (info.format) {
+      case Format::RRR:
+        return strprintf("%s r%d, r%d, r%d", m.c_str(), inst.rd, inst.rs1,
+                         inst.rs2);
+      case Format::RRI:
+        return strprintf("%s r%d, r%d, %lld", m.c_str(), inst.rd, inst.rs1,
+                         static_cast<long long>(inst.imm));
+      case Format::RI:
+        return strprintf("%s r%d, %lld", m.c_str(), inst.rd,
+                         static_cast<long long>(inst.imm));
+      case Format::Load:
+        return strprintf("%s r%d, %lld(r%d)", m.c_str(), inst.rd,
+                         static_cast<long long>(inst.imm), inst.rs1);
+      case Format::Store:
+        return strprintf("%s r%d, %lld(r%d)", m.c_str(), inst.rs2,
+                         static_cast<long long>(inst.imm), inst.rs1);
+      case Format::Branch:
+        return strprintf("%s r%d, r%d, %lld", m.c_str(), inst.rs1, inst.rs2,
+                         static_cast<long long>(inst.imm));
+      case Format::JTarget:
+        return strprintf("%s %lld", m.c_str(),
+                         static_cast<long long>(inst.imm));
+      case Format::JLink:
+        return strprintf("%s r%d, %lld", m.c_str(), inst.rd,
+                         static_cast<long long>(inst.imm));
+      case Format::JReg:
+        return strprintf("%s r%d", m.c_str(), inst.rs1);
+      case Format::JLinkReg:
+        return strprintf("%s r%d, r%d", m.c_str(), inst.rd, inst.rs1);
+      case Format::Handle:
+        return strprintf("%s #%u rd=r%d srcs=[r%d,r%d,r%d](%d)", m.c_str(),
+                         inst.mgIndex, inst.hasDest ? inst.rd : -1, inst.rs1,
+                         inst.rs2, inst.rs3, inst.numSrcs);
+      case Format::None:
+      default:
+        return m;
+    }
+}
+
+Instruction
+makeRRR(Opcode op, uint8_t rd, uint8_t rs1, uint8_t rs2)
+{
+    mg_assert(opInfo(op).format == Format::RRR, "makeRRR: bad opcode %s",
+              opInfo(op).mnemonic);
+    Instruction i;
+    i.op = op;
+    i.rd = rd;
+    i.rs1 = rs1;
+    i.rs2 = rs2;
+    return i;
+}
+
+Instruction
+makeRRI(Opcode op, uint8_t rd, uint8_t rs1, int64_t imm)
+{
+    mg_assert(opInfo(op).format == Format::RRI, "makeRRI: bad opcode %s",
+              opInfo(op).mnemonic);
+    Instruction i;
+    i.op = op;
+    i.rd = rd;
+    i.rs1 = rs1;
+    i.imm = imm;
+    return i;
+}
+
+Instruction
+makeLi(uint8_t rd, int64_t imm)
+{
+    Instruction i;
+    i.op = Opcode::LI;
+    i.rd = rd;
+    i.imm = imm;
+    return i;
+}
+
+Instruction
+makeLoad(Opcode op, uint8_t rd, uint8_t rs1, int64_t imm)
+{
+    mg_assert(isLoad(op), "makeLoad: bad opcode %s", opInfo(op).mnemonic);
+    Instruction i;
+    i.op = op;
+    i.rd = rd;
+    i.rs1 = rs1;
+    i.imm = imm;
+    return i;
+}
+
+Instruction
+makeStore(Opcode op, uint8_t rs2, uint8_t rs1, int64_t imm)
+{
+    mg_assert(isStore(op), "makeStore: bad opcode %s", opInfo(op).mnemonic);
+    Instruction i;
+    i.op = op;
+    i.rs1 = rs1;
+    i.rs2 = rs2;
+    i.imm = imm;
+    return i;
+}
+
+Instruction
+makeBranch(Opcode op, uint8_t rs1, uint8_t rs2, Addr target)
+{
+    mg_assert(isCondBranch(op), "makeBranch: bad opcode %s",
+              opInfo(op).mnemonic);
+    Instruction i;
+    i.op = op;
+    i.rs1 = rs1;
+    i.rs2 = rs2;
+    i.imm = static_cast<int64_t>(target);
+    return i;
+}
+
+Instruction
+makeJump(Addr target)
+{
+    Instruction i;
+    i.op = Opcode::J;
+    i.imm = static_cast<int64_t>(target);
+    return i;
+}
+
+Instruction
+makeHalt()
+{
+    Instruction i;
+    i.op = Opcode::HALT;
+    return i;
+}
+
+Instruction
+makeNop()
+{
+    return Instruction{};
+}
+
+} // namespace mg::isa

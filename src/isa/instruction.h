@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The MG-RISC Instruction record and operand accessors.
+ *
+ * Instructions are held decoded; a "PC" is an index into the program's
+ * instruction vector.  Control-flow targets are absolute PCs resolved
+ * at assembly time.
+ */
+
+#ifndef MG_ISA_INSTRUCTION_H
+#define MG_ISA_INSTRUCTION_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "isa/opcodes.h"
+
+namespace mg::isa
+{
+
+/** Instruction address: index into the code vector. */
+using Addr = uint32_t;
+
+/** An invalid / "no pc" sentinel. */
+constexpr Addr kNoAddr = 0xffffffffu;
+
+/** Number of architectural integer registers. */
+constexpr unsigned kNumArchRegs = 32;
+
+/** r0 is hard-wired to zero. */
+constexpr uint8_t kZeroReg = 0;
+
+/** Stack-pointer convention (initialised by the loader). */
+constexpr uint8_t kStackReg = 30;
+
+/** Link-register convention used by jal. */
+constexpr uint8_t kLinkReg = 31;
+
+/**
+ * A decoded MG-RISC instruction.
+ *
+ * The same record represents singleton instructions and, in rewritten
+ * binaries, mini-graph handles (op == MGHANDLE, with up to three source
+ * registers, one destination register, and mgIndex naming the template).
+ */
+struct Instruction
+{
+    Opcode op = Opcode::NOP;
+    uint8_t rd = 0;    ///< destination register
+    uint8_t rs1 = 0;   ///< first source register
+    uint8_t rs2 = 0;   ///< second source register
+    uint8_t rs3 = 0;   ///< third source (MGHANDLE only)
+    uint8_t numSrcs = 0;  ///< valid sources for MGHANDLE (0-3)
+    bool hasDest = false; ///< MGHANDLE: does the aggregate write rd?
+    int64_t imm = 0;   ///< immediate / branch target / data address
+    uint16_t mgIndex = 0; ///< MGHANDLE: template index into the MGT
+
+    /** Up to three source architectural registers, r0s excluded. */
+    struct SrcList
+    {
+        std::array<uint8_t, 3> regs;
+        uint8_t count = 0;
+    };
+
+    /** Collect this instruction's source registers (skipping r0). */
+    SrcList srcRegs() const;
+
+    /** Destination register, or -1 if none (or r0). */
+    int destReg() const;
+
+    /** Execution class (looked up from the opcode table). */
+    ExecClass execClass() const { return opInfo(op).execClass; }
+
+    /** Execution latency in cycles for singletons. */
+    unsigned latency() const { return opInfo(op).latency; }
+
+    bool isLoad() const { return isa::isLoad(op); }
+    bool isStore() const { return isa::isStore(op); }
+    bool isMem() const { return isa::isMem(op); }
+    bool isControl() const { return isa::isControl(op); }
+    bool isCondBranch() const { return isa::isCondBranch(op); }
+    bool isHandle() const { return op == Opcode::MGHANDLE; }
+    bool isElided() const { return op == Opcode::ELIDED; }
+    bool isHalt() const { return op == Opcode::HALT; }
+
+    /** True for control transfers with a statically known target. */
+    bool
+    isDirectControl() const
+    {
+        return op == Opcode::J || op == Opcode::JAL || isCondBranch();
+    }
+
+    /** True for register-indirect control transfers. */
+    bool isIndirectControl() const
+    {
+        return op == Opcode::JR || op == Opcode::JALR;
+    }
+};
+
+/** Render an instruction as assembly text (for debugging and tests). */
+std::string disassemble(const Instruction &inst);
+
+// --- Convenience constructors used by tests and code generators ------
+
+/** op rd, rs1, rs2 */
+Instruction makeRRR(Opcode op, uint8_t rd, uint8_t rs1, uint8_t rs2);
+
+/** op rd, rs1, imm */
+Instruction makeRRI(Opcode op, uint8_t rd, uint8_t rs1, int64_t imm);
+
+/** li rd, imm */
+Instruction makeLi(uint8_t rd, int64_t imm);
+
+/** load: op rd, imm(rs1) */
+Instruction makeLoad(Opcode op, uint8_t rd, uint8_t rs1, int64_t imm);
+
+/** store: op rs2, imm(rs1) */
+Instruction makeStore(Opcode op, uint8_t rs2, uint8_t rs1, int64_t imm);
+
+/** branch: op rs1, rs2, target */
+Instruction makeBranch(Opcode op, uint8_t rs1, uint8_t rs2, Addr target);
+
+/** j target */
+Instruction makeJump(Addr target);
+
+/** halt */
+Instruction makeHalt();
+
+/** nop */
+Instruction makeNop();
+
+} // namespace mg::isa
+
+#endif // MG_ISA_INSTRUCTION_H

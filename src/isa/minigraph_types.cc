@@ -1,0 +1,58 @@
+#include "isa/minigraph_types.h"
+
+#include <functional>
+
+namespace mg::isa
+{
+
+unsigned
+MgTemplate::totalLatency() const
+{
+    unsigned total = 0;
+    for (const auto &c : ops)
+        total += opInfo(c.op).latency;
+    return total;
+}
+
+bool
+MgTemplate::inputIsSerializing(uint8_t slot) const
+{
+    for (size_t i = 1; i < ops.size(); ++i) {
+        const MgConstituent &c = ops[i];
+        if ((c.src1Kind == MgSrcKind::External && c.src1 == slot) ||
+            (c.src2Kind == MgSrcKind::External && c.src2 == slot)) {
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+MgTemplate::hasSerializingInput() const
+{
+    for (uint8_t s = 0; s < numInputs; ++s) {
+        if (inputIsSerializing(s))
+            return true;
+    }
+    return false;
+}
+
+size_t
+MgTemplate::hash() const
+{
+    size_t h = ops.size();
+    auto mix = [&h](size_t v) {
+        h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    };
+    for (const auto &c : ops) {
+        mix(static_cast<size_t>(c.op));
+        mix((static_cast<size_t>(c.src1Kind) << 16) |
+            (static_cast<size_t>(c.src2Kind) << 8) |
+            (static_cast<size_t>(c.src1) << 4) | c.src2);
+        mix(std::hash<int64_t>{}(c.imm));
+        mix(c.producesOutput ? 1 : 0);
+    }
+    return h;
+}
+
+} // namespace mg::isa

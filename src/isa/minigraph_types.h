@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Architecturally visible mini-graph structures.
+ *
+ * A rewritten ("outlined") binary contains MGHANDLE instructions that
+ * name entries in a template table (the software image of the MGT).
+ * These types describe templates — constituent operations and their
+ * dataflow — and per-static-handle instance metadata.  They live in
+ * the isa layer because both the functional/timing cores and the
+ * mini-graph selection tooling need them.
+ */
+
+#ifndef MG_ISA_MINIGRAPH_TYPES_H
+#define MG_ISA_MINIGRAPH_TYPES_H
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "isa/instruction.h"
+
+namespace mg::isa
+{
+
+/** Maximum instructions per mini-graph (Table 1). */
+constexpr unsigned kMaxMgSize = 4;
+
+/** Maximum external register inputs per mini-graph (§2). */
+constexpr unsigned kMaxMgInputs = 3;
+
+/** Where a constituent source operand comes from. */
+enum class MgSrcKind : uint8_t
+{
+    None,     ///< operand unused (or r0)
+    External, ///< one of the handle's external inputs (index 0..2)
+    Internal, ///< the result of an earlier constituent (index)
+};
+
+/** One instruction inside a mini-graph template. */
+struct MgConstituent
+{
+    Opcode op = Opcode::NOP;
+    MgSrcKind src1Kind = MgSrcKind::None;
+    MgSrcKind src2Kind = MgSrcKind::None;
+    uint8_t src1 = 0;      ///< external-input slot or constituent index
+    uint8_t src2 = 0;
+    int64_t imm = 0;       ///< immediate / branch target
+    bool producesOutput = false; ///< writes the mini-graph register output
+
+    bool operator==(const MgConstituent &o) const = default;
+};
+
+/**
+ * A mini-graph template: the MGT's description of constituent
+ * operations and their dataflow.  Templates from different static
+ * locations that match exactly share one MGT entry.
+ */
+struct MgTemplate
+{
+    std::vector<MgConstituent> ops;
+    uint8_t numInputs = 0;   ///< number of external register inputs
+    bool hasOutput = false;  ///< has a register output
+    bool hasMem = false;     ///< contains a load or store
+    bool hasControl = false; ///< ends with a control transfer
+    bool condControl = false;///< ... which is a conditional branch
+    /** Constituent index that produces the register output (or -1). */
+    int outputIdx = -1;
+
+    bool operator==(const MgTemplate &o) const
+    {
+        return ops == o.ops;
+    }
+
+    unsigned size() const { return static_cast<unsigned>(ops.size()); }
+
+    /**
+     * Sum of constituent execution latencies assuming cache hits —
+     * the mini-graph's serial execution latency (§4.2: "the maximum
+     * execution latency of any mini-graph is 6 cycles" there; ours is
+     * bounded by the selector's latency cap).
+     */
+    unsigned totalLatency() const;
+
+    /**
+     * True if external-input slot `slot` feeds any constituent other
+     * than the first — i.e. is a potentially *serializing* input.
+     */
+    bool inputIsSerializing(uint8_t slot) const;
+
+    /** True if any input is serializing. */
+    bool hasSerializingInput() const;
+
+    /** Structural hash for template sharing. */
+    size_t hash() const;
+};
+
+/** Per-static-location handle metadata in a rewritten binary. */
+struct MgInstance
+{
+    Addr handlePc = kNoAddr;   ///< PC of the MGHANDLE
+    uint16_t templateIdx = 0;  ///< index into MgBinaryInfo::templates
+    Addr outlinedPc = kNoAddr; ///< start of the outlined singleton body
+    Addr pcAfter = kNoAddr;    ///< fall-through PC after the mini-graph
+    /** PCs of the original constituent singletons (profiling/debug). */
+    std::vector<Addr> constituentPcs;
+};
+
+/** Mini-graph side table carried with a rewritten Program. */
+struct MgBinaryInfo
+{
+    std::vector<MgTemplate> templates;
+    std::unordered_map<Addr, MgInstance> instances; ///< by handle PC
+
+    /** PCs inside outlined singleton bodies (constituent copies). */
+    std::unordered_set<Addr> outlinedBodyPcs;
+
+    /** PCs of the jump-back instructions terminating outlined bodies. */
+    std::unordered_set<Addr> outliningJumpPcs;
+
+    const MgInstance *
+    instanceAt(Addr pc) const
+    {
+        auto it = instances.find(pc);
+        return it == instances.end() ? nullptr : &it->second;
+    }
+};
+
+} // namespace mg::isa
+
+#endif // MG_ISA_MINIGRAPH_TYPES_H

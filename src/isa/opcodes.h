@@ -1,0 +1,126 @@
+/**
+ * @file
+ * MG-RISC opcode definitions and static per-opcode metadata.
+ *
+ * MG-RISC is the small load/store RISC ISA this reproduction uses in
+ * place of the Alpha AXP.  It has 32 64-bit integer registers (r0 is
+ * hard-wired to zero), immediate forms of the common ALU operations,
+ * byte/half/word/double loads and stores, compare-and-branch control
+ * flow, and one special opcode (MGHANDLE) that represents an entire
+ * mini-graph in a rewritten binary.
+ */
+
+#ifndef MG_ISA_OPCODES_H
+#define MG_ISA_OPCODES_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace mg::isa
+{
+
+/** Functional-unit class an instruction executes on. */
+enum class ExecClass : uint8_t
+{
+    Nop,        ///< consumes a slot but no FU (NOP, ELIDED)
+    IntAlu,     ///< simple 1-cycle integer ALU op
+    IntComplex, ///< multi-cycle integer op (mul/div/rem)
+    MemRead,    ///< load
+    MemWrite,   ///< store
+    Control,    ///< branch or jump
+    MgHandle,   ///< mini-graph handle (executes on an ALU pipeline)
+};
+
+/** Every MG-RISC opcode. */
+enum class Opcode : uint8_t
+{
+    // ALU register-register (simple)
+    ADD, SUB, AND, OR, XOR, SLL, SRL, SRA, SLT, SLTU,
+    // ALU register-immediate (simple)
+    ADDI, ANDI, ORI, XORI, SLLI, SRLI, SRAI, SLTI, SLTIU,
+    // Constant / move
+    LI,                       ///< rd <- imm (64-bit immediate)
+    // Complex integer
+    MUL, MULI, DIV, REM,
+    // Loads: rd <- mem[rs1 + imm]
+    LB, LBU, LH, LHU, LW, LWU, LD,
+    // Stores: mem[rs1 + imm] <- rs2
+    SB, SH, SW, SD,
+    // Conditional branches: if (rs1 op rs2) pc <- imm
+    BEQ, BNE, BLT, BGE, BLTU, BGEU,
+    // Unconditional control
+    J,                        ///< pc <- imm
+    JAL,                      ///< rd <- pc+1; pc <- imm
+    JR,                       ///< pc <- rs1
+    JALR,                     ///< rd <- pc+1; pc <- rs1
+    // Misc
+    NOP,
+    HALT,                     ///< terminate the program
+    // Mini-graph support (appear only in rewritten binaries)
+    MGHANDLE,                 ///< aggregate handle; mgIndex names template
+    ELIDED,                   ///< hole left by outlining; never fetched
+
+    NumOpcodes
+};
+
+/** Count of real opcodes. */
+constexpr size_t kNumOpcodes = static_cast<size_t>(Opcode::NumOpcodes);
+
+/** Instruction operand format. */
+enum class Format : uint8_t
+{
+    RRR,     ///< op rd, rs1, rs2
+    RRI,     ///< op rd, rs1, imm
+    RI,      ///< op rd, imm
+    Load,    ///< op rd, imm(rs1)
+    Store,   ///< op rs2, imm(rs1)
+    Branch,  ///< op rs1, rs2, target
+    JTarget, ///< op target
+    JLink,   ///< op rd, target
+    JReg,    ///< op rs1
+    JLinkReg,///< op rd, rs1
+    None,    ///< op
+    Handle,  ///< mini-graph handle (internal)
+};
+
+/** Static metadata for one opcode. */
+struct OpInfo
+{
+    const char *mnemonic;
+    Format format;
+    ExecClass execClass;
+    uint8_t latency;      ///< execution latency in cycles
+    bool readsRs1;
+    bool readsRs2;
+    bool writesRd;
+};
+
+/** Look up the metadata for an opcode. */
+const OpInfo &opInfo(Opcode op);
+
+/** Mnemonic string for an opcode. */
+std::string_view mnemonic(Opcode op);
+
+/** Parse a mnemonic (lower case) into an opcode. */
+std::optional<Opcode> parseMnemonic(std::string_view s);
+
+/** True for conditional branches (BEQ..BGEU). */
+bool isCondBranch(Opcode op);
+
+/** True for any control transfer (branches, jumps). */
+bool isControl(Opcode op);
+
+/** True for loads. */
+bool isLoad(Opcode op);
+
+/** True for stores. */
+bool isStore(Opcode op);
+
+/** True for any memory op. */
+inline bool isMem(Opcode op) { return isLoad(op) || isStore(op); }
+
+} // namespace mg::isa
+
+#endif // MG_ISA_OPCODES_H

@@ -1,0 +1,270 @@
+#include "minigraph/candidate.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace mg::minigraph
+{
+
+using assembler::BasicBlock;
+using assembler::Cfg;
+using assembler::Liveness;
+using assembler::Program;
+using isa::Addr;
+using isa::Instruction;
+using isa::MgConstituent;
+using isa::MgSrcKind;
+using isa::MgTemplate;
+using isa::Opcode;
+
+namespace
+{
+
+/** May this opcode appear inside a mini-graph at all? */
+bool
+opcodeAllowed(Opcode op, const CandidateOptions &opts)
+{
+    const isa::OpInfo &info = isa::opInfo(op);
+    switch (info.execClass) {
+      case isa::ExecClass::IntAlu:
+        return true;
+      case isa::ExecClass::IntComplex:
+        // Constituents execute on simple ALU pipelines; multi-cycle
+        // complex units are not part of an ALU pipeline.
+        return false;
+      case isa::ExecClass::MemRead:
+      case isa::ExecClass::MemWrite:
+        return opts.allowMem;
+      case isa::ExecClass::Control:
+        // Only conditional branches and direct jumps (calls and
+        // indirect jumps have link/indirect side effects that break
+        // the singleton interface).
+        return opts.allowControl &&
+               (isa::isCondBranch(op) || op == Opcode::J);
+      case isa::ExecClass::Nop:
+      case isa::ExecClass::MgHandle:
+        return false;
+    }
+    return false;
+}
+
+/** Builder that grows a window one instruction at a time. */
+class WindowBuilder
+{
+  public:
+    WindowBuilder(const Program &prog, const CandidateOptions &opts,
+                  Addr first_pc)
+        : prog(prog), opts(opts), firstPc(first_pc)
+    {
+        defOf.fill(-1);
+    }
+
+    /**
+     * Try to extend the window with the instruction at pc.
+     * @retval false if the extension violates an interface constraint
+     *         (in which case the builder must be discarded).
+     */
+    bool
+    append(Addr pc)
+    {
+        const Instruction &inst = prog.at(pc);
+        if (!opcodeAllowed(inst.op, opts))
+            return false;
+        if (inst.isMem() && ++memOps > 1)
+            return false;
+        if (inst.isControl() && tmpl.hasControl)
+            return false; // only one (and it ends the block anyway)
+
+        unsigned k = tmpl.size();
+        MgConstituent c;
+        c.op = inst.op;
+        c.imm = inst.imm;
+
+        const isa::OpInfo &info = isa::opInfo(inst.op);
+        if (info.readsRs1 && !bindSource(inst.rs1, c.src1Kind, c.src1, k))
+            return false;
+        if (info.readsRs2 && !bindSource(inst.rs2, c.src2Kind, c.src2, k))
+            return false;
+
+        if (inst.isControl()) {
+            // Store control targets as displacements from the handle
+            // PC so identical loops at different addresses share one
+            // template.
+            c.imm = inst.imm - static_cast<int64_t>(firstPc);
+            tmpl.hasControl = true;
+            tmpl.condControl = inst.isCondBranch();
+        }
+        if (inst.isMem())
+            tmpl.hasMem = true;
+
+        int dest = inst.destReg();
+        if (dest >= 0)
+            defOf[static_cast<size_t>(dest)] = static_cast<int>(k);
+
+        tmpl.ops.push_back(c);
+        return true;
+    }
+
+    /**
+     * Finalise the window [firstPc, firstPc+len) into a candidate.
+     * @retval false if the output interface is violated (more than
+     *         one live-out value).
+     */
+    bool
+    finalize(const Liveness &live, Candidate &out)
+    {
+        Addr last_pc = firstPc + tmpl.size() - 1;
+        assembler::RegSet live_after = live.liveAfter(last_pc);
+
+        int output_reg = -1;
+        int output_idx = -1;
+        for (unsigned r = 1; r < isa::kNumArchRegs; ++r) {
+            if (defOf[r] < 0 || !assembler::regIn(live_after, r))
+                continue;
+            if (output_reg >= 0)
+                return false; // two live-out values
+            output_reg = static_cast<int>(r);
+            output_idx = defOf[r];
+        }
+
+        tmpl.numInputs = static_cast<uint8_t>(numExternals);
+        tmpl.hasOutput = output_reg >= 0;
+        tmpl.outputIdx = output_idx;
+        if (output_idx >= 0)
+            tmpl.ops[static_cast<size_t>(output_idx)].producesOutput = true;
+
+        out.tmpl = tmpl;
+        out.firstPc = firstPc;
+        out.len = static_cast<uint8_t>(tmpl.size());
+        out.inputRegs = externalRegs;
+        out.outputReg = output_reg;
+        out.serialClass = classify(out.tmpl);
+        return true;
+    }
+
+  private:
+    /** Map a read register to an external slot or internal producer. */
+    bool
+    bindSource(uint8_t reg, MgSrcKind &kind, uint8_t &idx, unsigned k)
+    {
+        if (reg == isa::kZeroReg) {
+            kind = MgSrcKind::None;
+            idx = 0;
+            return true;
+        }
+        int def = defOf[reg];
+        if (def >= 0) {
+            kind = MgSrcKind::Internal;
+            idx = static_cast<uint8_t>(def);
+            return true;
+        }
+        // External: reuse or allocate a slot.
+        for (unsigned s = 0; s < numExternals; ++s) {
+            if (externalRegs[s] == reg) {
+                kind = MgSrcKind::External;
+                idx = static_cast<uint8_t>(s);
+                return true;
+            }
+        }
+        if (numExternals >= opts.maxInputs)
+            return false;
+        externalRegs[numExternals] = reg;
+        kind = MgSrcKind::External;
+        idx = static_cast<uint8_t>(numExternals);
+        ++numExternals;
+        return true;
+    }
+
+    /** Structural serialization classification (§4.2). */
+    static SerialClass
+    classify(const MgTemplate &t)
+    {
+        if (!t.hasSerializingInput())
+            return SerialClass::NonSerializing;
+        if (t.outputIdx < 0) {
+            // No register output to delay: the only delayed outputs
+            // are stores/branches, which Struct-Bounded's heuristic
+            // treats as bounded (§4.2).
+            return SerialClass::Bounded;
+        }
+
+        // Ancestor bitmasks over internal dataflow.
+        std::array<uint8_t, isa::kMaxMgSize> anc{};
+        for (unsigned k = 0; k < t.size(); ++k) {
+            const MgConstituent &c = t.ops[k];
+            uint8_t a = 0;
+            if (c.src1Kind == MgSrcKind::Internal)
+                a |= static_cast<uint8_t>(anc[c.src1] | (1u << c.src1));
+            if (c.src2Kind == MgSrcKind::Internal)
+                a |= static_cast<uint8_t>(anc[c.src2] | (1u << c.src2));
+            anc[k] = a;
+        }
+        uint8_t out_anc = static_cast<uint8_t>(
+            anc[t.outputIdx] | (1u << t.outputIdx));
+
+        // Every constituent fed by a serializing input must be
+        // upstream of (or be) the output producer.
+        for (unsigned k = 1; k < t.size(); ++k) {
+            const MgConstituent &c = t.ops[k];
+            bool fed = c.src1Kind == MgSrcKind::External ||
+                       c.src2Kind == MgSrcKind::External;
+            if (fed && !(out_anc & (1u << k)))
+                return SerialClass::Unbounded;
+        }
+        return SerialClass::Bounded;
+    }
+
+    const Program &prog;
+    const CandidateOptions &opts;
+    Addr firstPc;
+    MgTemplate tmpl;
+    std::array<int, isa::kNumArchRegs> defOf;
+    std::array<uint8_t, isa::kMaxMgInputs> externalRegs{};
+    unsigned numExternals = 0;
+    unsigned memOps = 0;
+};
+
+} // namespace
+
+std::vector<Candidate>
+enumerateCandidates(const Program &prog, const Cfg &cfg,
+                    const Liveness &live, const CandidateOptions &opts)
+{
+    std::vector<Candidate> out;
+    for (const BasicBlock &bb : cfg.blocks()) {
+        for (Addr start = bb.first; start + 1 <= bb.last; ++start) {
+            // Grow incrementally; emit a candidate at every legal
+            // length >= 2.
+            WindowBuilder builder(prog, opts, start);
+            bool alive = true;
+            for (unsigned len = 1; len <= opts.maxSize && alive; ++len) {
+                Addr pc = start + len - 1;
+                if (pc > bb.last)
+                    break;
+                alive = builder.append(pc);
+                if (!alive)
+                    break;
+                if (len >= 2) {
+                    // finalize() mutates template output marking, so
+                    // work on a copy.
+                    WindowBuilder snapshot = builder;
+                    Candidate cand;
+                    if (snapshot.finalize(live, cand))
+                        out.push_back(std::move(cand));
+                }
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<Candidate>
+enumerateCandidates(const Program &prog, const CandidateOptions &opts)
+{
+    Cfg cfg(prog);
+    Liveness live(cfg);
+    return enumerateCandidates(prog, cfg, live, opts);
+}
+
+} // namespace mg::minigraph

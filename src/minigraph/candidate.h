@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Mini-graph candidate enumeration.
+ *
+ * A candidate is a contiguous run of 2-4 instructions inside one basic
+ * block that satisfies the RISC-singleton interface of §2: at most
+ * three external register inputs, at most one register output (a
+ * value live after the run), at most one memory reference, and at
+ * most one control transfer (which, inside a basic block, can only be
+ * the final instruction).  Liveness analysis proves the interior
+ * values dead outside the candidate.
+ *
+ * Each candidate carries its canonical template (operations plus
+ * dataflow with external inputs numbered in first-use order — the
+ * exact content of an MGT entry) and a structural serialization
+ * classification used by the Struct-* selectors.
+ */
+
+#ifndef MG_MINIGRAPH_CANDIDATE_H
+#define MG_MINIGRAPH_CANDIDATE_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "assembler/cfg.h"
+#include "assembler/liveness.h"
+#include "assembler/program.h"
+#include "isa/minigraph_types.h"
+
+namespace mg::minigraph
+{
+
+/** Structural serialization classification (§4.2). */
+enum class SerialClass : uint8_t
+{
+    /** No external input feeds a non-first constituent. */
+    NonSerializing,
+
+    /**
+     * Potentially serializing, but the delay on the register output is
+     * provably bounded by the mini-graph's own latency (every
+     * serializing input feeds an ancestor of the output producer, or
+     * there is no register output).
+     */
+    Bounded,
+
+    /** Potentially serializing with unbounded output delay. */
+    Unbounded,
+};
+
+/** A legal mini-graph candidate at one static location. */
+struct Candidate
+{
+    isa::MgTemplate tmpl;      ///< canonical template (MGT content)
+    isa::Addr firstPc = 0;     ///< PC of the first constituent
+    uint8_t len = 0;           ///< number of constituents (2-4)
+    std::array<uint8_t, isa::kMaxMgInputs> inputRegs{}; ///< per slot
+    int outputReg = -1;        ///< architectural output register
+    SerialClass serialClass = SerialClass::NonSerializing;
+
+    isa::Addr pcAfter() const { return firstPc + len; }
+
+    /** True if this candidate's instructions overlap the other's. */
+    bool
+    overlaps(const Candidate &o) const
+    {
+        return firstPc < o.pcAfter() && o.firstPc < pcAfter();
+    }
+};
+
+/** Options bounding enumeration. */
+struct CandidateOptions
+{
+    unsigned maxSize = isa::kMaxMgSize;
+    unsigned maxInputs = isa::kMaxMgInputs;
+    bool allowControl = true; ///< permit a final branch/direct jump
+    bool allowMem = true;     ///< permit one load or store
+};
+
+/**
+ * Enumerate every legal candidate in a program.
+ *
+ * @param prog  an original (non-rewritten) program
+ * @param cfg   its control-flow graph
+ * @param live  its liveness analysis
+ * @param opts  enumeration limits
+ */
+std::vector<Candidate> enumerateCandidates(const assembler::Program &prog,
+                                           const assembler::Cfg &cfg,
+                                           const assembler::Liveness &live,
+                                           const CandidateOptions &opts = {});
+
+/** Convenience overload that builds the CFG and liveness itself. */
+std::vector<Candidate> enumerateCandidates(const assembler::Program &prog,
+                                           const CandidateOptions &opts = {});
+
+} // namespace mg::minigraph
+
+#endif // MG_MINIGRAPH_CANDIDATE_H

@@ -1,0 +1,93 @@
+#include "minigraph/rewriter.h"
+
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace mg::minigraph
+{
+
+using assembler::Program;
+using isa::Addr;
+using isa::Instruction;
+using isa::MgInstance;
+using isa::MgTemplate;
+using isa::Opcode;
+
+RewrittenProgram
+rewrite(const Program &orig, const std::vector<Candidate> &chosen)
+{
+    RewrittenProgram out;
+    out.program = orig;
+    out.program.name = orig.name;
+
+    // Deduplicate templates (instances of one template share an MGT
+    // entry).
+    std::unordered_map<size_t, std::vector<uint16_t>> tmpl_by_hash;
+    auto intern_template = [&](const MgTemplate &t) -> uint16_t {
+        auto &bucket = tmpl_by_hash[t.hash()];
+        for (uint16_t idx : bucket) {
+            if (out.info.templates[idx] == t)
+                return idx;
+        }
+        mg_assert(out.info.templates.size() < 0xffff, "template overflow");
+        uint16_t idx = static_cast<uint16_t>(out.info.templates.size());
+        out.info.templates.push_back(t);
+        bucket.push_back(idx);
+        return idx;
+    };
+
+    for (const Candidate &c : chosen) {
+        // Sanity: disjointness and bounds.
+        mg_assert(c.firstPc + c.len <= orig.code.size(),
+                  "candidate out of range at pc %u", c.firstPc);
+        for (Addr pc = c.firstPc; pc < c.pcAfter(); ++pc) {
+            mg_assert(!out.program.code[pc].isHandle() &&
+                          !out.program.code[pc].isElided(),
+                      "overlapping mini-graphs at pc %u", pc);
+        }
+
+        uint16_t tmpl_idx = intern_template(c.tmpl);
+
+        // Handle at the first slot.
+        Instruction handle;
+        handle.op = Opcode::MGHANDLE;
+        handle.mgIndex = tmpl_idx;
+        handle.numSrcs = c.tmpl.numInputs;
+        handle.rs1 = c.tmpl.numInputs >= 1 ? c.inputRegs[0] : 0;
+        handle.rs2 = c.tmpl.numInputs >= 2 ? c.inputRegs[1] : 0;
+        handle.rs3 = c.tmpl.numInputs >= 3 ? c.inputRegs[2] : 0;
+        handle.hasDest = c.outputReg >= 0;
+        handle.rd = c.outputReg >= 0 ? static_cast<uint8_t>(c.outputReg)
+                                     : 0;
+        out.program.code[c.firstPc] = handle;
+        for (Addr pc = c.firstPc + 1; pc < c.pcAfter(); ++pc) {
+            Instruction hole;
+            hole.op = Opcode::ELIDED;
+            out.program.code[pc] = hole;
+        }
+
+        // Outlined singleton body appended at the end of the image.
+        Addr outlined_pc = static_cast<Addr>(out.program.code.size());
+        MgInstance inst;
+        inst.handlePc = c.firstPc;
+        inst.templateIdx = tmpl_idx;
+        inst.outlinedPc = outlined_pc;
+        inst.pcAfter = c.pcAfter();
+        for (Addr pc = c.firstPc; pc < c.pcAfter(); ++pc) {
+            inst.constituentPcs.push_back(pc);
+            out.program.code.push_back(orig.code[pc]);
+            out.info.outlinedBodyPcs.insert(
+                static_cast<Addr>(out.program.code.size() - 1));
+        }
+        Addr jump_pc = static_cast<Addr>(out.program.code.size());
+        out.program.code.push_back(isa::makeJump(inst.pcAfter));
+        out.info.outliningJumpPcs.insert(jump_pc);
+
+        out.info.instances.emplace(c.firstPc, std::move(inst));
+    }
+
+    return out;
+}
+
+} // namespace mg::minigraph

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Binary rewriter: applies a set of selected mini-graphs to a program
+ * using the "outlining" encoding (§2, Figure 2).
+ *
+ * At each chosen site, the first constituent is replaced by an
+ * MGHANDLE and the remaining slots by ELIDED holes (outlining removes
+ * them from the fetch image; the I$ indexes a compacted layout).  A
+ * copy of the original singleton body, terminated by a jump back to
+ * the fall-through point, is appended at the end of the code: that is
+ * the outlined form a non-mini-graph processor — or a mini-graph
+ * processor that has dynamically *disabled* the handle — executes.
+ */
+
+#ifndef MG_MINIGRAPH_REWRITER_H
+#define MG_MINIGRAPH_REWRITER_H
+
+#include <vector>
+
+#include "assembler/program.h"
+#include "isa/minigraph_types.h"
+#include "minigraph/candidate.h"
+
+namespace mg::minigraph
+{
+
+/** A rewritten binary: program image plus its mini-graph side table. */
+struct RewrittenProgram
+{
+    assembler::Program program;
+    isa::MgBinaryInfo info;
+
+    /** Static mini-graph instances in the binary. */
+    size_t instanceCount() const { return info.instances.size(); }
+};
+
+/**
+ * Rewrite a program with the chosen (pairwise-disjoint) mini-graphs.
+ *
+ * @param orig   the original program
+ * @param chosen disjoint candidates (from selectGreedy)
+ */
+RewrittenProgram rewrite(const assembler::Program &orig,
+                         const std::vector<Candidate> &chosen);
+
+} // namespace mg::minigraph
+
+#endif // MG_MINIGRAPH_REWRITER_H

@@ -1,0 +1,128 @@
+#include "minigraph/selection.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace mg::minigraph
+{
+
+namespace
+{
+
+/** All instances of one canonical template. */
+struct TemplateGroup
+{
+    std::vector<size_t> instances; ///< indices into the pool
+};
+
+} // namespace
+
+SelectionResult
+selectGreedy(const std::vector<Candidate> &pool, const ExecCounts &counts,
+             uint32_t template_budget)
+{
+    SelectionResult result;
+    if (pool.empty())
+        return result;
+
+    auto freq = [&](const Candidate &c) -> uint64_t {
+        return c.firstPc < counts.size() ? counts[c.firstPc] : 0;
+    };
+
+    // Group candidates by canonical template.
+    std::unordered_map<size_t, std::vector<uint32_t>> by_hash;
+    std::vector<TemplateGroup> groups;
+    for (size_t i = 0; i < pool.size(); ++i) {
+        size_t h = pool[i].tmpl.hash();
+        auto &bucket = by_hash[h];
+        bool placed = false;
+        for (uint32_t g : bucket) {
+            if (pool[groups[g].instances.front()].tmpl == pool[i].tmpl) {
+                groups[g].instances.push_back(i);
+                placed = true;
+                break;
+            }
+        }
+        if (!placed) {
+            bucket.push_back(static_cast<uint32_t>(groups.size()));
+            groups.push_back(TemplateGroup{{i}});
+        }
+    }
+
+    // Claimed static instructions (selected mini-graphs are disjoint).
+    size_t code_size = counts.size();
+    std::vector<bool> claimed(code_size, false);
+    auto instance_free = [&](const Candidate &c) {
+        for (isa::Addr pc = c.firstPc; pc < c.pcAfter(); ++pc) {
+            if (pc < code_size && claimed[pc])
+                return false;
+        }
+        return true;
+    };
+
+    auto group_score = [&](const TemplateGroup &g) -> uint64_t {
+        uint64_t score = 0;
+        for (size_t i : g.instances) {
+            const Candidate &c = pool[i];
+            if (instance_free(c))
+                score += static_cast<uint64_t>(c.len - 1) * freq(c);
+        }
+        return score;
+    };
+
+    // Lazy greedy: scores only decrease as instances get claimed, so a
+    // popped entry whose recomputed score still tops the queue is the
+    // true maximum.
+    using Entry = std::pair<uint64_t, uint32_t>; // (score, group)
+    std::priority_queue<Entry> heap;
+    for (uint32_t g = 0; g < groups.size(); ++g) {
+        uint64_t s = group_score(groups[g]);
+        if (s > 0)
+            heap.emplace(s, g);
+    }
+
+    while (!heap.empty() && result.templatesUsed < template_budget) {
+        auto [stale_score, g] = heap.top();
+        heap.pop();
+        uint64_t score = group_score(groups[g]);
+        if (score == 0)
+            continue;
+        if (!heap.empty() && score < heap.top().first) {
+            heap.emplace(score, g);
+            continue;
+        }
+
+        // Choose this template: claim every still-free instance.
+        bool took_any = false;
+        for (size_t i : groups[g].instances) {
+            const Candidate &c = pool[i];
+            if (!instance_free(c))
+                continue;
+            for (isa::Addr pc = c.firstPc; pc < c.pcAfter(); ++pc) {
+                if (pc < code_size)
+                    claimed[pc] = true;
+            }
+            result.chosen.push_back(c);
+            took_any = true;
+        }
+        if (took_any)
+            ++result.templatesUsed;
+    }
+
+    // Predicted coverage over all executed instructions.
+    uint64_t total = 0;
+    for (uint64_t c : counts)
+        total += c;
+    uint64_t covered = 0;
+    for (const Candidate &c : result.chosen)
+        covered += static_cast<uint64_t>(c.len) * freq(c);
+    result.predictedCoverage =
+        total ? static_cast<double>(covered) / static_cast<double>(total)
+              : 0.0;
+    return result;
+}
+
+} // namespace mg::minigraph

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Budgeted greedy mini-graph selection (§2, "Selection").
+ *
+ * Candidates from multiple static locations that share a template are
+ * grouped; each template's coverage score is sum_instances (n-1)*f
+ * where n is the template size and f the profiled execution frequency
+ * of the instance.  Selection repeatedly takes the highest-scoring
+ * template, claims its still-unclaimed instances (mini-graphs must be
+ * disjoint), discounts the survivors, and stops at the MGT budget.
+ */
+
+#ifndef MG_MINIGRAPH_SELECTION_H
+#define MG_MINIGRAPH_SELECTION_H
+
+#include <cstdint>
+#include <vector>
+
+#include "minigraph/candidate.h"
+
+namespace mg::minigraph
+{
+
+/** Per-PC dynamic execution counts (index == PC). */
+using ExecCounts = std::vector<uint64_t>;
+
+/** Result of the selection pass. */
+struct SelectionResult
+{
+    /** Chosen, pairwise-disjoint candidate instances. */
+    std::vector<Candidate> chosen;
+
+    /** Number of distinct MGT templates used. */
+    uint32_t templatesUsed = 0;
+
+    /** Predicted dynamic coverage: covered insts / total insts. */
+    double predictedCoverage = 0.0;
+};
+
+/**
+ * Greedily select mini-graphs from a (selector-filtered) pool.
+ *
+ * @param pool            candidate pool
+ * @param counts          per-PC dynamic execution counts
+ * @param templateBudget  MGT capacity (512 in Table 1)
+ */
+SelectionResult selectGreedy(const std::vector<Candidate> &pool,
+                             const ExecCounts &counts,
+                             uint32_t templateBudget);
+
+} // namespace mg::minigraph
+
+#endif // MG_MINIGRAPH_SELECTION_H

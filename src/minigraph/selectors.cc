@@ -1,0 +1,240 @@
+#include "minigraph/selectors.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace mg::minigraph
+{
+
+using isa::MgConstituent;
+using isa::MgSrcKind;
+using isa::MgTemplate;
+
+std::string
+selectorName(SelectorKind kind)
+{
+    switch (kind) {
+      case SelectorKind::StructAll: return "Struct-All";
+      case SelectorKind::StructNone: return "Struct-None";
+      case SelectorKind::StructBounded: return "Struct-Bounded";
+      case SelectorKind::SlackProfile: return "Slack-Profile";
+      case SelectorKind::SlackProfileDelay: return "Slack-Profile-Delay";
+      case SelectorKind::SlackProfileSial: return "Slack-Profile-SIAL";
+      case SelectorKind::SlackDynamic: return "Slack-Dynamic";
+      case SelectorKind::IdealSlackDynamic: return "Ideal-Slack-Dynamic";
+      case SelectorKind::IdealSlackDynamicDelay:
+        return "Ideal-Slack-Dynamic-Delay";
+      case SelectorKind::IdealSlackDynamicSial:
+        return "Ideal-Slack-Dynamic-SIAL";
+    }
+    return "?";
+}
+
+bool
+selectorNeedsProfile(SelectorKind kind)
+{
+    return kind == SelectorKind::SlackProfile ||
+           kind == SelectorKind::SlackProfileDelay ||
+           kind == SelectorKind::SlackProfileSial;
+}
+
+bool
+selectorIsDynamic(SelectorKind kind)
+{
+    switch (kind) {
+      case SelectorKind::SlackDynamic:
+      case SelectorKind::IdealSlackDynamic:
+      case SelectorKind::IdealSlackDynamicDelay:
+      case SelectorKind::IdealSlackDynamicSial:
+        return true;
+      default:
+        return false;
+    }
+}
+
+SlackModelResult
+evaluateSlackModel(const Candidate &cand, const assembler::Program &prog,
+                   const profile::SlackProfileData &prof,
+                   const SlackModelOptions &opts)
+{
+    SlackModelResult out;
+    const MgTemplate &t = cand.tmpl;
+    unsigned n = t.size();
+
+    // Per-constituent profile entries (by original PC).  Instructions
+    // with no profile data never executed; the model trivially accepts
+    // (their frequency is zero, so selection ignores them anyway).
+    std::array<const profile::ProfileEntry *, isa::kMaxMgSize> pe{};
+    for (unsigned k = 0; k < n; ++k) {
+        pe[k] = prof.at(cand.firstPc + k);
+        if (!pe[k])
+            return out;
+    }
+
+    // Ready(i) per external input slot: the observed ready time of
+    // that value at whichever constituent consumes it (max over
+    // consumers — the same value, possibly differing estimates).
+    std::array<double, isa::kMaxMgInputs> input_ready;
+    std::array<bool, isa::kMaxMgInputs> input_seen{};
+    input_ready.fill(-1e9);
+    for (unsigned k = 0; k < n; ++k) {
+        const MgConstituent &c = t.ops[k];
+        auto consider = [&](MgSrcKind kind, uint8_t idx, int slot) {
+            if (kind != MgSrcKind::External || slot >= 2)
+                return;
+            double r = pe[k]->srcReadyRel[slot];
+            if (input_seen[idx])
+                input_ready[idx] = std::max(input_ready[idx], r);
+            else
+                input_ready[idx] = r;
+            input_seen[idx] = true;
+        };
+        consider(c.src1Kind, c.src1, 0);
+        consider(c.src2Kind, c.src2, 1);
+    }
+
+    // Rule #1 (external serialization): the handle issues once every
+    // input is ready, no earlier than the first constituent's own
+    // issue time.
+    double issue0 = pe[0]->issueRel;
+    double issue_mg = issue0;
+    for (unsigned s = 0; s < t.numInputs; ++s) {
+        if (input_seen[s])
+            issue_mg = std::max(issue_mg, input_ready[s]);
+    }
+
+    // SIAL: does the latest-arriving input feed a non-first
+    // constituent (and actually arrive after the first instruction
+    // could have issued)?
+    double last_ready = -1e9;
+    int last_slot = -1;
+    for (unsigned s = 0; s < t.numInputs; ++s) {
+        if (input_seen[s] && input_ready[s] > last_ready) {
+            last_ready = input_ready[s];
+            last_slot = static_cast<int>(s);
+        }
+    }
+    out.serialInputArrivesLast =
+        last_slot >= 0 &&
+        t.inputIsSerializing(static_cast<uint8_t>(last_slot)) &&
+        last_ready > issue0;
+
+    // Loop-carried recurrence guard.  Rule #3 evaluates one instance
+    // against the singleton schedule, which is blind to a mini-graph
+    // whose own output feeds its next dynamic instance (§5.4: the
+    // model "assesses mini-graphs in isolation").  If the recurrent
+    // register enters the aggregate at a non-first consumer, atomic
+    // issue stretches that register's recurrence from the singleton
+    // sub-chain to the aggregate's full prefix latency; the extra
+    // delay compounds every iteration and no local slack can absorb
+    // it.  Reject such candidates outright.
+    for (unsigned s = 0; opts.recurrenceGuard && s < t.numInputs; ++s) {
+        if (cand.outputReg < 0 ||
+            cand.inputRegs[s] != static_cast<uint8_t>(cand.outputReg)) {
+            continue;
+        }
+        int first_consumer = -1;
+        for (unsigned k = 0; k < n && first_consumer < 0; ++k) {
+            const MgConstituent &c = t.ops[k];
+            if ((c.src1Kind == MgSrcKind::External && c.src1 == s) ||
+                (c.src2Kind == MgSrcKind::External && c.src2 == s)) {
+                first_consumer = static_cast<int>(k);
+            }
+        }
+        if (first_consumer > 0) {
+            out.degrades = true;
+            out.anyOutputDelayed = true;
+        }
+    }
+
+    // Rules #2 and #3: internal serialization and per-constituent
+    // delay.  Execution latencies are optimistic (cache hits) — the
+    // mcf footnote in §5.1.
+    constexpr double kEps = 0.5;
+    double issue_k = issue_mg;
+    for (unsigned k = 0; k < n; ++k) {
+        if (k > 0)
+            issue_k += isa::opInfo(t.ops[k - 1].op).latency;
+        double delay = issue_k - pe[k]->issueRel;
+        out.delay[k] = std::max(delay, 0.0);
+
+        // Rule #4 (performance degradation): compare each output's
+        // delay against its local slack.
+        const MgConstituent &c = t.ops[k];
+        bool is_reg_output = static_cast<int>(k) == t.outputIdx;
+        bool is_store = isa::isStore(c.op);
+        bool is_branch = isa::isCondBranch(c.op);
+        if (is_reg_output || is_store || is_branch) {
+            if (out.delay[k] > kEps)
+                out.anyOutputDelayed = true;
+            double slack = is_reg_output ? pe[k]->slack
+                         : is_store      ? pe[k]->storeSlack
+                                         : pe[k]->branchSlack;
+            if (out.delay[k] > slack + kEps)
+                out.degrades = true;
+        }
+    }
+    return out;
+}
+
+std::vector<Candidate>
+filterPool(const std::vector<Candidate> &all, SelectorKind kind,
+           const assembler::Program &prog,
+           const profile::SlackProfileData *prof)
+{
+    mg_assert(!selectorNeedsProfile(kind) || prof,
+              "%s requires a slack profile", selectorName(kind).c_str());
+
+    std::vector<Candidate> out;
+    out.reserve(all.size());
+    for (const Candidate &c : all) {
+        bool keep = true;
+        switch (kind) {
+          case SelectorKind::StructAll:
+          case SelectorKind::SlackDynamic:
+          case SelectorKind::IdealSlackDynamic:
+          case SelectorKind::IdealSlackDynamicDelay:
+          case SelectorKind::IdealSlackDynamicSial:
+            keep = true;
+            break;
+          case SelectorKind::StructNone:
+            keep = c.serialClass == SerialClass::NonSerializing;
+            break;
+          case SelectorKind::StructBounded:
+            keep = c.serialClass != SerialClass::Unbounded;
+            break;
+          case SelectorKind::SlackProfile: {
+            SlackModelResult m = evaluateSlackModel(c, prog, *prof);
+            keep = !m.degrades;
+            break;
+          }
+          case SelectorKind::SlackProfileDelay: {
+            SlackModelResult m = evaluateSlackModel(c, prog, *prof);
+            keep = !m.anyOutputDelayed;
+            break;
+          }
+          case SelectorKind::SlackProfileSial: {
+            SlackModelResult m = evaluateSlackModel(c, prog, *prof);
+            keep = !m.serialInputArrivesLast;
+            break;
+          }
+        }
+        if (keep)
+            out.push_back(c);
+    }
+    return out;
+}
+
+SelectionResult
+runSelector(const assembler::Program &prog, SelectorKind kind,
+            const ExecCounts &counts,
+            const profile::SlackProfileData *prof,
+            uint32_t template_budget)
+{
+    std::vector<Candidate> pool = enumerateCandidates(prog);
+    std::vector<Candidate> filtered = filterPool(pool, kind, prog, prof);
+    return selectGreedy(filtered, counts, template_budget);
+}
+
+} // namespace mg::minigraph

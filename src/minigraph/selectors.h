@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The paper's mini-graph selectors.
+ *
+ * All selectors share the enumeration + greedy-selection machinery and
+ * differ in how they prune the pool of *potentially serializing*
+ * candidates (those with an external register input to a non-first
+ * constituent), plus — for Slack-Dynamic — in the hardware they enable
+ * at run time:
+ *
+ *  - Struct-All      keeps every candidate (§3, serialization-blind).
+ *  - Struct-None     rejects every potentially-serializing candidate.
+ *  - Struct-Bounded  rejects only candidates whose register-output
+ *                    delay is structurally unbounded (§4.2).
+ *  - Slack-Profile   applies rules #1-#4 with a local slack profile
+ *                    (§4.3); variants -Delay (no rule #4) and -SIAL
+ *                    (operand-arrival heuristic) support Figure 7.
+ *  - Slack-Dynamic   selects like Struct-All and relies on the
+ *                    saturating-counter disable hardware (§4.4);
+ *                    Ideal/-Delay/-SIAL variants support Figure 7.
+ */
+
+#ifndef MG_MINIGRAPH_SELECTORS_H
+#define MG_MINIGRAPH_SELECTORS_H
+
+#include <string>
+#include <vector>
+
+#include "minigraph/candidate.h"
+#include "minigraph/selection.h"
+#include "profile/slack_profile.h"
+
+namespace mg::minigraph
+{
+
+/** Every selector (and variant) evaluated in the paper. */
+enum class SelectorKind
+{
+    StructAll,
+    StructNone,
+    StructBounded,
+    SlackProfile,
+    SlackProfileDelay,      ///< rules #1-#3 only (Figure 7 top)
+    SlackProfileSial,       ///< SIAL heuristic (Figure 7 top)
+    SlackDynamic,           ///< Struct-All pool + disable hardware
+    IdealSlackDynamic,      ///< ... without the outlining penalty
+    IdealSlackDynamicDelay, ///< ... and without the consumer check
+    IdealSlackDynamicSial,  ///< ... with the SIAL heuristic
+};
+
+/** Human-readable selector name (as used in the paper's figures). */
+std::string selectorName(SelectorKind kind);
+
+/** Does this selector require a slack profile? */
+bool selectorNeedsProfile(SelectorKind kind);
+
+/** Does this selector enable the Slack-Dynamic hardware? */
+bool selectorIsDynamic(SelectorKind kind);
+
+/**
+ * Slack-Profile model evaluation for one candidate (rules #1-#4 of
+ * Figure 5), exposed for tests and the Figure-8 analysis.
+ */
+struct SlackModelResult
+{
+    /** Induced delay on each constituent (rule #3). */
+    std::array<double, isa::kMaxMgSize> delay{};
+
+    /** Rule #4 outcome: would forming this mini-graph degrade? */
+    bool degrades = false;
+
+    /** Any output delayed at all (the -Delay variant's criterion)? */
+    bool anyOutputDelayed = false;
+
+    /** Does the last-arriving input feed a non-first constituent? */
+    bool serialInputArrivesLast = false;
+};
+
+/** Options for the slack model (ablation hooks). */
+struct SlackModelOptions
+{
+    /**
+     * Reject self-recurrent aggregates whose recurrent input enters
+     * at a non-first constituent (see DESIGN.md §6.3).  On by
+     * default; the ablation bench switches it off.
+     */
+    bool recurrenceGuard = true;
+};
+
+/** Evaluate rules #1-#4 for a candidate given a profile. */
+SlackModelResult evaluateSlackModel(const Candidate &cand,
+                                    const assembler::Program &prog,
+                                    const profile::SlackProfileData &prof,
+                                    const SlackModelOptions &opts = {});
+
+/**
+ * Apply a selector's pool filter.
+ *
+ * @param all     the full candidate pool
+ * @param kind    which selector
+ * @param prog    the program (for per-constituent PCs)
+ * @param prof    slack profile (required iff selectorNeedsProfile)
+ */
+std::vector<Candidate> filterPool(const std::vector<Candidate> &all,
+                                  SelectorKind kind,
+                                  const assembler::Program &prog,
+                                  const profile::SlackProfileData *prof);
+
+/**
+ * Full static selection pipeline: enumerate, filter, greedily select.
+ *
+ * @param prog           the original program
+ * @param kind           selector
+ * @param counts         per-PC execution counts
+ * @param prof           slack profile (may be null for Struct-*)
+ * @param templateBudget MGT capacity
+ */
+SelectionResult runSelector(const assembler::Program &prog,
+                            SelectorKind kind, const ExecCounts &counts,
+                            const profile::SlackProfileData *prof,
+                            uint32_t templateBudget = 512);
+
+} // namespace mg::minigraph
+
+#endif // MG_MINIGRAPH_SELECTORS_H

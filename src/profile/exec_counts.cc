@@ -1,0 +1,25 @@
+#include "profile/exec_counts.h"
+
+#include "common/logging.h"
+#include "uarch/functional.h"
+
+namespace mg::profile
+{
+
+std::vector<uint64_t>
+countExecutions(const assembler::Program &prog, uint64_t max_steps)
+{
+    std::vector<uint64_t> counts(prog.code.size(), 0);
+    uarch::FunctionalCore core(prog);
+    uint64_t steps = 0;
+    while (!core.halted()) {
+        mg_assert(steps++ < max_steps, "countExecutions: '%s' exceeded "
+                  "step limit", prog.name.c_str());
+        uarch::ExecStep s = core.step();
+        mg_assert(s.pc < counts.size(), "pc out of range");
+        ++counts[s.pc];
+    }
+    return counts;
+}
+
+} // namespace mg::profile

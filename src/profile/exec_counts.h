@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Per-PC dynamic execution counts from a functional run.
+ *
+ * Selection needs per-instance execution frequencies ("f" in the
+ * coverage score).  A plain functional pass is enough: frequency is a
+ * property of the path, not of timing.
+ */
+
+#ifndef MG_PROFILE_EXEC_COUNTS_H
+#define MG_PROFILE_EXEC_COUNTS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "assembler/program.h"
+
+namespace mg::profile
+{
+
+/**
+ * Run the program functionally and count executions per PC.
+ *
+ * @param prog      an original (non-rewritten) program
+ * @param max_steps safety limit
+ * @retval counts[pc] = dynamic executions of that instruction
+ */
+std::vector<uint64_t> countExecutions(const assembler::Program &prog,
+                                      uint64_t max_steps = 1ull << 32);
+
+} // namespace mg::profile
+
+#endif // MG_PROFILE_EXEC_COUNTS_H

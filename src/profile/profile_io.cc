@@ -1,0 +1,92 @@
+#include "profile/profile_io.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace mg::profile
+{
+
+namespace
+{
+
+constexpr const char *kMagic = "mg-slack-profile v1";
+
+} // namespace
+
+void
+saveProfile(const SlackProfileData &data, std::ostream &out)
+{
+    out << kMagic << "\n";
+    // Deterministic order for diffability.
+    std::vector<isa::Addr> pcs;
+    pcs.reserve(data.entries.size());
+    for (const auto &[pc, e] : data.entries)
+        pcs.push_back(pc);
+    std::sort(pcs.begin(), pcs.end());
+
+    out.precision(17);
+    for (isa::Addr pc : pcs) {
+        const ProfileEntry &e = data.entries.at(pc);
+        out << pc << ' ' << e.count << ' ' << e.issueRel << ' '
+            << e.readyRel << ' ' << e.slack << ' ' << e.storeSlack << ' '
+            << e.branchSlack;
+        for (int s = 0; s < 2; ++s) {
+            out << ' ' << (e.srcObserved[s] ? 1 : 0) << ' '
+                << e.srcReadyRel[s];
+        }
+        out << '\n';
+    }
+}
+
+std::string
+saveProfileToString(const SlackProfileData &data)
+{
+    std::ostringstream ss;
+    saveProfile(data, ss);
+    return ss.str();
+}
+
+SlackProfileData
+loadProfile(std::istream &in)
+{
+    std::string header;
+    if (!std::getline(in, header) || header != kMagic)
+        mg_fatal("not a slack profile (bad header '%s')", header.c_str());
+
+    SlackProfileData data;
+    std::string line;
+    size_t line_no = 1;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty())
+            continue;
+        std::istringstream ss(line);
+        isa::Addr pc;
+        ProfileEntry e;
+        int obs0, obs1;
+        if (!(ss >> pc >> e.count >> e.issueRel >> e.readyRel >>
+              e.slack >> e.storeSlack >> e.branchSlack >> obs0 >>
+              e.srcReadyRel[0] >> obs1 >> e.srcReadyRel[1])) {
+            mg_fatal("malformed profile line %zu: '%s'", line_no,
+                     line.c_str());
+        }
+        e.srcObserved[0] = obs0 != 0;
+        e.srcObserved[1] = obs1 != 0;
+        data.entries.emplace(pc, e);
+    }
+    return data;
+}
+
+SlackProfileData
+loadProfileFromString(const std::string &text)
+{
+    std::istringstream ss(text);
+    return loadProfile(ss);
+}
+
+} // namespace mg::profile

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Text serialization of slack profiles.
+ *
+ * The paper's workflow separates the profiling tool from the selector
+ * ("a software tool identifies instruction groups ... and encodes them
+ * into the executable"); persisting profiles lets the two run in
+ * different processes, and makes profiles diffable artifacts.
+ *
+ * Format: one header line, then one line per static instruction:
+ *
+ *   mg-slack-profile v1
+ *   <pc> <count> <issueRel> <readyRel> <slack> <storeSlack>
+ *        <branchSlack> <srcObs0> <srcReady0> <srcObs1> <srcReady1>
+ */
+
+#ifndef MG_PROFILE_PROFILE_IO_H
+#define MG_PROFILE_PROFILE_IO_H
+
+#include <iosfwd>
+#include <string>
+
+#include "profile/slack_profile.h"
+
+namespace mg::profile
+{
+
+/** Serialize a profile to a stream. */
+void saveProfile(const SlackProfileData &data, std::ostream &out);
+
+/** Serialize a profile to a string. */
+std::string saveProfileToString(const SlackProfileData &data);
+
+/**
+ * Parse a profile.  Raises mg_fatal on malformed input.
+ */
+SlackProfileData loadProfile(std::istream &in);
+
+/** Parse a profile from a string. */
+SlackProfileData loadProfileFromString(const std::string &text);
+
+} // namespace mg::profile
+
+#endif // MG_PROFILE_PROFILE_IO_H

@@ -1,0 +1,248 @@
+#include "profile/slack_profile.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "uarch/core.h"
+
+namespace mg::profile
+{
+
+namespace
+{
+
+constexpr uint64_t kProducerWindow = 4096;
+constexpr uint64_t kProducerHighWater = 8192;
+constexpr uint64_t kInstanceWindow = 1024;
+
+} // namespace
+
+SlackProfiler::SlackProfiler() = default;
+SlackProfiler::~SlackProfiler() = default;
+
+void
+SlackProfiler::onIssue(const uarch::IssueObservation &obs)
+{
+    // --- consumer side: resolve local slack of source producers ---
+    for (uint8_t i = 0; i < obs.numSrcs; ++i) {
+        const uarch::SrcObservation &s = obs.srcs[i];
+        if (s.producerPc == isa::kNoAddr)
+            continue;
+        auto it = producers.find(s.producerSeq);
+        if (it == producers.end())
+            continue;
+        double sample = static_cast<double>(obs.issueCycle) -
+                        static_cast<double>(s.readyCycle);
+        it->second.minSlack = std::min(it->second.minSlack, sample);
+    }
+
+    // --- producer side: open a record for this value/store ---
+    if (obs.producesValue || obs.isStore) {
+        Producer p;
+        p.pc = obs.pc;
+        p.readyCycle = obs.readyCycle;
+        p.isStore = obs.isStore;
+        p.storeExecDone = obs.storeExecDone;
+        producers[obs.seq] = p;
+        if (producers.size() > kProducerHighWater)
+            pruneProducers();
+    }
+
+    // --- branch slack (direct, needs no resolution) ---
+    if (obs.isCondBranch) {
+        Accumulator &a = acc[obs.pc];
+        a.branchSlackSum += obs.mispredicted ? 0.0 : kSlackCap;
+        ++a.branchSlackCount;
+    }
+
+    // --- issue/ready times relative to the basic-block head ---
+    PendingIssue pend;
+    pend.pc = obs.pc;
+    pend.seq = obs.seq;
+    pend.issueCycle = obs.issueCycle;
+    pend.readyCycle = obs.readyCycle;
+    pend.producesValue = obs.producesValue;
+    pend.numSrcs = obs.numSrcs;
+    for (uint8_t i = 0; i < obs.numSrcs; ++i) {
+        pend.srcs[i].slot = obs.srcs[i].slot;
+        pend.srcs[i].readyCycle = obs.srcs[i].readyCycle;
+        pend.srcs[i].known = obs.srcs[i].producerPc != isa::kNoAddr;
+    }
+
+    BbInstance &bb = instances[obs.bbInstance];
+    if (obs.bbHead) {
+        bb.headKnown = true;
+        bb.headIssue = obs.issueCycle;
+    }
+    if (bb.headKnown) {
+        foldPending(pend, bb.headIssue);
+        resolveInstance(bb);
+    } else {
+        bb.pending.push_back(pend);
+    }
+
+    // Periodically drop stale instances (whose heads will never
+    // issue, e.g. partially re-fetched blocks after a flush).
+    if (instances.size() > 2 * kInstanceWindow) {
+        uint64_t cutoff =
+            obs.bbInstance > kInstanceWindow
+                ? obs.bbInstance - kInstanceWindow
+                : 0;
+        for (auto it = instances.begin(); it != instances.end();) {
+            if (it->first < cutoff)
+                it = instances.erase(it);
+            else
+                ++it;
+        }
+    }
+}
+
+void
+SlackProfiler::resolveInstance(BbInstance &bb)
+{
+    if (!bb.headKnown)
+        return;
+    for (const PendingIssue &p : bb.pending)
+        foldPending(p, bb.headIssue);
+    bb.pending.clear();
+}
+
+void
+SlackProfiler::foldPending(const PendingIssue &p, uint64_t head_issue)
+{
+    Accumulator &a = acc[p.pc];
+    double head = static_cast<double>(head_issue);
+    a.issueRelSum += static_cast<double>(p.issueCycle) - head;
+    if (p.producesValue)
+        a.readyRelSum += static_cast<double>(p.readyCycle) - head;
+    for (uint8_t i = 0; i < p.numSrcs; ++i) {
+        uint8_t slot = p.srcs[i].slot;
+        if (slot >= 2)
+            continue; // singleton profiling: slots 0/1 only
+        double rel = p.srcs[i].known
+                         ? static_cast<double>(p.srcs[i].readyCycle) - head
+                         : 0.0; // long-committed: by block start
+        a.srcReadySum[slot] += rel;
+        ++a.srcReadyCount[slot];
+    }
+    ++a.count;
+}
+
+void
+SlackProfiler::onStoreForward(uint64_t store_seq, uint64_t load_issue)
+{
+    auto it = producers.find(store_seq);
+    if (it == producers.end())
+        return;
+    Producer &p = it->second;
+    double sample = static_cast<double>(load_issue) -
+                    static_cast<double>(p.storeExecDone);
+    p.storeSlack = std::min(p.storeSlack, std::max(sample, 0.0));
+    p.sawForward = true;
+}
+
+void
+SlackProfiler::onSquash(uint64_t first_squashed)
+{
+    for (auto it = producers.begin(); it != producers.end();) {
+        if (it->first >= first_squashed)
+            it = producers.erase(it);
+        else
+            ++it;
+    }
+    for (auto &[id, bb] : instances) {
+        std::erase_if(bb.pending, [&](const PendingIssue &p) {
+            return p.seq >= first_squashed;
+        });
+    }
+}
+
+void
+SlackProfiler::onCommit(uint64_t seq)
+{
+    minLiveProducer = std::max(minLiveProducer,
+                               seq > kProducerWindow
+                                   ? seq - kProducerWindow
+                                   : 0);
+}
+
+void
+SlackProfiler::finalizeProducer(const Producer &p)
+{
+    Accumulator &a = acc[p.pc];
+    if (p.isStore) {
+        a.storeSlackSum += p.sawForward ? std::min(p.storeSlack, kSlackCap)
+                                        : kSlackCap;
+        ++a.storeSlackCount;
+    } else {
+        a.slackSum += std::clamp(p.minSlack, 0.0, kSlackCap);
+        ++a.slackCount;
+    }
+}
+
+void
+SlackProfiler::pruneProducers()
+{
+    for (auto it = producers.begin(); it != producers.end();) {
+        if (it->first < minLiveProducer) {
+            finalizeProducer(it->second);
+            it = producers.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+SlackProfileData
+SlackProfiler::finalize()
+{
+    for (auto &[seq, p] : producers)
+        finalizeProducer(p);
+    producers.clear();
+    instances.clear();
+
+    SlackProfileData data;
+    for (auto &[pc, a] : acc) {
+        if (a.count == 0)
+            continue;
+        ProfileEntry e;
+        double n = static_cast<double>(a.count);
+        e.issueRel = a.issueRelSum / n;
+        e.readyRel = a.readyRelSum / n;
+        for (int s = 0; s < 2; ++s) {
+            if (a.srcReadyCount[s]) {
+                e.srcReadyRel[s] =
+                    a.srcReadySum[s] /
+                    static_cast<double>(a.srcReadyCount[s]);
+                e.srcObserved[s] = true;
+            }
+        }
+        e.slack = a.slackCount
+                      ? a.slackSum / static_cast<double>(a.slackCount)
+                      : kSlackCap;
+        e.storeSlack = a.storeSlackCount
+                           ? a.storeSlackSum /
+                                 static_cast<double>(a.storeSlackCount)
+                           : kSlackCap;
+        e.branchSlack = a.branchSlackCount
+                            ? a.branchSlackSum /
+                                  static_cast<double>(a.branchSlackCount)
+                            : kSlackCap;
+        e.count = a.count;
+        data.entries.emplace(pc, e);
+    }
+    return data;
+}
+
+SlackProfileData
+profileProgram(const assembler::Program &prog,
+               const uarch::CoreConfig &config)
+{
+    SlackProfiler profiler;
+    uarch::Core core(config, prog);
+    core.setProfiler(&profiler);
+    core.run();
+    return profiler.finalize();
+}
+
+} // namespace mg::profile

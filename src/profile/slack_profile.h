@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Local slack profiles (§4.3).
+ *
+ * A SlackProfiler attaches to a singleton (non-mini-graph) timing run
+ * and aggregates, per static instruction:
+ *
+ *  - mean issue time relative to the issue time of the first
+ *    instruction of its basic block (the paper's "convenient fixed
+ *    reference point"),
+ *  - mean ready time of each source operand (same reference frame),
+ *  - mean local slack of its register output: the cycles it could be
+ *    delayed without delaying any consumer (capped at kSlackCap; a
+ *    value with no observed consumer is maximally slack),
+ *  - store slack (time until a younger load forwards from it; capped
+ *    when no load ever forwards — such stores are not outputs from
+ *    the scheduler's point of view), and
+ *  - branch slack (zero when mispredicted: delay directly delays the
+ *    redirect; capped otherwise).
+ *
+ * The result (SlackProfileData) is what the Slack-Profile selector
+ * consumes.
+ */
+
+#ifndef MG_PROFILE_SLACK_PROFILE_H
+#define MG_PROFILE_SLACK_PROFILE_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "assembler/program.h"
+#include "isa/instruction.h"
+#include "uarch/config.h"
+#include "uarch/profiler_hooks.h"
+
+namespace mg::profile
+{
+
+/** Local slack values above this are "unbounded" (cap). */
+constexpr double kSlackCap = 64.0;
+
+/** Aggregated profile for one static instruction. */
+struct ProfileEntry
+{
+    double issueRel = 0.0;   ///< mean issue time rel. to BB head issue
+    double readyRel = 0.0;   ///< mean output-ready time, same frame
+    double srcReadyRel[2] = {0.0, 0.0}; ///< mean source ready per slot
+    bool srcObserved[2] = {false, false};
+    double slack = kSlackCap;       ///< mean local slack (register out)
+    double storeSlack = kSlackCap;  ///< mean store-forward slack
+    double branchSlack = kSlackCap; ///< mean branch slack
+    uint64_t count = 0;             ///< resolved observations
+};
+
+/** The finished profile. */
+struct SlackProfileData
+{
+    std::unordered_map<isa::Addr, ProfileEntry> entries;
+
+    /** Entry for a PC, or nullptr if never observed. */
+    const ProfileEntry *
+    at(isa::Addr pc) const
+    {
+        auto it = entries.find(pc);
+        return it == entries.end() ? nullptr : &it->second;
+    }
+};
+
+/**
+ * The profiler: implements the core's observation hooks and builds a
+ * SlackProfileData.  Attach with Core::setProfiler, run the singleton
+ * program, then call finalize().
+ */
+class SlackProfiler : public uarch::ProfilerHooks
+{
+  public:
+    SlackProfiler();
+    ~SlackProfiler() override;
+
+    void onIssue(const uarch::IssueObservation &obs) override;
+    void onStoreForward(uint64_t store_seq,
+                        uint64_t load_issue_cycle) override;
+    void onSquash(uint64_t first_squashed) override;
+    void onCommit(uint64_t seq) override;
+
+    /** Fold all pending state and return the profile. */
+    SlackProfileData finalize();
+
+  private:
+    struct Accumulator
+    {
+        double issueRelSum = 0.0;
+        double readyRelSum = 0.0;
+        double srcReadySum[2] = {0.0, 0.0};
+        uint64_t srcReadyCount[2] = {0, 0};
+        double slackSum = 0.0;
+        uint64_t slackCount = 0;
+        double storeSlackSum = 0.0;
+        uint64_t storeSlackCount = 0;
+        double branchSlackSum = 0.0;
+        uint64_t branchSlackCount = 0;
+        uint64_t count = 0;
+    };
+
+    /** Buffered per-dynamic-instruction record awaiting its BB head. */
+    struct PendingIssue
+    {
+        isa::Addr pc;
+        uint64_t seq;
+        uint64_t issueCycle;
+        uint64_t readyCycle;
+        bool producesValue;
+        uint8_t numSrcs;
+        struct Src
+        {
+            uint8_t slot;
+            uint64_t readyCycle;
+            bool known;
+        } srcs[3];
+    };
+
+    /** One dynamic basic-block instance being assembled. */
+    struct BbInstance
+    {
+        bool headKnown = false;
+        uint64_t headIssue = 0;
+        std::vector<PendingIssue> pending;
+    };
+
+    /** Producer record for local-slack resolution. */
+    struct Producer
+    {
+        isa::Addr pc = isa::kNoAddr;
+        uint64_t readyCycle = 0;
+        double minSlack = kSlackCap;
+        bool isStore = false;
+        uint64_t storeExecDone = 0;
+        bool sawForward = false;
+        double storeSlack = kSlackCap;
+    };
+
+    void resolveInstance(BbInstance &bb);
+    void foldPending(const PendingIssue &p, uint64_t head_issue);
+    void finalizeProducer(const Producer &p);
+    void pruneProducers();
+
+    std::unordered_map<isa::Addr, Accumulator> acc;
+    std::unordered_map<uint64_t, BbInstance> instances;
+    std::unordered_map<uint64_t, Producer> producers;
+    uint64_t minLiveProducer = 0;
+};
+
+/**
+ * Convenience: profile one program on one machine configuration.
+ * Runs the singleton program under a Core with the profiler attached.
+ */
+SlackProfileData profileProgram(const assembler::Program &prog,
+                                const uarch::CoreConfig &config);
+
+} // namespace mg::profile
+
+#endif // MG_PROFILE_SLACK_PROFILE_H

@@ -1,0 +1,146 @@
+#include "sim/experiment.h"
+
+#include "common/logging.h"
+#include "profile/exec_counts.h"
+
+namespace mg::sim
+{
+
+using minigraph::SelectorKind;
+
+ProgramContext::ProgramContext(const workloads::WorkloadSpec &spec,
+                               bool alt_input)
+    : prog(workloads::buildWorkload(spec, alt_input).program)
+{
+}
+
+ProgramContext::ProgramContext(assembler::Program p) : prog(std::move(p))
+{
+}
+
+const minigraph::ExecCounts &
+ProgramContext::counts()
+{
+    if (!execCounts) {
+        execCounts = std::make_unique<minigraph::ExecCounts>(
+            profile::countExecutions(prog));
+    }
+    return *execCounts;
+}
+
+const profile::SlackProfileData &
+ProgramContext::profileOn(const uarch::CoreConfig &config)
+{
+    auto it = profiles.find(config.name);
+    if (it == profiles.end()) {
+        it = profiles
+                 .emplace(config.name,
+                          profile::profileProgram(prog, config))
+                 .first;
+    }
+    return it->second;
+}
+
+const uarch::SimResult &
+ProgramContext::baseline(const uarch::CoreConfig &config)
+{
+    auto it = baselines.find(config.name);
+    if (it == baselines.end()) {
+        uarch::Core core(config, prog);
+        it = baselines.emplace(config.name, core.run()).first;
+    }
+    return it->second;
+}
+
+const std::vector<minigraph::Candidate> &
+ProgramContext::candidatePool()
+{
+    if (!pool) {
+        pool = std::make_unique<std::vector<minigraph::Candidate>>(
+            minigraph::enumerateCandidates(prog));
+    }
+    return *pool;
+}
+
+uarch::CoreConfig
+configForSelector(const uarch::CoreConfig &base, SelectorKind kind)
+{
+    uarch::CoreConfig cfg = base;
+    cfg.slackDynamicEnabled = minigraph::selectorIsDynamic(kind);
+    switch (kind) {
+      case SelectorKind::SlackDynamic:
+        cfg.slackDynamicIdeal = false;
+        cfg.slackDynamicConsumerCheck = true;
+        cfg.slackDynamicSial = false;
+        break;
+      case SelectorKind::IdealSlackDynamic:
+        cfg.slackDynamicIdeal = true;
+        cfg.slackDynamicConsumerCheck = true;
+        cfg.slackDynamicSial = false;
+        break;
+      case SelectorKind::IdealSlackDynamicDelay:
+        cfg.slackDynamicIdeal = true;
+        cfg.slackDynamicConsumerCheck = false;
+        cfg.slackDynamicSial = false;
+        break;
+      case SelectorKind::IdealSlackDynamicSial:
+        cfg.slackDynamicIdeal = true;
+        cfg.slackDynamicConsumerCheck = false;
+        cfg.slackDynamicSial = true;
+        break;
+      default:
+        break;
+    }
+    return cfg;
+}
+
+SelectorRun
+ProgramContext::runSelector(SelectorKind kind,
+                            const uarch::CoreConfig &sim_config,
+                            const uarch::CoreConfig *profile_config,
+                            uint32_t template_budget)
+{
+    const profile::SlackProfileData *prof = nullptr;
+    if (minigraph::selectorNeedsProfile(kind)) {
+        const uarch::CoreConfig &pc =
+            profile_config ? *profile_config : sim_config;
+        prof = &profileOn(pc);
+    }
+
+    std::vector<minigraph::Candidate> filtered =
+        minigraph::filterPool(candidatePool(), kind, prog, prof);
+    minigraph::SelectionResult sel =
+        minigraph::selectGreedy(filtered, counts(), template_budget);
+    return runChosen(sel.chosen, sim_config, kind);
+}
+
+SelectorRun
+ProgramContext::runSelectorWithProfile(SelectorKind kind,
+                                       const uarch::CoreConfig &sim_config,
+                                       const profile::SlackProfileData &p,
+                                       uint32_t template_budget)
+{
+    std::vector<minigraph::Candidate> filtered =
+        minigraph::filterPool(candidatePool(), kind, prog, &p);
+    minigraph::SelectionResult sel =
+        minigraph::selectGreedy(filtered, counts(), template_budget);
+    return runChosen(sel.chosen, sim_config, kind);
+}
+
+SelectorRun
+ProgramContext::runChosen(const std::vector<minigraph::Candidate> &chosen,
+                          const uarch::CoreConfig &sim_config,
+                          SelectorKind kind)
+{
+    minigraph::RewrittenProgram rp = minigraph::rewrite(prog, chosen);
+    uarch::CoreConfig cfg = configForSelector(sim_config, kind);
+
+    uarch::Core core(cfg, rp.program, &rp.info);
+    SelectorRun out;
+    out.sim = core.run();
+    out.instances = rp.instanceCount();
+    out.templatesUsed = static_cast<uint32_t>(rp.info.templates.size());
+    return out;
+}
+
+} // namespace mg::sim

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Experiment driver: the profile -> select -> rewrite -> simulate
+ * pipeline used by every evaluation in the paper, with in-process
+ * caching of per-program artefacts (execution counts, slack profiles,
+ * baseline runs).
+ */
+
+#ifndef MG_SIM_EXPERIMENT_H
+#define MG_SIM_EXPERIMENT_H
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "minigraph/rewriter.h"
+#include "minigraph/selectors.h"
+#include "profile/slack_profile.h"
+#include "uarch/core.h"
+#include "workloads/workload.h"
+
+namespace mg::sim
+{
+
+/** Result of one selector-enabled simulation. */
+struct SelectorRun
+{
+    uarch::SimResult sim;
+    uint32_t templatesUsed = 0;
+    size_t instances = 0;
+
+    /** Dynamic coverage measured at commit. */
+    double coverage() const { return sim.coverage(); }
+};
+
+/**
+ * Per-program experiment context: owns the program, its execution
+ * counts, and lazily computed slack profiles and baseline runs.
+ */
+class ProgramContext
+{
+  public:
+    /**
+     * @param spec       which benchmark
+     * @param alt_input  build with the alternate input set (Fig. 9)
+     */
+    explicit ProgramContext(const workloads::WorkloadSpec &spec,
+                            bool alt_input = false);
+
+    /** Wrap an already-built program (used by tests/examples). */
+    explicit ProgramContext(assembler::Program prog);
+
+    const assembler::Program &program() const { return prog; }
+
+    /** Per-PC dynamic execution counts (computed once). */
+    const minigraph::ExecCounts &counts();
+
+    /**
+     * Slack profile collected on the given configuration (cached by
+     * configuration name).
+     */
+    const profile::SlackProfileData &profileOn(
+        const uarch::CoreConfig &config);
+
+    /** Simulate the original program (no mini-graphs); cached. */
+    const uarch::SimResult &baseline(const uarch::CoreConfig &config);
+
+    /**
+     * Full pipeline: filter + select with `kind`, rewrite, simulate on
+     * `sim_config`.  For Slack-Profile selectors the profile is taken
+     * from `profile_config` (defaults to sim_config — "self-trained").
+     */
+    SelectorRun runSelector(minigraph::SelectorKind kind,
+                            const uarch::CoreConfig &sim_config,
+                            const uarch::CoreConfig *profile_config =
+                                nullptr,
+                            uint32_t template_budget = 512);
+
+    /**
+     * Like runSelector, but with an externally supplied slack profile
+     * (the Figure-9 cross-input study trains on a *different* input
+     * set's profile).
+     */
+    SelectorRun runSelectorWithProfile(
+        minigraph::SelectorKind kind, const uarch::CoreConfig &sim_config,
+        const profile::SlackProfileData &prof,
+        uint32_t template_budget = 512);
+
+    /**
+     * Simulate an explicit set of chosen candidates (the Figure-8
+     * exhaustive study drives this directly).
+     */
+    SelectorRun runChosen(const std::vector<minigraph::Candidate> &chosen,
+                          const uarch::CoreConfig &sim_config,
+                          minigraph::SelectorKind kind =
+                              minigraph::SelectorKind::StructAll);
+
+    /** The full enumerated candidate pool (cached). */
+    const std::vector<minigraph::Candidate> &candidatePool();
+
+  private:
+    assembler::Program prog;
+    std::unique_ptr<minigraph::ExecCounts> execCounts;
+    std::map<std::string, profile::SlackProfileData> profiles;
+    std::map<std::string, uarch::SimResult> baselines;
+    std::unique_ptr<std::vector<minigraph::Candidate>> pool;
+};
+
+/** Configure the Slack-Dynamic hardware flags for a selector. */
+uarch::CoreConfig configForSelector(const uarch::CoreConfig &base,
+                                    minigraph::SelectorKind kind);
+
+} // namespace mg::sim
+
+#endif // MG_SIM_EXPERIMENT_H

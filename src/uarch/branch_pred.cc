@@ -1,0 +1,120 @@
+#include "uarch/branch_pred.h"
+
+#include "common/logging.h"
+
+namespace mg::uarch
+{
+
+BranchPredictor::BranchPredictor(const BranchPredConfig &config)
+    : cfg(config),
+      bimodal(config.bimodalEntries, 1),
+      gshare(config.gshareEntries, 1),
+      chooser(config.chooserEntries, 1)
+{
+    btbSets = cfg.btbEntries / cfg.btbAssoc;
+    mg_assert(btbSets > 0 && (btbSets & (btbSets - 1)) == 0,
+              "BTB sets must be a power of two");
+    btb.resize(cfg.btbEntries);
+    ras.resize(cfg.rasEntries, 0);
+}
+
+void
+BranchPredictor::bump(uint8_t &ctr, bool up)
+{
+    if (up) {
+        if (ctr < 3)
+            ++ctr;
+    } else {
+        if (ctr > 0)
+            --ctr;
+    }
+}
+
+bool
+BranchPredictor::predictConditional(isa::Addr pc, bool taken)
+{
+    ++stat.condPredictions;
+    uint32_t b_idx = pc & (cfg.bimodalEntries - 1);
+    uint32_t g_idx = (pc ^ (history << (32 - cfg.historyBits) >>
+                            (32 - cfg.historyBits))) &
+                     (cfg.gshareEntries - 1);
+    uint32_t c_idx = pc & (cfg.chooserEntries - 1);
+
+    bool b_pred = bimodal[b_idx] >= 2;
+    bool g_pred = gshare[g_idx] >= 2;
+    bool use_gshare = chooser[c_idx] >= 2;
+    bool pred = use_gshare ? g_pred : b_pred;
+
+    // Train: component counters toward the outcome; the chooser toward
+    // whichever component was right (when they disagree).
+    bump(bimodal[b_idx], taken);
+    bump(gshare[g_idx], taken);
+    if (b_pred != g_pred)
+        bump(chooser[c_idx], g_pred == taken);
+    history = ((history << 1) | (taken ? 1 : 0)) &
+              ((1u << cfg.historyBits) - 1);
+
+    if (pred != taken)
+        ++stat.condMispredicts;
+    return pred;
+}
+
+bool
+BranchPredictor::btbLookup(isa::Addr pc, isa::Addr target)
+{
+    ++btbUse;
+    uint32_t set = pc & (btbSets - 1);
+    uint64_t tag = pc / btbSets;
+    BtbWay *base = &btb[static_cast<size_t>(set) * cfg.btbAssoc];
+
+    BtbWay *victim = base;
+    for (uint32_t w = 0; w < cfg.btbAssoc; ++w) {
+        BtbWay &way = base[w];
+        if (way.valid && way.tag == tag) {
+            way.lastUse = btbUse;
+            bool correct = way.target == target;
+            way.target = target;
+            if (!correct)
+                ++stat.btbMisses;
+            return correct;
+        }
+        if (!way.valid) {
+            victim = &way;
+        } else if (victim->valid && way.lastUse < victim->lastUse) {
+            victim = &way;
+        }
+    }
+    ++stat.btbMisses;
+    victim->valid = true;
+    victim->tag = tag;
+    victim->target = target;
+    victim->lastUse = btbUse;
+    return false;
+}
+
+void
+BranchPredictor::rasPush(isa::Addr return_pc)
+{
+    ras[rasTop] = return_pc;
+    rasTop = (rasTop + 1) % cfg.rasEntries;
+    if (rasCount < cfg.rasEntries)
+        ++rasCount;
+}
+
+bool
+BranchPredictor::rasPop(isa::Addr actual_target)
+{
+    ++stat.rasPredictions;
+    if (rasCount == 0) {
+        ++stat.rasMispredicts;
+        return false;
+    }
+    rasTop = (rasTop + cfg.rasEntries - 1) % cfg.rasEntries;
+    --rasCount;
+    bool correct = ras[rasTop] == actual_target;
+    if (!correct)
+        ++stat.rasMispredicts;
+    return correct;
+}
+
+} // namespace mg::uarch

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Hybrid bimodal/gshare direction predictor with BTB and RAS
+ * (Table 1: 24Kb hybrid predictor, 2K-entry 4-way BTB, 32-entry RAS).
+ */
+
+#ifndef MG_UARCH_BRANCH_PRED_H
+#define MG_UARCH_BRANCH_PRED_H
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/instruction.h"
+#include "uarch/config.h"
+
+namespace mg::uarch
+{
+
+/** Branch predictor statistics. */
+struct BranchPredStats
+{
+    uint64_t condPredictions = 0;
+    uint64_t condMispredicts = 0;
+    uint64_t btbMisses = 0;
+    uint64_t rasPredictions = 0;
+    uint64_t rasMispredicts = 0;
+
+    double
+    condMispredictRate() const
+    {
+        return condPredictions
+                   ? static_cast<double>(condMispredicts) / condPredictions
+                   : 0.0;
+    }
+};
+
+/**
+ * Direction predictor + BTB + RAS.
+ *
+ * Because the simulator never walks wrong paths, prediction and update
+ * happen together at fetch time (the caller supplies the oracle
+ * outcome); mispredictions are charged as a fetch stall until the
+ * branch resolves in the back-end.
+ */
+class BranchPredictor
+{
+  public:
+    explicit BranchPredictor(const BranchPredConfig &cfg);
+
+    /**
+     * Predict and update a conditional branch.
+     * @param pc     branch PC
+     * @param taken  oracle outcome
+     * @retval predicted direction
+     */
+    bool predictConditional(isa::Addr pc, bool taken);
+
+    /**
+     * Look up / train the BTB for a taken control transfer.
+     * @retval true if the BTB held the correct target.
+     */
+    bool btbLookup(isa::Addr pc, isa::Addr target);
+
+    /** Push a return address (on call). */
+    void rasPush(isa::Addr return_pc);
+
+    /**
+     * Pop and check a return prediction.
+     * @retval true if the RAS top matched the oracle target.
+     */
+    bool rasPop(isa::Addr actual_target);
+
+    const BranchPredStats &stats() const { return stat; }
+
+  private:
+    uint8_t &counter(std::vector<uint8_t> &table, uint32_t idx);
+    static void bump(uint8_t &ctr, bool up);
+
+    BranchPredConfig cfg;
+    std::vector<uint8_t> bimodal;
+    std::vector<uint8_t> gshare;
+    std::vector<uint8_t> chooser;
+    uint32_t history = 0;
+
+    struct BtbWay
+    {
+        uint64_t tag = 0;
+        isa::Addr target = 0;
+        bool valid = false;
+        uint64_t lastUse = 0;
+    };
+    std::vector<BtbWay> btb;
+    uint32_t btbSets;
+    uint64_t btbUse = 0;
+
+    std::vector<isa::Addr> ras;
+    uint32_t rasTop = 0;   ///< index of next push slot
+    uint32_t rasCount = 0;
+
+    BranchPredStats stat;
+};
+
+} // namespace mg::uarch
+
+#endif // MG_UARCH_BRANCH_PRED_H

@@ -1,0 +1,151 @@
+#include "uarch/cache.h"
+
+#include "common/logging.h"
+
+namespace mg::uarch
+{
+
+namespace
+{
+
+bool
+isPow2(uint64_t v)
+{
+    return v && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+Cache::Cache(const CacheConfig &config) : cfg(config)
+{
+    mg_assert(cfg.assoc > 0 && cfg.lineBytes > 0, "bad cache config");
+    numSets = cfg.sizeBytes / (cfg.lineBytes * cfg.assoc);
+    mg_assert(numSets > 0 && isPow2(numSets), "cache sets must be a "
+              "power of two (size=%u line=%u assoc=%u)", cfg.sizeBytes,
+              cfg.lineBytes, cfg.assoc);
+    ways.resize(static_cast<size_t>(numSets) * cfg.assoc);
+}
+
+bool
+Cache::access(uint64_t addr)
+{
+    ++stat.accesses;
+    ++useCounter;
+    uint64_t line = addr / cfg.lineBytes;
+    uint32_t set = static_cast<uint32_t>(line & (numSets - 1));
+    uint64_t tag = line >> __builtin_ctz(numSets);
+    Way *base = &ways[static_cast<size_t>(set) * cfg.assoc];
+
+    Way *victim = base;
+    for (uint32_t w = 0; w < cfg.assoc; ++w) {
+        Way &way = base[w];
+        if (way.valid && way.tag == tag) {
+            way.lastUse = useCounter;
+            return true;
+        }
+        if (!way.valid) {
+            victim = &way;
+        } else if (victim->valid && way.lastUse < victim->lastUse) {
+            victim = &way;
+        }
+    }
+    ++stat.misses;
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lastUse = useCounter;
+    return false;
+}
+
+bool
+Cache::probe(uint64_t addr) const
+{
+    uint64_t line = addr / cfg.lineBytes;
+    uint32_t set = static_cast<uint32_t>(line & (numSets - 1));
+    uint64_t tag = line >> __builtin_ctz(numSets);
+    const Way *base = &ways[static_cast<size_t>(set) * cfg.assoc];
+    for (uint32_t w = 0; w < cfg.assoc; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    }
+    return false;
+}
+
+void
+Cache::flush()
+{
+    for (Way &w : ways)
+        w.valid = false;
+}
+
+Tlb::Tlb(const TlbConfig &config) : cfg(config)
+{
+    numSets = cfg.entries / cfg.assoc;
+    mg_assert(numSets > 0 && isPow2(numSets), "TLB sets must be a power "
+              "of two");
+    ways.resize(static_cast<size_t>(numSets) * cfg.assoc);
+}
+
+uint32_t
+Tlb::access(uint64_t addr)
+{
+    ++stat.accesses;
+    ++useCounter;
+    uint64_t vpn = addr / cfg.pageBytes;
+    uint32_t set = static_cast<uint32_t>(vpn & (numSets - 1));
+    uint64_t key = vpn >> __builtin_ctz(numSets);
+    Way *base = &ways[static_cast<size_t>(set) * cfg.assoc];
+
+    Way *victim = base;
+    for (uint32_t w = 0; w < cfg.assoc; ++w) {
+        Way &way = base[w];
+        if (way.valid && way.vpn == key) {
+            way.lastUse = useCounter;
+            return 0;
+        }
+        if (!way.valid) {
+            victim = &way;
+        } else if (victim->valid && way.lastUse < victim->lastUse) {
+            victim = &way;
+        }
+    }
+    ++stat.misses;
+    victim->valid = true;
+    victim->vpn = key;
+    victim->lastUse = useCounter;
+    return cfg.missLatency;
+}
+
+CacheHierarchy::CacheHierarchy(const CoreConfig &config)
+    : cfg(config), l1i(config.icache), l1d(config.dcache), l2(config.l2),
+      itlbUnit(config.itlb), dtlbUnit(config.dtlb)
+{
+}
+
+uint32_t
+CacheHierarchy::dataAccess(uint64_t addr, bool write)
+{
+    uint32_t lat = dtlbUnit.access(addr);
+    lat += cfg.dcache.hitLatency;
+    if (!l1d.access(addr)) {
+        lat += cfg.l2.hitLatency;
+        if (!l2.access(addr))
+            lat += cfg.memLatency;
+    }
+    return lat;
+}
+
+uint32_t
+CacheHierarchy::instAccess(uint64_t addr)
+{
+    uint32_t lat = itlbUnit.access(addr);
+    // L1I hit latency is already part of the front-end pipeline depth
+    // (three I$ stages); only the *extra* miss latency is returned.
+    if (!l1i.access(addr)) {
+        lat += cfg.l2.hitLatency;
+        if (!l2.access(addr))
+            lat += cfg.memLatency;
+    }
+    return lat;
+}
+
+} // namespace mg::uarch

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Set-associative cache and TLB timing models.
+ *
+ * These are latency-oracle models: an access updates tag/LRU state and
+ * returns the latency the access would take.  Misses propagate to the
+ * next level through CacheHierarchy.  Bandwidth/bus contention is not
+ * modelled (the paper's main-memory bus is far from saturation for
+ * these workloads); miss status registers are unbounded.
+ */
+
+#ifndef MG_UARCH_CACHE_H
+#define MG_UARCH_CACHE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "uarch/config.h"
+
+namespace mg::uarch
+{
+
+/** Per-cache statistics. */
+struct CacheStats
+{
+    uint64_t accesses = 0;
+    uint64_t misses = 0;
+
+    double
+    missRate() const
+    {
+        return accesses ? static_cast<double>(misses) / accesses : 0.0;
+    }
+};
+
+/** One level of set-associative cache with LRU replacement. */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &cfg);
+
+    /**
+     * Access the given address.
+     * @retval true on hit.  Allocates the line on miss.
+     */
+    bool access(uint64_t addr);
+
+    /** Probe without state update. */
+    bool probe(uint64_t addr) const;
+
+    /** Invalidate everything (used by tests). */
+    void flush();
+
+    uint32_t hitLatency() const { return cfg.hitLatency; }
+    uint64_t lineOf(uint64_t addr) const { return addr / cfg.lineBytes; }
+    const CacheStats &stats() const { return stat; }
+
+  private:
+    struct Way
+    {
+        uint64_t tag = 0;
+        bool valid = false;
+        uint64_t lastUse = 0;
+    };
+
+    CacheConfig cfg;
+    uint32_t numSets;
+    std::vector<Way> ways; ///< numSets * assoc
+    uint64_t useCounter = 0;
+    CacheStats stat;
+};
+
+/** Set-associative TLB with LRU replacement. */
+class Tlb
+{
+  public:
+    explicit Tlb(const TlbConfig &cfg);
+
+    /** @retval extra latency (0 on hit, missLatency on miss). */
+    uint32_t access(uint64_t addr);
+
+    const CacheStats &stats() const { return stat; }
+
+  private:
+    TlbConfig cfg;
+    uint32_t numSets;
+    struct Way
+    {
+        uint64_t vpn = 0;
+        bool valid = false;
+        uint64_t lastUse = 0;
+    };
+    std::vector<Way> ways;
+    uint64_t useCounter = 0;
+    CacheStats stat;
+};
+
+/**
+ * Two-level hierarchy used for both instruction and data sides:
+ * L1 -> shared L2 -> fixed-latency main memory.
+ */
+class CacheHierarchy
+{
+  public:
+    CacheHierarchy(const CoreConfig &cfg);
+
+    /**
+     * Data-side access.
+     * @param addr   byte address
+     * @param write  store (writes allocate like reads)
+     * @retval total access latency in cycles (including TLB miss cost)
+     */
+    uint32_t dataAccess(uint64_t addr, bool write);
+
+    /**
+     * Instruction-side access (compacted code byte address).
+     * @retval total access latency in cycles
+     */
+    uint32_t instAccess(uint64_t addr);
+
+    Cache &icache() { return l1i; }
+    Cache &dcache() { return l1d; }
+    Cache &l2cache() { return l2; }
+    Tlb &dtlb() { return dtlbUnit; }
+    Tlb &itlb() { return itlbUnit; }
+
+  private:
+    CoreConfig cfg;
+    Cache l1i;
+    Cache l1d;
+    Cache l2;
+    Tlb itlbUnit;
+    Tlb dtlbUnit;
+};
+
+} // namespace mg::uarch
+
+#endif // MG_UARCH_CACHE_H

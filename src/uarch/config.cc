@@ -1,0 +1,89 @@
+#include "uarch/config.h"
+
+namespace mg::uarch
+{
+
+CoreConfig
+fullConfig()
+{
+    CoreConfig c;
+    c.name = "full-4w";
+    return c;
+}
+
+CoreConfig
+reducedConfig()
+{
+    CoreConfig c;
+    c.name = "reduced-3w";
+    c.fetchWidth = 3;
+    c.renameWidth = 3;
+    c.issueWidth = 3;
+    c.commitWidth = 3;
+    c.issueQueueEntries = 20;
+    c.physRegs = 120;
+    c.simpleIntPerCycle = 3;
+    c.complexPerCycle = 1;
+    c.loadsPerCycle = 1;
+    c.storesPerCycle = 1;
+    return c;
+}
+
+CoreConfig
+twoWayConfig()
+{
+    CoreConfig c;
+    c.name = "cross-2w";
+    c.fetchWidth = 2;
+    c.renameWidth = 2;
+    c.issueWidth = 2;
+    c.commitWidth = 2;
+    c.issueQueueEntries = 14;
+    c.physRegs = 96;
+    c.simpleIntPerCycle = 2;
+    c.complexPerCycle = 1;
+    c.loadsPerCycle = 1;
+    c.storesPerCycle = 1;
+    return c;
+}
+
+CoreConfig
+eightWayConfig()
+{
+    CoreConfig c;
+    c.name = "cross-8w";
+    c.fetchWidth = 8;
+    c.renameWidth = 8;
+    c.issueWidth = 8;
+    c.commitWidth = 8;
+    c.issueQueueEntries = 60;
+    c.physRegs = 224;
+    c.robEntries = 256;
+    c.simpleIntPerCycle = 8;
+    c.complexPerCycle = 2;
+    c.loadsPerCycle = 4;
+    c.storesPerCycle = 2;
+    return c;
+}
+
+CoreConfig
+dmemQuarterConfig()
+{
+    CoreConfig c = reducedConfig();
+    c.name = "cross-dmem4";
+    c.dcache.sizeBytes = 8 * 1024;
+    c.l2.sizeBytes = 256 * 1024;
+    return c;
+}
+
+CoreConfig
+enlargedConfig()
+{
+    CoreConfig c;
+    c.name = "enlarged-4w";
+    c.issueQueueEntries = 40;
+    c.physRegs = 164;
+    return c;
+}
+
+} // namespace mg::uarch

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Core configuration: every Table-1 parameter of the simulated
+ * processors, with factory functions for the paper's named
+ * configurations (fully-provisioned baseline, reduced, and the
+ * robustness-study variants).
+ */
+
+#ifndef MG_UARCH_CONFIG_H
+#define MG_UARCH_CONFIG_H
+
+#include <cstdint>
+#include <string>
+
+namespace mg::uarch
+{
+
+/** Parameters of one cache. */
+struct CacheConfig
+{
+    uint32_t sizeBytes = 32 * 1024;
+    uint32_t assoc = 2;
+    uint32_t lineBytes = 32;
+    uint32_t hitLatency = 3;
+};
+
+/** Parameters of a TLB. */
+struct TlbConfig
+{
+    uint32_t entries = 64;
+    uint32_t assoc = 4;
+    uint32_t pageBytes = 4096;
+    uint32_t missLatency = 30;
+};
+
+/** Branch predictor parameters (24Kb hybrid bimodal/gShare). */
+struct BranchPredConfig
+{
+    uint32_t bimodalEntries = 4096;  ///< 2-bit counters
+    uint32_t gshareEntries = 4096;   ///< 2-bit counters
+    uint32_t chooserEntries = 4096;  ///< 2-bit chooser counters
+    uint32_t historyBits = 12;
+    uint32_t btbEntries = 2048;
+    uint32_t btbAssoc = 4;
+    uint32_t rasEntries = 32;
+};
+
+/** Everything Table 1 specifies, plus model-level constants. */
+struct CoreConfig
+{
+    std::string name = "base-4w";
+
+    // --- Pipeline widths (the full/reduced knob) ---
+    uint32_t fetchWidth = 4;
+    uint32_t renameWidth = 4;   ///< matches fetch width in the paper
+    uint32_t issueWidth = 4;
+    uint32_t commitWidth = 4;
+
+    // --- Window capacities ---
+    uint32_t robEntries = 128;
+    uint32_t issueQueueEntries = 30;
+    uint32_t physRegs = 144;     ///< total; rename pool = physRegs - 32
+    uint32_t loadQueueEntries = 48;
+    uint32_t storeQueueEntries = 32;
+
+    // --- Per-cycle issue limits by class ---
+    uint32_t simpleIntPerCycle = 4;
+    uint32_t complexPerCycle = 1;  ///< complex integer / FP unit
+    uint32_t loadsPerCycle = 2;
+    uint32_t storesPerCycle = 1;
+
+    // --- Pipeline depth (13 stages) ---
+    // 1 predict + 3 I$ + 1 decode = 5 cycles fetch-to-rename.
+    uint32_t frontendDelay = 5;
+    // 2 rename + 1 schedule: dispatch-to-earliest-issue.
+    uint32_t renameDelay = 3;
+    // 2 regread stages between issue and execute.
+    uint32_t regreadDelay = 2;
+    // 1 regwrite stage between execute-complete and commit-eligible.
+    uint32_t regwriteDelay = 1;
+
+    // --- Branch prediction ---
+    BranchPredConfig branchPred{};
+
+    // --- Memory system ---
+    CacheConfig icache{32 * 1024, 2, 32, 3};
+    CacheConfig dcache{32 * 1024, 2, 32, 3};
+    CacheConfig l2{1024 * 1024, 4, 64, 12};
+    TlbConfig itlb{64, 4, 4096, 30};
+    TlbConfig dtlb{64, 4, 4096, 30};
+    uint32_t memLatency = 200;
+
+    // --- Memory speculation ---
+    uint32_t storeSetsSsitEntries = 1024;
+    uint32_t storeSetsLfstEntries = 128;
+    /** SSIT cyclic-clearing interval in rename events (0 = never). */
+    uint64_t storeSetsClearPeriod = 32768;
+
+    // --- Mini-graph support (Table 1, bottom row) ---
+    bool mgEnabled = true;          ///< processor recognises handles
+    uint32_t mgIssuePerCycle = 2;   ///< ALU pipelines (mini-graphs/cycle)
+    uint32_t mgMemIssuePerCycle = 1;///< of which may contain a memory op
+    uint32_t mgtEntries = 512;      ///< MGT capacity (selection budget)
+
+    // --- Slack-Dynamic hardware (used only by that selector) ---
+    bool slackDynamicEnabled = false;
+    bool slackDynamicIdeal = false;      ///< no outlining penalty
+    bool slackDynamicConsumerCheck = true; ///< require consumer delay
+    bool slackDynamicSial = false;       ///< SIAL heuristic variant
+    uint32_t slackDynamicThreshold = 10;  ///< disable at this count
+    uint32_t slackDynamicMax = 15;       ///< counter saturation
+    uint32_t slackDynamicDecayCycles = 12288; ///< resurrection decay
+
+    /** Maximum cycles to simulate (safety net against livelock). */
+    uint64_t maxCycles = 1ull << 32;
+};
+
+/** The fully-provisioned 4-way baseline (Table 1). */
+CoreConfig fullConfig();
+
+/** The reduced 3-way configuration (Table 1). */
+CoreConfig reducedConfig();
+
+/** Further-reduced 2-way machine (Figure 9 robustness study). */
+CoreConfig twoWayConfig();
+
+/** 8-way machine (Figure 9 robustness study). */
+CoreConfig eightWayConfig();
+
+/** Reduced machine with 8KB D$ and 256KB L2 (Figure 9, "dmem/4"). */
+CoreConfig dmemQuarterConfig();
+
+/** Baseline enlarged to 40 IQ entries / 164 registers (knee check). */
+CoreConfig enlargedConfig();
+
+} // namespace mg::uarch
+
+#endif // MG_UARCH_CONFIG_H

@@ -1,0 +1,999 @@
+#include "uarch/core.h"
+
+#include <algorithm>
+
+#include "assembler/cfg.h"
+#include "common/logging.h"
+
+namespace mg::uarch
+{
+
+using isa::Addr;
+using isa::Instruction;
+using isa::MgConstituent;
+using isa::MgTemplate;
+using isa::Opcode;
+
+Core::Core(const CoreConfig &config, const assembler::Program &program,
+           const isa::MgBinaryInfo *mg_info)
+    : cfg(config), prog(program), mgInfo(mg_info),
+      oracle(program, mg_info), hier(config),
+      bpred(config.branchPred),
+      storeSets(config.storeSetsSsitEntries, config.storeSetsLfstEntries,
+                config.storeSetsClearPeriod)
+{
+    rob.resize(cfg.robEntries);
+    renameMap.fill(kCommitted);
+    mg_assert(cfg.physRegs > isa::kNumArchRegs,
+              "config '%s': need more physical than architectural "
+              "registers", cfg.name.c_str());
+    freePhys = cfg.physRegs - isa::kNumArchRegs;
+
+    if (cfg.slackDynamicEnabled && mgInfo) {
+        slackDyn = std::make_unique<SlackDynamicState>(cfg);
+        oracle.setDisableQuery([this](Addr pc) {
+            return slackDyn->isDisabled(pc);
+        });
+    }
+
+    // Basic-block leaders for profiler BB-instance tracking.
+    assembler::Cfg cfg_graph(prog);
+    isLeader.assign(prog.code.size(), false);
+    for (const auto &bb : cfg_graph.blocks())
+        isLeader[bb.first] = true;
+
+    buildFetchAddrMap();
+}
+
+Core::~Core() = default;
+
+void
+Core::buildFetchAddrMap()
+{
+    // Compacted code layout for the I$: outlined/elided slots are
+    // squeezed out of the fetch image (the encoding's capacity
+    // amplification); every other instruction occupies 4 bytes.
+    fetchAddr.resize(prog.code.size());
+    uint64_t addr = 0;
+    for (size_t pc = 0; pc < prog.code.size(); ++pc) {
+        fetchAddr[pc] = addr;
+        if (!prog.code[pc].isElided())
+            addr += 4;
+    }
+}
+
+uint64_t
+Core::fetchAddrOf(Addr pc) const
+{
+    mg_assert(pc < fetchAddr.size(), "fetch pc %u out of range", pc);
+    return fetchAddr[pc];
+}
+
+DynInst &
+Core::robAt(uint64_t seq)
+{
+    return rob[seq % rob.size()];
+}
+
+const DynInst &
+Core::robAt(uint64_t seq) const
+{
+    return rob[seq % rob.size()];
+}
+
+bool
+Core::inFlight(uint64_t seq) const
+{
+    return seq >= headSeq && seq < tailSeq && robAt(seq).seq == seq;
+}
+
+uint64_t
+Core::srcActualReady(uint64_t producer) const
+{
+    if (producer == kCommitted || !inFlight(producer))
+        return 0;
+    return robAt(producer).ready;
+}
+
+uint64_t
+Core::srcSpecReady(uint64_t producer) const
+{
+    if (producer == kCommitted || !inFlight(producer))
+        return 0;
+    return robAt(producer).specReady;
+}
+
+bool
+Core::srcsSpecReady(const DynInst &d) const
+{
+    for (uint8_t i = 0; i < d.numSrcs; ++i) {
+        if (srcSpecReady(d.srcProducers[i]) > cycle)
+            return false;
+    }
+    return true;
+}
+
+bool
+Core::memDepSatisfied(const DynInst &d) const
+{
+    uint64_t ws = d.waitForStore;
+    if (ws == kCommitted || ws == StoreSets::kNone || !inFlight(ws))
+        return true;
+    const DynInst &store = robAt(ws);
+    if (!store.isStoreOp)
+        return true; // stale reference after a flush reused the seq
+    return store.memExecDone <= cycle;
+}
+
+bool
+Core::overlap(uint64_t a0, unsigned s0, uint64_t a1, unsigned s1) const
+{
+    return a0 < a1 + s1 && a1 < a0 + s0;
+}
+
+DynInst *
+Core::findForwardingStore(const DynInst &load, uint64_t load_seq)
+{
+    for (auto it = sq.rbegin(); it != sq.rend(); ++it) {
+        if (*it >= load_seq)
+            continue;
+        DynInst &store = robAt(*it);
+        if (overlap(load.memAddr, load.memSize, store.memAddr,
+                    store.memSize)) {
+            return &store;
+        }
+    }
+    return nullptr;
+}
+
+// ---------------------------------------------------------------------
+// Issue
+// ---------------------------------------------------------------------
+
+void
+Core::issueSingleton(DynInst &d)
+{
+    const Instruction &inst = d.ex.inst;
+    unsigned lat = inst.latency();
+
+    switch (inst.execClass()) {
+      case isa::ExecClass::IntAlu:
+      case isa::ExecClass::IntComplex:
+      case isa::ExecClass::Nop:
+        d.specReady = d.ready = cycle + lat;
+        d.execDone = cycle + cfg.regreadDelay + lat;
+        d.complete = d.execDone + cfg.regwriteDelay;
+        break;
+
+      case isa::ExecClass::Control:
+        d.specReady = d.ready = cycle + 1; // link value (jal/jalr)
+        d.execDone = cycle + cfg.regreadDelay + 1;
+        d.complete = d.execDone + cfg.regwriteDelay;
+        break;
+
+      case isa::ExecClass::MemRead: {
+        d.memIssueCycle = cycle;
+        unsigned actual;
+        DynInst *fwd = findForwardingStore(d, d.seq);
+        if (fwd && fwd->memExecDone <= cycle) {
+            actual = cfg.dcache.hitLatency;
+            d.forwarded = true;
+            if (profiler)
+                profiler->onStoreForward(fwd->seq, cycle);
+        } else {
+            actual = hier.dataAccess(d.memAddr, false);
+        }
+        d.specReady = cycle + cfg.dcache.hitLatency;
+        d.ready = cycle + actual;
+        d.execDone = cycle + cfg.regreadDelay + 1; // address known
+        d.complete = cycle + cfg.regreadDelay + actual +
+                     cfg.regwriteDelay;
+        break;
+      }
+
+      case isa::ExecClass::MemWrite:
+        d.memIssueCycle = cycle;
+        d.execDone = cycle + cfg.regreadDelay + 1;
+        d.memExecDone = d.execDone;
+        d.complete = d.execDone + cfg.regwriteDelay;
+        events.emplace(d.memExecDone, d.seq);
+        break;
+
+      case isa::ExecClass::MgHandle:
+        mg_panic("issueSingleton on a handle");
+    }
+
+    if (d.mispredicted) {
+        mg_assert(d.execDone != kInfCycle, "mispredict without resolve");
+        if (stalledOnSeq == d.seq) {
+            stalledOnSeq = kCommitted;
+            fetchResumeCycle = d.execDone + 1;
+        }
+    }
+}
+
+void
+Core::issueHandle(DynInst &d)
+{
+    const MgTemplate &t = *d.ex.tmpl;
+    uint64_t cum_spec = 0;
+    uint64_t cum_actual = 0;
+    uint64_t resolve = kInfCycle;
+
+    for (unsigned k = 0; k < t.size(); ++k) {
+        const MgConstituent &c = t.ops[k];
+        const ConstituentExec &ce = d.ex.constituents[k];
+        unsigned lat_spec = isa::opInfo(c.op).latency;
+        unsigned lat_actual = lat_spec;
+
+        if (isa::isLoad(c.op)) {
+            d.memIssueCycle = cycle + cum_actual;
+            DynInst *fwd = findForwardingStore(d, d.seq);
+            if (fwd && fwd->memExecDone <= d.memIssueCycle) {
+                lat_actual = cfg.dcache.hitLatency;
+                d.forwarded = true;
+                if (profiler)
+                    profiler->onStoreForward(fwd->seq, d.memIssueCycle);
+            } else {
+                lat_actual = hier.dataAccess(ce.memAddr, false);
+            }
+        } else if (isa::isStore(c.op)) {
+            d.memIssueCycle = cycle + cum_actual;
+            d.memExecDone = cycle + cfg.regreadDelay + cum_actual + 1;
+            events.emplace(d.memExecDone, d.seq);
+        }
+
+        cum_spec += lat_spec;
+        cum_actual += lat_actual;
+
+        if (static_cast<int>(k) == t.outputIdx) {
+            d.specReady = cycle + cum_spec;
+            d.ready = cycle + cum_actual;
+        }
+        if (isa::isCondBranch(c.op))
+            resolve = cycle + cfg.regreadDelay + cum_actual;
+    }
+
+    d.execDone = cycle + cfg.regreadDelay + cum_actual;
+    d.complete = d.execDone + cfg.regwriteDelay;
+
+    if (d.mispredicted) {
+        uint64_t at = resolve != kInfCycle ? resolve : d.execDone;
+        if (stalledOnSeq == d.seq) {
+            stalledOnSeq = kCommitted;
+            fetchResumeCycle = at + 1;
+        }
+    }
+}
+
+void
+Core::slackDynamicOnIssue(DynInst &d,
+                          const std::array<uint64_t, 3> &src_ready)
+{
+    const MgTemplate &t = *d.ex.tmpl;
+
+    // Find the last-arriving external operand (among in-flight
+    // producers; long-committed values cannot have constrained issue)
+    // and the runner-up, to judge how much the late operand really
+    // delayed the aggregate.
+    int last_slot = -1;
+    uint64_t last_ready = 0;
+    uint64_t second_ready = 0;
+    for (uint8_t i = 0; i < d.numSrcs; ++i) {
+        if (src_ready[i] > last_ready) {
+            second_ready = last_ready;
+            last_ready = src_ready[i];
+            last_slot = d.srcSlots[i];
+        } else if (src_ready[i] > second_ready) {
+            second_ready = src_ready[i];
+        }
+    }
+    if (last_slot < 0) {
+        slackDyn->benign(d.ex.pc);
+        return;
+    }
+    bool serializing = t.inputIsSerializing(static_cast<uint8_t>(last_slot));
+    if (!serializing) {
+        slackDyn->benign(d.ex.pc);
+        return;
+    }
+
+    if (cfg.slackDynamicSial) {
+        // SIAL heuristic: last-arriving operand is serializing.
+        slackDyn->noteSerializedIssue();
+        slackDyn->harmful(d.ex.pc);
+        return;
+    }
+
+    // True delay detection: the handle issued the moment the
+    // serializing operand arrived (that operand was the constraint)
+    // *and* the operand was late by a real margin — in a dense steady
+    // state every operand is "last" by a cycle without costing
+    // anything.
+    if (d.issueCycle != last_ready ||
+        last_ready < std::max(second_ready, d.earliestIssue) + 2) {
+        slackDyn->benign(d.ex.pc);
+        return;
+    }
+    slackDyn->noteSerializedIssue();
+    d.serializedIssue = true;
+
+    if (!cfg.slackDynamicConsumerCheck) {
+        slackDyn->harmful(d.ex.pc);
+        return;
+    }
+
+    // Full model: also require that the delay reaches a consumer.
+    // Watch this handle's output; a consumer that issues exactly when
+    // the output arrives (and for which the output was last) confirms
+    // propagation.
+    if (d.hasDest())
+        sdWatch[d.seq] = d.ex.pc;
+}
+
+void
+Core::observeIssue(const DynInst &d,
+                   const std::array<uint64_t, 3> &src_ready)
+{
+    std::array<SrcObservation, 3> srcs;
+    uint8_t n = 0;
+    for (uint8_t i = 0; i < d.numSrcs; ++i) {
+        uint64_t p = d.srcProducers[i];
+        SrcObservation &o = srcs[n++];
+        o.slot = d.srcSlots[i];
+        o.producerSeq = p;
+        if (p != kCommitted && inFlight(p)) {
+            o.producerPc = robAt(p).ex.pc;
+            o.readyCycle = src_ready[i];
+        } else {
+            o.producerPc = isa::kNoAddr;
+            o.readyCycle = 0; // long ago; profiler clamps to BB start
+        }
+    }
+
+    IssueObservation obs;
+    obs.pc = d.ex.pc;
+    obs.seq = d.seq;
+    obs.bbInstance = d.bbInstance;
+    obs.bbHead = d.bbHead;
+    obs.issueCycle = d.issueCycle;
+    obs.producesValue = d.hasDest();
+    obs.readyCycle = d.hasDest() ? d.ready : d.issueCycle;
+    obs.isStore = d.isStoreOp;
+    obs.isCondBranch = d.ex.inst.isCondBranch();
+    obs.mispredicted = d.mispredicted;
+    obs.storeExecDone = d.memExecDone;
+    obs.srcs = srcs.data();
+    obs.numSrcs = n;
+    profiler->onIssue(obs);
+}
+
+void
+Core::issueStage()
+{
+    uint64_t oldest = iq.empty() ? kCommitted : iq.front();
+    bool oldest_replayed = false;
+    bool oldest_fu = false;
+    uint32_t slots = 0;
+    uint32_t simple_used = 0, complex_used = 0;
+    uint32_t loads_used = 0, stores_used = 0;
+    uint32_t mg_used = 0, mg_mem_used = 0;
+
+    for (size_t idx = 0; idx < iq.size() && slots < cfg.issueWidth;) {
+        uint64_t seq = iq[idx];
+        DynInst &d = robAt(seq);
+        if (d.earliestIssue > cycle || !srcsSpecReady(d) ||
+            !memDepSatisfied(d)) {
+            ++idx;
+            continue;
+        }
+
+        // Functional-unit / class availability (skipping an entry with
+        // no free unit costs no scheduler slot: selection picks
+        // another ready instruction instead).
+        bool fu_ok = true;
+        if (d.isHandle()) {
+            fu_ok = mg_used < cfg.mgIssuePerCycle &&
+                    (!d.ex.tmpl->hasMem ||
+                     mg_mem_used < cfg.mgMemIssuePerCycle);
+        } else {
+            switch (d.ex.inst.execClass()) {
+              case isa::ExecClass::IntComplex:
+                fu_ok = complex_used < cfg.complexPerCycle;
+                break;
+              case isa::ExecClass::MemRead:
+                fu_ok = loads_used < cfg.loadsPerCycle;
+                break;
+              case isa::ExecClass::MemWrite:
+                fu_ok = stores_used < cfg.storesPerCycle;
+                break;
+              default:
+                fu_ok = simple_used < cfg.simpleIntPerCycle;
+                break;
+            }
+        }
+        if (!fu_ok) {
+            if (seq == oldest)
+                oldest_fu = true;
+            ++idx;
+            continue;
+        }
+
+        // Speculative wakeup said "go"; verify actual readiness.  A
+        // miss shadow costs the issue slot and the instruction replays
+        // (Table 1: "Cache miss replays are modeled").
+        std::array<uint64_t, 3> src_ready{0, 0, 0};
+        uint64_t actual_max = 0;
+        for (uint8_t i = 0; i < d.numSrcs; ++i) {
+            src_ready[i] = srcActualReady(d.srcProducers[i]);
+            actual_max = std::max(actual_max, src_ready[i]);
+        }
+        ++slots;
+        if (d.isHandle()) {
+            ++mg_used;
+            if (d.ex.tmpl->hasMem)
+                ++mg_mem_used;
+        } else {
+            switch (d.ex.inst.execClass()) {
+              case isa::ExecClass::IntComplex: ++complex_used; break;
+              case isa::ExecClass::MemRead: ++loads_used; break;
+              case isa::ExecClass::MemWrite: ++stores_used; break;
+              default: ++simple_used; break;
+            }
+        }
+        if (actual_max > cycle) {
+            ++res.issueReplays;
+            if (seq == oldest)
+                oldest_replayed = true;
+            d.earliestIssue = actual_max;
+            ++idx;
+            continue;
+        }
+
+        // Issue for real.
+        d.issued = true;
+        d.issueCycle = cycle;
+        if (d.isHandle())
+            issueHandle(d);
+        else
+            issueSingleton(d);
+
+        if (slackDyn && d.isHandle())
+            slackDynamicOnIssue(d, src_ready);
+
+        // Consumer-delay confirmation for watched mini-graph outputs.
+        if (!sdWatch.empty()) {
+            for (uint8_t i = 0; i < d.numSrcs; ++i) {
+                uint64_t p = d.srcProducers[i];
+                auto it = sdWatch.find(p);
+                if (it == sdWatch.end())
+                    continue;
+                uint64_t r = src_ready[i];
+                bool is_last = r == cycle;
+                for (uint8_t j = 0; j < d.numSrcs; ++j)
+                    if (src_ready[j] > r)
+                        is_last = false;
+                if (is_last && d.issueCycle == r) {
+                    slackDyn->harmful(it->second);
+                    sdWatch.erase(it);
+                }
+            }
+        }
+
+        if (profiler)
+            observeIssue(d, src_ready);
+
+        iq.erase(iq.begin() + static_cast<long>(idx));
+        d.inIq = false;
+        // Do not advance idx: erase shifted the next entry here.
+    }
+
+    // Oldest-unissued blame accounting (diagnostics).
+    if (oldest == kCommitted) {
+        if (!fetchQueue.empty())
+            ++res.blameNotDispatched;
+        return;
+    }
+    if (std::find(iq.begin(), iq.end(), oldest) == iq.end()) {
+        ++res.blameIssued;
+        return;
+    }
+    if (oldest_replayed) {
+        ++res.blameReplay;
+        return;
+    }
+    if (oldest_fu) {
+        ++res.blameFu;
+        return;
+    }
+    const DynInst &od = robAt(oldest);
+    if (od.earliestIssue > cycle)
+        ++res.blameEarliest;
+    else if (!srcsSpecReady(od))
+        ++res.blameSrcs;
+    else if (!memDepSatisfied(od))
+        ++res.blameMemDep;
+    else
+        ++res.blameFu;
+}
+
+// ---------------------------------------------------------------------
+// Memory ordering
+// ---------------------------------------------------------------------
+
+void
+Core::checkViolations(DynInst &store)
+{
+    // A younger load that already performed its access read stale
+    // data: flush from the oldest such load and train StoreSets.
+    uint64_t victim = kCommitted;
+    for (uint64_t lseq : lq) {
+        if (lseq <= store.seq)
+            continue;
+        DynInst &load = robAt(lseq);
+        if (!load.issued || load.memIssueCycle >= store.memExecDone)
+            continue;
+        if (load.forwarded)
+            continue; // got its value from an even younger store copy
+        if (overlap(load.memAddr, load.memSize, store.memAddr,
+                    store.memSize)) {
+            victim = lseq;
+            break; // lq is in age order: first match is oldest
+        }
+    }
+    if (victim == kCommitted)
+        return;
+
+    ++res.memOrderViolations;
+    storeSets.violation(robAt(victim).ex.pc, store.ex.pc);
+    flushFrom(victim);
+}
+
+void
+Core::processEvents()
+{
+    while (!events.empty() && events.top().first <= cycle) {
+        auto [when, seq] = events.top();
+        events.pop();
+        if (!inFlight(seq))
+            continue;
+        DynInst &d = robAt(seq);
+        if (!d.issued || !d.isStoreOp || d.memExecDone != when)
+            continue; // stale event (seq reused after a flush)
+        checkViolations(d);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Flush
+// ---------------------------------------------------------------------
+
+void
+Core::flushFrom(uint64_t first_squashed)
+{
+    mg_assert(first_squashed >= headSeq && first_squashed <= tailSeq,
+              "flush point %llu outside window",
+              static_cast<unsigned long long>(first_squashed));
+
+    // Collect the squashed correct-path steps for re-fetch, oldest
+    // first: ROB suffix, then the fetch queue, then any pending step.
+    std::vector<ExecStep> steps;
+    for (uint64_t s = first_squashed; s < tailSeq; ++s)
+        steps.push_back(std::move(robAt(s).ex));
+    for (DynInst &d : fetchQueue)
+        steps.push_back(std::move(d.ex));
+    if (pendingStep) {
+        steps.push_back(std::move(*pendingStep));
+        pendingStep.reset();
+    }
+    replayQueue.insert(replayQueue.begin(),
+                       std::make_move_iterator(steps.begin()),
+                       std::make_move_iterator(steps.end()));
+
+    // Roll back rename state, youngest first (only ROB entries were
+    // renamed; fetch-queue instructions had not reached rename).
+    for (uint64_t s = tailSeq; s-- > first_squashed;) {
+        DynInst &d = robAt(s);
+        if (d.destArch >= 0) {
+            if (renameMap[d.destArch] == s)
+                renameMap[static_cast<size_t>(d.destArch)] =
+                    d.prevProducer;
+            ++freePhys;
+        }
+        if (d.isStoreOp)
+            storeSets.storeCompleted(d.ex.pc, s);
+        sdWatch.erase(s);
+    }
+    fetchQueue.clear();
+
+    std::erase_if(iq, [&](uint64_t s) { return s >= first_squashed; });
+    while (!lq.empty() && lq.back() >= first_squashed)
+        lq.pop_back();
+    while (!sq.empty() && sq.back() >= first_squashed)
+        sq.pop_back();
+
+    tailSeq = first_squashed;
+    nextSeq = first_squashed;
+
+    if (profiler)
+        profiler->onSquash(first_squashed);
+
+    // Reset fetch: resume re-fetching next cycle (the front-end depth
+    // charges the refill delay naturally).
+    if (stalledOnSeq != kCommitted && stalledOnSeq >= first_squashed)
+        stalledOnSeq = kCommitted;
+    fetchResumeCycle = std::max(fetchResumeCycle, cycle + 1);
+    if (fetchResumeCycle == kInfCycle)
+        fetchResumeCycle = cycle + 1;
+    curFetchLine = kInfCycle;
+    lastFetchPc = isa::kNoAddr;
+}
+
+// ---------------------------------------------------------------------
+// Dispatch (rename + queue allocation)
+// ---------------------------------------------------------------------
+
+void
+Core::dispatchStage()
+{
+    for (uint32_t n = 0; n < cfg.renameWidth; ++n) {
+        if (fetchQueue.empty())
+            return;
+        DynInst &d = fetchQueue.front();
+        if (d.renameReady > cycle)
+            return;
+
+        if (tailSeq - headSeq >= cfg.robEntries) {
+            ++res.robStallCycles;
+            return;
+        }
+        if (iq.size() >= cfg.issueQueueEntries) {
+            ++res.iqStallCycles;
+            return;
+        }
+
+        const Instruction &inst = d.ex.inst;
+        int dest = inst.destReg();
+        if (dest >= 0 && freePhys == 0) {
+            ++res.regStallCycles;
+            return;
+        }
+
+        // Classify memory behaviour (handles carry it in a
+        // constituent).
+        bool is_load = false, is_store = false;
+        uint64_t maddr = 0;
+        uint8_t msize = 0;
+        if (d.isHandle()) {
+            for (const auto &ce : d.ex.constituents) {
+                if (ce.isMem) {
+                    is_load = !ce.isStore;
+                    is_store = ce.isStore;
+                    maddr = ce.memAddr;
+                    msize = ce.memSize;
+                }
+            }
+        } else if (inst.isLoad()) {
+            is_load = true;
+            maddr = d.ex.memAddr;
+            msize = d.ex.memSize;
+        } else if (inst.isStore()) {
+            is_store = true;
+            maddr = d.ex.memAddr;
+            msize = d.ex.memSize;
+        }
+        if (is_load && lq.size() >= cfg.loadQueueEntries)
+            return;
+        if (is_store && sq.size() >= cfg.storeQueueEntries)
+            return;
+
+        // --- All resources available: allocate. ---
+        d.isLoadOp = is_load;
+        d.isStoreOp = is_store;
+        d.memAddr = maddr;
+        d.memSize = msize;
+
+        // Source producers from the rename map (read *before* the
+        // destination mapping is updated: an instruction may read the
+        // previous version of its own destination register).
+        d.numSrcs = 0;
+        auto add_src = [&](uint8_t reg, uint8_t slot) {
+            if (reg == isa::kZeroReg)
+                return;
+            d.srcProducers[d.numSrcs] = renameMap[reg];
+            d.srcSlots[d.numSrcs] = slot;
+            ++d.numSrcs;
+        };
+        if (d.isHandle()) {
+            if (inst.numSrcs >= 1)
+                add_src(inst.rs1, 0);
+            if (inst.numSrcs >= 2)
+                add_src(inst.rs2, 1);
+            if (inst.numSrcs >= 3)
+                add_src(inst.rs3, 2);
+        } else {
+            const isa::OpInfo &info = isa::opInfo(inst.op);
+            if (info.readsRs1)
+                add_src(inst.rs1, 0);
+            if (info.readsRs2)
+                add_src(inst.rs2, 1);
+        }
+
+        if (dest >= 0) {
+            d.destArch = dest;
+            d.prevProducer = renameMap[static_cast<size_t>(dest)];
+            renameMap[static_cast<size_t>(dest)] = d.seq;
+            --freePhys;
+        }
+
+        // Memory-dependence prediction.
+        if (is_store) {
+            d.waitForStore = storeSets.storeRenamed(d.ex.pc, d.seq);
+            sq.push_back(d.seq);
+        } else if (is_load) {
+            d.waitForStore = storeSets.loadRenamed(d.ex.pc);
+            lq.push_back(d.seq);
+        }
+
+        d.dispatchCycle = cycle;
+        d.earliestIssue = cycle + cfg.renameDelay;
+        d.inIq = true;
+        iq.push_back(d.seq);
+
+        mg_assert(d.seq == tailSeq, "dispatch out of order");
+        robAt(tailSeq) = std::move(d);
+        fetchQueue.pop_front();
+        ++tailSeq;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fetch
+// ---------------------------------------------------------------------
+
+void
+Core::fetchStage()
+{
+    if (stalledOnSeq != kCommitted || cycle < fetchResumeCycle)
+        return;
+    if (cycle < fetchBlockedUntil)
+        return;
+
+    uint32_t slots = 0;
+    uint32_t lines = 0;
+    bool new_fetch_group = true;
+
+    while (slots < cfg.fetchWidth) {
+        // Obtain the next correct-path step.
+        if (!pendingStep) {
+            if (!replayQueue.empty()) {
+                pendingStep = std::move(replayQueue.front());
+                replayQueue.pop_front();
+            } else if (!oracle.halted()) {
+                pendingStep = oracle.step();
+            } else {
+                return;
+            }
+            if (pendingStep->syntheticJump)
+                ++res.disabledExpansions;
+        }
+        ExecStep &step = *pendingStep;
+
+        // Ideal-Slack-Dynamic: outlining jumps are free — they do not
+        // consume fetch slots, break fetch, or enter the pipeline.
+        bool free_step = cfg.slackDynamicIdeal &&
+                         (step.syntheticJump || step.outliningJump);
+        if (free_step) {
+            pendingStep.reset();
+            continue;
+        }
+
+        // I$ access (ideal mode charges outlined bodies no I$ cost:
+        // they behave as if fetched inline).
+        bool skip_icache = cfg.slackDynamicIdeal && step.fromDisabledMg;
+        if (!skip_icache) {
+            uint64_t line = fetchAddrOf(step.pc) / cfg.icache.lineBytes;
+            if (line != curFetchLine || new_fetch_group) {
+                if (lines >= kMaxFetchLines)
+                    return; // step stays pending for next cycle
+                ++lines;
+                curFetchLine = line;
+                uint32_t extra = hier.instAccess(fetchAddrOf(step.pc));
+                if (extra > 0) {
+                    fetchBlockedUntil = cycle + extra;
+                    return; // step stays pending
+                }
+            }
+        }
+        new_fetch_group = false;
+
+        // Create the in-flight instruction.
+        DynInst d;
+        d.seq = nextSeq++;
+        d.ex = std::move(step);
+        pendingStep.reset();
+        d.fetchCycle = cycle;
+        d.renameReady = cycle + cfg.frontendDelay;
+
+        // Basic-block instance tracking (profiler).
+        bool is_code_pc = d.ex.pc < isLeader.size();
+        if (lastFetchPc == isa::kNoAddr ||
+            (is_code_pc && isLeader[d.ex.pc])) {
+            ++bbInstanceId;
+            d.bbHead = is_code_pc && isLeader[d.ex.pc];
+        }
+        d.bbInstance = bbInstanceId;
+        lastFetchPc = d.ex.pc;
+
+        // Branch prediction / fetch redirection.
+        bool break_fetch = false;
+        const Instruction &inst = d.ex.inst;
+        bool handle_cond = d.isHandle() && d.ex.tmpl->condControl;
+        bool handle_jump = d.isHandle() && d.ex.tmpl->hasControl &&
+                           !d.ex.tmpl->condControl;
+
+        if (handle_jump) {
+            // Handle ending in a direct jump: always taken.
+            if (!bpred.btbLookup(d.ex.pc, d.ex.nextPc))
+                fetchBlockedUntil = cycle + kBtbMissPenalty;
+            break_fetch = true;
+        } else if (inst.isCondBranch() || handle_cond) {
+            bool pred = bpred.predictConditional(d.ex.pc, d.ex.taken);
+            if (pred != d.ex.taken) {
+                d.mispredicted = true;
+                stalledOnSeq = d.seq;
+                fetchResumeCycle = kInfCycle;
+                break_fetch = true;
+            } else if (d.ex.taken) {
+                if (!bpred.btbLookup(d.ex.pc, d.ex.nextPc))
+                    fetchBlockedUntil = cycle + kBtbMissPenalty;
+                break_fetch = true;
+            }
+        } else if (inst.op == Opcode::J) {
+            if (!bpred.btbLookup(d.ex.pc, d.ex.nextPc))
+                fetchBlockedUntil = cycle + kBtbMissPenalty;
+            break_fetch = true;
+        } else if (inst.op == Opcode::JAL) {
+            bpred.rasPush(d.ex.pc + 1);
+            if (!bpred.btbLookup(d.ex.pc, d.ex.nextPc))
+                fetchBlockedUntil = cycle + kBtbMissPenalty;
+            break_fetch = true;
+        } else if (inst.op == Opcode::JR) {
+            if (!bpred.rasPop(d.ex.nextPc)) {
+                d.mispredicted = true;
+                stalledOnSeq = d.seq;
+                fetchResumeCycle = kInfCycle;
+            }
+            break_fetch = true;
+        } else if (inst.op == Opcode::JALR) {
+            bpred.rasPush(d.ex.pc + 1);
+            if (!bpred.btbLookup(d.ex.pc, d.ex.nextPc)) {
+                d.mispredicted = true;
+                stalledOnSeq = d.seq;
+                fetchResumeCycle = kInfCycle;
+            }
+            break_fetch = true;
+        }
+
+        ++slots;
+        fetchQueue.push_back(std::move(d));
+        if (break_fetch)
+            return;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Commit
+// ---------------------------------------------------------------------
+
+void
+Core::commitStage()
+{
+    for (uint32_t n = 0; n < cfg.commitWidth && headSeq < tailSeq; ++n) {
+        DynInst &d = robAt(headSeq);
+        if (!d.issued || d.complete > cycle)
+            return;
+
+        if (d.isStoreOp) {
+            hier.dataAccess(d.memAddr, true);
+            storeSets.storeCompleted(d.ex.pc, d.seq);
+            mg_assert(!sq.empty() && sq.front() == d.seq,
+                      "store queue out of order at commit");
+            sq.pop_front();
+        }
+        if (d.isLoadOp) {
+            mg_assert(!lq.empty() && lq.front() == d.seq,
+                      "load queue out of order at commit");
+            lq.pop_front();
+        }
+        if (d.destArch >= 0) {
+            ++freePhys;
+            if (renameMap[static_cast<size_t>(d.destArch)] == d.seq)
+                renameMap[static_cast<size_t>(d.destArch)] = kCommitted;
+        }
+        sdWatch.erase(d.seq);
+        if (profiler)
+            profiler->onCommit(d.seq);
+
+        ++res.committedUnits;
+        res.originalInsts += d.ex.originalInstCount();
+        if (d.isHandle()) {
+            ++res.committedHandles;
+            res.coveredInsts += d.ex.tmpl->size();
+        }
+        if (d.ex.syntheticJump || d.ex.outliningJump)
+            ++res.outliningJumps;
+
+        ++headSeq;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Top level
+// ---------------------------------------------------------------------
+
+SimResult
+Core::run()
+{
+    res = SimResult{};
+    while (!(oracle.halted() && headSeq == tailSeq &&
+             fetchQueue.empty() && replayQueue.empty() && !pendingStep)) {
+        ++cycle;
+        if (cycle >= cfg.maxCycles) {
+            std::string head_state = "<empty>";
+            if (headSeq < tailSeq) {
+                const DynInst &h = robAt(headSeq);
+                head_state = strprintf(
+                    "pc=%u inst='%s' inIq=%d issued=%d earliest=%llu "
+                    "complete=%llu waitStore=%llu srcs=%u "
+                    "p0=%llu p1=%llu inIqVec=%d",
+                    h.ex.pc, isa::disassemble(h.ex.inst).c_str(),
+                    h.inIq, h.issued,
+                    static_cast<unsigned long long>(h.earliestIssue),
+                    static_cast<unsigned long long>(h.complete),
+                    static_cast<unsigned long long>(h.waitForStore),
+                    h.numSrcs,
+                    static_cast<unsigned long long>(h.srcProducers[0]),
+                    static_cast<unsigned long long>(h.srcProducers[1]),
+                    std::count(iq.begin(), iq.end(), h.seq) ? 1 : 0);
+            }
+            mg_panic("simulation of '%s' exceeded %llu cycles "
+                     "(livelock?): rob=[%llu,%llu) iq=%zu fq=%zu "
+                     "stalledOn=%llu resume=%llu blocked=%llu "
+                     "committed=%llu head{%s}",
+                     prog.name.c_str(),
+                     static_cast<unsigned long long>(cfg.maxCycles),
+                     static_cast<unsigned long long>(headSeq),
+                     static_cast<unsigned long long>(tailSeq),
+                     iq.size(), fetchQueue.size(),
+                     static_cast<unsigned long long>(stalledOnSeq),
+                     static_cast<unsigned long long>(fetchResumeCycle),
+                     static_cast<unsigned long long>(fetchBlockedUntil),
+                     static_cast<unsigned long long>(res.committedUnits),
+                     head_state.c_str());
+        }
+        commitStage();
+        processEvents();
+        issueStage();
+        dispatchStage();
+        fetchStage();
+        if (slackDyn)
+            slackDyn->maybeDecay(cycle);
+    }
+
+    res.cycles = cycle;
+    res.branchPred = bpred.stats();
+    res.icache = hier.icache().stats();
+    res.dcache = hier.dcache().stats();
+    res.l2 = hier.l2cache().stats();
+    res.itlb = hier.itlb().stats();
+    res.dtlb = hier.dtlb().stats();
+    res.storeSets = storeSets.stats();
+    if (slackDyn) {
+        res.slackDynamic = slackDyn->stats();
+        res.slackDynamicDisabledStatic = slackDyn->disabledCount();
+    }
+    return res;
+}
+
+} // namespace mg::uarch

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * The cycle-level out-of-order superscalar timing model.
+ *
+ * The model follows the paper's Table-1 machine: a 13-stage pipeline
+ * (1 predict, 3 I$, 1 decode, 2 rename, 1 schedule, 2 regread,
+ * 1 execute, 1 regwrite, 1 commit) with a hybrid branch predictor,
+ * BTB and RAS, physical-register renaming, a unified issue queue with
+ * per-class issue limits, a 128-entry ROB, load/store queues with
+ * aggressive StoreSets-scheduled loads and pipeline-flushing ordering
+ * violations, speculative (hit-assumed) wakeup with issue replays, and
+ * a two-level cache hierarchy with I/D TLBs.
+ *
+ * Mini-graph support: MGHANDLE units occupy a single slot in every
+ * book-keeping structure; the scheduler issues at most
+ * `mgIssuePerCycle` handles per cycle (one containing a memory op),
+ * each executing on an ALU pipeline with internal serialization
+ * (constituent n issues when n-1 completes).  External serialization
+ * is modelled by requiring all handle inputs ready at issue.  The
+ * Slack-Dynamic hardware (§4.4) can disable handles at run time,
+ * after which the oracle expands them in outlined form (two extra
+ * jumps) — or penalty-free in the Ideal variant.
+ *
+ * The front end is driven by an in-order functional oracle, so the
+ * model never fetches wrong-path instructions; a mispredicted branch
+ * instead stalls fetch until it resolves, the standard trace-driven
+ * equivalence.  Memory-ordering violations squash and re-fetch the
+ * offending load and everything younger.
+ */
+
+#ifndef MG_UARCH_CORE_H
+#define MG_UARCH_CORE_H
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "assembler/program.h"
+#include "isa/minigraph_types.h"
+#include "uarch/branch_pred.h"
+#include "uarch/cache.h"
+#include "uarch/config.h"
+#include "uarch/dyninst.h"
+#include "uarch/functional.h"
+#include "uarch/profiler_hooks.h"
+#include "uarch/sim_stats.h"
+#include "uarch/slack_dynamic.h"
+#include "uarch/store_sets.h"
+
+namespace mg::uarch
+{
+
+/** One simulated core running one program to completion. */
+class Core
+{
+  public:
+    /**
+     * @param cfg     machine configuration
+     * @param prog    program (original or rewritten)
+     * @param mg_info mini-graph side table for rewritten binaries
+     */
+    Core(const CoreConfig &cfg, const assembler::Program &prog,
+         const isa::MgBinaryInfo *mg_info = nullptr);
+
+    ~Core();
+
+    /** Attach a profiler (must be done before run()). */
+    void setProfiler(ProfilerHooks *hooks) { profiler = hooks; }
+
+    /** Run the program to completion and return the results. */
+    SimResult run();
+
+  private:
+    // ---- pipeline stages (called in back-to-front order) ----
+    void commitStage();
+    void processEvents();
+    void issueStage();
+    void dispatchStage();
+    void fetchStage();
+
+    // ---- issue helpers ----
+    bool srcsSpecReady(const DynInst &d) const;
+    uint64_t srcActualReady(uint64_t producer) const;
+    uint64_t srcSpecReady(uint64_t producer) const;
+    bool memDepSatisfied(const DynInst &d) const;
+    void doIssue(DynInst &d);
+    void issueSingleton(DynInst &d);
+    void issueHandle(DynInst &d);
+    void observeIssue(const DynInst &d,
+                      const std::array<uint64_t, 3> &src_ready);
+    void slackDynamicOnIssue(DynInst &d,
+                             const std::array<uint64_t, 3> &src_ready);
+
+    // ---- memory helpers ----
+    /** Youngest older overlapping store in the SQ, or nullptr. */
+    DynInst *findForwardingStore(const DynInst &load, uint64_t load_seq);
+    void checkViolations(DynInst &store);
+    bool overlap(uint64_t a0, unsigned s0, uint64_t a1, unsigned s1) const;
+
+    // ---- squash / flush ----
+    void flushFrom(uint64_t first_squashed);
+
+    // ---- bookkeeping ----
+    DynInst &robAt(uint64_t seq);
+    const DynInst &robAt(uint64_t seq) const;
+    bool inFlight(uint64_t seq) const;
+    uint64_t fetchAddrOf(isa::Addr pc) const;
+    void buildFetchAddrMap();
+
+    // ---- members ----
+    CoreConfig cfg;
+    const assembler::Program &prog;
+    const isa::MgBinaryInfo *mgInfo;
+    FunctionalCore oracle;
+    CacheHierarchy hier;
+    BranchPredictor bpred;
+    StoreSets storeSets;
+    std::unique_ptr<SlackDynamicState> slackDyn;
+    ProfilerHooks *profiler = nullptr;
+
+    uint64_t cycle = 0;
+
+    // ROB as a seq-indexed circular buffer.
+    std::vector<DynInst> rob;
+    uint64_t headSeq = 0;  ///< oldest in-flight (in ROB)
+    uint64_t tailSeq = 0;  ///< next ROB slot (== first fetch-queue seq)
+    uint64_t nextSeq = 0;  ///< next seq to assign at fetch
+
+    std::deque<DynInst> fetchQueue;    ///< fetched, awaiting dispatch
+    std::vector<uint64_t> iq;          ///< in-flight seqs, age order
+    std::deque<uint64_t> lq;           ///< load queue (seqs)
+    std::deque<uint64_t> sq;           ///< store queue (seqs)
+
+    // Rename map: arch reg -> producing seq (kCommitted if none).
+    std::array<uint64_t, isa::kNumArchRegs> renameMap;
+    uint32_t freePhys = 0;
+
+    // Fetch state.
+    std::deque<ExecStep> replayQueue;  ///< squashed steps to re-fetch
+    std::optional<ExecStep> pendingStep;
+    uint64_t fetchResumeCycle = 0;     ///< stall until this cycle
+    uint64_t stalledOnSeq = kCommitted;///< unresolved mispredict
+    uint64_t fetchBlockedUntil = 0;    ///< I$ miss stall
+    uint64_t curFetchLine = kInfCycle;
+    static constexpr uint32_t kBtbMissPenalty = 4;
+    static constexpr uint32_t kMaxFetchLines = 2;
+
+    // Deferred events: (cycle, seq) pairs for store-execute checks.
+    using Event = std::pair<uint64_t, uint64_t>;
+    std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
+        events;
+
+    // Slack-Dynamic consumer-delay watch: producer seq -> handle pc.
+    std::unordered_map<uint64_t, isa::Addr> sdWatch;
+
+    // Basic-block instance tracking for the profiler.
+    std::vector<bool> isLeader; ///< per-PC leader flags
+    uint64_t bbInstanceId = 0;
+    isa::Addr lastFetchPc = isa::kNoAddr;
+
+    // Compacted I$ byte address per PC.
+    std::vector<uint64_t> fetchAddr;
+
+    SimResult res;
+};
+
+} // namespace mg::uarch
+
+#endif // MG_UARCH_CORE_H

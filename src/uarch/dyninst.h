@@ -1,0 +1,77 @@
+/**
+ * @file
+ * DynInst: one in-flight instruction (or mini-graph handle) in the
+ * timing core, carrying its oracle execution facts plus all per-stage
+ * timing state.
+ */
+
+#ifndef MG_UARCH_DYNINST_H
+#define MG_UARCH_DYNINST_H
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+#include "uarch/functional.h"
+
+namespace mg::uarch
+{
+
+/** "Unknown / not yet" cycle sentinel. */
+constexpr uint64_t kInfCycle = std::numeric_limits<uint64_t>::max();
+
+/** "Committed long ago" producer sentinel. */
+constexpr uint64_t kCommitted = std::numeric_limits<uint64_t>::max();
+
+/** One in-flight instruction. */
+struct DynInst
+{
+    ExecStep ex;      ///< oracle execution facts (owns the inst copy)
+    uint64_t seq = 0; ///< dynamic sequence number (ROB slot = seq % N)
+
+    // ---- rename state ----
+    int destArch = -1;              ///< architectural dest (-1: none)
+    uint64_t prevProducer = kCommitted; ///< rename-map value displaced
+    uint8_t numSrcs = 0;
+    std::array<uint64_t, 3> srcProducers{kCommitted, kCommitted,
+                                         kCommitted};
+    std::array<uint8_t, 3> srcSlots{0, 0, 0}; ///< operand slot per src
+
+    // ---- basic-block instance (profiler) ----
+    uint64_t bbInstance = 0;
+    bool bbHead = false;
+
+    // ---- memory state ----
+    bool isLoadOp = false;   ///< load singleton or handle w/ load
+    bool isStoreOp = false;  ///< store singleton or handle w/ store
+    uint64_t memAddr = 0;
+    uint8_t memSize = 0;
+    uint64_t waitForStore = kCommitted; ///< StoreSets ordering dep
+    uint64_t memIssueCycle = kInfCycle; ///< when the mem op accesses D$
+    uint64_t memExecDone = kInfCycle;   ///< store addr/data known
+    bool forwarded = false;
+
+    // ---- pipeline timing ----
+    uint64_t fetchCycle = 0;
+    uint64_t renameReady = 0;    ///< earliest rename/dispatch cycle
+    uint64_t dispatchCycle = 0;
+    uint64_t earliestIssue = 0;
+    bool inIq = false;
+    bool issued = false;
+    uint64_t issueCycle = kInfCycle;
+    uint64_t specReady = kInfCycle; ///< dest ready, hit-speculative
+    uint64_t ready = kInfCycle;     ///< dest ready, actual
+    uint64_t execDone = kInfCycle;  ///< resolve point (branches/stores)
+    uint64_t complete = kInfCycle;  ///< commit-eligible cycle
+    bool mispredicted = false;
+
+    // ---- mini-graph bookkeeping ----
+    bool serializedIssue = false; ///< Slack-Dynamic serialization flag
+
+    bool isHandle() const { return ex.isHandle(); }
+    bool hasDest() const { return destArch >= 0; }
+};
+
+} // namespace mg::uarch
+
+#endif // MG_UARCH_DYNINST_H

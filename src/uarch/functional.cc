@@ -1,0 +1,365 @@
+#include "uarch/functional.h"
+
+#include "common/logging.h"
+
+namespace mg::uarch
+{
+
+using isa::Addr;
+using isa::Instruction;
+using isa::MgConstituent;
+using isa::MgSrcKind;
+using isa::MgTemplate;
+using isa::Opcode;
+
+namespace
+{
+
+/** Evaluate an integer ALU/complex op; b is the immediate for i-forms. */
+uint64_t
+evalIntOp(Opcode op, uint64_t a, uint64_t b)
+{
+    int64_t sa = static_cast<int64_t>(a);
+    int64_t sb = static_cast<int64_t>(b);
+    switch (op) {
+      case Opcode::ADD: case Opcode::ADDI: return a + b;
+      case Opcode::SUB:                    return a - b;
+      case Opcode::AND: case Opcode::ANDI: return a & b;
+      case Opcode::OR:  case Opcode::ORI:  return a | b;
+      case Opcode::XOR: case Opcode::XORI: return a ^ b;
+      case Opcode::SLL: case Opcode::SLLI: return a << (b & 63);
+      case Opcode::SRL: case Opcode::SRLI: return a >> (b & 63);
+      case Opcode::SRA: case Opcode::SRAI:
+        return static_cast<uint64_t>(sa >> (b & 63));
+      case Opcode::SLT: case Opcode::SLTI: return sa < sb ? 1 : 0;
+      case Opcode::SLTU: case Opcode::SLTIU: return a < b ? 1 : 0;
+      case Opcode::MUL: case Opcode::MULI: return a * b;
+      case Opcode::DIV:
+        if (b == 0)
+            return ~0ull; // RISC-V convention: div by zero -> -1
+        if (sa == INT64_MIN && sb == -1)
+            return a;
+        return static_cast<uint64_t>(sa / sb);
+      case Opcode::REM:
+        if (b == 0)
+            return a;
+        if (sa == INT64_MIN && sb == -1)
+            return 0;
+        return static_cast<uint64_t>(sa % sb);
+      case Opcode::LI: return b;
+      default:
+        mg_panic("evalIntOp: not an ALU opcode: %s",
+                 std::string(isa::mnemonic(op)).c_str());
+    }
+}
+
+/** Evaluate a conditional branch predicate. */
+bool
+evalBranch(Opcode op, uint64_t a, uint64_t b)
+{
+    int64_t sa = static_cast<int64_t>(a);
+    int64_t sb = static_cast<int64_t>(b);
+    switch (op) {
+      case Opcode::BEQ:  return a == b;
+      case Opcode::BNE:  return a != b;
+      case Opcode::BLT:  return sa < sb;
+      case Opcode::BGE:  return sa >= sb;
+      case Opcode::BLTU: return a < b;
+      case Opcode::BGEU: return a >= b;
+      default:
+        mg_panic("evalBranch: not a branch opcode: %s",
+                 std::string(isa::mnemonic(op)).c_str());
+    }
+}
+
+/** Bytes accessed by a memory opcode. */
+unsigned
+memBytes(Opcode op)
+{
+    switch (op) {
+      case Opcode::LB: case Opcode::LBU: case Opcode::SB: return 1;
+      case Opcode::LH: case Opcode::LHU: case Opcode::SH: return 2;
+      case Opcode::LW: case Opcode::LWU: case Opcode::SW: return 4;
+      case Opcode::LD: case Opcode::SD: return 8;
+      default:
+        mg_panic("memBytes: not a memory opcode");
+    }
+}
+
+/** True for sign-extending loads. */
+bool
+loadSigned(Opcode op)
+{
+    return op == Opcode::LB || op == Opcode::LH || op == Opcode::LW ||
+           op == Opcode::LD;
+}
+
+} // namespace
+
+FunctionalCore::FunctionalCore(const assembler::Program &program,
+                               const isa::MgBinaryInfo *mg_info)
+    : prog(program), mgInfo(mg_info), mem(program)
+{
+    curPc = prog.entry;
+    regs.fill(0);
+    regs[isa::kStackReg] = mem.initialSp();
+}
+
+ExecStep
+FunctionalCore::step()
+{
+    mg_assert(!isHalted, "step() after halt in '%s'", prog.name.c_str());
+    const Instruction &inst = prog.at(curPc);
+
+    if (inst.isHandle()) {
+        mg_assert(mgInfo, "handle with no MgBinaryInfo at pc %u", curPc);
+        const isa::MgInstance *info = mgInfo->instanceAt(curPc);
+        mg_assert(info, "no instance metadata for handle at pc %u", curPc);
+        bool disabled = disableQuery && disableQuery(curPc);
+        if (!disabled)
+            return execHandle(*info);
+
+        // Disabled: emit the restored outlining jump; the body then
+        // executes as ordinary singletons ending in a jump back.
+        ExecStep step;
+        step.pc = curPc;
+        step.inst = isa::makeJump(info->outlinedPc);
+        step.nextPc = info->outlinedPc;
+        step.taken = true;
+        step.syntheticJump = true;
+        curPc = info->outlinedPc;
+        return step;
+    }
+
+    return execSingleton();
+}
+
+ExecStep
+FunctionalCore::execSingleton()
+{
+    const Instruction &inst = prog.at(curPc);
+    mg_assert(!inst.isElided(), "executed ELIDED slot at pc %u", curPc);
+
+    ExecStep step;
+    step.pc = curPc;
+    step.inst = inst;
+    step.nextPc = curPc + 1;
+    applySingleton(inst, step);
+
+    if (mgInfo) {
+        if (mgInfo->outlinedBodyPcs.count(curPc))
+            step.fromDisabledMg = true;
+        if (mgInfo->outliningJumpPcs.count(curPc)) {
+            step.outliningJump = true;
+            step.fromDisabledMg = false;
+        }
+    }
+    executedInsts += step.originalInstCount();
+    curPc = step.nextPc;
+    return step;
+}
+
+void
+FunctionalCore::applySingleton(const Instruction &inst, ExecStep &step)
+{
+    auto rv = [&](unsigned r) { return regs[r]; };
+    auto wr = [&](unsigned r, uint64_t v) {
+        if (r != isa::kZeroReg)
+            regs[r] = v;
+    };
+
+    switch (inst.execClass()) {
+      case isa::ExecClass::IntAlu:
+      case isa::ExecClass::IntComplex: {
+        uint64_t b;
+        switch (isa::opInfo(inst.op).format) {
+          case isa::Format::RRR: b = rv(inst.rs2); break;
+          case isa::Format::RRI: b = static_cast<uint64_t>(inst.imm); break;
+          case isa::Format::RI:  b = static_cast<uint64_t>(inst.imm); break;
+          default: mg_panic("bad ALU format");
+        }
+        wr(inst.rd, evalIntOp(inst.op, rv(inst.rs1), b));
+        break;
+      }
+      case isa::ExecClass::MemRead: {
+        uint64_t addr = rv(inst.rs1) + static_cast<uint64_t>(inst.imm);
+        unsigned bytes = memBytes(inst.op);
+        uint64_t v = loadSigned(inst.op)
+                         ? static_cast<uint64_t>(mem.readSigned(addr, bytes))
+                         : mem.read(addr, bytes);
+        wr(inst.rd, v);
+        step.memAddr = addr;
+        step.memSize = static_cast<uint8_t>(bytes);
+        break;
+      }
+      case isa::ExecClass::MemWrite: {
+        uint64_t addr = rv(inst.rs1) + static_cast<uint64_t>(inst.imm);
+        unsigned bytes = memBytes(inst.op);
+        mem.write(addr, rv(inst.rs2), bytes);
+        step.memAddr = addr;
+        step.memSize = static_cast<uint8_t>(bytes);
+        break;
+      }
+      case isa::ExecClass::Control: {
+        switch (inst.op) {
+          case Opcode::J:
+            step.nextPc = static_cast<Addr>(inst.imm);
+            step.taken = true;
+            break;
+          case Opcode::JAL:
+            wr(inst.rd, step.pc + 1);
+            step.nextPc = static_cast<Addr>(inst.imm);
+            step.taken = true;
+            break;
+          case Opcode::JR:
+            step.nextPc = static_cast<Addr>(rv(inst.rs1));
+            step.taken = true;
+            break;
+          case Opcode::JALR: {
+            Addr target = static_cast<Addr>(rv(inst.rs1));
+            wr(inst.rd, step.pc + 1);
+            step.nextPc = target;
+            step.taken = true;
+            break;
+          }
+          default: // conditional branch
+            step.taken = evalBranch(inst.op, rv(inst.rs1), rv(inst.rs2));
+            if (step.taken)
+                step.nextPc = static_cast<Addr>(inst.imm);
+            break;
+        }
+        break;
+      }
+      case isa::ExecClass::Nop:
+        if (inst.isHalt())
+            isHalted = true;
+        break;
+      case isa::ExecClass::MgHandle:
+        mg_panic("applySingleton on a handle");
+    }
+}
+
+ExecStep
+FunctionalCore::execHandle(const isa::MgInstance &inst_info)
+{
+    const Instruction &handle = prog.at(curPc);
+    const MgTemplate &tmpl = mgInfo->templates[inst_info.templateIdx];
+
+    ExecStep step;
+    step.pc = curPc;
+    step.inst = handle;
+    step.tmpl = &tmpl;
+    step.instance = &inst_info;
+    step.nextPc = inst_info.pcAfter;
+    step.constituents.resize(tmpl.size());
+
+    // Gather external inputs in slot order.
+    std::array<uint64_t, isa::kMaxMgInputs> ext{};
+    if (handle.numSrcs >= 1)
+        ext[0] = regs[handle.rs1];
+    if (handle.numSrcs >= 2)
+        ext[1] = regs[handle.rs2];
+    if (handle.numSrcs >= 3)
+        ext[2] = regs[handle.rs3];
+
+    // Interpret the template in series, latching internal results.
+    std::array<uint64_t, isa::kMaxMgSize> internal{};
+    uint64_t output = 0;
+    bool wrote_output = false;
+
+    for (unsigned k = 0; k < tmpl.size(); ++k) {
+        const MgConstituent &c = tmpl.ops[k];
+        ConstituentExec &ce = step.constituents[k];
+        auto src = [&](MgSrcKind kind, uint8_t idx) -> uint64_t {
+            switch (kind) {
+              case MgSrcKind::External: return ext[idx];
+              case MgSrcKind::Internal: return internal[idx];
+              case MgSrcKind::None: return 0;
+            }
+            return 0;
+        };
+        uint64_t a = src(c.src1Kind, c.src1);
+        uint64_t b = src(c.src2Kind, c.src2);
+        uint64_t result = 0;
+
+        switch (isa::opInfo(c.op).execClass) {
+          case isa::ExecClass::IntAlu:
+          case isa::ExecClass::IntComplex: {
+            isa::Format f = isa::opInfo(c.op).format;
+            uint64_t rhs = (f == isa::Format::RRR)
+                               ? b
+                               : static_cast<uint64_t>(c.imm);
+            result = evalIntOp(c.op, a, rhs);
+            break;
+          }
+          case isa::ExecClass::MemRead: {
+            uint64_t addr = a + static_cast<uint64_t>(c.imm);
+            unsigned bytes = memBytes(c.op);
+            result = loadSigned(c.op)
+                         ? static_cast<uint64_t>(
+                               mem.readSigned(addr, bytes))
+                         : mem.read(addr, bytes);
+            ce.isMem = true;
+            ce.memAddr = addr;
+            ce.memSize = static_cast<uint8_t>(bytes);
+            break;
+          }
+          case isa::ExecClass::MemWrite: {
+            uint64_t addr = a + static_cast<uint64_t>(c.imm);
+            unsigned bytes = memBytes(c.op);
+            mem.write(addr, b, bytes);
+            ce.isMem = true;
+            ce.isStore = true;
+            ce.memAddr = addr;
+            ce.memSize = static_cast<uint8_t>(bytes);
+            break;
+          }
+          case isa::ExecClass::Control: {
+            mg_assert((isa::isCondBranch(c.op) || c.op == Opcode::J) &&
+                          k == tmpl.size() - 1,
+                      "only a final branch or direct jump may be a "
+                      "constituent");
+            ce.taken = c.op == Opcode::J || evalBranch(c.op, a, b);
+            if (ce.taken) {
+                // c.imm holds the displacement from the handle PC.
+                step.nextPc = static_cast<Addr>(
+                    static_cast<int64_t>(step.pc) + c.imm);
+                step.taken = true;
+            }
+            break;
+          }
+          default:
+            mg_panic("illegal constituent op %s",
+                     std::string(isa::mnemonic(c.op)).c_str());
+        }
+        internal[k] = result;
+        if (c.producesOutput) {
+            output = result;
+            wrote_output = true;
+        }
+    }
+
+    if (handle.hasDest && wrote_output && handle.rd != isa::kZeroReg)
+        regs[handle.rd] = output;
+
+    executedInsts += tmpl.size();
+    curPc = step.nextPc;
+    return step;
+}
+
+uint64_t
+FunctionalCore::run(uint64_t max_steps)
+{
+    uint64_t steps = 0;
+    while (!isHalted) {
+        mg_assert(steps < max_steps,
+                  "program '%s' exceeded %llu functional steps",
+                  prog.name.c_str(),
+                  static_cast<unsigned long long>(max_steps));
+        step();
+        ++steps;
+    }
+    return executedInsts;
+}
+
+} // namespace mg::uarch

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Functional (architectural) execution of MG-RISC programs.
+ *
+ * FunctionalCore is both the golden model for correctness tests and
+ * the *oracle* that drives the timing core's fetch stage: because the
+ * timing model never walks wrong paths, it can pull the committed
+ * instruction stream — with all values, memory addresses and branch
+ * outcomes resolved — directly from this in-order interpreter.
+ *
+ * The core also understands rewritten binaries: an enabled MGHANDLE
+ * executes its whole template atomically; a handle that the hardware
+ * has dynamically disabled (Slack-Dynamic) is expanded into its
+ * outlined singleton form, including the two outlining jumps whose
+ * fetch cost is the encoding penalty discussed in §4.4/§5.3.
+ */
+
+#ifndef MG_UARCH_FUNCTIONAL_H
+#define MG_UARCH_FUNCTIONAL_H
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "assembler/program.h"
+#include "isa/minigraph_types.h"
+#include "uarch/memory.h"
+
+namespace mg::uarch
+{
+
+/** Execution record of one constituent inside an enabled handle. */
+struct ConstituentExec
+{
+    uint64_t memAddr = 0;
+    uint8_t memSize = 0;
+    bool isMem = false;
+    bool isStore = false;
+    bool taken = false;
+};
+
+/**
+ * One step of oracle execution: a singleton, an enabled handle
+ * (reported as a unit), or one element of a disabled handle's
+ * outlined expansion.
+ */
+struct ExecStep
+{
+    isa::Addr pc = 0;
+    isa::Instruction inst;
+    isa::Addr nextPc = 0;
+
+    // Memory access (singletons).
+    uint64_t memAddr = 0;
+    uint8_t memSize = 0;
+
+    // Control outcome.
+    bool taken = false;
+
+    /** Synthetic outlining jump injected for a disabled handle. */
+    bool syntheticJump = false;
+
+    /** Real jump-back at the end of an outlined body. */
+    bool outliningJump = false;
+
+    /** Singleton that is part of a disabled handle's outlined body. */
+    bool fromDisabledMg = false;
+
+    /** Enabled handle: template and per-constituent execution facts. */
+    const isa::MgTemplate *tmpl = nullptr;
+    const isa::MgInstance *instance = nullptr;
+    std::vector<ConstituentExec> constituents;
+
+    bool isHandle() const { return tmpl != nullptr; }
+
+    /** Original-program instructions this step accounts for. */
+    unsigned
+    originalInstCount() const
+    {
+        if (isHandle())
+            return tmpl->size();
+        if (syntheticJump || outliningJump)
+            return 0;
+        return 1;
+    }
+};
+
+/**
+ * In-order architectural interpreter.
+ */
+class FunctionalCore
+{
+  public:
+    /**
+     * @param prog    the (possibly rewritten) program
+     * @param mg_info template table for rewritten binaries (or null)
+     */
+    FunctionalCore(const assembler::Program &prog,
+                   const isa::MgBinaryInfo *mg_info = nullptr);
+
+    /**
+     * Install the dynamic-disable oracle: called with a handle PC,
+     * returns true if the hardware currently has it disabled.
+     * When unset, every handle is enabled.
+     */
+    void
+    setDisableQuery(std::function<bool(isa::Addr)> query)
+    {
+        disableQuery = std::move(query);
+    }
+
+    /** Execute one step. Must not be called once halted. */
+    ExecStep step();
+
+    bool halted() const { return isHalted; }
+
+    /** Architectural instructions executed (original-program count). */
+    uint64_t instCount() const { return executedInsts; }
+
+    /** Current architectural PC. */
+    isa::Addr pc() const { return curPc; }
+
+    /** Register read (tests). */
+    uint64_t reg(unsigned r) const { return regs[r]; }
+
+    /** Register write (tests / initialisation). */
+    void setReg(unsigned r, uint64_t v) { if (r) regs[r] = v; }
+
+    Memory &memory() { return mem; }
+    const Memory &memory() const { return mem; }
+
+    /**
+     * Run to completion (convenience for tests and workloads).
+     * @param max_steps safety limit
+     * @retval number of architectural instructions executed
+     */
+    uint64_t run(uint64_t max_steps = 1ull << 32);
+
+  private:
+    ExecStep execSingleton();
+    ExecStep execHandle(const isa::MgInstance &inst_info);
+
+    /** Evaluate a singleton's result value (ALU/loads). */
+    void applySingleton(const isa::Instruction &inst, ExecStep &step);
+
+    const assembler::Program &prog;
+    const isa::MgBinaryInfo *mgInfo;
+    std::function<bool(isa::Addr)> disableQuery;
+
+    Memory mem;
+    std::array<uint64_t, isa::kNumArchRegs> regs{};
+    isa::Addr curPc;
+    bool isHalted = false;
+    uint64_t executedInsts = 0;
+};
+
+} // namespace mg::uarch
+
+#endif // MG_UARCH_FUNCTIONAL_H

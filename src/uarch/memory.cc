@@ -1,0 +1,54 @@
+#include "uarch/memory.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace mg::uarch
+{
+
+Memory::Memory(const assembler::Program &prog)
+{
+    bytes.assign(prog.memSize, 0);
+    mg_assert(prog.dataBase + prog.dataInit.size() <= bytes.size(),
+              "data image overflows memory in '%s'", prog.name.c_str());
+    std::memcpy(bytes.data() + prog.dataBase, prog.dataInit.data(),
+                prog.dataInit.size());
+}
+
+void
+Memory::checkRange(uint64_t addr, unsigned n) const
+{
+    mg_assert(addr + n <= bytes.size(),
+              "memory access out of range: addr=0x%llx size=%u mem=%llu",
+              static_cast<unsigned long long>(addr), n,
+              static_cast<unsigned long long>(bytes.size()));
+}
+
+uint64_t
+Memory::read(uint64_t addr, unsigned bytes_n) const
+{
+    checkRange(addr, bytes_n);
+    uint64_t v = 0;
+    for (unsigned i = 0; i < bytes_n; ++i)
+        v |= static_cast<uint64_t>(bytes[addr + i]) << (8 * i);
+    return v;
+}
+
+int64_t
+Memory::readSigned(uint64_t addr, unsigned bytes_n) const
+{
+    uint64_t v = read(addr, bytes_n);
+    unsigned shift = 64 - 8 * bytes_n;
+    return static_cast<int64_t>(v << shift) >> shift;
+}
+
+void
+Memory::write(uint64_t addr, uint64_t value, unsigned bytes_n)
+{
+    checkRange(addr, bytes_n);
+    for (unsigned i = 0; i < bytes_n; ++i)
+        bytes[addr + i] = static_cast<uint8_t>(value >> (8 * i));
+}
+
+} // namespace mg::uarch

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Flat byte-addressable data memory for one simulated program.
+ */
+
+#ifndef MG_UARCH_MEMORY_H
+#define MG_UARCH_MEMORY_H
+
+#include <cstdint>
+#include <vector>
+
+#include "assembler/program.h"
+
+namespace mg::uarch
+{
+
+/**
+ * The program's data address space: a flat byte array initialised
+ * from the program's data image, with the stack at the top.
+ */
+class Memory
+{
+  public:
+    /** Construct and load a program's data segment. */
+    explicit Memory(const assembler::Program &prog);
+
+    /** Read `bytes` (1/2/4/8) at addr, zero-extended. */
+    uint64_t read(uint64_t addr, unsigned bytes) const;
+
+    /** Read with sign extension. */
+    int64_t readSigned(uint64_t addr, unsigned bytes) const;
+
+    /** Write the low `bytes` of value at addr. */
+    void write(uint64_t addr, uint64_t value, unsigned bytes);
+
+    /** Initial stack pointer (top of memory, 16-byte aligned). */
+    uint64_t initialSp() const { return (size() - 64) & ~15ull; }
+
+    uint64_t size() const { return bytes.size(); }
+
+  private:
+    void checkRange(uint64_t addr, unsigned n) const;
+
+    std::vector<uint8_t> bytes;
+};
+
+} // namespace mg::uarch
+
+#endif // MG_UARCH_MEMORY_H

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Observation interface the timing core exposes to the slack profiler.
+ *
+ * The profiler (src/profile) implements these callbacks to build
+ * per-static-instruction issue-time / ready-time / local-slack
+ * aggregates from a singleton (non-mini-graph) timing run, exactly the
+ * "more verbose profiler output" §4.3 describes.
+ */
+
+#ifndef MG_UARCH_PROFILER_HOOKS_H
+#define MG_UARCH_PROFILER_HOOKS_H
+
+#include <cstdint>
+
+#include "isa/instruction.h"
+
+namespace mg::uarch
+{
+
+/** Per-source observation at consumer issue time. */
+struct SrcObservation
+{
+    uint8_t slot = 0;            ///< source operand slot (0/1)
+    isa::Addr producerPc = isa::kNoAddr;
+    uint64_t producerSeq = 0;
+    uint64_t readyCycle = 0;     ///< when the value became available
+};
+
+/** Observation of one instruction issuing. */
+struct IssueObservation
+{
+    isa::Addr pc = 0;
+    uint64_t seq = 0;
+    uint64_t bbInstance = 0;     ///< dynamic basic-block instance id
+    bool bbHead = false;         ///< first instruction of its block
+    uint64_t issueCycle = 0;
+    uint64_t readyCycle = 0;     ///< dest value ready (actual), or issue
+    bool producesValue = false;
+    bool isStore = false;
+    bool isCondBranch = false;
+    bool mispredicted = false;
+    uint64_t storeExecDone = 0;  ///< stores: addr/data known
+    const SrcObservation *srcs = nullptr;
+    uint8_t numSrcs = 0;
+};
+
+/** Callbacks invoked by the core when a profiler is attached. */
+class ProfilerHooks
+{
+  public:
+    virtual ~ProfilerHooks() = default;
+
+    /** An instruction issued (with resolved source observations). */
+    virtual void onIssue(const IssueObservation &obs) = 0;
+
+    /** A load forwarded from an in-flight store. */
+    virtual void onStoreForward(uint64_t store_seq,
+                                uint64_t load_issue_cycle) = 0;
+
+    /** Instructions with seq >= first_squashed were squashed. */
+    virtual void onSquash(uint64_t first_squashed) = 0;
+
+    /** The instruction with this seq committed. */
+    virtual void onCommit(uint64_t seq) = 0;
+};
+
+} // namespace mg::uarch
+
+#endif // MG_UARCH_PROFILER_HOOKS_H

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Aggregate results of one timing simulation.
+ */
+
+#ifndef MG_UARCH_SIM_STATS_H
+#define MG_UARCH_SIM_STATS_H
+
+#include <cstdint>
+
+#include "uarch/branch_pred.h"
+#include "uarch/cache.h"
+#include "uarch/slack_dynamic.h"
+#include "uarch/store_sets.h"
+
+namespace mg::uarch
+{
+
+/** Everything a simulation run reports. */
+struct SimResult
+{
+    uint64_t cycles = 0;
+
+    /** Original-program instructions committed (handles count as n). */
+    uint64_t originalInsts = 0;
+
+    /** Commit "units" (handles count as 1, jumps included). */
+    uint64_t committedUnits = 0;
+
+    uint64_t committedHandles = 0;
+
+    /** Original instructions retired inside enabled handles. */
+    uint64_t coveredInsts = 0;
+
+    /** Disabled-handle expansions executed (Slack-Dynamic). */
+    uint64_t disabledExpansions = 0;
+
+    /** Outlining jumps fetched for disabled handles. */
+    uint64_t outliningJumps = 0;
+
+    uint64_t memOrderViolations = 0;
+    uint64_t issueReplays = 0;
+
+    uint64_t robStallCycles = 0;
+    uint64_t iqStallCycles = 0;
+    uint64_t regStallCycles = 0;
+
+    // Oldest-unissued blame counters (one per cycle with a non-empty
+    // window): why the oldest not-yet-issued instruction did not
+    // issue this cycle.  Diagnostic only.
+    uint64_t blameNotDispatched = 0; ///< still in the fetch queue
+    uint64_t blameEarliest = 0;      ///< within rename/schedule delay
+    uint64_t blameSrcs = 0;          ///< waiting for operands
+    uint64_t blameMemDep = 0;        ///< waiting for a predicted store
+    uint64_t blameFu = 0;            ///< class issue limit
+    uint64_t blameReplay = 0;        ///< actual operands late (replay)
+    uint64_t blameIssued = 0;        ///< it issued this cycle
+
+    BranchPredStats branchPred;
+    CacheStats icache, dcache, l2;
+    CacheStats itlb, dtlb;
+    StoreSetsStats storeSets;
+    SlackDynamicStats slackDynamic;
+    uint64_t slackDynamicDisabledStatic = 0;
+
+    /** IPC over original-program instructions. */
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(originalInsts) / cycles : 0.0;
+    }
+
+    /** Dynamic coverage: fraction of instructions inside mini-graphs. */
+    double
+    coverage() const
+    {
+        return originalInsts
+                   ? static_cast<double>(coveredInsts) / originalInsts
+                   : 0.0;
+    }
+};
+
+} // namespace mg::uarch
+
+#endif // MG_UARCH_SIM_STATS_H

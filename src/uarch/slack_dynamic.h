@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Slack-Dynamic hardware state (§4.4): per-static-handle saturating
+ * counters that disable mini-graphs whose serialization delay actually
+ * propagates to consumers, with periodic decay for resurrection.
+ */
+
+#ifndef MG_UARCH_SLACK_DYNAMIC_H
+#define MG_UARCH_SLACK_DYNAMIC_H
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "isa/instruction.h"
+#include "uarch/config.h"
+
+namespace mg::uarch
+{
+
+/** Slack-Dynamic statistics. */
+struct SlackDynamicStats
+{
+    uint64_t serializedIssues = 0;  ///< handle issues flagged serialized
+    uint64_t harmfulEvents = 0;     ///< counter increments
+    uint64_t disables = 0;
+    uint64_t resurrections = 0;
+};
+
+/** Saturating-counter disable table, keyed by static handle PC. */
+class SlackDynamicState
+{
+  public:
+    explicit SlackDynamicState(const CoreConfig &cfg)
+        : threshold(cfg.slackDynamicThreshold),
+          maxCount(cfg.slackDynamicMax),
+          decayCycles(cfg.slackDynamicDecayCycles),
+          nextDecay(cfg.slackDynamicDecayCycles)
+    {}
+
+    /** Is this static handle currently disabled? */
+    bool
+    isDisabled(isa::Addr pc) const
+    {
+        return disabled.count(pc) != 0;
+    }
+
+    /** Record a harmful serialization event for a handle. */
+    void
+    harmful(isa::Addr pc)
+    {
+        ++stat.harmfulEvents;
+        uint8_t &ctr = counters[pc];
+        ctr = static_cast<uint8_t>(std::min<uint32_t>(ctr + 2, maxCount));
+        if (ctr >= threshold && disabled.insert(pc).second)
+            ++stat.disables;
+    }
+
+    /**
+     * Record a benign (non-serialized) execution: the hysteresis that
+     * keeps occasionally-serializing mini-graphs enabled (§4.4,
+     * "avoid rashly disabling a mini-graph that serializes once").
+     */
+    void
+    benign(isa::Addr pc)
+    {
+        auto it = counters.find(pc);
+        if (it != counters.end() && it->second > 0)
+            --it->second;
+    }
+
+    /** Periodic decay tick: halve counters, resurrect cool handles. */
+    void
+    maybeDecay(uint64_t cycle)
+    {
+        if (cycle < nextDecay)
+            return;
+        nextDecay = cycle + decayCycles;
+        for (auto &[pc, ctr] : counters) {
+            ctr /= 2;
+            if (ctr < threshold && disabled.erase(pc))
+                ++stat.resurrections;
+        }
+    }
+
+    void noteSerializedIssue() { ++stat.serializedIssues; }
+
+    size_t disabledCount() const { return disabled.size(); }
+    const SlackDynamicStats &stats() const { return stat; }
+
+  private:
+    uint32_t threshold;
+    uint32_t maxCount;
+    uint64_t decayCycles;
+    uint64_t nextDecay = 0;
+    std::unordered_map<isa::Addr, uint8_t> counters;
+    std::unordered_set<isa::Addr> disabled;
+    SlackDynamicStats stat;
+};
+
+} // namespace mg::uarch
+
+#endif // MG_UARCH_SLACK_DYNAMIC_H

@@ -1,0 +1,92 @@
+#include "uarch/store_sets.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace mg::uarch
+{
+
+StoreSets::StoreSets(uint32_t ssit_entries, uint32_t lfst_entries,
+                     uint64_t clear_period)
+    : clearPeriod(clear_period), ssit(ssit_entries, kInvalidSet),
+      lfst(lfst_entries)
+{
+    mg_assert(ssit_entries && (ssit_entries & (ssit_entries - 1)) == 0,
+              "SSIT entries must be a power of two");
+}
+
+void
+StoreSets::maybeClear()
+{
+    if (clearPeriod == 0 || ++renameEvents % clearPeriod != 0)
+        return;
+    std::fill(ssit.begin(), ssit.end(), kInvalidSet);
+    // LFST pointers stay: in-flight waits already captured remain
+    // valid; new renames simply find no set.
+}
+
+uint32_t
+StoreSets::ssitIndex(isa::Addr pc) const
+{
+    return pc & (static_cast<uint32_t>(ssit.size()) - 1);
+}
+
+uint64_t
+StoreSets::storeRenamed(isa::Addr pc, uint64_t seq)
+{
+    maybeClear();
+    uint32_t set = ssit[ssitIndex(pc)];
+    if (set == kInvalidSet)
+        return kNone;
+    LfstEntry &e = lfst[set % lfst.size()];
+    uint64_t prev = e.seq;
+    e.seq = seq;
+    e.pc = pc;
+    return prev;
+}
+
+uint64_t
+StoreSets::loadRenamed(isa::Addr pc)
+{
+    maybeClear();
+    uint32_t set = ssit[ssitIndex(pc)];
+    if (set == kInvalidSet)
+        return kNone;
+    const LfstEntry &e = lfst[set % lfst.size()];
+    if (e.seq != kNone)
+        ++stat.loadsDeferred;
+    return e.seq;
+}
+
+void
+StoreSets::storeCompleted(isa::Addr pc, uint64_t seq)
+{
+    uint32_t set = ssit[ssitIndex(pc)];
+    if (set == kInvalidSet)
+        return;
+    LfstEntry &e = lfst[set % lfst.size()];
+    if (e.seq == seq)
+        e.seq = kNone;
+}
+
+void
+StoreSets::violation(isa::Addr load_pc, isa::Addr store_pc)
+{
+    ++stat.violations;
+    uint32_t &load_set = ssit[ssitIndex(load_pc)];
+    uint32_t &store_set = ssit[ssitIndex(store_pc)];
+    if (load_set == kInvalidSet && store_set == kInvalidSet) {
+        load_set = store_set = nextSetId++;
+    } else if (load_set == kInvalidSet) {
+        load_set = store_set;
+    } else if (store_set == kInvalidSet) {
+        store_set = load_set;
+    } else {
+        // Merge: adopt the smaller id (declining-set-id rule).
+        uint32_t winner = std::min(load_set, store_set);
+        load_set = store_set = winner;
+    }
+}
+
+} // namespace mg::uarch

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * StoreSets memory-dependence predictor (Chrysos & Emer style),
+ * Table 1: "Loads are scheduled aggressively using a 1K-entry
+ * StoreSets predictor."
+ *
+ * The SSIT maps instruction PCs to store-set IDs; the LFST tracks the
+ * most recent in-flight store of each set.  A load whose PC maps to a
+ * valid set must wait for that store.  Memory-ordering violations
+ * merge the offending load and store into one set.
+ */
+
+#ifndef MG_UARCH_STORE_SETS_H
+#define MG_UARCH_STORE_SETS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/instruction.h"
+#include "uarch/config.h"
+
+namespace mg::uarch
+{
+
+/** StoreSets statistics. */
+struct StoreSetsStats
+{
+    uint64_t violations = 0;
+    uint64_t loadsDeferred = 0;
+};
+
+class StoreSets
+{
+  public:
+    /**
+     * @param ssit_entries  SSIT size (power of two)
+     * @param lfst_entries  LFST size
+     * @param clear_period  cyclic clearing interval in rename events
+     *                      (Chrysos & Emer's antidote to over-merging;
+     *                      0 disables)
+     */
+    StoreSets(uint32_t ssit_entries, uint32_t lfst_entries,
+              uint64_t clear_period = 131072);
+
+    /** Invalid store-set / sequence sentinel. */
+    static constexpr uint64_t kNone = ~0ull;
+
+    /**
+     * Rename-time hook for a store.
+     * Registers the store as the last fetched store of its set (if it
+     * has one) and returns the sequence number of the previous store
+     * in the set that this store must (per predictor) follow, or
+     * kNone.
+     */
+    uint64_t storeRenamed(isa::Addr pc, uint64_t seq);
+
+    /**
+     * Rename-time hook for a load.
+     * @retval sequence number of the in-flight store this load should
+     *         wait for, or kNone.
+     */
+    uint64_t loadRenamed(isa::Addr pc);
+
+    /** A store left the window (executed/committed/squashed). */
+    void storeCompleted(isa::Addr pc, uint64_t seq);
+
+    /** Train on a memory-ordering violation between load and store. */
+    void violation(isa::Addr load_pc, isa::Addr store_pc);
+
+    const StoreSetsStats &stats() const { return stat; }
+
+  private:
+    static constexpr uint32_t kInvalidSet = ~0u;
+
+    uint32_t ssitIndex(isa::Addr pc) const;
+    void maybeClear();
+
+    uint64_t clearPeriod;
+    uint64_t renameEvents = 0;
+    std::vector<uint32_t> ssit;   ///< pc -> store-set id (or invalid)
+    struct LfstEntry
+    {
+        uint64_t seq = kNone;     ///< last fetched store in this set
+        isa::Addr pc = isa::kNoAddr;
+    };
+    std::vector<LfstEntry> lfst;
+    uint32_t nextSetId = 0;
+    StoreSetsStats stat;
+};
+
+} // namespace mg::uarch
+
+#endif // MG_UARCH_STORE_SETS_H

@@ -1,0 +1,633 @@
+/**
+ * @file
+ * CommBench-like kernels: table-driven CRC, IP-style checksumming,
+ * trie route lookup, deficit-round-robin scheduling, packet
+ * fragmentation and GF(256) Reed-Solomon arithmetic.
+ */
+
+#include "workloads/kernel_support.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace mg::workloads
+{
+
+namespace
+{
+
+// ------------------------------------------------------------------
+// crc32: table-driven CRC over a byte stream.
+// ------------------------------------------------------------------
+KernelBuild
+crc32Kernel(int variant, bool alt)
+{
+    Rng rng(kernelSeed("crc32", variant, alt));
+    const unsigned sizes[3] = {3000, 3700, 4400};
+    unsigned n = sizes[variant] + (alt ? 800 : 0);
+    const unsigned passes = 3;
+
+    std::vector<uint8_t> input(n);
+    for (auto &b : input)
+        b = static_cast<uint8_t>(rng.below(256));
+
+    // CRC-32 (reflected, poly 0xEDB88320) table.
+    std::vector<uint32_t> table(256);
+    for (uint32_t i = 0; i < 256; ++i) {
+        uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+
+    // Reference: several passes over the same buffer (a long-lived
+    // packet engine reuses its buffers, so the stream is cache-warm).
+    uint32_t crc = 0xFFFFFFFFu;
+    for (unsigned p = 0; p < passes; ++p) {
+        for (uint8_t b : input)
+            crc = table[(crc ^ b) & 0xffu] ^ (crc >> 8);
+    }
+    crc ^= 0xFFFFFFFFu;
+
+    DataBuilder data;
+    data.label("result");
+    data.dwords({0});
+    data.label("crctab");
+    data.words(table);
+    data.label("input");
+    data.bytes(input);
+
+    std::ostringstream src;
+    src << data.str();
+    src << "        .text\n"
+        << "main:   li   r17, " << passes << "\n"
+        << "        la   r3, crctab\n"
+           "        li   r4, 4294967295\n" // crc
+           "        li   r15, 255\n"
+           "        li   r16, 4294967295\n"
+           "pass:   la   r1, input\n"
+        << "        li   r2, " << n << "\n"
+        << "loop:   lbu  r5, 0(r1)\n"
+           "        xor  r6, r4, r5\n"
+           "        and  r6, r6, r15\n"
+           "        slli r6, r6, 2\n"
+           "        add  r6, r6, r3\n"
+           "        lw   r7, 0(r6)\n"
+           "        and  r7, r7, r16\n"   // table entry, zero-extended
+           "        srli r8, r4, 8\n"
+           "        xor  r4, r7, r8\n"
+           "        addi r1, r1, 1\n"
+           "        addi r2, r2, -1\n"
+           "        bnez r2, loop\n"
+           "        addi r17, r17, -1\n"
+           "        bnez r17, pass\n"
+           "        xor  r4, r4, r16\n"
+           "        and  r4, r4, r16\n"
+           "        la   r14, result\n"
+           "        sd   r4, 0(r14)\n"
+           "        halt\n";
+
+    KernelBuild out;
+    out.source = src.str();
+    out.expected = crc;
+    out.memSize = 1ull << 20;
+    return out;
+}
+
+// ------------------------------------------------------------------
+// checksum: 16-bit ones-complement (IP header style) over packets.
+// ------------------------------------------------------------------
+KernelBuild
+checksumKernel(int variant, bool alt)
+{
+    Rng rng(kernelSeed("checksum", variant, alt));
+    const unsigned pkts_n[3] = {180, 220, 260};
+    unsigned pkts = pkts_n[variant] + (alt ? 40 : 0);
+    const unsigned words_per_pkt = 16;
+    const unsigned passes = 4;
+
+    std::vector<uint32_t> halves(pkts * words_per_pkt);
+    for (auto &h : halves)
+        h = static_cast<uint32_t>(rng.below(65536));
+
+    // Reference: per packet, four deferred partial sums (the standard
+    // high-throughput formulation) folded branchlessly at the end.
+    uint64_t acc = 0;
+    for (unsigned p = 0; p < pkts; ++p) {
+        uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+        for (unsigned i = 0; i < words_per_pkt; i += 4) {
+            s0 += halves[p * words_per_pkt + i];
+            s1 += halves[p * words_per_pkt + i + 1];
+            s2 += halves[p * words_per_pkt + i + 2];
+            s3 += halves[p * words_per_pkt + i + 3];
+        }
+        uint64_t sum = s0 + s1 + s2 + s3;
+        sum = (sum & 0xffff) + (sum >> 16);
+        sum = (sum & 0xffff) + (sum >> 16);
+        sum = (sum & 0xffff) + (sum >> 16);
+        acc += (~sum) & 0xffff;
+    }
+    acc *= passes; // each pass over the warm buffer is identical
+
+    DataBuilder data;
+    data.label("result");
+    data.dwords({0});
+    std::vector<uint8_t> hb;
+    hb.reserve(halves.size() * 2);
+    for (uint32_t h : halves) {
+        hb.push_back(static_cast<uint8_t>(h));
+        hb.push_back(static_cast<uint8_t>(h >> 8));
+    }
+    data.label("pkts");
+    data.bytes(hb);
+
+    std::ostringstream src;
+    src << data.str();
+    src << "        .text\n"
+        << "main:   li   r16, " << passes << "\n"
+        << "        li   r3, 0\n"          // acc
+           "        li   r15, 65535\n"
+           "pass:   la   r1, pkts\n"
+        << "        li   r2, " << pkts << "\n"
+        << "pkt:    li   r4, 0\n"          // s0
+           "        li   r5, 0\n"          // s1
+           "        li   r6, 0\n"          // s2
+           "        li   r7, 0\n"          // s3
+        << "        li   r8, " << (words_per_pkt / 4) << "\n"
+        << "half:   lhu  r9, 0(r1)\n"
+           "        lhu  r10, 2(r1)\n"
+           "        lhu  r11, 4(r1)\n"
+           "        lhu  r12, 6(r1)\n"
+           "        add  r4, r4, r9\n"
+           "        add  r5, r5, r10\n"
+           "        add  r6, r6, r11\n"
+           "        add  r7, r7, r12\n"
+           "        addi r1, r1, 8\n"
+           "        addi r8, r8, -1\n"
+           "        bnez r8, half\n"
+           "        add  r4, r4, r5\n"
+           "        add  r6, r6, r7\n"
+           "        add  r4, r4, r6\n"
+           "        and  r9, r4, r15\n"
+           "        srli r10, r4, 16\n"
+           "        add  r4, r9, r10\n"
+           "        and  r9, r4, r15\n"
+           "        srli r10, r4, 16\n"
+           "        add  r4, r9, r10\n"
+           "        and  r9, r4, r15\n"
+           "        srli r10, r4, 16\n"
+           "        add  r4, r9, r10\n"
+           "        not  r4, r4\n"
+           "        and  r4, r4, r15\n"
+           "        add  r3, r3, r4\n"
+           "        addi r2, r2, -1\n"
+           "        bnez r2, pkt\n"
+           "        addi r16, r16, -1\n"
+           "        bnez r16, pass\n"
+           "        la   r14, result\n"
+           "        sd   r3, 0(r14)\n"
+           "        halt\n";
+
+    KernelBuild out;
+    out.source = src.str();
+    out.expected = acc;
+    out.memSize = 1ull << 20;
+    return out;
+}
+
+// ------------------------------------------------------------------
+// route_like: binary-trie longest lookup over random 16-bit keys.
+// ------------------------------------------------------------------
+KernelBuild
+routeLike(int variant, bool alt)
+{
+    Rng rng(kernelSeed("route_like", variant, alt));
+    const unsigned pkts_n[3] = {1300, 1600, 1900};
+    unsigned pkts = pkts_n[variant] + (alt ? 300 : 0);
+    const unsigned depth_bits = 16;
+
+    // Build a random binary trie in an array: node = {child0, child1,
+    // nexthop}; child index 0 = missing (node 0 is a sentinel root at
+    // index 1 ... we keep root at index 1).
+    struct Node
+    {
+        uint32_t child[2] = {0, 0};
+        uint32_t hop = 0;
+    };
+    std::vector<Node> trie(2);
+    trie[1].hop = 1;
+    auto insert = [&](uint32_t key, unsigned len, uint32_t hop) {
+        uint32_t cur = 1;
+        for (unsigned b = 0; b < len; ++b) {
+            unsigned bit = (key >> (depth_bits - 1 - b)) & 1;
+            if (trie[cur].child[bit] == 0) {
+                trie[cur].child[bit] =
+                    static_cast<uint32_t>(trie.size());
+                trie.push_back(Node{});
+            }
+            cur = trie[cur].child[bit];
+        }
+        trie[cur].hop = hop;
+    };
+    for (int i = 0; i < 300; ++i) {
+        insert(static_cast<uint32_t>(rng.below(1u << depth_bits)),
+               4 + static_cast<unsigned>(rng.below(depth_bits - 3)),
+               1 + static_cast<uint32_t>(rng.below(15)));
+    }
+
+    std::vector<uint32_t> keys(pkts);
+    for (auto &k : keys)
+        k = static_cast<uint32_t>(rng.below(1u << depth_bits));
+
+    // Reference: walk as deep as possible, remember last nonzero hop.
+    uint64_t acc = 0;
+    for (uint32_t key : keys) {
+        uint32_t cur = 1, hop = 0;
+        for (unsigned b = 0; b < depth_bits; ++b) {
+            if (trie[cur].hop)
+                hop = trie[cur].hop;
+            unsigned bit = (key >> (depth_bits - 1 - b)) & 1;
+            uint32_t nxt = trie[cur].child[bit];
+            if (!nxt)
+                break;
+            cur = nxt;
+        }
+        if (trie[cur].hop)
+            hop = trie[cur].hop;
+        acc += hop;
+    }
+
+    // Node layout: 12 bytes {child0, child1, hop} as words.
+    std::vector<uint32_t> node_words(trie.size() * 3);
+    for (size_t i = 0; i < trie.size(); ++i) {
+        node_words[3 * i] = trie[i].child[0];
+        node_words[3 * i + 1] = trie[i].child[1];
+        node_words[3 * i + 2] = trie[i].hop;
+    }
+
+    DataBuilder data;
+    data.label("result");
+    data.dwords({0});
+    data.label("trie");
+    data.words(node_words);
+    data.label("keys");
+    data.words(keys);
+
+    std::ostringstream src;
+    src << data.str();
+    src << "        .text\n"
+           "main:   la   r1, keys\n"
+        << "        li   r2, " << pkts << "\n"
+        << "        la   r3, trie\n"
+           "        li   r4, 0\n"            // acc
+           "pkt:    lw   r5, 0(r1)\n"        // key
+           "        li   r6, 1\n"            // cur
+           "        li   r7, 0\n"            // hop
+        << "        li   r8, " << depth_bits << "\n" // bits left
+           // node ptr = trie + cur*12
+        << "step:   muli r9, r6, 12\n"
+           "        add  r9, r9, r3\n"
+           "        lw   r10, 8(r9)\n"       // node hop
+           "        beqz r10, nohop\n"
+           "        mov  r7, r10\n"
+           "nohop:  beqz r8, done\n"
+           "        addi r8, r8, -1\n"
+           "        srl  r11, r5, r8\n"
+           "        andi r11, r11, 1\n"
+           "        slli r11, r11, 2\n"
+           "        add  r11, r11, r9\n"
+           "        lw   r6, 0(r11)\n"       // child
+           "        bnez r6, step\n"
+           "done:   add  r4, r4, r7\n"
+           "        addi r1, r1, 4\n"
+           "        addi r2, r2, -1\n"
+           "        bnez r2, pkt\n"
+           "        la   r14, result\n"
+           "        sd   r4, 0(r14)\n"
+           "        halt\n";
+
+    KernelBuild out;
+    out.source = src.str();
+    out.expected = acc;
+    out.memSize = 1ull << 20;
+    return out;
+}
+
+// ------------------------------------------------------------------
+// drr_like: deficit round robin packet scheduling.
+// ------------------------------------------------------------------
+KernelBuild
+drrLike(int variant, bool alt)
+{
+    Rng rng(kernelSeed("drr_like", variant, alt));
+    const unsigned pkts_n[3] = {6000, 7500, 9000};
+    unsigned total_pkts = pkts_n[variant] + (alt ? 1500 : 0);
+    const unsigned queues = 8;
+    const uint32_t quantum = 500;
+
+    // Per-queue packet size lists.
+    std::vector<std::vector<uint32_t>> qpkts(queues);
+    for (unsigned p = 0; p < total_pkts; ++p) {
+        unsigned q = static_cast<unsigned>(rng.below(queues));
+        qpkts[q].push_back(64 +
+                           static_cast<uint32_t>(rng.below(1400)));
+    }
+
+    // Reference DRR.
+    uint64_t acc = 0;
+    {
+        std::vector<size_t> head(queues, 0);
+        std::vector<uint32_t> deficit(queues, 0);
+        uint64_t served = 0, order = 0;
+        while (served < total_pkts) {
+            for (unsigned q = 0; q < queues; ++q) {
+                if (head[q] >= qpkts[q].size())
+                    continue;
+                deficit[q] += quantum;
+                while (head[q] < qpkts[q].size() &&
+                       qpkts[q][head[q]] <= deficit[q]) {
+                    deficit[q] -= qpkts[q][head[q]];
+                    acc += qpkts[q][head[q]] + (order++ & 0xff);
+                    ++head[q];
+                    ++served;
+                }
+            }
+        }
+    }
+
+    // Layout: per queue, a word count then packet sizes (padded to a
+    // fixed stride so the base address is computable).
+    size_t stride = 0;
+    for (auto &v : qpkts)
+        stride = std::max(stride, v.size());
+    stride += 1;
+    std::vector<uint32_t> qdata(queues * stride, 0);
+    for (unsigned q = 0; q < queues; ++q) {
+        qdata[q * stride] = static_cast<uint32_t>(qpkts[q].size());
+        for (size_t i = 0; i < qpkts[q].size(); ++i)
+            qdata[q * stride + 1 + i] = qpkts[q][i];
+    }
+
+    DataBuilder data;
+    data.label("result");
+    data.dwords({0});
+    data.label("qdata");
+    data.words(qdata);
+    data.label("head");
+    data.space(queues * 4);
+    data.label("deficit");
+    data.space(queues * 4);
+
+    std::ostringstream src;
+    src << data.str();
+    src << "        .text\n"
+           "main:   li   r1, 0\n"            // served
+        << "        li   r2, " << total_pkts << "\n"
+        << "        la   r3, qdata\n"
+           "        la   r4, head\n"
+           "        la   r5, deficit\n"
+           "        li   r6, 0\n"            // acc
+           "        li   r7, 0\n"            // order
+           "round:  li   r8, 0\n"            // q
+        << "qloop:  muli r9, r8, " << (stride * 4) << "\n"
+        << "        add  r9, r9, r3\n"       // queue base
+           "        lw   r10, 0(r9)\n"       // count
+           "        slli r11, r8, 2\n"
+           "        add  r12, r11, r4\n"     // &head[q]
+           "        lw   r13, 0(r12)\n"      // head
+           "        bge  r13, r10, nextq\n"
+           "        add  r14, r11, r5\n"     // &deficit[q]
+           "        lw   r15, 0(r14)\n"
+        << "        addi r15, r15, " << quantum << "\n"
+        << "serve:  bge  r13, r10, qdone\n"
+           "        slli r16, r13, 2\n"
+           "        add  r16, r16, r9\n"
+           "        lw   r17, 4(r16)\n"      // pkt size
+           "        bgt  r17, r15, qdone\n"
+           "        sub  r15, r15, r17\n"
+           "        andi r18, r7, 255\n"
+           "        add  r17, r17, r18\n"
+           "        add  r6, r6, r17\n"
+           "        addi r7, r7, 1\n"
+           "        addi r13, r13, 1\n"
+           "        addi r1, r1, 1\n"
+           "        b    serve\n"
+           "qdone:  sw   r13, 0(r12)\n"
+           "        sw   r15, 0(r14)\n"
+           "nextq:  addi r8, r8, 1\n"
+        << "        li   r19, " << queues << "\n"
+        << "        blt  r8, r19, qloop\n"
+           "        blt  r1, r2, round\n"
+           "        la   r14, result\n"
+           "        sd   r6, 0(r14)\n"
+           "        halt\n";
+
+    KernelBuild out;
+    out.source = src.str();
+    out.expected = acc;
+    out.memSize = 1ull << 20;
+    return out;
+}
+
+// ------------------------------------------------------------------
+// frag_like: packet fragmentation with per-fragment header math.
+// ------------------------------------------------------------------
+KernelBuild
+fragLike(int variant, bool alt)
+{
+    Rng rng(kernelSeed("frag_like", variant, alt));
+    const unsigned pkts_n[3] = {600, 730, 860};
+    unsigned pkts = pkts_n[variant] + (alt ? 140 : 0);
+    const uint32_t mtu = 576, hdr = 20;
+    const unsigned passes = 3;
+
+    std::vector<uint32_t> lengths(pkts);
+    for (auto &l : lengths)
+        l = 64 + static_cast<uint32_t>(rng.below(3000));
+
+    // Reference: split payload into MTU-hdr chunks; per fragment fold
+    // a pseudo header checksum of (id, offset, len).
+    uint64_t acc = 0;
+    for (unsigned p = 0; p < pkts; ++p) {
+        uint32_t remaining = lengths[p];
+        uint32_t offset = 0;
+        uint32_t id = p * 7 + 1;
+        while (remaining > 0) {
+            uint32_t payload = std::min(remaining, mtu - hdr);
+            uint32_t sum = id + offset + payload;
+            sum = (sum & 0xffff) + (sum >> 16);
+            sum = (sum & 0xffff) + (sum >> 16);
+            acc += sum;
+            offset += payload;
+            remaining -= payload;
+        }
+    }
+    acc *= passes; // warm passes are identical
+
+    DataBuilder data;
+    data.label("result");
+    data.dwords({0});
+    data.label("lens");
+    data.words(lengths);
+
+    std::ostringstream src;
+    src << data.str();
+    src << "        .text\n"
+        << "main:   li   r17, " << passes << "\n"
+        << "        li   r3, 0\n"        // acc
+           "        li   r15, 65535\n"
+        << "        li   r16, " << (mtu - hdr) << "\n"
+        << "pass:   la   r1, lens\n"
+        << "        li   r2, " << pkts << "\n"
+        << "        li   r4, 0\n"        // p
+           "pkt:    lw   r5, 0(r1)\n"    // remaining
+           "        li   r6, 0\n"        // offset
+           "        muli r7, r4, 7\n"
+           "        addi r7, r7, 1\n"    // id
+           "frag:   beqz r5, pdone\n"
+           "        mov  r8, r5\n"
+           "        bleu r8, r16, fits\n"
+           "        mov  r8, r16\n"
+           "fits:   add  r9, r7, r6\n"
+           "        add  r9, r9, r8\n"
+           "        and  r10, r9, r15\n"
+           "        srli r11, r9, 16\n"
+           "        add  r9, r10, r11\n"
+           "        and  r10, r9, r15\n"
+           "        srli r11, r9, 16\n"
+           "        add  r9, r10, r11\n"
+           "        add  r3, r3, r9\n"
+           "        add  r6, r6, r8\n"
+           "        sub  r5, r5, r8\n"
+           "        b    frag\n"
+           "pdone:  addi r1, r1, 4\n"
+           "        addi r4, r4, 1\n"
+           "        addi r2, r2, -1\n"
+           "        bnez r2, pkt\n"
+           "        addi r17, r17, -1\n"
+           "        bnez r17, pass\n"
+           "        la   r14, result\n"
+           "        sd   r3, 0(r14)\n"
+           "        halt\n";
+
+    KernelBuild out;
+    out.source = src.str();
+    out.expected = acc;
+    out.memSize = 1ull << 20;
+    return out;
+}
+
+// ------------------------------------------------------------------
+// rs_like: GF(256) multiply-accumulate via log/exp tables.
+// ------------------------------------------------------------------
+KernelBuild
+rsLike(int variant, bool alt)
+{
+    Rng rng(kernelSeed("rs_like", variant, alt));
+    const unsigned sizes[3] = {2400, 2900, 3400};
+    unsigned n = sizes[variant] + (alt ? 600 : 0);
+    const unsigned passes = 3;
+
+    // GF(256) with poly 0x11d.
+    std::vector<uint8_t> exp_tab(512), log_tab(256, 0);
+    {
+        unsigned x = 1;
+        for (unsigned i = 0; i < 255; ++i) {
+            exp_tab[i] = static_cast<uint8_t>(x);
+            log_tab[x] = static_cast<uint8_t>(i);
+            x <<= 1;
+            if (x & 0x100)
+                x ^= 0x11d;
+        }
+        for (unsigned i = 255; i < 512; ++i)
+            exp_tab[i] = exp_tab[i - 255];
+    }
+
+    std::vector<uint8_t> a(n), b(n);
+    for (unsigned i = 0; i < n; ++i) {
+        a[i] = static_cast<uint8_t>(rng.below(256));
+        b[i] = static_cast<uint8_t>(rng.below(256));
+    }
+
+    // Reference: acc += gfmul(a[i], b[i]) over several warm passes.
+    uint64_t acc = 0;
+    for (unsigned p = 0; p < passes; ++p) {
+        for (unsigned i = 0; i < n; ++i) {
+            uint8_t prod = 0;
+            if (a[i] && b[i])
+                prod = exp_tab[log_tab[a[i]] + log_tab[b[i]]];
+            acc = (acc + prod) & 0xffffffff;
+        }
+    }
+
+    DataBuilder data;
+    data.label("result");
+    data.dwords({0});
+    data.label("exptab");
+    data.bytes(exp_tab);
+    data.label("logtab");
+    data.bytes(log_tab);
+    data.label("avec");
+    data.bytes(a);
+    data.label("bvec");
+    data.bytes(b);
+
+    std::ostringstream src;
+    src << data.str();
+    src << "        .text\n"
+        << "main:   li   r16, " << passes << "\n"
+        << "        la   r4, exptab\n"
+           "        la   r5, logtab\n"
+           "        li   r6, 0\n"          // acc
+           "pass:   la   r1, avec\n"
+           "        la   r2, bvec\n"
+        << "        li   r3, " << n << "\n"
+        << "loop:   lbu  r7, 0(r1)\n"
+           "        lbu  r8, 0(r2)\n"
+           "        li   r9, 0\n"          // prod
+           "        beqz r7, nomul\n"
+           "        beqz r8, nomul\n"
+           "        add  r10, r5, r7\n"
+           "        lbu  r10, 0(r10)\n"
+           "        add  r11, r5, r8\n"
+           "        lbu  r11, 0(r11)\n"
+           "        add  r10, r10, r11\n"
+           "        add  r10, r10, r4\n"
+           "        lbu  r9, 0(r10)\n"
+           "nomul:  add  r6, r6, r9\n"
+           "        li   r12, 4294967295\n"
+           "        and  r6, r6, r12\n"
+           "        addi r1, r1, 1\n"
+           "        addi r2, r2, 1\n"
+           "        addi r3, r3, -1\n"
+           "        bnez r3, loop\n"
+           "        addi r16, r16, -1\n"
+           "        bnez r16, pass\n"
+           "        la   r14, result\n"
+           "        sd   r6, 0(r14)\n"
+           "        halt\n";
+
+    KernelBuild out;
+    out.source = src.str();
+    out.expected = acc;
+    out.memSize = 1ull << 20;
+    return out;
+}
+
+} // namespace
+
+const std::vector<KernelDef> &
+commKernels()
+{
+    static const std::vector<KernelDef> defs = {
+        {"crc32", "comm", crc32Kernel},
+        {"checksum", "comm", checksumKernel},
+        {"route_like", "comm", routeLike},
+        {"drr_like", "comm", drrLike},
+        {"frag_like", "comm", fragLike},
+        {"rs_like", "comm", rsLike},
+    };
+    return defs;
+}
+
+} // namespace mg::workloads

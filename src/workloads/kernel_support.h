@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Shared support for kernel builders: data-segment emission with
+ * offset tracking, and the kernel registry types.
+ */
+
+#ifndef MG_WORKLOADS_KERNEL_SUPPORT_H
+#define MG_WORKLOADS_KERNEL_SUPPORT_H
+
+#include <cstdint>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace mg::workloads
+{
+
+/** Default data-segment base used by every kernel. */
+constexpr uint64_t kDataBase = 0x10000;
+
+/**
+ * Builds the .data section text while tracking absolute addresses, so
+ * generators can embed pointers (e.g. linked-list next fields).
+ */
+class DataBuilder
+{
+  public:
+    DataBuilder() { text << "        .data\n"; }
+
+    /** Place a label; returns its absolute address. */
+    uint64_t
+    label(const std::string &name)
+    {
+        text << name << ":\n";
+        return kDataBase + offset;
+    }
+
+    /** Current absolute address. */
+    uint64_t here() const { return kDataBase + offset; }
+
+    void
+    dwords(const std::vector<uint64_t> &vals)
+    {
+        emitList(".dword", vals, 8);
+    }
+
+    void
+    words(const std::vector<uint32_t> &vals)
+    {
+        emitList(".word", std::vector<uint64_t>(vals.begin(), vals.end()),
+                 4);
+    }
+
+    void
+    bytes(const std::vector<uint8_t> &vals)
+    {
+        emitList(".byte", std::vector<uint64_t>(vals.begin(), vals.end()),
+                 1);
+    }
+
+    void
+    space(uint64_t n)
+    {
+        text << "        .space " << n << "\n";
+        offset += n;
+    }
+
+    void
+    align(uint64_t a)
+    {
+        uint64_t pad = (a - (offset % a)) % a;
+        if (pad)
+            space(pad);
+    }
+
+    std::string str() const { return text.str(); }
+
+  private:
+    void
+    emitList(const char *directive, const std::vector<uint64_t> &vals,
+             unsigned bytes_each)
+    {
+        for (size_t i = 0; i < vals.size(); i += 8) {
+            text << "        " << directive << " ";
+            for (size_t j = i; j < std::min(i + 8, vals.size()); ++j) {
+                if (j > i)
+                    text << ", ";
+                text << vals[j];
+            }
+            text << "\n";
+        }
+        offset += vals.size() * bytes_each;
+    }
+
+    std::ostringstream text;
+    uint64_t offset = 0;
+};
+
+/** Output of one kernel builder. */
+struct KernelBuild
+{
+    std::string source;
+    std::optional<uint64_t> expected;
+    uint64_t memSize = 8ull << 20;
+};
+
+/** A kernel builder: (variant 0..2, alternate-input flag) -> program. */
+using KernelBuilder = KernelBuild (*)(int variant, bool alt);
+
+/** Registry entry. */
+struct KernelDef
+{
+    const char *name;
+    const char *suite;
+    KernelBuilder build;
+};
+
+/** Deterministic seed for (kernel, variant, alt). */
+uint64_t kernelSeed(const char *name, int variant, bool alt);
+
+// Suite registries (defined one per translation unit).
+const std::vector<KernelDef> &specKernels();
+const std::vector<KernelDef> &mediaKernels();
+const std::vector<KernelDef> &commKernels();
+const std::vector<KernelDef> &mibenchKernels();
+
+} // namespace mg::workloads
+
+#endif // MG_WORKLOADS_KERNEL_SUPPORT_H

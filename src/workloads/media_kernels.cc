@@ -1,0 +1,943 @@
+/**
+ * @file
+ * MediaBench-like kernels: ADPCM speech coding (the paper's Figure-8
+ * limit study uses adpcm.c), integer DCT (JPEG), wavelet filtering
+ * (EPIC), SAD motion estimation (MPEG), adaptive prediction (G.721)
+ * and LTP correlation (GSM).
+ */
+
+#include "workloads/kernel_support.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace mg::workloads
+{
+
+namespace
+{
+
+// IMA ADPCM tables.
+const int kStepTable[89] = {
+    7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37,
+    41, 45, 50, 55, 60, 66, 73, 80, 88, 97, 107, 118, 130, 143, 157, 173,
+    190, 209, 230, 253, 279, 307, 337, 371, 408, 449, 494, 544, 598, 658,
+    724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+    2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894,
+    6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899, 15289,
+    16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767};
+const int kIndexTable[16] = {-1, -1, -1, -1, 2, 4, 6, 8,
+                             -1, -1, -1, -1, 2, 4, 6, 8};
+
+/** Smooth synthetic PCM waveform. */
+std::vector<int32_t>
+makeWaveform(Rng &rng, unsigned n)
+{
+    std::vector<int32_t> s(n);
+    int32_t v = 0;
+    for (unsigned i = 0; i < n; ++i) {
+        v += static_cast<int32_t>(rng.range(-700, 700));
+        v = std::clamp(v, -30000, 30000);
+        s[i] = v;
+    }
+    return s;
+}
+
+/** Reference IMA ADPCM encoder; returns codes, updates acc model. */
+std::vector<uint8_t>
+adpcmEncodeRef(const std::vector<int32_t> &samples, uint64_t &acc_out,
+               int32_t &pred_out)
+{
+    std::vector<uint8_t> codes;
+    codes.reserve(samples.size());
+    int32_t pred = 0;
+    int index = 0;
+    uint64_t acc = 0;
+    for (int32_t sample : samples) {
+        int32_t diff = sample - pred;
+        unsigned code = 0;
+        if (diff < 0) {
+            code = 8;
+            diff = -diff;
+        }
+        int32_t step = kStepTable[index];
+        int32_t tmpstep = step;
+        if (diff >= tmpstep) {
+            code |= 4;
+            diff -= tmpstep;
+        }
+        tmpstep >>= 1;
+        if (diff >= tmpstep) {
+            code |= 2;
+            diff -= tmpstep;
+        }
+        tmpstep >>= 1;
+        if (diff >= tmpstep)
+            code |= 1;
+
+        int32_t diffq = step >> 3;
+        if (code & 4)
+            diffq += step;
+        if (code & 2)
+            diffq += step >> 1;
+        if (code & 1)
+            diffq += step >> 2;
+        if (code & 8)
+            pred -= diffq;
+        else
+            pred += diffq;
+        pred = std::clamp(pred, -32768, 32767);
+        index = std::clamp(index + kIndexTable[code], 0, 88);
+        acc += code;
+        codes.push_back(static_cast<uint8_t>(code));
+    }
+    acc_out = acc;
+    pred_out = pred;
+    return codes;
+}
+
+/** Shared ADPCM table data emission. */
+void
+emitAdpcmTables(DataBuilder &data)
+{
+    std::vector<uint32_t> step(89);
+    for (int i = 0; i < 89; ++i)
+        step[i] = static_cast<uint32_t>(kStepTable[i]);
+    std::vector<uint32_t> idx(16);
+    for (int i = 0; i < 16; ++i)
+        idx[i] = static_cast<uint32_t>(kIndexTable[i]);
+    data.label("steptab");
+    data.words(step);
+    data.label("idxtab");
+    data.words(idx);
+}
+
+/** Shared ADPCM decode/reconstruct assembly block.
+ *
+ * In: r10 = code, r11 = step, r2 = pred, r3 = index,
+ *     r8 = steptab, r9 = idxtab.
+ * Uses r12-r16; leaves updated r2 (pred), r3 (index), r11 unchanged.
+ */
+const char *kAdpcmReconstruct =
+    "        srai r12, r11, 3\n"        // diffq = step>>3
+    "        andi r13, r10, 4\n"
+    "        beqz r13, rc2\n"
+    "        add  r12, r12, r11\n"
+    "rc2:    andi r13, r10, 2\n"
+    "        beqz r13, rc1\n"
+    "        srai r14, r11, 1\n"
+    "        add  r12, r12, r14\n"
+    "rc1:    andi r13, r10, 1\n"
+    "        beqz r13, rc0\n"
+    "        srai r14, r11, 2\n"
+    "        add  r12, r12, r14\n"
+    "rc0:    andi r13, r10, 8\n"
+    "        beqz r13, rplus\n"
+    "        sub  r2, r2, r12\n"
+    "        b    rclamp\n"
+    "rplus:  add  r2, r2, r12\n"
+    "rclamp: li   r13, -32768\n"
+    "        bge  r2, r13, rcl2\n"
+    "        li   r2, -32768\n"
+    "rcl2:   li   r13, 32767\n"
+    "        ble  r2, r13, rcl3\n"
+    "        li   r2, 32767\n"
+    "rcl3:   slli r14, r10, 2\n"        // index += idxtab[code]
+    "        add  r14, r14, r9\n"
+    "        lw   r14, 0(r14)\n"
+    "        add  r3, r3, r14\n"
+    "        bge  r3, r0, icl1\n"
+    "        li   r3, 0\n"
+    "icl1:   li   r13, 88\n"
+    "        ble  r3, r13, icl2\n"
+    "        li   r3, 88\n"
+    "icl2:";
+
+// ------------------------------------------------------------------
+// adpcm_c: IMA ADPCM encoder.
+// ------------------------------------------------------------------
+KernelBuild
+adpcmC(int variant, bool alt)
+{
+    Rng rng(kernelSeed("adpcm_c", variant, alt));
+    const unsigned sizes[3] = {800, 1000, 1200};
+    unsigned n = sizes[variant] + (alt ? 200 : 0);
+    const unsigned passes = 3;
+    std::vector<int32_t> samples = makeWaveform(rng, n);
+
+    // The program encodes the (cache-warm) sample buffer `passes`
+    // times without resetting the coder state — a continuous stream.
+    std::vector<int32_t> stream;
+    for (unsigned p = 0; p < passes; ++p)
+        stream.insert(stream.end(), samples.begin(), samples.end());
+    uint64_t acc;
+    int32_t pred_final;
+    adpcmEncodeRef(stream, acc, pred_final);
+    uint64_t expected =
+        acc * 65536 + (static_cast<uint32_t>(pred_final) & 0xffff);
+
+    DataBuilder data;
+    data.label("result");
+    data.dwords({0});
+    std::vector<uint32_t> swords(n);
+    for (unsigned i = 0; i < n; ++i)
+        swords[i] = static_cast<uint32_t>(samples[i]);
+    data.label("samples");
+    data.words(swords);
+    emitAdpcmTables(data);
+
+    std::ostringstream src;
+    src << data.str();
+    src << "        .text\n"
+           "main:   li   r2, 0\n"          // pred
+           "        li   r3, 0\n"          // index
+           "        li   r4, 0\n"          // acc
+        << "        li   r15, " << passes << "\n"
+        << "        la   r8, steptab\n"
+           "        la   r9, idxtab\n"
+           "pass:   la   r1, samples\n"
+        << "        li   r5, " << n << "\n"
+        << "loop:   lw   r6, 0(r1)\n"      // sample
+           "        sub  r7, r6, r2\n"     // diff
+           "        li   r10, 0\n"         // code
+           "        bge  r7, r0, pos\n"
+           "        li   r10, 8\n"
+           "        sub  r7, r0, r7\n"
+           "pos:    slli r11, r3, 2\n"
+           "        add  r11, r11, r8\n"
+           "        lw   r11, 0(r11)\n"    // step
+           "        blt  r7, r11, b2\n"
+           "        ori  r10, r10, 4\n"
+           "        sub  r7, r7, r11\n"
+           "b2:     srai r12, r11, 1\n"
+           "        blt  r7, r12, b1\n"
+           "        ori  r10, r10, 2\n"
+           "        sub  r7, r7, r12\n"
+           "b1:     srai r12, r11, 2\n"
+           "        blt  r7, r12, b0\n"
+           "        ori  r10, r10, 1\n"
+           "b0:     add  r4, r4, r10\n"    // acc += code
+        << kAdpcmReconstruct << "\n"
+        << "        addi r1, r1, 4\n"
+           "        addi r5, r5, -1\n"
+           "        bnez r5, loop\n"
+           "        addi r15, r15, -1\n"
+           "        bnez r15, pass\n"
+           "        muli r4, r4, 65536\n"
+           "        li   r13, 65535\n"
+           "        and  r2, r2, r13\n"
+           "        add  r4, r4, r2\n"
+           "        la   r14, result\n"
+           "        sd   r4, 0(r14)\n"
+           "        halt\n";
+
+    KernelBuild out;
+    out.source = src.str();
+    out.expected = expected;
+    out.memSize = 1ull << 20;
+    return out;
+}
+
+// ------------------------------------------------------------------
+// adpcm_d: IMA ADPCM decoder.
+// ------------------------------------------------------------------
+KernelBuild
+adpcmD(int variant, bool alt)
+{
+    Rng rng(kernelSeed("adpcm_d", variant, alt));
+    const unsigned sizes[3] = {1100, 1350, 1600};
+    unsigned n = sizes[variant] + (alt ? 250 : 0);
+    const unsigned passes = 3;
+    std::vector<int32_t> samples = makeWaveform(rng, n);
+    uint64_t enc_acc;
+    int32_t enc_pred;
+    std::vector<uint8_t> codes = adpcmEncodeRef(samples, enc_acc, enc_pred);
+
+    // Reference decode of the code buffer repeated `passes` times
+    // (continuous stream, warm buffer).
+    std::vector<uint8_t> code_stream;
+    for (unsigned p = 0; p < passes; ++p)
+        code_stream.insert(code_stream.end(), codes.begin(), codes.end());
+    int32_t pred = 0;
+    int index = 0;
+    uint64_t acc = 0;
+    for (uint8_t code : code_stream) {
+        int32_t step = kStepTable[index];
+        int32_t diffq = step >> 3;
+        if (code & 4)
+            diffq += step;
+        if (code & 2)
+            diffq += step >> 1;
+        if (code & 1)
+            diffq += step >> 2;
+        if (code & 8)
+            pred -= diffq;
+        else
+            pred += diffq;
+        pred = std::clamp(pred, -32768, 32767);
+        index = std::clamp(index + kIndexTable[code], 0, 88);
+        acc += static_cast<uint32_t>(pred) & 0xffff;
+    }
+
+    DataBuilder data;
+    data.label("result");
+    data.dwords({0});
+    data.label("codes");
+    data.bytes(codes);
+    data.align(4);
+    emitAdpcmTables(data);
+
+    std::ostringstream src;
+    src << data.str();
+    src << "        .text\n"
+           "main:   li   r2, 0\n"          // pred
+           "        li   r3, 0\n"          // index
+           "        li   r4, 0\n"          // acc
+        << "        li   r16, " << passes << "\n"
+        << "        la   r8, steptab\n"
+           "        la   r9, idxtab\n"
+           "pass:   la   r1, codes\n"
+        << "        li   r5, " << n << "\n"
+        << "loop:   lbu  r10, 0(r1)\n"     // code
+           "        slli r11, r3, 2\n"
+           "        add  r11, r11, r8\n"
+           "        lw   r11, 0(r11)\n"    // step
+        << kAdpcmReconstruct << "\n"
+        << "        li   r13, 65535\n"
+           "        and  r15, r2, r13\n"
+           "        add  r4, r4, r15\n"
+           "        addi r1, r1, 1\n"
+           "        addi r5, r5, -1\n"
+           "        bnez r5, loop\n"
+           "        addi r16, r16, -1\n"
+           "        bnez r16, pass\n"
+           "        la   r14, result\n"
+           "        sd   r4, 0(r14)\n"
+           "        halt\n";
+
+    KernelBuild out;
+    out.source = src.str();
+    out.expected = acc;
+    out.memSize = 1ull << 20;
+    return out;
+}
+
+// ------------------------------------------------------------------
+// jpeg_like: two-pass integer 8x8 DCT over many blocks.
+// ------------------------------------------------------------------
+KernelBuild
+jpegLike(int variant, bool alt)
+{
+    Rng rng(kernelSeed("jpeg_like", variant, alt));
+    const unsigned blocks_n[3] = {90, 110, 130};
+    unsigned blocks = blocks_n[variant] + (alt ? 20 : 0);
+
+    // Fixed-point DCT-II coefficients, <<7.
+    std::vector<int32_t> coef(64);
+    for (int k = 0; k < 8; ++k) {
+        double a = k == 0 ? std::sqrt(0.125) : 0.5;
+        for (int n = 0; n < 8; ++n) {
+            coef[k * 8 + n] = static_cast<int32_t>(std::lround(
+                a * std::cos((2 * n + 1) * k * M_PI / 16.0) * 128.0));
+        }
+    }
+
+    std::vector<int32_t> pixels(blocks * 64);
+    for (auto &p : pixels)
+        p = static_cast<int32_t>(rng.range(-128, 127));
+
+    // Reference: out[k][r] = sum_n in[r][n]*coef[k][n] >> 7, applied
+    // twice (the transpose-store makes two row passes a full 2-D DCT).
+    auto pass = [&](const int32_t *in, int32_t *out) {
+        for (int r = 0; r < 8; ++r) {
+            for (int k = 0; k < 8; ++k) {
+                int64_t t = 0;
+                for (int n = 0; n < 8; ++n)
+                    t += static_cast<int64_t>(in[r * 8 + n]) *
+                         coef[k * 8 + n];
+                out[k * 8 + r] = static_cast<int32_t>(t >> 7);
+            }
+        }
+    };
+    uint64_t acc = 0;
+    std::vector<int32_t> tmp(64), out_blk(64);
+    for (unsigned b = 0; b < blocks; ++b) {
+        pass(&pixels[b * 64], tmp.data());
+        pass(tmp.data(), out_blk.data());
+        for (int i = 0; i < 64; ++i)
+            acc += static_cast<uint64_t>(
+                static_cast<uint32_t>(out_blk[i]) & 0xffff);
+    }
+
+    DataBuilder data;
+    data.label("result");
+    data.dwords({0});
+    std::vector<uint32_t> cw(64), pw(pixels.size());
+    for (int i = 0; i < 64; ++i)
+        cw[i] = static_cast<uint32_t>(coef[i]);
+    for (size_t i = 0; i < pixels.size(); ++i)
+        pw[i] = static_cast<uint32_t>(pixels[i]);
+    data.label("coef");
+    data.words(cw);
+    data.label("pixels");
+    data.words(pw);
+    data.label("tmp");
+    data.space(64 * 4);
+    data.label("outblk");
+    data.space(64 * 4);
+
+    std::ostringstream src;
+    src << data.str();
+    // dctpass: r20 = in base, r21 = out base; clobbers r10-r19.
+    src << "        .text\n"
+           "main:   la   r1, pixels\n"
+        << "        li   r2, " << blocks << "\n"
+        << "        li   r3, 0\n"          // acc
+           "        la   r4, coef\n"
+           "blkloop:mov  r20, r1\n"
+           "        la   r21, tmp\n"
+           "        call dctpass\n"
+           "        la   r20, tmp\n"
+           "        la   r21, outblk\n"
+           "        call dctpass\n"
+           // accumulate outblk
+           "        la   r10, outblk\n"
+           "        li   r11, 64\n"
+           "        li   r13, 65535\n"
+           "accl:   lw   r12, 0(r10)\n"
+           "        and  r12, r12, r13\n"
+           "        add  r3, r3, r12\n"
+           "        addi r10, r10, 4\n"
+           "        addi r11, r11, -1\n"
+           "        bnez r11, accl\n"
+           "        addi r1, r1, 256\n"
+           "        addi r2, r2, -1\n"
+           "        bnez r2, blkloop\n"
+           "        la   r14, result\n"
+           "        sd   r3, 0(r14)\n"
+           "        halt\n"
+           // --- one DCT pass with transpose store ---
+           "dctpass:li   r10, 0\n"         // r
+           "rloop:  li   r11, 0\n"         // k
+           "kloop:  li   r12, 0\n"         // t
+           "        li   r13, 0\n"         // n
+           "        slli r14, r10, 5\n"    // r*32
+           "        add  r14, r14, r20\n"  // in row ptr
+           "        slli r15, r11, 5\n"
+           "        add  r15, r15, r4\n"   // coef row ptr
+           "nloop:  lw   r16, 0(r14)\n"
+           "        lw   r17, 0(r15)\n"
+           "        mul  r16, r16, r17\n"
+           "        add  r12, r12, r16\n"
+           "        addi r14, r14, 4\n"
+           "        addi r15, r15, 4\n"
+           "        addi r13, r13, 1\n"
+           "        li   r18, 8\n"
+           "        blt  r13, r18, nloop\n"
+           "        srai r12, r12, 7\n"
+           "        slli r18, r11, 5\n"    // out[k*8+r]
+           "        slli r19, r10, 2\n"
+           "        add  r18, r18, r19\n"
+           "        add  r18, r18, r21\n"
+           "        sw   r12, 0(r18)\n"
+           "        addi r11, r11, 1\n"
+           "        li   r18, 8\n"
+           "        blt  r11, r18, kloop\n"
+           "        addi r10, r10, 1\n"
+           "        li   r18, 8\n"
+           "        blt  r10, r18, rloop\n"
+           "        ret\n";
+
+    KernelBuild out;
+    out.source = src.str();
+    out.expected = acc;
+    out.memSize = 1ull << 20;
+    return out;
+}
+
+// ------------------------------------------------------------------
+// epic_like: multi-level Haar wavelet decomposition.
+// ------------------------------------------------------------------
+KernelBuild
+epicLike(int variant, bool alt)
+{
+    Rng rng(kernelSeed("epic_like", variant, alt));
+    const unsigned sizes[3] = {4096, 6144, 8192};
+    unsigned n = sizes[variant] + (alt ? 2048 : 0);
+    const unsigned repeats = 3;
+
+    std::vector<int32_t> x(n);
+    int32_t v = 0;
+    for (auto &s : x) {
+        v += static_cast<int32_t>(rng.range(-50, 50));
+        s = v;
+    }
+
+    // Reference: the 3-level decomposition applied `repeats` times to
+    // the evolving (cache-warm) buffer.
+    std::vector<int32_t> buf = x;
+    for (unsigned rep = 0; rep < repeats; ++rep) {
+        unsigned len = n;
+        for (int level = 0; level < 3; ++level) {
+            std::vector<int32_t> tmp(len);
+            for (unsigned i = 0; i < len / 2; ++i) {
+                int32_t a = buf[2 * i], b = buf[2 * i + 1];
+                tmp[i] = (a + b) >> 1;
+                tmp[len / 2 + i] = a - b;
+            }
+            std::copy(tmp.begin(), tmp.end(), buf.begin());
+            len /= 2;
+        }
+    }
+    uint64_t acc = 0;
+    for (unsigned i = 0; i < n; ++i)
+        acc += static_cast<uint32_t>(buf[i]) & 0xfffff;
+
+    DataBuilder data;
+    data.label("result");
+    data.dwords({0});
+    std::vector<uint32_t> xw(n);
+    for (unsigned i = 0; i < n; ++i)
+        xw[i] = static_cast<uint32_t>(x[i]);
+    data.label("buf");
+    data.words(xw);
+    data.label("tmp");
+    data.space(4ull * n);
+
+    std::ostringstream body;
+    body << "        .text\n"
+         << "main:   li   r15, " << repeats << "\n"
+         << "rep:    li   r1, " << n << "\n"
+         << "        li   r2, 3\n"
+            "level:  la   r3, buf\n"
+            "        la   r4, tmp\n"
+            "        srli r5, r1, 1\n"       // half
+            "        slli r6, r5, 2\n"
+            "        add  r6, r6, r4\n"      // hi ptr = tmp + half*4
+            "        mov  r7, r4\n"          // lo ptr
+            "        mov  r8, r5\n"          // counter
+            // Unrolled x2: consecutive pairs are independent.
+            "pair:   lw   r9, 0(r3)\n"
+            "        lw   r10, 4(r3)\n"
+            "        lw   r13, 8(r3)\n"
+            "        lw   r14, 12(r3)\n"
+            "        add  r11, r9, r10\n"
+            "        srai r11, r11, 1\n"
+            "        sw   r11, 0(r7)\n"
+            "        sub  r12, r9, r10\n"
+            "        sw   r12, 0(r6)\n"
+            "        add  r11, r13, r14\n"
+            "        srai r11, r11, 1\n"
+            "        sw   r11, 4(r7)\n"
+            "        sub  r12, r13, r14\n"
+            "        sw   r12, 4(r6)\n"
+            "        addi r3, r3, 16\n"
+            "        addi r7, r7, 8\n"
+            "        addi r6, r6, 8\n"
+            "        addi r8, r8, -2\n"
+            "        bgt  r8, r0, pair\n"
+            // copy tmp[0..len) back to buf
+            "        la   r3, buf\n"
+            "        la   r4, tmp\n"
+            "        mov  r8, r1\n"
+            "copy:   lw   r9, 0(r4)\n"
+            "        sw   r9, 0(r3)\n"
+            "        addi r3, r3, 4\n"
+            "        addi r4, r4, 4\n"
+            "        addi r8, r8, -1\n"
+            "        bnez r8, copy\n"
+            "        srli r1, r1, 1\n"
+            "        addi r2, r2, -1\n"
+            "        bnez r2, level\n"
+            "        addi r15, r15, -1\n"
+            "        bnez r15, rep\n"
+            // accumulate
+            "        la   r3, buf\n"
+         << "        li   r8, " << n << "\n"
+         << "        li   r5, 0\n"
+            "        li   r13, 1048575\n"
+            "accl:   lw   r9, 0(r3)\n"
+            "        and  r9, r9, r13\n"
+            "        add  r5, r5, r9\n"
+            "        addi r3, r3, 4\n"
+            "        addi r8, r8, -1\n"
+            "        bnez r8, accl\n"
+            "        la   r14, result\n"
+            "        sd   r5, 0(r14)\n"
+            "        halt\n";
+
+    KernelBuild out;
+    out.source = data.str() + body.str();
+    out.expected = acc;
+    out.memSize = 1ull << 20;
+    return out;
+}
+
+// ------------------------------------------------------------------
+// mpeg_like: sum-of-absolute-differences motion estimation.
+// ------------------------------------------------------------------
+KernelBuild
+mpegLike(int variant, bool alt)
+{
+    Rng rng(kernelSeed("mpeg_like", variant, alt));
+    const unsigned frames_n[3] = {4, 5, 6};
+    unsigned frames = frames_n[variant] + (alt ? 1 : 0);
+    const unsigned rw = 64, bw = 16, grid = 8;
+
+    std::vector<uint8_t> ref(frames * rw * rw);
+    for (auto &p : ref)
+        p = static_cast<uint8_t>(rng.below(256));
+    std::vector<uint8_t> cur(frames * bw * bw);
+    for (unsigned f = 0; f < frames; ++f) {
+        // Current block = noisy copy of a random ref position.
+        unsigned ox = 2 + static_cast<unsigned>(rng.below(grid));
+        unsigned oy = 2 + static_cast<unsigned>(rng.below(grid));
+        for (unsigned y = 0; y < bw; ++y) {
+            for (unsigned x = 0; x < bw; ++x) {
+                int v = ref[f * rw * rw + (y + oy) * rw + (x + ox)] +
+                        static_cast<int>(rng.range(-6, 6));
+                cur[f * bw * bw + y * bw + x] =
+                    static_cast<uint8_t>(std::clamp(v, 0, 255));
+            }
+        }
+    }
+
+    // Reference.
+    uint64_t acc = 0;
+    for (unsigned f = 0; f < frames; ++f) {
+        uint64_t best = ~0ull;
+        unsigned best_pos = 0;
+        for (unsigned dy = 0; dy < grid; ++dy) {
+            for (unsigned dx = 0; dx < grid; ++dx) {
+                uint64_t sad = 0;
+                for (unsigned y = 0; y < bw; ++y) {
+                    for (unsigned x = 0; x < bw; ++x) {
+                        int a = ref[f * rw * rw + (y + dy) * rw + x + dx];
+                        int b = cur[f * bw * bw + y * bw + x];
+                        sad += static_cast<uint64_t>(a > b ? a - b : b - a);
+                    }
+                }
+                if (sad < best) {
+                    best = sad;
+                    best_pos = dy * grid + dx;
+                }
+            }
+        }
+        acc += best * 100 + best_pos;
+    }
+
+    DataBuilder data;
+    data.label("result");
+    data.dwords({0});
+    data.label("ref");
+    data.bytes(ref);
+    data.align(4);
+    data.label("cur");
+    data.bytes(cur);
+
+    std::ostringstream src;
+    src << data.str();
+    src << "        .text\n"
+           "main:   li   r1, 0\n"            // frame
+        << "        li   r2, " << frames << "\n"
+        << "        li   r3, 0\n"            // acc
+           "frloop: mov  r4, r1\n"
+           "        muli r4, r4, 4096\n"     // f*64*64
+           "        la   r5, ref\n"
+           "        add  r4, r4, r5\n"       // ref base
+           "        mov  r6, r1\n"
+           "        muli r6, r6, 256\n"
+           "        la   r5, cur\n"
+           "        add  r6, r6, r5\n"       // cur base
+           "        li   r7, -1\n"           // best (max uint)
+           "        li   r8, 0\n"            // best_pos
+           "        li   r9, 0\n"            // pos = dy*8+dx
+           "posloop:srli r10, r9, 3\n"       // dy
+           "        andi r11, r9, 7\n"       // dx
+           "        slli r10, r10, 6\n"      // dy*64
+           "        add  r10, r10, r11\n"
+           "        add  r10, r10, r4\n"     // ref + dy*64 + dx
+           "        mov  r11, r6\n"          // cur ptr
+           "        li   r12, 0\n"           // sad
+           "        li   r13, 16\n"          // y counter
+           "yloop:  li   r14, 16\n"          // x counter
+           "        mov  r15, r10\n"
+           "        mov  r16, r11\n"
+           // Branchless |a-b| (as an if-converting compiler emits),
+           // unrolled x2: independent pixel pairs expose ILP.
+           "xloop:  lbu  r17, 0(r15)\n"
+           "        lbu  r18, 0(r16)\n"
+           "        sub  r19, r17, r18\n"
+           "        srai r17, r19, 63\n"
+           "        xor  r19, r19, r17\n"
+           "        sub  r19, r19, r17\n"
+           "        add  r12, r12, r19\n"
+           "        lbu  r17, 1(r15)\n"
+           "        lbu  r18, 1(r16)\n"
+           "        sub  r19, r17, r18\n"
+           "        srai r17, r19, 63\n"
+           "        xor  r19, r19, r17\n"
+           "        sub  r19, r19, r17\n"
+           "        add  r12, r12, r19\n"
+           "        addi r15, r15, 2\n"
+           "        addi r16, r16, 2\n"
+           "        addi r14, r14, -2\n"
+           "        bnez r14, xloop\n"
+           "        addi r10, r10, 64\n"
+           "        addi r11, r11, 16\n"
+           "        addi r13, r13, -1\n"
+           "        bnez r13, yloop\n"
+           "        bgeu r12, r7, notbest\n"
+           "        mov  r7, r12\n"
+           "        mov  r8, r9\n"
+           "notbest:addi r9, r9, 1\n"
+           "        li   r13, 64\n"
+           "        blt  r9, r13, posloop\n"
+           "        muli r7, r7, 100\n"
+           "        add  r3, r3, r7\n"
+           "        add  r3, r3, r8\n"
+           "        addi r1, r1, 1\n"
+           "        blt  r1, r2, frloop\n"
+           "        la   r14, result\n"
+           "        sd   r3, 0(r14)\n"
+           "        halt\n";
+
+    KernelBuild out;
+    out.source = src.str();
+    out.expected = acc;
+    out.memSize = 1ull << 20;
+    return out;
+}
+
+// ------------------------------------------------------------------
+// g721_like: sign-sign LMS adaptive predictor.
+// ------------------------------------------------------------------
+KernelBuild
+g721Like(int variant, bool alt)
+{
+    Rng rng(kernelSeed("g721_like", variant, alt));
+    const unsigned sizes[3] = {2200, 2700, 3200};
+    unsigned n = sizes[variant] + (alt ? 500 : 0);
+    std::vector<int32_t> input = makeWaveform(rng, n);
+
+    // Reference.
+    int64_t w[6] = {0, 0, 0, 0, 0, 0};
+    int64_t h[6] = {0, 0, 0, 0, 0, 0};
+    uint64_t acc = 0;
+    for (unsigned i = 0; i < n; ++i) {
+        int64_t pred = 0;
+        for (int t = 0; t < 6; ++t)
+            pred += w[t] * h[t];
+        pred >>= 8;
+        int64_t err = input[i] - pred;
+        for (int t = 0; t < 6; ++t) {
+            int64_t step = h[t] >> 4;
+            if (err > 0)
+                w[t] += step;
+            else
+                w[t] -= step;
+        }
+        for (int t = 5; t > 0; --t)
+            h[t] = h[t - 1];
+        h[0] = input[i];
+        acc += static_cast<uint64_t>(err & 0xffff);
+    }
+
+    DataBuilder data;
+    data.label("result");
+    data.dwords({0});
+    std::vector<uint32_t> iw(n);
+    for (unsigned i = 0; i < n; ++i)
+        iw[i] = static_cast<uint32_t>(input[i]);
+    data.label("input");
+    data.words(iw);
+    data.label("wtab");
+    data.space(6 * 8);
+    data.label("htab");
+    data.space(6 * 8);
+
+    std::ostringstream src;
+    src << data.str();
+    src << "        .text\n"
+           "main:   la   r1, input\n"
+        << "        li   r2, " << n << "\n"
+        << "        la   r3, wtab\n"
+           "        la   r4, htab\n"
+           "        li   r5, 0\n"           // acc
+           "        li   r20, 65535\n"
+           "loop:   lw   r6, 0(r1)\n"       // sample
+           // pred = sum w[t]*h[t]
+           "        li   r7, 0\n"
+           "        li   r8, 0\n"           // t
+           "pl:     slli r9, r8, 3\n"
+           "        add  r10, r9, r3\n"
+           "        ld   r11, 0(r10)\n"
+           "        add  r10, r9, r4\n"
+           "        ld   r12, 0(r10)\n"
+           "        mul  r11, r11, r12\n"
+           "        add  r7, r7, r11\n"
+           "        addi r8, r8, 1\n"
+           "        li   r9, 6\n"
+           "        blt  r8, r9, pl\n"
+           "        srai r7, r7, 8\n"
+           "        sub  r13, r6, r7\n"     // err
+           // weight update
+           "        li   r8, 0\n"
+           "wl:     slli r9, r8, 3\n"
+           "        add  r10, r9, r4\n"
+           "        ld   r12, 0(r10)\n"
+           "        srai r12, r12, 4\n"
+           "        add  r10, r9, r3\n"
+           "        ld   r11, 0(r10)\n"
+           "        ble  r13, r0, wneg\n"
+           "        add  r11, r11, r12\n"
+           "        b    wst\n"
+           "wneg:   sub  r11, r11, r12\n"
+           "wst:    sd   r11, 0(r10)\n"
+           "        addi r8, r8, 1\n"
+           "        li   r9, 6\n"
+           "        blt  r8, r9, wl\n"
+           // history shift
+           "        ld   r11, 32(r4)\n"
+           "        sd   r11, 40(r4)\n"
+           "        ld   r11, 24(r4)\n"
+           "        sd   r11, 32(r4)\n"
+           "        ld   r11, 16(r4)\n"
+           "        sd   r11, 24(r4)\n"
+           "        ld   r11, 8(r4)\n"
+           "        sd   r11, 16(r4)\n"
+           "        ld   r11, 0(r4)\n"
+           "        sd   r11, 8(r4)\n"
+           "        sd   r6, 0(r4)\n"
+           "        and  r13, r13, r20\n"
+           "        add  r5, r5, r13\n"
+           "        addi r1, r1, 4\n"
+           "        addi r2, r2, -1\n"
+           "        bnez r2, loop\n"
+           "        la   r14, result\n"
+           "        sd   r5, 0(r14)\n"
+           "        halt\n";
+
+    KernelBuild out;
+    out.source = src.str();
+    out.expected = acc;
+    out.memSize = 1ull << 20;
+    return out;
+}
+
+// ------------------------------------------------------------------
+// gsm_like: long-term-prediction lag search (correlations + max).
+// ------------------------------------------------------------------
+KernelBuild
+gsmLike(int variant, bool alt)
+{
+    Rng rng(kernelSeed("gsm_like", variant, alt));
+    const unsigned frames_n[3] = {5, 6, 7};
+    unsigned frames = frames_n[variant] + (alt ? 1 : 0);
+    const unsigned flen = 160, min_lag = 40, max_lag = 120;
+
+    std::vector<int32_t> x(frames * flen);
+    int32_t v = 0;
+    for (auto &s : x) {
+        v += static_cast<int32_t>(rng.range(-80, 80));
+        v = std::clamp(v, -2000, 2000);
+        s = v;
+    }
+
+    // Reference: per frame, best lag maximising sum x[i+lag]*x[i].
+    uint64_t acc = 0;
+    for (unsigned f = 0; f < frames; ++f) {
+        const int32_t *fr = &x[f * flen];
+        int64_t best = INT64_MIN;
+        unsigned best_lag = min_lag;
+        for (unsigned lag = min_lag; lag <= max_lag; ++lag) {
+            int64_t c = 0;
+            for (unsigned i = 0; i + lag < flen; ++i)
+                c += static_cast<int64_t>(fr[i + lag]) * fr[i];
+            if (c > best) {
+                best = c;
+                best_lag = lag;
+            }
+        }
+        acc += best_lag + (static_cast<uint64_t>(best) & 0xffffff);
+    }
+
+    DataBuilder data;
+    data.label("result");
+    data.dwords({0});
+    std::vector<uint32_t> xw(x.size());
+    for (size_t i = 0; i < x.size(); ++i)
+        xw[i] = static_cast<uint32_t>(x[i]);
+    data.label("x");
+    data.words(xw);
+
+    std::ostringstream src;
+    src << data.str();
+    src << "        .text\n"
+           "main:   li   r1, 0\n"            // frame
+        << "        li   r2, " << frames << "\n"
+        << "        li   r3, 0\n"            // acc
+           "frloop: mov  r4, r1\n"
+           "        muli r4, r4, 640\n"      // flen*4
+           "        la   r5, x\n"
+           "        add  r4, r4, r5\n"       // frame base
+           "        li   r6, -4611686018427387904\n" // best
+        << "        li   r7, " << min_lag << "\n"    // best_lag
+        << "        li   r8, " << min_lag << "\n"    // lag
+        << "lagloop:li   r9, 0\n"             // c
+           "        li   r10, 0\n"            // i
+        << "        li   r11, " << flen << "\n"
+        << "        sub  r11, r11, r8\n"      // count = flen - lag
+           "        slli r12, r8, 2\n"
+           "        add  r12, r12, r4\n"      // &fr[lag]
+           "        mov  r13, r4\n"           // &fr[0]
+           "corr:   lw   r14, 0(r12)\n"
+           "        lw   r15, 0(r13)\n"
+           "        mul  r14, r14, r15\n"
+           "        add  r9, r9, r14\n"
+           "        addi r12, r12, 4\n"
+           "        addi r13, r13, 4\n"
+           "        addi r10, r10, 1\n"
+           "        blt  r10, r11, corr\n"
+           "        ble  r9, r6, nomax\n"
+           "        mov  r6, r9\n"
+           "        mov  r7, r8\n"
+           "nomax:  addi r8, r8, 1\n"
+        << "        li   r14, " << max_lag << "\n"
+        << "        ble  r8, r14, lagloop\n"
+           "        li   r15, 16777215\n"
+           "        and  r6, r6, r15\n"
+           "        add  r3, r3, r6\n"
+           "        add  r3, r3, r7\n"
+           "        addi r1, r1, 1\n"
+           "        blt  r1, r2, frloop\n"
+           "        la   r14, result\n"
+           "        sd   r3, 0(r14)\n"
+           "        halt\n";
+
+    KernelBuild out;
+    out.source = src.str();
+    out.expected = acc;
+    out.memSize = 1ull << 20;
+    return out;
+}
+
+} // namespace
+
+const std::vector<KernelDef> &
+mediaKernels()
+{
+    static const std::vector<KernelDef> defs = {
+        {"adpcm_c", "media", adpcmC},
+        {"adpcm_d", "media", adpcmD},
+        {"jpeg_like", "media", jpegLike},
+        {"epic_like", "media", epicLike},
+        {"mpeg_like", "media", mpegLike},
+        {"g721_like", "media", g721Like},
+        {"gsm_like", "media", gsmLike},
+    };
+    return defs;
+}
+
+} // namespace mg::workloads

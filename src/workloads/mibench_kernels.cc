@@ -1,0 +1,963 @@
+/**
+ * @file
+ * MiBench-like kernels: quicksort, SHA-1 hashing, bit counting,
+ * Horspool string search, fixed-point FFT and Dijkstra shortest
+ * paths.
+ */
+
+#include "workloads/kernel_support.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <numeric>
+
+namespace mg::workloads
+{
+
+namespace
+{
+
+// ------------------------------------------------------------------
+// qsort_like: iterative quicksort (Lomuto) with an explicit stack.
+// ------------------------------------------------------------------
+KernelBuild
+qsortLike(int variant, bool alt)
+{
+    Rng rng(kernelSeed("qsort_like", variant, alt));
+    const unsigned sizes[3] = {1000, 1200, 1400};
+    unsigned n = sizes[variant] + (alt ? 250 : 0);
+
+    std::vector<uint32_t> a(n);
+    for (auto &v : a)
+        v = static_cast<uint32_t>(rng.below(1u << 30));
+
+    // Reference.
+    std::vector<uint32_t> sorted = a;
+    std::sort(sorted.begin(), sorted.end());
+    uint64_t acc = 0;
+    for (unsigned i = 0; i < n; ++i)
+        acc = (acc + static_cast<uint64_t>(sorted[i]) * (i + 1)) &
+              0xffffffffull;
+
+    DataBuilder data;
+    data.label("result");
+    data.dwords({0});
+    data.label("arr");
+    data.words(a);
+    data.align(8);
+    data.label("wstack");
+    data.space(16384);
+
+    std::ostringstream src;
+    src << data.str();
+    src << "        .text\n"
+           "main:   la   r1, arr\n"
+           "        la   r2, wstack\n"     // work-stack pointer
+           // push (0, n-1)
+           "        sw   r0, 0(r2)\n"
+        << "        li   r3, " << (n - 1) << "\n"
+        << "        sw   r3, 4(r2)\n"
+           "        addi r2, r2, 8\n"
+           "        la   r20, wstack\n"
+           "qloop:  ble  r2, r20, sorted\n"
+           "        addi r2, r2, -8\n"
+           "        lw   r4, 0(r2)\n"      // lo
+           "        lw   r5, 4(r2)\n"      // hi
+           "        bge  r4, r5, qloop\n"
+           // pivot = a[hi]
+           "        slli r6, r5, 2\n"
+           "        add  r6, r6, r1\n"
+           "        lw   r7, 0(r6)\n"      // pivot
+           "        mov  r8, r4\n"         // i
+           "        mov  r9, r4\n"         // j
+           "part:   bge  r9, r5, pdone\n"
+           "        slli r10, r9, 2\n"
+           "        add  r10, r10, r1\n"
+           "        lw   r11, 0(r10)\n"    // a[j]
+           "        bgtu r11, r7, nswap\n"
+           "        slli r12, r8, 2\n"
+           "        add  r12, r12, r1\n"
+           "        lw   r13, 0(r12)\n"    // a[i]
+           "        sw   r11, 0(r12)\n"
+           "        sw   r13, 0(r10)\n"
+           "        addi r8, r8, 1\n"
+           "nswap:  addi r9, r9, 1\n"
+           "        b    part\n"
+           "pdone:  slli r12, r8, 2\n"     // swap a[i], a[hi]
+           "        add  r12, r12, r1\n"
+           "        lw   r13, 0(r12)\n"
+           "        lw   r11, 0(r6)\n"
+           "        sw   r11, 0(r12)\n"
+           "        sw   r13, 0(r6)\n"
+           // push (lo, i-1) and (i+1, hi)
+           "        addi r10, r8, -1\n"
+           "        sw   r4, 0(r2)\n"
+           "        sw   r10, 4(r2)\n"
+           "        addi r2, r2, 8\n"
+           "        addi r10, r8, 1\n"
+           "        sw   r10, 0(r2)\n"
+           "        sw   r5, 4(r2)\n"
+           "        addi r2, r2, 8\n"
+           "        b    qloop\n"
+           // checksum
+           "sorted: li   r4, 0\n"
+           "        li   r5, 1\n"
+        << "        li   r6, " << n << "\n"
+        << "        mov  r7, r1\n"
+           "        li   r15, 4294967295\n"
+           "accl:   lw   r8, 0(r7)\n"
+           "        and  r8, r8, r15\n"
+           "        mul  r8, r8, r5\n"
+           "        add  r4, r4, r8\n"
+           "        and  r4, r4, r15\n"
+           "        addi r5, r5, 1\n"
+           "        addi r7, r7, 4\n"
+           "        addi r6, r6, -1\n"
+           "        bnez r6, accl\n"
+           "        la   r14, result\n"
+           "        sd   r4, 0(r14)\n"
+           "        halt\n";
+
+    KernelBuild out;
+    out.source = src.str();
+    out.expected = acc;
+    out.memSize = 1ull << 20;
+    return out;
+}
+
+// ------------------------------------------------------------------
+// sha_like: SHA-1 compression over a stream of 512-bit blocks.
+// ------------------------------------------------------------------
+KernelBuild
+shaLike(int variant, bool alt)
+{
+    Rng rng(kernelSeed("sha_like", variant, alt));
+    const unsigned blocks_n[3] = {40, 50, 60};
+    unsigned blocks = blocks_n[variant] + (alt ? 10 : 0);
+
+    std::vector<uint32_t> msg(blocks * 16);
+    for (auto &w : msg)
+        w = static_cast<uint32_t>(rng.next());
+
+    // Reference SHA-1 (chaining only, no padding).
+    auto rotl = [](uint32_t x, int s) {
+        return (x << s) | (x >> (32 - s));
+    };
+    uint32_t h[5] = {0x67452301u, 0xEFCDAB89u, 0x98BADCFEu, 0x10325476u,
+                     0xC3D2E1F0u};
+    for (unsigned blk = 0; blk < blocks; ++blk) {
+        uint32_t w[80];
+        for (int t = 0; t < 16; ++t)
+            w[t] = msg[blk * 16 + t];
+        for (int t = 16; t < 80; ++t)
+            w[t] = rotl(w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16], 1);
+        uint32_t a = h[0], b = h[1], c = h[2], d = h[3], e = h[4];
+        for (int t = 0; t < 80; ++t) {
+            uint32_t f, k;
+            if (t < 20) {
+                f = (b & c) | (~b & d);
+                k = 0x5A827999u;
+            } else if (t < 40) {
+                f = b ^ c ^ d;
+                k = 0x6ED9EBA1u;
+            } else if (t < 60) {
+                f = (b & c) | (b & d) | (c & d);
+                k = 0x8F1BBCDCu;
+            } else {
+                f = b ^ c ^ d;
+                k = 0xCA62C1D6u;
+            }
+            uint32_t temp = rotl(a, 5) + f + e + k + w[t];
+            e = d;
+            d = c;
+            c = rotl(b, 30);
+            b = a;
+            a = temp;
+        }
+        h[0] += a;
+        h[1] += b;
+        h[2] += c;
+        h[3] += d;
+        h[4] += e;
+    }
+    uint64_t expected = (static_cast<uint64_t>(h[0]) + h[1] + h[2] + h[3] +
+                         h[4]) &
+                        0xffffffffull;
+
+    DataBuilder data;
+    data.label("result");
+    data.dwords({0});
+    data.label("msg");
+    data.words(msg);
+    data.label("wbuf");
+    data.space(80 * 4);
+    data.label("hbuf");
+    data.words({0x67452301u, 0xEFCDAB89u, 0x98BADCFEu, 0x10325476u,
+                0xC3D2E1F0u});
+
+    // Register plan: r1 msg ptr, r2 blocks left, r3 wbuf, r4 hbuf,
+    // r5-r9 = a..e, r10-r13 temps, r15 = 0xffffffff, r16 t counter,
+    // r17/r18/r19 scratch.
+    std::ostringstream src;
+    src << data.str();
+    src << "        .text\n"
+           "main:   la   r1, msg\n"
+        << "        li   r2, " << blocks << "\n"
+        << "        la   r3, wbuf\n"
+           "        la   r4, hbuf\n"
+           "        li   r15, 4294967295\n"
+           // ---- per block ----
+           "block:  li   r16, 0\n"
+           // copy 16 words into wbuf
+           "wcopy:  slli r10, r16, 2\n"
+           "        add  r11, r10, r1\n"
+           "        lw   r12, 0(r11)\n"
+           "        add  r11, r10, r3\n"
+           "        sw   r12, 0(r11)\n"
+           "        addi r16, r16, 1\n"
+           "        li   r10, 16\n"
+           "        blt  r16, r10, wcopy\n"
+           // expand 16..79
+           "wexp:   slli r10, r16, 2\n"
+           "        add  r10, r10, r3\n"
+           "        lw   r11, -12(r10)\n"
+           "        lw   r12, -32(r10)\n"
+           "        xor  r11, r11, r12\n"
+           "        lw   r12, -56(r10)\n"
+           "        xor  r11, r11, r12\n"
+           "        lw   r12, -64(r10)\n"
+           "        xor  r11, r11, r12\n"
+           "        and  r11, r11, r15\n"
+           "        slli r12, r11, 1\n"
+           "        srli r11, r11, 31\n"
+           "        or   r11, r11, r12\n"
+           "        and  r11, r11, r15\n"
+           "        sw   r11, 0(r10)\n"
+           "        addi r16, r16, 1\n"
+           "        li   r10, 80\n"
+           "        blt  r16, r10, wexp\n"
+           // load a..e
+           "        lw   r5, 0(r4)\n"
+           "        lw   r6, 4(r4)\n"
+           "        lw   r7, 8(r4)\n"
+           "        lw   r8, 12(r4)\n"
+           "        lw   r9, 16(r4)\n"
+           "        and  r5, r5, r15\n"
+           "        and  r6, r6, r15\n"
+           "        and  r7, r7, r15\n"
+           "        and  r8, r8, r15\n"
+           "        and  r9, r9, r15\n"
+           "        li   r16, 0\n"
+           // ---- 80 rounds ----
+           "round:  li   r10, 20\n"
+           "        blt  r16, r10, f1\n"
+           "        li   r10, 40\n"
+           "        blt  r16, r10, f2\n"
+           "        li   r10, 60\n"
+           "        blt  r16, r10, f3\n"
+           // f4: b^c^d, k=0xCA62C1D6
+           "        xor  r11, r6, r7\n"
+           "        xor  r11, r11, r8\n"
+           "        li   r12, 3395469782\n"
+           "        b    fdone\n"
+           "f1:     and  r11, r6, r7\n"
+           "        not  r13, r6\n"
+           "        and  r13, r13, r8\n"
+           "        or   r11, r11, r13\n"
+           "        li   r12, 1518500249\n"
+           "        b    fdone\n"
+           "f2:     xor  r11, r6, r7\n"
+           "        xor  r11, r11, r8\n"
+           "        li   r12, 1859775393\n"
+           "        b    fdone\n"
+           "f3:     and  r11, r6, r7\n"
+           "        and  r13, r6, r8\n"
+           "        or   r11, r11, r13\n"
+           "        and  r13, r7, r8\n"
+           "        or   r11, r11, r13\n"
+           "        li   r12, 2400959708\n"
+           "fdone:  and  r11, r11, r15\n"
+           // temp = rotl(a,5) + f + e + k + w[t]
+           "        slli r13, r5, 5\n"
+           "        srli r17, r5, 27\n"
+           "        or   r13, r13, r17\n"
+           "        and  r13, r13, r15\n"
+           "        add  r13, r13, r11\n"
+           "        add  r13, r13, r9\n"
+           "        add  r13, r13, r12\n"
+           "        slli r17, r16, 2\n"
+           "        add  r17, r17, r3\n"
+           "        lw   r18, 0(r17)\n"
+           "        and  r18, r18, r15\n"
+           "        add  r13, r13, r18\n"
+           "        and  r13, r13, r15\n"
+           // rotate registers
+           "        mov  r9, r8\n"
+           "        mov  r8, r7\n"
+           "        slli r7, r6, 30\n"
+           "        srli r17, r6, 2\n"
+           "        or   r7, r7, r17\n"
+           "        and  r7, r7, r15\n"
+           "        mov  r6, r5\n"
+           "        mov  r5, r13\n"
+           "        addi r16, r16, 1\n"
+           "        li   r10, 80\n"
+           "        blt  r16, r10, round\n"
+           // h += a..e
+           "        lw   r10, 0(r4)\n"
+           "        add  r10, r10, r5\n"
+           "        and  r10, r10, r15\n"
+           "        sw   r10, 0(r4)\n"
+           "        lw   r10, 4(r4)\n"
+           "        add  r10, r10, r6\n"
+           "        and  r10, r10, r15\n"
+           "        sw   r10, 4(r4)\n"
+           "        lw   r10, 8(r4)\n"
+           "        add  r10, r10, r7\n"
+           "        and  r10, r10, r15\n"
+           "        sw   r10, 8(r4)\n"
+           "        lw   r10, 12(r4)\n"
+           "        add  r10, r10, r8\n"
+           "        and  r10, r10, r15\n"
+           "        sw   r10, 12(r4)\n"
+           "        lw   r10, 16(r4)\n"
+           "        add  r10, r10, r9\n"
+           "        and  r10, r10, r15\n"
+           "        sw   r10, 16(r4)\n"
+           "        addi r1, r1, 64\n"
+           "        addi r2, r2, -1\n"
+           "        bnez r2, block\n"
+           // result = (h0+..+h4) & mask
+           "        lw   r10, 0(r4)\n"
+           "        lw   r11, 4(r4)\n"
+           "        add  r10, r10, r11\n"
+           "        lw   r11, 8(r4)\n"
+           "        add  r10, r10, r11\n"
+           "        lw   r11, 12(r4)\n"
+           "        add  r10, r10, r11\n"
+           "        lw   r11, 16(r4)\n"
+           "        add  r10, r10, r11\n"
+           "        and  r10, r10, r15\n"
+           "        la   r14, result\n"
+           "        sd   r10, 0(r14)\n"
+           "        halt\n";
+
+    KernelBuild out;
+    out.source = src.str();
+    out.expected = expected;
+    out.memSize = 1ull << 20;
+    return out;
+}
+
+// ------------------------------------------------------------------
+// bitcount: three population-count methods per word.
+// ------------------------------------------------------------------
+KernelBuild
+bitcountKernel(int variant, bool alt)
+{
+    Rng rng(kernelSeed("bitcount", variant, alt));
+    const unsigned sizes[3] = {700, 850, 1000};
+    unsigned n = sizes[variant] + (alt ? 200 : 0);
+
+    std::vector<uint32_t> words(n);
+    for (auto &w : words)
+        w = static_cast<uint32_t>(rng.next());
+
+    // Reference.
+    uint64_t acc = 0;
+    std::vector<uint8_t> nib(16);
+    for (int i = 0; i < 16; ++i)
+        nib[i] = static_cast<uint8_t>(__builtin_popcount(i));
+    for (uint32_t w : words) {
+        // Kernighan
+        uint32_t x = w;
+        unsigned c1 = 0;
+        while (x) {
+            x &= x - 1;
+            ++c1;
+        }
+        // SWAR
+        uint32_t y = w;
+        y = y - ((y >> 1) & 0x55555555u);
+        y = (y & 0x33333333u) + ((y >> 2) & 0x33333333u);
+        y = (y + (y >> 4)) & 0x0F0F0F0Fu;
+        unsigned c2 = (y * 0x01010101u) >> 24;
+        // nibble table
+        unsigned c3 = 0;
+        for (int s = 0; s < 32; s += 4)
+            c3 += nib[(w >> s) & 0xF];
+        acc += c1 + c2 + c3;
+    }
+
+    DataBuilder data;
+    data.label("result");
+    data.dwords({0});
+    data.label("words");
+    data.words(words);
+    data.label("nibtab");
+    data.bytes(nib);
+
+    std::ostringstream src;
+    src << data.str();
+    src << "        .text\n"
+           "main:   la   r1, words\n"
+        << "        li   r2, " << n << "\n"
+        << "        la   r3, nibtab\n"
+           "        li   r4, 0\n"             // acc
+           "        li   r15, 4294967295\n"
+           "loop:   lw   r5, 0(r1)\n"
+           "        and  r5, r5, r15\n"
+           // Kernighan
+           "        mov  r6, r5\n"
+           "        li   r7, 0\n"
+           "kern:   beqz r6, kdone\n"
+           "        addi r8, r6, -1\n"
+           "        and  r6, r6, r8\n"
+           "        addi r7, r7, 1\n"
+           "        b    kern\n"
+           "kdone:  add  r4, r4, r7\n"
+           // SWAR
+           "        srli r8, r5, 1\n"
+           "        li   r9, 1431655765\n"
+           "        and  r8, r8, r9\n"
+           "        sub  r8, r5, r8\n"
+           "        li   r9, 858993459\n"
+           "        and  r10, r8, r9\n"
+           "        srli r8, r8, 2\n"
+           "        and  r8, r8, r9\n"
+           "        add  r8, r10, r8\n"
+           "        srli r10, r8, 4\n"
+           "        add  r8, r8, r10\n"
+           "        li   r9, 252645135\n"
+           "        and  r8, r8, r9\n"
+           "        li   r9, 16843009\n"
+           "        mul  r8, r8, r9\n"
+           "        and  r8, r8, r15\n"
+           "        srli r8, r8, 24\n"
+           "        add  r4, r4, r8\n"
+           // nibble table
+           "        li   r9, 0\n"             // shift
+           "nibl:   srl  r10, r5, r9\n"
+           "        andi r10, r10, 15\n"
+           "        add  r10, r10, r3\n"
+           "        lbu  r11, 0(r10)\n"
+           "        add  r4, r4, r11\n"
+           "        addi r9, r9, 4\n"
+           "        li   r10, 32\n"
+           "        blt  r9, r10, nibl\n"
+           "        addi r1, r1, 4\n"
+           "        addi r2, r2, -1\n"
+           "        bnez r2, loop\n"
+           "        la   r14, result\n"
+           "        sd   r4, 0(r14)\n"
+           "        halt\n";
+
+    KernelBuild out;
+    out.source = src.str();
+    out.expected = acc;
+    out.memSize = 1ull << 20;
+    return out;
+}
+
+// ------------------------------------------------------------------
+// stringsearch: Horspool search of several patterns over a text.
+// ------------------------------------------------------------------
+KernelBuild
+stringsearchKernel(int variant, bool alt)
+{
+    Rng rng(kernelSeed("stringsearch", variant, alt));
+    const unsigned text_n[3] = {6000, 7500, 9000};
+    unsigned n = text_n[variant] + (alt ? 1500 : 0);
+    const unsigned plen = 6, npat = 4;
+
+    // 4-letter alphabet so matches actually occur.
+    std::vector<uint8_t> text(n);
+    for (auto &c : text)
+        c = static_cast<uint8_t>('a' + rng.below(4));
+    std::vector<std::vector<uint8_t>> pats(npat);
+    for (auto &p : pats) {
+        p.resize(plen);
+        for (auto &c : p)
+            c = static_cast<uint8_t>('a' + rng.below(4));
+    }
+
+    // Reference Horspool.
+    uint64_t acc = 0;
+    for (unsigned pi = 0; pi < npat; ++pi) {
+        const auto &p = pats[pi];
+        unsigned skip[256];
+        for (unsigned c = 0; c < 256; ++c)
+            skip[c] = plen;
+        for (unsigned i = 0; i + 1 < plen; ++i)
+            skip[p[i]] = plen - 1 - i;
+        unsigned pos = 0, matches = 0;
+        while (pos + plen <= n) {
+            int j = plen - 1;
+            while (j >= 0 && text[pos + j] == p[j])
+                --j;
+            if (j < 0) {
+                ++matches;
+                pos += 1;
+            } else {
+                pos += skip[text[pos + plen - 1]];
+            }
+        }
+        acc += matches;
+    }
+
+    DataBuilder data;
+    data.label("result");
+    data.dwords({0});
+    data.label("text");
+    data.bytes(text);
+    data.align(4);
+    std::vector<uint8_t> patflat;
+    for (auto &p : pats)
+        patflat.insert(patflat.end(), p.begin(), p.end());
+    data.label("pats");
+    data.bytes(patflat);
+    data.align(4);
+    data.label("skiptab");
+    data.space(256 * 4);
+
+    std::ostringstream src;
+    src << data.str();
+    src << "        .text\n"
+           "main:   li   r1, 0\n"          // pattern index
+        << "        li   r2, " << npat << "\n"
+        << "        li   r3, 0\n"          // acc
+           "patloop:la   r4, pats\n"
+        << "        muli r5, r1, " << plen << "\n"
+        << "        add  r4, r4, r5\n"     // pattern base
+           // build skip table
+           "        la   r5, skiptab\n"
+           "        li   r6, 0\n"
+           "skinit: slli r7, r6, 2\n"
+           "        add  r7, r7, r5\n"
+        << "        li   r8, " << plen << "\n"
+        << "        sw   r8, 0(r7)\n"
+           "        addi r6, r6, 1\n"
+           "        li   r7, 256\n"
+           "        blt  r6, r7, skinit\n"
+           "        li   r6, 0\n"
+        << "skfill: li   r7, " << (plen - 1) << "\n"
+        << "        bge  r6, r7, skdone\n"
+           "        add  r8, r4, r6\n"
+           "        lbu  r8, 0(r8)\n"
+           "        slli r8, r8, 2\n"
+           "        add  r8, r8, r5\n"
+        << "        li   r9, " << (plen - 1) << "\n"
+        << "        sub  r9, r9, r6\n"
+           "        sw   r9, 0(r8)\n"
+           "        addi r6, r6, 1\n"
+           "        b    skfill\n"
+           "skdone: la   r10, text\n"
+           "        li   r11, 0\n"        // pos
+           "        li   r12, 0\n"        // matches
+        << "        li   r13, " << (n - plen) << "\n" // last pos
+        << "scan:   bgt  r11, r13, pdone\n"
+        << "        li   r6, " << (plen - 1) << "\n"  // j
+        << "cmp:    blt  r6, r0, hit\n"
+           "        add  r7, r10, r11\n"
+           "        add  r7, r7, r6\n"
+           "        lbu  r8, 0(r7)\n"
+           "        add  r9, r4, r6\n"
+           "        lbu  r9, 0(r9)\n"
+           "        bne  r8, r9, miss\n"
+           "        addi r6, r6, -1\n"
+           "        b    cmp\n"
+           "hit:    addi r12, r12, 1\n"
+           "        addi r11, r11, 1\n"
+           "        b    scan\n"
+           "miss:   add  r7, r10, r11\n"
+        << "        lbu  r8, " << (plen - 1) << "(r7)\n"
+        << "        slli r8, r8, 2\n"
+           "        add  r8, r8, r5\n"
+           "        lw   r9, 0(r8)\n"
+           "        add  r11, r11, r9\n"
+           "        b    scan\n"
+           "pdone:  add  r3, r3, r12\n"
+           "        addi r1, r1, 1\n"
+           "        blt  r1, r2, patloop\n"
+           "        la   r14, result\n"
+           "        sd   r3, 0(r14)\n"
+           "        halt\n";
+
+    KernelBuild out;
+    out.source = src.str();
+    out.expected = acc;
+    out.memSize = 1ull << 20;
+    return out;
+}
+
+// ------------------------------------------------------------------
+// fft_like: fixed-point radix-2 DIT FFT.
+// ------------------------------------------------------------------
+KernelBuild
+fftLike(int variant, bool alt)
+{
+    Rng rng(kernelSeed("fft_like", variant, alt));
+    const unsigned sizes[3] = {256, 512, 512};
+    unsigned n = sizes[variant] << (alt ? 1 : 0);
+    unsigned logn = 0;
+    while ((1u << logn) < n)
+        ++logn;
+
+    std::vector<int32_t> re(n), im(n, 0);
+    for (auto &v : re)
+        v = static_cast<int32_t>(rng.range(-1000, 1000));
+
+    // Q14 twiddles for each stage-span.
+    std::vector<int32_t> wr(n / 2), wi(n / 2);
+    for (unsigned k = 0; k < n / 2; ++k) {
+        double ang = -2.0 * M_PI * k / n;
+        wr[k] = static_cast<int32_t>(std::lround(std::cos(ang) * 16384));
+        wi[k] = static_cast<int32_t>(std::lround(std::sin(ang) * 16384));
+    }
+
+    // Reference: identical integer math.
+    std::vector<int32_t> xr = re, xi = im;
+    // bit-reverse permutation
+    for (unsigned i = 0, j = 0; i < n; ++i) {
+        if (i < j)
+            std::swap(xr[i], xr[j]), std::swap(xi[i], xi[j]);
+        unsigned m = n >> 1;
+        while (m >= 1 && (j & m)) {
+            j ^= m;
+            m >>= 1;
+        }
+        j |= m;
+    }
+    for (unsigned s = 1; s <= logn; ++s) {
+        unsigned m = 1u << s;
+        unsigned half = m >> 1;
+        unsigned tstep = n / m;
+        for (unsigned k = 0; k < n; k += m) {
+            for (unsigned j = 0; j < half; ++j) {
+                int64_t twr = wr[j * tstep], twi = wi[j * tstep];
+                int64_t ur = xr[k + j], ui = xi[k + j];
+                int64_t vr = xr[k + j + half], vi = xi[k + j + half];
+                int64_t tr = (vr * twr - vi * twi) >> 14;
+                int64_t ti = (vr * twi + vi * twr) >> 14;
+                xr[k + j] = static_cast<int32_t>(ur + tr);
+                xi[k + j] = static_cast<int32_t>(ui + ti);
+                xr[k + j + half] = static_cast<int32_t>(ur - tr);
+                xi[k + j + half] = static_cast<int32_t>(ui - ti);
+            }
+        }
+    }
+    uint64_t acc = 0;
+    for (unsigned i = 0; i < n; ++i) {
+        acc += static_cast<uint32_t>(xr[i]) & 0xffffff;
+        acc += static_cast<uint32_t>(xi[i]) & 0xffffff;
+    }
+
+    // The assembly program performs the same bit-reversal, so feed it
+    // the *original* order and let it permute.
+    DataBuilder data;
+    data.label("result");
+    data.dwords({0});
+    auto to_words = [](const std::vector<int32_t> &v) {
+        std::vector<uint32_t> w(v.size());
+        for (size_t i = 0; i < v.size(); ++i)
+            w[i] = static_cast<uint32_t>(v[i]);
+        return w;
+    };
+    data.label("xr");
+    data.words(to_words(re));
+    data.label("xi");
+    data.words(to_words(im));
+    data.label("wr");
+    data.words(to_words(wr));
+    data.label("wi");
+    data.words(to_words(wi));
+
+    std::ostringstream src;
+    src << data.str();
+    src << "        .text\n"
+           "main:   la   r1, xr\n"
+           "        la   r2, xi\n"
+           // ---- bit-reverse permutation ----
+           "        li   r3, 0\n"     // i
+           "        li   r4, 0\n"     // j
+        << "        li   r5, " << n << "\n"
+        << "brloop: bge  r3, r4, noswp\n"
+           // swap element i and j in both arrays
+           "        slli r6, r3, 2\n"
+           "        add  r6, r6, r1\n"
+           "        slli r7, r4, 2\n"
+           "        add  r7, r7, r1\n"
+           "        lw   r8, 0(r6)\n"
+           "        lw   r9, 0(r7)\n"
+           "        sw   r9, 0(r6)\n"
+           "        sw   r8, 0(r7)\n"
+           "        slli r6, r3, 2\n"
+           "        add  r6, r6, r2\n"
+           "        slli r7, r4, 2\n"
+           "        add  r7, r7, r2\n"
+           "        lw   r8, 0(r6)\n"
+           "        lw   r9, 0(r7)\n"
+           "        sw   r9, 0(r6)\n"
+           "        sw   r8, 0(r7)\n"
+           "noswp:  srli r6, r5, 1\n"  // m = n>>1
+           "brw:    beqz r6, brw2\n"
+           "        and  r7, r4, r6\n"
+           "        beqz r7, brw2\n"
+           "        xor  r4, r4, r6\n"
+           "        srli r6, r6, 1\n"
+           "        b    brw\n"
+           "brw2:   or   r4, r4, r6\n"
+           "        addi r3, r3, 1\n"
+           "        blt  r3, r5, brloop\n"
+           // ---- stages ----
+           "        la   r20, wr\n"
+           "        la   r21, wi\n"
+           "        li   r10, 2\n"     // m = 2
+        << "stage:  bgt  r10, r5, fdone\n"
+           "        srli r11, r10, 1\n" // half
+           "        div  r12, r5, r10\n"// tstep
+           "        li   r13, 0\n"      // k
+           "grp:    li   r14, 0\n"      // j
+           "bfly:   mul  r15, r14, r12\n"
+           "        slli r15, r15, 2\n"
+           "        add  r16, r15, r20\n"
+           "        lw   r16, 0(r16)\n" // twr
+           "        add  r17, r15, r21\n"
+           "        lw   r17, 0(r17)\n" // twi
+           "        add  r18, r13, r14\n"
+           "        slli r18, r18, 2\n" // idx u *4
+           "        add  r19, r18, r1\n"
+           "        lw   r22, 0(r19)\n" // ur
+           "        add  r23, r18, r2\n"
+           "        lw   r24, 0(r23)\n" // ui
+           "        slli r25, r11, 2\n"
+           "        add  r26, r19, r25\n"
+           "        lw   r27, 0(r26)\n" // vr
+           "        add  r28, r23, r25\n"
+           "        lw   r29, 0(r28)\n" // vi
+           // tr = (vr*twr - vi*twi) >> 14 ; ti = (vr*twi + vi*twr) >> 14
+           "        mul  r15, r27, r16\n"
+           "        mul  r25, r29, r17\n"
+           "        sub  r15, r15, r25\n"
+           "        srai r15, r15, 14\n" // tr
+           "        mul  r25, r27, r17\n"
+           "        mul  r27, r29, r16\n"
+           "        add  r25, r25, r27\n"
+           "        srai r25, r25, 14\n" // ti
+           "        add  r27, r22, r15\n"
+           "        sw   r27, 0(r19)\n"
+           "        add  r27, r24, r25\n"
+           "        sw   r27, 0(r23)\n"
+           "        sub  r27, r22, r15\n"
+           "        sw   r27, 0(r26)\n"
+           "        sub  r27, r24, r25\n"
+           "        sw   r27, 0(r28)\n"
+           "        addi r14, r14, 1\n"
+           "        blt  r14, r11, bfly\n"
+           "        add  r13, r13, r10\n"
+           "        blt  r13, r5, grp\n"
+           "        slli r10, r10, 1\n"
+           "        b    stage\n"
+           // ---- checksum ----
+           "fdone:  li   r3, 0\n"
+           "        li   r4, 0\n"
+           "        li   r13, 16777215\n"
+           "accl:   slli r6, r4, 2\n"
+           "        add  r7, r6, r1\n"
+           "        lw   r8, 0(r7)\n"
+           "        and  r8, r8, r13\n"
+           "        add  r3, r3, r8\n"
+           "        add  r7, r6, r2\n"
+           "        lw   r8, 0(r7)\n"
+           "        and  r8, r8, r13\n"
+           "        add  r3, r3, r8\n"
+           "        addi r4, r4, 1\n"
+           "        blt  r4, r5, accl\n"
+           "        la   r14, result\n"
+           "        sd   r3, 0(r14)\n"
+           "        halt\n";
+
+    KernelBuild out;
+    out.source = src.str();
+    out.expected = acc;
+    out.memSize = 1ull << 20;
+    return out;
+}
+
+// ------------------------------------------------------------------
+// dijkstra_like: adjacency-matrix Dijkstra from several sources.
+// ------------------------------------------------------------------
+KernelBuild
+dijkstraLike(int variant, bool alt)
+{
+    Rng rng(kernelSeed("dijkstra_like", variant, alt));
+    const unsigned nodes_n[3] = {44, 52, 60};
+    unsigned nn = nodes_n[variant] + (alt ? 8 : 0);
+    const unsigned sources = 3;
+    const uint32_t inf = 1u << 29;
+
+    std::vector<uint32_t> adj(nn * nn, inf);
+    for (unsigned i = 0; i < nn; ++i) {
+        adj[i * nn + i] = 0;
+        for (unsigned j = 0; j < nn; ++j) {
+            if (i != j && rng.chance(0.35))
+                adj[i * nn + j] = 1 + static_cast<uint32_t>(rng.below(100));
+        }
+    }
+
+    // Reference.
+    uint64_t acc = 0;
+    for (unsigned s = 0; s < sources; ++s) {
+        std::vector<uint32_t> dist(nn, inf);
+        std::vector<bool> done(nn, false);
+        dist[s] = 0;
+        for (unsigned iter = 0; iter < nn; ++iter) {
+            uint32_t best = inf + 1;
+            unsigned u = nn;
+            for (unsigned v = 0; v < nn; ++v) {
+                if (!done[v] && dist[v] < best) {
+                    best = dist[v];
+                    u = v;
+                }
+            }
+            if (u == nn)
+                break;
+            done[u] = true;
+            for (unsigned v = 0; v < nn; ++v) {
+                uint32_t w = adj[u * nn + v];
+                if (w != inf && dist[u] + w < dist[v])
+                    dist[v] = dist[u] + w;
+            }
+        }
+        for (unsigned v = 0; v < nn; ++v)
+            acc += dist[v] == inf ? 777 : dist[v];
+    }
+
+    DataBuilder data;
+    data.label("result");
+    data.dwords({0});
+    data.label("adj");
+    data.words(adj);
+    data.label("dist");
+    data.space(nn * 4);
+    data.label("donev");
+    data.space(nn * 4);
+
+    std::ostringstream src;
+    src << data.str();
+    src << "        .text\n"
+           "main:   li   r1, 0\n"            // source
+        << "        li   r2, " << sources << "\n"
+        << "        li   r3, 0\n"            // acc
+        << "        li   r26, " << inf << "\n"
+        << "        li   r27, " << nn << "\n"
+        << "srcloop:la   r4, dist\n"
+           "        la   r5, donev\n"
+           // init dist = inf, done = 0
+           "        li   r6, 0\n"
+           "init:   slli r7, r6, 2\n"
+           "        add  r8, r7, r4\n"
+           "        sw   r26, 0(r8)\n"
+           "        add  r8, r7, r5\n"
+           "        sw   r0, 0(r8)\n"
+           "        addi r6, r6, 1\n"
+           "        blt  r6, r27, init\n"
+           "        slli r7, r1, 2\n"
+           "        add  r7, r7, r4\n"
+           "        sw   r0, 0(r7)\n"        // dist[s] = 0
+           "        li   r9, 0\n"            // iteration
+           // Branchless (if-converted) min scan, as -O3 emits.
+           "iter:   addi r10, r26, 1\n"      // best
+           "        mov  r11, r27\n"         // u = nn
+           "        li   r6, 0\n"
+           "scan:   slli r7, r6, 2\n"
+           "        add  r8, r7, r5\n"
+           "        lw   r12, 0(r8)\n"       // done[v]
+           "        add  r8, r7, r4\n"
+           "        lw   r18, 0(r8)\n"       // dist[v]
+           "        sltu r19, r18, r10\n"    // dist < best
+           "        sltiu r12, r12, 1\n"     // !done
+           "        and  r19, r19, r12\n"
+           "        sub  r19, r0, r19\n"     // take mask
+           "        xor  r17, r10, r18\n"
+           "        and  r17, r17, r19\n"
+           "        xor  r10, r10, r17\n"    // best
+           "        xor  r17, r11, r6\n"
+           "        and  r17, r17, r19\n"
+           "        xor  r11, r11, r17\n"    // u
+           "        addi r6, r6, 1\n"
+           "        blt  r6, r27, scan\n"
+           "        beq  r11, r27, srcdone\n"
+           "        slli r7, r11, 2\n"
+           "        add  r8, r7, r5\n"
+           "        li   r12, 1\n"
+           "        sw   r12, 0(r8)\n"       // done[u] = 1
+           "        add  r8, r7, r4\n"
+           "        lw   r13, 0(r8)\n"       // dist[u]
+           "        mul  r15, r11, r27\n"
+           "        slli r15, r15, 2\n"
+           "        la   r16, adj\n"
+           "        add  r15, r15, r16\n"    // adj row base
+           // Branchless relax: dist[v] = min(dist[v], dist[u]+w)
+           // when the edge exists.
+           "        li   r6, 0\n"
+           "relax:  slli r7, r6, 2\n"
+           "        add  r8, r7, r15\n"
+           "        lw   r16, 0(r8)\n"       // w
+           "        add  r18, r16, r13\n"    // cand
+           "        xor  r19, r16, r26\n"
+           "        sltu r19, r0, r19\n"     // edge exists
+           "        add  r8, r7, r4\n"
+           "        lw   r17, 0(r8)\n"       // dist[v]
+           "        sltu r16, r18, r17\n"    // cand < dist
+           "        and  r19, r19, r16\n"
+           "        sub  r19, r0, r19\n"
+           "        xor  r16, r17, r18\n"
+           "        and  r16, r16, r19\n"
+           "        xor  r17, r17, r16\n"
+           "        sw   r17, 0(r8)\n"
+           "        addi r6, r6, 1\n"
+           "        blt  r6, r27, relax\n"
+           "        addi r9, r9, 1\n"
+           "        blt  r9, r27, iter\n"
+           // accumulate distances
+           "srcdone:li   r6, 0\n"
+           "sacc:   slli r7, r6, 2\n"
+           "        add  r8, r7, r4\n"
+           "        lw   r12, 0(r8)\n"
+           "        bne  r12, r26, finite\n"
+           "        li   r12, 777\n"
+           "finite: add  r3, r3, r12\n"
+           "        addi r6, r6, 1\n"
+           "        blt  r6, r27, sacc\n"
+           "        addi r1, r1, 1\n"
+           "        blt  r1, r2, srcloop\n"
+           "        la   r14, result\n"
+           "        sd   r3, 0(r14)\n"
+           "        halt\n";
+
+    KernelBuild out;
+    out.source = src.str();
+    out.expected = acc;
+    out.memSize = 1ull << 20;
+    return out;
+}
+
+} // namespace
+
+const std::vector<KernelDef> &
+mibenchKernels()
+{
+    static const std::vector<KernelDef> defs = {
+        {"qsort_like", "mibench", qsortLike},
+        {"sha_like", "mibench", shaLike},
+        {"bitcount", "mibench", bitcountKernel},
+        {"stringsearch", "mibench", stringsearchKernel},
+        {"fft_like", "mibench", fftLike},
+        {"dijkstra_like", "mibench", dijkstraLike},
+    };
+    return defs;
+}
+
+} // namespace mg::workloads

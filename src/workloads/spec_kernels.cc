@@ -1,0 +1,699 @@
+/**
+ * @file
+ * SPECint2000-like kernels: irregular integer codes — pointer chasing
+ * with large footprints (mcf), table-driven state machines (gcc),
+ * move-to-front coding (bzip2), LZ77 match searching (gzip), token
+ * stream parsing (parser), grid cost walks (vpr) and simulated
+ * annealing swap kernels (twolf).
+ */
+
+#include "workloads/kernel_support.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace mg::workloads
+{
+
+namespace
+{
+
+// ------------------------------------------------------------------
+// mcf_like: pointer chase over a large node array (cache-miss heavy).
+// ------------------------------------------------------------------
+KernelBuild
+mcfLike(int variant, bool alt)
+{
+    Rng rng(kernelSeed("mcf_like", variant, alt));
+    const unsigned sizes[3] = {20000, 36000, 56000};
+    unsigned n = sizes[variant];
+    if (alt)
+        n = n + n / 4;
+    const unsigned steps = 16000;
+
+    // Random single-cycle permutation (Sattolo).
+    std::vector<uint32_t> next(n);
+    std::iota(next.begin(), next.end(), 0);
+    for (unsigned i = n - 1; i > 0; --i) {
+        unsigned j = static_cast<unsigned>(rng.below(i));
+        std::swap(next[i], next[j]);
+    }
+
+    DataBuilder data;
+    data.label("result");
+    data.dwords({0});
+    uint64_t nodes_addr = data.here();
+    std::vector<uint64_t> node_words(2 * n);
+    std::vector<uint64_t> value(n);
+    for (unsigned i = 0; i < n; ++i) {
+        value[i] = rng.below(1u << 20);
+        node_words[2 * i] = nodes_addr + 16ull * next[i];
+        node_words[2 * i + 1] = value[i];
+    }
+    data.label("nodes");
+    data.dwords(node_words);
+
+    // C++ reference.
+    uint64_t acc = 0;
+    unsigned cur = 0;
+    for (unsigned s = 0; s < steps; ++s) {
+        uint64_t v = value[cur];
+        acc += v;
+        if (v & 1)
+            acc += 3;
+        cur = next[cur];
+    }
+
+    std::ostringstream src;
+    src << data.str();
+    src << "        .text\n"
+           "main:   la   r1, nodes\n"
+           "        li   r2, 0\n"
+        << "        li   r3, " << steps << "\n"
+        << "loop:   ld   r4, 8(r1)\n"
+           "        ld   r1, 0(r1)\n"
+           "        add  r2, r2, r4\n"
+           "        andi r5, r4, 1\n"
+           "        beqz r5, skip\n"
+           "        addi r2, r2, 3\n"
+           "skip:   addi r3, r3, -1\n"
+           "        bnez r3, loop\n"
+           "        la   r6, result\n"
+           "        sd   r2, 0(r6)\n"
+           "        halt\n";
+
+    KernelBuild out;
+    out.source = src.str();
+    out.expected = acc;
+    out.memSize = 4ull << 20;
+    return out;
+}
+
+// ------------------------------------------------------------------
+// gcc_like: table-driven finite state machine over a token stream.
+// ------------------------------------------------------------------
+KernelBuild
+gccLike(int variant, bool alt)
+{
+    Rng rng(kernelSeed("gcc_like", variant, alt));
+    const unsigned sizes[3] = {7000, 9000, 11000};
+    unsigned n = sizes[variant] + (alt ? 1500 : 0);
+    const unsigned accept_state = 13;
+
+    std::vector<uint8_t> tokens(n);
+    for (auto &t : tokens)
+        t = static_cast<uint8_t>(rng.below(16));
+    std::vector<uint8_t> trans(256);
+    for (auto &t : trans)
+        t = static_cast<uint8_t>(rng.below(16));
+    std::vector<uint32_t> weights(16);
+    for (auto &w : weights)
+        w = static_cast<uint32_t>(rng.below(1000));
+
+    // C++ reference.
+    uint64_t acc = 0, accepts = 0;
+    unsigned state = 0;
+    for (unsigned i = 0; i < n; ++i) {
+        state = trans[state * 16 + tokens[i]];
+        acc += weights[state];
+        if (state == accept_state) {
+            ++accepts;
+            state = 0;
+        }
+    }
+
+    DataBuilder data;
+    data.label("result");
+    data.dwords({0});
+    data.label("tokens");
+    data.bytes(tokens);
+    data.align(4);
+    data.label("trans");
+    data.bytes(trans);
+    data.align(4);
+    data.label("weights");
+    data.words(weights);
+
+    std::ostringstream src;
+    src << data.str();
+    src << "        .text\n"
+           "main:   li   r1, 0\n"
+           "        li   r2, 0\n"
+           "        li   r3, 0\n"
+           "        li   r9, 0\n"
+           "        la   r4, tokens\n"
+           "        la   r5, trans\n"
+           "        la   r6, weights\n"
+        << "        li   r7, " << n << "\n"
+        << "        li   r13, " << accept_state << "\n"
+        << "loop:   lbu  r8, 0(r4)\n"
+           "        slli r10, r2, 4\n"
+           "        add  r10, r10, r8\n"
+           "        add  r10, r10, r5\n"
+           "        lbu  r2, 0(r10)\n"
+           "        slli r11, r2, 2\n"
+           "        add  r11, r11, r6\n"
+           "        lw   r12, 0(r11)\n"
+           "        add  r3, r3, r12\n"
+           "        bne  r2, r13, noacc\n"
+           "        addi r9, r9, 1\n"
+           "        li   r2, 0\n"
+           "noacc:  addi r4, r4, 1\n"
+           "        addi r1, r1, 1\n"
+           "        blt  r1, r7, loop\n"
+           "        muli r9, r9, 1000000\n"
+           "        add  r3, r3, r9\n"
+           "        la   r14, result\n"
+           "        sd   r3, 0(r14)\n"
+           "        halt\n";
+
+    KernelBuild out;
+    out.source = src.str();
+    out.expected = acc + accepts * 1000000;
+    out.memSize = 1ull << 20;
+    return out;
+}
+
+// ------------------------------------------------------------------
+// bzip_like: move-to-front transform (branchy inner scans).
+// ------------------------------------------------------------------
+KernelBuild
+bzipLike(int variant, bool alt)
+{
+    Rng rng(kernelSeed("bzip_like", variant, alt));
+    const unsigned sizes[3] = {2600, 3200, 3800};
+    unsigned n = sizes[variant] + (alt ? 600 : 0);
+
+    // Input with locality: a small rotating working set plus noise.
+    std::vector<uint8_t> input(n);
+    uint8_t hot[8];
+    for (auto &h : hot)
+        h = static_cast<uint8_t>(rng.below(256));
+    for (unsigned i = 0; i < n; ++i) {
+        if (rng.chance(0.8))
+            input[i] = hot[rng.below(8)];
+        else
+            input[i] = static_cast<uint8_t>(rng.below(256));
+        if (rng.chance(0.01))
+            hot[rng.below(8)] = static_cast<uint8_t>(rng.below(256));
+    }
+
+    // C++ reference.
+    std::vector<uint8_t> mtf(256);
+    std::iota(mtf.begin(), mtf.end(), 0);
+    uint64_t acc = 0;
+    for (unsigned i = 0; i < n; ++i) {
+        unsigned j = 0;
+        while (mtf[j] != input[i])
+            ++j;
+        acc += j;
+        for (unsigned k = j; k > 0; --k)
+            mtf[k] = mtf[k - 1];
+        mtf[0] = input[i];
+    }
+
+    DataBuilder data;
+    data.label("result");
+    data.dwords({0});
+    data.label("input");
+    data.bytes(input);
+    data.align(4);
+    std::vector<uint8_t> mtf_init(256);
+    std::iota(mtf_init.begin(), mtf_init.end(), 0);
+    data.label("mtf");
+    data.bytes(mtf_init);
+
+    std::ostringstream src;
+    src << data.str();
+    src << "        .text\n"
+           "main:   la   r1, input\n"
+        << "        li   r2, " << n << "\n"
+        << "        la   r3, mtf\n"
+           "        li   r4, 0\n"          // acc
+           "outer:  lbu  r5, 0(r1)\n"      // b = input byte
+           "        li   r6, 0\n"          // j
+           "scan:   add  r7, r3, r6\n"
+           "        lbu  r8, 0(r7)\n"
+           "        beq  r8, r5, found\n"
+           "        addi r6, r6, 1\n"
+           "        b    scan\n"
+           "found:  add  r4, r4, r6\n"
+           "shift:  beqz r6, place\n"
+           "        add  r9, r3, r6\n"
+           "        lbu  r10, -1(r9)\n"
+           "        sb   r10, 0(r9)\n"
+           "        addi r6, r6, -1\n"
+           "        b    shift\n"
+           "place:  sb   r5, 0(r3)\n"
+           "        addi r1, r1, 1\n"
+           "        addi r2, r2, -1\n"
+           "        bnez r2, outer\n"
+           "        la   r11, result\n"
+           "        sd   r4, 0(r11)\n"
+           "        halt\n";
+
+    KernelBuild out;
+    out.source = src.str();
+    out.expected = acc;
+    out.memSize = 1ull << 20;
+    return out;
+}
+
+// ------------------------------------------------------------------
+// gzip_like: LZ77 hash-head match searching.
+// ------------------------------------------------------------------
+KernelBuild
+gzipLike(int variant, bool alt)
+{
+    Rng rng(kernelSeed("gzip_like", variant, alt));
+    const unsigned sizes[3] = {4200, 5200, 6200};
+    unsigned n = sizes[variant] + (alt ? 800 : 0);
+
+    // Compressible input: copies of earlier substrings plus literals.
+    std::vector<uint8_t> input;
+    input.reserve(n);
+    while (input.size() < n) {
+        if (input.size() > 32 && rng.chance(0.6)) {
+            unsigned back =
+                1 + static_cast<unsigned>(rng.below(
+                        std::min<uint64_t>(input.size() - 8, 200)));
+            unsigned len = 3 + static_cast<unsigned>(rng.below(10));
+            size_t start = input.size() - back;
+            for (unsigned k = 0; k < len && input.size() < n; ++k)
+                input.push_back(input[start + k]);
+        } else {
+            input.push_back(static_cast<uint8_t>(rng.below(64)));
+        }
+    }
+
+    const unsigned hbits = 12, hsize = 1u << hbits;
+    const unsigned max_match = 8;
+
+    // C++ reference (head[] holds pos+1; 0 = empty).
+    std::vector<uint32_t> head(hsize, 0);
+    uint64_t acc = 0;
+    for (unsigned pos = 0; pos + max_match < n; ++pos) {
+        unsigned h = ((input[pos] << 4) ^ (input[pos + 1] << 2) ^
+                      input[pos + 2]) &
+                     (hsize - 1);
+        uint32_t cand = head[h];
+        if (cand != 0) {
+            unsigned cpos = cand - 1;
+            unsigned len = 0;
+            while (len < max_match && input[cpos + len] == input[pos + len])
+                ++len;
+            acc += len;
+        }
+        head[h] = pos + 1;
+    }
+
+    DataBuilder data;
+    data.label("result");
+    data.dwords({0});
+    data.label("input");
+    data.bytes(input);
+    data.align(4);
+    data.label("head");
+    data.space(4ull * hsize);
+
+    std::ostringstream src;
+    src << data.str();
+    src << "        .text\n"
+           "main:   la   r1, input\n"       // base
+           "        li   r2, 0\n"           // pos
+        << "        li   r3, " << (n - max_match - 1) << "\n" // last pos
+        << "        la   r4, head\n"
+           "        li   r5, 0\n"           // acc
+        << "        li   r15, " << (hsize - 1) << "\n"
+        << "outer:  add  r6, r1, r2\n"
+           "        lbu  r7, 0(r6)\n"
+           "        lbu  r8, 1(r6)\n"
+           "        lbu  r9, 2(r6)\n"
+           "        slli r7, r7, 4\n"
+           "        slli r8, r8, 2\n"
+           "        xor  r7, r7, r8\n"
+           "        xor  r7, r7, r9\n"
+           "        and  r7, r7, r15\n"     // h
+           "        slli r10, r7, 2\n"
+           "        add  r10, r10, r4\n"
+           "        lw   r11, 0(r10)\n"     // cand
+           "        beqz r11, nomatch\n"
+           "        addi r11, r11, -1\n"
+           "        add  r11, r11, r1\n"    // cand ptr
+           "        li   r12, 0\n"          // len
+        << "mloop:  li   r13, " << max_match << "\n"
+        << "        bge  r12, r13, mdone\n"
+           "        add  r13, r11, r12\n"
+           "        lbu  r14, 0(r13)\n"
+           "        add  r13, r6, r12\n"
+           "        lbu  r13, 0(r13)\n"
+           "        bne  r14, r13, mdone\n"
+           "        addi r12, r12, 1\n"
+           "        b    mloop\n"
+           "mdone:  add  r5, r5, r12\n"
+           "nomatch:addi r11, r2, 1\n"
+           "        sw   r11, 0(r10)\n"
+           "        addi r2, r2, 1\n"
+           "        ble  r2, r3, outer\n"
+           "        la   r14, result\n"
+           "        sd   r5, 0(r14)\n"
+           "        halt\n";
+
+    KernelBuild out;
+    out.source = src.str();
+    out.expected = acc;
+    out.memSize = 1ull << 20;
+    return out;
+}
+
+// ------------------------------------------------------------------
+// parser_like: bracket/token matching with an explicit stack.
+// ------------------------------------------------------------------
+KernelBuild
+parserLike(int variant, bool alt)
+{
+    Rng rng(kernelSeed("parser_like", variant, alt));
+    const unsigned sizes[3] = {9000, 11000, 13000};
+    unsigned n = sizes[variant] + (alt ? 2000 : 0);
+
+    // Tokens: 0/2 = open, 1/3 = close (matching type), 4..15 operand.
+    std::vector<uint8_t> tokens;
+    tokens.reserve(n);
+    std::vector<uint8_t> open_stack;
+    while (tokens.size() < n) {
+        double r = rng.uniform();
+        if (r < 0.14 && open_stack.size() < 60) {
+            uint8_t t = rng.chance(0.5) ? 0 : 2;
+            open_stack.push_back(t);
+            tokens.push_back(t);
+        } else if (r < 0.28 && !open_stack.empty()) {
+            uint8_t t = open_stack.back();
+            open_stack.pop_back();
+            // 5% mismatched close to exercise the error path.
+            uint8_t close = static_cast<uint8_t>(t + 1);
+            if (rng.chance(0.05))
+                close = close == 1 ? 3 : 1;
+            tokens.push_back(close);
+        } else {
+            tokens.push_back(static_cast<uint8_t>(4 + rng.below(12)));
+        }
+    }
+
+    // C++ reference.
+    uint64_t acc = 0, mismatches = 0;
+    std::vector<uint8_t> stk;
+    for (uint8_t t : tokens) {
+        if (t == 0 || t == 2) {
+            stk.push_back(t);
+        } else if (t == 1 || t == 3) {
+            if (stk.empty()) {
+                ++mismatches;
+            } else {
+                uint8_t o = stk.back();
+                stk.pop_back();
+                if (o + 1 != t)
+                    ++mismatches;
+            }
+        } else {
+            acc += t;
+        }
+    }
+
+    DataBuilder data;
+    data.label("result");
+    data.dwords({0});
+    data.label("tokens");
+    data.bytes(tokens);
+    data.align(8);
+    data.label("stack");
+    data.space(4096);
+
+    std::ostringstream src;
+    src << data.str();
+    src << "        .text\n"
+           "main:   la   r1, tokens\n"
+        << "        li   r2, " << n << "\n"
+        << "        la   r3, stack\n"      // stack pointer (grows up)
+           "        li   r4, 0\n"          // acc
+           "        li   r5, 0\n"          // mismatches
+           "loop:   lbu  r6, 0(r1)\n"
+           "        li   r7, 4\n"
+           "        bge  r6, r7, operand\n"
+           "        andi r8, r6, 1\n"
+           "        bnez r8, close\n"
+           "        sb   r6, 0(r3)\n"      // push open
+           "        addi r3, r3, 1\n"
+           "        b    next\n"
+           "close:  la   r9, stack\n"
+           "        bgt  r3, r9, pop\n"
+           "        addi r5, r5, 1\n"
+           "        b    next\n"
+           "pop:    addi r3, r3, -1\n"
+           "        lbu  r10, 0(r3)\n"
+           "        addi r10, r10, 1\n"
+           "        beq  r10, r6, next\n"
+           "        addi r5, r5, 1\n"
+           "        b    next\n"
+           "operand:add  r4, r4, r6\n"
+           "next:   addi r1, r1, 1\n"
+           "        addi r2, r2, -1\n"
+           "        bnez r2, loop\n"
+           "        muli r5, r5, 1000000\n"
+           "        add  r4, r4, r5\n"
+           "        la   r11, result\n"
+           "        sd   r4, 0(r11)\n"
+           "        halt\n";
+
+    KernelBuild out;
+    out.source = src.str();
+    out.expected = acc + mismatches * 1000000;
+    out.memSize = 1ull << 20;
+    return out;
+}
+
+// ------------------------------------------------------------------
+// vpr_like: random walk over a cost grid with boundary clamping.
+// ------------------------------------------------------------------
+KernelBuild
+vprLike(int variant, bool alt)
+{
+    Rng rng(kernelSeed("vpr_like", variant, alt));
+    const unsigned moves_n[3] = {4000, 4750, 5500};
+    unsigned n = moves_n[variant] + (alt ? 750 : 0);
+    const unsigned w = 64, h = 64;
+    const unsigned passes = 2;
+
+    std::vector<uint32_t> grid(w * h);
+    for (auto &g : grid)
+        g = static_cast<uint32_t>(rng.below(256));
+    // Moves come in runs (a router explores in sweeps), so direction
+    // branches are fairly predictable while bounds checks stay live.
+    std::vector<uint8_t> moves(n);
+    {
+        uint8_t dir = 0;
+        for (auto &m : moves) {
+            if (rng.chance(0.18))
+                dir = static_cast<uint8_t>(rng.below(4));
+            m = dir;
+        }
+    }
+
+    // C++ reference (two warm passes, position carries over).
+    uint64_t acc = 0;
+    int x = w / 2, y = h / 2;
+    for (unsigned p = 0; p < passes; ++p) {
+        for (unsigned i = 0; i < n; ++i) {
+            switch (moves[i]) {
+              case 0: if (x > 0) --x; break;
+              case 1: if (x < static_cast<int>(w) - 1) ++x; break;
+              case 2: if (y > 0) --y; break;
+              default: if (y < static_cast<int>(h) - 1) ++y; break;
+            }
+            acc += grid[static_cast<unsigned>(y) * w +
+                        static_cast<unsigned>(x)];
+        }
+    }
+
+    DataBuilder data;
+    data.label("result");
+    data.dwords({0});
+    data.label("grid");
+    data.words(grid);
+    data.label("moves");
+    data.bytes(moves);
+
+    std::ostringstream src;
+    src << data.str();
+    src << "        .text\n"
+           "main:   la   r3, grid\n"
+        << "        li   r4, " << (w / 2) << "\n" // x
+        << "        li   r5, " << (h / 2) << "\n" // y
+        << "        li   r6, 0\n"                 // acc
+        << "        li   r14, " << (w - 1) << "\n"
+        << "        li   r15, " << (h - 1) << "\n"
+        << "        li   r13, " << passes << "\n"
+        << "pass:   la   r1, moves\n"
+        << "        li   r2, " << n << "\n"
+        << "loop:   lbu  r7, 0(r1)\n"
+           "        bnez r7, m1\n"
+           "        beqz r4, done_m\n"
+           "        addi r4, r4, -1\n"
+           "        b    done_m\n"
+           "m1:     li   r8, 1\n"
+           "        bne  r7, r8, m2\n"
+           "        bge  r4, r14, done_m\n"
+           "        addi r4, r4, 1\n"
+           "        b    done_m\n"
+           "m2:     li   r8, 2\n"
+           "        bne  r7, r8, m3\n"
+           "        beqz r5, done_m\n"
+           "        addi r5, r5, -1\n"
+           "        b    done_m\n"
+           "m3:     bge  r5, r15, done_m\n"
+           "        addi r5, r5, 1\n"
+           "done_m: slli r9, r5, 6\n"
+           "        add  r9, r9, r4\n"
+           "        slli r9, r9, 2\n"
+           "        add  r9, r9, r3\n"
+           "        lw   r10, 0(r9)\n"
+           "        add  r6, r6, r10\n"
+           "        addi r1, r1, 1\n"
+           "        addi r2, r2, -1\n"
+           "        bnez r2, loop\n"
+           "        addi r13, r13, -1\n"
+           "        bnez r13, pass\n"
+           "        la   r11, result\n"
+           "        sd   r6, 0(r11)\n"
+           "        halt\n";
+
+    KernelBuild out;
+    out.source = src.str();
+    out.expected = acc;
+    out.memSize = 1ull << 20;
+    return out;
+}
+
+// ------------------------------------------------------------------
+// twolf_like: greedy placement swaps with cost deltas.
+// ------------------------------------------------------------------
+KernelBuild
+twolfLike(int variant, bool alt)
+{
+    Rng rng(kernelSeed("twolf_like", variant, alt));
+    const unsigned pairs_n[3] = {3600, 4400, 5200};
+    unsigned m = pairs_n[variant] + (alt ? 700 : 0);
+    const unsigned n = 1024;
+
+    std::vector<uint32_t> perm(n);
+    std::iota(perm.begin(), perm.end(), 0);
+    for (unsigned i = n - 1; i > 0; --i)
+        std::swap(perm[i], perm[rng.below(i + 1)]);
+    std::vector<uint32_t> pair_idx(2 * m);
+    for (auto &p : pair_idx)
+        p = static_cast<uint32_t>(rng.below(n));
+
+    // C++ reference: accept a swap when it lowers sum |perm[i]-i|.
+    auto cost = [](int64_t v, int64_t i) {
+        int64_t d = v - i;
+        return d < 0 ? -d : d;
+    };
+    std::vector<uint32_t> p = perm;
+    uint64_t accepted = 0, gain = 0;
+    for (unsigned k = 0; k < m; ++k) {
+        unsigned i = pair_idx[2 * k], j = pair_idx[2 * k + 1];
+        int64_t before = cost(p[i], i) + cost(p[j], j);
+        int64_t after = cost(p[j], i) + cost(p[i], j);
+        if (after < before) {
+            std::swap(p[i], p[j]);
+            ++accepted;
+            gain += static_cast<uint64_t>(before - after);
+        }
+    }
+
+    DataBuilder data;
+    data.label("result");
+    data.dwords({0});
+    data.label("perm");
+    data.words(perm);
+    data.label("pairs");
+    data.words(pair_idx);
+
+    std::ostringstream src;
+    src << data.str();
+    src << "        .text\n"
+           "main:   la   r1, pairs\n"
+        << "        li   r2, " << m << "\n"
+        << "        la   r3, perm\n"
+           "        li   r4, 0\n"      // accepted
+           "        li   r5, 0\n"      // gain
+           "loop:   lw   r6, 0(r1)\n"  // i
+           "        lw   r7, 4(r1)\n"  // j
+           "        slli r8, r6, 2\n"
+           "        add  r8, r8, r3\n"
+           "        lw   r9, 0(r8)\n"  // p[i]
+           "        slli r10, r7, 2\n"
+           "        add  r10, r10, r3\n"
+           "        lw   r11, 0(r10)\n" // p[j]
+           // before = |p[i]-i| + |p[j]-j|
+           "        sub  r12, r9, r6\n"
+           "        srai r13, r12, 63\n"
+           "        xor  r12, r12, r13\n"
+           "        sub  r12, r12, r13\n"
+           "        sub  r14, r11, r7\n"
+           "        srai r13, r14, 63\n"
+           "        xor  r14, r14, r13\n"
+           "        sub  r14, r14, r13\n"
+           "        add  r12, r12, r14\n"
+           // after = |p[j]-i| + |p[i]-j|
+           "        sub  r15, r11, r6\n"
+           "        srai r13, r15, 63\n"
+           "        xor  r15, r15, r13\n"
+           "        sub  r15, r15, r13\n"
+           "        sub  r16, r9, r7\n"
+           "        srai r13, r16, 63\n"
+           "        xor  r16, r16, r13\n"
+           "        sub  r16, r16, r13\n"
+           "        add  r15, r15, r16\n"
+           "        bge  r15, r12, reject\n"
+           "        sw   r11, 0(r8)\n"
+           "        sw   r9, 0(r10)\n"
+           "        addi r4, r4, 1\n"
+           "        sub  r17, r12, r15\n"
+           "        add  r5, r5, r17\n"
+           "reject: addi r1, r1, 8\n"
+           "        addi r2, r2, -1\n"
+           "        bnez r2, loop\n"
+           "        muli r4, r4, 1000000\n"
+           "        add  r5, r5, r4\n"
+           "        la   r18, result\n"
+           "        sd   r5, 0(r18)\n"
+           "        halt\n";
+
+    KernelBuild out;
+    out.source = src.str();
+    out.expected = gain + accepted * 1000000;
+    out.memSize = 1ull << 20;
+    return out;
+}
+
+} // namespace
+
+const std::vector<KernelDef> &
+specKernels()
+{
+    static const std::vector<KernelDef> defs = {
+        {"mcf_like", "spec", mcfLike},
+        {"gcc_like", "spec", gccLike},
+        {"bzip_like", "spec", bzipLike},
+        {"gzip_like", "spec", gzipLike},
+        {"parser_like", "spec", parserLike},
+        {"vpr_like", "spec", vprLike},
+        {"twolf_like", "spec", twolfLike},
+    };
+    return defs;
+}
+
+} // namespace mg::workloads

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The benchmark suite: 26 kernels x 3 input variants = 78 programs,
+ * mirroring the paper's 78 benchmarks from SPECint2000, MediaBench,
+ * CommBench and MiBench (§3.1).
+ *
+ * Every kernel is a real MG-RISC assembly program with
+ * generator-produced input data embedded in its data segment, run to
+ * completion.  Where the paper's suites contribute a behavioural
+ * regime (pointer chasing, branchy byte processing, multiply-heavy
+ * DSP, table-driven packet processing, ...), a kernel here reproduces
+ * that regime.  Most kernels also carry a C++ reference result used
+ * by the correctness tests: the program stores a 64-bit checksum at
+ * data label "result".
+ *
+ * Each (kernel, variant) additionally has an *alternate* input set
+ * (different seed/size/distribution) supporting the Figure-9
+ * cross-input robustness experiment.
+ */
+
+#ifndef MG_WORKLOADS_WORKLOAD_H
+#define MG_WORKLOADS_WORKLOAD_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "assembler/program.h"
+
+namespace mg::workloads
+{
+
+/** One benchmark identity. */
+struct WorkloadSpec
+{
+    std::string kernel; ///< e.g. "crc32"
+    std::string suite;  ///< "spec" | "media" | "comm" | "mibench"
+    int variant = 0;    ///< input variant 0..2
+
+    /** Display name, e.g. "crc32.1". */
+    std::string name() const;
+};
+
+/** A built benchmark: program plus its reference result. */
+struct BuiltWorkload
+{
+    assembler::Program program;
+
+    /** Expected value at data label "result" (if the kernel has a
+     *  C++ reference implementation). */
+    std::optional<uint64_t> expected;
+};
+
+/** All 78 benchmarks, grouped by suite. */
+const std::vector<WorkloadSpec> &workloadList();
+
+/** Benchmarks of one suite. */
+std::vector<WorkloadSpec> suiteWorkloads(const std::string &suite);
+
+/** Look up a spec by display name ("adpcm_c.0"). */
+std::optional<WorkloadSpec> findWorkload(const std::string &name);
+
+/**
+ * Build a benchmark program.
+ * @param spec       which benchmark
+ * @param alt_input  use the alternate input set (Figure 9)
+ */
+BuiltWorkload buildWorkload(const WorkloadSpec &spec,
+                            bool alt_input = false);
+
+/** Names of all kernels (26). */
+std::vector<std::string> kernelNames();
+
+} // namespace mg::workloads
+
+#endif // MG_WORKLOADS_WORKLOAD_H

@@ -1,0 +1,127 @@
+#include "workloads/workload.h"
+
+#include "assembler/assembler.h"
+#include "common/logging.h"
+#include "workloads/kernel_support.h"
+
+namespace mg::workloads
+{
+
+std::string
+WorkloadSpec::name() const
+{
+    return kernel + "." + std::to_string(variant);
+}
+
+uint64_t
+kernelSeed(const char *name, int variant, bool alt)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (const char *p = name; *p; ++p) {
+        h ^= static_cast<uint64_t>(*p);
+        h *= 0x100000001b3ull;
+    }
+    h ^= static_cast<uint64_t>(variant + 1) * 0x9e3779b97f4a7c15ull;
+    if (alt)
+        h ^= 0x5bf03635ull;
+    return h ? h : 1;
+}
+
+namespace
+{
+
+const std::vector<KernelDef> &
+allKernels()
+{
+    static const auto *defs = [] {
+        auto *v = new std::vector<KernelDef>();
+        for (const auto &k : specKernels())
+            v->push_back(k);
+        for (const auto &k : mediaKernels())
+            v->push_back(k);
+        for (const auto &k : commKernels())
+            v->push_back(k);
+        for (const auto &k : mibenchKernels())
+            v->push_back(k);
+        return v;
+    }();
+    return *defs;
+}
+
+const KernelDef &
+kernelByName(const std::string &name)
+{
+    for (const auto &k : allKernels()) {
+        if (name == k.name)
+            return k;
+    }
+    mg_fatal("unknown kernel '%s'", name.c_str());
+}
+
+} // namespace
+
+const std::vector<WorkloadSpec> &
+workloadList()
+{
+    static const auto *list = [] {
+        auto *v = new std::vector<WorkloadSpec>();
+        for (const auto &k : allKernels()) {
+            for (int variant = 0; variant < 3; ++variant)
+                v->push_back(WorkloadSpec{k.name, k.suite, variant});
+        }
+        return v;
+    }();
+    return *list;
+}
+
+std::vector<WorkloadSpec>
+suiteWorkloads(const std::string &suite)
+{
+    std::vector<WorkloadSpec> out;
+    for (const auto &w : workloadList()) {
+        if (w.suite == suite)
+            out.push_back(w);
+    }
+    return out;
+}
+
+std::optional<WorkloadSpec>
+findWorkload(const std::string &name)
+{
+    for (const auto &w : workloadList()) {
+        if (w.name() == name)
+            return w;
+    }
+    return std::nullopt;
+}
+
+std::vector<std::string>
+kernelNames()
+{
+    std::vector<std::string> out;
+    for (const auto &k : allKernels())
+        out.emplace_back(k.name);
+    return out;
+}
+
+BuiltWorkload
+buildWorkload(const WorkloadSpec &spec, bool alt_input)
+{
+    const KernelDef &def = kernelByName(spec.kernel);
+    mg_assert(spec.variant >= 0 && spec.variant < 3,
+              "bad variant %d for kernel '%s'", spec.variant,
+              spec.kernel.c_str());
+    KernelBuild kb = def.build(spec.variant, alt_input);
+
+    assembler::AssembleOptions opts;
+    opts.name = spec.name() + (alt_input ? "+alt" : "");
+    opts.dataBase = kDataBase;
+    opts.memSize = kb.memSize;
+
+    BuiltWorkload out;
+    out.program = assembler::assemble(kb.source, opts);
+    out.expected = kb.expected;
+    return out;
+}
+
+} // namespace mg::workloads

@@ -1,0 +1,220 @@
+#include "assembler/assembler.h"
+
+#include <gtest/gtest.h>
+
+namespace mg::assembler
+{
+namespace
+{
+
+using isa::Opcode;
+
+Program
+asmOk(const std::string &src)
+{
+    AssembleOptions opts;
+    opts.name = "test";
+    return assemble(src, opts);
+}
+
+TEST(Assembler, RegisterNames)
+{
+    EXPECT_EQ(parseRegister("r0"), 0);
+    EXPECT_EQ(parseRegister("r31"), 31);
+    EXPECT_EQ(parseRegister("zero"), 0);
+    EXPECT_EQ(parseRegister("sp"), 30);
+    EXPECT_EQ(parseRegister("ra"), 31);
+    EXPECT_EQ(parseRegister("R7"), 7);
+    EXPECT_EQ(parseRegister("r32"), -1);
+    EXPECT_EQ(parseRegister("x1"), -1);
+    EXPECT_EQ(parseRegister(""), -1);
+}
+
+TEST(Assembler, MinimalProgram)
+{
+    Program p = asmOk("main: halt\n");
+    ASSERT_EQ(p.size(), 1u);
+    EXPECT_EQ(p.code[0].op, Opcode::HALT);
+    EXPECT_EQ(p.entry, 0u);
+}
+
+TEST(Assembler, AluEncoding)
+{
+    Program p = asmOk("add r1, r2, r3\n"
+                      "addi r4, r5, -6\n"
+                      "li r7, 0x10\n");
+    EXPECT_EQ(p.code[0].op, Opcode::ADD);
+    EXPECT_EQ(p.code[0].rd, 1);
+    EXPECT_EQ(p.code[0].rs1, 2);
+    EXPECT_EQ(p.code[0].rs2, 3);
+    EXPECT_EQ(p.code[1].imm, -6);
+    EXPECT_EQ(p.code[2].imm, 16);
+}
+
+TEST(Assembler, BranchTargetsResolveToAbsolutePc)
+{
+    Program p = asmOk("main: nop\n"
+                      "loop: addi r1, r1, 1\n"
+                      "      bne r1, r2, loop\n"
+                      "      j main\n");
+    EXPECT_EQ(p.code[2].op, Opcode::BNE);
+    EXPECT_EQ(p.code[2].imm, 1);
+    EXPECT_EQ(p.code[3].imm, 0);
+}
+
+TEST(Assembler, ForwardReferences)
+{
+    Program p = asmOk("j end\nnop\nend: halt\n");
+    EXPECT_EQ(p.code[0].imm, 2);
+}
+
+TEST(Assembler, DataDirectivesAndLabels)
+{
+    Program p = asmOk("        .data\n"
+                      "a:      .word 1, 2\n"
+                      "b:      .byte 3\n"
+                      "        .align 4\n"
+                      "c:      .dword 0x1122334455667788\n"
+                      "        .text\n"
+                      "main:   halt\n");
+    EXPECT_EQ(p.dataLabels.at("a"), p.dataBase);
+    EXPECT_EQ(p.dataLabels.at("b"), p.dataBase + 8);
+    EXPECT_EQ(p.dataLabels.at("c"), p.dataBase + 12);
+    // Little-endian layout.
+    EXPECT_EQ(p.dataInit[0], 1);
+    EXPECT_EQ(p.dataInit[4], 2);
+    EXPECT_EQ(p.dataInit[8], 3);
+    EXPECT_EQ(p.dataInit[12], 0x88);
+    EXPECT_EQ(p.dataInit[19], 0x11);
+}
+
+TEST(Assembler, SpaceReservesZeroedBytes)
+{
+    Program p = asmOk(".data\nbuf: .space 16\nafter: .word 7\n"
+                      ".text\nhalt\n");
+    EXPECT_EQ(p.dataLabels.at("after"), p.dataBase + 16);
+    EXPECT_EQ(p.dataInit[3], 0);
+}
+
+TEST(Assembler, AsciizEscapes)
+{
+    Program p = asmOk(".data\ns: .asciiz \"a\\n\\\"b\"\n.text\nhalt\n");
+    EXPECT_EQ(p.dataInit[0], 'a');
+    EXPECT_EQ(p.dataInit[1], '\n');
+    EXPECT_EQ(p.dataInit[2], '"');
+    EXPECT_EQ(p.dataInit[3], 'b');
+    EXPECT_EQ(p.dataInit[4], 0);
+}
+
+TEST(Assembler, LoadStoreAddressingForms)
+{
+    Program p = asmOk(".data\nv: .word 5\n.text\n"
+                      "lw r1, v\n"
+                      "lw r2, v(r3)\n"
+                      "lw r4, 8(r5)\n"
+                      "sw r6, v+4\n"
+                      "halt\n");
+    EXPECT_EQ(p.code[0].rs1, 0);
+    EXPECT_EQ(static_cast<uint64_t>(p.code[0].imm), p.dataBase);
+    EXPECT_EQ(p.code[1].rs1, 3);
+    EXPECT_EQ(p.code[2].imm, 8);
+    EXPECT_EQ(static_cast<uint64_t>(p.code[3].imm), p.dataBase + 4);
+}
+
+TEST(Assembler, PseudoOps)
+{
+    Program p = asmOk("main: mov r1, r2\n"
+                      "      la r3, main\n"
+                      "      b main\n"
+                      "      ble r1, r2, main\n"
+                      "      bgt r1, r2, main\n"
+                      "      call main\n"
+                      "      ret\n"
+                      "      neg r4, r5\n"
+                      "      not r6, r7\n"
+                      "      beqz r8, main\n"
+                      "      bnez r9, main\n");
+    EXPECT_EQ(p.code[0].op, Opcode::ADDI);
+    EXPECT_EQ(p.code[0].imm, 0);
+    EXPECT_EQ(p.code[1].op, Opcode::LI);
+    EXPECT_EQ(p.code[2].op, Opcode::J);
+    // ble a,b -> bge b,a
+    EXPECT_EQ(p.code[3].op, Opcode::BGE);
+    EXPECT_EQ(p.code[3].rs1, 2);
+    EXPECT_EQ(p.code[3].rs2, 1);
+    EXPECT_EQ(p.code[4].op, Opcode::BLT);
+    EXPECT_EQ(p.code[5].op, Opcode::JAL);
+    EXPECT_EQ(p.code[5].rd, isa::kLinkReg);
+    EXPECT_EQ(p.code[6].op, Opcode::JR);
+    EXPECT_EQ(p.code[6].rs1, isa::kLinkReg);
+    EXPECT_EQ(p.code[7].op, Opcode::SUB);
+    EXPECT_EQ(p.code[7].rs1, 0);
+    EXPECT_EQ(p.code[8].op, Opcode::XORI);
+    EXPECT_EQ(p.code[8].imm, -1);
+    EXPECT_EQ(p.code[9].op, Opcode::BEQ);
+    EXPECT_EQ(p.code[9].rs2, 0);
+    EXPECT_EQ(p.code[10].op, Opcode::BNE);
+}
+
+TEST(Assembler, CommentsAndBlankLines)
+{
+    Program p = asmOk("; full line comment\n"
+                      "\n"
+                      "main: nop ; trailing\n"
+                      "      halt # hash comment\n");
+    EXPECT_EQ(p.size(), 2u);
+}
+
+TEST(Assembler, MultipleLabelsSameAddress)
+{
+    Program p = asmOk("a: b: nop\nhalt\n");
+    EXPECT_EQ(p.codeLabels.at("a"), 0u);
+    EXPECT_EQ(p.codeLabels.at("b"), 0u);
+}
+
+TEST(Assembler, EntryDefaultsToZeroWithoutMain)
+{
+    Program p = asmOk("start: halt\n");
+    EXPECT_EQ(p.entry, 0u);
+}
+
+TEST(Assembler, ErrorUnknownMnemonic)
+{
+    EXPECT_THROW(asmOk("frobnicate r1, r2\n"), std::runtime_error);
+}
+
+TEST(Assembler, ErrorUndefinedSymbol)
+{
+    EXPECT_THROW(asmOk("j nowhere\n"), std::runtime_error);
+}
+
+TEST(Assembler, ErrorDuplicateLabel)
+{
+    EXPECT_THROW(asmOk("a: nop\na: halt\n"), std::runtime_error);
+}
+
+TEST(Assembler, ErrorBadRegister)
+{
+    EXPECT_THROW(asmOk("add r1, r2, r99\n"), std::runtime_error);
+}
+
+TEST(Assembler, ErrorWrongOperandCount)
+{
+    EXPECT_THROW(asmOk("add r1, r2\n"), std::runtime_error);
+}
+
+TEST(Assembler, ErrorDirectiveInText)
+{
+    EXPECT_THROW(asmOk(".text\n.word 5\n"), std::runtime_error);
+}
+
+TEST(Assembler, ListingContainsLabelsAndInstructions)
+{
+    Program p = asmOk("main: addi r1, r1, 1\nhalt\n");
+    std::string listing = p.listing();
+    EXPECT_NE(listing.find("main:"), std::string::npos);
+    EXPECT_NE(listing.find("addi r1, r1, 1"), std::string::npos);
+}
+
+} // namespace
+} // namespace mg::assembler

@@ -1,0 +1,97 @@
+#include "assembler/cfg.h"
+
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.h"
+
+namespace mg::assembler
+{
+namespace
+{
+
+Program
+asmOk(const std::string &src)
+{
+    return assemble(src);
+}
+
+TEST(Cfg, StraightLineIsOneBlock)
+{
+    Program p = asmOk("nop\nnop\nhalt\n");
+    Cfg cfg(p);
+    ASSERT_EQ(cfg.blocks().size(), 1u);
+    EXPECT_EQ(cfg.blocks()[0].first, 0u);
+    EXPECT_EQ(cfg.blocks()[0].last, 2u);
+    EXPECT_TRUE(cfg.blocks()[0].succs.empty());
+}
+
+TEST(Cfg, BranchSplitsBlocks)
+{
+    Program p = asmOk("main: addi r1, r1, 1\n"
+                      "      bne r1, r2, main\n"
+                      "      halt\n");
+    Cfg cfg(p);
+    ASSERT_EQ(cfg.blocks().size(), 2u);
+    const BasicBlock &bb0 = cfg.blocks()[0];
+    EXPECT_EQ(bb0.last, 1u);
+    // Branch: taken edge back to block 0, fall-through to block 1.
+    ASSERT_EQ(bb0.succs.size(), 2u);
+    EXPECT_EQ(bb0.succs[0], 0u);
+    EXPECT_EQ(bb0.succs[1], 1u);
+    EXPECT_EQ(cfg.blocks()[1].preds.size(), 1u);
+}
+
+TEST(Cfg, JumpTargetCreatesLeader)
+{
+    Program p = asmOk("j skip\n"
+                      "nop\n"
+                      "skip: halt\n");
+    Cfg cfg(p);
+    ASSERT_EQ(cfg.blocks().size(), 3u);
+    EXPECT_EQ(cfg.blocks()[2].first, 2u);
+    // Block 0 jumps straight to block 2.
+    ASSERT_EQ(cfg.blocks()[0].succs.size(), 1u);
+    EXPECT_EQ(cfg.blocks()[0].succs[0], 2u);
+    // The unreachable nop block falls through into skip.
+    ASSERT_EQ(cfg.blocks()[1].succs.size(), 1u);
+}
+
+TEST(Cfg, CallHasBothEdges)
+{
+    Program p = asmOk("main: call fn\n"
+                      "      halt\n"
+                      "fn:   ret\n");
+    Cfg cfg(p);
+    const BasicBlock &bb0 = cfg.blockOf(0);
+    // jal: edge to target and to the return point.
+    EXPECT_EQ(bb0.succs.size(), 2u);
+    const BasicBlock &fn = cfg.blockOf(2);
+    EXPECT_TRUE(fn.endsIndirect);
+    EXPECT_TRUE(fn.succs.empty());
+}
+
+TEST(Cfg, BlockOfMapsEveryPc)
+{
+    Program p = asmOk("a: nop\nbne r1, r2, a\nnop\nhalt\n");
+    Cfg cfg(p);
+    EXPECT_EQ(cfg.blockIdOf(0), cfg.blockIdOf(1));
+    EXPECT_NE(cfg.blockIdOf(1), cfg.blockIdOf(2));
+}
+
+TEST(Cfg, HaltEndsBlockWithNoSuccessors)
+{
+    Program p = asmOk("nop\nhalt\nnop\nhalt\n");
+    Cfg cfg(p);
+    const BasicBlock &bb0 = cfg.blockOf(0);
+    EXPECT_TRUE(bb0.succs.empty());
+}
+
+TEST(Cfg, SizeAccessor)
+{
+    Program p = asmOk("nop\nnop\nnop\nhalt\n");
+    Cfg cfg(p);
+    EXPECT_EQ(cfg.blocks()[0].size(), 4u);
+}
+
+} // namespace
+} // namespace mg::assembler

@@ -1,0 +1,108 @@
+#include "assembler/liveness.h"
+
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.h"
+
+namespace mg::assembler
+{
+namespace
+{
+
+struct Built
+{
+    Program p;
+    Cfg cfg;
+    Liveness live;
+
+    explicit Built(const std::string &src)
+        : p(assemble(src)), cfg(p), live(cfg)
+    {}
+};
+
+TEST(Liveness, DeadAfterLastUse)
+{
+    Built b("main: li r1, 5\n"       // 0
+            "      add r2, r1, r1\n" // 1: last use of r1
+            "      add r3, r2, r2\n" // 2
+            "      sd r3, 0(r0)\n"   // 3
+            "      halt\n");
+    EXPECT_TRUE(regIn(b.live.liveAfter(0), 1));
+    EXPECT_FALSE(regIn(b.live.liveAfter(1), 1));
+    EXPECT_TRUE(regIn(b.live.liveAfter(1), 2));
+    EXPECT_FALSE(regIn(b.live.liveAfter(2), 2));
+}
+
+TEST(Liveness, LoopCarriedValueStaysLive)
+{
+    Built b("main: li r1, 10\n"
+            "loop: addi r1, r1, -1\n"
+            "      bne r1, r0, loop\n"
+            "      halt\n");
+    // r1 is live around the loop back edge.
+    uint32_t loop_block = b.cfg.blockIdOf(1);
+    EXPECT_TRUE(regIn(b.live.liveOut(loop_block), 1));
+    EXPECT_TRUE(regIn(b.live.liveIn(loop_block), 1));
+}
+
+TEST(Liveness, RedefinitionKillsLiveness)
+{
+    Built b("main: li r1, 1\n"   // 0: dead (overwritten at 1)
+            "      li r1, 2\n"   // 1
+            "      sd r1, 0(r0)\n"
+            "      halt\n");
+    EXPECT_FALSE(regIn(b.live.liveAfter(0), 1));
+    EXPECT_TRUE(regIn(b.live.liveAfter(1), 1));
+}
+
+TEST(Liveness, IndirectJumpMakesEverythingLive)
+{
+    Built b("main: li r1, 5\n"
+            "      jr r2\n");
+    uint32_t blk = b.cfg.blockIdOf(0);
+    // Unknown continuation: conservatively all live.
+    EXPECT_EQ(b.live.liveOut(blk), 0xffffffffu);
+}
+
+TEST(Liveness, BranchOperandsLiveBeforeBranch)
+{
+    Built b("main: li r1, 1\n"
+            "      li r2, 2\n"
+            "      beq r1, r2, done\n"
+            "done: halt\n");
+    RegSet before = b.live.liveBefore(2);
+    EXPECT_TRUE(regIn(before, 1));
+    EXPECT_TRUE(regIn(before, 2));
+}
+
+TEST(Liveness, ValueLiveAcrossCall)
+{
+    Built b("main: li r5, 7\n"
+            "      call fn\n"
+            "      sd r5, 0(r0)\n"
+            "      halt\n"
+            "fn:   ret\n");
+    // r5 must be live out of the call block (used after return).
+    uint32_t call_block = b.cfg.blockIdOf(1);
+    EXPECT_TRUE(regIn(b.live.liveOut(call_block), 5));
+}
+
+TEST(Liveness, ZeroRegisterNeverTracked)
+{
+    Built b("main: add r0, r1, r2\n"
+            "      halt\n");
+    EXPECT_FALSE(regIn(b.live.liveAfter(0), 0));
+}
+
+TEST(Liveness, LiveBeforeIncludesOwnSources)
+{
+    Built b("main: add r3, r4, r5\n"
+            "      halt\n");
+    RegSet before = b.live.liveBefore(0);
+    EXPECT_TRUE(regIn(before, 4));
+    EXPECT_TRUE(regIn(before, 5));
+    EXPECT_FALSE(regIn(before, 3));
+}
+
+} // namespace
+} // namespace mg::assembler

@@ -1,0 +1,81 @@
+#include "common/stats_util.h"
+
+#include <gtest/gtest.h>
+
+namespace mg
+{
+namespace
+{
+
+TEST(StatsUtil, MeanBasic)
+{
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_DOUBLE_EQ(mean({5.0}), 5.0);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(StatsUtil, GeomeanBasic)
+{
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+TEST(StatsUtil, GeomeanIsScaleInvariant)
+{
+    double g1 = geomean({0.5, 2.0});
+    EXPECT_NEAR(g1, 1.0, 1e-12);
+}
+
+TEST(StatsUtil, MedianOddEven)
+{
+    EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+    EXPECT_DOUBLE_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);
+    EXPECT_DOUBLE_EQ(median({}), 0.0);
+}
+
+TEST(StatsUtil, MinMax)
+{
+    std::vector<double> v{3.0, -1.0, 7.0};
+    EXPECT_DOUBLE_EQ(minOf(v), -1.0);
+    EXPECT_DOUBLE_EQ(maxOf(v), 7.0);
+    EXPECT_DOUBLE_EQ(minOf({}), 0.0);
+}
+
+TEST(StatsUtil, SCurveSortsAscending)
+{
+    auto s = sCurve(std::vector<double>{3.0, 1.0, 2.0});
+    EXPECT_EQ(s, (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(StatsUtil, SCurveLabelledKeepsLabels)
+{
+    auto s = sCurve(std::vector<LabelledValue>{
+        {"b", 2.0}, {"a", 1.0}, {"c", 3.0}});
+    ASSERT_EQ(s.size(), 3u);
+    EXPECT_EQ(s[0].label, "a");
+    EXPECT_EQ(s[2].label, "c");
+}
+
+TEST(StatsUtil, TextTableAlignsColumns)
+{
+    TextTable t;
+    t.header({"name", "value"});
+    t.row({"x", "1"});
+    t.row({"longer", "22"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer"), std::string::npos);
+    // Header separator line present.
+    EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(StatsUtil, FmtHelpers)
+{
+    EXPECT_EQ(fmtDouble(1.23456, 2), "1.23");
+    EXPECT_EQ(fmtPercentDelta(1.02), "+2.0%");
+    EXPECT_EQ(fmtPercentDelta(0.9), "-10.0%");
+}
+
+} // namespace
+} // namespace mg

@@ -1,0 +1,69 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace mg
+{
+namespace
+{
+
+TEST(StringUtil, Trim)
+{
+    EXPECT_EQ(trim("  hi  "), "hi");
+    EXPECT_EQ(trim("hi"), "hi");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("\t a b \n"), "a b");
+}
+
+TEST(StringUtil, SplitKeepsEmptyFields)
+{
+    auto v = split("a,b,,c", ',');
+    ASSERT_EQ(v.size(), 4u);
+    EXPECT_EQ(v[2], "");
+}
+
+TEST(StringUtil, SplitTrailingDelimiter)
+{
+    auto v = split("a,", ',');
+    ASSERT_EQ(v.size(), 2u);
+    EXPECT_EQ(v[1], "");
+}
+
+TEST(StringUtil, SplitWhitespaceDropsEmpty)
+{
+    auto v = splitWhitespace("  a \t b  c ");
+    ASSERT_EQ(v.size(), 3u);
+    EXPECT_EQ(v[0], "a");
+    EXPECT_EQ(v[2], "c");
+}
+
+TEST(StringUtil, StartsEndsWith)
+{
+    EXPECT_TRUE(startsWith("minigraph", "mini"));
+    EXPECT_FALSE(startsWith("mini", "minigraph"));
+    EXPECT_TRUE(endsWith("test.cc", ".cc"));
+    EXPECT_FALSE(endsWith(".cc", "test.cc"));
+}
+
+TEST(StringUtil, ToLower)
+{
+    EXPECT_EQ(toLower("AbC"), "abc");
+}
+
+TEST(StringUtil, ParseIntDecimalHexSign)
+{
+    int64_t v = 0;
+    EXPECT_TRUE(parseInt("42", v));
+    EXPECT_EQ(v, 42);
+    EXPECT_TRUE(parseInt("-7", v));
+    EXPECT_EQ(v, -7);
+    EXPECT_TRUE(parseInt("0x10", v));
+    EXPECT_EQ(v, 16);
+    EXPECT_FALSE(parseInt("", v));
+    EXPECT_FALSE(parseInt("12x", v));
+    EXPECT_FALSE(parseInt("abc", v));
+}
+
+} // namespace
+} // namespace mg

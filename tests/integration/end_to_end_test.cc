@@ -1,0 +1,211 @@
+/**
+ * @file
+ * End-to-end tests of the full pipeline: profile -> select ->
+ * rewrite -> simulate, checking architectural equivalence, coverage
+ * accounting, selector orderings and the Slack-Dynamic hardware on
+ * real benchmark programs.
+ */
+
+#include <deque>
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.h"
+#include "sim/experiment.h"
+#include "uarch/functional.h"
+
+namespace mg::sim
+{
+namespace
+{
+
+using minigraph::SelectorKind;
+
+uint64_t
+resultOf(const assembler::Program &prog, const isa::MgBinaryInfo *info)
+{
+    uarch::FunctionalCore core(prog, info);
+    core.run(1ull << 26);
+    return core.memory().read(prog.dataLabels.at("result"), 8);
+}
+
+class SelectorEquivalence
+    : public ::testing::TestWithParam<SelectorKind>
+{
+};
+
+TEST_P(SelectorEquivalence, RewrittenBinaryPreservesResults)
+{
+    // Three programs spanning the suites.
+    for (const char *name : {"adpcm_c.0", "crc32.0", "qsort_like.0"}) {
+        auto spec = *workloads::findWorkload(name);
+        auto built = workloads::buildWorkload(spec);
+        uint64_t want = resultOf(built.program, nullptr);
+
+        ProgramContext ctx(built.program);
+        SelectorKind kind = GetParam();
+        const profile::SlackProfileData *prof = nullptr;
+        if (minigraph::selectorNeedsProfile(kind))
+            prof = &ctx.profileOn(uarch::reducedConfig());
+        auto filtered = minigraph::filterPool(ctx.candidatePool(), kind,
+                                              ctx.program(), prof);
+        auto sel = minigraph::selectGreedy(filtered, ctx.counts(), 512);
+        auto rp = minigraph::rewrite(ctx.program(), sel.chosen);
+        EXPECT_EQ(resultOf(rp.program, &rp.info), want) << name;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSelectors, SelectorEquivalence,
+    ::testing::Values(SelectorKind::StructAll, SelectorKind::StructNone,
+                      SelectorKind::StructBounded,
+                      SelectorKind::SlackProfile,
+                      SelectorKind::SlackProfileDelay,
+                      SelectorKind::SlackProfileSial),
+    [](const ::testing::TestParamInfo<SelectorKind> &info) {
+        std::string n = minigraph::selectorName(info.param);
+        for (char &c : n)
+            if (c == '-')
+                c = '_';
+        return n;
+    });
+
+TEST(EndToEnd, TimingRunPreservesInstructionCount)
+{
+    auto spec = *workloads::findWorkload("gcc_like.0");
+    ProgramContext ctx(spec);
+    auto base = ctx.baseline(uarch::fullConfig());
+    auto run = ctx.runSelector(SelectorKind::StructAll,
+                               uarch::fullConfig());
+    EXPECT_EQ(base.originalInsts, run.sim.originalInsts);
+}
+
+TEST(EndToEnd, CoverageAccountingConsistent)
+{
+    auto spec = *workloads::findWorkload("bitcount.0");
+    ProgramContext ctx(spec);
+    auto run = ctx.runSelector(SelectorKind::StructAll,
+                               uarch::reducedConfig());
+    EXPECT_GT(run.coverage(), 0.2);
+    EXPECT_LE(run.coverage(), 1.0);
+    EXPECT_GT(run.sim.committedHandles, 0u);
+    // Each handle covers 2-4 instructions.
+    EXPECT_GE(run.sim.coveredInsts, 2 * run.sim.committedHandles);
+    EXPECT_LE(run.sim.coveredInsts, 4 * run.sim.committedHandles);
+}
+
+TEST(EndToEnd, PoolOrderingStructNoneSubsetOfBoundedSubsetOfAll)
+{
+    auto spec = *workloads::findWorkload("adpcm_c.0");
+    ProgramContext ctx(spec);
+    auto &pool = ctx.candidatePool();
+    auto none = minigraph::filterPool(pool, SelectorKind::StructNone,
+                                      ctx.program(), nullptr);
+    auto bounded = minigraph::filterPool(
+        pool, SelectorKind::StructBounded, ctx.program(), nullptr);
+    EXPECT_LE(none.size(), bounded.size());
+    EXPECT_LE(bounded.size(), pool.size());
+    EXPECT_LT(none.size(), pool.size()); // adpcm has serialization
+}
+
+TEST(EndToEnd, CoverageOrderingAcrossSelectors)
+{
+    auto spec = *workloads::findWorkload("sha_like.0");
+    ProgramContext ctx(spec);
+    auto red = uarch::reducedConfig();
+    auto all = ctx.runSelector(SelectorKind::StructAll, red);
+    auto none = ctx.runSelector(SelectorKind::StructNone, red);
+    auto prof = ctx.runSelector(SelectorKind::SlackProfile, red);
+    EXPECT_GT(all.coverage(), none.coverage());
+    EXPECT_GE(all.coverage() + 1e-9, prof.coverage());
+    EXPECT_GE(prof.coverage() + 1e-9, none.coverage());
+}
+
+TEST(EndToEnd, SlackDynamicDisablesSerializingGraphs)
+{
+    // A slow multiply chain (r2) feeding the *second* op of a window
+    // whose first op is on a fast chain: a serializing mini-graph
+    // whose delay actually manifests at run time.
+    std::string src =
+        ".data\nresult: .dword 0\n.text\n"
+        "main:  li r29, 4000\n"
+        "       li r2, 3\n"
+        "       li r3, 5\n"
+        "       li r5, 1\n"
+        "loop:  mul r2, r2, r3\n"    // slow chain (complex unit)
+        "       mul r2, r2, r3\n"
+        "       add r5, r5, r5\n"    // fast chain
+        "       andi r5, r5, 255\n"
+        "       add r6, r5, r5\n"    // fast: first in the window
+        "       add r7, r6, r2\n"    // slow input r2 arrives last
+        "       sd r7, 0(r28)\n"
+        "       addi r29, r29, -1\n"
+        "       bnez r29, loop\n"
+        "       halt\n";
+    static std::deque<assembler::Program> hold;
+    hold.push_back(assembler::assemble(src));
+    ProgramContext ctx(hold.back());
+    auto run = ctx.runSelector(SelectorKind::SlackDynamic,
+                               uarch::reducedConfig());
+    EXPECT_GT(run.sim.slackDynamic.serializedIssues, 0u);
+}
+
+TEST(EndToEnd, IdealSlackDynamicAvoidsOutliningJumps)
+{
+    auto spec = *workloads::findWorkload("mcf_like.0");
+    ProgramContext ctx(spec);
+    auto red = uarch::reducedConfig();
+    auto real = ctx.runSelector(SelectorKind::SlackDynamic, red);
+    auto ideal = ctx.runSelector(SelectorKind::IdealSlackDynamic, red);
+    // Only the real variant fetches outlining jumps.
+    if (real.sim.disabledExpansions > 0) {
+        EXPECT_GT(real.sim.outliningJumps, 0u);
+    }
+    EXPECT_EQ(ideal.sim.outliningJumps, 0u);
+}
+
+TEST(EndToEnd, ProfileCachingIsStable)
+{
+    auto spec = *workloads::findWorkload("fft_like.0");
+    ProgramContext ctx(spec);
+    auto r1 = ctx.runSelector(SelectorKind::SlackProfile,
+                              uarch::reducedConfig());
+    auto r2 = ctx.runSelector(SelectorKind::SlackProfile,
+                              uarch::reducedConfig());
+    EXPECT_EQ(r1.sim.cycles, r2.sim.cycles);
+}
+
+TEST(EndToEnd, CrossTrainedProfileStillSound)
+{
+    // Figure-9 machinery: select with a profile from another machine
+    // and check the run is still architecturally sound and performs
+    // in the same ballpark.
+    auto spec = *workloads::findWorkload("gsm_like.0");
+    ProgramContext ctx(spec);
+    auto red = uarch::reducedConfig();
+    auto cross_cfg = uarch::eightWayConfig();
+    auto self = ctx.runSelector(SelectorKind::SlackProfile, red);
+    auto cross = ctx.runSelector(SelectorKind::SlackProfile, red,
+                                 &cross_cfg);
+    EXPECT_EQ(self.sim.originalInsts, cross.sim.originalInsts);
+    double ratio = static_cast<double>(self.sim.cycles) /
+                   static_cast<double>(cross.sim.cycles);
+    EXPECT_GT(ratio, 0.7);
+    EXPECT_LT(ratio, 1.4);
+}
+
+TEST(EndToEnd, ConfigForSelectorSetsHardwareFlags)
+{
+    auto base = uarch::reducedConfig();
+    auto c1 = configForSelector(base, SelectorKind::SlackDynamic);
+    EXPECT_TRUE(c1.slackDynamicEnabled);
+    EXPECT_FALSE(c1.slackDynamicIdeal);
+    EXPECT_TRUE(c1.slackDynamicConsumerCheck);
+    auto c2 = configForSelector(base, SelectorKind::IdealSlackDynamicSial);
+    EXPECT_TRUE(c2.slackDynamicIdeal);
+    EXPECT_TRUE(c2.slackDynamicSial);
+    auto c3 = configForSelector(base, SelectorKind::SlackProfile);
+    EXPECT_FALSE(c3.slackDynamicEnabled);
+}
+
+} // namespace
+} // namespace mg::sim

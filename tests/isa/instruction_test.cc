@@ -1,0 +1,100 @@
+#include "isa/instruction.h"
+
+#include <gtest/gtest.h>
+
+namespace mg::isa
+{
+namespace
+{
+
+TEST(Instruction, SrcRegsSkipsZeroRegister)
+{
+    Instruction i = makeRRR(Opcode::ADD, 3, 0, 5);
+    auto srcs = i.srcRegs();
+    ASSERT_EQ(srcs.count, 1u);
+    EXPECT_EQ(srcs.regs[0], 5);
+}
+
+TEST(Instruction, SrcRegsImmediateForm)
+{
+    Instruction i = makeRRI(Opcode::ADDI, 3, 4, 10);
+    auto srcs = i.srcRegs();
+    ASSERT_EQ(srcs.count, 1u);
+    EXPECT_EQ(srcs.regs[0], 4);
+}
+
+TEST(Instruction, DestRegZeroIsNone)
+{
+    Instruction i = makeRRR(Opcode::ADD, 0, 1, 2);
+    EXPECT_EQ(i.destReg(), -1);
+}
+
+TEST(Instruction, StoreHasNoDest)
+{
+    Instruction i = makeStore(Opcode::SW, 2, 1, 0);
+    EXPECT_EQ(i.destReg(), -1);
+    auto srcs = i.srcRegs();
+    EXPECT_EQ(srcs.count, 2u);
+}
+
+TEST(Instruction, HandleSrcsFollowNumSrcs)
+{
+    Instruction h;
+    h.op = Opcode::MGHANDLE;
+    h.rs1 = 4;
+    h.rs2 = 5;
+    h.rs3 = 6;
+    h.numSrcs = 2;
+    auto srcs = h.srcRegs();
+    ASSERT_EQ(srcs.count, 2u);
+    EXPECT_EQ(srcs.regs[0], 4);
+    EXPECT_EQ(srcs.regs[1], 5);
+}
+
+TEST(Instruction, HandleDestRespectsHasDest)
+{
+    Instruction h;
+    h.op = Opcode::MGHANDLE;
+    h.rd = 9;
+    h.hasDest = false;
+    EXPECT_EQ(h.destReg(), -1);
+    h.hasDest = true;
+    EXPECT_EQ(h.destReg(), 9);
+}
+
+TEST(Instruction, ControlClassification)
+{
+    EXPECT_TRUE(makeBranch(Opcode::BEQ, 1, 2, 7).isCondBranch());
+    EXPECT_TRUE(makeJump(3).isDirectControl());
+    Instruction jr;
+    jr.op = Opcode::JR;
+    jr.rs1 = 31;
+    EXPECT_TRUE(jr.isIndirectControl());
+    EXPECT_FALSE(jr.isDirectControl());
+}
+
+TEST(Instruction, DisassembleFormats)
+{
+    EXPECT_EQ(disassemble(makeRRR(Opcode::ADD, 1, 2, 3)),
+              "add r1, r2, r3");
+    EXPECT_EQ(disassemble(makeRRI(Opcode::ADDI, 1, 2, -5)),
+              "addi r1, r2, -5");
+    EXPECT_EQ(disassemble(makeLi(4, 99)), "li r4, 99");
+    EXPECT_EQ(disassemble(makeLoad(Opcode::LW, 1, 2, 8)),
+              "lw r1, 8(r2)");
+    EXPECT_EQ(disassemble(makeStore(Opcode::SW, 1, 2, 8)),
+              "sw r1, 8(r2)");
+    EXPECT_EQ(disassemble(makeBranch(Opcode::BNE, 1, 2, 7)),
+              "bne r1, r2, 7");
+    EXPECT_EQ(disassemble(makeJump(12)), "j 12");
+    EXPECT_EQ(disassemble(makeHalt()), "halt");
+}
+
+TEST(Instruction, MakeHelpersValidateOpcodes)
+{
+    EXPECT_DEATH(makeRRR(Opcode::ADDI, 1, 2, 3), "makeRRR");
+    EXPECT_DEATH(makeLoad(Opcode::SW, 1, 2, 0), "makeLoad");
+}
+
+} // namespace
+} // namespace mg::isa

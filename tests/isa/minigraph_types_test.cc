@@ -1,0 +1,99 @@
+#include "isa/minigraph_types.h"
+
+#include <gtest/gtest.h>
+
+namespace mg::isa
+{
+namespace
+{
+
+/** Template: t0 = ext0 + ext1; out = t0 + ext2 (chain). */
+MgTemplate
+chainTemplate()
+{
+    MgTemplate t;
+    MgConstituent a;
+    a.op = Opcode::ADD;
+    a.src1Kind = MgSrcKind::External;
+    a.src1 = 0;
+    a.src2Kind = MgSrcKind::External;
+    a.src2 = 1;
+    MgConstituent b;
+    b.op = Opcode::ADD;
+    b.src1Kind = MgSrcKind::Internal;
+    b.src1 = 0;
+    b.src2Kind = MgSrcKind::External;
+    b.src2 = 2;
+    b.producesOutput = true;
+    t.ops = {a, b};
+    t.numInputs = 3;
+    t.hasOutput = true;
+    t.outputIdx = 1;
+    return t;
+}
+
+TEST(MgTemplate, TotalLatencySumsConstituents)
+{
+    MgTemplate t = chainTemplate();
+    EXPECT_EQ(t.totalLatency(), 2u);
+    t.ops[1].op = Opcode::LW;
+    EXPECT_EQ(t.totalLatency(), 4u);
+}
+
+TEST(MgTemplate, SerializingInputDetection)
+{
+    MgTemplate t = chainTemplate();
+    // Inputs 0 and 1 feed only the first constituent: not serializing.
+    EXPECT_FALSE(t.inputIsSerializing(0));
+    EXPECT_FALSE(t.inputIsSerializing(1));
+    // Input 2 feeds the second constituent: serializing.
+    EXPECT_TRUE(t.inputIsSerializing(2));
+    EXPECT_TRUE(t.hasSerializingInput());
+}
+
+TEST(MgTemplate, NoSerializingInputWhenAllFeedFirst)
+{
+    MgTemplate t = chainTemplate();
+    t.ops[1].src2Kind = MgSrcKind::None;
+    EXPECT_FALSE(t.hasSerializingInput());
+}
+
+TEST(MgTemplate, HashEqualForEqualTemplates)
+{
+    MgTemplate a = chainTemplate();
+    MgTemplate b = chainTemplate();
+    EXPECT_EQ(a.hash(), b.hash());
+    EXPECT_TRUE(a == b);
+}
+
+TEST(MgTemplate, HashDiffersOnImmediate)
+{
+    MgTemplate a = chainTemplate();
+    MgTemplate b = chainTemplate();
+    b.ops[0].imm = 42;
+    EXPECT_FALSE(a == b);
+    EXPECT_NE(a.hash(), b.hash());
+}
+
+TEST(MgTemplate, HashDiffersOnOpcode)
+{
+    MgTemplate a = chainTemplate();
+    MgTemplate b = chainTemplate();
+    b.ops[1].op = Opcode::XOR;
+    EXPECT_FALSE(a == b);
+    EXPECT_NE(a.hash(), b.hash());
+}
+
+TEST(MgBinaryInfo, InstanceLookup)
+{
+    MgBinaryInfo info;
+    MgInstance inst;
+    inst.handlePc = 10;
+    inst.templateIdx = 0;
+    info.instances.emplace(10, inst);
+    EXPECT_NE(info.instanceAt(10), nullptr);
+    EXPECT_EQ(info.instanceAt(11), nullptr);
+}
+
+} // namespace
+} // namespace mg::isa

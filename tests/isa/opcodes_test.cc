@@ -1,0 +1,74 @@
+#include "isa/opcodes.h"
+
+#include <gtest/gtest.h>
+
+namespace mg::isa
+{
+namespace
+{
+
+TEST(Opcodes, MnemonicRoundTrip)
+{
+    for (size_t i = 0; i < kNumOpcodes; ++i) {
+        Opcode op = static_cast<Opcode>(i);
+        auto parsed = parseMnemonic(mnemonic(op));
+        ASSERT_TRUE(parsed.has_value()) << mnemonic(op);
+        EXPECT_EQ(*parsed, op);
+    }
+}
+
+TEST(Opcodes, ParseUnknownFails)
+{
+    EXPECT_FALSE(parseMnemonic("bogus").has_value());
+    EXPECT_FALSE(parseMnemonic("").has_value());
+}
+
+TEST(Opcodes, Classification)
+{
+    EXPECT_TRUE(isCondBranch(Opcode::BEQ));
+    EXPECT_TRUE(isCondBranch(Opcode::BGEU));
+    EXPECT_FALSE(isCondBranch(Opcode::J));
+    EXPECT_TRUE(isControl(Opcode::J));
+    EXPECT_TRUE(isControl(Opcode::JALR));
+    EXPECT_FALSE(isControl(Opcode::ADD));
+    EXPECT_TRUE(isLoad(Opcode::LBU));
+    EXPECT_TRUE(isStore(Opcode::SD));
+    EXPECT_TRUE(isMem(Opcode::LW));
+    EXPECT_FALSE(isMem(Opcode::XOR));
+}
+
+TEST(Opcodes, ExecClasses)
+{
+    EXPECT_EQ(opInfo(Opcode::ADD).execClass, ExecClass::IntAlu);
+    EXPECT_EQ(opInfo(Opcode::MUL).execClass, ExecClass::IntComplex);
+    EXPECT_EQ(opInfo(Opcode::DIV).execClass, ExecClass::IntComplex);
+    EXPECT_EQ(opInfo(Opcode::LW).execClass, ExecClass::MemRead);
+    EXPECT_EQ(opInfo(Opcode::SW).execClass, ExecClass::MemWrite);
+    EXPECT_EQ(opInfo(Opcode::BNE).execClass, ExecClass::Control);
+    EXPECT_EQ(opInfo(Opcode::NOP).execClass, ExecClass::Nop);
+    EXPECT_EQ(opInfo(Opcode::MGHANDLE).execClass, ExecClass::MgHandle);
+}
+
+TEST(Opcodes, Latencies)
+{
+    EXPECT_EQ(opInfo(Opcode::ADD).latency, 1u);
+    EXPECT_EQ(opInfo(Opcode::MUL).latency, 4u);
+    EXPECT_EQ(opInfo(Opcode::DIV).latency, 12u);
+    EXPECT_EQ(opInfo(Opcode::LD).latency, 3u);
+}
+
+TEST(Opcodes, RegisterUsageFlags)
+{
+    EXPECT_TRUE(opInfo(Opcode::ADD).readsRs1);
+    EXPECT_TRUE(opInfo(Opcode::ADD).readsRs2);
+    EXPECT_TRUE(opInfo(Opcode::ADD).writesRd);
+    EXPECT_FALSE(opInfo(Opcode::ADDI).readsRs2);
+    EXPECT_FALSE(opInfo(Opcode::LI).readsRs1);
+    EXPECT_FALSE(opInfo(Opcode::SW).writesRd);
+    EXPECT_TRUE(opInfo(Opcode::SW).readsRs2);
+    EXPECT_TRUE(opInfo(Opcode::JAL).writesRd);
+    EXPECT_FALSE(opInfo(Opcode::J).writesRd);
+}
+
+} // namespace
+} // namespace mg::isa

@@ -1,0 +1,255 @@
+#include "minigraph/candidate.h"
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.h"
+
+namespace mg::minigraph
+{
+namespace
+{
+
+using isa::MgSrcKind;
+using isa::Opcode;
+
+std::vector<Candidate>
+enumerate(const std::string &src, CandidateOptions opts = {})
+{
+    assembler::Program p = assembler::assemble(src);
+    return enumerateCandidates(p, opts);
+}
+
+const Candidate *
+find(const std::vector<Candidate> &pool, isa::Addr pc, unsigned len)
+{
+    for (const auto &c : pool) {
+        if (c.firstPc == pc && c.len == len)
+            return &c;
+    }
+    return nullptr;
+}
+
+TEST(Candidates, SimpleChainWindow)
+{
+    // 0: li, 1: add, 2: add, 3: sd, 4: halt
+    auto pool = enumerate("main: li r1, 1\n"
+                          "      add r2, r1, r1\n"
+                          "      add r3, r2, r2\n"
+                          "      sd r3, 0(r0)\n"
+                          "      halt\n");
+    const Candidate *c = find(pool, 1, 2); // [add, add]
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->tmpl.numInputs, 1u);
+    EXPECT_EQ(c->outputReg, 3);
+    EXPECT_EQ(c->tmpl.outputIdx, 1);
+    // r2 is interior: dead after the window.
+    EXPECT_TRUE(c->tmpl.ops[1].src1Kind == MgSrcKind::Internal);
+}
+
+TEST(Candidates, InteriorValueMustBeDead)
+{
+    // r2 is used again later: [1,2] would need two outputs.
+    auto pool = enumerate("main: li r1, 1\n"
+                          "      add r2, r1, r1\n"   // 1
+                          "      add r3, r2, r2\n"   // 2
+                          "      add r4, r2, r3\n"   // 3: r2 reused
+                          "      sd r4, 0(r0)\n"
+                          "      halt\n");
+    EXPECT_EQ(find(pool, 1, 2), nullptr); // r2 and r3 both live out
+    EXPECT_NE(find(pool, 2, 2), nullptr); // r3 interior, r4 out
+}
+
+TEST(Candidates, InputLimitEnforced)
+{
+    // Four distinct external inputs: illegal.
+    auto pool = enumerate("main: add r5, r1, r2\n"
+                          "      add r6, r5, r3\n"
+                          "      add r7, r6, r4\n"
+                          "      sd r7, 0(r0)\n"
+                          "      halt\n");
+    EXPECT_NE(find(pool, 0, 2), nullptr);  // r1,r2,r3 = 3 inputs
+    EXPECT_EQ(find(pool, 0, 3), nullptr);  // r1..r4 = 4 inputs
+}
+
+TEST(Candidates, InputSlotsSharedForSameRegister)
+{
+    auto pool = enumerate("main: add r5, r1, r1\n"
+                          "      add r6, r5, r1\n"
+                          "      sd r6, 0(r0)\n"
+                          "      halt\n");
+    const Candidate *c = find(pool, 0, 2);
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->tmpl.numInputs, 1u);
+    EXPECT_EQ(c->inputRegs[0], 1);
+}
+
+TEST(Candidates, OneMemoryOpMax)
+{
+    auto pool = enumerate("main: lw r1, 0(r5)\n"
+                          "      lw r2, 4(r5)\n"
+                          "      add r3, r1, r2\n"
+                          "      sd r3, 0(r0)\n"
+                          "      halt\n");
+    EXPECT_EQ(find(pool, 0, 2), nullptr);  // two loads
+    EXPECT_NE(find(pool, 1, 2), nullptr);  // lw + add
+}
+
+TEST(Candidates, ComplexOpsExcluded)
+{
+    auto pool = enumerate("main: mul r1, r2, r3\n"
+                          "      add r4, r1, r1\n"
+                          "      sd r4, 0(r0)\n"
+                          "      halt\n");
+    EXPECT_EQ(find(pool, 0, 2), nullptr);
+}
+
+TEST(Candidates, BranchOnlyAtEnd)
+{
+    auto pool = enumerate("main: addi r1, r1, 1\n"
+                          "      addi r2, r2, -1\n"
+                          "      bnez r2, main\n"
+                          "      halt\n");
+    const Candidate *c = find(pool, 1, 2); // addi + bnez
+    ASSERT_NE(c, nullptr);
+    EXPECT_TRUE(c->tmpl.hasControl);
+    EXPECT_TRUE(c->tmpl.condControl);
+    // Branch target stored as displacement from the handle PC.
+    EXPECT_EQ(c->tmpl.ops[1].imm, 0 - 1);
+}
+
+TEST(Candidates, WindowsNeverCrossBlockBoundaries)
+{
+    auto pool = enumerate("main: addi r1, r1, 1\n"
+                          "      bnez r1, main\n"
+                          "      addi r2, r2, 1\n" // new block
+                          "      halt\n");
+    // No window may contain both the branch and the next block's add.
+    for (const auto &c : pool)
+        EXPECT_FALSE(c.firstPc <= 1 && c.firstPc + c.len > 2);
+}
+
+TEST(Candidates, CallsAndIndirectExcluded)
+{
+    auto pool = enumerate("main: addi r1, r1, 1\n"
+                          "      call fn\n"
+                          "      halt\n"
+                          "fn:   ret\n");
+    for (const auto &c : pool) {
+        for (unsigned k = 0; k < c.len; ++k) {
+            EXPECT_NE(c.tmpl.ops[k].op, Opcode::JAL);
+            EXPECT_NE(c.tmpl.ops[k].op, Opcode::JR);
+        }
+    }
+}
+
+TEST(Candidates, StoreOnlyGraphHasNoOutput)
+{
+    auto pool = enumerate("main: add r1, r2, r3\n"
+                          "      sd r1, 0(r4)\n"
+                          "      halt\n");
+    const Candidate *c = find(pool, 0, 2);
+    ASSERT_NE(c, nullptr);
+    // r1 dead after the store (never used again).
+    EXPECT_EQ(c->outputReg, -1);
+    EXPECT_FALSE(c->tmpl.hasOutput);
+    EXPECT_TRUE(c->tmpl.hasMem);
+}
+
+TEST(Candidates, SerializationClassNonSerializing)
+{
+    // Chain where the only external inputs feed the first op.
+    auto pool = enumerate("main: add r1, r2, r2\n"
+                          "      addi r3, r1, 1\n"
+                          "      sd r3, 0(r0)\n"
+                          "      halt\n");
+    const Candidate *c = find(pool, 0, 2);
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->serialClass, SerialClass::NonSerializing);
+}
+
+TEST(Candidates, SerializationClassBoundedUpstreamInput)
+{
+    // Figure 4c: the serializing input feeds the output producer.
+    auto pool = enumerate("main: add r1, r2, r2\n"
+                          "      add r3, r1, r4\n" // ext r4, produces out
+                          "      sd r3, 0(r0)\n"
+                          "      halt\n");
+    const Candidate *c = find(pool, 0, 2);
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->serialClass, SerialClass::Bounded);
+}
+
+TEST(Candidates, SerializationClassUnboundedDownstreamInput)
+{
+    // Figure 4d: output comes from the first op; the serializing
+    // input feeds a later op that only produces a store.
+    auto pool = enumerate("main: add r1, r2, r2\n"   // output producer
+                          "      add r9, r4, r4\n"   // ext input, dead
+                          "      sd r9, 0(r5)\n"
+                          "      sd r1, 8(r5)\n"
+                          "      halt\n");
+    // Window [0,1]: r1 live-out (used at 3), r9 used at 2 -> both
+    // live: illegal. Use window [0..2]: r1 out, r9 interior via sd.
+    const Candidate *c = find(pool, 0, 3);
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->outputReg, 1);
+    EXPECT_EQ(c->serialClass, SerialClass::Unbounded);
+}
+
+TEST(Candidates, DisconnectedWithoutSerializingInputIsFine)
+{
+    // Two independent li ops: internally disconnected, but no
+    // external input feeds a non-first op.
+    auto pool = enumerate("main: li r1, 1\n"
+                          "      li r2, 2\n"
+                          "      sd r1, 0(r0)\n"
+                          "      sd r2, 8(r0)\n"
+                          "      halt\n");
+    const Candidate *c = find(pool, 0, 2);
+    // Both r1 and r2 live out: illegal (two outputs).
+    EXPECT_EQ(c, nullptr);
+}
+
+TEST(Candidates, MaxSizeOptionRespected)
+{
+    CandidateOptions opts;
+    opts.maxSize = 2;
+    auto pool = enumerate("main: add r1, r9, r9\n"
+                          "      add r1, r1, r9\n"
+                          "      add r1, r1, r9\n"
+                          "      add r1, r1, r9\n"
+                          "      sd r1, 0(r0)\n"
+                          "      halt\n",
+                          opts);
+    for (const auto &c : pool)
+        EXPECT_LE(c.len, 2u);
+}
+
+TEST(Candidates, NoMemOptionExcludesMemory)
+{
+    CandidateOptions opts;
+    opts.allowMem = false;
+    auto pool = enumerate("main: lw r1, 0(r5)\n"
+                          "      add r2, r1, r1\n"
+                          "      sd r2, 0(r0)\n"
+                          "      halt\n",
+                          opts);
+    for (const auto &c : pool)
+        EXPECT_FALSE(c.tmpl.hasMem);
+}
+
+TEST(Candidates, OverlapPredicate)
+{
+    Candidate a, b;
+    a.firstPc = 4;
+    a.len = 3; // [4,7)
+    b.firstPc = 6;
+    b.len = 2; // [6,8)
+    EXPECT_TRUE(a.overlaps(b));
+    b.firstPc = 7;
+    EXPECT_FALSE(a.overlaps(b));
+}
+
+} // namespace
+} // namespace mg::minigraph

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Property tests over the real benchmark suite: every enumerated
+ * candidate must satisfy the mini-graph interface invariants of §2,
+ * every selection must be disjoint and within budget, and rewriting
+ * with any selector must preserve architectural results.
+ */
+
+#include <deque>
+#include <gtest/gtest.h>
+
+#include "minigraph/rewriter.h"
+#include "minigraph/selectors.h"
+#include "profile/exec_counts.h"
+#include "uarch/functional.h"
+#include "workloads/workload.h"
+
+namespace mg::minigraph
+{
+namespace
+{
+
+using isa::MgSrcKind;
+
+std::vector<std::string>
+kernelPrograms()
+{
+    // Variant 0 of every kernel: 26 diverse programs.
+    std::vector<std::string> out;
+    for (const auto &k : workloads::kernelNames())
+        out.push_back(k + ".0");
+    return out;
+}
+
+class KernelProperty : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    static assembler::Program
+    build(const std::string &name)
+    {
+        auto spec = workloads::findWorkload(name);
+        EXPECT_TRUE(spec.has_value());
+        return workloads::buildWorkload(*spec).program;
+    }
+};
+
+TEST_P(KernelProperty, CandidatesSatisfyInterfaceInvariants)
+{
+    assembler::Program prog = build(GetParam());
+    assembler::Cfg cfg(prog);
+    assembler::Liveness live(cfg);
+    auto pool = enumerateCandidates(prog, cfg, live);
+    ASSERT_FALSE(pool.empty());
+
+    for (const Candidate &c : pool) {
+        // Size and input limits (§2).
+        ASSERT_GE(c.len, 2u);
+        ASSERT_LE(c.len, isa::kMaxMgSize);
+        ASSERT_LE(c.tmpl.numInputs, isa::kMaxMgInputs);
+        ASSERT_EQ(c.tmpl.size(), c.len);
+
+        unsigned mem_ops = 0, controls = 0;
+        for (unsigned k = 0; k < c.len; ++k) {
+            const auto &op = c.tmpl.ops[k];
+            mem_ops += isa::isMem(op.op);
+            if (isa::isControl(op.op)) {
+                ++controls;
+                EXPECT_EQ(k, c.len - 1u) << "control not last";
+            }
+            // Internal references must point backwards.
+            if (op.src1Kind == MgSrcKind::Internal) {
+                EXPECT_LT(op.src1, k);
+            }
+            if (op.src2Kind == MgSrcKind::Internal) {
+                EXPECT_LT(op.src2, k);
+            }
+            // External slots must be in range.
+            if (op.src1Kind == MgSrcKind::External) {
+                EXPECT_LT(op.src1, c.tmpl.numInputs);
+            }
+            if (op.src2Kind == MgSrcKind::External) {
+                EXPECT_LT(op.src2, c.tmpl.numInputs);
+            }
+        }
+        EXPECT_LE(mem_ops, 1u) << "pc " << c.firstPc;
+        EXPECT_LE(controls, 1u);
+
+        // Output declaration consistent.
+        EXPECT_EQ(c.tmpl.hasOutput, c.outputReg >= 0);
+        if (c.tmpl.hasOutput) {
+            ASSERT_GE(c.tmpl.outputIdx, 0);
+            EXPECT_TRUE(
+                c.tmpl.ops[static_cast<size_t>(c.tmpl.outputIdx)]
+                    .producesOutput);
+            // The output value must be live after the window; the
+            // other written registers must not be.
+            EXPECT_TRUE(assembler::regIn(
+                live.liveAfter(c.firstPc + c.len - 1),
+                static_cast<unsigned>(c.outputReg)));
+        }
+        // Interior values: every non-output def is dead afterwards.
+        for (unsigned k = 0; k < c.len; ++k) {
+            const isa::Instruction &inst = prog.code[c.firstPc + k];
+            int d = inst.destReg();
+            if (d < 0 || d == c.outputReg)
+                continue;
+            // If this def survives to the window end it must be
+            // overwritten inside the window; otherwise it would be a
+            // second output.
+            bool redefined = false;
+            for (unsigned k2 = k + 1; k2 < c.len; ++k2)
+                redefined |= prog.code[c.firstPc + k2].destReg() == d;
+            if (!redefined) {
+                EXPECT_FALSE(assembler::regIn(
+                    live.liveAfter(c.firstPc + c.len - 1),
+                    static_cast<unsigned>(d)))
+                    << "second live-out at pc " << c.firstPc;
+            }
+        }
+        // Windows stay inside one basic block.
+        EXPECT_EQ(cfg.blockIdOf(c.firstPc),
+                  cfg.blockIdOf(c.firstPc + c.len - 1));
+        // Structural classification consistency.
+        if (!c.tmpl.hasSerializingInput())
+            EXPECT_EQ(c.serialClass, SerialClass::NonSerializing);
+        else
+            EXPECT_NE(c.serialClass, SerialClass::NonSerializing);
+    }
+}
+
+TEST_P(KernelProperty, SelectionIsDisjointAndWithinBudget)
+{
+    assembler::Program prog = build(GetParam());
+    auto pool = enumerateCandidates(prog);
+    auto counts = profile::countExecutions(prog);
+    for (uint32_t budget : {1u, 4u, 512u}) {
+        auto sel = selectGreedy(pool, counts, budget);
+        EXPECT_LE(sel.templatesUsed, budget);
+        std::vector<bool> used(prog.code.size(), false);
+        for (const auto &c : sel.chosen) {
+            for (isa::Addr pc = c.firstPc; pc < c.pcAfter(); ++pc) {
+                EXPECT_FALSE(used[pc]) << "overlap at " << pc;
+                used[pc] = true;
+            }
+        }
+    }
+}
+
+TEST_P(KernelProperty, StructAllRewriteIsArchitecturallyEquivalent)
+{
+    assembler::Program prog = build(GetParam());
+    auto pool = enumerateCandidates(prog);
+    auto counts = profile::countExecutions(prog);
+    auto sel = selectGreedy(pool, counts, 512);
+    RewrittenProgram rp = rewrite(prog, sel.chosen);
+
+    uarch::FunctionalCore orig(prog);
+    uarch::FunctionalCore mg(rp.program, &rp.info);
+    orig.run(1ull << 26);
+    mg.run(1ull << 26);
+    EXPECT_EQ(orig.instCount(), mg.instCount());
+    uint64_t raddr = prog.dataLabels.at("result");
+    EXPECT_EQ(orig.memory().read(raddr, 8), mg.memory().read(raddr, 8));
+}
+
+TEST_P(KernelProperty, AllDisabledRewriteIsArchitecturallyEquivalent)
+{
+    assembler::Program prog = build(GetParam());
+    auto pool = enumerateCandidates(prog);
+    auto counts = profile::countExecutions(prog);
+    auto sel = selectGreedy(pool, counts, 512);
+    RewrittenProgram rp = rewrite(prog, sel.chosen);
+
+    uarch::FunctionalCore orig(prog);
+    uarch::FunctionalCore mg(rp.program, &rp.info);
+    mg.setDisableQuery([](isa::Addr) { return true; });
+    orig.run(1ull << 26);
+    mg.run(1ull << 26);
+    EXPECT_EQ(orig.instCount(), mg.instCount());
+    uint64_t raddr = prog.dataLabels.at("result");
+    EXPECT_EQ(orig.memory().read(raddr, 8), mg.memory().read(raddr, 8));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, KernelProperty,
+    ::testing::ValuesIn(kernelPrograms()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string n = info.param;
+        for (char &c : n)
+            if (c == '.')
+                c = '_';
+        return n;
+    });
+
+} // namespace
+} // namespace mg::minigraph

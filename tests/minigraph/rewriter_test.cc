@@ -1,0 +1,183 @@
+#include "minigraph/rewriter.h"
+
+#include <deque>
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.h"
+#include "minigraph/selection.h"
+#include "profile/exec_counts.h"
+#include "uarch/functional.h"
+
+namespace mg::minigraph
+{
+namespace
+{
+
+using isa::Opcode;
+
+struct Built
+{
+    assembler::Program prog;
+    RewrittenProgram rp;
+
+    Built(const std::string &src, uint32_t budget = 512)
+        : prog(assembler::assemble(src))
+    {
+        auto pool = enumerateCandidates(prog);
+        auto counts = profile::countExecutions(prog);
+        auto sel = selectGreedy(pool, counts, budget);
+        rp = rewrite(prog, sel.chosen);
+    }
+};
+
+const char *kLoopSrc =
+    "main:  li r29, 50\n"
+    "       li r1, 0\n"
+    "loop:  add r1, r1, r29\n"
+    "       add r1, r1, r29\n"
+    "       sd r1, 0(r28)\n"
+    "       addi r29, r29, -1\n"
+    "       bnez r29, loop\n"
+    "       halt\n";
+
+TEST(Rewriter, HandleReplacesFirstSlotElidedRest)
+{
+    Built b(kLoopSrc);
+    ASSERT_FALSE(b.rp.info.instances.empty());
+    for (const auto &[pc, inst] : b.rp.info.instances) {
+        EXPECT_TRUE(b.rp.program.code[pc].isHandle());
+        for (isa::Addr p = pc + 1; p < inst.pcAfter; ++p)
+            EXPECT_TRUE(b.rp.program.code[p].isElided());
+    }
+}
+
+TEST(Rewriter, OutlinedBodyMirrorsOriginal)
+{
+    Built b(kLoopSrc);
+    for (const auto &[pc, inst] : b.rp.info.instances) {
+        for (size_t k = 0; k < inst.constituentPcs.size(); ++k) {
+            const isa::Instruction &orig =
+                b.prog.code[inst.constituentPcs[k]];
+            const isa::Instruction &copy =
+                b.rp.program.code[inst.outlinedPc + k];
+            EXPECT_EQ(isa::disassemble(orig), isa::disassemble(copy));
+        }
+        // Jump back to the fall-through point.
+        const isa::Instruction &jb =
+            b.rp.program.code[inst.outlinedPc +
+                              inst.constituentPcs.size()];
+        EXPECT_EQ(jb.op, Opcode::J);
+        EXPECT_EQ(static_cast<isa::Addr>(jb.imm), inst.pcAfter);
+    }
+}
+
+TEST(Rewriter, TemplatesDeduplicated)
+{
+    const char *src =
+        "main:  li r29, 50\n"
+        "a:     add r1, r2, r2\n"
+        "       add r1, r1, r2\n"
+        "       sd r1, 0(r28)\n"
+        "       addi r29, r29, -1\n"
+        "       bnez r29, a\n"
+        "       li r29, 50\n"
+        "b:     add r3, r2, r2\n"
+        "       add r3, r3, r2\n"
+        "       sd r3, 0(r28)\n"
+        "       addi r29, r29, -1\n"
+        "       bnez r29, b\n"
+        "       halt\n";
+    Built b(src);
+    EXPECT_GT(b.rp.info.instances.size(), b.rp.info.templates.size());
+}
+
+TEST(Rewriter, HandleInterfaceEncodesRegisters)
+{
+    Built b(kLoopSrc);
+    for (const auto &[pc, inst] : b.rp.info.instances) {
+        const isa::Instruction &h = b.rp.program.code[pc];
+        const isa::MgTemplate &t = b.rp.info.templates[inst.templateIdx];
+        EXPECT_EQ(h.numSrcs, t.numInputs);
+        EXPECT_EQ(h.hasDest, t.hasOutput);
+        EXPECT_EQ(h.mgIndex, inst.templateIdx);
+    }
+}
+
+TEST(Rewriter, FunctionalEquivalenceEnabled)
+{
+    Built b(kLoopSrc);
+    uarch::FunctionalCore orig(b.prog);
+    uarch::FunctionalCore mg(b.rp.program, &b.rp.info);
+    orig.run();
+    mg.run();
+    EXPECT_EQ(orig.instCount(), mg.instCount());
+    for (unsigned r = 0; r < isa::kNumArchRegs; ++r)
+        EXPECT_EQ(orig.reg(r), mg.reg(r)) << "r" << r;
+}
+
+TEST(Rewriter, FunctionalEquivalenceAllDisabled)
+{
+    // With every handle disabled, execution takes the outlined paths
+    // (this is also what a non-mini-graph processor would do).
+    Built b(kLoopSrc);
+    uarch::FunctionalCore orig(b.prog);
+    uarch::FunctionalCore mg(b.rp.program, &b.rp.info);
+    mg.setDisableQuery([](isa::Addr) { return true; });
+    orig.run();
+    mg.run();
+    EXPECT_EQ(orig.instCount(), mg.instCount());
+    for (unsigned r = 0; r < isa::kNumArchRegs; ++r)
+        EXPECT_EQ(orig.reg(r), mg.reg(r)) << "r" << r;
+}
+
+TEST(Rewriter, BranchHandleRedirectsCorrectly)
+{
+    // The loop branch gets embedded in a handle; both taken and
+    // fall-through paths must work.
+    const char *src =
+        "main:  li r29, 5\n"
+        "       li r1, 0\n"
+        "loop:  addi r1, r1, 3\n"
+        "       addi r29, r29, -1\n"
+        "       bnez r29, loop\n"
+        "       halt\n";
+    Built b(src);
+    bool branch_in_handle = false;
+    for (const auto &t : b.rp.info.templates)
+        branch_in_handle |= t.hasControl;
+    ASSERT_TRUE(branch_in_handle);
+    uarch::FunctionalCore mg(b.rp.program, &b.rp.info);
+    mg.run();
+    EXPECT_EQ(mg.reg(1), 15u);
+}
+
+TEST(Rewriter, EmptyChoiceIsIdentityPlusNoTables)
+{
+    assembler::Program p = assembler::assemble(kLoopSrc);
+    RewrittenProgram rp = rewrite(p, {});
+    EXPECT_EQ(rp.program.code.size(), p.code.size());
+    EXPECT_TRUE(rp.info.templates.empty());
+    EXPECT_TRUE(rp.info.instances.empty());
+}
+
+TEST(Rewriter, OverlappingChoicesPanic)
+{
+    assembler::Program p = assembler::assemble(kLoopSrc);
+    auto pool = enumerateCandidates(p);
+    // Find two overlapping candidates.
+    const Candidate *a = nullptr, *b = nullptr;
+    for (size_t i = 0; i < pool.size() && !b; ++i) {
+        for (size_t j = i + 1; j < pool.size(); ++j) {
+            if (pool[i].overlaps(pool[j])) {
+                a = &pool[i];
+                b = &pool[j];
+                break;
+            }
+        }
+    }
+    ASSERT_NE(b, nullptr);
+    EXPECT_DEATH(rewrite(p, {*a, *b}), "overlapping");
+}
+
+} // namespace
+} // namespace mg::minigraph

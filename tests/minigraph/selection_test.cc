@@ -1,0 +1,155 @@
+#include "minigraph/selection.h"
+
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.h"
+#include "profile/exec_counts.h"
+
+namespace mg::minigraph
+{
+namespace
+{
+
+/** A hot loop plus a cold tail with identical candidate shapes. */
+const char *kTwoLoopSrc =
+    "main:  li r29, 100\n"          // 0
+    "hot:   add r1, r2, r2\n"       // 1
+    "       add r1, r1, r2\n"       // 2
+    "       sd r1, 0(r28)\n"        // 3
+    "       addi r29, r29, -1\n"    // 4
+    "       bnez r29, hot\n"        // 5
+    "       li r29, 2\n"            // 6
+    "cold:  add r3, r4, r4\n"       // 7
+    "       add r3, r3, r4\n"       // 8
+    "       sd r3, 8(r28)\n"        // 9
+    "       addi r29, r29, -1\n"    // 10
+    "       bnez r29, cold\n"       // 11
+    "       halt\n";
+
+struct PoolSetup
+{
+    assembler::Program prog;
+    std::vector<Candidate> pool;
+    ExecCounts counts;
+
+    explicit PoolSetup(const std::string &src)
+        : prog(assembler::assemble(src)),
+          pool(enumerateCandidates(prog)),
+          counts(profile::countExecutions(prog))
+    {}
+};
+
+TEST(Selection, EmptyPoolSelectsNothing)
+{
+    SelectionResult r = selectGreedy({}, {}, 512);
+    EXPECT_TRUE(r.chosen.empty());
+    EXPECT_EQ(r.templatesUsed, 0u);
+}
+
+TEST(Selection, ChoosesDisjointInstances)
+{
+    PoolSetup s(kTwoLoopSrc);
+    SelectionResult r = selectGreedy(s.pool, s.counts, 512);
+    for (size_t i = 0; i < r.chosen.size(); ++i) {
+        for (size_t j = i + 1; j < r.chosen.size(); ++j)
+            EXPECT_FALSE(r.chosen[i].overlaps(r.chosen[j]));
+    }
+    EXPECT_FALSE(r.chosen.empty());
+}
+
+TEST(Selection, PrefersHotCode)
+{
+    PoolSetup s(kTwoLoopSrc);
+    SelectionResult r = selectGreedy(s.pool, s.counts, 512);
+    bool covers_hot = false;
+    for (const auto &c : r.chosen)
+        covers_hot |= c.firstPc >= 1 && c.firstPc <= 5;
+    EXPECT_TRUE(covers_hot);
+}
+
+TEST(Selection, TemplateBudgetRespected)
+{
+    PoolSetup s(kTwoLoopSrc);
+    SelectionResult full = selectGreedy(s.pool, s.counts, 512);
+    SelectionResult one = selectGreedy(s.pool, s.counts, 1);
+    EXPECT_EQ(one.templatesUsed, 1u);
+    EXPECT_LE(one.templatesUsed, full.templatesUsed);
+    EXPECT_LE(one.chosen.size(), full.chosen.size());
+}
+
+TEST(Selection, SharedTemplateCountsOnce)
+{
+    // Hot and cold loops have *structurally identical* windows, but
+    // at different immediates (0 vs 8 store offsets), so only the
+    // add/add pieces share templates. Verify template sharing works
+    // by selecting with budget 1 and still getting 2+ instances.
+    const char *src =
+        "main:  li r29, 50\n"
+        "a:     add r1, r2, r2\n"
+        "       add r1, r1, r2\n"
+        "       sd r1, 0(r28)\n"
+        "       addi r29, r29, -1\n"
+        "       bnez r29, a\n"
+        "       li r29, 50\n"
+        "b:     add r3, r2, r2\n"
+        "       add r3, r3, r2\n"
+        "       sd r3, 0(r28)\n"
+        "       addi r29, r29, -1\n"
+        "       bnez r29, b\n"
+        "       halt\n";
+    PoolSetup s(src);
+    SelectionResult r = selectGreedy(s.pool, s.counts, 1);
+    EXPECT_EQ(r.templatesUsed, 1u);
+    EXPECT_GE(r.chosen.size(), 2u);
+}
+
+TEST(Selection, ScoreWeighsSizeTimesFrequency)
+{
+    // A len-4 window embedding (n-1)*f beats a len-2 at equal f.
+    const char *src =
+        "main:  li r29, 100\n"
+        "loop:  add r1, r2, r2\n"
+        "       add r1, r1, r2\n"
+        "       add r1, r1, r2\n"
+        "       add r1, r1, r2\n"
+        "       sd r1, 0(r28)\n"
+        "       addi r29, r29, -1\n"
+        "       bnez r29, loop\n"
+        "       halt\n";
+    PoolSetup s(src);
+    SelectionResult r = selectGreedy(s.pool, s.counts, 512);
+    // The largest chosen piece in the chain should be length 4.
+    unsigned max_len = 0;
+    for (const auto &c : r.chosen)
+        max_len = std::max(max_len, unsigned(c.len));
+    EXPECT_EQ(max_len, 4u);
+}
+
+TEST(Selection, ZeroFrequencyCodeIgnored)
+{
+    const char *src =
+        "main:  j end\n"
+        "dead:  add r1, r2, r2\n"
+        "       add r1, r1, r2\n"
+        "       sd r1, 0(r28)\n"
+        "end:   halt\n";
+    PoolSetup s(src);
+    SelectionResult r = selectGreedy(s.pool, s.counts, 512);
+    EXPECT_TRUE(r.chosen.empty());
+}
+
+TEST(Selection, PredictedCoverageMatchesChoice)
+{
+    PoolSetup s(kTwoLoopSrc);
+    SelectionResult r = selectGreedy(s.pool, s.counts, 512);
+    uint64_t total = 0, covered = 0;
+    for (uint64_t c : s.counts)
+        total += c;
+    for (const auto &c : r.chosen)
+        covered += c.len * s.counts[c.firstPc];
+    EXPECT_NEAR(r.predictedCoverage,
+                static_cast<double>(covered) / total, 1e-12);
+}
+
+} // namespace
+} // namespace mg::minigraph

@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Tests of the Slack-Profile rule engine (Figure 5 of the paper),
+ * including the paper's worked BDE example, plus the selector pool
+ * filters (Struct-*, Slack-Profile variants).
+ */
+
+#include "minigraph/selectors.h"
+
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.h"
+
+namespace mg::minigraph
+{
+namespace
+{
+
+using isa::MgConstituent;
+using isa::MgSrcKind;
+using isa::Opcode;
+using profile::ProfileEntry;
+using profile::SlackProfileData;
+
+/**
+ * The Figure-5 mini-graph BDE: B reads external input 0 (from A),
+ * D reads B plus external input 1 (from C), E reads D and produces
+ * the register output.
+ */
+Candidate
+bdeCandidate()
+{
+    Candidate c;
+    c.firstPc = 100;
+    c.len = 3;
+    MgConstituent b;
+    b.op = Opcode::ADD;
+    b.src1Kind = MgSrcKind::External;
+    b.src1 = 0;
+    MgConstituent d;
+    d.op = Opcode::ADD;
+    d.src1Kind = MgSrcKind::Internal;
+    d.src1 = 0;
+    d.src2Kind = MgSrcKind::External;
+    d.src2 = 1;
+    MgConstituent e;
+    e.op = Opcode::ADD;
+    e.src1Kind = MgSrcKind::Internal;
+    e.src1 = 1;
+    e.producesOutput = true;
+    c.tmpl.ops = {b, d, e};
+    c.tmpl.numInputs = 2;
+    c.tmpl.hasOutput = true;
+    c.tmpl.outputIdx = 2;
+    c.inputRegs = {1, 2, 0};
+    c.outputReg = 5;
+    c.serialClass = SerialClass::Bounded;
+    return c;
+}
+
+/** Profile matching the Figure-5 singleton schedule. */
+SlackProfileData
+bdeProfile(double slack_e)
+{
+    SlackProfileData prof;
+    ProfileEntry b;
+    b.issueRel = 2.0;            // B issues when A's value is ready
+    b.srcReadyRel[0] = 2.0;      // input from A ready at 2
+    b.srcObserved[0] = true;
+    b.slack = 10.0;
+    ProfileEntry d;
+    d.issueRel = 6.0;            // D waits for C (ready at 6)
+    d.srcReadyRel[0] = 3.0;      // B's value
+    d.srcReadyRel[1] = 6.0;      // C's value: the serializing input
+    d.srcObserved[0] = d.srcObserved[1] = true;
+    d.slack = 10.0;
+    ProfileEntry e;
+    e.issueRel = 7.0;
+    e.srcReadyRel[0] = 7.0;
+    e.srcObserved[0] = true;
+    e.slack = slack_e;
+    prof.entries.emplace(100, b);
+    prof.entries.emplace(101, d);
+    prof.entries.emplace(102, e);
+    return prof;
+}
+
+const assembler::Program &
+dummyProgram()
+{
+    static assembler::Program p = assembler::assemble("halt\n");
+    return p;
+}
+
+TEST(SlackRules, Figure5DelayCalculation)
+{
+    Candidate c = bdeCandidate();
+    SlackProfileData prof = bdeProfile(0.0);
+    SlackModelResult m = evaluateSlackModel(c, dummyProgram(), prof);
+    // Rule #1: Issue_MG(B) = max(Ready(A)=2, Ready(C)=6, Issue(B)=2)=6
+    // Rule #2: Issue_MG(D) = 7, Issue_MG(E) = 8
+    // Rule #3: Delay(B)=4, Delay(D)=1, Delay(E)=1
+    EXPECT_NEAR(m.delay[0], 4.0, 1e-9);
+    EXPECT_NEAR(m.delay[1], 1.0, 1e-9);
+    EXPECT_NEAR(m.delay[2], 1.0, 1e-9);
+}
+
+TEST(SlackRules, Figure5RejectsWhenSlackZero)
+{
+    // "BDE is rejected because E has a local slack of 0 cycles."
+    Candidate c = bdeCandidate();
+    SlackProfileData prof = bdeProfile(0.0);
+    SlackModelResult m = evaluateSlackModel(c, dummyProgram(), prof);
+    EXPECT_TRUE(m.degrades);
+    EXPECT_TRUE(m.anyOutputDelayed);
+}
+
+TEST(SlackRules, AcceptsWhenSlackAbsorbsDelay)
+{
+    // With 3 cycles of local slack on E, the 1-cycle delay is
+    // absorbed (rule #4 passes).
+    Candidate c = bdeCandidate();
+    SlackProfileData prof = bdeProfile(3.0);
+    SlackModelResult m = evaluateSlackModel(c, dummyProgram(), prof);
+    EXPECT_FALSE(m.degrades);
+    // The -Delay variant still rejects: the output *is* delayed.
+    EXPECT_TRUE(m.anyOutputDelayed);
+}
+
+TEST(SlackRules, SialDetectsSerialInputArrivingLast)
+{
+    Candidate c = bdeCandidate();
+    SlackProfileData prof = bdeProfile(3.0);
+    SlackModelResult m = evaluateSlackModel(c, dummyProgram(), prof);
+    // C (ready 6) is the last-arriving input and feeds D (non-first).
+    EXPECT_TRUE(m.serialInputArrivesLast);
+}
+
+TEST(SlackRules, NoDelayWhenSerializingInputArrivesEarly)
+{
+    Candidate c = bdeCandidate();
+    SlackProfileData prof = bdeProfile(0.0);
+    // C arrives at 1 (before A at 2): structural vulnerability never
+    // manifests.  Singleton issue times shift accordingly.
+    prof.entries[101].srcReadyRel[1] = 1.0;
+    prof.entries[101].issueRel = 3.0;
+    prof.entries[102].issueRel = 4.0;
+    prof.entries[102].srcReadyRel[0] = 4.0;
+    SlackModelResult m = evaluateSlackModel(c, dummyProgram(), prof);
+    EXPECT_FALSE(m.degrades);
+    EXPECT_FALSE(m.serialInputArrivesLast);
+    EXPECT_NEAR(m.delay[2], 0.0, 1e-9);
+}
+
+TEST(SlackRules, InternalSerializationModelled)
+{
+    // Two *independent* constituents forced into series (rule #2):
+    // the second op is delayed by the first even with no external
+    // serialization.
+    Candidate c;
+    c.firstPc = 200;
+    c.len = 2;
+    MgConstituent a;
+    a.op = Opcode::ADD;
+    a.src1Kind = MgSrcKind::External;
+    a.src1 = 0;
+    MgConstituent b;
+    b.op = Opcode::ADD;
+    b.src1Kind = MgSrcKind::External;
+    b.src1 = 0; // same input: both could issue together as singletons
+    b.producesOutput = true;
+    c.tmpl.ops = {a, b};
+    c.tmpl.numInputs = 1;
+    c.tmpl.hasOutput = true;
+    c.tmpl.outputIdx = 1;
+
+    SlackProfileData prof;
+    ProfileEntry pa;
+    pa.issueRel = 0.0;
+    pa.srcReadyRel[0] = 0.0;
+    pa.srcObserved[0] = true;
+    ProfileEntry pb = pa;
+    pb.slack = 0.0;
+    prof.entries.emplace(200, pa);
+    prof.entries.emplace(201, pb);
+
+    SlackModelResult m = evaluateSlackModel(c, dummyProgram(), prof);
+    EXPECT_NEAR(m.delay[1], 1.0, 1e-9); // pushed behind constituent 0
+    EXPECT_TRUE(m.degrades);
+}
+
+TEST(SlackRules, MissingProfileAccepts)
+{
+    Candidate c = bdeCandidate();
+    SlackProfileData empty;
+    SlackModelResult m = evaluateSlackModel(c, dummyProgram(), empty);
+    EXPECT_FALSE(m.degrades);
+}
+
+TEST(SelectorFilters, StructFamilies)
+{
+    Candidate ns, bd, ub;
+    ns.serialClass = SerialClass::NonSerializing;
+    bd.serialClass = SerialClass::Bounded;
+    ub.serialClass = SerialClass::Unbounded;
+    std::vector<Candidate> pool{ns, bd, ub};
+
+    auto all = filterPool(pool, SelectorKind::StructAll, dummyProgram(),
+                          nullptr);
+    EXPECT_EQ(all.size(), 3u);
+    auto none = filterPool(pool, SelectorKind::StructNone,
+                           dummyProgram(), nullptr);
+    EXPECT_EQ(none.size(), 1u);
+    EXPECT_EQ(none[0].serialClass, SerialClass::NonSerializing);
+    auto bounded = filterPool(pool, SelectorKind::StructBounded,
+                              dummyProgram(), nullptr);
+    EXPECT_EQ(bounded.size(), 2u);
+}
+
+TEST(SelectorFilters, SlackProfileRejectsOnlyDegrading)
+{
+    std::vector<Candidate> pool{bdeCandidate()};
+    SlackProfileData reject = bdeProfile(0.0);
+    SlackProfileData accept = bdeProfile(3.0);
+    EXPECT_TRUE(filterPool(pool, SelectorKind::SlackProfile,
+                           dummyProgram(), &reject)
+                    .empty());
+    EXPECT_EQ(filterPool(pool, SelectorKind::SlackProfile,
+                         dummyProgram(), &accept)
+                  .size(),
+              1u);
+    // -Delay rejects in both cases (output delayed either way).
+    EXPECT_TRUE(filterPool(pool, SelectorKind::SlackProfileDelay,
+                           dummyProgram(), &accept)
+                    .empty());
+    // SIAL rejects too: serializing input arrives last.
+    EXPECT_TRUE(filterPool(pool, SelectorKind::SlackProfileSial,
+                           dummyProgram(), &accept)
+                    .empty());
+}
+
+TEST(SelectorFilters, DynamicSelectorsKeepEverything)
+{
+    Candidate ub;
+    ub.serialClass = SerialClass::Unbounded;
+    std::vector<Candidate> pool{ub};
+    for (auto kind : {SelectorKind::SlackDynamic,
+                      SelectorKind::IdealSlackDynamic,
+                      SelectorKind::IdealSlackDynamicDelay,
+                      SelectorKind::IdealSlackDynamicSial}) {
+        EXPECT_EQ(filterPool(pool, kind, dummyProgram(), nullptr).size(),
+                  1u);
+    }
+}
+
+TEST(SelectorFilters, ProfileRequiredForSlackProfile)
+{
+    std::vector<Candidate> pool{bdeCandidate()};
+    EXPECT_DEATH(filterPool(pool, SelectorKind::SlackProfile,
+                            dummyProgram(), nullptr),
+                 "requires a slack profile");
+}
+
+TEST(SelectorMeta, NamesAndProperties)
+{
+    EXPECT_EQ(selectorName(SelectorKind::StructAll), "Struct-All");
+    EXPECT_EQ(selectorName(SelectorKind::SlackProfile), "Slack-Profile");
+    EXPECT_TRUE(selectorNeedsProfile(SelectorKind::SlackProfileSial));
+    EXPECT_FALSE(selectorNeedsProfile(SelectorKind::StructBounded));
+    EXPECT_TRUE(selectorIsDynamic(SelectorKind::IdealSlackDynamic));
+    EXPECT_FALSE(selectorIsDynamic(SelectorKind::SlackProfile));
+}
+
+} // namespace
+} // namespace mg::minigraph

@@ -1,0 +1,50 @@
+#include "profile/exec_counts.h"
+
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.h"
+
+namespace mg::profile
+{
+namespace
+{
+
+TEST(ExecCounts, StraightLineCountsOnce)
+{
+    assembler::Program p = assembler::assemble("nop\nnop\nhalt\n");
+    auto c = countExecutions(p);
+    EXPECT_EQ(c, (std::vector<uint64_t>{1, 1, 1}));
+}
+
+TEST(ExecCounts, LoopBodyCountsIterations)
+{
+    assembler::Program p = assembler::assemble(
+        "main: li r1, 10\n"
+        "loop: addi r1, r1, -1\n"
+        "      bnez r1, loop\n"
+        "      halt\n");
+    auto c = countExecutions(p);
+    EXPECT_EQ(c[0], 1u);
+    EXPECT_EQ(c[1], 10u);
+    EXPECT_EQ(c[2], 10u);
+    EXPECT_EQ(c[3], 1u);
+}
+
+TEST(ExecCounts, UntakenPathCountsZero)
+{
+    assembler::Program p = assembler::assemble(
+        "main: j skip\n"
+        "      addi r1, r1, 1\n"
+        "skip: halt\n");
+    auto c = countExecutions(p);
+    EXPECT_EQ(c[1], 0u);
+}
+
+TEST(ExecCounts, StepLimitPanicsOnRunaway)
+{
+    assembler::Program p = assembler::assemble("loop: j loop\n");
+    EXPECT_DEATH(countExecutions(p, 1000), "exceeded");
+}
+
+} // namespace
+} // namespace mg::profile

@@ -1,0 +1,77 @@
+#include "profile/profile_io.h"
+
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.h"
+#include "uarch/config.h"
+
+namespace mg::profile
+{
+namespace
+{
+
+SlackProfileData
+sampleProfile()
+{
+    static assembler::Program prog = assembler::assemble(
+        "main: li r29, 300\n"
+        "loop: add r1, r1, r29\n"
+        "      sd r1, 0(r28)\n"
+        "      addi r29, r29, -1\n"
+        "      bnez r29, loop\n"
+        "      halt\n");
+    return profileProgram(prog, uarch::fullConfig());
+}
+
+TEST(ProfileIo, RoundTripPreservesEverything)
+{
+    SlackProfileData a = sampleProfile();
+    SlackProfileData b =
+        loadProfileFromString(saveProfileToString(a));
+    ASSERT_EQ(a.entries.size(), b.entries.size());
+    for (const auto &[pc, ea] : a.entries) {
+        const ProfileEntry *eb = b.at(pc);
+        ASSERT_NE(eb, nullptr) << "pc " << pc;
+        EXPECT_DOUBLE_EQ(ea.issueRel, eb->issueRel);
+        EXPECT_DOUBLE_EQ(ea.readyRel, eb->readyRel);
+        EXPECT_DOUBLE_EQ(ea.slack, eb->slack);
+        EXPECT_DOUBLE_EQ(ea.storeSlack, eb->storeSlack);
+        EXPECT_DOUBLE_EQ(ea.branchSlack, eb->branchSlack);
+        EXPECT_EQ(ea.count, eb->count);
+        for (int s = 0; s < 2; ++s) {
+            EXPECT_EQ(ea.srcObserved[s], eb->srcObserved[s]);
+            EXPECT_DOUBLE_EQ(ea.srcReadyRel[s], eb->srcReadyRel[s]);
+        }
+    }
+}
+
+TEST(ProfileIo, OutputIsDeterministic)
+{
+    SlackProfileData a = sampleProfile();
+    EXPECT_EQ(saveProfileToString(a), saveProfileToString(a));
+}
+
+TEST(ProfileIo, HeaderValidated)
+{
+    EXPECT_THROW(loadProfileFromString("bogus\n1 2 3\n"),
+                 std::runtime_error);
+    EXPECT_THROW(loadProfileFromString(""), std::runtime_error);
+}
+
+TEST(ProfileIo, MalformedLineRejected)
+{
+    EXPECT_THROW(
+        loadProfileFromString("mg-slack-profile v1\n5 nonsense\n"),
+        std::runtime_error);
+}
+
+TEST(ProfileIo, EmptyProfileRoundTrips)
+{
+    SlackProfileData empty;
+    SlackProfileData back =
+        loadProfileFromString(saveProfileToString(empty));
+    EXPECT_TRUE(back.entries.empty());
+}
+
+} // namespace
+} // namespace mg::profile

@@ -1,0 +1,175 @@
+#include "profile/slack_profile.h"
+
+#include <deque>
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.h"
+#include "uarch/config.h"
+
+namespace mg::profile
+{
+namespace
+{
+
+const assembler::Program &
+keep(const std::string &src)
+{
+    static std::deque<assembler::Program> progs;
+    progs.push_back(assembler::assemble(src));
+    return progs.back();
+}
+
+SlackProfileData
+profileSrc(const std::string &src)
+{
+    return profileProgram(keep(src), uarch::fullConfig());
+}
+
+TEST(SlackProfile, CoversExecutedInstructions)
+{
+    SlackProfileData d = profileSrc(
+        "main: li r29, 200\n"
+        "loop: add r1, r1, r29\n"
+        "      addi r29, r29, -1\n"
+        "      bnez r29, loop\n"
+        "      halt\n");
+    for (isa::Addr pc = 0; pc <= 3; ++pc) {
+        ASSERT_NE(d.at(pc), nullptr) << "pc " << pc;
+        EXPECT_GT(d.at(pc)->count, 0u);
+    }
+    EXPECT_EQ(d.at(99), nullptr);
+}
+
+TEST(SlackProfile, ChainedValueHasLittleSlack)
+{
+    // r1 feeds the next iteration's add immediately: its local slack
+    // should be small.  r5 is computed but consumed only by a store
+    // much later -> effectively unconstrained.
+    SlackProfileData d = profileSrc(
+        "main: li r29, 300\n"
+        "loop: add r1, r1, r1\n"
+        "      andi r1, r1, 1023\n"
+        "      addi r1, r1, 3\n"
+        "      addi r29, r29, -1\n"
+        "      bnez r29, loop\n"
+        "      halt\n");
+    const ProfileEntry *chain = d.at(1);
+    ASSERT_NE(chain, nullptr);
+    EXPECT_LT(chain->slack, 8.0);
+}
+
+TEST(SlackProfile, UnconsumedValueGetsCapSlack)
+{
+    SlackProfileData d = profileSrc(
+        "main: li r29, 100\n"
+        "loop: add r9, r29, r29\n" // r9 overwritten, never read
+        "      addi r29, r29, -1\n"
+        "      bnez r29, loop\n"
+        "      halt\n");
+    const ProfileEntry *dead = d.at(1);
+    ASSERT_NE(dead, nullptr);
+    EXPECT_NEAR(dead->slack, kSlackCap, 1.0);
+}
+
+TEST(SlackProfile, IssueTimesRelativeToBlockHead)
+{
+    // Within one block the issue times should ascend along a
+    // dependence chain.
+    SlackProfileData d = profileSrc(
+        "main: li r29, 200\n"
+        "loop: add r1, r1, r29\n"  // 1 (block head)
+        "      add r2, r1, r29\n"  // 2 depends on 1
+        "      add r3, r2, r29\n"  // 3 depends on 2
+        "      addi r29, r29, -1\n"
+        "      bnez r29, loop\n"
+        "      halt\n");
+    ASSERT_NE(d.at(1), nullptr);
+    ASSERT_NE(d.at(2), nullptr);
+    ASSERT_NE(d.at(3), nullptr);
+    EXPECT_LT(d.at(1)->issueRel, d.at(2)->issueRel);
+    EXPECT_LT(d.at(2)->issueRel, d.at(3)->issueRel);
+}
+
+TEST(SlackProfile, SourceReadyTimesRecorded)
+{
+    SlackProfileData d = profileSrc(
+        "main: li r29, 200\n"
+        "loop: add r1, r1, r1\n"
+        "      add r2, r1, r1\n"
+        "      addi r29, r29, -1\n"
+        "      bnez r29, loop\n"
+        "      halt\n");
+    const ProfileEntry *consumer = d.at(2);
+    ASSERT_NE(consumer, nullptr);
+    EXPECT_TRUE(consumer->srcObserved[0]);
+    // r1 becomes ready after the block-head add: strictly positive.
+    EXPECT_GT(consumer->srcReadyRel[0], 0.0);
+}
+
+TEST(SlackProfile, PredictableBranchHasCapSlack)
+{
+    SlackProfileData d = profileSrc(
+        "main: li r29, 500\n"
+        "loop: addi r29, r29, -1\n"
+        "      bnez r29, loop\n"  // taken 499, not taken once
+        "      halt\n");
+    const ProfileEntry *br = d.at(2);
+    ASSERT_NE(br, nullptr);
+    EXPECT_GT(br->branchSlack, kSlackCap * 0.8);
+}
+
+TEST(SlackProfile, RandomBranchHasLowSlack)
+{
+    SlackProfileData d = profileSrc(
+        "main: li r29, 2000\n"
+        "      li r5, 987654321\n"
+        "loop: srli r6, r5, 3\n"
+        "      xor r5, r5, r6\n"
+        "      slli r6, r5, 5\n"
+        "      xor r5, r5, r6\n"
+        "      andi r7, r5, 1\n"
+        "      beqz r7, skip\n"   // ~50/50 branch
+        "      addi r1, r1, 1\n"
+        "skip: addi r29, r29, -1\n"
+        "      bnez r29, loop\n"
+        "      halt\n");
+    const ProfileEntry *br = d.at(7);
+    ASSERT_NE(br, nullptr);
+    EXPECT_LT(br->branchSlack, kSlackCap * 0.9);
+}
+
+TEST(SlackProfile, ForwardingStoreGetsFiniteSlack)
+{
+    SlackProfileData d = profileSrc(
+        ".data\ncell: .dword 1\n.text\n"
+        "main: li r29, 300\n"
+        "      la r10, cell\n"
+        "loop: sd r1, 0(r10)\n"
+        "      ld r1, 0(r10)\n"   // forwards from the store
+        "      addi r1, r1, 1\n"
+        "      addi r29, r29, -1\n"
+        "      bnez r29, loop\n"
+        "      halt\n");
+    const ProfileEntry *st = d.at(2);
+    ASSERT_NE(st, nullptr);
+    EXPECT_LT(st->storeSlack, kSlackCap * 0.5);
+}
+
+TEST(SlackProfile, NonForwardingStoreKeepsCapSlack)
+{
+    SlackProfileData d = profileSrc(
+        ".data\nbuf: .space 4096\n.text\n"
+        "main: li r29, 300\n"
+        "      la r10, buf\n"
+        "loop: sd r29, 0(r10)\n"  // never read back
+        "      addi r10, r10, 8\n"
+        "      addi r29, r29, -1\n"
+        "      bnez r29, loop\n"
+        "      halt\n");
+    const ProfileEntry *st = d.at(2);
+    ASSERT_NE(st, nullptr);
+    EXPECT_NEAR(st->storeSlack, kSlackCap, 1.0);
+}
+
+} // namespace
+} // namespace mg::profile

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Property tests of the functional ALU semantics: for every ALU
+ * opcode, random operands executed on the FunctionalCore must match
+ * an independent C++ oracle.
+ */
+
+#include <deque>
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.h"
+#include "common/rng.h"
+#include "uarch/functional.h"
+
+namespace mg::uarch
+{
+namespace
+{
+
+using isa::Opcode;
+
+/** Independent oracle for the register-register ops. */
+uint64_t
+oracleRRR(Opcode op, uint64_t a, uint64_t b)
+{
+    int64_t sa = static_cast<int64_t>(a), sb = static_cast<int64_t>(b);
+    switch (op) {
+      case Opcode::ADD: return a + b;
+      case Opcode::SUB: return a - b;
+      case Opcode::AND: return a & b;
+      case Opcode::OR: return a | b;
+      case Opcode::XOR: return a ^ b;
+      case Opcode::SLL: return a << (b & 63);
+      case Opcode::SRL: return a >> (b & 63);
+      case Opcode::SRA: return static_cast<uint64_t>(sa >> (b & 63));
+      case Opcode::SLT: return sa < sb ? 1 : 0;
+      case Opcode::SLTU: return a < b ? 1 : 0;
+      case Opcode::MUL: return a * b;
+      case Opcode::DIV:
+        if (b == 0)
+            return ~0ull;
+        if (sa == INT64_MIN && sb == -1)
+            return a;
+        return static_cast<uint64_t>(sa / sb);
+      case Opcode::REM:
+        if (b == 0)
+            return a;
+        if (sa == INT64_MIN && sb == -1)
+            return 0;
+        return static_cast<uint64_t>(sa % sb);
+      default:
+        ADD_FAILURE() << "no oracle";
+        return 0;
+    }
+}
+
+class AluProperty : public ::testing::TestWithParam<Opcode>
+{
+};
+
+TEST_P(AluProperty, MatchesOracleOnRandomOperands)
+{
+    Opcode op = GetParam();
+    Rng rng(0xabc0 + static_cast<unsigned>(op));
+
+    static std::deque<assembler::Program> hold;
+    for (int trial = 0; trial < 40; ++trial) {
+        uint64_t a = rng.next();
+        uint64_t b = rng.next();
+        switch (trial) { // force interesting corners
+          case 0: a = 0; b = 0; break;
+          case 1: a = ~0ull; b = 1; break;
+          case 2: a = 1ull << 63; b = ~0ull; break; // INT64_MIN / -1
+          case 3: b = 0; break;
+          default: break;
+        }
+        if (trial % 3 == 0)
+            b &= 63; // exercise in-range shift amounts too
+
+        assembler::Program p = assembler::assemble(
+            "main: ld r2, 0x100\n"
+            "      ld r3, 0x108\n"
+            "      " + std::string(isa::mnemonic(op)) +
+            " r1, r2, r3\n"
+            "      halt\n");
+        hold.push_back(std::move(p));
+        FunctionalCore core(hold.back());
+        core.memory().write(0x100, a, 8);
+        core.memory().write(0x108, b, 8);
+        core.run();
+        EXPECT_EQ(core.reg(1), oracleRRR(op, a, b))
+            << isa::mnemonic(op) << " a=" << a << " b=" << b;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRRROps, AluProperty,
+    ::testing::Values(Opcode::ADD, Opcode::SUB, Opcode::AND, Opcode::OR,
+                      Opcode::XOR, Opcode::SLL, Opcode::SRL, Opcode::SRA,
+                      Opcode::SLT, Opcode::SLTU, Opcode::MUL, Opcode::DIV,
+                      Opcode::REM),
+    [](const ::testing::TestParamInfo<Opcode> &info) {
+        return std::string(isa::mnemonic(info.param));
+    });
+
+/** Branch predicates against an oracle. */
+class BranchProperty : public ::testing::TestWithParam<Opcode>
+{
+};
+
+TEST_P(BranchProperty, MatchesOracleOnRandomOperands)
+{
+    Opcode op = GetParam();
+    Rng rng(0xbee0 + static_cast<unsigned>(op));
+    static std::deque<assembler::Program> hold;
+
+    for (int trial = 0; trial < 30; ++trial) {
+        uint64_t a = rng.chance(0.3) ? rng.below(4) : rng.next();
+        uint64_t b = rng.chance(0.3) ? rng.below(4) : rng.next();
+        int64_t sa = static_cast<int64_t>(a), sb = static_cast<int64_t>(b);
+        bool expect_taken = false;
+        switch (op) {
+          case Opcode::BEQ: expect_taken = a == b; break;
+          case Opcode::BNE: expect_taken = a != b; break;
+          case Opcode::BLT: expect_taken = sa < sb; break;
+          case Opcode::BGE: expect_taken = sa >= sb; break;
+          case Opcode::BLTU: expect_taken = a < b; break;
+          case Opcode::BGEU: expect_taken = a >= b; break;
+          default: break;
+        }
+        assembler::Program p = assembler::assemble(
+            "main: ld r2, 0x100\n"
+            "      ld r3, 0x108\n"
+            "      " + std::string(isa::mnemonic(op)) +
+            " r2, r3, yes\n"
+            "      li r1, 0\n"
+            "      halt\n"
+            "yes:  li r1, 1\n"
+            "      halt\n");
+        hold.push_back(std::move(p));
+        FunctionalCore core(hold.back());
+        core.memory().write(0x100, a, 8);
+        core.memory().write(0x108, b, 8);
+        core.run();
+        EXPECT_EQ(core.reg(1), expect_taken ? 1u : 0u)
+            << isa::mnemonic(op) << " a=" << a << " b=" << b;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBranches, BranchProperty,
+    ::testing::Values(Opcode::BEQ, Opcode::BNE, Opcode::BLT, Opcode::BGE,
+                      Opcode::BLTU, Opcode::BGEU),
+    [](const ::testing::TestParamInfo<Opcode> &info) {
+        return std::string(isa::mnemonic(info.param));
+    });
+
+} // namespace
+} // namespace mg::uarch

@@ -1,0 +1,122 @@
+#include "uarch/branch_pred.h"
+
+#include <gtest/gtest.h>
+
+namespace mg::uarch
+{
+namespace
+{
+
+BranchPredConfig
+defaultCfg()
+{
+    return BranchPredConfig{};
+}
+
+TEST(BranchPred, LearnsAlwaysTaken)
+{
+    BranchPredictor bp(defaultCfg());
+    // Warm up.
+    for (int i = 0; i < 8; ++i)
+        bp.predictConditional(100, true);
+    int correct = 0;
+    for (int i = 0; i < 100; ++i)
+        correct += bp.predictConditional(100, true);
+    EXPECT_EQ(correct, 100);
+}
+
+TEST(BranchPred, LearnsAlwaysNotTaken)
+{
+    BranchPredictor bp(defaultCfg());
+    for (int i = 0; i < 8; ++i)
+        bp.predictConditional(100, false);
+    int wrong = 0;
+    for (int i = 0; i < 100; ++i)
+        wrong += bp.predictConditional(100, false);
+    EXPECT_EQ(wrong, 0);
+}
+
+TEST(BranchPred, GshareLearnsAlternatingPattern)
+{
+    BranchPredictor bp(defaultCfg());
+    // Strictly alternating T/N is history-predictable.
+    for (int i = 0; i < 200; ++i)
+        bp.predictConditional(64, i % 2 == 0);
+    uint64_t before = bp.stats().condMispredicts;
+    for (int i = 0; i < 100; ++i)
+        bp.predictConditional(64, i % 2 == 0);
+    uint64_t after = bp.stats().condMispredicts;
+    EXPECT_LE(after - before, 5u);
+}
+
+TEST(BranchPred, LoopExitPatternMostlyCorrect)
+{
+    BranchPredictor bp(defaultCfg());
+    // 9 taken, 1 not-taken, repeated: bimodal should get ~90%.
+    for (int rep = 0; rep < 50; ++rep) {
+        for (int i = 0; i < 9; ++i)
+            bp.predictConditional(32, true);
+        bp.predictConditional(32, false);
+    }
+    EXPECT_LT(bp.stats().condMispredictRate(), 0.25);
+}
+
+TEST(BranchPred, BtbStoresTargets)
+{
+    BranchPredictor bp(defaultCfg());
+    EXPECT_FALSE(bp.btbLookup(40, 100)); // cold miss, allocates
+    EXPECT_TRUE(bp.btbLookup(40, 100));  // hit with right target
+    EXPECT_FALSE(bp.btbLookup(40, 200)); // target changed
+    EXPECT_TRUE(bp.btbLookup(40, 200));  // retrained
+}
+
+TEST(BranchPred, BtbSetsAreAssociative)
+{
+    BranchPredConfig cfg;
+    cfg.btbEntries = 8;
+    cfg.btbAssoc = 4;
+    BranchPredictor bp(cfg);
+    // Four PCs in the same set (stride = btbSets = 2).
+    for (isa::Addr pc : {2u, 4u, 6u, 8u})
+        bp.btbLookup(pc, pc + 100);
+    for (isa::Addr pc : {2u, 4u, 6u, 8u})
+        EXPECT_TRUE(bp.btbLookup(pc, pc + 100));
+}
+
+TEST(BranchPred, RasPushPopMatches)
+{
+    BranchPredictor bp(defaultCfg());
+    bp.rasPush(11);
+    bp.rasPush(22);
+    EXPECT_TRUE(bp.rasPop(22));
+    EXPECT_TRUE(bp.rasPop(11));
+}
+
+TEST(BranchPred, RasUnderflowMispredicts)
+{
+    BranchPredictor bp(defaultCfg());
+    EXPECT_FALSE(bp.rasPop(5));
+    EXPECT_EQ(bp.stats().rasMispredicts, 1u);
+}
+
+TEST(BranchPred, RasWrongTargetMispredicts)
+{
+    BranchPredictor bp(defaultCfg());
+    bp.rasPush(10);
+    EXPECT_FALSE(bp.rasPop(99));
+}
+
+TEST(BranchPred, RasOverflowWrapsGracefully)
+{
+    BranchPredConfig cfg;
+    cfg.rasEntries = 4;
+    BranchPredictor bp(cfg);
+    for (isa::Addr i = 0; i < 6; ++i)
+        bp.rasPush(i);
+    // Deepest entries were overwritten, newest survive.
+    EXPECT_TRUE(bp.rasPop(5));
+    EXPECT_TRUE(bp.rasPop(4));
+}
+
+} // namespace
+} // namespace mg::uarch

@@ -1,0 +1,113 @@
+#include "uarch/cache.h"
+
+#include <gtest/gtest.h>
+
+namespace mg::uarch
+{
+namespace
+{
+
+CacheConfig
+smallCache()
+{
+    // 4 sets x 2 ways x 32B lines = 256 B.
+    return CacheConfig{256, 2, 32, 3};
+}
+
+TEST(Cache, ColdMissThenHit)
+{
+    Cache c(smallCache());
+    EXPECT_FALSE(c.access(0x100));
+    EXPECT_TRUE(c.access(0x100));
+    EXPECT_TRUE(c.access(0x11f)); // same line
+    EXPECT_FALSE(c.access(0x120)); // next line
+    EXPECT_EQ(c.stats().accesses, 4u);
+    EXPECT_EQ(c.stats().misses, 2u);
+}
+
+TEST(Cache, AssociativityHoldsTwoWays)
+{
+    Cache c(smallCache());
+    // Two addresses mapping to the same set (set stride = 4*32 = 128).
+    c.access(0x000);
+    c.access(0x080);
+    EXPECT_TRUE(c.access(0x000));
+    EXPECT_TRUE(c.access(0x080));
+}
+
+TEST(Cache, LruEviction)
+{
+    Cache c(smallCache());
+    c.access(0x000);
+    c.access(0x080);
+    c.access(0x000);       // make 0x080 the LRU way
+    c.access(0x100);       // same set: evicts 0x080
+    EXPECT_TRUE(c.access(0x000));
+    EXPECT_FALSE(c.access(0x080));
+}
+
+TEST(Cache, ProbeDoesNotAllocate)
+{
+    Cache c(smallCache());
+    EXPECT_FALSE(c.probe(0x40));
+    EXPECT_FALSE(c.probe(0x40));
+    c.access(0x40);
+    EXPECT_TRUE(c.probe(0x40));
+}
+
+TEST(Cache, FlushInvalidatesAll)
+{
+    Cache c(smallCache());
+    c.access(0x40);
+    c.flush();
+    EXPECT_FALSE(c.probe(0x40));
+}
+
+TEST(Tlb, MissThenHitAndPenalty)
+{
+    Tlb t(TlbConfig{8, 2, 4096, 30});
+    EXPECT_EQ(t.access(0x1000), 30u);
+    EXPECT_EQ(t.access(0x1abc), 0u); // same page
+    EXPECT_EQ(t.access(0x2000), 30u);
+}
+
+TEST(Hierarchy, L1HitLatency)
+{
+    CoreConfig cfg;
+    CacheHierarchy h(cfg);
+    h.dataAccess(0x5000, false); // warm (pays TLB + misses)
+    uint32_t lat = h.dataAccess(0x5000, false);
+    EXPECT_EQ(lat, cfg.dcache.hitLatency);
+}
+
+TEST(Hierarchy, MissLatenciesStack)
+{
+    CoreConfig cfg;
+    CacheHierarchy h(cfg);
+    // Cold access: TLB miss + L1 miss + L2 miss + memory.
+    uint32_t lat = h.dataAccess(0x9000, false);
+    EXPECT_EQ(lat, cfg.dtlb.missLatency + cfg.dcache.hitLatency +
+                       cfg.l2.hitLatency + cfg.memLatency);
+}
+
+TEST(Hierarchy, L2HitAfterL1Eviction)
+{
+    CoreConfig cfg;
+    cfg.dcache = CacheConfig{256, 1, 32, 3}; // tiny direct-mapped L1
+    CacheHierarchy h(cfg);
+    h.dataAccess(0x0, false);
+    h.dataAccess(0x100, false); // evicts L1 line 0 (same set)
+    uint32_t lat = h.dataAccess(0x0, false);
+    EXPECT_EQ(lat, cfg.dcache.hitLatency + cfg.l2.hitLatency);
+}
+
+TEST(Hierarchy, InstAccessReturnsExtraLatencyOnly)
+{
+    CoreConfig cfg;
+    CacheHierarchy h(cfg);
+    h.instAccess(0x40);
+    EXPECT_EQ(h.instAccess(0x40), 0u);
+}
+
+} // namespace
+} // namespace mg::uarch

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Parameterised sanity sweeps across machine configurations: the
+ * timing model must behave monotonically where theory demands it
+ * (wider/larger machines never slower on parallel code, identical
+ * results are deterministic, all presets run every program shape).
+ */
+
+#include <deque>
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.h"
+#include "uarch/core.h"
+
+namespace mg::uarch
+{
+namespace
+{
+
+const assembler::Program &
+parallelProgram()
+{
+    static assembler::Program p = assembler::assemble([] {
+        std::string body;
+        for (int i = 1; i <= 12; ++i)
+            body += "       add r" + std::to_string(i) + ", r20, r21\n";
+        return "main:  li r29, 1500\nloop:\n" + body +
+               "       addi r29, r29, -1\n"
+               "       bnez r29, loop\n"
+               "       halt\n";
+    }());
+    return p;
+}
+
+const assembler::Program &
+mixedProgram()
+{
+    static assembler::Program p = assembler::assemble(
+        ".data\nbuf: .space 8192\nresult: .dword 0\n.text\n"
+        "main:  li r29, 1200\n"
+        "       la r9, buf\n"
+        "loop:  andi r4, r29, 1023\n"
+        "       slli r4, r4, 3\n"
+        "       add r4, r4, r9\n"
+        "       ld r5, 0(r4)\n"
+        "       add r6, r6, r5\n"
+        "       sd r6, 0(r4)\n"
+        "       mul r7, r29, r29\n"
+        "       addi r29, r29, -1\n"
+        "       bnez r29, loop\n"
+        "       la r8, result\n"
+        "       sd r6, 0(r8)\n"
+        "       halt\n");
+    return p;
+}
+
+class ConfigSweep : public ::testing::TestWithParam<const char *>
+{
+  protected:
+    static CoreConfig
+    configOf(const std::string &name)
+    {
+        if (name == "full")
+            return fullConfig();
+        if (name == "reduced")
+            return reducedConfig();
+        if (name == "2way")
+            return twoWayConfig();
+        if (name == "8way")
+            return eightWayConfig();
+        if (name == "dmem4")
+            return dmemQuarterConfig();
+        return enlargedConfig();
+    }
+};
+
+TEST_P(ConfigSweep, RunsMixedProgramToCompletion)
+{
+    Core core(configOf(GetParam()), mixedProgram());
+    SimResult r = core.run();
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_EQ(r.originalInsts, 2u + 1200u * 9u + 3u);
+}
+
+TEST_P(ConfigSweep, DeterministicAcrossRuns)
+{
+    Core a(configOf(GetParam()), mixedProgram());
+    Core b(configOf(GetParam()), mixedProgram());
+    EXPECT_EQ(a.run().cycles, b.run().cycles);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPresets, ConfigSweep,
+                         ::testing::Values("full", "reduced", "2way",
+                                           "8way", "dmem4", "enlarged"),
+                         [](const auto &info) {
+                             return std::string(info.param);
+                         });
+
+TEST(ConfigMonotonicity, WidthOrderingOnParallelCode)
+{
+    uint64_t c2, c3, c4, c8;
+    {
+        Core c(twoWayConfig(), parallelProgram());
+        c2 = c.run().cycles;
+    }
+    {
+        Core c(reducedConfig(), parallelProgram());
+        c3 = c.run().cycles;
+    }
+    {
+        Core c(fullConfig(), parallelProgram());
+        c4 = c.run().cycles;
+    }
+    {
+        Core c(eightWayConfig(), parallelProgram());
+        c8 = c.run().cycles;
+    }
+    EXPECT_GE(c2, c3);
+    EXPECT_GE(c3, c4);
+    EXPECT_GE(c4, c8);
+}
+
+TEST(ConfigMonotonicity, EnlargedNeverMuchWorseThanBaseline)
+{
+    Core base(fullConfig(), mixedProgram());
+    Core big(enlargedConfig(), mixedProgram());
+    uint64_t cb = base.run().cycles;
+    uint64_t ce = big.run().cycles;
+    EXPECT_LE(static_cast<double>(ce), 1.05 * static_cast<double>(cb));
+}
+
+TEST(ConfigMonotonicity, SmallerCachesNeverFaster)
+{
+    const assembler::Program &p = mixedProgram();
+    Core base(reducedConfig(), p);
+    Core small(dmemQuarterConfig(), p);
+    uint64_t cb = base.run().cycles;
+    uint64_t cs = small.run().cycles;
+    EXPECT_LE(static_cast<double>(cb), 1.02 * static_cast<double>(cs));
+}
+
+} // namespace
+} // namespace mg::uarch

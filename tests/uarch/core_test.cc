@@ -1,0 +1,248 @@
+#include "uarch/core.h"
+
+#include <deque>
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.h"
+#include "minigraph/rewriter.h"
+#include "minigraph/selection.h"
+#include "profile/exec_counts.h"
+
+namespace mg::uarch
+{
+namespace
+{
+
+const assembler::Program &
+keep(assembler::Program p)
+{
+    static std::deque<assembler::Program> progs;
+    progs.push_back(std::move(p));
+    return progs.back();
+}
+
+SimResult
+run(const std::string &src, const CoreConfig &cfg = fullConfig())
+{
+    const assembler::Program &p = keep(assembler::assemble(src));
+    Core core(cfg, p);
+    return core.run();
+}
+
+/** N copies of `body` inside a counted loop plus prologue. */
+std::string
+loopProgram(const std::string &body, int iterations)
+{
+    std::string src = "main:  li r29, " + std::to_string(iterations) +
+                      "\n"
+                      "loop:\n" +
+                      body +
+                      "       addi r29, r29, -1\n"
+                      "       bnez r29, loop\n"
+                      "       halt\n";
+    return src;
+}
+
+TEST(CoreTiming, CompletesAndCountsInstructions)
+{
+    SimResult r = run("main: li r1, 1\nli r2, 2\nadd r3, r1, r2\nhalt\n");
+    EXPECT_EQ(r.originalInsts, 4u);
+    EXPECT_EQ(r.committedUnits, 4u);
+    EXPECT_GT(r.cycles, 0u);
+}
+
+TEST(CoreTiming, SerialChainRunsNearOneCyclePerOp)
+{
+    // 8 dependent adds per iteration: bound by the chain, ~8c/iter.
+    std::string body;
+    for (int i = 0; i < 8; ++i)
+        body += "       add r1, r1, r2\n";
+    SimResult r = run(loopProgram(body, 2000));
+    double cpi_iter = static_cast<double>(r.cycles) / 2000;
+    EXPECT_GT(cpi_iter, 7.0);
+    EXPECT_LT(cpi_iter, 11.0);
+}
+
+TEST(CoreTiming, IndependentOpsReachIssueWidth)
+{
+    // 12 independent adds per iteration on a 4-wide machine.
+    std::string body;
+    for (int i = 1; i <= 12; ++i) {
+        body += "       add r" + std::to_string(i) + ", r20, r21\n";
+    }
+    SimResult r = run(loopProgram(body, 2000));
+    double ipc = r.ipc();
+    EXPECT_GT(ipc, 2.8);
+}
+
+TEST(CoreTiming, WidthScalingOnParallelCode)
+{
+    std::string body;
+    for (int i = 1; i <= 12; ++i)
+        body += "       add r" + std::to_string(i) + ", r20, r21\n";
+    std::string src = loopProgram(body, 2000);
+    SimResult wide = run(src, fullConfig());
+    SimResult narrow = run(src, reducedConfig());
+    EXPECT_LT(wide.cycles, narrow.cycles);
+}
+
+TEST(CoreTiming, LoadUseLatencyVisible)
+{
+    // Chain through memory: load feeding the next load's address.
+    std::string setup = ".data\ncell: .dword 0\n.text\n";
+    // Store the cell's own address so the chase loops on itself.
+    std::string src = setup +
+                      "main:  la r1, cell\n"
+                      "       sd r1, 0(r1)\n"
+                      "       li r29, 1000\n"
+                      "loop:  ld r1, 0(r1)\n"
+                      "       addi r29, r29, -1\n"
+                      "       bnez r29, loop\n"
+                      "       halt\n";
+    SimResult r = run(src);
+    // Each iteration is bound by the D$ hit latency (3 cycles).
+    double cpi_iter = static_cast<double>(r.cycles) / 1000;
+    EXPECT_GT(cpi_iter, 2.8);
+    EXPECT_LT(cpi_iter, 4.5);
+}
+
+TEST(CoreTiming, MispredictsCostCycles)
+{
+    // Data-dependent 50/50 branch via a xorshift toggle.
+    std::string predictable = loopProgram(
+        "       add r1, r1, r2\n", 3000);
+    std::string branchy =
+        "main:  li r29, 3000\n"
+        "       li r5, 12345\n"
+        "loop:  srli r6, r5, 3\n"
+        "       xor r5, r5, r6\n"
+        "       slli r6, r5, 5\n"
+        "       xor r5, r5, r6\n"
+        "       andi r7, r5, 1\n"
+        "       beqz r7, skip\n"
+        "       addi r1, r1, 1\n"
+        "skip:  addi r29, r29, -1\n"
+        "       bnez r29, loop\n"
+        "       halt\n";
+    SimResult p = run(predictable);
+    SimResult b = run(branchy);
+    EXPECT_GT(b.branchPred.condMispredictRate(), 0.1);
+    // Cycles per *instruction* must be far worse for the branchy loop.
+    double cpi_p = static_cast<double>(p.cycles) / p.originalInsts;
+    double cpi_b = static_cast<double>(b.cycles) / b.originalInsts;
+    EXPECT_GT(cpi_b, cpi_p * 1.5);
+}
+
+TEST(CoreTiming, MemoryOrderViolationsDetectedAndRecovered)
+{
+    // A store whose address depends on a long chain, followed by a
+    // load to the same address: the load issues early, reads stale
+    // timing, and must be squashed when the store executes.
+    std::string src =
+        ".data\nbuf: .space 64\n.text\n"
+        "main:  li r29, 500\n"
+        "       la r10, buf\n"
+        "loop:  mul r2, r29, r29\n" // slow address chain
+        "       andi r2, r2, 7\n"
+        "       slli r2, r2, 3\n"
+        "       add r2, r2, r10\n"
+        "       sd r29, 0(r2)\n"    // store, late address
+        "       ld r3, 0(r10)\n"    // load may conflict (slot 0)
+        "       add r4, r4, r3\n"
+        "       addi r29, r29, -1\n"
+        "       bnez r29, loop\n"
+        "       halt\n";
+    SimResult r = run(src);
+    EXPECT_GT(r.memOrderViolations, 0u);
+    EXPECT_EQ(r.originalInsts, 2u + 500u * 9u + 1u);
+}
+
+TEST(CoreTiming, CacheMissesProduceReplays)
+{
+    // Pointer chase over a large footprint misses in the D$; the
+    // dependent add issues in the miss shadow and replays.
+    std::string src =
+        ".data\nnodes: .space 524288\n.text\n"
+        "main:  la r1, nodes\n"
+        "       li r29, 2000\n"
+        "loop:  ld r2, 0(r1)\n"
+        "       add r3, r3, r2\n"   // wakes speculatively, replays
+        "       addi r1, r1, 4096\n"
+        "       andi r5, r1, 262143\n"
+        "       la r1, nodes\n"
+        "       add r1, r1, r5\n"
+        "       addi r29, r29, -1\n"
+        "       bnez r29, loop\n"
+        "       halt\n";
+    SimResult r = run(src);
+    EXPECT_GT(r.dcache.misses, 100u);
+    EXPECT_GT(r.issueReplays, 50u);
+}
+
+TEST(CoreTiming, TakenBranchLimitsFetch)
+{
+    // Two-instruction loop: fetch breaks every cycle on the taken
+    // branch, so IPC can't reach the issue width.
+    SimResult r = run(loopProgram("", 5000));
+    EXPECT_LT(r.ipc(), 2.5);
+}
+
+TEST(CoreTiming, IcachePressureVisibleWithTinyCache)
+{
+    // A long straight-line body cycled repeatedly with a tiny I$.
+    std::string body;
+    for (int i = 0; i < 400; ++i)
+        body += "       add r1, r1, r2\n";
+    CoreConfig cfg = fullConfig();
+    cfg.icache.sizeBytes = 512; // 16 lines
+    SimResult small = run(loopProgram(body, 50), cfg);
+    SimResult big = run(loopProgram(body, 50), fullConfig());
+    EXPECT_GT(small.icache.missRate(), 0.01);
+    EXPECT_GT(small.cycles, big.cycles);
+}
+
+TEST(CoreTiming, ComplexUnitThroughputLimit)
+{
+    // Independent multiplies: only one complex issue per cycle.
+    std::string body;
+    for (int i = 1; i <= 8; ++i)
+        body += "       mul r" + std::to_string(i) + ", r20, r21\n";
+    SimResult r = run(loopProgram(body, 1500));
+    // 8 muls / iteration at 1/cycle → at least ~8 cycles/iteration.
+    EXPECT_GT(static_cast<double>(r.cycles) / 1500, 7.0);
+}
+
+TEST(CoreTiming, RobLimitsInflightWork)
+{
+    CoreConfig tiny = fullConfig();
+    tiny.robEntries = 8;
+    std::string body;
+    for (int i = 1; i <= 12; ++i)
+        body += "       add r" + std::to_string(i) + ", r20, r21\n";
+    SimResult small = run(loopProgram(body, 1000), tiny);
+    SimResult big = run(loopProgram(body, 1000), fullConfig());
+    EXPECT_GT(small.cycles, big.cycles);
+    EXPECT_GT(small.robStallCycles, 0u);
+}
+
+TEST(CoreTiming, StoreLoadForwardingFast)
+{
+    // Store then immediately load the same address repeatedly: the
+    // load forwards from the SQ and the loop stays fast.
+    std::string src =
+        ".data\ncell: .dword 5\n.text\n"
+        "main:  li r29, 2000\n"
+        "       la r1, cell\n"
+        "loop:  sd r2, 0(r1)\n"
+        "       ld r2, 0(r1)\n"
+        "       addi r2, r2, 1\n"
+        "       addi r29, r29, -1\n"
+        "       bnez r29, loop\n"
+        "       halt\n";
+    SimResult r = run(src);
+    double cpi_iter = static_cast<double>(r.cycles) / 2000;
+    EXPECT_LT(cpi_iter, 14.0);
+}
+
+} // namespace
+} // namespace mg::uarch

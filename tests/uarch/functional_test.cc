@@ -1,0 +1,199 @@
+#include "uarch/functional.h"
+
+#include <deque>
+
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.h"
+
+namespace mg::uarch
+{
+namespace
+{
+
+FunctionalCore
+runProgram(const std::string &src)
+{
+    // A deque keeps element addresses stable: each FunctionalCore
+    // holds a reference to its Program.
+    static std::deque<assembler::Program> keep_alive;
+    keep_alive.push_back(assembler::assemble(src));
+    FunctionalCore core(keep_alive.back());
+    core.run(100000);
+    return core;
+}
+
+uint64_t
+evalToR1(const std::string &body)
+{
+    auto core = runProgram(body + "\nhalt\n");
+    return core.reg(1);
+}
+
+TEST(Functional, ArithmeticBasics)
+{
+    EXPECT_EQ(evalToR1("li r2, 7\nli r3, 5\nadd r1, r2, r3"), 12u);
+    EXPECT_EQ(evalToR1("li r2, 7\nli r3, 5\nsub r1, r2, r3"), 2u);
+    EXPECT_EQ(evalToR1("li r2, 5\nli r3, 7\nsub r1, r2, r3"),
+              static_cast<uint64_t>(-2));
+    EXPECT_EQ(evalToR1("li r2, 6\nli r3, 7\nmul r1, r2, r3"), 42u);
+}
+
+TEST(Functional, LogicAndShifts)
+{
+    EXPECT_EQ(evalToR1("li r2, 0xf0\nli r3, 0x0f\nor r1, r2, r3"), 0xffu);
+    EXPECT_EQ(evalToR1("li r2, 0xf0\nandi r1, r2, 0x30"), 0x30u);
+    EXPECT_EQ(evalToR1("li r2, 0xff\nxori r1, r2, 0x0f"), 0xf0u);
+    EXPECT_EQ(evalToR1("li r2, 1\nslli r1, r2, 8"), 256u);
+    EXPECT_EQ(evalToR1("li r2, -8\nsrai r1, r2, 1"),
+              static_cast<uint64_t>(-4));
+    EXPECT_EQ(evalToR1("li r2, -8\nsrli r1, r2, 60"), 0xfu);
+}
+
+TEST(Functional, Comparisons)
+{
+    EXPECT_EQ(evalToR1("li r2, -1\nli r3, 1\nslt r1, r2, r3"), 1u);
+    EXPECT_EQ(evalToR1("li r2, -1\nli r3, 1\nsltu r1, r2, r3"), 0u);
+    EXPECT_EQ(evalToR1("li r2, 5\nslti r1, r2, 6"), 1u);
+    EXPECT_EQ(evalToR1("li r2, 5\nsltiu r1, r2, 5"), 0u);
+}
+
+TEST(Functional, DivisionSemantics)
+{
+    EXPECT_EQ(evalToR1("li r2, 42\nli r3, 5\ndiv r1, r2, r3"), 8u);
+    EXPECT_EQ(evalToR1("li r2, -42\nli r3, 5\ndiv r1, r2, r3"),
+              static_cast<uint64_t>(-8));
+    EXPECT_EQ(evalToR1("li r2, 42\nli r3, 5\nrem r1, r2, r3"), 2u);
+    // RISC-V conventions for the awkward cases.
+    EXPECT_EQ(evalToR1("li r2, 42\nli r3, 0\ndiv r1, r2, r3"),
+              ~0ull);
+    EXPECT_EQ(evalToR1("li r2, 42\nli r3, 0\nrem r1, r2, r3"), 42u);
+}
+
+TEST(Functional, ZeroRegisterReadsZeroIgnoresWrites)
+{
+    EXPECT_EQ(evalToR1("li r0, 99\nadd r1, r0, r0"), 0u);
+}
+
+TEST(Functional, LoadStoreWidthsAndSignExtension)
+{
+    auto core = runProgram(".data\nbuf: .space 32\n.text\n"
+                           "main: li r2, -1\n"
+                           "      sb r2, buf\n"
+                           "      lbu r1, buf\n"
+                           "      lb r3, buf\n"
+                           "      li r4, 0x12345678\n"
+                           "      sw r4, buf+8\n"
+                           "      lw r5, buf+8\n"
+                           "      sh r4, buf+16\n"
+                           "      lhu r6, buf+16\n"
+                           "      halt\n");
+    EXPECT_EQ(core.reg(1), 0xffu);
+    EXPECT_EQ(core.reg(3), static_cast<uint64_t>(-1));
+    EXPECT_EQ(core.reg(5), 0x12345678u);
+    EXPECT_EQ(core.reg(6), 0x5678u);
+}
+
+TEST(Functional, BranchesFollowPredicates)
+{
+    auto core = runProgram("main: li r1, 0\n"
+                           "      li r2, 3\n"
+                           "loop: addi r1, r1, 1\n"
+                           "      blt r1, r2, loop\n"
+                           "      halt\n");
+    EXPECT_EQ(core.reg(1), 3u);
+}
+
+TEST(Functional, UnsignedBranches)
+{
+    auto core = runProgram("main: li r1, -1\n"   // max unsigned
+                           "      li r2, 1\n"
+                           "      li r3, 0\n"
+                           "      bltu r1, r2, below\n"
+                           "      li r3, 7\n"
+                           "below: halt\n");
+    EXPECT_EQ(core.reg(3), 7u);
+}
+
+TEST(Functional, CallAndReturn)
+{
+    auto core = runProgram("main: li r1, 1\n"
+                           "      call fn\n"
+                           "      addi r1, r1, 100\n"
+                           "      halt\n"
+                           "fn:   addi r1, r1, 10\n"
+                           "      ret\n");
+    EXPECT_EQ(core.reg(1), 111u);
+}
+
+TEST(Functional, JalrIndirectCall)
+{
+    auto core = runProgram("main: la r5, fn\n"
+                           "      jalr ra, r5\n"
+                           "      addi r1, r1, 1\n"
+                           "      halt\n"
+                           "fn:   li r1, 40\n"
+                           "      ret\n");
+    EXPECT_EQ(core.reg(1), 41u);
+}
+
+TEST(Functional, StackPointerInitialised)
+{
+    auto core = runProgram("main: mov r1, sp\nhalt\n");
+    EXPECT_GT(core.reg(1), 0u);
+    EXPECT_EQ(core.reg(1) % 16, 0u);
+}
+
+TEST(Functional, InstCountCountsExecutedInstructions)
+{
+    auto core = runProgram("main: li r1, 2\n"
+                           "loop: addi r1, r1, -1\n"
+                           "      bnez r1, loop\n"
+                           "      halt\n");
+    // li + 2*(addi+bne) + halt = 6.
+    EXPECT_EQ(core.instCount(), 6u);
+}
+
+TEST(Functional, StepAfterHaltPanics)
+{
+    static assembler::Program p = assembler::assemble("halt\n");
+    FunctionalCore core(p);
+    core.run();
+    EXPECT_DEATH(core.step(), "after halt");
+}
+
+TEST(Functional, RunRespectsStepLimit)
+{
+    static assembler::Program p =
+        assembler::assemble("loop: j loop\n");
+    FunctionalCore core(p);
+    EXPECT_DEATH(core.run(100), "exceeded");
+}
+
+TEST(Functional, ExecStepReportsMemoryAccess)
+{
+    static assembler::Program p = assembler::assemble(
+        ".data\nv: .word 9\n.text\nmain: lw r1, v\nhalt\n");
+    FunctionalCore core(p);
+    ExecStep s = core.step();
+    EXPECT_EQ(s.memSize, 4);
+    EXPECT_EQ(s.memAddr, p.dataBase);
+    EXPECT_EQ(s.nextPc, 1u);
+}
+
+TEST(Functional, ExecStepReportsBranchOutcome)
+{
+    static assembler::Program p = assembler::assemble(
+        "main: li r1, 1\n"
+        "      bnez r1, target\n"
+        "      nop\n"
+        "target: halt\n");
+    FunctionalCore core(p);
+    core.step();
+    ExecStep s = core.step();
+    EXPECT_TRUE(s.taken);
+    EXPECT_EQ(s.nextPc, 3u);
+}
+
+} // namespace
+} // namespace mg::uarch

@@ -1,0 +1,76 @@
+#include "uarch/memory.h"
+
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.h"
+
+namespace mg::uarch
+{
+namespace
+{
+
+assembler::Program
+progWithData()
+{
+    return assembler::assemble(".data\n"
+                               "v: .word 0x80000001\n"
+                               "b: .byte 0xff\n"
+                               ".text\nhalt\n");
+}
+
+TEST(Memory, LoadsDataImageAtBase)
+{
+    assembler::Program p = progWithData();
+    Memory m(p);
+    EXPECT_EQ(m.read(p.dataBase, 4), 0x80000001u);
+    EXPECT_EQ(m.read(p.dataBase + 4, 1), 0xffu);
+}
+
+TEST(Memory, ZeroInitializedElsewhere)
+{
+    Memory m(progWithData());
+    EXPECT_EQ(m.read(0x100, 8), 0u);
+}
+
+TEST(Memory, SignedReads)
+{
+    assembler::Program p = progWithData();
+    Memory m(p);
+    EXPECT_EQ(m.readSigned(p.dataBase + 4, 1), -1);
+    EXPECT_EQ(m.readSigned(p.dataBase, 4),
+              static_cast<int32_t>(0x80000001u));
+}
+
+TEST(Memory, WriteReadRoundTrip)
+{
+    Memory m(progWithData());
+    m.write(0x2000, 0x1122334455667788ull, 8);
+    EXPECT_EQ(m.read(0x2000, 8), 0x1122334455667788ull);
+    EXPECT_EQ(m.read(0x2000, 1), 0x88u);
+    EXPECT_EQ(m.read(0x2004, 4), 0x11223344u);
+}
+
+TEST(Memory, PartialWritePreservesNeighbours)
+{
+    Memory m(progWithData());
+    m.write(0x3000, 0xffffffffffffffffull, 8);
+    m.write(0x3002, 0, 2);
+    EXPECT_EQ(m.read(0x3000, 8), 0xffffffff0000ffffull);
+}
+
+TEST(Memory, InitialSpInsideMemory)
+{
+    Memory m(progWithData());
+    EXPECT_LT(m.initialSp(), m.size());
+    EXPECT_EQ(m.initialSp() % 16, 0u);
+}
+
+TEST(Memory, OutOfRangePanics)
+{
+    Memory m(progWithData());
+    EXPECT_DEATH(m.read(m.size(), 1), "out of range");
+    EXPECT_DEATH(m.write(m.size() - 3, 0, 8), "out of range");
+}
+
+} // namespace
+} // namespace mg::uarch

@@ -1,0 +1,110 @@
+#include "uarch/slack_dynamic.h"
+
+#include <gtest/gtest.h>
+
+namespace mg::uarch
+{
+namespace
+{
+
+CoreConfig
+cfgWith(uint32_t threshold, uint32_t max, uint64_t decay)
+{
+    CoreConfig cfg;
+    cfg.slackDynamicThreshold = threshold;
+    cfg.slackDynamicMax = max;
+    cfg.slackDynamicDecayCycles = decay;
+    return cfg;
+}
+
+TEST(SlackDynamic, StartsEnabled)
+{
+    SlackDynamicState st(cfgWith(4, 7, 1000));
+    EXPECT_FALSE(st.isDisabled(10));
+    EXPECT_EQ(st.disabledCount(), 0u);
+}
+
+TEST(SlackDynamic, HysteresisBeforeDisable)
+{
+    SlackDynamicState st(cfgWith(8, 12, 1000000));
+    // "avoid rashly disabling a mini-graph that serializes once":
+    // each harmful event counts +2, so the 8-threshold needs four.
+    st.harmful(10);
+    EXPECT_FALSE(st.isDisabled(10));
+    st.harmful(10);
+    st.harmful(10);
+    EXPECT_FALSE(st.isDisabled(10));
+    st.harmful(10); // 4th event reaches the threshold
+    EXPECT_TRUE(st.isDisabled(10));
+    EXPECT_EQ(st.stats().disables, 1u);
+}
+
+TEST(SlackDynamic, BenignExecutionsCoolTheCounter)
+{
+    SlackDynamicState st(cfgWith(8, 12, 1000000));
+    // A mini-graph that serializes only occasionally (one harmful
+    // per two benign issues) never gets disabled.
+    for (int i = 0; i < 50; ++i) {
+        st.harmful(10);
+        st.benign(10);
+        st.benign(10);
+    }
+    EXPECT_FALSE(st.isDisabled(10));
+    // A persistently harmful one still does.
+    for (int i = 0; i < 6; ++i)
+        st.harmful(20);
+    EXPECT_TRUE(st.isDisabled(20));
+}
+
+TEST(SlackDynamic, CounterSaturates)
+{
+    SlackDynamicState st(cfgWith(2, 3, 1000000));
+    for (int i = 0; i < 100; ++i)
+        st.harmful(10);
+    EXPECT_EQ(st.stats().harmfulEvents, 100u);
+    EXPECT_TRUE(st.isDisabled(10));
+    EXPECT_EQ(st.stats().disables, 1u); // disabled once, stays
+}
+
+TEST(SlackDynamic, IndependentPerPc)
+{
+    SlackDynamicState st(cfgWith(2, 7, 1000000));
+    st.harmful(10);
+    st.harmful(10);
+    EXPECT_TRUE(st.isDisabled(10));
+    EXPECT_FALSE(st.isDisabled(20));
+}
+
+TEST(SlackDynamic, DecayResurrects)
+{
+    SlackDynamicState st(cfgWith(4, 7, 100));
+    for (int i = 0; i < 5; ++i)
+        st.harmful(10);
+    EXPECT_TRUE(st.isDisabled(10));
+    // First decay: 5 -> 2 (< threshold): resurrection.
+    st.maybeDecay(100);
+    st.maybeDecay(250);
+    EXPECT_FALSE(st.isDisabled(10));
+    EXPECT_GE(st.stats().resurrections, 1u);
+}
+
+TEST(SlackDynamic, DecayOnlyAtInterval)
+{
+    SlackDynamicState st(cfgWith(4, 7, 1000));
+    for (int i = 0; i < 4; ++i)
+        st.harmful(10);
+    st.maybeDecay(1); // arms the timer only
+    st.maybeDecay(500);
+    EXPECT_TRUE(st.isDisabled(10));
+}
+
+TEST(SlackDynamic, SerializedIssueCounter)
+{
+    SlackDynamicState st(cfgWith(4, 7, 1000));
+    st.noteSerializedIssue();
+    st.noteSerializedIssue();
+    EXPECT_EQ(st.stats().serializedIssues, 2u);
+}
+
+} // namespace
+} // namespace mg::uarch

@@ -1,0 +1,98 @@
+#include "uarch/store_sets.h"
+
+#include <gtest/gtest.h>
+
+namespace mg::uarch
+{
+namespace
+{
+
+TEST(StoreSets, UntrainedLoadsAreFree)
+{
+    StoreSets ss(64, 16, 0);
+    ss.storeRenamed(10, 1);
+    EXPECT_EQ(ss.loadRenamed(20), StoreSets::kNone);
+}
+
+TEST(StoreSets, ViolationTrainsDependence)
+{
+    StoreSets ss(64, 16, 0);
+    ss.violation(/*load*/ 20, /*store*/ 10);
+    ss.storeRenamed(10, 7);
+    EXPECT_EQ(ss.loadRenamed(20), 7u);
+}
+
+TEST(StoreSets, LoadWaitsForLastFetchedStore)
+{
+    StoreSets ss(64, 16, 0);
+    ss.violation(20, 10);
+    ss.storeRenamed(10, 7);
+    ss.storeRenamed(10, 9); // younger instance of the same store
+    EXPECT_EQ(ss.loadRenamed(20), 9u);
+}
+
+TEST(StoreSets, StoreCompletedClearsLfst)
+{
+    StoreSets ss(64, 16, 0);
+    ss.violation(20, 10);
+    ss.storeRenamed(10, 7);
+    ss.storeCompleted(10, 7);
+    EXPECT_EQ(ss.loadRenamed(20), StoreSets::kNone);
+}
+
+TEST(StoreSets, CompletedOnlyClearsMatchingSeq)
+{
+    StoreSets ss(64, 16, 0);
+    ss.violation(20, 10);
+    ss.storeRenamed(10, 7);
+    ss.storeRenamed(10, 9);
+    ss.storeCompleted(10, 7); // stale completion of the older one
+    EXPECT_EQ(ss.loadRenamed(20), 9u);
+}
+
+TEST(StoreSets, MergeAdoptsSmallerSetId)
+{
+    StoreSets ss(64, 16, 0);
+    ss.violation(20, 10); // set 0
+    ss.violation(21, 11); // set 1
+    ss.violation(20, 11); // merge: the *pair* adopts set 0
+    ss.storeRenamed(11, 42);
+    // Load 20 now shares store 11's set...
+    EXPECT_EQ(ss.loadRenamed(20), 42u);
+    // ... but load 21 keeps its old set id (merging reassigns only
+    // the violating pair, as in the declining-set-id algorithm).
+    EXPECT_EQ(ss.loadRenamed(21), StoreSets::kNone);
+}
+
+TEST(StoreSets, StoresInSameSetOrdered)
+{
+    StoreSets ss(64, 16, 0);
+    ss.violation(20, 10);
+    ss.violation(20, 11); // stores 10 and 11 share the load's set
+    EXPECT_EQ(ss.storeRenamed(10, 5), StoreSets::kNone);
+    EXPECT_EQ(ss.storeRenamed(11, 6), 5u); // must follow store 5
+}
+
+TEST(StoreSets, CyclicClearForgetsTraining)
+{
+    StoreSets ss(64, 16, /*clear every*/ 4);
+    ss.violation(20, 10);
+    ss.storeRenamed(10, 1); // event 1
+    EXPECT_EQ(ss.loadRenamed(20), 1u); // event 2
+    ss.loadRenamed(20);     // event 3
+    ss.loadRenamed(20);     // event 4 -> clear happens
+    EXPECT_EQ(ss.loadRenamed(20), StoreSets::kNone);
+}
+
+TEST(StoreSets, StatsCount)
+{
+    StoreSets ss(64, 16, 0);
+    ss.violation(20, 10);
+    ss.storeRenamed(10, 3);
+    ss.loadRenamed(20);
+    EXPECT_EQ(ss.stats().violations, 1u);
+    EXPECT_EQ(ss.stats().loadsDeferred, 1u);
+}
+
+} // namespace
+} // namespace mg::uarch

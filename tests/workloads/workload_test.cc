@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Correctness of the 78-program benchmark suite: every kernel, every
+ * input variant, and every alternate (cross-training) input set must
+ * run to completion on the functional core and reproduce its C++
+ * reference checksum.  Parameterised over the whole catalogue.
+ */
+
+#include "workloads/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "uarch/functional.h"
+
+namespace mg::workloads
+{
+namespace
+{
+
+struct Case
+{
+    WorkloadSpec spec;
+    bool alt;
+};
+
+std::vector<Case>
+allCases()
+{
+    std::vector<Case> cases;
+    for (const auto &spec : workloadList()) {
+        cases.push_back({spec, false});
+        cases.push_back({spec, true});
+    }
+    return cases;
+}
+
+class WorkloadCorrectness : public ::testing::TestWithParam<Case>
+{
+};
+
+TEST_P(WorkloadCorrectness, MatchesReferenceResult)
+{
+    const Case &c = GetParam();
+    BuiltWorkload built = buildWorkload(c.spec, c.alt);
+    uarch::FunctionalCore core(built.program);
+    uint64_t insts = core.run(1ull << 26);
+    EXPECT_GT(insts, 1000u) << "suspiciously short run";
+
+    ASSERT_TRUE(built.expected.has_value())
+        << "kernel has no reference implementation";
+    uint64_t raddr = built.program.dataLabels.at("result");
+    EXPECT_EQ(core.memory().read(raddr, 8), *built.expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPrograms, WorkloadCorrectness, ::testing::ValuesIn(allCases()),
+    [](const ::testing::TestParamInfo<Case> &info) {
+        std::string name = info.param.spec.kernel + "_" +
+                           std::to_string(info.param.spec.variant) +
+                           (info.param.alt ? "_alt" : "");
+        return name;
+    });
+
+TEST(WorkloadCatalogue, Has78Programs)
+{
+    EXPECT_EQ(workloadList().size(), 78u);
+}
+
+TEST(WorkloadCatalogue, FourSuitesPresent)
+{
+    EXPECT_FALSE(suiteWorkloads("spec").empty());
+    EXPECT_FALSE(suiteWorkloads("media").empty());
+    EXPECT_FALSE(suiteWorkloads("comm").empty());
+    EXPECT_FALSE(suiteWorkloads("mibench").empty());
+    size_t total = suiteWorkloads("spec").size() +
+                   suiteWorkloads("media").size() +
+                   suiteWorkloads("comm").size() +
+                   suiteWorkloads("mibench").size();
+    EXPECT_EQ(total, 78u);
+}
+
+TEST(WorkloadCatalogue, LookupByName)
+{
+    auto w = findWorkload("adpcm_c.1");
+    ASSERT_TRUE(w.has_value());
+    EXPECT_EQ(w->kernel, "adpcm_c");
+    EXPECT_EQ(w->variant, 1);
+    EXPECT_FALSE(findWorkload("nope.9").has_value());
+}
+
+TEST(WorkloadCatalogue, TwentySixKernels)
+{
+    EXPECT_EQ(kernelNames().size(), 26u);
+}
+
+TEST(WorkloadCatalogue, AltInputDiffersFromPrimary)
+{
+    // The cross-training input must actually be a different data set.
+    auto spec = *findWorkload("crc32.0");
+    auto a = buildWorkload(spec, false);
+    auto b = buildWorkload(spec, true);
+    EXPECT_NE(a.expected, b.expected);
+}
+
+TEST(WorkloadCatalogue, VariantsDiffer)
+{
+    auto v0 = buildWorkload(*findWorkload("gcc_like.0"));
+    auto v2 = buildWorkload(*findWorkload("gcc_like.2"));
+    EXPECT_NE(v0.expected, v2.expected);
+}
+
+TEST(WorkloadCatalogue, DeterministicRebuild)
+{
+    auto spec = *findWorkload("sha_like.0");
+    auto a = buildWorkload(spec);
+    auto b = buildWorkload(spec);
+    EXPECT_EQ(a.expected, b.expected);
+    EXPECT_EQ(a.program.code.size(), b.program.code.size());
+    EXPECT_EQ(a.program.dataInit, b.program.dataInit);
+}
+
+} // namespace
+} // namespace mg::workloads

@@ -1,0 +1,267 @@
+/**
+ * @file
+ * mgsim: command-line driver for the mini-graph toolchain.
+ *
+ *   mgsim run <prog.s|workload> [--config NAME] [--selector NAME]
+ *   mgsim candidates <prog.s|workload>
+ *   mgsim disasm <prog.s|workload>
+ *   mgsim profile <prog.s|workload> [--config NAME]   (stdout: profile)
+ *   mgsim workloads
+ *   mgsim configs
+ *
+ * A program argument is either a path to an MG-RISC assembly file or
+ * the name of a built-in benchmark (e.g. "adpcm_c.0").
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+
+#include "assembler/assembler.h"
+#include "common/stats_util.h"
+#include "profile/profile_io.h"
+#include "sim/experiment.h"
+
+namespace
+{
+
+using namespace mg;
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage:\n"
+        "  mgsim run <prog.s|workload> [--config NAME] [--selector "
+        "NAME]\n"
+        "  mgsim candidates <prog.s|workload>\n"
+        "  mgsim disasm <prog.s|workload>\n"
+        "  mgsim profile <prog.s|workload> [--config NAME]\n"
+        "  mgsim workloads\n"
+        "  mgsim configs\n"
+        "\n"
+        "configs: full reduced 2way 8way dmem4 enlarged\n"
+        "selectors: none struct-all struct-none struct-bounded\n"
+        "           slack-profile slack-dynamic\n");
+    return 2;
+}
+
+std::optional<uarch::CoreConfig>
+configByName(const std::string &name)
+{
+    if (name == "full")
+        return uarch::fullConfig();
+    if (name == "reduced")
+        return uarch::reducedConfig();
+    if (name == "2way")
+        return uarch::twoWayConfig();
+    if (name == "8way")
+        return uarch::eightWayConfig();
+    if (name == "dmem4")
+        return uarch::dmemQuarterConfig();
+    if (name == "enlarged")
+        return uarch::enlargedConfig();
+    return std::nullopt;
+}
+
+std::optional<minigraph::SelectorKind>
+selectorByName(const std::string &name)
+{
+    using K = minigraph::SelectorKind;
+    if (name == "struct-all")
+        return K::StructAll;
+    if (name == "struct-none")
+        return K::StructNone;
+    if (name == "struct-bounded")
+        return K::StructBounded;
+    if (name == "slack-profile")
+        return K::SlackProfile;
+    if (name == "slack-dynamic")
+        return K::SlackDynamic;
+    return std::nullopt;
+}
+
+std::optional<assembler::Program>
+loadProgram(const std::string &arg)
+{
+    if (auto spec = workloads::findWorkload(arg))
+        return workloads::buildWorkload(*spec).program;
+    std::ifstream in(arg);
+    if (!in)
+        return std::nullopt;
+    std::stringstream ss;
+    ss << in.rdbuf();
+    assembler::AssembleOptions opts;
+    opts.name = arg;
+    return assembler::assemble(ss.str(), opts);
+}
+
+void
+printStats(const uarch::SimResult &r)
+{
+    std::printf("cycles            %llu\n",
+                static_cast<unsigned long long>(r.cycles));
+    std::printf("instructions      %llu (IPC %.3f)\n",
+                static_cast<unsigned long long>(r.originalInsts),
+                r.ipc());
+    if (r.committedHandles) {
+        std::printf("mini-graphs       %llu committed, coverage %.1f%%\n",
+                    static_cast<unsigned long long>(r.committedHandles),
+                    100.0 * r.coverage());
+        if (r.disabledExpansions) {
+            std::printf("  disabled runs   %llu (+%llu outlining "
+                        "jumps)\n",
+                        static_cast<unsigned long long>(
+                            r.disabledExpansions),
+                        static_cast<unsigned long long>(
+                            r.outliningJumps));
+        }
+    }
+    std::printf("branch mispredict %.2f%% (%llu/%llu)\n",
+                100.0 * r.branchPred.condMispredictRate(),
+                static_cast<unsigned long long>(
+                    r.branchPred.condMispredicts),
+                static_cast<unsigned long long>(
+                    r.branchPred.condPredictions));
+    std::printf("D$/I$/L2 miss     %.2f%% / %.2f%% / %.2f%%\n",
+                100.0 * r.dcache.missRate(), 100.0 * r.icache.missRate(),
+                100.0 * r.l2.missRate());
+    std::printf("mem violations    %llu, issue replays %llu\n",
+                static_cast<unsigned long long>(r.memOrderViolations),
+                static_cast<unsigned long long>(r.issueReplays));
+}
+
+int
+cmdRun(const std::string &prog_arg, const std::string &config_name,
+       const std::string &selector_name)
+{
+    auto cfg = configByName(config_name);
+    if (!cfg) {
+        std::fprintf(stderr, "unknown config '%s'\n",
+                     config_name.c_str());
+        return 2;
+    }
+    auto prog = loadProgram(prog_arg);
+    if (!prog) {
+        std::fprintf(stderr, "cannot load '%s'\n", prog_arg.c_str());
+        return 2;
+    }
+
+    sim::ProgramContext ctx(*prog);
+    std::printf("program '%s': %zu static instructions, config %s\n",
+                prog->name.c_str(), prog->size(), cfg->name.c_str());
+    if (selector_name == "none") {
+        printStats(ctx.baseline(*cfg));
+        return 0;
+    }
+    auto kind = selectorByName(selector_name);
+    if (!kind) {
+        std::fprintf(stderr, "unknown selector '%s'\n",
+                     selector_name.c_str());
+        return 2;
+    }
+    auto run = ctx.runSelector(*kind, *cfg);
+    std::printf("selector %s: %u templates, %zu sites\n",
+                minigraph::selectorName(*kind).c_str(),
+                run.templatesUsed, run.instances);
+    printStats(run.sim);
+    return 0;
+}
+
+int
+cmdCandidates(const std::string &prog_arg)
+{
+    auto prog = loadProgram(prog_arg);
+    if (!prog) {
+        std::fprintf(stderr, "cannot load '%s'\n", prog_arg.c_str());
+        return 2;
+    }
+    auto pool = minigraph::enumerateCandidates(*prog);
+    TextTable t;
+    t.header({"firstPc", "len", "inputs", "output", "mem", "ctl",
+              "class"});
+    for (const auto &c : pool) {
+        t.row({std::to_string(c.firstPc), std::to_string(c.len),
+               std::to_string(c.tmpl.numInputs),
+               c.outputReg >= 0 ? "r" + std::to_string(c.outputReg)
+                                : "-",
+               c.tmpl.hasMem ? "y" : "-", c.tmpl.hasControl ? "y" : "-",
+               c.serialClass == minigraph::SerialClass::NonSerializing
+                   ? "none"
+               : c.serialClass == minigraph::SerialClass::Bounded
+                   ? "bounded"
+                   : "unbounded"});
+    }
+    std::printf("%zu candidates in '%s'\n%s", pool.size(),
+                prog->name.c_str(), t.render().c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    std::string cmd = argv[1];
+
+    if (cmd == "workloads") {
+        for (const auto &w : mg::workloads::workloadList())
+            std::printf("%-18s %s\n", w.name().c_str(), w.suite.c_str());
+        return 0;
+    }
+    if (cmd == "configs") {
+        for (const char *n :
+             {"full", "reduced", "2way", "8way", "dmem4", "enlarged"}) {
+            auto c = configByName(n);
+            std::printf("%-9s %u-wide, IQ %u, %u regs\n", n,
+                        c->issueWidth, c->issueQueueEntries, c->physRegs);
+        }
+        return 0;
+    }
+    if (argc < 3)
+        return usage();
+    std::string prog_arg = argv[2];
+
+    std::string config = "reduced", selector = "none";
+    for (int i = 3; i + 1 < argc; i += 2) {
+        if (std::strcmp(argv[i], "--config") == 0)
+            config = argv[i + 1];
+        else if (std::strcmp(argv[i], "--selector") == 0)
+            selector = argv[i + 1];
+        else
+            return usage();
+    }
+
+    try {
+        if (cmd == "run")
+            return cmdRun(prog_arg, config, selector);
+        if (cmd == "candidates")
+            return cmdCandidates(prog_arg);
+        if (cmd == "disasm") {
+            auto prog = loadProgram(prog_arg);
+            if (!prog)
+                return 2;
+            std::printf("%s", prog->listing().c_str());
+            return 0;
+        }
+        if (cmd == "profile") {
+            auto cfg = configByName(config);
+            auto prog = loadProgram(prog_arg);
+            if (!cfg || !prog)
+                return 2;
+            auto data = profile::profileProgram(*prog, *cfg);
+            std::printf("%s",
+                        profile::saveProfileToString(data).c_str());
+            return 0;
+        }
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+    return usage();
+}
