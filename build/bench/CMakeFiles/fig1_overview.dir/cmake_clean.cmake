@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_overview.dir/fig1_overview.cc.o"
+  "CMakeFiles/fig1_overview.dir/fig1_overview.cc.o.d"
+  "fig1_overview"
+  "fig1_overview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_overview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

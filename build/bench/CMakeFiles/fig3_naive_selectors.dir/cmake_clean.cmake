@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_naive_selectors.dir/fig3_naive_selectors.cc.o"
+  "CMakeFiles/fig3_naive_selectors.dir/fig3_naive_selectors.cc.o.d"
+  "fig3_naive_selectors"
+  "fig3_naive_selectors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_naive_selectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

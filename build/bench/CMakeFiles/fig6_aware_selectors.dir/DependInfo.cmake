@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig6_aware_selectors.cc" "bench/CMakeFiles/fig6_aware_selectors.dir/fig6_aware_selectors.cc.o" "gcc" "bench/CMakeFiles/fig6_aware_selectors.dir/fig6_aware_selectors.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/mg_bench_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/minigraph/CMakeFiles/mg_minigraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/mg_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/mg_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/mg_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/assembler/CMakeFiles/mg_assembler.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/mg_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_aware_selectors.dir/fig6_aware_selectors.cc.o"
+  "CMakeFiles/fig6_aware_selectors.dir/fig6_aware_selectors.cc.o.d"
+  "fig6_aware_selectors"
+  "fig6_aware_selectors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_aware_selectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_robustness.dir/fig9_robustness.cc.o"
+  "CMakeFiles/fig9_robustness.dir/fig9_robustness.cc.o.d"
+  "fig9_robustness"
+  "fig9_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

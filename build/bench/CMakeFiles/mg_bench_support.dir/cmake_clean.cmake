@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mg_bench_support.dir/bench_support.cc.o"
+  "CMakeFiles/mg_bench_support.dir/bench_support.cc.o.d"
+  "libmg_bench_support.a"
+  "libmg_bench_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mg_bench_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

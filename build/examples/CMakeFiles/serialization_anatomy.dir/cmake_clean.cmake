@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serialization_anatomy.dir/serialization_anatomy.cpp.o"
+  "CMakeFiles/serialization_anatomy.dir/serialization_anatomy.cpp.o.d"
+  "serialization_anatomy"
+  "serialization_anatomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serialization_anatomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

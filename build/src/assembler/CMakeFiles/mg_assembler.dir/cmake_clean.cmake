@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mg_assembler.dir/assembler.cc.o"
+  "CMakeFiles/mg_assembler.dir/assembler.cc.o.d"
+  "CMakeFiles/mg_assembler.dir/cfg.cc.o"
+  "CMakeFiles/mg_assembler.dir/cfg.cc.o.d"
+  "CMakeFiles/mg_assembler.dir/liveness.cc.o"
+  "CMakeFiles/mg_assembler.dir/liveness.cc.o.d"
+  "CMakeFiles/mg_assembler.dir/program.cc.o"
+  "CMakeFiles/mg_assembler.dir/program.cc.o.d"
+  "libmg_assembler.a"
+  "libmg_assembler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mg_assembler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mg_isa.dir/instruction.cc.o"
+  "CMakeFiles/mg_isa.dir/instruction.cc.o.d"
+  "CMakeFiles/mg_isa.dir/minigraph_types.cc.o"
+  "CMakeFiles/mg_isa.dir/minigraph_types.cc.o.d"
+  "CMakeFiles/mg_isa.dir/opcodes.cc.o"
+  "CMakeFiles/mg_isa.dir/opcodes.cc.o.d"
+  "libmg_isa.a"
+  "libmg_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mg_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

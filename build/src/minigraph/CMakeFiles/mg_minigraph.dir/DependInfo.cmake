@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minigraph/candidate.cc" "src/minigraph/CMakeFiles/mg_minigraph.dir/candidate.cc.o" "gcc" "src/minigraph/CMakeFiles/mg_minigraph.dir/candidate.cc.o.d"
+  "/root/repo/src/minigraph/rewriter.cc" "src/minigraph/CMakeFiles/mg_minigraph.dir/rewriter.cc.o" "gcc" "src/minigraph/CMakeFiles/mg_minigraph.dir/rewriter.cc.o.d"
+  "/root/repo/src/minigraph/selection.cc" "src/minigraph/CMakeFiles/mg_minigraph.dir/selection.cc.o" "gcc" "src/minigraph/CMakeFiles/mg_minigraph.dir/selection.cc.o.d"
+  "/root/repo/src/minigraph/selectors.cc" "src/minigraph/CMakeFiles/mg_minigraph.dir/selectors.cc.o" "gcc" "src/minigraph/CMakeFiles/mg_minigraph.dir/selectors.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/assembler/CMakeFiles/mg_assembler.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/mg_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/mg_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/mg_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

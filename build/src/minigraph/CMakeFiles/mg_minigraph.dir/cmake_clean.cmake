@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mg_minigraph.dir/candidate.cc.o"
+  "CMakeFiles/mg_minigraph.dir/candidate.cc.o.d"
+  "CMakeFiles/mg_minigraph.dir/rewriter.cc.o"
+  "CMakeFiles/mg_minigraph.dir/rewriter.cc.o.d"
+  "CMakeFiles/mg_minigraph.dir/selection.cc.o"
+  "CMakeFiles/mg_minigraph.dir/selection.cc.o.d"
+  "CMakeFiles/mg_minigraph.dir/selectors.cc.o"
+  "CMakeFiles/mg_minigraph.dir/selectors.cc.o.d"
+  "libmg_minigraph.a"
+  "libmg_minigraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mg_minigraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profile/exec_counts.cc" "src/profile/CMakeFiles/mg_profile.dir/exec_counts.cc.o" "gcc" "src/profile/CMakeFiles/mg_profile.dir/exec_counts.cc.o.d"
+  "/root/repo/src/profile/profile_io.cc" "src/profile/CMakeFiles/mg_profile.dir/profile_io.cc.o" "gcc" "src/profile/CMakeFiles/mg_profile.dir/profile_io.cc.o.d"
+  "/root/repo/src/profile/slack_profile.cc" "src/profile/CMakeFiles/mg_profile.dir/slack_profile.cc.o" "gcc" "src/profile/CMakeFiles/mg_profile.dir/slack_profile.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/uarch/CMakeFiles/mg_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/assembler/CMakeFiles/mg_assembler.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/mg_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mg_profile.dir/exec_counts.cc.o"
+  "CMakeFiles/mg_profile.dir/exec_counts.cc.o.d"
+  "CMakeFiles/mg_profile.dir/profile_io.cc.o"
+  "CMakeFiles/mg_profile.dir/profile_io.cc.o.d"
+  "CMakeFiles/mg_profile.dir/slack_profile.cc.o"
+  "CMakeFiles/mg_profile.dir/slack_profile.cc.o.d"
+  "libmg_profile.a"
+  "libmg_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mg_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

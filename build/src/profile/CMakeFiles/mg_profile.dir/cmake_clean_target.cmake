@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmg_profile.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mg_sim.dir/experiment.cc.o"
+  "CMakeFiles/mg_sim.dir/experiment.cc.o.d"
+  "libmg_sim.a"
+  "libmg_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mg_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/uarch/branch_pred.cc" "src/uarch/CMakeFiles/mg_uarch.dir/branch_pred.cc.o" "gcc" "src/uarch/CMakeFiles/mg_uarch.dir/branch_pred.cc.o.d"
+  "/root/repo/src/uarch/cache.cc" "src/uarch/CMakeFiles/mg_uarch.dir/cache.cc.o" "gcc" "src/uarch/CMakeFiles/mg_uarch.dir/cache.cc.o.d"
+  "/root/repo/src/uarch/config.cc" "src/uarch/CMakeFiles/mg_uarch.dir/config.cc.o" "gcc" "src/uarch/CMakeFiles/mg_uarch.dir/config.cc.o.d"
+  "/root/repo/src/uarch/core.cc" "src/uarch/CMakeFiles/mg_uarch.dir/core.cc.o" "gcc" "src/uarch/CMakeFiles/mg_uarch.dir/core.cc.o.d"
+  "/root/repo/src/uarch/functional.cc" "src/uarch/CMakeFiles/mg_uarch.dir/functional.cc.o" "gcc" "src/uarch/CMakeFiles/mg_uarch.dir/functional.cc.o.d"
+  "/root/repo/src/uarch/memory.cc" "src/uarch/CMakeFiles/mg_uarch.dir/memory.cc.o" "gcc" "src/uarch/CMakeFiles/mg_uarch.dir/memory.cc.o.d"
+  "/root/repo/src/uarch/store_sets.cc" "src/uarch/CMakeFiles/mg_uarch.dir/store_sets.cc.o" "gcc" "src/uarch/CMakeFiles/mg_uarch.dir/store_sets.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/assembler/CMakeFiles/mg_assembler.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/mg_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mg_uarch.dir/branch_pred.cc.o"
+  "CMakeFiles/mg_uarch.dir/branch_pred.cc.o.d"
+  "CMakeFiles/mg_uarch.dir/cache.cc.o"
+  "CMakeFiles/mg_uarch.dir/cache.cc.o.d"
+  "CMakeFiles/mg_uarch.dir/config.cc.o"
+  "CMakeFiles/mg_uarch.dir/config.cc.o.d"
+  "CMakeFiles/mg_uarch.dir/core.cc.o"
+  "CMakeFiles/mg_uarch.dir/core.cc.o.d"
+  "CMakeFiles/mg_uarch.dir/functional.cc.o"
+  "CMakeFiles/mg_uarch.dir/functional.cc.o.d"
+  "CMakeFiles/mg_uarch.dir/memory.cc.o"
+  "CMakeFiles/mg_uarch.dir/memory.cc.o.d"
+  "CMakeFiles/mg_uarch.dir/store_sets.cc.o"
+  "CMakeFiles/mg_uarch.dir/store_sets.cc.o.d"
+  "libmg_uarch.a"
+  "libmg_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mg_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/comm_kernels.cc" "src/workloads/CMakeFiles/mg_workloads.dir/comm_kernels.cc.o" "gcc" "src/workloads/CMakeFiles/mg_workloads.dir/comm_kernels.cc.o.d"
+  "/root/repo/src/workloads/media_kernels.cc" "src/workloads/CMakeFiles/mg_workloads.dir/media_kernels.cc.o" "gcc" "src/workloads/CMakeFiles/mg_workloads.dir/media_kernels.cc.o.d"
+  "/root/repo/src/workloads/mibench_kernels.cc" "src/workloads/CMakeFiles/mg_workloads.dir/mibench_kernels.cc.o" "gcc" "src/workloads/CMakeFiles/mg_workloads.dir/mibench_kernels.cc.o.d"
+  "/root/repo/src/workloads/spec_kernels.cc" "src/workloads/CMakeFiles/mg_workloads.dir/spec_kernels.cc.o" "gcc" "src/workloads/CMakeFiles/mg_workloads.dir/spec_kernels.cc.o.d"
+  "/root/repo/src/workloads/workloads.cc" "src/workloads/CMakeFiles/mg_workloads.dir/workloads.cc.o" "gcc" "src/workloads/CMakeFiles/mg_workloads.dir/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/assembler/CMakeFiles/mg_assembler.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/mg_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

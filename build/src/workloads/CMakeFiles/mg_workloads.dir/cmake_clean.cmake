@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mg_workloads.dir/comm_kernels.cc.o"
+  "CMakeFiles/mg_workloads.dir/comm_kernels.cc.o.d"
+  "CMakeFiles/mg_workloads.dir/media_kernels.cc.o"
+  "CMakeFiles/mg_workloads.dir/media_kernels.cc.o.d"
+  "CMakeFiles/mg_workloads.dir/mibench_kernels.cc.o"
+  "CMakeFiles/mg_workloads.dir/mibench_kernels.cc.o.d"
+  "CMakeFiles/mg_workloads.dir/spec_kernels.cc.o"
+  "CMakeFiles/mg_workloads.dir/spec_kernels.cc.o.d"
+  "CMakeFiles/mg_workloads.dir/workloads.cc.o"
+  "CMakeFiles/mg_workloads.dir/workloads.cc.o.d"
+  "libmg_workloads.a"
+  "libmg_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mg_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mg_assembler_test.dir/assembler/assembler_test.cc.o"
+  "CMakeFiles/mg_assembler_test.dir/assembler/assembler_test.cc.o.d"
+  "CMakeFiles/mg_assembler_test.dir/assembler/cfg_test.cc.o"
+  "CMakeFiles/mg_assembler_test.dir/assembler/cfg_test.cc.o.d"
+  "CMakeFiles/mg_assembler_test.dir/assembler/liveness_test.cc.o"
+  "CMakeFiles/mg_assembler_test.dir/assembler/liveness_test.cc.o.d"
+  "mg_assembler_test"
+  "mg_assembler_test.pdb"
+  "mg_assembler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mg_assembler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mg_common_test.dir/common/rng_test.cc.o"
+  "CMakeFiles/mg_common_test.dir/common/rng_test.cc.o.d"
+  "CMakeFiles/mg_common_test.dir/common/stats_util_test.cc.o"
+  "CMakeFiles/mg_common_test.dir/common/stats_util_test.cc.o.d"
+  "CMakeFiles/mg_common_test.dir/common/string_util_test.cc.o"
+  "CMakeFiles/mg_common_test.dir/common/string_util_test.cc.o.d"
+  "mg_common_test"
+  "mg_common_test.pdb"
+  "mg_common_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mg_common_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

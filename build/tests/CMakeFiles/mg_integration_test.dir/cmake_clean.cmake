@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mg_integration_test.dir/integration/end_to_end_test.cc.o"
+  "CMakeFiles/mg_integration_test.dir/integration/end_to_end_test.cc.o.d"
+  "mg_integration_test"
+  "mg_integration_test.pdb"
+  "mg_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mg_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

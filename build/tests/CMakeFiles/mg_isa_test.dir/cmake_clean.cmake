@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mg_isa_test.dir/isa/instruction_test.cc.o"
+  "CMakeFiles/mg_isa_test.dir/isa/instruction_test.cc.o.d"
+  "CMakeFiles/mg_isa_test.dir/isa/minigraph_types_test.cc.o"
+  "CMakeFiles/mg_isa_test.dir/isa/minigraph_types_test.cc.o.d"
+  "CMakeFiles/mg_isa_test.dir/isa/opcodes_test.cc.o"
+  "CMakeFiles/mg_isa_test.dir/isa/opcodes_test.cc.o.d"
+  "mg_isa_test"
+  "mg_isa_test.pdb"
+  "mg_isa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mg_isa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

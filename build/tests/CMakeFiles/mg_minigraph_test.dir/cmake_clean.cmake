@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mg_minigraph_test.dir/minigraph/candidate_test.cc.o"
+  "CMakeFiles/mg_minigraph_test.dir/minigraph/candidate_test.cc.o.d"
+  "CMakeFiles/mg_minigraph_test.dir/minigraph/invariants_property_test.cc.o"
+  "CMakeFiles/mg_minigraph_test.dir/minigraph/invariants_property_test.cc.o.d"
+  "CMakeFiles/mg_minigraph_test.dir/minigraph/rewriter_test.cc.o"
+  "CMakeFiles/mg_minigraph_test.dir/minigraph/rewriter_test.cc.o.d"
+  "CMakeFiles/mg_minigraph_test.dir/minigraph/selection_test.cc.o"
+  "CMakeFiles/mg_minigraph_test.dir/minigraph/selection_test.cc.o.d"
+  "CMakeFiles/mg_minigraph_test.dir/minigraph/slack_rules_test.cc.o"
+  "CMakeFiles/mg_minigraph_test.dir/minigraph/slack_rules_test.cc.o.d"
+  "mg_minigraph_test"
+  "mg_minigraph_test.pdb"
+  "mg_minigraph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mg_minigraph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

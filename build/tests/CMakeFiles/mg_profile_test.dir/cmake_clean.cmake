@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mg_profile_test.dir/profile/exec_counts_test.cc.o"
+  "CMakeFiles/mg_profile_test.dir/profile/exec_counts_test.cc.o.d"
+  "CMakeFiles/mg_profile_test.dir/profile/profile_io_test.cc.o"
+  "CMakeFiles/mg_profile_test.dir/profile/profile_io_test.cc.o.d"
+  "CMakeFiles/mg_profile_test.dir/profile/slack_profile_test.cc.o"
+  "CMakeFiles/mg_profile_test.dir/profile/slack_profile_test.cc.o.d"
+  "mg_profile_test"
+  "mg_profile_test.pdb"
+  "mg_profile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mg_profile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

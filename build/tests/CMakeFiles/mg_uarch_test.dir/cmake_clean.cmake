@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mg_uarch_test.dir/uarch/alu_property_test.cc.o"
+  "CMakeFiles/mg_uarch_test.dir/uarch/alu_property_test.cc.o.d"
+  "CMakeFiles/mg_uarch_test.dir/uarch/branch_pred_test.cc.o"
+  "CMakeFiles/mg_uarch_test.dir/uarch/branch_pred_test.cc.o.d"
+  "CMakeFiles/mg_uarch_test.dir/uarch/cache_test.cc.o"
+  "CMakeFiles/mg_uarch_test.dir/uarch/cache_test.cc.o.d"
+  "CMakeFiles/mg_uarch_test.dir/uarch/config_sweep_test.cc.o"
+  "CMakeFiles/mg_uarch_test.dir/uarch/config_sweep_test.cc.o.d"
+  "CMakeFiles/mg_uarch_test.dir/uarch/core_test.cc.o"
+  "CMakeFiles/mg_uarch_test.dir/uarch/core_test.cc.o.d"
+  "CMakeFiles/mg_uarch_test.dir/uarch/functional_test.cc.o"
+  "CMakeFiles/mg_uarch_test.dir/uarch/functional_test.cc.o.d"
+  "CMakeFiles/mg_uarch_test.dir/uarch/memory_test.cc.o"
+  "CMakeFiles/mg_uarch_test.dir/uarch/memory_test.cc.o.d"
+  "CMakeFiles/mg_uarch_test.dir/uarch/mg_timing_test.cc.o"
+  "CMakeFiles/mg_uarch_test.dir/uarch/mg_timing_test.cc.o.d"
+  "CMakeFiles/mg_uarch_test.dir/uarch/slack_dynamic_test.cc.o"
+  "CMakeFiles/mg_uarch_test.dir/uarch/slack_dynamic_test.cc.o.d"
+  "CMakeFiles/mg_uarch_test.dir/uarch/store_sets_test.cc.o"
+  "CMakeFiles/mg_uarch_test.dir/uarch/store_sets_test.cc.o.d"
+  "mg_uarch_test"
+  "mg_uarch_test.pdb"
+  "mg_uarch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mg_uarch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mg_workloads_test.dir/workloads/workload_test.cc.o"
+  "CMakeFiles/mg_workloads_test.dir/workloads/workload_test.cc.o.d"
+  "mg_workloads_test"
+  "mg_workloads_test.pdb"
+  "mg_workloads_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mg_workloads_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/mg_common_test[1]_include.cmake")
+include("/root/repo/build/tests/mg_isa_test[1]_include.cmake")
+include("/root/repo/build/tests/mg_assembler_test[1]_include.cmake")
+include("/root/repo/build/tests/mg_uarch_test[1]_include.cmake")
+include("/root/repo/build/tests/mg_minigraph_test[1]_include.cmake")
+include("/root/repo/build/tests/mg_profile_test[1]_include.cmake")
+include("/root/repo/build/tests/mg_workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/mg_integration_test[1]_include.cmake")

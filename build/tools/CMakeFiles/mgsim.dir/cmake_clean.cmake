@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgsim.dir/mgsim.cc.o"
+  "CMakeFiles/mgsim.dir/mgsim.cc.o.d"
+  "mgsim"
+  "mgsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
