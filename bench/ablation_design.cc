@@ -10,6 +10,9 @@
  *
  * Uses a suite-balanced subset of programs (honours MG_QUICK /
  * MG_BENCH_PROGRAMS); Slack-Profile on the reduced machine throughout.
+ * One runner serves all four ablations, so per-program artefacts
+ * (baselines, reduced-machine profiles, candidate pools) are computed
+ * once and shared across them.
  */
 
 #include <cstdio>
@@ -42,28 +45,50 @@ int
 main()
 {
     auto programs = ablationPrograms();
-    auto full = uarch::fullConfig();
-    auto reduced = uarch::reducedConfig();
+    auto full = *uarch::configFromName("full");
+    auto reduced = *uarch::configFromName("reduced");
     std::printf("Design ablations over %zu programs "
                 "(Slack-Profile, reduced machine)\n",
                 programs.size());
 
+    sim::Runner runner(bench::runnerOptions());
+
+    // Fully-provisioned baseline cycles per program (shared by all
+    // four ablations).
+    std::vector<double> baseCycles;
+    {
+        std::vector<sim::RunRequest> jobs;
+        for (const auto &spec : programs)
+            jobs.push_back({.workload = spec, .config = full});
+        auto results = runner.run(jobs, "ablation-baselines");
+        for (const auto &r : results)
+            baseCycles.push_back(static_cast<double>(r.sim.cycles));
+    }
+
     // ---- 1. MGT budget ----
     {
+        const std::vector<uint32_t> budgets{2, 8, 32, 128, 512};
+        std::vector<sim::RunRequest> jobs;
+        for (const auto &spec : programs) {
+            for (uint32_t budget : budgets) {
+                jobs.push_back({.workload = spec,
+                                .config = reduced,
+                                .selector = SelectorKind::SlackProfile,
+                                .templateBudget = budget});
+            }
+        }
+        auto results = runner.run(jobs, "ablation1-budget");
+
         TextTable t;
         t.header({"MGT budget", "mean coverage", "mean rel. perf"});
-        for (uint32_t budget : {2u, 8u, 32u, 128u, 512u}) {
+        for (size_t bi = 0; bi < budgets.size(); ++bi) {
             std::vector<double> cov, perf;
-            for (const auto &spec : programs) {
-                sim::ProgramContext ctx(spec);
-                double base =
-                    static_cast<double>(ctx.baseline(full).cycles);
-                auto r = ctx.runSelector(SelectorKind::SlackProfile,
-                                         reduced, nullptr, budget);
+            for (size_t p = 0; p < programs.size(); ++p) {
+                const auto &r = results[p * budgets.size() + bi];
                 cov.push_back(r.coverage());
-                perf.push_back(base / r.sim.cycles);
+                perf.push_back(baseCycles[p] / r.sim.cycles);
             }
-            t.row({std::to_string(budget), fmtDouble(mean(cov), 3),
+            t.row({std::to_string(budgets[bi]), fmtDouble(mean(cov), 3),
                    fmtDouble(mean(perf), 3)});
         }
         std::printf("\n== Ablation 1: MGT template budget ==\n%s",
@@ -72,22 +97,30 @@ main()
 
     // ---- 2. mini-graph issue bandwidth ----
     {
-        TextTable t;
-        t.header({"MG/cycle", "mean rel. perf"});
-        for (uint32_t width : {1u, 2u, 4u}) {
-            std::vector<double> perf;
-            for (const auto &spec : programs) {
-                sim::ProgramContext ctx(spec);
-                double base =
-                    static_cast<double>(ctx.baseline(full).cycles);
+        const std::vector<uint32_t> widths{1, 2, 4};
+        std::vector<sim::RunRequest> jobs;
+        for (const auto &spec : programs) {
+            for (uint32_t width : widths) {
                 auto cfg = reduced;
                 cfg.name = "reduced-mg" + std::to_string(width);
                 cfg.mgIssuePerCycle = width;
                 cfg.mgMemIssuePerCycle = std::max(1u, width / 2);
-                auto r = ctx.runSelector(SelectorKind::SlackProfile, cfg);
-                perf.push_back(base / r.sim.cycles);
+                jobs.push_back({.workload = spec,
+                                .config = cfg,
+                                .selector = SelectorKind::SlackProfile});
             }
-            t.row({std::to_string(width), fmtDouble(mean(perf), 3)});
+        }
+        auto results = runner.run(jobs, "ablation2-width");
+
+        TextTable t;
+        t.header({"MG/cycle", "mean rel. perf"});
+        for (size_t wi = 0; wi < widths.size(); ++wi) {
+            std::vector<double> perf;
+            for (size_t p = 0; p < programs.size(); ++p) {
+                const auto &r = results[p * widths.size() + wi];
+                perf.push_back(baseCycles[p] / r.sim.cycles);
+            }
+            t.row({std::to_string(widths[wi]), fmtDouble(mean(perf), 3)});
         }
         std::printf("\n== Ablation 2: ALU pipelines (mini-graph issue "
                     "bandwidth) ==\n%s",
@@ -96,14 +129,14 @@ main()
 
     // ---- 3. maximum mini-graph size ----
     {
-        TextTable t;
-        t.header({"max size", "mean coverage", "mean rel. perf"});
-        for (unsigned max_size : {2u, 3u, 4u}) {
-            std::vector<double> cov, perf;
-            for (const auto &spec : programs) {
-                sim::ProgramContext ctx(spec);
-                double base =
-                    static_cast<double>(ctx.baseline(full).cycles);
+        const std::vector<unsigned> sizes{2, 3, 4};
+        // Selection over a re-enumerated pool is a per-program prep
+        // step against the shared contexts; the simulations then run
+        // as one batch of explicit chosen sets.
+        std::vector<sim::RunRequest> jobs;
+        for (const auto &spec : programs) {
+            auto &ctx = runner.context(spec);
+            for (unsigned max_size : sizes) {
                 minigraph::CandidateOptions copts;
                 copts.maxSize = max_size;
                 auto pool = minigraph::enumerateCandidates(
@@ -113,11 +146,23 @@ main()
                     &ctx.profileOn(reduced));
                 auto sel = minigraph::selectGreedy(filtered,
                                                    ctx.counts(), 512);
-                auto r = ctx.runChosen(sel.chosen, reduced);
-                cov.push_back(r.coverage());
-                perf.push_back(base / r.sim.cycles);
+                jobs.push_back({.workload = spec,
+                                .config = reduced,
+                                .chosen = sel.chosen});
             }
-            t.row({std::to_string(max_size), fmtDouble(mean(cov), 3),
+        }
+        auto results = runner.run(jobs, "ablation3-size");
+
+        TextTable t;
+        t.header({"max size", "mean coverage", "mean rel. perf"});
+        for (size_t si = 0; si < sizes.size(); ++si) {
+            std::vector<double> cov, perf;
+            for (size_t p = 0; p < programs.size(); ++p) {
+                const auto &r = results[p * sizes.size() + si];
+                cov.push_back(r.coverage());
+                perf.push_back(baseCycles[p] / r.sim.cycles);
+            }
+            t.row({std::to_string(sizes[si]), fmtDouble(mean(cov), 3),
                    fmtDouble(mean(perf), 3)});
         }
         std::printf("\n== Ablation 3: maximum mini-graph size ==\n%s",
@@ -126,15 +171,12 @@ main()
 
     // ---- 4. recurrence guard ----
     {
-        TextTable t;
-        t.header({"recurrence guard", "mean coverage", "mean rel. perf"});
-        for (bool guard : {false, true}) {
-            std::vector<double> cov, perf;
-            for (const auto &spec : programs) {
-                sim::ProgramContext ctx(spec);
-                double base =
-                    static_cast<double>(ctx.baseline(full).cycles);
-                const auto &prof = ctx.profileOn(reduced);
+        const bool guards[] = {false, true};
+        std::vector<sim::RunRequest> jobs;
+        for (const auto &spec : programs) {
+            auto &ctx = runner.context(spec);
+            const auto &prof = ctx.profileOn(reduced);
+            for (bool guard : guards) {
                 minigraph::SlackModelOptions mopts;
                 mopts.recurrenceGuard = guard;
                 std::vector<minigraph::Candidate> filtered;
@@ -146,11 +188,23 @@ main()
                 }
                 auto sel = minigraph::selectGreedy(filtered,
                                                    ctx.counts(), 512);
-                auto r = ctx.runChosen(sel.chosen, reduced);
-                cov.push_back(r.coverage());
-                perf.push_back(base / r.sim.cycles);
+                jobs.push_back({.workload = spec,
+                                .config = reduced,
+                                .chosen = sel.chosen});
             }
-            t.row({guard ? "on" : "off", fmtDouble(mean(cov), 3),
+        }
+        auto results = runner.run(jobs, "ablation4-guard");
+
+        TextTable t;
+        t.header({"recurrence guard", "mean coverage", "mean rel. perf"});
+        for (size_t gi = 0; gi < 2; ++gi) {
+            std::vector<double> cov, perf;
+            for (size_t p = 0; p < programs.size(); ++p) {
+                const auto &r = results[p * 2 + gi];
+                cov.push_back(r.coverage());
+                perf.push_back(baseCycles[p] / r.sim.cycles);
+            }
+            t.row({guards[gi] ? "on" : "off", fmtDouble(mean(cov), 3),
                    fmtDouble(mean(perf), 3)});
         }
         std::printf("\n== Ablation 4: loop-carried recurrence guard "

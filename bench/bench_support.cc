@@ -51,6 +51,15 @@ benchPrograms()
     return takeBalanced(workloads::workloadList(), requestedCount());
 }
 
+sim::Runner::Options
+runnerOptions()
+{
+    sim::Runner::Options opts;
+    if (const char *p = std::getenv("MG_PROGRESS"))
+        opts.progress = p[0] == '1';
+    return opts;
+}
+
 std::vector<workloads::WorkloadSpec>
 benchPrograms(const std::vector<std::string> &suites)
 {

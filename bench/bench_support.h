@@ -2,7 +2,8 @@
  * @file
  * Shared support for the figure-reproduction benches: program-set
  * selection (with MG_QUICK / MG_BENCH_PROGRAMS environment knobs),
- * S-curve rendering, and summary statistics.
+ * runner configuration (MG_JOBS / MG_PROGRESS), S-curve rendering,
+ * and summary statistics.
  */
 
 #ifndef MG_BENCH_BENCH_SUPPORT_H
@@ -12,7 +13,7 @@
 #include <vector>
 
 #include "common/stats_util.h"
-#include "sim/experiment.h"
+#include "sim/runner.h"
 #include "workloads/workload.h"
 
 namespace mg::bench
@@ -28,6 +29,12 @@ std::vector<workloads::WorkloadSpec> benchPrograms();
 /** Programs restricted to the given suites. */
 std::vector<workloads::WorkloadSpec>
 benchPrograms(const std::vector<std::string> &suites);
+
+/**
+ * Runner options for a bench: pool size from MG_JOBS (default: all
+ * cores), progress lines on stderr when MG_PROGRESS=1.
+ */
+sim::Runner::Options runnerOptions();
 
 /**
  * One experiment series for an S-curve graph: a label and one value

@@ -24,30 +24,39 @@ main()
     auto programs = bench::benchPrograms();
     std::printf("Figure 1 reproduction: %zu programs\n", programs.size());
 
+    auto full = *uarch::configFromName("full");
+    auto reduced = *uarch::configFromName("reduced");
+
+    // Five jobs per program: the two baselines, then the selectors.
+    const std::vector<SelectorKind> kinds{SelectorKind::StructAll,
+                                          SelectorKind::StructNone,
+                                          SelectorKind::SlackProfile};
+    std::vector<sim::RunRequest> jobs;
+    for (const auto &spec : programs) {
+        jobs.push_back({.workload = spec, .config = full});
+        jobs.push_back({.workload = spec, .config = reduced});
+        for (auto k : kinds)
+            jobs.push_back(
+                {.workload = spec, .config = reduced, .selector = k});
+    }
+    sim::Runner runner(bench::runnerOptions());
+    auto results = runner.run(jobs, "fig1");
+
     bench::Series no_mg{"no-minigraphs", {}};
     bench::Series s_all{"Struct-All", {}};
     bench::Series s_none{"Struct-None", {}};
     bench::Series s_prof{"Slack-Profile", {}};
     std::vector<std::string> names;
 
-    auto full = uarch::fullConfig();
-    auto reduced = uarch::reducedConfig();
-
-    for (const auto &spec : programs) {
-        sim::ProgramContext ctx(spec);
-        double base = static_cast<double>(ctx.baseline(full).cycles);
-        names.push_back(spec.name());
-        no_mg.values.push_back(base / ctx.baseline(reduced).cycles);
-        s_all.values.push_back(
-            base /
-            ctx.runSelector(SelectorKind::StructAll, reduced).sim.cycles);
-        s_none.values.push_back(
-            base /
-            ctx.runSelector(SelectorKind::StructNone, reduced).sim.cycles);
-        s_prof.values.push_back(
-            base / ctx.runSelector(SelectorKind::SlackProfile, reduced)
-                       .sim.cycles);
-        std::fprintf(stderr, "  done %s\n", spec.name().c_str());
+    const size_t per = 2 + kinds.size();
+    for (size_t p = 0; p < programs.size(); ++p) {
+        const sim::RunResult *r = &results[p * per];
+        double base = static_cast<double>(r[0].sim.cycles);
+        names.push_back(programs[p].name());
+        no_mg.values.push_back(base / r[1].sim.cycles);
+        s_all.values.push_back(base / r[2].sim.cycles);
+        s_none.values.push_back(base / r[3].sim.cycles);
+        s_prof.values.push_back(base / r[4].sim.cycles);
     }
 
     std::vector<bench::Series> series{no_mg, s_all, s_none, s_prof};

@@ -23,8 +23,29 @@ main()
     auto programs = bench::benchPrograms();
     std::printf("Figure 3 reproduction: %zu programs\n", programs.size());
 
-    auto full = uarch::fullConfig();
-    auto reduced = uarch::reducedConfig();
+    auto full = *uarch::configFromName("full");
+    auto reduced = *uarch::configFromName("reduced");
+
+    // Six jobs per program: two baselines, All/None on each machine.
+    std::vector<sim::RunRequest> jobs;
+    for (const auto &spec : programs) {
+        jobs.push_back({.workload = spec, .config = full});
+        jobs.push_back({.workload = spec, .config = reduced});
+        jobs.push_back({.workload = spec,
+                        .config = reduced,
+                        .selector = SelectorKind::StructAll});
+        jobs.push_back({.workload = spec,
+                        .config = reduced,
+                        .selector = SelectorKind::StructNone});
+        jobs.push_back({.workload = spec,
+                        .config = full,
+                        .selector = SelectorKind::StructAll});
+        jobs.push_back({.workload = spec,
+                        .config = full,
+                        .selector = SelectorKind::StructNone});
+    }
+    sim::Runner runner(bench::runnerOptions());
+    auto results = runner.run(jobs, "fig3");
 
     bench::Series red_none{"no-minigraphs", {}};
     bench::Series red_all{"Struct-All", {}};
@@ -37,25 +58,21 @@ main()
 
     int slowdowns_all_full = 0;
 
-    for (const auto &spec : programs) {
-        sim::ProgramContext ctx(spec);
-        double base = static_cast<double>(ctx.baseline(full).cycles);
-        names.push_back(spec.name());
+    const size_t per = 6;
+    for (size_t p = 0; p < programs.size(); ++p) {
+        const sim::RunResult *r = &results[p * per];
+        double base = static_cast<double>(r[0].sim.cycles);
+        names.push_back(programs[p].name());
 
-        red_none.values.push_back(base / ctx.baseline(reduced).cycles);
-        auto all_r = ctx.runSelector(SelectorKind::StructAll, reduced);
-        auto sn_r = ctx.runSelector(SelectorKind::StructNone, reduced);
-        auto all_f = ctx.runSelector(SelectorKind::StructAll, full);
-        auto sn_f = ctx.runSelector(SelectorKind::StructNone, full);
-        red_all.values.push_back(base / all_r.sim.cycles);
-        red_sn.values.push_back(base / sn_r.sim.cycles);
-        full_all.values.push_back(base / all_f.sim.cycles);
-        full_sn.values.push_back(base / sn_f.sim.cycles);
-        cov_all.values.push_back(all_r.coverage());
-        cov_sn.values.push_back(sn_r.coverage());
-        if (base / all_f.sim.cycles < 0.995)
+        red_none.values.push_back(base / r[1].sim.cycles);
+        red_all.values.push_back(base / r[2].sim.cycles);
+        red_sn.values.push_back(base / r[3].sim.cycles);
+        full_all.values.push_back(base / r[4].sim.cycles);
+        full_sn.values.push_back(base / r[5].sim.cycles);
+        cov_all.values.push_back(r[2].coverage());
+        cov_sn.values.push_back(r[3].coverage());
+        if (base / r[4].sim.cycles < 0.995)
             ++slowdowns_all_full;
-        std::fprintf(stderr, "  done %s\n", spec.name().c_str());
     }
 
     bench::printSCurves(

@@ -29,8 +29,24 @@ main()
         SelectorKind::StructBounded, SelectorKind::SlackDynamic,
         SelectorKind::SlackProfile};
 
-    auto full = uarch::fullConfig();
-    auto reduced = uarch::reducedConfig();
+    auto full = *uarch::configFromName("full");
+    auto reduced = *uarch::configFromName("reduced");
+
+    // Twelve jobs per program: two baselines, then each selector on
+    // the reduced and the fully-provisioned machine.
+    std::vector<sim::RunRequest> jobs;
+    for (const auto &spec : programs) {
+        jobs.push_back({.workload = spec, .config = full});
+        jobs.push_back({.workload = spec, .config = reduced});
+        for (auto k : kinds) {
+            jobs.push_back(
+                {.workload = spec, .config = reduced, .selector = k});
+            jobs.push_back(
+                {.workload = spec, .config = full, .selector = k});
+        }
+    }
+    sim::Runner runner(bench::runnerOptions());
+    auto results = runner.run(jobs, "fig6");
 
     std::vector<bench::Series> red, ful, cov;
     bench::Series base_red{"no-minigraphs", {}};
@@ -41,19 +57,19 @@ main()
     }
     std::vector<std::string> names;
 
-    for (const auto &spec : programs) {
-        sim::ProgramContext ctx(spec);
-        double base = static_cast<double>(ctx.baseline(full).cycles);
-        names.push_back(spec.name());
-        base_red.values.push_back(base / ctx.baseline(reduced).cycles);
+    const size_t per = 2 + 2 * kinds.size();
+    for (size_t p = 0; p < programs.size(); ++p) {
+        const sim::RunResult *r = &results[p * per];
+        double base = static_cast<double>(r[0].sim.cycles);
+        names.push_back(programs[p].name());
+        base_red.values.push_back(base / r[1].sim.cycles);
         for (size_t i = 0; i < kinds.size(); ++i) {
-            auto r = ctx.runSelector(kinds[i], reduced);
-            auto f = ctx.runSelector(kinds[i], full);
-            red[i].values.push_back(base / r.sim.cycles);
-            ful[i].values.push_back(base / f.sim.cycles);
-            cov[i].values.push_back(r.coverage());
+            const sim::RunResult &on_red = r[2 + 2 * i];
+            const sim::RunResult &on_full = r[3 + 2 * i];
+            red[i].values.push_back(base / on_red.sim.cycles);
+            ful[i].values.push_back(base / on_full.sim.cycles);
+            cov[i].values.push_back(on_red.coverage());
         }
-        std::fprintf(stderr, "  done %s\n", spec.name().c_str());
     }
 
     std::vector<bench::Series> red_all{base_red};

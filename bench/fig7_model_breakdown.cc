@@ -30,35 +30,46 @@ main()
         SelectorKind::StructAll, SelectorKind::StructNone,
         SelectorKind::SlackProfile, SelectorKind::SlackProfileDelay,
         SelectorKind::SlackProfileSial};
-    const std::vector<SelectorKind> bot_kinds{
-        SelectorKind::StructAll, SelectorKind::SlackDynamic,
-        SelectorKind::IdealSlackDynamic,
+    // Struct-All is shared with the top panel; only the dynamic
+    // variants are extra jobs.
+    const std::vector<SelectorKind> bot_extra{
+        SelectorKind::SlackDynamic, SelectorKind::IdealSlackDynamic,
         SelectorKind::IdealSlackDynamicDelay,
         SelectorKind::IdealSlackDynamicSial};
 
-    auto full = uarch::fullConfig();
-    auto reduced = uarch::reducedConfig();
+    auto full = *uarch::configFromName("full");
+    auto reduced = *uarch::configFromName("reduced");
+
+    std::vector<sim::RunRequest> jobs;
+    for (const auto &spec : programs) {
+        jobs.push_back({.workload = spec, .config = full});
+        for (auto k : top_kinds)
+            jobs.push_back(
+                {.workload = spec, .config = reduced, .selector = k});
+        for (auto k : bot_extra)
+            jobs.push_back(
+                {.workload = spec, .config = reduced, .selector = k});
+    }
+    sim::Runner runner(bench::runnerOptions());
+    auto results = runner.run(jobs, "fig7");
 
     std::vector<bench::Series> top, bot;
     for (auto k : top_kinds)
         top.push_back({minigraph::selectorName(k), {}});
-    for (auto k : bot_kinds)
+    bot.push_back({minigraph::selectorName(SelectorKind::StructAll), {}});
+    for (auto k : bot_extra)
         bot.push_back({minigraph::selectorName(k), {}});
 
-    for (const auto &spec : programs) {
-        sim::ProgramContext ctx(spec);
-        double base = static_cast<double>(ctx.baseline(full).cycles);
-        for (size_t i = 0; i < top_kinds.size(); ++i) {
-            auto r = ctx.runSelector(top_kinds[i], reduced);
-            top[i].values.push_back(base / r.sim.cycles);
-        }
-        for (size_t i = 0; i < bot_kinds.size(); ++i) {
-            // Struct-All was already run above; rerun is cached-free
-            // but cheap relative to clarity.
-            auto r = ctx.runSelector(bot_kinds[i], reduced);
-            bot[i].values.push_back(base / r.sim.cycles);
-        }
-        std::fprintf(stderr, "  done %s\n", spec.name().c_str());
+    const size_t per = 1 + top_kinds.size() + bot_extra.size();
+    for (size_t p = 0; p < programs.size(); ++p) {
+        const sim::RunResult *r = &results[p * per];
+        double base = static_cast<double>(r[0].sim.cycles);
+        for (size_t i = 0; i < top_kinds.size(); ++i)
+            top[i].values.push_back(base / r[1 + i].sim.cycles);
+        bot[0].values.push_back(base / r[1].sim.cycles); // Struct-All
+        for (size_t i = 0; i < bot_extra.size(); ++i)
+            bot[1 + i].values.push_back(
+                base / r[1 + top_kinds.size() + i].sim.cycles);
     }
 
     bench::printSCurves(

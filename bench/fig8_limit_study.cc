@@ -4,6 +4,8 @@
  * frequently executed non-overlapping mini-graph candidates, evaluate
  * all 1024 subsets exhaustively on the reduced processor (coverage vs
  * performance scatter), and mark the subset each selector would pick.
+ * The exhaustive sweep is one runner batch: every subset is an
+ * independent job against the shared adpcm_c context.
  *
  * Paper shape: Struct-All right-most; Struct-None left-most;
  * Struct-Bounded decent coverage / poor performance; the slack-based
@@ -61,9 +63,11 @@ main()
     unsigned pool_size = quick ? 7 : 10;
 
     auto spec = *workloads::findWorkload("adpcm_c.0");
-    sim::ProgramContext ctx(spec);
-    auto reduced = uarch::reducedConfig();
-    auto full = uarch::fullConfig();
+    auto reduced = *uarch::configFromName("reduced");
+    auto full = *uarch::configFromName("full");
+
+    sim::Runner runner(bench::runnerOptions());
+    sim::ProgramContext &ctx = runner.context(spec);
     double base_cycles = static_cast<double>(ctx.baseline(full).cycles);
 
     // The pool: most frequent candidates, pairwise non-overlapping.
@@ -105,15 +109,21 @@ main()
                         counts[base[i].firstPc]));
     }
 
-    // Exhaustive sweep.
+    // Exhaustive sweep: one job per subset, all sharing the context.
     unsigned n_masks = 1u << base.size();
+    std::vector<sim::RunRequest> jobs;
+    jobs.reserve(n_masks);
+    for (unsigned mask = 0; mask < n_masks; ++mask) {
+        jobs.push_back({.workload = spec,
+                        .config = reduced,
+                        .chosen = subset(base, mask)});
+    }
+    auto results = runner.run(jobs, "fig8-sweep");
+
     std::vector<double> perf(n_masks), cov(n_masks);
     for (unsigned mask = 0; mask < n_masks; ++mask) {
-        auto run = ctx.runChosen(subset(base, mask), reduced);
-        perf[mask] = base_cycles / run.sim.cycles;
-        cov[mask] = run.coverage();
-        if (mask % 128 == 0)
-            std::fprintf(stderr, "  ... %u/%u\n", mask, n_masks);
+        perf[mask] = base_cycles / results[mask].sim.cycles;
+        cov[mask] = results[mask].coverage();
     }
 
     unsigned best = 0;
@@ -175,8 +185,11 @@ main()
     std::printf("%s", ct.render().c_str());
 
     // Slack-Dynamic runs the Struct-All set with disable hardware.
-    auto sd = ctx.runChosen(subset(base, pick(SelectorKind::StructAll)),
-                            reduced, SelectorKind::SlackDynamic);
+    auto sd = ctx.run({.workload = spec,
+                       .config = reduced,
+                       .selector = SelectorKind::SlackDynamic,
+                       .chosen =
+                           subset(base, pick(SelectorKind::StructAll))});
     std::printf("Slack-Dynamic (Struct-All set + hardware): cov=%s "
                 "perf=%s\n",
                 fmtDouble(sd.coverage(), 3).c_str(),

@@ -26,44 +26,52 @@ using minigraph::SelectorKind;
 int
 main()
 {
-    auto reduced = uarch::reducedConfig();
-    auto full = uarch::fullConfig();
+    auto reduced = *uarch::configFromName("reduced");
+    auto full = *uarch::configFromName("full");
+
+    sim::Runner runner(bench::runnerOptions());
 
     // ---- Top: microarchitecture sensitivity ----
     {
         auto programs = bench::benchPrograms({"media", "comm"});
         std::printf("Figure 9 top: %zu media/comm programs\n",
                     programs.size());
+        auto cfg2 = *uarch::configFromName("2way");
+        auto cfg8 = *uarch::configFromName("8way");
+        auto cfgd = *uarch::configFromName("dmem4");
+
+        // Five jobs per program: baseline, self-trained, and one
+        // cross-trained run per profiling machine.
+        std::vector<sim::RunRequest> jobs;
+        for (const auto &spec : programs) {
+            jobs.push_back({.workload = spec, .config = full});
+            jobs.push_back({.workload = spec,
+                            .config = reduced,
+                            .selector = SelectorKind::SlackProfile});
+            for (const auto &pc : {cfg2, cfg8, cfgd}) {
+                jobs.push_back({.workload = spec,
+                                .config = reduced,
+                                .selector = SelectorKind::SlackProfile,
+                                .profileConfig = pc});
+            }
+        }
+        auto results = runner.run(jobs, "fig9-top");
+
         bench::Series self{"self-trained", {}};
         bench::Series c2{"cross 2-way", {}};
         bench::Series c8{"cross 8-way", {}};
         bench::Series cd{"cross dmem/4", {}};
         std::vector<std::string> names;
-        auto cfg2 = uarch::twoWayConfig();
-        auto cfg8 = uarch::eightWayConfig();
-        auto cfgd = uarch::dmemQuarterConfig();
 
-        for (const auto &spec : programs) {
-            sim::ProgramContext ctx(spec);
-            double base = static_cast<double>(ctx.baseline(full).cycles);
-            names.push_back(spec.name());
-            self.values.push_back(
-                base /
-                ctx.runSelector(SelectorKind::SlackProfile, reduced)
-                    .sim.cycles);
-            c2.values.push_back(
-                base / ctx.runSelector(SelectorKind::SlackProfile,
-                                       reduced, &cfg2)
-                           .sim.cycles);
-            c8.values.push_back(
-                base / ctx.runSelector(SelectorKind::SlackProfile,
-                                       reduced, &cfg8)
-                           .sim.cycles);
-            cd.values.push_back(
-                base / ctx.runSelector(SelectorKind::SlackProfile,
-                                       reduced, &cfgd)
-                           .sim.cycles);
-            std::fprintf(stderr, "  done %s\n", spec.name().c_str());
+        const size_t per = 5;
+        for (size_t p = 0; p < programs.size(); ++p) {
+            const sim::RunResult *r = &results[p * per];
+            double base = static_cast<double>(r[0].sim.cycles);
+            names.push_back(programs[p].name());
+            self.values.push_back(base / r[1].sim.cycles);
+            c2.values.push_back(base / r[2].sim.cycles);
+            c8.values.push_back(base / r[3].sim.cycles);
+            cd.values.push_back(base / r[4].sim.cycles);
         }
         bench::printPerProgram("Figure 9 top (machine sensitivity)",
                                names, {self, c2, c8, cd});
@@ -88,28 +96,37 @@ main()
         auto programs = bench::benchPrograms({"spec", "mibench"});
         std::printf("\nFigure 9 bottom: %zu spec/mibench programs\n",
                     programs.size());
+
+        // Three jobs per program: baseline, self-trained, and
+        // cross-trained on the alternate input set's profile.
+        std::vector<sim::RunRequest> jobs;
+        for (const auto &spec : programs) {
+            jobs.push_back({.workload = spec, .config = full});
+            jobs.push_back({.workload = spec,
+                            .config = reduced,
+                            .selector = SelectorKind::SlackProfile});
+            jobs.push_back({.workload = spec,
+                            .config = reduced,
+                            .selector = SelectorKind::SlackProfile,
+                            .profileFromAltInput = true});
+        }
+        auto results = runner.run(jobs, "fig9-bottom");
+
         bench::Series self{"self-trained", {}};
         bench::Series cross{"cross-input", {}};
         bench::Series cov_self{"cov self", {}};
         bench::Series cov_cross{"cov cross", {}};
         std::vector<std::string> names;
 
-        for (const auto &spec : programs) {
-            sim::ProgramContext ctx(spec);
-            double base = static_cast<double>(ctx.baseline(full).cycles);
-            names.push_back(spec.name());
-            auto s = ctx.runSelector(SelectorKind::SlackProfile, reduced);
-            self.values.push_back(base / s.sim.cycles);
-            cov_self.values.push_back(s.coverage());
-
-            // Profile collected on the *alternate* input's run.
-            sim::ProgramContext alt_ctx(spec, /*alt_input=*/true);
-            const auto &alt_prof = alt_ctx.profileOn(reduced);
-            auto c = ctx.runSelectorWithProfile(SelectorKind::SlackProfile,
-                                                reduced, alt_prof);
-            cross.values.push_back(base / c.sim.cycles);
-            cov_cross.values.push_back(c.coverage());
-            std::fprintf(stderr, "  done %s\n", spec.name().c_str());
+        const size_t per = 3;
+        for (size_t p = 0; p < programs.size(); ++p) {
+            const sim::RunResult *r = &results[p * per];
+            double base = static_cast<double>(r[0].sim.cycles);
+            names.push_back(programs[p].name());
+            self.values.push_back(base / r[1].sim.cycles);
+            cov_self.values.push_back(r[1].coverage());
+            cross.values.push_back(base / r[2].sim.cycles);
+            cov_cross.values.push_back(r[2].coverage());
         }
         bench::printPerProgram("Figure 9 bottom (input sensitivity)",
                                names,

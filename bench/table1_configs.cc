@@ -41,30 +41,37 @@ int
 main()
 {
     std::printf("== Table 1: simulated processors ==\n");
-    printConfig(uarch::fullConfig());
-    printConfig(uarch::reducedConfig());
-    printConfig(uarch::enlargedConfig());
-    printConfig(uarch::twoWayConfig());
-    printConfig(uarch::eightWayConfig());
-    printConfig(uarch::dmemQuarterConfig());
+    for (const auto &name : uarch::allConfigNames())
+        printConfig(*uarch::configFromName(name));
 
     auto programs = bench::benchPrograms();
     std::printf("\nknee / reduction check over %zu programs\n",
                 programs.size());
 
+    auto full = *uarch::configFromName("full");
+    auto enlarged = *uarch::configFromName("enlarged");
+    auto reduced = *uarch::configFromName("reduced");
+
+    // Three baseline jobs per program.
+    std::vector<sim::RunRequest> jobs;
+    for (const auto &spec : programs) {
+        jobs.push_back({.workload = spec, .config = full});
+        jobs.push_back({.workload = spec, .config = enlarged});
+        jobs.push_back({.workload = spec, .config = reduced});
+    }
+    sim::Runner runner(bench::runnerOptions());
+    auto results = runner.run(jobs, "table1");
+
     bench::Series knee{"enlarged/baseline", {}};
     bench::Series redu{"reduced/baseline", {}};
     std::vector<std::string> names;
-    for (const auto &spec : programs) {
-        sim::ProgramContext ctx(spec);
-        double base =
-            static_cast<double>(ctx.baseline(uarch::fullConfig()).cycles);
-        names.push_back(spec.name());
-        knee.values.push_back(
-            base / ctx.baseline(uarch::enlargedConfig()).cycles);
-        redu.values.push_back(
-            base / ctx.baseline(uarch::reducedConfig()).cycles);
-        std::fprintf(stderr, "  done %s\n", spec.name().c_str());
+    const size_t per = 3;
+    for (size_t p = 0; p < programs.size(); ++p) {
+        const sim::RunResult *r = &results[p * per];
+        double base = static_cast<double>(r[0].sim.cycles);
+        names.push_back(programs[p].name());
+        knee.values.push_back(base / r[1].sim.cycles);
+        redu.values.push_back(base / r[2].sim.cycles);
     }
     bench::printPerProgram("Table 1 claims", names, {knee, redu});
     std::printf("\n");

@@ -101,7 +101,7 @@ main()
                 base / ctx.baseline(reduced).cycles);
     for (auto kind : {minigraph::SelectorKind::StructAll,
                       minigraph::SelectorKind::SlackProfile}) {
-        auto r = ctx.runSelector(kind, reduced);
+        auto r = ctx.run({.config = reduced, .selector = kind});
         std::printf("3-way + %-14s: %.3fx  (coverage %.0f%%)\n",
                     minigraph::selectorName(kind).c_str(),
                     base / r.sim.cycles, 100.0 * r.coverage());

@@ -76,8 +76,9 @@ main()
                          1.0));
 
     // Slack-Profile mini-graphs on the reduced machine.
-    auto run = ctx.runSelector(minigraph::SelectorKind::SlackProfile,
-                               reduced);
+    auto run =
+        ctx.run({.config = reduced,
+                 .selector = minigraph::SelectorKind::SlackProfile});
     std::printf("3-way + MGs    : %8llu cycles (coverage %.0f%%, "
                 "%u templates, %zu sites)\n",
                 static_cast<unsigned long long>(run.sim.cycles),

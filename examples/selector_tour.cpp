@@ -57,8 +57,8 @@ main(int argc, char **argv)
          {SelectorKind::StructAll, SelectorKind::StructNone,
           SelectorKind::StructBounded, SelectorKind::SlackDynamic,
           SelectorKind::SlackProfile}) {
-        auto r = ctx.runSelector(kind, reduced);
-        auto f = ctx.runSelector(kind, full);
+        auto r = ctx.run({.config = reduced, .selector = kind});
+        auto f = ctx.run({.config = full, .selector = kind});
         t.row({minigraph::selectorName(kind),
                fmtDouble(r.coverage(), 3),
                std::to_string(r.templatesUsed),

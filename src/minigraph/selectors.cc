@@ -31,6 +31,62 @@ selectorName(SelectorKind kind)
     return "?";
 }
 
+namespace
+{
+
+struct SelectorEntry
+{
+    const char *name;
+    SelectorKind kind;
+};
+
+constexpr SelectorEntry kSelectorRegistry[] = {
+    {"struct-all", SelectorKind::StructAll},
+    {"struct-none", SelectorKind::StructNone},
+    {"struct-bounded", SelectorKind::StructBounded},
+    {"slack-profile", SelectorKind::SlackProfile},
+    {"slack-profile-delay", SelectorKind::SlackProfileDelay},
+    {"slack-profile-sial", SelectorKind::SlackProfileSial},
+    {"slack-dynamic", SelectorKind::SlackDynamic},
+    {"ideal-slack-dynamic", SelectorKind::IdealSlackDynamic},
+    {"ideal-slack-dynamic-delay", SelectorKind::IdealSlackDynamicDelay},
+    {"ideal-slack-dynamic-sial", SelectorKind::IdealSlackDynamicSial},
+};
+
+} // namespace
+
+std::optional<SelectorKind>
+selectorFromName(const std::string &name)
+{
+    for (const auto &e : kSelectorRegistry) {
+        if (name == e.name)
+            return e.kind;
+    }
+    return std::nullopt;
+}
+
+std::string
+nameOf(SelectorKind kind)
+{
+    for (const auto &e : kSelectorRegistry) {
+        if (kind == e.kind)
+            return e.name;
+    }
+    return "";
+}
+
+const std::vector<std::string> &
+allSelectorNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> out;
+        for (const auto &e : kSelectorRegistry)
+            out.emplace_back(e.name);
+        return out;
+    }();
+    return names;
+}
+
 bool
 selectorNeedsProfile(SelectorKind kind)
 {

@@ -23,6 +23,7 @@
 #ifndef MG_MINIGRAPH_SELECTORS_H
 #define MG_MINIGRAPH_SELECTORS_H
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -50,6 +51,23 @@ enum class SelectorKind
 
 /** Human-readable selector name (as used in the paper's figures). */
 std::string selectorName(SelectorKind kind);
+
+// --- Name registry -----------------------------------------------------
+//
+// Every selector has a short registry name used by the CLI, the batch
+// runner's job lists and the tests: struct-all, struct-none,
+// struct-bounded, slack-profile, slack-profile-delay,
+// slack-profile-sial, slack-dynamic, ideal-slack-dynamic,
+// ideal-slack-dynamic-delay, ideal-slack-dynamic-sial.
+
+/** Look up a selector by registry name; nullopt for unknown names. */
+std::optional<SelectorKind> selectorFromName(const std::string &name);
+
+/** The registry name of a selector (inverse of selectorFromName). */
+std::string nameOf(SelectorKind kind);
+
+/** All registry names, in SelectorKind order. */
+const std::vector<std::string> &allSelectorNames();
 
 /** Does this selector require a slack profile? */
 bool selectorNeedsProfile(SelectorKind kind);

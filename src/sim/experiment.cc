@@ -21,6 +21,7 @@ ProgramContext::ProgramContext(assembler::Program p) : prog(std::move(p))
 const minigraph::ExecCounts &
 ProgramContext::counts()
 {
+    std::lock_guard<std::mutex> lock(cacheMu);
     if (!execCounts) {
         execCounts = std::make_unique<minigraph::ExecCounts>(
             profile::countExecutions(prog));
@@ -31,6 +32,7 @@ ProgramContext::counts()
 const profile::SlackProfileData &
 ProgramContext::profileOn(const uarch::CoreConfig &config)
 {
+    std::lock_guard<std::mutex> lock(cacheMu);
     auto it = profiles.find(config.name);
     if (it == profiles.end()) {
         it = profiles
@@ -44,6 +46,7 @@ ProgramContext::profileOn(const uarch::CoreConfig &config)
 const uarch::SimResult &
 ProgramContext::baseline(const uarch::CoreConfig &config)
 {
+    std::lock_guard<std::mutex> lock(cacheMu);
     auto it = baselines.find(config.name);
     if (it == baselines.end()) {
         uarch::Core core(config, prog);
@@ -55,6 +58,7 @@ ProgramContext::baseline(const uarch::CoreConfig &config)
 const std::vector<minigraph::Candidate> &
 ProgramContext::candidatePool()
 {
+    std::lock_guard<std::mutex> lock(cacheMu);
     if (!pool) {
         pool = std::make_unique<std::vector<minigraph::Candidate>>(
             minigraph::enumerateCandidates(prog));
@@ -94,49 +98,45 @@ configForSelector(const uarch::CoreConfig &base, SelectorKind kind)
     return cfg;
 }
 
-SelectorRun
-ProgramContext::runSelector(SelectorKind kind,
-                            const uarch::CoreConfig &sim_config,
-                            const uarch::CoreConfig *profile_config,
-                            uint32_t template_budget)
+RunResult
+ProgramContext::run(const RunRequest &req)
 {
-    const profile::SlackProfileData *prof = nullptr;
-    if (minigraph::selectorNeedsProfile(kind)) {
-        const uarch::CoreConfig &pc =
-            profile_config ? *profile_config : sim_config;
-        prof = &profileOn(pc);
+    if (req.chosen) {
+        return simulateChosen(*req.chosen, req.config,
+                              req.selector.value_or(
+                                  SelectorKind::StructAll));
+    }
+
+    if (!req.selector) {
+        RunResult out;
+        out.sim = baseline(req.config);
+        return out;
+    }
+
+    SelectorKind kind = *req.selector;
+    const profile::SlackProfileData *prof = req.profile;
+    if (!prof && minigraph::selectorNeedsProfile(kind)) {
+        prof = &profileOn(req.profileConfig ? *req.profileConfig
+                                            : req.config);
     }
 
     std::vector<minigraph::Candidate> filtered =
         minigraph::filterPool(candidatePool(), kind, prog, prof);
     minigraph::SelectionResult sel =
-        minigraph::selectGreedy(filtered, counts(), template_budget);
-    return runChosen(sel.chosen, sim_config, kind);
+        minigraph::selectGreedy(filtered, counts(), req.templateBudget);
+    return simulateChosen(sel.chosen, req.config, kind);
 }
 
-SelectorRun
-ProgramContext::runSelectorWithProfile(SelectorKind kind,
-                                       const uarch::CoreConfig &sim_config,
-                                       const profile::SlackProfileData &p,
-                                       uint32_t template_budget)
-{
-    std::vector<minigraph::Candidate> filtered =
-        minigraph::filterPool(candidatePool(), kind, prog, &p);
-    minigraph::SelectionResult sel =
-        minigraph::selectGreedy(filtered, counts(), template_budget);
-    return runChosen(sel.chosen, sim_config, kind);
-}
-
-SelectorRun
-ProgramContext::runChosen(const std::vector<minigraph::Candidate> &chosen,
-                          const uarch::CoreConfig &sim_config,
-                          SelectorKind kind)
+RunResult
+ProgramContext::simulateChosen(
+    const std::vector<minigraph::Candidate> &chosen,
+    const uarch::CoreConfig &sim_config, SelectorKind kind)
 {
     minigraph::RewrittenProgram rp = minigraph::rewrite(prog, chosen);
     uarch::CoreConfig cfg = configForSelector(sim_config, kind);
 
     uarch::Core core(cfg, rp.program, &rp.info);
-    SelectorRun out;
+    RunResult out;
     out.sim = core.run();
     out.instances = rp.instanceCount();
     out.templatesUsed = static_cast<uint32_t>(rp.info.templates.size());

@@ -4,6 +4,13 @@
  * pipeline used by every evaluation in the paper, with in-process
  * caching of per-program artefacts (execution counts, slack profiles,
  * baseline runs).
+ *
+ * The single entry point is ProgramContext::run(RunRequest): every
+ * evaluation — baseline, selector-driven, cross-trained or an
+ * explicit chosen set — is one RunRequest, so the serial path here
+ * and the parallel path in sim/runner.h share one code path.  The
+ * lazy per-program caches are mutex-guarded, so one context may be
+ * shared by concurrent runner jobs.
  */
 
 #ifndef MG_SIM_EXPERIMENT_H
@@ -11,7 +18,10 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "minigraph/rewriter.h"
 #include "minigraph/selectors.h"
@@ -22,20 +32,82 @@
 namespace mg::sim
 {
 
-/** Result of one selector-enabled simulation. */
-struct SelectorRun
+/**
+ * One experiment job: which program, which machine, which selection
+ * policy.  Default-constructed fields mean "baseline on the default
+ * machine".
+ *
+ * The `workload` / `altInput` / `profileFromAltInput` fields identify
+ * the program to a Runner (which owns the ProgramContexts);
+ * ProgramContext::run ignores them because the context *is* the
+ * program.
+ */
+struct RunRequest
+{
+    /** Which benchmark (Runner-level; ignored by ProgramContext). */
+    workloads::WorkloadSpec workload{};
+
+    /** Build with the alternate input set (Fig. 9, Runner-level). */
+    bool altInput = false;
+
+    /** The simulated machine. */
+    uarch::CoreConfig config{};
+
+    /** Selection policy; nullopt = baseline (no mini-graphs). */
+    std::optional<minigraph::SelectorKind> selector{};
+
+    /**
+     * Machine the slack profile is collected on (cross-training);
+     * defaults to `config` ("self-trained").
+     */
+    std::optional<uarch::CoreConfig> profileConfig{};
+
+    /**
+     * Train the slack profile on the *other* input set's build of the
+     * same workload (the Figure-9 cross-input study; Runner-level).
+     */
+    bool profileFromAltInput = false;
+
+    /** Externally supplied slack profile (overrides profileConfig). */
+    const profile::SlackProfileData *profile = nullptr;
+
+    /**
+     * Simulate an explicit chosen candidate set instead of running a
+     * selector (the Figure-8 exhaustive study); `selector` then only
+     * configures the Slack-Dynamic hardware (default Struct-All).
+     */
+    std::optional<std::vector<minigraph::Candidate>> chosen{};
+
+    /** MGT capacity for selection. */
+    uint32_t templateBudget = 512;
+};
+
+/** Result of one experiment job. */
+struct RunResult
 {
     uarch::SimResult sim;
     uint32_t templatesUsed = 0;
     size_t instances = 0;
 
+    /** False if the job threw; `error` holds the message. */
+    bool ok = true;
+    std::string error;
+
     /** Dynamic coverage measured at commit. */
     double coverage() const { return sim.coverage(); }
+
+    /** IPC over original-program instructions. */
+    double ipc() const { return sim.ipc(); }
 };
+
+/** Deprecated name for RunResult (pre-runner API). */
+using SelectorRun = RunResult;
 
 /**
  * Per-program experiment context: owns the program, its execution
- * counts, and lazily computed slack profiles and baseline runs.
+ * counts, and lazily computed slack profiles and baseline runs.  The
+ * caches are guarded by an internal mutex; a context may be shared by
+ * concurrent jobs (see sim/runner.h).
  */
 class ProgramContext
 {
@@ -66,40 +138,77 @@ class ProgramContext
     const uarch::SimResult &baseline(const uarch::CoreConfig &config);
 
     /**
-     * Full pipeline: filter + select with `kind`, rewrite, simulate on
-     * `sim_config`.  For Slack-Profile selectors the profile is taken
-     * from `profile_config` (defaults to sim_config — "self-trained").
+     * Execute one job on this program: baseline, selector pipeline
+     * (filter + select + rewrite + simulate) or explicit chosen set,
+     * per the request fields.  Runner-level fields (`workload`,
+     * `altInput`, `profileFromAltInput`) are ignored.
      */
-    SelectorRun runSelector(minigraph::SelectorKind kind,
-                            const uarch::CoreConfig &sim_config,
-                            const uarch::CoreConfig *profile_config =
-                                nullptr,
-                            uint32_t template_budget = 512);
+    RunResult run(const RunRequest &req);
 
     /**
-     * Like runSelector, but with an externally supplied slack profile
-     * (the Figure-9 cross-input study trains on a *different* input
-     * set's profile).
+     * @deprecated Thin forward over run(); build a RunRequest instead.
      */
-    SelectorRun runSelectorWithProfile(
-        minigraph::SelectorKind kind, const uarch::CoreConfig &sim_config,
-        const profile::SlackProfileData &prof,
-        uint32_t template_budget = 512);
+    [[deprecated("use run(RunRequest)")]] SelectorRun
+    runSelector(minigraph::SelectorKind kind,
+                const uarch::CoreConfig &sim_config,
+                const uarch::CoreConfig *profile_config = nullptr,
+                uint32_t template_budget = 512)
+    {
+        RunRequest req;
+        req.config = sim_config;
+        req.selector = kind;
+        if (profile_config)
+            req.profileConfig = *profile_config;
+        req.templateBudget = template_budget;
+        return run(req);
+    }
 
     /**
-     * Simulate an explicit set of chosen candidates (the Figure-8
-     * exhaustive study drives this directly).
+     * @deprecated Thin forward over run(); set RunRequest::profile.
      */
-    SelectorRun runChosen(const std::vector<minigraph::Candidate> &chosen,
-                          const uarch::CoreConfig &sim_config,
-                          minigraph::SelectorKind kind =
-                              minigraph::SelectorKind::StructAll);
+    [[deprecated("use run(RunRequest)")]] SelectorRun
+    runSelectorWithProfile(minigraph::SelectorKind kind,
+                           const uarch::CoreConfig &sim_config,
+                           const profile::SlackProfileData &prof,
+                           uint32_t template_budget = 512)
+    {
+        RunRequest req;
+        req.config = sim_config;
+        req.selector = kind;
+        req.profile = &prof;
+        req.templateBudget = template_budget;
+        return run(req);
+    }
+
+    /**
+     * @deprecated Thin forward over run(); set RunRequest::chosen.
+     */
+    [[deprecated("use run(RunRequest)")]] SelectorRun
+    runChosen(const std::vector<minigraph::Candidate> &chosen,
+              const uarch::CoreConfig &sim_config,
+              minigraph::SelectorKind kind =
+                  minigraph::SelectorKind::StructAll)
+    {
+        RunRequest req;
+        req.config = sim_config;
+        req.selector = kind;
+        req.chosen = chosen;
+        return run(req);
+    }
 
     /** The full enumerated candidate pool (cached). */
     const std::vector<minigraph::Candidate> &candidatePool();
 
   private:
+    RunResult simulateChosen(
+        const std::vector<minigraph::Candidate> &chosen,
+        const uarch::CoreConfig &sim_config, minigraph::SelectorKind kind);
+
     assembler::Program prog;
+
+    /** Guards the lazy caches below (not `prog`, which is const after
+     *  construction). */
+    std::mutex cacheMu;
     std::unique_ptr<minigraph::ExecCounts> execCounts;
     std::map<std::string, profile::SlackProfileData> profiles;
     std::map<std::string, uarch::SimResult> baselines;

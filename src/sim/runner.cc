@@ -1,0 +1,161 @@
+#include "sim/runner.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mg::sim
+{
+
+unsigned
+Runner::defaultJobs()
+{
+    if (const char *env = std::getenv("MG_JOBS")) {
+        long v = std::atol(env);
+        if (v > 0)
+            return static_cast<unsigned>(v);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+Runner::Runner(Options o) : opts(o)
+{
+    nThreads = opts.jobs ? opts.jobs : defaultJobs();
+    if (nThreads < 1)
+        nThreads = 1;
+    if (nThreads > 1) {
+        workers.reserve(nThreads);
+        for (unsigned i = 0; i < nThreads; ++i)
+            workers.emplace_back([this] { workerLoop(); });
+    }
+}
+
+Runner::~Runner()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        stopping = true;
+    }
+    cvWork.notify_all();
+    for (auto &t : workers)
+        t.join();
+}
+
+ProgramContext &
+Runner::context(const workloads::WorkloadSpec &spec, bool alt_input)
+{
+    std::string key = spec.name() + (alt_input ? "#alt" : "");
+    ContextSlot *slot;
+    {
+        std::lock_guard<std::mutex> lock(ctxMu);
+        auto &entry = contexts[key];
+        if (!entry)
+            entry = std::make_unique<ContextSlot>();
+        slot = entry.get();
+    }
+    // Build outside the map lock so context construction for
+    // different programs can proceed concurrently.
+    std::call_once(slot->once, [&] {
+        slot->ctx = std::make_unique<ProgramContext>(spec, alt_input);
+    });
+    return *slot->ctx;
+}
+
+RunResult
+Runner::execute(const RunRequest &req)
+{
+    try {
+        ProgramContext &ctx = context(req.workload, req.altInput);
+        if (req.profileFromAltInput && !req.profile && req.selector &&
+            minigraph::selectorNeedsProfile(*req.selector)) {
+            // Train on the *other* input set's build of this workload.
+            ProgramContext &trainer =
+                context(req.workload, !req.altInput);
+            const profile::SlackProfileData &prof = trainer.profileOn(
+                req.profileConfig ? *req.profileConfig : req.config);
+            RunRequest resolved = req;
+            resolved.profile = &prof;
+            resolved.profileFromAltInput = false;
+            return ctx.run(resolved);
+        }
+        return ctx.run(req);
+    } catch (const std::exception &e) {
+        RunResult out;
+        out.ok = false;
+        out.error = e.what();
+        return out;
+    }
+}
+
+std::vector<RunResult>
+Runner::run(const std::vector<RunRequest> &batch, const std::string &phase)
+{
+    std::vector<RunResult> results(batch.size());
+    if (batch.empty())
+        return results;
+
+    auto report = [&](size_t done) {
+        if (opts.progress) {
+            std::fprintf(stderr, "[%s] %zu/%zu\n",
+                         phase.empty() ? "batch" : phase.c_str(), done,
+                         batch.size());
+        }
+    };
+
+    if (nThreads == 1) {
+        for (size_t i = 0; i < batch.size(); ++i) {
+            results[i] = execute(batch[i]);
+            report(i + 1);
+        }
+        return results;
+    }
+
+    BatchState state;
+    state.reqs = &batch;
+    state.results = &results;
+    state.phase = phase;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        cur = &state;
+    }
+    cvWork.notify_all();
+    {
+        std::unique_lock<std::mutex> lock(mu);
+        cvDone.wait(lock,
+                    [&] { return state.done == batch.size(); });
+        cur = nullptr;
+    }
+    return results;
+}
+
+void
+Runner::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mu);
+    for (;;) {
+        cvWork.wait(lock, [&] {
+            return stopping ||
+                   (cur && cur->next < cur->reqs->size());
+        });
+        if (stopping)
+            return;
+        BatchState *b = cur;
+        size_t i = b->next++;
+        lock.unlock();
+
+        RunResult r = execute((*b->reqs)[i]);
+
+        lock.lock();
+        (*b->results)[i] = std::move(r);
+        ++b->done;
+        if (opts.progress) {
+            std::fprintf(stderr, "[%s] %zu/%zu\n",
+                         b->phase.empty() ? "batch" : b->phase.c_str(),
+                         b->done, b->reqs->size());
+        }
+        if (b->done == b->reqs->size())
+            cvDone.notify_all();
+    }
+}
+
+} // namespace mg::sim

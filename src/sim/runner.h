@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Parallel experiment runner: executes a batch of RunRequest jobs on
+ * a fixed-size thread pool and returns RunResults in deterministic
+ * submission order, regardless of completion order.
+ *
+ * The runner owns one ProgramContext per (workload, input-set) pair,
+ * so per-program artefacts — execution counts, slack profiles,
+ * baseline runs, candidate pools — are computed once and shared by
+ * every job on that program.  The contexts' lazy caches are
+ * internally locked (see sim/experiment.h), so two concurrent jobs on
+ * the same program are safe.
+ *
+ * Determinism: each job is a pure function of its request (the
+ * simulator has no global state and the caches only memoize
+ * deterministic computations), so an N-thread run produces
+ * bit-identical results to a 1-thread run of the same batch.
+ *
+ * Worker count: Options::jobs if non-zero, else the MG_JOBS
+ * environment variable, else std::thread::hardware_concurrency().
+ */
+
+#ifndef MG_SIM_RUNNER_H
+#define MG_SIM_RUNNER_H
+
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/experiment.h"
+
+namespace mg::sim
+{
+
+/**
+ * Runner construction options (namespace-scope so it is complete
+ * before the constructor's default argument needs it).
+ */
+struct RunnerOptions
+{
+    /** Worker threads; 0 = MG_JOBS env var, else all cores. */
+    unsigned jobs = 0;
+
+    /** Print "[phase] done/total" lines to stderr as jobs finish. */
+    bool progress = false;
+};
+
+class Runner
+{
+  public:
+    using Options = RunnerOptions;
+
+    explicit Runner(Options opts = {});
+    ~Runner();
+
+    Runner(const Runner &) = delete;
+    Runner &operator=(const Runner &) = delete;
+
+    /** The pool size this runner resolved to. */
+    unsigned jobs() const { return nThreads; }
+
+    /**
+     * Execute a batch.  Results arrive in submission order:
+     * result[i] corresponds to batch[i].  A job that throws yields a
+     * RunResult with ok = false and the exception message in `error`.
+     *
+     * @param phase  label for progress lines (one batch per figure)
+     */
+    std::vector<RunResult> run(const std::vector<RunRequest> &batch,
+                               const std::string &phase = "");
+
+    /**
+     * The shared per-program context for a workload, created on first
+     * use — the same context runner jobs use, so artefacts prepared
+     * here (or by an earlier batch) are visible to later batches.
+     */
+    ProgramContext &context(const workloads::WorkloadSpec &spec,
+                            bool alt_input = false);
+
+    /** Resolve the default worker count (MG_JOBS or all cores). */
+    static unsigned defaultJobs();
+
+  private:
+    struct BatchState
+    {
+        const std::vector<RunRequest> *reqs = nullptr;
+        std::vector<RunResult> *results = nullptr;
+        size_t next = 0;
+        size_t done = 0;
+        std::string phase;
+    };
+
+    /** A context plus its once-only construction latch. */
+    struct ContextSlot
+    {
+        std::once_flag once;
+        std::unique_ptr<ProgramContext> ctx;
+    };
+
+    void workerLoop();
+    RunResult execute(const RunRequest &req);
+
+    Options opts;
+    unsigned nThreads = 1;
+    std::vector<std::thread> workers;
+
+    std::mutex mu;                ///< guards cur + stopping
+    std::condition_variable cvWork;
+    std::condition_variable cvDone;
+    BatchState *cur = nullptr;
+    bool stopping = false;
+
+    std::mutex ctxMu;             ///< guards the contexts map
+    std::map<std::string, std::unique_ptr<ContextSlot>> contexts;
+};
+
+} // namespace mg::sim
+
+#endif // MG_SIM_RUNNER_H

@@ -86,4 +86,53 @@ enlargedConfig()
     return c;
 }
 
+namespace
+{
+
+struct ConfigEntry
+{
+    const char *name;
+    CoreConfig (*factory)();
+};
+
+constexpr ConfigEntry kConfigRegistry[] = {
+    {"full", fullConfig},         {"reduced", reducedConfig},
+    {"2way", twoWayConfig},       {"8way", eightWayConfig},
+    {"dmem4", dmemQuarterConfig}, {"enlarged", enlargedConfig},
+};
+
+} // namespace
+
+std::optional<CoreConfig>
+configFromName(const std::string &name)
+{
+    for (const auto &e : kConfigRegistry) {
+        if (name == e.name)
+            return e.factory();
+    }
+    return std::nullopt;
+}
+
+std::string
+nameOf(const CoreConfig &config)
+{
+    for (const auto &e : kConfigRegistry) {
+        if (config.name == e.factory().name)
+            return e.name;
+    }
+    return "";
+}
+
+const std::vector<std::string> &
+allConfigNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> out;
+        for (const auto &e : kConfigRegistry)
+            out.emplace_back(e.name);
+        return out;
+    }();
+    return names;
+}
+
 } // namespace mg::uarch

@@ -10,7 +10,9 @@
 #define MG_UARCH_CONFIG_H
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <vector>
 
 namespace mg::uarch
 {
@@ -132,6 +134,26 @@ CoreConfig dmemQuarterConfig();
 
 /** Baseline enlarged to 40 IQ entries / 164 registers (knee check). */
 CoreConfig enlargedConfig();
+
+// --- Name registry -----------------------------------------------------
+//
+// Every preset above has a short registry name used by the CLI, the
+// batch runner's job lists and the parameterised tests:
+//
+//   full reduced 2way 8way dmem4 enlarged
+
+/** Look up a preset by registry name; nullopt for unknown names. */
+std::optional<CoreConfig> configFromName(const std::string &name);
+
+/**
+ * The registry name of a configuration ("" if it is not one of the
+ * presets — matched by CoreConfig::name, so renamed copies don't
+ * count).
+ */
+std::string nameOf(const CoreConfig &config);
+
+/** All registry names, in Table-1 order. */
+const std::vector<std::string> &allConfigNames();
 
 } // namespace mg::uarch
 

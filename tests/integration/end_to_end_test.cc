@@ -74,8 +74,8 @@ TEST(EndToEnd, TimingRunPreservesInstructionCount)
     auto spec = *workloads::findWorkload("gcc_like.0");
     ProgramContext ctx(spec);
     auto base = ctx.baseline(uarch::fullConfig());
-    auto run = ctx.runSelector(SelectorKind::StructAll,
-                               uarch::fullConfig());
+    auto run = ctx.run({.config = uarch::fullConfig(),
+                        .selector = SelectorKind::StructAll});
     EXPECT_EQ(base.originalInsts, run.sim.originalInsts);
 }
 
@@ -83,8 +83,8 @@ TEST(EndToEnd, CoverageAccountingConsistent)
 {
     auto spec = *workloads::findWorkload("bitcount.0");
     ProgramContext ctx(spec);
-    auto run = ctx.runSelector(SelectorKind::StructAll,
-                               uarch::reducedConfig());
+    auto run = ctx.run({.config = uarch::reducedConfig(),
+                        .selector = SelectorKind::StructAll});
     EXPECT_GT(run.coverage(), 0.2);
     EXPECT_LE(run.coverage(), 1.0);
     EXPECT_GT(run.sim.committedHandles, 0u);
@@ -112,9 +112,12 @@ TEST(EndToEnd, CoverageOrderingAcrossSelectors)
     auto spec = *workloads::findWorkload("sha_like.0");
     ProgramContext ctx(spec);
     auto red = uarch::reducedConfig();
-    auto all = ctx.runSelector(SelectorKind::StructAll, red);
-    auto none = ctx.runSelector(SelectorKind::StructNone, red);
-    auto prof = ctx.runSelector(SelectorKind::SlackProfile, red);
+    auto all =
+        ctx.run({.config = red, .selector = SelectorKind::StructAll});
+    auto none =
+        ctx.run({.config = red, .selector = SelectorKind::StructNone});
+    auto prof =
+        ctx.run({.config = red, .selector = SelectorKind::SlackProfile});
     EXPECT_GT(all.coverage(), none.coverage());
     EXPECT_GE(all.coverage() + 1e-9, prof.coverage());
     EXPECT_GE(prof.coverage() + 1e-9, none.coverage());
@@ -144,8 +147,8 @@ TEST(EndToEnd, SlackDynamicDisablesSerializingGraphs)
     static std::deque<assembler::Program> hold;
     hold.push_back(assembler::assemble(src));
     ProgramContext ctx(hold.back());
-    auto run = ctx.runSelector(SelectorKind::SlackDynamic,
-                               uarch::reducedConfig());
+    auto run = ctx.run({.config = uarch::reducedConfig(),
+                        .selector = SelectorKind::SlackDynamic});
     EXPECT_GT(run.sim.slackDynamic.serializedIssues, 0u);
 }
 
@@ -154,8 +157,10 @@ TEST(EndToEnd, IdealSlackDynamicAvoidsOutliningJumps)
     auto spec = *workloads::findWorkload("mcf_like.0");
     ProgramContext ctx(spec);
     auto red = uarch::reducedConfig();
-    auto real = ctx.runSelector(SelectorKind::SlackDynamic, red);
-    auto ideal = ctx.runSelector(SelectorKind::IdealSlackDynamic, red);
+    auto real =
+        ctx.run({.config = red, .selector = SelectorKind::SlackDynamic});
+    auto ideal = ctx.run(
+        {.config = red, .selector = SelectorKind::IdealSlackDynamic});
     // Only the real variant fetches outlining jumps.
     if (real.sim.disabledExpansions > 0) {
         EXPECT_GT(real.sim.outliningJumps, 0u);
@@ -167,10 +172,10 @@ TEST(EndToEnd, ProfileCachingIsStable)
 {
     auto spec = *workloads::findWorkload("fft_like.0");
     ProgramContext ctx(spec);
-    auto r1 = ctx.runSelector(SelectorKind::SlackProfile,
-                              uarch::reducedConfig());
-    auto r2 = ctx.runSelector(SelectorKind::SlackProfile,
-                              uarch::reducedConfig());
+    auto r1 = ctx.run({.config = uarch::reducedConfig(),
+                       .selector = SelectorKind::SlackProfile});
+    auto r2 = ctx.run({.config = uarch::reducedConfig(),
+                       .selector = SelectorKind::SlackProfile});
     EXPECT_EQ(r1.sim.cycles, r2.sim.cycles);
 }
 
@@ -183,9 +188,11 @@ TEST(EndToEnd, CrossTrainedProfileStillSound)
     ProgramContext ctx(spec);
     auto red = uarch::reducedConfig();
     auto cross_cfg = uarch::eightWayConfig();
-    auto self = ctx.runSelector(SelectorKind::SlackProfile, red);
-    auto cross = ctx.runSelector(SelectorKind::SlackProfile, red,
-                                 &cross_cfg);
+    auto self =
+        ctx.run({.config = red, .selector = SelectorKind::SlackProfile});
+    auto cross = ctx.run({.config = red,
+                          .selector = SelectorKind::SlackProfile,
+                          .profileConfig = cross_cfg});
     EXPECT_EQ(self.sim.originalInsts, cross.sim.originalInsts);
     double ratio = static_cast<double>(self.sim.cycles) /
                    static_cast<double>(cross.sim.cycles);

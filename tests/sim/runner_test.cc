@@ -1,0 +1,202 @@
+/**
+ * @file
+ * The parallel experiment runner: determinism across pool sizes,
+ * concurrent jobs sharing one ProgramContext, and the config /
+ * selector name registries the batch API is driven by.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/runner.h"
+
+namespace mg::sim
+{
+namespace
+{
+
+using minigraph::SelectorKind;
+
+/** A 6-job batch over two programs: baselines plus selector runs. */
+std::vector<RunRequest>
+sixJobBatch()
+{
+    auto full = *uarch::configFromName("full");
+    auto reduced = *uarch::configFromName("reduced");
+    auto w1 = *workloads::findWorkload("crc32.0");
+    auto w2 = *workloads::findWorkload("bitcount.0");
+
+    std::vector<RunRequest> jobs;
+    jobs.push_back({.workload = w1, .config = full});
+    jobs.push_back({.workload = w1,
+                    .config = reduced,
+                    .selector = SelectorKind::StructAll});
+    jobs.push_back({.workload = w1,
+                    .config = reduced,
+                    .selector = SelectorKind::SlackProfile});
+    jobs.push_back({.workload = w2, .config = full});
+    jobs.push_back({.workload = w2,
+                    .config = reduced,
+                    .selector = SelectorKind::StructNone});
+    jobs.push_back({.workload = w2,
+                    .config = reduced,
+                    .selector = SelectorKind::SlackProfile});
+    return jobs;
+}
+
+void
+expectBitIdentical(const RunResult &a, const RunResult &b)
+{
+    EXPECT_EQ(a.sim.cycles, b.sim.cycles);
+    EXPECT_EQ(a.sim.originalInsts, b.sim.originalInsts);
+    EXPECT_EQ(a.sim.committedUnits, b.sim.committedUnits);
+    EXPECT_EQ(a.sim.committedHandles, b.sim.committedHandles);
+    EXPECT_EQ(a.sim.coveredInsts, b.sim.coveredInsts);
+    EXPECT_EQ(a.sim.memOrderViolations, b.sim.memOrderViolations);
+    EXPECT_EQ(a.sim.issueReplays, b.sim.issueReplays);
+    EXPECT_EQ(a.templatesUsed, b.templatesUsed);
+    EXPECT_EQ(a.instances, b.instances);
+}
+
+TEST(Runner, ParallelMatchesSerialBitIdentical)
+{
+    auto jobs = sixJobBatch();
+
+    Runner serial({.jobs = 1});
+    Runner parallel({.jobs = 4});
+    auto a = serial.run(jobs, "serial");
+    auto b = parallel.run(jobs, "parallel");
+
+    ASSERT_EQ(a.size(), jobs.size());
+    ASSERT_EQ(b.size(), jobs.size());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        ASSERT_TRUE(a[i].ok) << a[i].error;
+        ASSERT_TRUE(b[i].ok) << b[i].error;
+        expectBitIdentical(a[i], b[i]);
+    }
+}
+
+TEST(Runner, ResultsArriveInSubmissionOrder)
+{
+    auto jobs = sixJobBatch();
+    Runner runner({.jobs = 4});
+    auto results = runner.run(jobs, "order");
+
+    // Independent serial reference, per submission index.
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        ProgramContext ctx(jobs[i].workload);
+        auto expect = ctx.run(jobs[i]);
+        ASSERT_TRUE(results[i].ok) << results[i].error;
+        expectBitIdentical(expect, results[i]);
+    }
+}
+
+TEST(Runner, ConcurrentJobsShareOneContext)
+{
+    auto reduced = *uarch::configFromName("reduced");
+    auto spec = *workloads::findWorkload("crc32.0");
+
+    Runner runner({.jobs = 4});
+    // Same shared context throughout the runner's lifetime.
+    ProgramContext *ctx = &runner.context(spec);
+    EXPECT_EQ(ctx, &runner.context(spec));
+    // The alternate-input build is a distinct context.
+    EXPECT_NE(ctx, &runner.context(spec, /*alt_input=*/true));
+
+    // Four concurrent jobs on one program: two pairs racing the same
+    // lazy caches (profile, pool, baseline).
+    std::vector<RunRequest> jobs;
+    for (int i = 0; i < 2; ++i) {
+        jobs.push_back({.workload = spec, .config = reduced});
+        jobs.push_back({.workload = spec,
+                        .config = reduced,
+                        .selector = SelectorKind::SlackProfile});
+    }
+    auto results = runner.run(jobs, "shared");
+    ASSERT_EQ(results.size(), 4u);
+    for (const auto &r : results)
+        ASSERT_TRUE(r.ok) << r.error;
+    expectBitIdentical(results[0], results[2]);
+    expectBitIdentical(results[1], results[3]);
+    EXPECT_GT(results[1].sim.committedHandles, 0u);
+}
+
+TEST(Runner, ReportsFailedJobsWithoutThrowing)
+{
+    // A degenerate workload spec that cannot build.
+    workloads::WorkloadSpec bogus;
+    bogus.kernel = "no_such_kernel";
+    bogus.suite = "spec";
+
+    Runner runner({.jobs = 2});
+    std::vector<RunRequest> jobs;
+    jobs.push_back({.workload = bogus});
+    auto results = runner.run(jobs, "failing");
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_FALSE(results[0].ok);
+    EXPECT_FALSE(results[0].error.empty());
+}
+
+TEST(NameRegistry, ConfigRoundTrip)
+{
+    EXPECT_EQ(uarch::allConfigNames().size(), 6u);
+    for (const auto &name : uarch::allConfigNames()) {
+        auto cfg = uarch::configFromName(name);
+        ASSERT_TRUE(cfg.has_value()) << name;
+        EXPECT_EQ(uarch::nameOf(*cfg), name);
+    }
+    EXPECT_FALSE(uarch::configFromName("bogus").has_value());
+    uarch::CoreConfig custom;
+    custom.name = "hand-rolled";
+    EXPECT_EQ(uarch::nameOf(custom), "");
+}
+
+TEST(NameRegistry, SelectorRoundTrip)
+{
+    EXPECT_EQ(minigraph::allSelectorNames().size(), 10u);
+    for (const auto &name : minigraph::allSelectorNames()) {
+        auto kind = minigraph::selectorFromName(name);
+        ASSERT_TRUE(kind.has_value()) << name;
+        EXPECT_EQ(minigraph::nameOf(*kind), name);
+    }
+    EXPECT_FALSE(minigraph::selectorFromName("bogus").has_value());
+
+    // Every enum value has a registry name and a display name.
+    for (auto kind :
+         {SelectorKind::StructAll, SelectorKind::StructNone,
+          SelectorKind::StructBounded, SelectorKind::SlackProfile,
+          SelectorKind::SlackProfileDelay,
+          SelectorKind::SlackProfileSial, SelectorKind::SlackDynamic,
+          SelectorKind::IdealSlackDynamic,
+          SelectorKind::IdealSlackDynamicDelay,
+          SelectorKind::IdealSlackDynamicSial}) {
+        EXPECT_FALSE(minigraph::nameOf(kind).empty());
+        EXPECT_NE(minigraph::selectorName(kind), "?");
+    }
+}
+
+TEST(RunRequestApi, BaselineSelectorAndChosenShareOnePath)
+{
+    auto reduced = *uarch::configFromName("reduced");
+    auto spec = *workloads::findWorkload("crc32.0");
+    ProgramContext ctx(spec);
+
+    // Baseline: no selector, no mini-graphs committed.
+    auto base = ctx.run({.config = reduced});
+    EXPECT_TRUE(base.ok);
+    EXPECT_EQ(base.sim.committedHandles, 0u);
+    EXPECT_EQ(base.sim.cycles, ctx.baseline(reduced).cycles);
+
+    // Selector path commits mini-graphs.
+    auto sel = ctx.run(
+        {.config = reduced, .selector = SelectorKind::StructAll});
+    EXPECT_TRUE(sel.ok);
+    EXPECT_GT(sel.sim.committedHandles, 0u);
+
+    // Empty explicit chosen set behaves like the baseline.
+    auto none = ctx.run({.config = reduced,
+                         .chosen = std::vector<minigraph::Candidate>{}});
+    EXPECT_EQ(none.sim.committedHandles, 0u);
+}
+
+} // namespace
+} // namespace mg::sim

@@ -6,10 +6,12 @@
  * results are deterministic, all presets run every program shape).
  */
 
+#include <cctype>
 #include <deque>
 #include <gtest/gtest.h>
 
 #include "assembler/assembler.h"
+#include "uarch/config.h"
 #include "uarch/core.h"
 
 namespace mg::uarch
@@ -54,23 +56,15 @@ mixedProgram()
     return p;
 }
 
-class ConfigSweep : public ::testing::TestWithParam<const char *>
+class ConfigSweep : public ::testing::TestWithParam<std::string>
 {
   protected:
     static CoreConfig
     configOf(const std::string &name)
     {
-        if (name == "full")
-            return fullConfig();
-        if (name == "reduced")
-            return reducedConfig();
-        if (name == "2way")
-            return twoWayConfig();
-        if (name == "8way")
-            return eightWayConfig();
-        if (name == "dmem4")
-            return dmemQuarterConfig();
-        return enlargedConfig();
+        auto cfg = configFromName(name);
+        EXPECT_TRUE(cfg.has_value()) << name;
+        return *cfg;
     }
 };
 
@@ -90,10 +84,14 @@ TEST_P(ConfigSweep, DeterministicAcrossRuns)
 }
 
 INSTANTIATE_TEST_SUITE_P(AllPresets, ConfigSweep,
-                         ::testing::Values("full", "reduced", "2way",
-                                           "8way", "dmem4", "enlarged"),
+                         ::testing::ValuesIn(allConfigNames()),
                          [](const auto &info) {
-                             return std::string(info.param);
+                             std::string n = info.param;
+                             for (char &c : n)
+                                 if (!std::isalnum(
+                                         static_cast<unsigned char>(c)))
+                                     c = '_';
+                             return n;
                          });
 
 TEST(ConfigMonotonicity, WidthOrderingOnParallelCode)

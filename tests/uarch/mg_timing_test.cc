@@ -136,8 +136,9 @@ TEST(MgTiming, SerializingAggregateStretchesRecurrence)
         "       bnez r29, loop\n"
         "       halt\n"));
     sim::ProgramContext ctx(prog);
-    auto safe = ctx.runSelector(minigraph::SelectorKind::SlackProfile,
-                                fullConfig());
+    auto safe =
+        ctx.run({.config = fullConfig(),
+                 .selector = minigraph::SelectorKind::SlackProfile});
     EXPECT_LT(static_cast<double>(safe.sim.cycles),
               1.1 * static_cast<double>(r.base.cycles));
 }

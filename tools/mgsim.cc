@@ -3,31 +3,56 @@
  * mgsim: command-line driver for the mini-graph toolchain.
  *
  *   mgsim run <prog.s|workload> [--config NAME] [--selector NAME]
+ *             [--jobs N] [--json]
+ *   mgsim batch <jobs.txt|-> [--jobs N] [--json] [--progress]
  *   mgsim candidates <prog.s|workload>
  *   mgsim disasm <prog.s|workload>
  *   mgsim profile <prog.s|workload> [--config NAME]   (stdout: profile)
  *   mgsim workloads
  *   mgsim configs
+ *   mgsim selectors
  *
  * A program argument is either a path to an MG-RISC assembly file or
  * the name of a built-in benchmark (e.g. "adpcm_c.0").
+ *
+ * A batch job list has one job per line ('#' starts a comment):
+ *
+ *   <workload> <config> <selector|none> [profile=<config>]
+ *       [budget=<n>] [alt] [cross-input]
+ *
+ * Jobs run through the parallel sim::Runner (pool size: --jobs, else
+ * MG_JOBS, else all cores) and results print in submission order.
  */
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <optional>
 #include <sstream>
 
 #include "assembler/assembler.h"
 #include "common/stats_util.h"
+#include "common/string_util.h"
 #include "profile/profile_io.h"
-#include "sim/experiment.h"
+#include "sim/runner.h"
 
 namespace
 {
 
 using namespace mg;
+
+std::string
+joinNames(const std::vector<std::string> &names)
+{
+    std::string out;
+    for (const auto &n : names) {
+        if (!out.empty())
+            out += " ";
+        out += n;
+    }
+    return out;
+}
 
 int
 usage()
@@ -37,51 +62,27 @@ usage()
         "usage:\n"
         "  mgsim run <prog.s|workload> [--config NAME] [--selector "
         "NAME]\n"
+        "            [--jobs N] [--json]\n"
+        "  mgsim batch <jobs.txt|-> [--jobs N] [--json] [--progress]\n"
         "  mgsim candidates <prog.s|workload>\n"
         "  mgsim disasm <prog.s|workload>\n"
         "  mgsim profile <prog.s|workload> [--config NAME]\n"
         "  mgsim workloads\n"
         "  mgsim configs\n"
+        "  mgsim selectors\n"
         "\n"
-        "configs: full reduced 2way 8way dmem4 enlarged\n"
-        "selectors: none struct-all struct-none struct-bounded\n"
-        "           slack-profile slack-dynamic\n");
+        "batch job lines: <workload> <config> <selector|none>\n"
+        "                 [profile=<config>] [budget=<n>] [alt] "
+        "[cross-input]\n"
+        "--jobs N   worker threads (default: MG_JOBS, else all cores)\n"
+        "--json     machine-readable results (one JSON object per "
+        "job)\n"
+        "\n"
+        "configs: %s\n"
+        "selectors: none %s\n",
+        joinNames(uarch::allConfigNames()).c_str(),
+        joinNames(minigraph::allSelectorNames()).c_str());
     return 2;
-}
-
-std::optional<uarch::CoreConfig>
-configByName(const std::string &name)
-{
-    if (name == "full")
-        return uarch::fullConfig();
-    if (name == "reduced")
-        return uarch::reducedConfig();
-    if (name == "2way")
-        return uarch::twoWayConfig();
-    if (name == "8way")
-        return uarch::eightWayConfig();
-    if (name == "dmem4")
-        return uarch::dmemQuarterConfig();
-    if (name == "enlarged")
-        return uarch::enlargedConfig();
-    return std::nullopt;
-}
-
-std::optional<minigraph::SelectorKind>
-selectorByName(const std::string &name)
-{
-    using K = minigraph::SelectorKind;
-    if (name == "struct-all")
-        return K::StructAll;
-    if (name == "struct-none")
-        return K::StructNone;
-    if (name == "struct-bounded")
-        return K::StructBounded;
-    if (name == "slack-profile")
-        return K::SlackProfile;
-    if (name == "slack-dynamic")
-        return K::SlackDynamic;
-    return std::nullopt;
 }
 
 std::optional<assembler::Program>
@@ -134,14 +135,72 @@ printStats(const uarch::SimResult &r)
                 static_cast<unsigned long long>(r.issueReplays));
 }
 
-int
-cmdRun(const std::string &prog_arg, const std::string &config_name,
-       const std::string &selector_name)
+/** One machine-readable result line. */
+void
+printJson(const sim::RunRequest &req, const std::string &program_name,
+          const sim::RunResult &r)
 {
-    auto cfg = configByName(config_name);
+    if (!r.ok) {
+        std::printf("{\"workload\":\"%s\",\"ok\":false,"
+                    "\"error\":\"%s\"}\n",
+                    program_name.c_str(), r.error.c_str());
+        return;
+    }
+    std::string selector =
+        req.selector ? minigraph::nameOf(*req.selector) : "none";
+    std::printf(
+        "{\"workload\":\"%s\",\"config\":\"%s\",\"selector\":\"%s\","
+        "\"cycles\":%llu,\"instructions\":%llu,\"ipc\":%.4f,"
+        "\"coverage\":%.4f,\"templates\":%u,\"instances\":%zu,"
+        "\"ok\":true}\n",
+        program_name.c_str(), req.config.name.c_str(), selector.c_str(),
+        static_cast<unsigned long long>(r.sim.cycles),
+        static_cast<unsigned long long>(r.sim.originalInsts), r.ipc(),
+        r.coverage(), r.templatesUsed, r.instances);
+}
+
+struct CommonFlags
+{
+    std::string config = "reduced";
+    std::string selector = "none";
+    unsigned jobs = 0;
+    bool json = false;
+    bool progress = false;
+};
+
+/** Parse trailing flags; returns false on an unknown flag. */
+bool
+parseFlags(int argc, char **argv, int start, CommonFlags &out)
+{
+    for (int i = start; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--config") == 0 && i + 1 < argc) {
+            out.config = argv[++i];
+        } else if (std::strcmp(argv[i], "--selector") == 0 &&
+                   i + 1 < argc) {
+            out.selector = argv[++i];
+        } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+            long v = std::atol(argv[++i]);
+            if (v <= 0)
+                return false;
+            out.jobs = static_cast<unsigned>(v);
+        } else if (std::strcmp(argv[i], "--json") == 0) {
+            out.json = true;
+        } else if (std::strcmp(argv[i], "--progress") == 0) {
+            out.progress = true;
+        } else {
+            return false;
+        }
+    }
+    return true;
+}
+
+int
+cmdRun(const std::string &prog_arg, const CommonFlags &flags)
+{
+    auto cfg = uarch::configFromName(flags.config);
     if (!cfg) {
         std::fprintf(stderr, "unknown config '%s'\n",
-                     config_name.c_str());
+                     flags.config.c_str());
         return 2;
     }
     auto prog = loadProgram(prog_arg);
@@ -150,25 +209,170 @@ cmdRun(const std::string &prog_arg, const std::string &config_name,
         return 2;
     }
 
+    sim::RunRequest req;
+    req.config = *cfg;
+    if (flags.selector != "none") {
+        auto kind = minigraph::selectorFromName(flags.selector);
+        if (!kind) {
+            std::fprintf(stderr, "unknown selector '%s'\n",
+                         flags.selector.c_str());
+            return 2;
+        }
+        req.selector = *kind;
+    }
+
     sim::ProgramContext ctx(*prog);
+    auto run = ctx.run(req);
+    if (flags.json) {
+        printJson(req, prog->name, run);
+        return run.ok ? 0 : 1;
+    }
     std::printf("program '%s': %zu static instructions, config %s\n",
                 prog->name.c_str(), prog->size(), cfg->name.c_str());
-    if (selector_name == "none") {
-        printStats(ctx.baseline(*cfg));
-        return 0;
+    if (req.selector) {
+        std::printf("selector %s: %u templates, %zu sites\n",
+                    minigraph::selectorName(*req.selector).c_str(),
+                    run.templatesUsed, run.instances);
     }
-    auto kind = selectorByName(selector_name);
-    if (!kind) {
-        std::fprintf(stderr, "unknown selector '%s'\n",
-                     selector_name.c_str());
-        return 2;
-    }
-    auto run = ctx.runSelector(*kind, *cfg);
-    std::printf("selector %s: %u templates, %zu sites\n",
-                minigraph::selectorName(*kind).c_str(),
-                run.templatesUsed, run.instances);
     printStats(run.sim);
     return 0;
+}
+
+/** Parse one batch-file line into a request; false on error. */
+bool
+parseJobLine(const std::string &line, sim::RunRequest &out,
+             std::string &err)
+{
+    auto tokens = splitWhitespace(line);
+    if (tokens.size() < 3) {
+        err = "expected: <workload> <config> <selector|none>";
+        return false;
+    }
+    auto spec = workloads::findWorkload(tokens[0]);
+    if (!spec) {
+        err = "unknown workload '" + tokens[0] + "'";
+        return false;
+    }
+    out.workload = *spec;
+    auto cfg = uarch::configFromName(tokens[1]);
+    if (!cfg) {
+        err = "unknown config '" + tokens[1] + "'";
+        return false;
+    }
+    out.config = *cfg;
+    if (tokens[2] != "none") {
+        auto kind = minigraph::selectorFromName(tokens[2]);
+        if (!kind) {
+            err = "unknown selector '" + tokens[2] + "'";
+            return false;
+        }
+        out.selector = *kind;
+    }
+    for (size_t i = 3; i < tokens.size(); ++i) {
+        const std::string &t = tokens[i];
+        if (t == "alt") {
+            out.altInput = true;
+        } else if (t == "cross-input") {
+            out.profileFromAltInput = true;
+        } else if (startsWith(t, "profile=")) {
+            auto pc = uarch::configFromName(t.substr(8));
+            if (!pc) {
+                err = "unknown profile config '" + t.substr(8) + "'";
+                return false;
+            }
+            out.profileConfig = *pc;
+        } else if (startsWith(t, "budget=")) {
+            int64_t v = 0;
+            if (!parseInt(t.substr(7), v) || v <= 0) {
+                err = "bad budget '" + t + "'";
+                return false;
+            }
+            out.templateBudget = static_cast<uint32_t>(v);
+        } else {
+            err = "unknown option '" + t + "'";
+            return false;
+        }
+    }
+    return true;
+}
+
+int
+cmdBatch(const std::string &list_arg, const CommonFlags &flags)
+{
+    std::ifstream file;
+    std::istream *in = &std::cin;
+    if (list_arg != "-") {
+        file.open(list_arg);
+        if (!file) {
+            std::fprintf(stderr, "cannot open '%s'\n", list_arg.c_str());
+            return 2;
+        }
+        in = &file;
+    }
+
+    std::vector<sim::RunRequest> jobs;
+    std::string line;
+    size_t lineno = 0;
+    while (std::getline(*in, line)) {
+        ++lineno;
+        std::string body = trim(line.substr(0, line.find('#')));
+        if (body.empty())
+            continue;
+        sim::RunRequest req;
+        std::string err;
+        if (!parseJobLine(body, req, err)) {
+            std::fprintf(stderr, "%s:%zu: %s\n", list_arg.c_str(),
+                         lineno, err.c_str());
+            return 2;
+        }
+        jobs.push_back(std::move(req));
+    }
+    if (jobs.empty()) {
+        std::fprintf(stderr, "no jobs in '%s'\n", list_arg.c_str());
+        return 2;
+    }
+
+    sim::Runner::Options opts;
+    opts.jobs = flags.jobs;
+    opts.progress = flags.progress;
+    sim::Runner runner(opts);
+    std::fprintf(stderr, "%zu jobs on %u threads\n", jobs.size(),
+                 runner.jobs());
+    auto results = runner.run(jobs, "batch");
+
+    int rc = 0;
+    for (size_t i = 0; i < results.size(); ++i) {
+        const auto &req = jobs[i];
+        const auto &r = results[i];
+        std::string wname =
+            req.workload.name() + (req.altInput ? "#alt" : "");
+        if (!r.ok)
+            rc = 1;
+        if (flags.json) {
+            printJson(req, wname, r);
+            continue;
+        }
+        if (!r.ok) {
+            std::printf("%-18s %-10s %-22s ERROR %s\n", wname.c_str(),
+                        req.config.name.c_str(),
+                        req.selector
+                            ? minigraph::nameOf(*req.selector).c_str()
+                            : "none",
+                        r.error.c_str());
+            continue;
+        }
+        std::printf("%-18s %-10s %-22s cycles=%-10llu ipc=%-6s "
+                    "coverage=%-6s templates=%-4u instances=%zu\n",
+                    wname.c_str(), req.config.name.c_str(),
+                    req.selector
+                        ? minigraph::nameOf(*req.selector).c_str()
+                        : "none",
+                    static_cast<unsigned long long>(r.sim.cycles),
+                    fmtDouble(r.ipc(), 3).c_str(),
+                    fmtDouble(r.coverage(), 3).c_str(), r.templatesUsed,
+                    r.instances);
+    }
+    return rc;
 }
 
 int
@@ -215,11 +419,18 @@ main(int argc, char **argv)
         return 0;
     }
     if (cmd == "configs") {
-        for (const char *n :
-             {"full", "reduced", "2way", "8way", "dmem4", "enlarged"}) {
-            auto c = configByName(n);
-            std::printf("%-9s %u-wide, IQ %u, %u regs\n", n,
+        for (const auto &n : uarch::allConfigNames()) {
+            auto c = uarch::configFromName(n);
+            std::printf("%-9s %u-wide, IQ %u, %u regs\n", n.c_str(),
                         c->issueWidth, c->issueQueueEntries, c->physRegs);
+        }
+        return 0;
+    }
+    if (cmd == "selectors") {
+        for (const auto &n : minigraph::allSelectorNames()) {
+            auto k = minigraph::selectorFromName(n);
+            std::printf("%-26s %s\n", n.c_str(),
+                        minigraph::selectorName(*k).c_str());
         }
         return 0;
     }
@@ -227,19 +438,15 @@ main(int argc, char **argv)
         return usage();
     std::string prog_arg = argv[2];
 
-    std::string config = "reduced", selector = "none";
-    for (int i = 3; i + 1 < argc; i += 2) {
-        if (std::strcmp(argv[i], "--config") == 0)
-            config = argv[i + 1];
-        else if (std::strcmp(argv[i], "--selector") == 0)
-            selector = argv[i + 1];
-        else
-            return usage();
-    }
+    CommonFlags flags;
+    if (!parseFlags(argc, argv, 3, flags))
+        return usage();
 
     try {
         if (cmd == "run")
-            return cmdRun(prog_arg, config, selector);
+            return cmdRun(prog_arg, flags);
+        if (cmd == "batch")
+            return cmdBatch(prog_arg, flags);
         if (cmd == "candidates")
             return cmdCandidates(prog_arg);
         if (cmd == "disasm") {
@@ -250,7 +457,7 @@ main(int argc, char **argv)
             return 0;
         }
         if (cmd == "profile") {
-            auto cfg = configByName(config);
+            auto cfg = uarch::configFromName(flags.config);
             auto prog = loadProgram(prog_arg);
             if (!cfg || !prog)
                 return 2;
