@@ -75,8 +75,8 @@ pseudoMap()
 class Assembler
 {
   public:
-    Assembler(std::string_view source, const AssembleOptions &opts)
-        : opts(opts)
+    Assembler(std::string_view source, const AssembleOptions &options)
+        : opts(options)
     {
         prog.name = opts.name;
         prog.dataBase = opts.dataBase;

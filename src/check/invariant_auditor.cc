@@ -1,0 +1,357 @@
+#include "check/invariant_auditor.h"
+
+#include <algorithm>
+#include <array>
+
+#include "common/logging.h"
+#include "isa/minigraph_types.h"
+#include "uarch/core.h"
+#include "uarch/store_sets.h"
+
+namespace mg::check
+{
+
+using uarch::Core;
+using uarch::DynInst;
+using uarch::kCommitted;
+
+const DynInst &
+InvariantAuditor::robAt(const Core &c, uint64_t seq)
+{
+    return c.rob[seq % c.rob.size()];
+}
+
+bool
+InvariantAuditor::inFlight(const Core &c, uint64_t seq)
+{
+    return seq >= c.headSeq && seq < c.tailSeq &&
+           robAt(c, seq).seq == seq;
+}
+
+uint32_t
+InvariantAuditor::renamePool(const Core &c)
+{
+    return c.cfg.physRegs - isa::kNumArchRegs;
+}
+
+void
+InvariantAuditor::endOfCycle(const Core &core, uint64_t cycle)
+{
+    if (level == uarch::CheckLevel::Off)
+        return;
+    auditCheap(core, cycle);
+    if (level == uarch::CheckLevel::Full)
+        auditFull(core, cycle);
+    havePrev = true;
+    prevHeadSeq = core.headSeq;
+    prevCommittedUnits = core.res.committedUnits;
+    ++audited;
+}
+
+void
+InvariantAuditor::auditCheap(const Core &core, uint64_t cycle)
+{
+    // --- [rob] window sanity and occupancy bound ---
+    mg_check(core.headSeq <= core.tailSeq && core.tailSeq <= core.nextSeq,
+             "[rob] seq window corrupt: head=%llu tail=%llu next=%llu "
+             "(cycle %llu)",
+             static_cast<unsigned long long>(core.headSeq),
+             static_cast<unsigned long long>(core.tailSeq),
+             static_cast<unsigned long long>(core.nextSeq),
+             static_cast<unsigned long long>(cycle));
+    mg_check(core.tailSeq - core.headSeq <= core.cfg.robEntries,
+             "[rob] occupancy %llu exceeds %u entries (cycle %llu)",
+             static_cast<unsigned long long>(core.tailSeq - core.headSeq),
+             core.cfg.robEntries, static_cast<unsigned long long>(cycle));
+
+    // --- [iq]/[lq]/[sq] occupancy bounds ---
+    mg_check(core.iq.size() <= core.cfg.issueQueueEntries,
+             "[iq] occupancy %zu exceeds %u entries (cycle %llu)",
+             core.iq.size(), core.cfg.issueQueueEntries,
+             static_cast<unsigned long long>(cycle));
+    mg_check(core.lq.size() <= core.cfg.loadQueueEntries,
+             "[lq] occupancy %zu exceeds %u entries (cycle %llu)",
+             core.lq.size(), core.cfg.loadQueueEntries,
+             static_cast<unsigned long long>(cycle));
+    mg_check(core.sq.size() <= core.cfg.storeQueueEntries,
+             "[sq] occupancy %zu exceeds %u entries (cycle %llu)",
+             core.sq.size(), core.cfg.storeQueueEntries,
+             static_cast<unsigned long long>(cycle));
+
+    // --- [free-list] free count never exceeds the rename pool ---
+    mg_check(core.freePhys <= renamePool(core),
+             "[free-list] %u registers free but the rename pool only "
+             "holds %u (cycle %llu)",
+             core.freePhys, renamePool(core),
+             static_cast<unsigned long long>(cycle));
+
+    // --- [accounting] commit accounting conservation ---
+    //
+    // Every commit "unit" is a singleton (1 original instruction), a
+    // handle (0 directly, tmpl->size() covered) or an outlining jump
+    // (0).  Hence, cumulatively:
+    const uarch::SimResult &r = core.res;
+    mg_check(r.originalInsts == r.committedUnits - r.committedHandles -
+                                    r.outliningJumps + r.coveredInsts,
+             "[accounting] originalInsts=%llu != units=%llu - "
+             "handles=%llu - jumps=%llu + covered=%llu (cycle %llu)",
+             static_cast<unsigned long long>(r.originalInsts),
+             static_cast<unsigned long long>(r.committedUnits),
+             static_cast<unsigned long long>(r.committedHandles),
+             static_cast<unsigned long long>(r.outliningJumps),
+             static_cast<unsigned long long>(r.coveredInsts),
+             static_cast<unsigned long long>(cycle));
+    // A mini-graph has at least two constituents, so coverage credit
+    // must amplify handle commits at least 2x.
+    mg_check(r.coveredInsts >= 2 * r.committedHandles,
+             "[accounting] covered=%llu < 2 * handles=%llu: some handle "
+             "was credited fewer than 2 constituents (cycle %llu)",
+             static_cast<unsigned long long>(r.coveredInsts),
+             static_cast<unsigned long long>(r.committedHandles),
+             static_cast<unsigned long long>(cycle));
+
+    // Commit is the only headSeq mutation, one unit per retired slot.
+    if (havePrev) {
+        mg_check(core.headSeq - prevHeadSeq ==
+                     r.committedUnits - prevCommittedUnits,
+                 "[accounting] headSeq advanced %llu but committedUnits "
+                 "advanced %llu this cycle (cycle %llu)",
+                 static_cast<unsigned long long>(core.headSeq -
+                                                 prevHeadSeq),
+                 static_cast<unsigned long long>(r.committedUnits -
+                                                 prevCommittedUnits),
+                 static_cast<unsigned long long>(cycle));
+    }
+}
+
+void
+InvariantAuditor::auditFull(const Core &core, uint64_t cycle)
+{
+    const auto cyc = static_cast<unsigned long long>(cycle);
+
+    // --- [rob] slot integrity: every window slot holds its own seq ---
+    uint32_t inflight_dests = 0;
+    std::array<uint64_t, isa::kNumArchRegs> youngest;
+    youngest.fill(kCommitted);
+    uint32_t loads = 0, stores = 0, unissued = 0;
+
+    for (uint64_t s = core.headSeq; s < core.tailSeq; ++s) {
+        const DynInst &d = robAt(core, s);
+        mg_check(d.seq == s,
+                 "[rob] slot %llu holds seq %llu: age ordering broken "
+                 "(cycle %llu)",
+                 static_cast<unsigned long long>(s),
+                 static_cast<unsigned long long>(d.seq), cyc);
+
+        if (d.destArch >= 0) {
+            ++inflight_dests;
+            auto reg = static_cast<size_t>(d.destArch);
+            mg_check(reg > 0 && reg < isa::kNumArchRegs,
+                     "[rename] seq %llu renames illegal arch reg %d "
+                     "(cycle %llu)",
+                     static_cast<unsigned long long>(s), d.destArch,
+                     cyc);
+            if (youngest[reg] == kCommitted || s > youngest[reg])
+                youngest[reg] = s;
+        }
+        if (d.isLoadOp)
+            ++loads;
+        if (d.isStoreOp)
+            ++stores;
+        mg_check(!(d.isLoadOp && d.isStoreOp),
+                 "[rob] seq %llu is both a load and a store (cycle "
+                 "%llu)",
+                 static_cast<unsigned long long>(s), cyc);
+        if (!d.issued)
+            ++unissued;
+
+        // --- [iq] a window entry is queued iff it has not issued ---
+        mg_check(d.inIq == !d.issued,
+                 "[iq] seq %llu: inIq=%d but issued=%d (cycle %llu)",
+                 static_cast<unsigned long long>(s), d.inIq, d.issued,
+                 cyc);
+
+        // --- [issue-ready] no issue before actual operand readiness ---
+        if (d.issued) {
+            for (uint8_t i = 0; i < d.numSrcs; ++i) {
+                uint64_t p = d.srcProducers[i];
+                if (p == kCommitted)
+                    continue;
+                mg_check(p < d.seq,
+                         "[issue-ready] seq %llu reads future producer "
+                         "%llu (cycle %llu)",
+                         static_cast<unsigned long long>(d.seq),
+                         static_cast<unsigned long long>(p), cyc);
+                if (!inFlight(core, p))
+                    continue; // committed: architecturally ready
+                const DynInst &prod = robAt(core, p);
+                mg_check(prod.issued && prod.ready <= d.issueCycle,
+                         "[issue-ready] seq %llu issued at cycle %llu "
+                         "but producer %llu %s (ready at %llu) (cycle "
+                         "%llu)",
+                         static_cast<unsigned long long>(d.seq),
+                         static_cast<unsigned long long>(d.issueCycle),
+                         static_cast<unsigned long long>(p),
+                         prod.issued ? "was not ready" : "had not issued",
+                         static_cast<unsigned long long>(prod.ready),
+                         cyc);
+            }
+
+            // --- [storesets] loads never outrun a predicted store ---
+            uint64_t ws = d.waitForStore;
+            if (d.isLoadOp && ws != kCommitted &&
+                ws != uarch::StoreSets::kNone && ws < d.seq &&
+                inFlight(core, ws) && robAt(core, ws).isStoreOp) {
+                const DynInst &store = robAt(core, ws);
+                mg_check(store.memExecDone <= d.issueCycle,
+                         "[storesets] load seq %llu issued at cycle "
+                         "%llu before predicted store %llu resolved "
+                         "its address (cycle %llu) (cycle %llu)",
+                         static_cast<unsigned long long>(d.seq),
+                         static_cast<unsigned long long>(d.issueCycle),
+                         static_cast<unsigned long long>(ws),
+                         static_cast<unsigned long long>(
+                             store.memExecDone),
+                         cyc);
+            }
+        }
+
+        // --- [mg-slots] handle slot amplification ---
+        if (d.isHandle()) {
+            const isa::MgTemplate &t = *d.ex.tmpl;
+            mg_check(t.size() >= 2 && t.size() <= isa::kMaxMgSize,
+                     "[mg-slots] handle seq %llu aggregates %u "
+                     "constituents (legal: 2..%u) (cycle %llu)",
+                     static_cast<unsigned long long>(s), t.size(),
+                     isa::kMaxMgSize, cyc);
+            mg_check(d.numSrcs <= isa::kMaxMgInputs,
+                     "[mg-slots] handle seq %llu has %u external "
+                     "inputs (max %u) (cycle %llu)",
+                     static_cast<unsigned long long>(s), d.numSrcs,
+                     isa::kMaxMgInputs, cyc);
+            mg_check(d.ex.constituents.size() == t.size(),
+                     "[mg-slots] handle seq %llu records %zu "
+                     "constituent executions for a %u-constituent "
+                     "template (cycle %llu)",
+                     static_cast<unsigned long long>(s),
+                     d.ex.constituents.size(), t.size(), cyc);
+            mg_check((d.isLoadOp || d.isStoreOp) == t.hasMem &&
+                         !(d.isLoadOp && d.isStoreOp),
+                     "[mg-slots] handle seq %llu memory slot usage "
+                     "(load=%d store=%d) disagrees with template "
+                     "hasMem=%d: must hold exactly one LQ/SQ slot per "
+                     "memory constituent (cycle %llu)",
+                     static_cast<unsigned long long>(s), d.isLoadOp,
+                     d.isStoreOp, t.hasMem, cyc);
+            mg_check(d.hasDest() == t.hasOutput,
+                     "[mg-slots] handle seq %llu holds %s rename slot "
+                     "but template hasOutput=%d (cycle %llu)",
+                     static_cast<unsigned long long>(s),
+                     d.hasDest() ? "a" : "no", t.hasOutput, cyc);
+        }
+    }
+
+    // --- [free-list] conservation: free + in-flight dests == pool ---
+    mg_check(core.freePhys + inflight_dests == renamePool(core),
+             "[free-list] conservation broken: free=%u + in-flight "
+             "dests=%u != pool=%u (cycle %llu)",
+             core.freePhys, inflight_dests, renamePool(core), cyc);
+
+    // --- [rename] map points at the youngest in-flight producer ---
+    // With no in-flight producer the mapping may lag: flush rollback
+    // restores prevProducer, which can be a seq that committed while
+    // the squashed producer was in flight.  Commit only clears the
+    // map when it still points at the committing seq, so a stale
+    // *committed* seq is legal (dispatch treats it as ready); any
+    // not-yet-dispatched or squashed seq is not.
+    for (size_t reg = 0; reg < isa::kNumArchRegs; ++reg) {
+        const uint64_t mapped = core.renameMap[reg];
+        if (youngest[reg] == uarch::kCommitted &&
+            (mapped == uarch::kCommitted || mapped < core.headSeq))
+            continue;
+        mg_check(mapped == youngest[reg],
+                 "[rename] r%zu maps to %llu but the youngest in-flight "
+                 "producer is %llu (cycle %llu)",
+                 reg, static_cast<unsigned long long>(mapped),
+                 static_cast<unsigned long long>(youngest[reg]), cyc);
+    }
+
+    // --- [iq] age order and membership ---
+    mg_check(core.iq.size() == unissued,
+             "[iq] holds %zu entries but the window has %u unissued "
+             "instructions (cycle %llu)",
+             core.iq.size(), unissued, cyc);
+    for (size_t i = 0; i < core.iq.size(); ++i) {
+        uint64_t s = core.iq[i];
+        mg_check(inFlight(core, s),
+                 "[iq] entry %zu (seq %llu) is not in flight (cycle "
+                 "%llu)",
+                 i, static_cast<unsigned long long>(s), cyc);
+        mg_check(i == 0 || core.iq[i - 1] < s,
+                 "[iq] age order broken at entry %zu: %llu after %llu "
+                 "(cycle %llu)",
+                 i, static_cast<unsigned long long>(s),
+                 static_cast<unsigned long long>(core.iq[i - 1]), cyc);
+        mg_check(!robAt(core, s).issued,
+                 "[iq] seq %llu already issued but still queued (cycle "
+                 "%llu)",
+                 static_cast<unsigned long long>(s), cyc);
+    }
+
+    // --- [lq]/[sq] age order and membership <-> memory kind ---
+    auto audit_mem_queue = [&](const std::deque<uint64_t> &q,
+                               bool is_load, uint32_t expected,
+                               const char *tag) {
+        mg_check(q.size() == expected,
+                 "[%s] holds %zu entries but the window has %u "
+                 "in-flight %s ops (cycle %llu)",
+                 tag, q.size(), expected, is_load ? "load" : "store",
+                 cyc);
+        for (size_t i = 0; i < q.size(); ++i) {
+            uint64_t s = q[i];
+            mg_check(inFlight(core, s),
+                     "[%s] entry %zu (seq %llu) is not in flight "
+                     "(cycle %llu)",
+                     tag, i, static_cast<unsigned long long>(s), cyc);
+            const DynInst &d = robAt(core, s);
+            mg_check(is_load ? d.isLoadOp : d.isStoreOp,
+                     "[%s] seq %llu is not a %s op (cycle %llu)", tag,
+                     static_cast<unsigned long long>(s),
+                     is_load ? "load" : "store", cyc);
+            mg_check(i == 0 || q[i - 1] < s,
+                     "[%s] age order broken at entry %zu: %llu after "
+                     "%llu (cycle %llu)",
+                     tag, i, static_cast<unsigned long long>(s),
+                     static_cast<unsigned long long>(q[i - 1]), cyc);
+        }
+    };
+    audit_mem_queue(core.lq, true, loads, "lq");
+    audit_mem_queue(core.sq, false, stores, "sq");
+
+    // --- [fetchq] fetched-but-unrenamed seqs are contiguous ---
+    mg_check(core.fetchQueue.size() == core.nextSeq - core.tailSeq,
+             "[fetchq] %zu queued instructions but seq range "
+             "[tail=%llu, next=%llu) (cycle %llu)",
+             core.fetchQueue.size(),
+             static_cast<unsigned long long>(core.tailSeq),
+             static_cast<unsigned long long>(core.nextSeq), cyc);
+    for (size_t i = 0; i < core.fetchQueue.size(); ++i) {
+        mg_check(core.fetchQueue[i].seq == core.tailSeq + i,
+                 "[fetchq] entry %zu holds seq %llu, expected %llu "
+                 "(cycle %llu)",
+                 i,
+                 static_cast<unsigned long long>(core.fetchQueue[i].seq),
+                 static_cast<unsigned long long>(core.tailSeq + i), cyc);
+    }
+
+    // --- [sdwatch] consumer watch only tracks in-flight producers ---
+    for (const auto &[producer, handle_pc] : core.sdWatch) {
+        mg_check(inFlight(core, producer),
+                 "[sdwatch] watched producer %llu (handle pc %u) is "
+                 "not in flight (cycle %llu)",
+                 static_cast<unsigned long long>(producer), handle_pc,
+                 cyc);
+    }
+}
+
+} // namespace mg::check

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * End-of-cycle pipeline invariant auditor for the timing core.
+ *
+ * The auditor re-derives the structural invariants the out-of-order
+ * model is supposed to maintain and throws mg::CheckError (via
+ * mg_check) on the first violation, naming the violated class:
+ *
+ *   [rob]         seq window sanity, slot integrity, occupancy bound
+ *   [fetchq]      fetch-queue seq contiguity with the ROB tail
+ *   [free-list]   physical-register conservation:
+ *                 free + in-flight dests == physRegs - kNumArchRegs
+ *   [rename]      rename map points at the youngest in-flight producer
+ *   [iq]          occupancy bound, age order, inIq/issued consistency
+ *   [lq]/[sq]     occupancy bounds, age order, membership <-> mem kind
+ *   [issue-ready] nothing issued before its actual operand readiness
+ *   [storesets]   no load issued past a predicted-conflicting store
+ *                 whose address was still unknown
+ *   [mg-slots]    handle slot amplification: one ROB/IQ/rename slot,
+ *                 template-sized constituent record, interface bounds
+ *   [accounting]  commit accounting conservation (original-instruction
+ *                 reconstruction, coverage vs handles, Delta-units ==
+ *                 Delta-headSeq)
+ *   [sdwatch]     Slack-Dynamic consumer watch only tracks in-flight
+ *                 producers
+ *
+ * CheckLevel::Cheap runs the O(1) subset (bounds and accounting) every
+ * cycle; CheckLevel::Full additionally walks the in-flight window.
+ *
+ * Layering: this lives in mg_check, *below* mg_uarch.  It reads
+ * uarch::Core's private state (as a friend) through headers only and
+ * calls no mg_uarch out-of-line code, so mg_uarch can link mg_check
+ * without a cycle.
+ */
+
+#ifndef MG_CHECK_INVARIANT_AUDITOR_H
+#define MG_CHECK_INVARIANT_AUDITOR_H
+
+#include <cstdint>
+
+#include "uarch/config.h"
+
+namespace mg::uarch
+{
+class Core;
+struct DynInst;
+}
+
+namespace mg::check
+{
+
+/** Per-core auditor instance (owns cross-cycle snapshots). */
+class InvariantAuditor
+{
+  public:
+    explicit InvariantAuditor(uarch::CheckLevel check_level)
+        : level(check_level)
+    {
+    }
+
+    /**
+     * Audit one finished cycle.  Throws mg::CheckError on the first
+     * violated invariant.
+     *
+     * @param core  the core, after all stages of `cycle` ran
+     * @param cycle the just-finished cycle number
+     */
+    void endOfCycle(const uarch::Core &core, uint64_t cycle);
+
+    /** Number of cycles audited so far (tests / reporting). */
+    uint64_t cyclesAudited() const { return audited; }
+
+    uarch::CheckLevel checkLevel() const { return level; }
+
+  private:
+    void auditCheap(const uarch::Core &core, uint64_t cycle);
+    void auditFull(const uarch::Core &core, uint64_t cycle);
+
+    // Local re-implementations of Core's seq arithmetic: the auditor
+    // must not inherit a bug in the helpers it is auditing.  Static
+    // members (not free functions) so friendship covers them.
+    static const uarch::DynInst &robAt(const uarch::Core &c,
+                                       uint64_t seq);
+    static bool inFlight(const uarch::Core &c, uint64_t seq);
+    static uint32_t renamePool(const uarch::Core &c);
+
+    uarch::CheckLevel level;
+    uint64_t audited = 0;
+
+    // Previous-cycle snapshot for the commit-delta invariant.
+    bool havePrev = false;
+    uint64_t prevHeadSeq = 0;
+    uint64_t prevCommittedUnits = 0;
+};
+
+} // namespace mg::check
+
+#endif // MG_CHECK_INVARIANT_AUDITOR_H

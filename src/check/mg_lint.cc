@@ -1,0 +1,688 @@
+#include "check/mg_lint.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace mg::check
+{
+
+using assembler::Program;
+using isa::Addr;
+using isa::Instruction;
+using isa::MgConstituent;
+using isa::MgInstance;
+using isa::MgSrcKind;
+using isa::MgTemplate;
+using isa::Opcode;
+
+const char *
+lintRuleName(LintRule rule)
+{
+    switch (rule) {
+      case LintRule::Size: return "size";
+      case LintRule::Inputs: return "inputs";
+      case LintRule::Output: return "output";
+      case LintRule::Mem: return "mem";
+      case LintRule::Control: return "control";
+      case LintRule::Dataflow: return "dataflow";
+      case LintRule::Opcode: return "opcode";
+      case LintRule::Latency: return "latency";
+      case LintRule::Overlap: return "overlap";
+      case LintRule::SiteMatch: return "site-match";
+      case LintRule::Handle: return "handle";
+      case LintRule::Elided: return "elided";
+      case LintRule::Outline: return "outline";
+      case LintRule::Target: return "target";
+    }
+    return "?";
+}
+
+void
+LintReport::merge(LintReport other)
+{
+    findings.insert(findings.end(),
+                    std::make_move_iterator(other.findings.begin()),
+                    std::make_move_iterator(other.findings.end()));
+    templatesChecked += other.templatesChecked;
+    instancesChecked += other.instancesChecked;
+}
+
+std::string
+LintReport::render() const
+{
+    std::string out;
+    for (const auto &f : findings) {
+        out += strprintf("[%s] %s: %s\n", lintRuleName(f.rule),
+                         f.where.c_str(), f.message.c_str());
+    }
+    return out;
+}
+
+namespace
+{
+
+/** Append a finding. */
+void
+report(LintReport &rep, LintRule rule, const std::string &where,
+       std::string message)
+{
+    rep.findings.push_back({rule, where, std::move(message)});
+}
+
+/**
+ * May this opcode appear as a mini-graph constituent?  Re-derived
+ * from the ISA tables: constituents execute on simple ALU pipelines
+ * (no multi-cycle complex units), at most one memory reference, and
+ * the only legal control transfers are conditional branches and
+ * direct jumps (calls and indirect jumps have side effects that break
+ * the singleton interface).
+ */
+bool
+constituentOpcodeLegal(Opcode op)
+{
+    switch (isa::opInfo(op).execClass) {
+      case isa::ExecClass::IntAlu:
+      case isa::ExecClass::MemRead:
+      case isa::ExecClass::MemWrite:
+        return true;
+      case isa::ExecClass::Control:
+        return isa::isCondBranch(op) || op == Opcode::J;
+      case isa::ExecClass::IntComplex:
+      case isa::ExecClass::Nop:
+      case isa::ExecClass::MgHandle:
+        return false;
+    }
+    return false;
+}
+
+/** Does this constituent produce a value an internal edge can read? */
+bool
+producesValue(Opcode op)
+{
+    return isa::opInfo(op).writesRd;
+}
+
+/** Full field-wise instruction comparison (Instruction has no ==). */
+bool
+sameInstruction(const Instruction &a, const Instruction &b)
+{
+    return a.op == b.op && a.rd == b.rd && a.rs1 == b.rs1 &&
+           a.rs2 == b.rs2 && a.rs3 == b.rs3 && a.numSrcs == b.numSrcs &&
+           a.hasDest == b.hasDest && a.imm == b.imm &&
+           a.mgIndex == b.mgIndex;
+}
+
+/**
+ * Template independently re-derived from the instructions at a
+ * candidate site (the linter's own implementation of the canonical
+ * first-use external numbering — shares nothing with candidate.cc).
+ */
+struct DerivedSite
+{
+    std::vector<MgConstituent> ops;
+    std::vector<uint8_t> externalRegs; ///< slot -> architectural reg
+    bool failed = false;               ///< could not derive (bad site)
+    std::string error;
+};
+
+DerivedSite
+deriveSite(const Program &prog, Addr first_pc, unsigned len)
+{
+    DerivedSite out;
+    if (static_cast<size_t>(first_pc) + len > prog.code.size()) {
+        out.failed = true;
+        out.error = strprintf("site [%u,+%u) outside program of %zu",
+                              first_pc, len, prog.code.size());
+        return out;
+    }
+
+    std::array<int, isa::kNumArchRegs> def_of;
+    def_of.fill(-1);
+
+    auto bind = [&](uint8_t reg, MgSrcKind &kind, uint8_t &idx) {
+        if (reg == isa::kZeroReg) {
+            kind = MgSrcKind::None;
+            idx = 0;
+            return;
+        }
+        if (def_of[reg] >= 0) {
+            kind = MgSrcKind::Internal;
+            idx = static_cast<uint8_t>(def_of[reg]);
+            return;
+        }
+        for (size_t s = 0; s < out.externalRegs.size(); ++s) {
+            if (out.externalRegs[s] == reg) {
+                kind = MgSrcKind::External;
+                idx = static_cast<uint8_t>(s);
+                return;
+            }
+        }
+        kind = MgSrcKind::External;
+        idx = static_cast<uint8_t>(out.externalRegs.size());
+        out.externalRegs.push_back(reg);
+    };
+
+    for (unsigned k = 0; k < len; ++k) {
+        const Instruction &inst = prog.code[first_pc + k];
+        const isa::OpInfo &op_info = isa::opInfo(inst.op);
+        MgConstituent c;
+        c.op = inst.op;
+        c.imm = inst.isControl()
+                    ? inst.imm - static_cast<int64_t>(first_pc)
+                    : inst.imm;
+        if (op_info.readsRs1)
+            bind(inst.rs1, c.src1Kind, c.src1);
+        if (op_info.readsRs2)
+            bind(inst.rs2, c.src2Kind, c.src2);
+        int dest = inst.destReg();
+        if (dest >= 0)
+            def_of[static_cast<size_t>(dest)] = static_cast<int>(k);
+        out.ops.push_back(c);
+    }
+    return out;
+}
+
+/** All PCs that direct control transfers in `prog` can reach. */
+std::vector<Addr>
+directControlTargets(const Program &prog)
+{
+    std::vector<Addr> targets;
+    for (const Instruction &inst : prog.code) {
+        if (inst.isDirectControl())
+            targets.push_back(static_cast<Addr>(inst.imm));
+    }
+    return targets;
+}
+
+} // namespace
+
+LintReport
+lintTemplate(const MgTemplate &t, const std::string &where)
+{
+    LintReport rep;
+    rep.templatesChecked = 1;
+
+    // --- Size (≤4 constituents, ≥2 or it is not an aggregate) ---
+    if (t.size() < 2 || t.size() > isa::kMaxMgSize) {
+        report(rep, LintRule::Size, where,
+               strprintf("%u constituents (legal: 2..%u)", t.size(),
+                         isa::kMaxMgSize));
+        return rep; // most other rules assume a sane size
+    }
+
+    // --- External inputs (≤3, valid slots, canonical first-use order) ---
+    if (t.numInputs > isa::kMaxMgInputs) {
+        report(rep, LintRule::Inputs, where,
+               strprintf("%u external inputs (max %u)", t.numInputs,
+                         isa::kMaxMgInputs));
+    }
+    unsigned next_first_use = 0;
+    unsigned mem_ops = 0;
+    unsigned outputs = 0;
+    std::vector<uint8_t> seen_slots;
+    for (unsigned k = 0; k < t.size(); ++k) {
+        const MgConstituent &c = t.ops[k];
+        const std::string at = strprintf("%s op %u", where.c_str(), k);
+
+        if (!constituentOpcodeLegal(c.op)) {
+            report(rep, LintRule::Opcode, at,
+                   strprintf("opcode '%s' illegal inside a mini-graph",
+                             std::string(isa::mnemonic(c.op)).c_str()));
+        }
+
+        auto check_src = [&](MgSrcKind kind, uint8_t idx, const char *nm) {
+            switch (kind) {
+              case MgSrcKind::None:
+                break;
+              case MgSrcKind::External:
+                if (idx >= t.numInputs) {
+                    report(rep, LintRule::Inputs, at,
+                           strprintf("%s reads external slot %u but the "
+                                     "template declares %u inputs",
+                                     nm, idx, t.numInputs));
+                } else if (std::find(seen_slots.begin(), seen_slots.end(),
+                                     idx) == seen_slots.end()) {
+                    // First use: slots must be numbered in first-use
+                    // order or template sharing breaks.
+                    if (idx != next_first_use) {
+                        report(rep, LintRule::Inputs, at,
+                               strprintf("%s first-uses external slot %u "
+                                         "but slot %u is next in "
+                                         "canonical order",
+                                         nm, idx, next_first_use));
+                    }
+                    seen_slots.push_back(idx);
+                    ++next_first_use;
+                }
+                break;
+              case MgSrcKind::Internal:
+                if (idx >= k) {
+                    report(rep, LintRule::Dataflow, at,
+                           strprintf("%s reads constituent %u: internal "
+                                     "edges must point backwards "
+                                     "(acyclic chain)", nm, idx));
+                } else if (!producesValue(t.ops[idx].op)) {
+                    report(rep, LintRule::Dataflow, at,
+                           strprintf("%s reads constituent %u ('%s') "
+                                     "which produces no value", nm, idx,
+                                     std::string(
+                                         isa::mnemonic(t.ops[idx].op))
+                                         .c_str()));
+                }
+                break;
+            }
+        };
+        check_src(c.src1Kind, c.src1, "src1");
+        check_src(c.src2Kind, c.src2, "src2");
+
+        // --- Memory (≤1 reference) ---
+        if (isa::isMem(c.op))
+            ++mem_ops;
+
+        // --- Control (terminal only) ---
+        if (isa::isControl(c.op) && k + 1 != t.size()) {
+            report(rep, LintRule::Control, at,
+                   "control transfer before the last constituent");
+        }
+
+        // --- Output (≤1, and from a value-producing op) ---
+        if (c.producesOutput) {
+            ++outputs;
+            if (!producesValue(c.op)) {
+                report(rep, LintRule::Output, at,
+                       strprintf("'%s' marked as output producer but "
+                                 "writes no register",
+                                 std::string(isa::mnemonic(c.op))
+                                     .c_str()));
+            }
+            if (static_cast<int>(k) != t.outputIdx) {
+                report(rep, LintRule::Output, at,
+                       strprintf("marked as output producer but "
+                                 "outputIdx is %d", t.outputIdx));
+            }
+        }
+    }
+
+    if (mem_ops > 1) {
+        report(rep, LintRule::Mem, where,
+               strprintf("%u memory operations (max 1)", mem_ops));
+    }
+    if (t.hasMem != (mem_ops > 0)) {
+        report(rep, LintRule::Mem, where,
+               strprintf("hasMem=%d but template contains %u memory ops",
+                         t.hasMem, mem_ops));
+    }
+
+    if (outputs > 1) {
+        report(rep, LintRule::Output, where,
+               strprintf("%u register outputs (max 1)", outputs));
+    }
+    if (t.hasOutput != (outputs > 0) ||
+        (t.outputIdx >= 0) != (outputs > 0) ||
+        t.outputIdx >= static_cast<int>(t.size())) {
+        report(rep, LintRule::Output, where,
+               strprintf("inconsistent output marking: hasOutput=%d "
+                         "outputIdx=%d with %u marked producers",
+                         t.hasOutput, t.outputIdx, outputs));
+    }
+
+    const MgConstituent &last = t.ops[t.size() - 1];
+    bool last_control = isa::isControl(last.op);
+    if (t.hasControl != last_control) {
+        report(rep, LintRule::Control, where,
+               strprintf("hasControl=%d but last constituent %s a "
+                         "control transfer", t.hasControl,
+                         last_control ? "is" : "is not"));
+    }
+    if (t.condControl != (last_control && isa::isCondBranch(last.op))) {
+        report(rep, LintRule::Control, where,
+               strprintf("condControl=%d inconsistent with last "
+                         "constituent '%s'", t.condControl,
+                         std::string(isa::mnemonic(last.op)).c_str()));
+    }
+
+    // --- Internal latency (re-derived sum vs the template's own) ---
+    unsigned lat = 0;
+    for (const MgConstituent &c : t.ops)
+        lat += isa::opInfo(c.op).latency;
+    if (lat != t.totalLatency()) {
+        report(rep, LintRule::Latency, where,
+               strprintf("totalLatency() says %u, constituent sum is %u",
+                         t.totalLatency(), lat));
+    }
+
+    return rep;
+}
+
+LintReport
+lintTemplates(const std::vector<MgTemplate> &templates)
+{
+    LintReport rep;
+    for (size_t i = 0; i < templates.size(); ++i) {
+        rep.merge(lintTemplate(templates[i],
+                               strprintf("template %zu", i)));
+    }
+    return rep;
+}
+
+LintReport
+lintChosen(const Program &orig,
+           const std::vector<minigraph::Candidate> &chosen)
+{
+    LintReport rep;
+
+    // --- Pairwise disjointness ---
+    std::vector<const minigraph::Candidate *> by_pc;
+    by_pc.reserve(chosen.size());
+    for (const auto &c : chosen)
+        by_pc.push_back(&c);
+    std::sort(by_pc.begin(), by_pc.end(),
+              [](const auto *a, const auto *b) {
+                  return a->firstPc < b->firstPc;
+              });
+    for (size_t i = 1; i < by_pc.size(); ++i) {
+        if (by_pc[i - 1]->pcAfter() > by_pc[i]->firstPc) {
+            report(rep, LintRule::Overlap,
+                   strprintf("candidate pc %u", by_pc[i]->firstPc),
+                   strprintf("overlaps candidate at pc %u",
+                             by_pc[i - 1]->firstPc));
+        }
+    }
+
+    std::vector<Addr> targets = directControlTargets(orig);
+
+    for (const auto &c : chosen) {
+        const std::string where = strprintf("candidate pc %u", c.firstPc);
+        rep.merge(lintTemplate(c.tmpl, where));
+
+        if (c.len != c.tmpl.size()) {
+            report(rep, LintRule::SiteMatch, where,
+                   strprintf("len=%u but template has %u constituents",
+                             c.len, c.tmpl.size()));
+            continue;
+        }
+        if ((c.outputReg >= 0) != c.tmpl.hasOutput) {
+            report(rep, LintRule::SiteMatch, where,
+                   strprintf("outputReg=%d but template hasOutput=%d",
+                             c.outputReg, c.tmpl.hasOutput));
+        }
+
+        // --- The template must re-derive from the program text ---
+        DerivedSite site = deriveSite(orig, c.firstPc, c.len);
+        if (site.failed) {
+            report(rep, LintRule::SiteMatch, where, site.error);
+            continue;
+        }
+        if (site.externalRegs.size() != c.tmpl.numInputs) {
+            report(rep, LintRule::SiteMatch, where,
+                   strprintf("site needs %zu external inputs, template "
+                             "declares %u", site.externalRegs.size(),
+                             c.tmpl.numInputs));
+        } else {
+            for (size_t s = 0; s < site.externalRegs.size(); ++s) {
+                if (site.externalRegs[s] != c.inputRegs[s]) {
+                    report(rep, LintRule::SiteMatch, where,
+                           strprintf("external slot %zu is r%u at the "
+                                     "site but r%u in the candidate", s,
+                                     site.externalRegs[s],
+                                     c.inputRegs[s]));
+                }
+            }
+        }
+        for (unsigned k = 0; k < c.len; ++k) {
+            const MgConstituent &want = site.ops[k];
+            const MgConstituent &got = c.tmpl.ops[k];
+            if (want.op != got.op || want.imm != got.imm ||
+                want.src1Kind != got.src1Kind ||
+                want.src2Kind != got.src2Kind ||
+                (want.src1Kind != MgSrcKind::None &&
+                 want.src1 != got.src1) ||
+                (want.src2Kind != MgSrcKind::None &&
+                 want.src2 != got.src2)) {
+                report(rep, LintRule::SiteMatch,
+                       strprintf("%s op %u", where.c_str(), k),
+                       strprintf("template disagrees with '%s' at pc %u",
+                                 isa::disassemble(
+                                     orig.code[c.firstPc + k])
+                                     .c_str(),
+                                 c.firstPc + k));
+            }
+            if (got.producesOutput &&
+                orig.code[c.firstPc + k].destReg() != c.outputReg) {
+                report(rep, LintRule::SiteMatch,
+                       strprintf("%s op %u", where.c_str(), k),
+                       strprintf("output producer writes r%d at the "
+                                 "site, candidate says r%d",
+                                 orig.code[c.firstPc + k].destReg(),
+                                 c.outputReg));
+            }
+        }
+
+        // --- No control transfer may target the interior ---
+        for (Addr t : targets) {
+            if (t > c.firstPc && t < c.pcAfter()) {
+                report(rep, LintRule::Target, where,
+                       strprintf("pc %u inside the candidate is a "
+                                 "control-transfer target (spans a "
+                                 "basic-block boundary)", t));
+            }
+        }
+    }
+    return rep;
+}
+
+LintReport
+lintBinary(const Program &rewritten, const isa::MgBinaryInfo &info,
+           const Program *orig)
+{
+    LintReport rep;
+    rep.merge(lintTemplates(info.templates));
+    const auto &code = rewritten.code;
+
+    // --- Every MGHANDLE has an instance and vice versa ---
+    for (Addr pc = 0; pc < code.size(); ++pc) {
+        if (code[pc].isHandle() && !info.instanceAt(pc)) {
+            report(rep, LintRule::Handle, strprintf("handle pc %u", pc),
+                   "MGHANDLE with no instance-table entry");
+        }
+    }
+
+    // Interior (elided) slots claimed by instances.
+    std::unordered_set<Addr> interior;
+
+    std::vector<const MgInstance *> by_pc;
+    for (const auto &[pc, inst] : info.instances) {
+        by_pc.push_back(&inst);
+        if (pc != inst.handlePc) {
+            report(rep, LintRule::Handle, strprintf("handle pc %u", pc),
+                   strprintf("instance table key %u != handlePc %u", pc,
+                             inst.handlePc));
+        }
+    }
+    std::sort(by_pc.begin(), by_pc.end(),
+              [](const auto *a, const auto *b) {
+                  return a->handlePc < b->handlePc;
+              });
+
+    const MgInstance *prev = nullptr;
+    for (const MgInstance *ip : by_pc) {
+        const MgInstance &mi = *ip;
+        ++rep.instancesChecked;
+        const std::string where =
+            strprintf("handle pc %u", mi.handlePc);
+
+        if (mi.templateIdx >= info.templates.size()) {
+            report(rep, LintRule::Handle, where,
+                   strprintf("templateIdx %u out of range (%zu "
+                             "templates)", mi.templateIdx,
+                             info.templates.size()));
+            continue;
+        }
+        const MgTemplate &t = info.templates[mi.templateIdx];
+        const unsigned n = t.size();
+
+        if (mi.handlePc >= code.size() ||
+            !code[mi.handlePc].isHandle()) {
+            report(rep, LintRule::Handle, where,
+                   "instance does not point at an MGHANDLE");
+            continue;
+        }
+        const Instruction &h = code[mi.handlePc];
+        if (h.mgIndex != mi.templateIdx) {
+            report(rep, LintRule::Handle, where,
+                   strprintf("handle names template %u, instance says "
+                             "%u", h.mgIndex, mi.templateIdx));
+        }
+        if (h.numSrcs != t.numInputs) {
+            report(rep, LintRule::Handle, where,
+                   strprintf("handle has %u sources, template needs %u",
+                             h.numSrcs, t.numInputs));
+        }
+        if (h.hasDest != t.hasOutput ||
+            (h.hasDest && h.rd == isa::kZeroReg)) {
+            report(rep, LintRule::Handle, where,
+                   strprintf("handle hasDest=%d rd=r%u vs template "
+                             "hasOutput=%d", h.hasDest, h.rd,
+                             t.hasOutput));
+        }
+
+        // --- Interior shape: n-1 ELIDED holes, correct fall-through ---
+        if (mi.pcAfter != mi.handlePc + n) {
+            report(rep, LintRule::Elided, where,
+                   strprintf("pcAfter=%u, expected handlePc+%u=%u",
+                             mi.pcAfter, n, mi.handlePc + n));
+        }
+        for (Addr pc = mi.handlePc + 1;
+             pc < mi.handlePc + n && pc < code.size(); ++pc) {
+            interior.insert(pc);
+            if (!code[pc].isElided()) {
+                report(rep, LintRule::Elided, where,
+                       strprintf("interior pc %u holds '%s', not "
+                                 "ELIDED", pc,
+                                 isa::disassemble(code[pc]).c_str()));
+            }
+        }
+        if (prev && prev->handlePc +
+                        info.templates[prev->templateIdx].size() >
+                    mi.handlePc) {
+            report(rep, LintRule::Overlap, where,
+                   strprintf("overlaps instance at pc %u",
+                             prev->handlePc));
+        }
+        prev = ip;
+
+        if (mi.constituentPcs.size() != n) {
+            report(rep, LintRule::Handle, where,
+                   strprintf("%zu constituent PCs recorded for a "
+                             "%u-constituent template",
+                             mi.constituentPcs.size(), n));
+        }
+
+        // --- Outlined body: faithful copy + jump back ---
+        if (static_cast<size_t>(mi.outlinedPc) + n + 1 > code.size()) {
+            report(rep, LintRule::Outline, where,
+                   strprintf("outlined body at pc %u overruns the "
+                             "image", mi.outlinedPc));
+            continue;
+        }
+        for (unsigned k = 0; k < n; ++k) {
+            Addr bpc = mi.outlinedPc + k;
+            const Instruction &body = code[bpc];
+            if (!info.outlinedBodyPcs.count(bpc)) {
+                report(rep, LintRule::Outline, where,
+                       strprintf("body pc %u not in outlinedBodyPcs",
+                                 bpc));
+            }
+            bool faithful;
+            if (orig && mi.constituentPcs.size() == n &&
+                mi.constituentPcs[k] < orig->code.size()) {
+                faithful = sameInstruction(
+                    body, orig->code[mi.constituentPcs[k]]);
+            } else {
+                faithful = body.op == t.ops[k].op;
+            }
+            if (!faithful) {
+                report(rep, LintRule::Outline, where,
+                       strprintf("body pc %u ('%s') is not a copy of "
+                                 "constituent %u", bpc,
+                                 isa::disassemble(body).c_str(), k));
+            }
+        }
+        Addr jump_pc = mi.outlinedPc + n;
+        const Instruction &jump = code[jump_pc];
+        bool body_ends_in_control =
+            n > 0 && isa::isControl(t.ops[n - 1].op);
+        if (jump.op != Opcode::J ||
+            static_cast<Addr>(jump.imm) != mi.pcAfter) {
+            report(rep, LintRule::Outline, where,
+                   strprintf("outlined body not terminated by "
+                             "'j %u' at pc %u (found '%s')%s",
+                             mi.pcAfter, jump_pc,
+                             isa::disassemble(jump).c_str(),
+                             body_ends_in_control
+                                 ? " [body ends in control]"
+                                 : ""));
+        } else if (!info.outliningJumpPcs.count(jump_pc)) {
+            report(rep, LintRule::Outline, where,
+                   strprintf("jump-back pc %u not in outliningJumpPcs",
+                             jump_pc));
+        }
+    }
+
+    // --- Orphaned ELIDED slots ---
+    for (Addr pc = 0; pc < code.size(); ++pc) {
+        if (code[pc].isElided() && !interior.count(pc)) {
+            report(rep, LintRule::Elided, strprintf("pc %u", pc),
+                   "ELIDED slot not inside any mini-graph instance");
+        }
+    }
+
+    // --- No control transfer into an elided interior ---
+    for (Addr pc = 0; pc < code.size(); ++pc) {
+        const Instruction &inst = code[pc];
+        Addr target = isa::kNoAddr;
+        if (inst.isDirectControl()) {
+            target = static_cast<Addr>(inst.imm);
+        } else if (inst.isHandle()) {
+            const MgInstance *mi = info.instanceAt(pc);
+            if (mi && mi->templateIdx < info.templates.size()) {
+                const MgTemplate &t = info.templates[mi->templateIdx];
+                if (t.hasControl) {
+                    target = static_cast<Addr>(
+                        static_cast<int64_t>(pc) +
+                        t.ops[t.size() - 1].imm);
+                }
+            }
+        }
+        if (target == isa::kNoAddr)
+            continue;
+        if (target >= code.size()) {
+            report(rep, LintRule::Target, strprintf("pc %u", pc),
+                   strprintf("control target %u outside the image",
+                             target));
+        } else if (code[target].isElided()) {
+            report(rep, LintRule::Target, strprintf("pc %u", pc),
+                   strprintf("control target %u is an elided "
+                             "mini-graph interior", target));
+        }
+    }
+
+    return rep;
+}
+
+LintReport
+lintRewrite(const Program &orig,
+            const std::vector<minigraph::Candidate> &chosen,
+            const Program &rewritten, const isa::MgBinaryInfo &info)
+{
+    LintReport rep = lintChosen(orig, chosen);
+    LintReport bin = lintBinary(rewritten, info, &orig);
+    // Chosen-set templates and binary templates largely coincide;
+    // keep both counters (they audit different artefacts).
+    rep.merge(std::move(bin));
+    return rep;
+}
+
+} // namespace mg::check

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Mini-graph structural linter.
+ *
+ * Re-checks selected templates, chosen candidate sets and rewritten
+ * binaries against the paper's RISC-singleton interface (§2: at most
+ * 4 constituents, 3 external register inputs, 1 register output,
+ * 1 memory operation, 1 terminal control transfer) and against
+ * internal-dataflow legality (acyclic constituent chains feeding only
+ * from value-producing predecessors, consistent summary flags,
+ * consistent internal latency).
+ *
+ * The linter deliberately re-derives everything from the ISA layer —
+ * it shares no code with minigraph/candidate.cc, selection.cc or
+ * rewriter.cc — so a bug in the enumeration/selection/rewriting
+ * pipeline shows up as a finding here instead of being inherited.
+ *
+ * Violations are reported as findings (data, not exceptions):
+ * the linter is a diagnostic tool and must be able to describe *all*
+ * problems in an artefact, not just the first one.
+ */
+
+#ifndef MG_CHECK_MG_LINT_H
+#define MG_CHECK_MG_LINT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "assembler/program.h"
+#include "isa/minigraph_types.h"
+#include "minigraph/candidate.h"
+
+namespace mg::check
+{
+
+/** Which interface / legality rule a finding violates. */
+enum class LintRule : uint8_t
+{
+    Size,     ///< constituent count outside [2, kMaxMgSize]
+    Inputs,   ///< >3 external inputs, bad slot refs, or non-canonical order
+    Output,   ///< >1 register output or inconsistent output marking
+    Mem,      ///< >1 memory operation or inconsistent hasMem flag
+    Control,  ///< control transfer not last / illegal kind / bad flags
+    Dataflow, ///< forward/cyclic internal edge or ref to a non-value op
+    Opcode,   ///< constituent opcode illegal inside a mini-graph
+    Latency,  ///< MgTemplate::totalLatency() disagrees with re-derived sum
+    Overlap,  ///< chosen candidates / instances not pairwise disjoint
+    SiteMatch,///< template disagrees with the program text at its site
+    Handle,   ///< MGHANDLE <-> instance table inconsistency
+    Elided,   ///< elided interior slots malformed or orphaned
+    Outline,  ///< outlined body missing, wrong, or not jump-terminated
+    Target,   ///< control transfer targets the interior of a mini-graph
+};
+
+/** Registry name of a rule (stable, used in reports and tests). */
+const char *lintRuleName(LintRule rule);
+
+/** One violation. */
+struct LintFinding
+{
+    LintRule rule;
+    std::string where;   ///< e.g. "template 3", "handle pc 17"
+    std::string message;
+};
+
+/** Result of one linter pass (or several merged passes). */
+struct LintReport
+{
+    std::vector<LintFinding> findings;
+    size_t templatesChecked = 0;
+    size_t instancesChecked = 0;
+
+    bool clean() const { return findings.empty(); }
+
+    /** Fold another report's findings and counters into this one. */
+    void merge(LintReport other);
+
+    /** Human-readable one-line-per-finding rendering. */
+    std::string render() const;
+};
+
+/**
+ * Check one template against the interface constraints and internal
+ * dataflow legality.
+ *
+ * @param tmpl   the template
+ * @param where  report location prefix (e.g. "template 3")
+ */
+LintReport lintTemplate(const isa::MgTemplate &tmpl,
+                        const std::string &where = "template");
+
+/** Check every template of a selection / MGT image. */
+LintReport lintTemplates(const std::vector<isa::MgTemplate> &templates);
+
+/**
+ * Check a chosen candidate set against the original program:
+ * every template legal, candidates pairwise disjoint, and each
+ * template re-derivable from the instructions at its site.
+ */
+LintReport lintChosen(const assembler::Program &orig,
+                      const std::vector<minigraph::Candidate> &chosen);
+
+/**
+ * Check a rewritten binary: template table legality, MGHANDLE /
+ * instance-table cross-consistency, elided interior shape, outlined
+ * bodies (present, faithful, jump-terminated), and the absence of
+ * control transfers into mini-graph interiors.
+ *
+ * @param rewritten  the rewritten program image
+ * @param info       its mini-graph side table
+ * @param orig       the original program, if available (enables
+ *                   constituent-faithfulness checks)
+ */
+LintReport lintBinary(const assembler::Program &rewritten,
+                      const isa::MgBinaryInfo &info,
+                      const assembler::Program *orig = nullptr);
+
+/**
+ * Full pipeline lint: chosen set against the original program plus
+ * the rewritten binary produced from it.
+ */
+LintReport lintRewrite(const assembler::Program &orig,
+                       const std::vector<minigraph::Candidate> &chosen,
+                       const assembler::Program &rewritten,
+                       const isa::MgBinaryInfo &info);
+
+} // namespace mg::check
+
+#endif // MG_CHECK_MG_LINT_H

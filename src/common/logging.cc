@@ -32,6 +32,22 @@ strprintf(const char *fmt, ...)
     return s;
 }
 
+CheckError::CheckError(const char *file, int line, const char *expr_text,
+                       const std::string &msg)
+    : std::runtime_error("check failed: " + std::string(expr_text) +
+                         " at " + file + ":" + std::to_string(line) +
+                         (msg.empty() ? "" : " — " + msg)),
+      srcFile(file), srcLine(line), expr(expr_text)
+{
+}
+
+void
+checkFailImpl(const char *file, int line, const char *expr,
+              const std::string &msg)
+{
+    throw CheckError(file, line, expr, msg);
+}
+
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {

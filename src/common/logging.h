@@ -13,6 +13,7 @@
 
 #include <cstdarg>
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 
 namespace mg
@@ -25,10 +26,35 @@ std::string strprintf(const char *fmt, ...)
 /** va_list flavour of strprintf(). */
 std::string vstrprintf(const char *fmt, va_list args);
 
+/**
+ * Thrown by mg_check on an invariant-audit failure.  Unlike mg_panic
+ * (which aborts: the process state is unusable), an audit failure is a
+ * *diagnosis* — the auditor caught the model in an illegal state — so
+ * it propagates as an exception that tests can assert on and the
+ * parallel runner can turn into a per-job error.
+ */
+class CheckError : public std::runtime_error
+{
+  public:
+    CheckError(const char *file, int line, const char *expr,
+               const std::string &msg);
+
+    const std::string &file() const { return srcFile; }
+    int line() const { return srcLine; }
+    const std::string &expression() const { return expr; }
+
+  private:
+    std::string srcFile;
+    int srcLine;
+    std::string expr;
+};
+
 [[noreturn]] void panicImpl(const char *file, int line,
                             const std::string &msg);
 [[noreturn]] void fatalImpl(const char *file, int line,
                             const std::string &msg);
+[[noreturn]] void checkFailImpl(const char *file, int line,
+                                const char *expr, const std::string &msg);
 void warnImpl(const std::string &msg);
 void informImpl(const std::string &msg);
 
@@ -46,13 +72,35 @@ void informImpl(const std::string &msg);
 /** Informational message to stderr. */
 #define mg_inform(...) ::mg::informImpl(::mg::strprintf(__VA_ARGS__))
 
-/** Assert an internal invariant with a formatted message. */
+/**
+ * Assert an internal invariant with a formatted message.  The message
+ * captures the failed expression text and the file:line of the assert
+ * site (panicImpl prints and aborts).  Always on, including -DNDEBUG
+ * builds: the simulator's asserts are part of its contract.
+ */
 #define mg_assert(cond, ...)                                        \
     do {                                                            \
         if (!(cond)) {                                              \
             ::mg::panicImpl(__FILE__, __LINE__,                     \
                             std::string("assertion failed: " #cond  \
-                                        " — ") +                    \
+                                        " at " __FILE__ ":") +      \
+                                std::to_string(__LINE__) + " — " +  \
+                                ::mg::strprintf(__VA_ARGS__));      \
+        }                                                           \
+    } while (0)
+
+/**
+ * Always-on audit check: throws CheckError (with the expression text
+ * and file:line baked into the message) instead of aborting.  Used by
+ * the invariant auditor and the mini-graph linter so that seeded-fault
+ * tests can catch the failure and batch jobs can report it as a
+ * per-job error; stays active under -DNDEBUG so release builds still
+ * audit when MG_CHECKS is on.
+ */
+#define mg_check(cond, ...)                                         \
+    do {                                                            \
+        if (!(cond)) {                                              \
+            ::mg::checkFailImpl(__FILE__, __LINE__, #cond,          \
                                 ::mg::strprintf(__VA_ARGS__));      \
         }                                                           \
     } while (0)

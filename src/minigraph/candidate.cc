@@ -53,9 +53,9 @@ opcodeAllowed(Opcode op, const CandidateOptions &opts)
 class WindowBuilder
 {
   public:
-    WindowBuilder(const Program &prog, const CandidateOptions &opts,
+    WindowBuilder(const Program &program, const CandidateOptions &options,
                   Addr first_pc)
-        : prog(prog), opts(opts), firstPc(first_pc)
+        : prog(program), opts(options), firstPc(first_pc)
     {
         defOf.fill(-1);
     }
@@ -82,9 +82,9 @@ class WindowBuilder
         c.imm = inst.imm;
 
         const isa::OpInfo &info = isa::opInfo(inst.op);
-        if (info.readsRs1 && !bindSource(inst.rs1, c.src1Kind, c.src1, k))
+        if (info.readsRs1 && !bindSource(inst.rs1, c.src1Kind, c.src1))
             return false;
-        if (info.readsRs2 && !bindSource(inst.rs2, c.src2Kind, c.src2, k))
+        if (info.readsRs2 && !bindSource(inst.rs2, c.src2Kind, c.src2))
             return false;
 
         if (inst.isControl()) {
@@ -146,7 +146,7 @@ class WindowBuilder
   private:
     /** Map a read register to an external slot or internal producer. */
     bool
-    bindSource(uint8_t reg, MgSrcKind &kind, uint8_t &idx, unsigned k)
+    bindSource(uint8_t reg, MgSrcKind &kind, uint8_t &idx)
     {
         if (reg == isa::kZeroReg) {
             kind = MgSrcKind::None;

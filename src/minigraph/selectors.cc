@@ -110,7 +110,8 @@ selectorIsDynamic(SelectorKind kind)
 }
 
 SlackModelResult
-evaluateSlackModel(const Candidate &cand, const assembler::Program &prog,
+evaluateSlackModel(const Candidate &cand,
+                   const assembler::Program & /* prog */,
                    const profile::SlackProfileData &prof,
                    const SlackModelOptions &opts)
 {

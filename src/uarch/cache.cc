@@ -122,7 +122,7 @@ CacheHierarchy::CacheHierarchy(const CoreConfig &config)
 }
 
 uint32_t
-CacheHierarchy::dataAccess(uint64_t addr, bool write)
+CacheHierarchy::dataAccess(uint64_t addr, bool /* write */)
 {
     uint32_t lat = dtlbUnit.access(addr);
     lat += cfg.dcache.hitLatency;

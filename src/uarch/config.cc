@@ -1,7 +1,58 @@
 #include "uarch/config.h"
 
+#include <cstdlib>
+
+#include "common/logging.h"
+
 namespace mg::uarch
 {
+
+std::optional<CheckLevel>
+checkLevelFromName(const std::string &name)
+{
+    if (name == "off")
+        return CheckLevel::Off;
+    if (name == "cheap")
+        return CheckLevel::Cheap;
+    if (name == "full")
+        return CheckLevel::Full;
+    return std::nullopt;
+}
+
+std::string
+nameOf(CheckLevel level)
+{
+    switch (level) {
+      case CheckLevel::Off: return "off";
+      case CheckLevel::Cheap: return "cheap";
+      case CheckLevel::Full: return "full";
+    }
+    return "off";
+}
+
+CheckLevel
+defaultCheckLevel()
+{
+    // Resolved once: the default is a build/environment property, not
+    // a per-config one (configs can still override the field).
+    static const CheckLevel level = [] {
+#ifdef MG_CHECKS
+        return CheckLevel::Full;
+#else
+        const char *env = std::getenv("MG_CHECKLEVEL");
+        if (!env)
+            return CheckLevel::Off;
+        auto parsed = checkLevelFromName(env);
+        if (!parsed) {
+            mg_warn("ignoring unknown MG_CHECKLEVEL '%s' "
+                    "(expected off | cheap | full)", env);
+            return CheckLevel::Off;
+        }
+        return *parsed;
+#endif
+    }();
+    return level;
+}
 
 CoreConfig
 fullConfig()

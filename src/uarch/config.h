@@ -17,6 +17,35 @@
 namespace mg::uarch
 {
 
+/**
+ * How much end-of-cycle invariant auditing the timing core performs
+ * (see src/check/invariant_auditor.h and docs/CHECKING.md).
+ *
+ * The auditor is always compiled in; this knob selects how much of it
+ * runs.  `Cheap` audits O(1) conservation laws every cycle; `Full`
+ * additionally re-derives the O(window) structural invariants (ROB /
+ * IQ / LQ / SQ walks, rename-map and free-list reconstruction).
+ */
+enum class CheckLevel : uint8_t
+{
+    Off,   ///< no auditing (production default)
+    Cheap, ///< O(1) checks: occupancy bounds, commit accounting
+    Full,  ///< everything: per-cycle window re-derivation
+};
+
+/**
+ * The build/environment default for CoreConfig::checkLevel: Full when
+ * the tree was configured with -DMG_CHECKS=ON, else the MG_CHECKLEVEL
+ * environment variable (off | cheap | full), else Off.
+ */
+CheckLevel defaultCheckLevel();
+
+/** Parse a check-level name (off | cheap | full). */
+std::optional<CheckLevel> checkLevelFromName(const std::string &name);
+
+/** The registry name of a check level (inverse of checkLevelFromName). */
+std::string nameOf(CheckLevel level);
+
 /** Parameters of one cache. */
 struct CacheConfig
 {
@@ -115,6 +144,15 @@ struct CoreConfig
 
     /** Maximum cycles to simulate (safety net against livelock). */
     uint64_t maxCycles = 1ull << 32;
+
+    // --- Invariant auditing (src/check/) ---
+    /**
+     * End-of-cycle pipeline invariant auditing.  Defaults to
+     * defaultCheckLevel() so a -DMG_CHECKS=ON build (or an
+     * MG_CHECKLEVEL=full environment) audits every simulation without
+     * per-call-site changes.  A CheckError is thrown on a violation.
+     */
+    CheckLevel checkLevel = defaultCheckLevel();
 };
 
 /** The fully-provisioned 4-way baseline (Table 1). */

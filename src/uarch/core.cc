@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "assembler/cfg.h"
+#include "check/invariant_auditor.h"
 #include "common/logging.h"
 
 namespace mg::uarch
@@ -28,6 +29,11 @@ Core::Core(const CoreConfig &config, const assembler::Program &program,
               "config '%s': need more physical than architectural "
               "registers", cfg.name.c_str());
     freePhys = cfg.physRegs - isa::kNumArchRegs;
+
+    if (cfg.checkLevel != CheckLevel::Off) {
+        auditor =
+            std::make_unique<check::InvariantAuditor>(cfg.checkLevel);
+    }
 
     if (cfg.slackDynamicEnabled && mgInfo) {
         slackDyn = std::make_unique<SlackDynamicState>(cfg);
@@ -979,6 +985,10 @@ Core::run()
         fetchStage();
         if (slackDyn)
             slackDyn->maybeDecay(cycle);
+        if (auditTestHook)
+            auditTestHook(*this);
+        if (auditor)
+            auditor->endOfCycle(*this, cycle);
     }
 
     res.cycles = cycle;

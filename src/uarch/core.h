@@ -32,6 +32,7 @@
 #define MG_UARCH_CORE_H
 
 #include <deque>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <queue>
@@ -50,8 +51,16 @@
 #include "uarch/slack_dynamic.h"
 #include "uarch/store_sets.h"
 
+namespace mg::check
+{
+class InvariantAuditor;
+}
+
 namespace mg::uarch
 {
+
+/** Test-only backdoor into Core state (defined by the check tests). */
+struct CoreTestAccess;
 
 /** One simulated core running one program to completion. */
 class Core
@@ -70,10 +79,24 @@ class Core
     /** Attach a profiler (must be done before run()). */
     void setProfiler(ProfilerHooks *hooks) { profiler = hooks; }
 
+    /**
+     * Install a hook run at the end of every cycle, just before the
+     * invariant audit.  Test-only: the fault-injection tests use it to
+     * corrupt pipeline state mid-run and prove the auditor trips.
+     */
+    void
+    setAuditTestHook(std::function<void(Core &)> hook)
+    {
+        auditTestHook = std::move(hook);
+    }
+
     /** Run the program to completion and return the results. */
     SimResult run();
 
   private:
+    friend class mg::check::InvariantAuditor;
+    friend struct CoreTestAccess;
+
     // ---- pipeline stages (called in back-to-front order) ----
     void commitStage();
     void processEvents();
@@ -120,6 +143,10 @@ class Core
     StoreSets storeSets;
     std::unique_ptr<SlackDynamicState> slackDyn;
     ProfilerHooks *profiler = nullptr;
+
+    // End-of-cycle invariant auditing (cfg.checkLevel != Off).
+    std::unique_ptr<check::InvariantAuditor> auditor;
+    std::function<void(Core &)> auditTestHook;
 
     uint64_t cycle = 0;
 

@@ -12,8 +12,11 @@ Memory::Memory(const assembler::Program &prog)
     bytes.assign(prog.memSize, 0);
     mg_assert(prog.dataBase + prog.dataInit.size() <= bytes.size(),
               "data image overflows memory in '%s'", prog.name.c_str());
-    std::memcpy(bytes.data() + prog.dataBase, prog.dataInit.data(),
-                prog.dataInit.size());
+    // Guard the empty image: memcpy forbids null even for n == 0.
+    if (!prog.dataInit.empty()) {
+        std::memcpy(bytes.data() + prog.dataBase, prog.dataInit.data(),
+                    prog.dataInit.size());
+    }
 }
 
 void

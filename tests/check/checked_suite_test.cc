@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Audited experiment sweep (ctest label: check).
+ *
+ * Runs the profile -> select -> rewrite -> simulate pipeline with
+ * CheckLevel::Full forced on, across baseline and representative
+ * selectors on both paper machines.  The auditor is always compiled
+ * in, so this target audits the real experiment path regardless of
+ * whether the tree was configured with -DMG_CHECKS=ON.
+ */
+
+#include <gtest/gtest.h>
+
+#include "minigraph/selectors.h"
+#include "sim/experiment.h"
+#include "uarch/config.h"
+#include "workloads/workload.h"
+
+namespace mg::sim
+{
+namespace
+{
+
+using minigraph::SelectorKind;
+
+class CheckedSuite : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(CheckedSuite, PipelineRunsCleanUnderFullAudit)
+{
+    auto spec = workloads::findWorkload(GetParam());
+    ASSERT_TRUE(spec);
+    ProgramContext ctx(*spec);
+
+    const std::optional<SelectorKind> selectors[] = {
+        std::nullopt, // baseline
+        SelectorKind::StructAll,
+        SelectorKind::StructBounded,
+        SelectorKind::SlackProfile,
+        SelectorKind::SlackDynamic,
+    };
+    for (const auto &config_name : {"full", "reduced"}) {
+        auto config = uarch::configFromName(config_name);
+        ASSERT_TRUE(config);
+        config->checkLevel = uarch::CheckLevel::Full;
+        for (const auto &kind : selectors) {
+            RunRequest req;
+            req.config = *config;
+            req.selector = kind;
+            RunResult r = ctx.run(req);
+            EXPECT_TRUE(r.ok)
+                << GetParam() << " / " << config_name << " / "
+                << (kind ? minigraph::nameOf(*kind) : "baseline")
+                << ": " << r.error;
+            EXPECT_GT(r.sim.cycles, 0u);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, CheckedSuite,
+                         ::testing::Values("crc32.0", "bitcount.1",
+                                           "dijkstra_like.2",
+                                           "adpcm_c.0"),
+                         [](const auto &pinfo) {
+                             std::string n = pinfo.param;
+                             for (char &c : n)
+                                 if (c == '.')
+                                     c = '_';
+                             return n;
+                         });
+
+} // namespace
+} // namespace mg::sim

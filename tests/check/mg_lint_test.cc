@@ -1,0 +1,342 @@
+/**
+ * @file
+ * Mini-graph structural linter tests.
+ *
+ * Two halves: hand-built *illegal* artefacts (templates breaking each
+ * interface rule, tampered rewritten binaries) must produce findings
+ * of the right class, and every *legal* artefact the real pipeline
+ * produces — all five paper selectors across all 78 workloads — must
+ * lint clean.
+ */
+
+#include "check/mg_lint.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "minigraph/candidate.h"
+#include "minigraph/rewriter.h"
+#include "minigraph/selection.h"
+#include "minigraph/selectors.h"
+#include "profile/exec_counts.h"
+#include "profile/slack_profile.h"
+#include "uarch/config.h"
+#include "workloads/workload.h"
+
+namespace mg::check
+{
+namespace
+{
+
+using isa::MgConstituent;
+using isa::MgSrcKind;
+using isa::MgTemplate;
+using isa::Opcode;
+
+MgConstituent
+constituent(Opcode op, MgSrcKind k1 = MgSrcKind::None, uint8_t s1 = 0,
+            MgSrcKind k2 = MgSrcKind::None, uint8_t s2 = 0)
+{
+    MgConstituent c;
+    c.op = op;
+    c.src1Kind = k1;
+    c.src1 = s1;
+    c.src2Kind = k2;
+    c.src2 = s2;
+    return c;
+}
+
+/** add ext0, ext1; addi internal0 -> output.  Interface-legal. */
+MgTemplate
+legalTemplate()
+{
+    MgTemplate t;
+    t.ops.push_back(constituent(Opcode::ADD, MgSrcKind::External, 0,
+                                MgSrcKind::External, 1));
+    t.ops.push_back(
+        constituent(Opcode::ADDI, MgSrcKind::Internal, 0));
+    t.ops[1].producesOutput = true;
+    t.numInputs = 2;
+    t.hasOutput = true;
+    t.outputIdx = 1;
+    return t;
+}
+
+bool
+hasRule(const LintReport &rep, LintRule rule)
+{
+    for (const auto &f : rep.findings) {
+        if (f.rule == rule)
+            return true;
+    }
+    return false;
+}
+
+TEST(MgLint, LegalTemplateIsClean)
+{
+    LintReport rep = lintTemplate(legalTemplate());
+    EXPECT_TRUE(rep.clean()) << rep.render();
+    EXPECT_EQ(rep.templatesChecked, 1u);
+}
+
+TEST(MgLint, RejectsTooManyConstituents)
+{
+    MgTemplate t = legalTemplate();
+    while (t.size() < isa::kMaxMgSize + 1) {
+        t.ops.push_back(
+            constituent(Opcode::ADDI, MgSrcKind::Internal, 0));
+    }
+    EXPECT_TRUE(hasRule(lintTemplate(t), LintRule::Size));
+}
+
+TEST(MgLint, RejectsSingletonAggregate)
+{
+    MgTemplate t = legalTemplate();
+    t.ops.resize(1);
+    EXPECT_TRUE(hasRule(lintTemplate(t), LintRule::Size));
+}
+
+TEST(MgLint, RejectsFourRegisterInputs)
+{
+    // add ext0, ext1; add ext2, ext3: four external register inputs.
+    MgTemplate t;
+    t.ops.push_back(constituent(Opcode::ADD, MgSrcKind::External, 0,
+                                MgSrcKind::External, 1));
+    t.ops.push_back(constituent(Opcode::ADD, MgSrcKind::External, 2,
+                                MgSrcKind::External, 3));
+    t.ops[1].producesOutput = true;
+    t.numInputs = 4;
+    t.hasOutput = true;
+    t.outputIdx = 1;
+    EXPECT_TRUE(hasRule(lintTemplate(t), LintRule::Inputs));
+}
+
+TEST(MgLint, RejectsTwoMemoryOps)
+{
+    MgTemplate t;
+    t.ops.push_back(constituent(Opcode::LW, MgSrcKind::External, 0));
+    t.ops.push_back(constituent(Opcode::LW, MgSrcKind::External, 1));
+    t.ops[1].producesOutput = true;
+    t.numInputs = 2;
+    t.hasOutput = true;
+    t.hasMem = true;
+    t.outputIdx = 1;
+    EXPECT_TRUE(hasRule(lintTemplate(t), LintRule::Mem));
+}
+
+TEST(MgLint, RejectsMidGraphBranch)
+{
+    // beq ext0, ext1; add ext2: control transfer not last.
+    MgTemplate t;
+    t.ops.push_back(constituent(Opcode::BEQ, MgSrcKind::External, 0,
+                                MgSrcKind::External, 1));
+    t.ops.push_back(constituent(Opcode::ADD, MgSrcKind::External, 2));
+    t.ops[1].producesOutput = true;
+    t.numInputs = 3;
+    t.hasOutput = true;
+    t.outputIdx = 1;
+    EXPECT_TRUE(hasRule(lintTemplate(t), LintRule::Control));
+}
+
+TEST(MgLint, RejectsIllegalConstituentOpcodes)
+{
+    // Complex integer ops execute on the multi-cycle unit, not an ALU
+    // pipeline; JAL writes a link register as a side effect.
+    MgTemplate mul = legalTemplate();
+    mul.ops[0].op = Opcode::MUL;
+    EXPECT_TRUE(hasRule(lintTemplate(mul), LintRule::Opcode));
+
+    MgTemplate jal = legalTemplate();
+    jal.ops[1] = constituent(Opcode::JAL);
+    jal.ops[1].producesOutput = true;
+    jal.hasControl = true;
+    EXPECT_TRUE(hasRule(lintTemplate(jal), LintRule::Opcode));
+}
+
+TEST(MgLint, RejectsForwardInternalEdge)
+{
+    // Constituent 0 reading constituent 1: a cycle.
+    MgTemplate t = legalTemplate();
+    t.ops[0].src1Kind = MgSrcKind::Internal;
+    t.ops[0].src1 = 1;
+    EXPECT_TRUE(hasRule(lintTemplate(t), LintRule::Dataflow));
+}
+
+TEST(MgLint, RejectsInternalEdgeFromNonValueProducer)
+{
+    // sw produces no value; nothing may read "its result".
+    MgTemplate t;
+    t.ops.push_back(constituent(Opcode::SW, MgSrcKind::External, 0,
+                                MgSrcKind::External, 1));
+    t.ops.push_back(
+        constituent(Opcode::ADDI, MgSrcKind::Internal, 0));
+    t.ops[1].producesOutput = true;
+    t.numInputs = 2;
+    t.hasOutput = true;
+    t.hasMem = true;
+    t.outputIdx = 1;
+    EXPECT_TRUE(hasRule(lintTemplate(t), LintRule::Dataflow));
+}
+
+TEST(MgLint, RejectsTwoRegisterOutputs)
+{
+    MgTemplate t = legalTemplate();
+    t.ops[0].producesOutput = true; // second marked producer
+    EXPECT_TRUE(hasRule(lintTemplate(t), LintRule::Output));
+}
+
+TEST(MgLint, RejectsNonCanonicalExternalNumbering)
+{
+    // First use of slot 1 before slot 0 breaks template sharing.
+    MgTemplate t = legalTemplate();
+    t.ops[0].src1 = 1;
+    t.ops[0].src2 = 0;
+    EXPECT_TRUE(hasRule(lintTemplate(t), LintRule::Inputs));
+}
+
+TEST(MgLint, RejectsInconsistentSummaryFlags)
+{
+    MgTemplate mem = legalTemplate();
+    mem.hasMem = true; // no memory constituent
+    EXPECT_TRUE(hasRule(lintTemplate(mem), LintRule::Mem));
+
+    MgTemplate ctrl = legalTemplate();
+    ctrl.hasControl = true; // last constituent is an addi
+    EXPECT_TRUE(hasRule(lintTemplate(ctrl), LintRule::Control));
+}
+
+// --- Chosen-set and binary-level rules on a real program ------------
+
+class MgLintPipeline : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        auto spec = workloads::findWorkload("crc32.0");
+        ASSERT_TRUE(spec);
+        prog = workloads::buildWorkload(*spec).program;
+        pool = minigraph::enumerateCandidates(prog);
+        ASSERT_FALSE(pool.empty());
+        auto counts = profile::countExecutions(prog);
+        sel = minigraph::selectGreedy(pool, counts, 512);
+        ASSERT_FALSE(sel.chosen.empty());
+        rw = minigraph::rewrite(prog, sel.chosen);
+    }
+
+    assembler::Program prog;
+    std::vector<minigraph::Candidate> pool;
+    minigraph::SelectionResult sel;
+    minigraph::RewrittenProgram rw;
+};
+
+TEST_F(MgLintPipeline, RealSelectionAndRewriteAreClean)
+{
+    LintReport rep =
+        lintRewrite(prog, sel.chosen, rw.program, rw.info);
+    EXPECT_TRUE(rep.clean()) << rep.render();
+    EXPECT_EQ(rep.instancesChecked, rw.info.instances.size());
+}
+
+TEST_F(MgLintPipeline, DetectsOverlappingCandidates)
+{
+    std::vector<minigraph::Candidate> twice = {sel.chosen[0],
+                                               sel.chosen[0]};
+    EXPECT_TRUE(hasRule(lintChosen(prog, twice), LintRule::Overlap));
+}
+
+TEST_F(MgLintPipeline, DetectsTemplateSiteMismatch)
+{
+    std::vector<minigraph::Candidate> tampered = {sel.chosen[0]};
+    tampered[0].tmpl.ops[0].imm += 1;
+    EXPECT_TRUE(
+        hasRule(lintChosen(prog, tampered), LintRule::SiteMatch));
+}
+
+TEST_F(MgLintPipeline, DetectsTamperedElidedInterior)
+{
+    auto broken = rw.program;
+    const isa::MgInstance &mi = rw.info.instances.begin()->second;
+    broken.code[mi.handlePc + 1] = isa::makeNop();
+    EXPECT_TRUE(hasRule(lintBinary(broken, rw.info, &prog),
+                        LintRule::Elided));
+}
+
+TEST_F(MgLintPipeline, DetectsMissingInstanceEntry)
+{
+    auto info = rw.info;
+    info.instances.erase(info.instances.begin());
+    EXPECT_TRUE(
+        hasRule(lintBinary(rw.program, info, &prog), LintRule::Handle));
+}
+
+TEST_F(MgLintPipeline, DetectsBrokenOutliningJump)
+{
+    auto broken = rw.program;
+    const isa::MgInstance &mi = rw.info.instances.begin()->second;
+    const isa::MgTemplate &t = rw.info.templates[mi.templateIdx];
+    // Redirect the jump-back away from the fall-through point.
+    broken.code[mi.outlinedPc + t.size()] = isa::makeJump(0);
+    EXPECT_TRUE(hasRule(lintBinary(broken, rw.info, &prog),
+                        LintRule::Outline));
+}
+
+TEST_F(MgLintPipeline, DetectsUnfaithfulOutlinedBody)
+{
+    auto broken = rw.program;
+    const isa::MgInstance &mi = rw.info.instances.begin()->second;
+    broken.code[mi.outlinedPc].imm += 4;
+    EXPECT_TRUE(hasRule(lintBinary(broken, rw.info, &prog),
+                        LintRule::Outline));
+}
+
+// --- The acceptance sweep: five selectors, all workloads, all clean -
+
+TEST(MgLintSweep, AllFiveSelectorsAllWorkloadsLintClean)
+{
+    using minigraph::SelectorKind;
+    const SelectorKind kinds[] = {
+        SelectorKind::StructAll, SelectorKind::StructNone,
+        SelectorKind::StructBounded, SelectorKind::SlackProfile,
+        SelectorKind::SlackDynamic,
+    };
+    const uarch::CoreConfig machine = uarch::fullConfig();
+
+    size_t templates_checked = 0;
+    for (const auto &spec : workloads::workloadList()) {
+        assembler::Program prog =
+            workloads::buildWorkload(spec).program;
+        auto pool = minigraph::enumerateCandidates(prog);
+        auto counts = profile::countExecutions(prog);
+
+        // One slack profile per workload, shared by the profiled
+        // selector (collected lazily: most selectors don't need it).
+        std::optional<profile::SlackProfileData> prof;
+
+        for (SelectorKind kind : kinds) {
+            const profile::SlackProfileData *p = nullptr;
+            if (minigraph::selectorNeedsProfile(kind)) {
+                if (!prof)
+                    prof = profile::profileProgram(prog, machine);
+                p = &*prof;
+            }
+            auto filtered =
+                minigraph::filterPool(pool, kind, prog, p);
+            auto sel = minigraph::selectGreedy(filtered, counts, 512);
+            auto rw = minigraph::rewrite(prog, sel.chosen);
+            LintReport rep =
+                lintRewrite(prog, sel.chosen, rw.program, rw.info);
+            EXPECT_TRUE(rep.clean())
+                << spec.name() << " / " << minigraph::nameOf(kind)
+                << ":\n"
+                << rep.render();
+            templates_checked += rep.templatesChecked;
+        }
+    }
+    // The sweep must actually have exercised the linter.
+    EXPECT_GT(templates_checked, 0u);
+}
+
+} // namespace
+} // namespace mg::check

@@ -61,8 +61,8 @@ INSTANTIATE_TEST_SUITE_P(
                       SelectorKind::SlackProfile,
                       SelectorKind::SlackProfileDelay,
                       SelectorKind::SlackProfileSial),
-    [](const ::testing::TestParamInfo<SelectorKind> &info) {
-        std::string n = minigraph::selectorName(info.param);
+    [](const ::testing::TestParamInfo<SelectorKind> &pinfo) {
+        std::string n = minigraph::selectorName(pinfo.param);
         for (char &c : n)
             if (c == '-')
                 c = '_';

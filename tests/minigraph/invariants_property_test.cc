@@ -184,8 +184,8 @@ TEST_P(KernelProperty, AllDisabledRewriteIsArchitecturallyEquivalent)
 INSTANTIATE_TEST_SUITE_P(
     AllKernels, KernelProperty,
     ::testing::ValuesIn(kernelPrograms()),
-    [](const ::testing::TestParamInfo<std::string> &info) {
-        std::string n = info.param;
+    [](const ::testing::TestParamInfo<std::string> &pinfo) {
+        std::string n = pinfo.param;
         for (char &c : n)
             if (c == '.')
                 c = '_';

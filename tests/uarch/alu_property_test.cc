@@ -99,8 +99,8 @@ INSTANTIATE_TEST_SUITE_P(
                       Opcode::XOR, Opcode::SLL, Opcode::SRL, Opcode::SRA,
                       Opcode::SLT, Opcode::SLTU, Opcode::MUL, Opcode::DIV,
                       Opcode::REM),
-    [](const ::testing::TestParamInfo<Opcode> &info) {
-        return std::string(isa::mnemonic(info.param));
+    [](const ::testing::TestParamInfo<Opcode> &pinfo) {
+        return std::string(isa::mnemonic(pinfo.param));
     });
 
 /** Branch predicates against an oracle. */
@@ -151,8 +151,8 @@ INSTANTIATE_TEST_SUITE_P(
     AllBranches, BranchProperty,
     ::testing::Values(Opcode::BEQ, Opcode::BNE, Opcode::BLT, Opcode::BGE,
                       Opcode::BLTU, Opcode::BGEU),
-    [](const ::testing::TestParamInfo<Opcode> &info) {
-        return std::string(isa::mnemonic(info.param));
+    [](const ::testing::TestParamInfo<Opcode> &pinfo) {
+        return std::string(isa::mnemonic(pinfo.param));
     });
 
 } // namespace

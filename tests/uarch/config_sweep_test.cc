@@ -85,8 +85,8 @@ TEST_P(ConfigSweep, DeterministicAcrossRuns)
 
 INSTANTIATE_TEST_SUITE_P(AllPresets, ConfigSweep,
                          ::testing::ValuesIn(allConfigNames()),
-                         [](const auto &info) {
-                             std::string n = info.param;
+                         [](const auto &pinfo) {
+                             std::string n = pinfo.param;
                              for (char &c : n)
                                  if (!std::isalnum(
                                          static_cast<unsigned char>(c)))

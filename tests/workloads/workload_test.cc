@@ -54,10 +54,10 @@ TEST_P(WorkloadCorrectness, MatchesReferenceResult)
 
 INSTANTIATE_TEST_SUITE_P(
     AllPrograms, WorkloadCorrectness, ::testing::ValuesIn(allCases()),
-    [](const ::testing::TestParamInfo<Case> &info) {
-        std::string name = info.param.spec.kernel + "_" +
-                           std::to_string(info.param.spec.variant) +
-                           (info.param.alt ? "_alt" : "");
+    [](const ::testing::TestParamInfo<Case> &pinfo) {
+        std::string name = pinfo.param.spec.kernel + "_" +
+                           std::to_string(pinfo.param.spec.variant) +
+                           (pinfo.param.alt ? "_alt" : "");
         return name;
     });
 

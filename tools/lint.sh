@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Run clang-tidy over the whole tree using the compile database.
+#
+#   tools/lint.sh [build-dir]
+#
+# The build directory must have been configured with
+# CMAKE_EXPORT_COMPILE_COMMANDS (the top-level CMakeLists.txt turns it
+# on unconditionally).  Exits 0 with a notice when clang-tidy is not
+# installed, so the script is safe to call from environments without
+# LLVM (the CI clang-tidy job installs it explicitly).
+set -u
+
+build_dir="${1:-build}"
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+
+tidy="$(command -v clang-tidy || true)"
+if [ -z "$tidy" ]; then
+    echo "lint.sh: clang-tidy not installed; skipping (ok)"
+    exit 0
+fi
+
+db="$build_dir/compile_commands.json"
+if [ ! -f "$db" ]; then
+    echo "lint.sh: $db not found; configure first:" >&2
+    echo "  cmake -B $build_dir -S ." >&2
+    exit 2
+fi
+
+# First-party sources only: skip gtest/benchmark and generated files.
+mapfile -t sources < <(git ls-files 'src/*.cc' 'tools/*.cc' 'tests/*.cc')
+if [ "${#sources[@]}" -eq 0 ]; then
+    echo "lint.sh: no sources found" >&2
+    exit 2
+fi
+
+echo "lint.sh: clang-tidy (${tidy}) over ${#sources[@]} files"
+if command -v run-clang-tidy >/dev/null 2>&1; then
+    run-clang-tidy -quiet -p "$build_dir" "${sources[@]}"
+else
+    "$tidy" -quiet -p "$build_dir" "${sources[@]}"
+fi

@@ -6,6 +6,8 @@
  *             [--jobs N] [--json]
  *   mgsim batch <jobs.txt|-> [--jobs N] [--json] [--progress]
  *   mgsim candidates <prog.s|workload>
+ *   mgsim lint <prog.s|workload|all> [--config NAME]
+ *              [--selector NAME|all] [--budget N]
  *   mgsim disasm <prog.s|workload>
  *   mgsim profile <prog.s|workload> [--config NAME]   (stdout: profile)
  *   mgsim workloads
@@ -32,7 +34,12 @@
 #include <sstream>
 
 #include "assembler/assembler.h"
+#include "check/mg_lint.h"
 #include "common/stats_util.h"
+#include "minigraph/rewriter.h"
+#include "minigraph/selectors.h"
+#include "profile/exec_counts.h"
+#include "profile/slack_profile.h"
 #include "common/string_util.h"
 #include "profile/profile_io.h"
 #include "sim/runner.h"
@@ -65,6 +72,8 @@ usage()
         "            [--jobs N] [--json]\n"
         "  mgsim batch <jobs.txt|-> [--jobs N] [--json] [--progress]\n"
         "  mgsim candidates <prog.s|workload>\n"
+        "  mgsim lint <prog.s|workload|all> [--config NAME]\n"
+        "             [--selector NAME|all] [--budget N]\n"
         "  mgsim disasm <prog.s|workload>\n"
         "  mgsim profile <prog.s|workload> [--config NAME]\n"
         "  mgsim workloads\n"
@@ -164,6 +173,7 @@ struct CommonFlags
     std::string config = "reduced";
     std::string selector = "none";
     unsigned jobs = 0;
+    uint32_t budget = 512;
     bool json = false;
     bool progress = false;
 };
@@ -183,6 +193,12 @@ parseFlags(int argc, char **argv, int start, CommonFlags &out)
             if (v <= 0)
                 return false;
             out.jobs = static_cast<unsigned>(v);
+        } else if (std::strcmp(argv[i], "--budget") == 0 &&
+                   i + 1 < argc) {
+            long v = std::atol(argv[++i]);
+            if (v <= 0)
+                return false;
+            out.budget = static_cast<uint32_t>(v);
         } else if (std::strcmp(argv[i], "--json") == 0) {
             out.json = true;
         } else if (std::strcmp(argv[i], "--progress") == 0) {
@@ -404,6 +420,99 @@ cmdCandidates(const std::string &prog_arg)
     return 0;
 }
 
+/**
+ * Lint one program: run the static selection pipeline for each
+ * requested selector and re-check every template, chosen site, and
+ * rewritten binary against the mini-graph interface rules.  Returns
+ * the number of findings.
+ */
+size_t
+lintProgram(const assembler::Program &prog,
+            const std::vector<minigraph::SelectorKind> &kinds,
+            const uarch::CoreConfig &machine, uint32_t budget)
+{
+    auto pool = minigraph::enumerateCandidates(prog);
+    auto counts = profile::countExecutions(prog);
+    std::optional<profile::SlackProfileData> prof;
+
+    size_t findings = 0;
+    for (auto kind : kinds) {
+        const profile::SlackProfileData *p = nullptr;
+        if (minigraph::selectorNeedsProfile(kind)) {
+            if (!prof)
+                prof = profile::profileProgram(prog, machine);
+            p = &*prof;
+        }
+        auto filtered = minigraph::filterPool(pool, kind, prog, p);
+        auto sel = minigraph::selectGreedy(filtered, counts, budget);
+        auto rw = minigraph::rewrite(prog, sel.chosen);
+        check::LintReport rep =
+            check::lintRewrite(prog, sel.chosen, rw.program, rw.info);
+        std::printf("%-18s %-22s templates=%-4zu instances=%-5zu %s\n",
+                    prog.name.c_str(), minigraph::nameOf(kind).c_str(),
+                    rep.templatesChecked, rep.instancesChecked,
+                    rep.clean() ? "clean"
+                                : ("FINDINGS(" +
+                                   std::to_string(rep.findings.size()) +
+                                   ")")
+                                      .c_str());
+        if (!rep.clean())
+            std::printf("%s", rep.render().c_str());
+        findings += rep.findings.size();
+    }
+    return findings;
+}
+
+int
+cmdLint(const std::string &prog_arg, const CommonFlags &flags)
+{
+    auto machine = uarch::configFromName(flags.config);
+    if (!machine) {
+        std::fprintf(stderr, "unknown config '%s'\n",
+                     flags.config.c_str());
+        return 2;
+    }
+
+    // Default: the five paper selectors (lint "none" is vacuous).
+    std::vector<minigraph::SelectorKind> kinds;
+    if (flags.selector == "none" || flags.selector == "all") {
+        kinds = {minigraph::SelectorKind::StructAll,
+                 minigraph::SelectorKind::StructNone,
+                 minigraph::SelectorKind::StructBounded,
+                 minigraph::SelectorKind::SlackProfile,
+                 minigraph::SelectorKind::SlackDynamic};
+    } else {
+        auto kind = minigraph::selectorFromName(flags.selector);
+        if (!kind) {
+            std::fprintf(stderr, "unknown selector '%s'\n",
+                         flags.selector.c_str());
+            return 2;
+        }
+        kinds = {*kind};
+    }
+
+    size_t findings = 0;
+    if (prog_arg == "all") {
+        for (const auto &spec : workloads::workloadList()) {
+            auto prog = workloads::buildWorkload(spec).program;
+            findings += lintProgram(prog, kinds, *machine, flags.budget);
+        }
+    } else {
+        auto prog = loadProgram(prog_arg);
+        if (!prog) {
+            std::fprintf(stderr, "cannot load '%s'\n", prog_arg.c_str());
+            return 2;
+        }
+        findings += lintProgram(*prog, kinds, *machine, flags.budget);
+    }
+    if (findings) {
+        std::fprintf(stderr, "lint: %zu finding%s\n", findings,
+                     findings == 1 ? "" : "s");
+        return 1;
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -449,6 +558,8 @@ main(int argc, char **argv)
             return cmdBatch(prog_arg, flags);
         if (cmd == "candidates")
             return cmdCandidates(prog_arg);
+        if (cmd == "lint")
+            return cmdLint(prog_arg, flags);
         if (cmd == "disasm") {
             auto prog = loadProgram(prog_arg);
             if (!prog)
