@@ -11,14 +11,73 @@
  *   Slack-Dynamic (real, with outlining penalties),
  *   Ideal-Slack-Dynamic (penalty-free), Ideal-Slack-Dynamic-Delay
  *   (no consumer check) and Ideal-Slack-Dynamic-SIAL.
+ *
+ * Also prints the cycle-loss bucket breakdown (docs/TRACING.md)
+ * aggregated across programs for every selector, attributing each
+ * model's wins/losses to a pipeline cause; set MG_JSON=1 to emit the
+ * per-job stats JSON lines on stdout as well.
  */
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "bench/bench_support.h"
+#include "trace/stats_json.h"
 
 using namespace mg;
 using minigraph::SelectorKind;
+
+namespace
+{
+
+/**
+ * Aggregate loss-bucket shares across programs for one selector
+ * (slots summed over programs, shown as % of summed total slots).
+ */
+struct LossAgg
+{
+    std::string label;
+    uint64_t totalSlots = 0;
+    uint64_t usedSlots = 0;
+    std::array<uint64_t, uarch::kNumLossBuckets> buckets{};
+
+    void
+    add(const uarch::SimResult &r)
+    {
+        totalSlots += r.totalSlots();
+        usedSlots += r.committedUnits;
+        for (size_t i = 0; i < uarch::kNumLossBuckets; ++i)
+            buckets[i] += r.lossSlots[i];
+    }
+};
+
+void
+printLossBreakdown(const std::string &title,
+                   const std::vector<LossAgg> &rows)
+{
+    std::printf("\n%s\n", title.c_str());
+    TextTable t;
+    std::vector<std::string> header{"selector", "used%"};
+    for (size_t i = 0; i < uarch::kNumLossBuckets; ++i)
+        header.push_back(uarch::lossBucketName(
+            static_cast<uarch::LossBucket>(i)));
+    t.header(header);
+    for (const LossAgg &a : rows) {
+        std::vector<std::string> row{a.label};
+        row.push_back(fmtDouble(
+            a.totalSlots ? 100.0 * a.usedSlots / a.totalSlots : 0.0, 1));
+        for (size_t i = 0; i < uarch::kNumLossBuckets; ++i)
+            row.push_back(fmtDouble(
+                a.totalSlots ? 100.0 * a.buckets[i] / a.totalSlots : 0.0,
+                1));
+        t.row(row);
+    }
+    std::printf("%s(retirement-slot shares, %% of width x cycles, "
+                "summed over programs)\n",
+                t.render().c_str());
+}
+
+} // namespace
 
 int
 main()
@@ -61,6 +120,19 @@ main()
         bot.push_back({minigraph::selectorName(k), {}});
 
     const size_t per = 1 + top_kinds.size() + bot_extra.size();
+
+    // Loss-bucket aggregation: baseline (full) + one row per selector.
+    std::vector<LossAgg> loss(per);
+    loss[0].label = "baseline-full";
+    for (size_t i = 0; i < top_kinds.size(); ++i)
+        loss[1 + i].label = minigraph::selectorName(top_kinds[i]);
+    for (size_t i = 0; i < bot_extra.size(); ++i)
+        loss[1 + top_kinds.size() + i].label =
+            minigraph::selectorName(bot_extra[i]);
+
+    const bool emit_json =
+        std::getenv("MG_JSON") && *std::getenv("MG_JSON") == '1';
+
     for (size_t p = 0; p < programs.size(); ++p) {
         const sim::RunResult *r = &results[p * per];
         double base = static_cast<double>(r[0].sim.cycles);
@@ -70,6 +142,24 @@ main()
         for (size_t i = 0; i < bot_extra.size(); ++i)
             bot[1 + i].values.push_back(
                 base / r[1 + top_kinds.size() + i].sim.cycles);
+
+        for (size_t j = 0; j < per; ++j) {
+            loss[j].add(r[j].sim);
+            if (emit_json) {
+                trace::StatsMeta meta;
+                meta.workload = programs[p].name();
+                meta.config = jobs[p * per + j].config.name;
+                meta.selector = jobs[p * per + j].selector
+                                    ? minigraph::nameOf(
+                                          *jobs[p * per + j].selector)
+                                    : "none";
+                meta.templateNames = r[j].templateNames;
+                meta.mgInstances = r[j].instances;
+                meta.mgTemplatesUsed = r[j].templatesUsed;
+                std::printf("%s\n",
+                            trace::statsJson(meta, r[j].sim).c_str());
+            }
+        }
     }
 
     bench::printSCurves(
@@ -80,6 +170,9 @@ main()
         "Figure 7 bottom: Slack-Dynamic model components (reduced "
         "processor)",
         bot);
+
+    printLossBreakdown(
+        "Cycle-loss accounting: where the retirement slots went", loss);
 
     std::printf("\n");
     double d_prof = mean(top[2].values) - mean(top[3].values);

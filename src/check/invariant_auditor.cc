@@ -110,6 +110,25 @@ InvariantAuditor::auditCheap(const Core &core, uint64_t cycle)
              static_cast<unsigned long long>(r.committedHandles),
              static_cast<unsigned long long>(cycle));
 
+    // --- [loss] cycle-loss accounting identity (docs/TRACING.md) ---
+    //
+    // When loss accounting is on, the charged buckets must sum to
+    // exactly the retirement slots the run did not fill, every cycle:
+    // commitWidth * cycles - committedUnits.
+    if (core.cfg.lossAccounting) {
+        uint64_t total =
+            static_cast<uint64_t>(core.cfg.commitWidth) * cycle;
+        uint64_t lost = total - r.committedUnits;
+        mg_check(r.lossSum() == lost,
+                 "[loss] buckets sum to %llu but %llu retirement slots "
+                 "were lost (width %u x %llu cycles - %llu units)",
+                 static_cast<unsigned long long>(r.lossSum()),
+                 static_cast<unsigned long long>(lost),
+                 core.cfg.commitWidth,
+                 static_cast<unsigned long long>(cycle),
+                 static_cast<unsigned long long>(r.committedUnits));
+    }
+
     // Commit is the only headSeq mutation, one unit per retired slot.
     if (havePrev) {
         mg_check(core.headSeq - prevHeadSeq ==

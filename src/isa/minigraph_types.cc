@@ -14,6 +14,56 @@ MgTemplate::totalLatency() const
     return total;
 }
 
+/**
+ * Longest Internal-dependency chain ending at (and including)
+ * constituent `idx`, by execution latency.
+ */
+static unsigned
+chainLatencyTo(const std::vector<MgConstituent> &ops, size_t idx)
+{
+    const MgConstituent &c = ops[idx];
+    unsigned before = 0;
+    if (c.src1Kind == MgSrcKind::Internal && c.src1 < idx)
+        before = chainLatencyTo(ops, c.src1);
+    if (c.src2Kind == MgSrcKind::Internal && c.src2 < idx)
+        before = std::max(before, chainLatencyTo(ops, c.src2));
+    return before + opInfo(c.op).latency;
+}
+
+unsigned
+MgTemplate::criticalLatency() const
+{
+    unsigned longest = 0;
+    for (size_t i = 0; i < ops.size(); ++i)
+        longest = std::max(longest, chainLatencyTo(ops, i));
+    return longest;
+}
+
+unsigned
+MgTemplate::serialLatencyToOutput() const
+{
+    if (outputIdx < 0)
+        return totalLatency();
+    unsigned total = 0;
+    for (size_t i = 0; i <= static_cast<size_t>(outputIdx); ++i)
+        total += opInfo(ops[i].op).latency;
+    return total;
+}
+
+unsigned
+MgTemplate::criticalLatencyToOutput() const
+{
+    if (outputIdx < 0)
+        return criticalLatency();
+    return chainLatencyTo(ops, static_cast<size_t>(outputIdx));
+}
+
+unsigned
+MgTemplate::internalChainPenalty() const
+{
+    return serialLatencyToOutput() - criticalLatencyToOutput();
+}
+
 bool
 MgTemplate::inputIsSerializing(uint8_t slot) const
 {

@@ -84,6 +84,31 @@ struct MgTemplate
     unsigned totalLatency() const;
 
     /**
+     * Dataflow critical-path latency through the template: the longest
+     * chain of Internal-source dependencies, by constituent execution
+     * latency.  Constituents whose operands are all external could
+     * execute in parallel on a non-aggregated machine; the difference
+     * `totalLatency() - criticalLatency()` is therefore the template's
+     * structural *internal serialization* penalty (§4.2).
+     */
+    unsigned criticalLatency() const;
+
+    /** Serial (constituent-by-constituent) latency up to and including
+     *  the output producer; totalLatency() if there is no output. */
+    unsigned serialLatencyToOutput() const;
+
+    /** Dataflow critical-path latency up to and including the output
+     *  producer; criticalLatency() if there is no output. */
+    unsigned criticalLatencyToOutput() const;
+
+    /**
+     * Extra cycles the aggregate's consumers wait because constituents
+     * execute in series instead of dataflow order:
+     * serialLatencyToOutput() - criticalLatencyToOutput().
+     */
+    unsigned internalChainPenalty() const;
+
+    /**
      * True if external-input slot `slot` feeds any constituent other
      * than the first — i.e. is a potentially *serializing* input.
      */

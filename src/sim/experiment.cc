@@ -1,12 +1,45 @@
 #include "sim/experiment.h"
 
+#include <fstream>
+#include <stdexcept>
+
 #include "common/logging.h"
 #include "profile/exec_counts.h"
+#include "trace/chrome_trace.h"
+#include "trace/konata.h"
+#include "trace/stats_json.h"
 
 namespace mg::sim
 {
 
 using minigraph::SelectorKind;
+
+namespace
+{
+
+void
+writeFileOrThrow(const std::string &path, const std::string &contents)
+{
+    std::ofstream out(path, std::ios::binary);
+    out << contents;
+    if (!out)
+        throw std::runtime_error("cannot write trace file: " + path);
+}
+
+/** Write the Konata / Chrome exports a finished tracer collected. */
+void
+exportTrace(const trace::PipelineTracer &tracer)
+{
+    const trace::TraceConfig &tc = tracer.config();
+    if (!tc.konataPath.empty())
+        writeFileOrThrow(tc.konataPath,
+                         trace::konataToString(tracer.records()));
+    if (!tc.chromePath.empty())
+        writeFileOrThrow(tc.chromePath,
+                         trace::chromeTraceToString(tracer.records()));
+}
+
+} // namespace
 
 ProgramContext::ProgramContext(const workloads::WorkloadSpec &spec,
                                bool alt_input)
@@ -101,15 +134,28 @@ configForSelector(const uarch::CoreConfig &base, SelectorKind kind)
 RunResult
 ProgramContext::run(const RunRequest &req)
 {
+    const trace::TraceConfig *trc =
+        req.trace ? &*req.trace : nullptr;
+
     if (req.chosen) {
         return simulateChosen(*req.chosen, req.config,
                               req.selector.value_or(
-                                  SelectorKind::StructAll));
+                                  SelectorKind::StructAll),
+                              trc);
     }
 
     if (!req.selector) {
         RunResult out;
-        out.sim = baseline(req.config);
+        if (trc) {
+            // Tracing needs a live core; bypass the baseline cache.
+            trace::PipelineTracer tracer(*trc);
+            uarch::Core core(req.config, prog);
+            core.setProfiler(&tracer);
+            out.sim = core.run();
+            exportTrace(tracer);
+        } else {
+            out.sim = baseline(req.config);
+        }
         return out;
     }
 
@@ -124,22 +170,35 @@ ProgramContext::run(const RunRequest &req)
         minigraph::filterPool(candidatePool(), kind, prog, prof);
     minigraph::SelectionResult sel =
         minigraph::selectGreedy(filtered, counts(), req.templateBudget);
-    return simulateChosen(sel.chosen, req.config, kind);
+    return simulateChosen(sel.chosen, req.config, kind, trc);
 }
 
 RunResult
 ProgramContext::simulateChosen(
     const std::vector<minigraph::Candidate> &chosen,
-    const uarch::CoreConfig &sim_config, SelectorKind kind)
+    const uarch::CoreConfig &sim_config, SelectorKind kind,
+    const trace::TraceConfig *trc)
 {
     minigraph::RewrittenProgram rp = minigraph::rewrite(prog, chosen);
     uarch::CoreConfig cfg = configForSelector(sim_config, kind);
 
     uarch::Core core(cfg, rp.program, &rp.info);
+    std::optional<trace::PipelineTracer> tracer;
+    if (trc) {
+        tracer.emplace(*trc);
+        core.setProfiler(&*tracer);
+    }
+
     RunResult out;
     out.sim = core.run();
     out.instances = rp.instanceCount();
     out.templatesUsed = static_cast<uint32_t>(rp.info.templates.size());
+    out.templateNames.reserve(rp.info.templates.size());
+    for (const isa::MgTemplate &t : rp.info.templates)
+        out.templateNames.push_back(trace::templateLabel(t));
+
+    if (tracer)
+        exportTrace(*tracer);
     return out;
 }
 

@@ -26,6 +26,7 @@
 #include "minigraph/rewriter.h"
 #include "minigraph/selectors.h"
 #include "profile/slack_profile.h"
+#include "trace/pipeline_tracer.h"
 #include "uarch/core.h"
 #include "workloads/workload.h"
 
@@ -80,6 +81,13 @@ struct RunRequest
 
     /** MGT capacity for selection. */
     uint32_t templateBudget = 512;
+
+    /**
+     * Collect a pipeline trace of the final timing run and write the
+     * configured Konata / Chrome files (see docs/TRACING.md).  Forces
+     * a fresh simulation (bypasses the baseline cache).
+     */
+    std::optional<trace::TraceConfig> trace{};
 };
 
 /** Result of one experiment job. */
@@ -88,6 +96,9 @@ struct RunResult
     uarch::SimResult sim;
     uint32_t templatesUsed = 0;
     size_t instances = 0;
+
+    /** Labels aligned with sim.mgTemplates (trace::templateLabel). */
+    std::vector<std::string> templateNames;
 
     /** False if the job threw; `error` holds the message. */
     bool ok = true;
@@ -99,9 +110,6 @@ struct RunResult
     /** IPC over original-program instructions. */
     double ipc() const { return sim.ipc(); }
 };
-
-/** Deprecated name for RunResult (pre-runner API). */
-using SelectorRun = RunResult;
 
 /**
  * Per-program experiment context: owns the program, its execution
@@ -145,64 +153,14 @@ class ProgramContext
      */
     RunResult run(const RunRequest &req);
 
-    /**
-     * @deprecated Thin forward over run(); build a RunRequest instead.
-     */
-    [[deprecated("use run(RunRequest)")]] SelectorRun
-    runSelector(minigraph::SelectorKind kind,
-                const uarch::CoreConfig &sim_config,
-                const uarch::CoreConfig *profile_config = nullptr,
-                uint32_t template_budget = 512)
-    {
-        RunRequest req;
-        req.config = sim_config;
-        req.selector = kind;
-        if (profile_config)
-            req.profileConfig = *profile_config;
-        req.templateBudget = template_budget;
-        return run(req);
-    }
-
-    /**
-     * @deprecated Thin forward over run(); set RunRequest::profile.
-     */
-    [[deprecated("use run(RunRequest)")]] SelectorRun
-    runSelectorWithProfile(minigraph::SelectorKind kind,
-                           const uarch::CoreConfig &sim_config,
-                           const profile::SlackProfileData &prof,
-                           uint32_t template_budget = 512)
-    {
-        RunRequest req;
-        req.config = sim_config;
-        req.selector = kind;
-        req.profile = &prof;
-        req.templateBudget = template_budget;
-        return run(req);
-    }
-
-    /**
-     * @deprecated Thin forward over run(); set RunRequest::chosen.
-     */
-    [[deprecated("use run(RunRequest)")]] SelectorRun
-    runChosen(const std::vector<minigraph::Candidate> &chosen,
-              const uarch::CoreConfig &sim_config,
-              minigraph::SelectorKind kind =
-                  minigraph::SelectorKind::StructAll)
-    {
-        RunRequest req;
-        req.config = sim_config;
-        req.selector = kind;
-        req.chosen = chosen;
-        return run(req);
-    }
-
     /** The full enumerated candidate pool (cached). */
     const std::vector<minigraph::Candidate> &candidatePool();
 
   private:
     RunResult simulateChosen(
         const std::vector<minigraph::Candidate> &chosen,
-        const uarch::CoreConfig &sim_config, minigraph::SelectorKind kind);
+        const uarch::CoreConfig &sim_config, minigraph::SelectorKind kind,
+        const trace::TraceConfig *trc = nullptr);
 
     assembler::Program prog;
 

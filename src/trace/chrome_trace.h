@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Chrome trace_event JSON export.  Open in chrome://tracing, Perfetto
+ * (ui.perfetto.dev), or speedscope.  One complete ("ph":"X") event per
+ * occupied pipeline phase per instruction; 1 cycle == 1 "microsecond".
+ */
+
+#ifndef MG_TRACE_CHROME_TRACE_H
+#define MG_TRACE_CHROME_TRACE_H
+
+#include <string>
+#include <vector>
+
+#include "trace/pipeline_tracer.h"
+
+namespace mg::trace
+{
+
+/** Render the records as {"traceEvents":[...]} JSON. */
+std::string chromeTraceToString(const std::vector<InstRecord> &recs);
+
+} // namespace mg::trace
+
+#endif // MG_TRACE_CHROME_TRACE_H

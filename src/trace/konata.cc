@@ -1,0 +1,210 @@
+#include "trace/konata.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace mg::trace
+{
+
+namespace
+{
+
+struct Cmd
+{
+    uint64_t cycle;
+    uint64_t order; ///< stable tiebreak: emission order
+    std::string text;
+};
+
+void
+push(std::vector<Cmd> &cmds, uint64_t cycle, std::string text)
+{
+    cmds.push_back({cycle, cmds.size(), std::move(text)});
+}
+
+} // namespace
+
+std::string
+konataToString(const std::vector<InstRecord> &recs)
+{
+    std::vector<Cmd> cmds;
+    uint64_t id = 0;
+    uint64_t retired = 0;
+
+    for (const InstRecord &r : recs) {
+        const uint64_t i = id++;
+        std::string label = r.disasm.empty() ? "?" : r.disasm;
+        if (r.isHandle)
+            label += " [mg/" + std::to_string(unsigned(r.mgSize)) + "]";
+
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%08x: ", r.pc);
+
+        push(cmds, r.fetchCycle,
+             "I\t" + std::to_string(i) + "\t" + std::to_string(r.seq) +
+                 "\t0");
+        push(cmds, r.fetchCycle,
+             "L\t" + std::to_string(i) + "\t0\t" + buf + label);
+        push(cmds, r.fetchCycle, "S\t" + std::to_string(i) + "\t0\tF");
+
+        if (r.dispatchCycle > 0)
+            push(cmds, r.dispatchCycle,
+                 "S\t" + std::to_string(i) + "\t0\tDs");
+        if (r.issueCycle > 0)
+            push(cmds, r.issueCycle,
+                 "S\t" + std::to_string(i) + "\t0\tIs");
+        if (r.completeCycle > 0)
+            push(cmds, r.completeCycle,
+                 "S\t" + std::to_string(i) + "\t0\tCm");
+
+        if (r.committed) {
+            push(cmds, r.commitCycle,
+                 "E\t" + std::to_string(i) + "\t0\tCm");
+            push(cmds, r.commitCycle,
+                 "R\t" + std::to_string(i) + "\t" +
+                     std::to_string(retired++) + "\t0");
+        } else {
+            // Squashed or still in flight at end of trace: flush.
+            uint64_t end = std::max(
+                {r.squashCycle, r.fetchCycle, r.dispatchCycle,
+                 r.issueCycle, r.completeCycle});
+            push(cmds, end,
+                 "R\t" + std::to_string(i) + "\t0\t1");
+        }
+    }
+
+    std::stable_sort(cmds.begin(), cmds.end(),
+                     [](const Cmd &a, const Cmd &b) {
+                         if (a.cycle != b.cycle)
+                             return a.cycle < b.cycle;
+                         return a.order < b.order;
+                     });
+
+    std::string out = "Kanata\t0004\n";
+    uint64_t cur = cmds.empty() ? 0 : cmds.front().cycle;
+    out += "C=\t" + std::to_string(cur) + "\n";
+    for (const Cmd &c : cmds) {
+        if (c.cycle != cur) {
+            out += "C\t" + std::to_string(c.cycle - cur) + "\n";
+            cur = c.cycle;
+        }
+        out += c.text;
+        out += '\n';
+    }
+    return out;
+}
+
+namespace
+{
+
+std::vector<std::string>
+splitTabs(const std::string &line)
+{
+    std::vector<std::string> f;
+    size_t start = 0;
+    while (true) {
+        size_t tab = line.find('\t', start);
+        if (tab == std::string::npos) {
+            f.push_back(line.substr(start));
+            return f;
+        }
+        f.push_back(line.substr(start, tab - start));
+        start = tab + 1;
+    }
+}
+
+bool
+isUint(const std::string &s)
+{
+    if (s.empty())
+        return false;
+    for (char c : s)
+        if (c < '0' || c > '9')
+            return false;
+    return true;
+}
+
+} // namespace
+
+std::string
+validateKonata(const std::string &log)
+{
+    std::istringstream in(log);
+    std::string line;
+    size_t lineno = 0;
+    bool sawHeader = false;
+    bool sawSeed = false;
+    std::set<uint64_t> ids;
+
+    auto err = [&](const std::string &what) {
+        return "line " + std::to_string(lineno) + ": " + what;
+    };
+
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        auto f = splitTabs(line);
+
+        if (!sawHeader) {
+            if (f.size() != 2 || f[0] != "Kanata" || f[1] != "0004")
+                return err("expected 'Kanata\\t0004' header");
+            sawHeader = true;
+            continue;
+        }
+
+        const std::string &cmd = f[0];
+        if (cmd == "C=") {
+            if (f.size() != 2 || !isUint(f[1]))
+                return err("malformed C=");
+            sawSeed = true;
+        } else if (cmd == "C") {
+            if (f.size() != 2 || !isUint(f[1]))
+                return err("malformed C");
+            if (!sawSeed)
+                return err("C before C=");
+            if (std::strtoull(f[1].c_str(), nullptr, 10) == 0)
+                return err("zero cycle advance");
+        } else if (cmd == "I") {
+            if (f.size() != 4 || !isUint(f[1]) || !isUint(f[2]) ||
+                !isUint(f[3]))
+                return err("malformed I");
+            ids.insert(std::strtoull(f[1].c_str(), nullptr, 10));
+        } else if (cmd == "L") {
+            if (f.size() != 4 || !isUint(f[1]) || !isUint(f[2]))
+                return err("malformed L");
+            if (!ids.count(std::strtoull(f[1].c_str(), nullptr, 10)))
+                return err("L references unknown id " + f[1]);
+        } else if (cmd == "S" || cmd == "E") {
+            if (f.size() != 4 || !isUint(f[1]) || !isUint(f[2]) ||
+                f[3].empty())
+                return err("malformed " + cmd);
+            if (!ids.count(std::strtoull(f[1].c_str(), nullptr, 10)))
+                return err(cmd + " references unknown id " + f[1]);
+        } else if (cmd == "R") {
+            if (f.size() != 4 || !isUint(f[1]) || !isUint(f[2]) ||
+                !isUint(f[3]))
+                return err("malformed R");
+            if (!ids.count(std::strtoull(f[1].c_str(), nullptr, 10)))
+                return err("R references unknown id " + f[1]);
+            const std::string &type = f[3];
+            if (type != "0" && type != "1")
+                return err("R type must be 0 or 1");
+        } else {
+            return err("unknown command '" + cmd + "'");
+        }
+    }
+
+    if (!sawHeader)
+        return "empty log (no header)";
+    if (!sawSeed)
+        return "missing C= cycle seed";
+    return "";
+}
+
+} // namespace mg::trace

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Konata pipeline-log export (https://github.com/shioyadan/Konata).
+ *
+ * The emitted log uses Kanata format version 0004: a header line
+ * `Kanata\t0004`, a `C=` absolute-cycle seed, and per-instruction
+ * I/L/S/E/R commands separated by `C` cycle advances.  Stages shown:
+ * F (fetch), Ds (dispatch/wait), Is (execute), Cm (commit-eligible).
+ */
+
+#ifndef MG_TRACE_KONATA_H
+#define MG_TRACE_KONATA_H
+
+#include <string>
+#include <vector>
+
+#include "trace/pipeline_tracer.h"
+
+namespace mg::trace
+{
+
+/** Render the records as a Konata (Kanata 0004) log. */
+std::string konataToString(const std::vector<InstRecord> &recs);
+
+/**
+ * Round-trip validate a Konata log: header, known commands, field
+ * counts, ids introduced before use, monotonic cycle advances.
+ *
+ * @return "" if valid, else a description of the first problem.
+ */
+std::string validateKonata(const std::string &log);
+
+} // namespace mg::trace
+
+#endif // MG_TRACE_KONATA_H

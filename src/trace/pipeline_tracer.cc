@@ -1,0 +1,93 @@
+#include "trace/pipeline_tracer.h"
+
+#include "isa/instruction.h"
+
+namespace mg::trace
+{
+
+InstRecord *
+PipelineTracer::liveRecord(uint64_t seq)
+{
+    auto it = live.find(seq);
+    if (it == live.end())
+        return nullptr;
+    return &recs[it->second];
+}
+
+void
+PipelineTracer::onFetch(const uarch::FetchObservation &obs)
+{
+    lastCycle = obs.cycle;
+    if (obs.cycle < cfg.startCycle || obs.cycle > cfg.endCycle)
+        return;
+
+    InstRecord r;
+    r.seq = obs.seq;
+    r.pc = obs.pc;
+    if (obs.inst)
+        r.disasm = isa::disassemble(*obs.inst);
+    r.isHandle = obs.isHandle;
+    r.mgSize = obs.mgSize;
+    r.fetchCycle = obs.cycle;
+    r.isLoad = obs.inst && obs.inst->isLoad();
+    r.isStore = obs.inst && obs.inst->isStore();
+
+    // A re-used seq after a flush replaces the live mapping; the old
+    // (squashed) record stays in the stream.
+    live[obs.seq] = recs.size();
+    recs.push_back(std::move(r));
+}
+
+void
+PipelineTracer::onDispatch(const uarch::DispatchObservation &obs)
+{
+    lastCycle = obs.cycle;
+    if (InstRecord *r = liveRecord(obs.seq))
+        r->dispatchCycle = obs.cycle;
+}
+
+void
+PipelineTracer::onIssue(const uarch::IssueObservation &obs)
+{
+    lastCycle = obs.issueCycle;
+    if (InstRecord *r = liveRecord(obs.seq)) {
+        r->issueCycle = obs.issueCycle;
+        r->mispredicted = obs.mispredicted;
+    }
+}
+
+void
+PipelineTracer::onCommitDetail(const uarch::CommitObservation &obs)
+{
+    lastCycle = obs.cycle;
+    InstRecord *r = liveRecord(obs.seq);
+    if (!r)
+        return;
+    r->dispatchCycle = obs.dispatchCycle;
+    r->issueCycle = obs.issueCycle;
+    r->completeCycle = obs.completeCycle;
+    r->commitCycle = obs.cycle;
+    r->committed = true;
+    r->mispredicted = obs.mispredicted;
+    r->isLoad = obs.isLoad;
+    r->isStore = obs.isStore;
+    r->missedCache = obs.missedCache;
+    live.erase(obs.seq);
+}
+
+void
+PipelineTracer::onSquash(uint64_t first_squashed)
+{
+    for (auto it = live.begin(); it != live.end();) {
+        if (it->first >= first_squashed) {
+            InstRecord &r = recs[it->second];
+            r.squashed = true;
+            r.squashCycle = lastCycle;
+            it = live.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+} // namespace mg::trace

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Pipeline trace collection: a ProfilerHooks sink that records the
+ * per-stage timeline of every dynamic instruction inside a cycle
+ * window, for export as a Konata log (src/trace/konata.h), a Chrome
+ * trace_event JSON (src/trace/chrome_trace.h), or ad-hoc analysis.
+ *
+ * The tracer attaches through the same seam the slack profiler uses
+ * (uarch/profiler_hooks.h); the core pays nothing when no sink is
+ * attached.  See docs/TRACING.md.
+ */
+
+#ifndef MG_TRACE_PIPELINE_TRACER_H
+#define MG_TRACE_PIPELINE_TRACER_H
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "uarch/profiler_hooks.h"
+
+namespace mg::trace
+{
+
+/** What to trace and where to write it (RunRequest::trace). */
+struct TraceConfig
+{
+    /** Record instructions fetched at or after this cycle. */
+    uint64_t startCycle = 0;
+
+    /** Stop recording instructions fetched after this cycle. */
+    uint64_t endCycle = std::numeric_limits<uint64_t>::max();
+
+    /** Konata pipeline log destination ("" = do not write). */
+    std::string konataPath;
+
+    /** Chrome trace_event JSON destination ("" = do not write). */
+    std::string chromePath;
+};
+
+/** The recorded timeline of one dynamic instruction. */
+struct InstRecord
+{
+    uint64_t seq = 0;
+    uint32_t pc = 0;
+    std::string disasm;
+    bool isHandle = false;
+    uint8_t mgSize = 0;
+
+    uint64_t fetchCycle = 0;
+    uint64_t dispatchCycle = 0; ///< 0 = never dispatched
+    uint64_t issueCycle = 0;    ///< 0 = never issued
+    uint64_t completeCycle = 0; ///< 0 = never completed
+    uint64_t commitCycle = 0;   ///< 0 = not (yet) committed
+
+    bool committed = false;
+    bool squashed = false;
+    uint64_t squashCycle = 0;
+
+    bool mispredicted = false;
+    bool isLoad = false;
+    bool isStore = false;
+    bool missedCache = false;
+};
+
+/**
+ * ProfilerHooks implementation that builds InstRecords.  Squashed
+ * instructions stay in the record stream (marked squashed); a re-used
+ * sequence number after a flush starts a fresh record.
+ */
+class PipelineTracer : public uarch::ProfilerHooks
+{
+  public:
+    explicit PipelineTracer(const TraceConfig &config = {})
+        : cfg(config)
+    {
+    }
+
+    void onFetch(const uarch::FetchObservation &obs) override;
+    void onDispatch(const uarch::DispatchObservation &obs) override;
+    void onIssue(const uarch::IssueObservation &obs) override;
+    void onCommitDetail(const uarch::CommitObservation &obs) override;
+    void onSquash(uint64_t first_squashed) override;
+
+    void onStoreForward(uint64_t, uint64_t) override {}
+    void onCommit(uint64_t) override {}
+
+    /** All records, in fetch order. */
+    const std::vector<InstRecord> &records() const { return recs; }
+
+    const TraceConfig &config() const { return cfg; }
+
+  private:
+    InstRecord *liveRecord(uint64_t seq);
+
+    TraceConfig cfg;
+    std::vector<InstRecord> recs;
+
+    /** seq -> index of the *live* (not squashed) record for it. */
+    std::unordered_map<uint64_t, size_t> live;
+
+    /** Latest cycle seen on any event (squash-cycle estimate). */
+    uint64_t lastCycle = 0;
+};
+
+} // namespace mg::trace
+
+#endif // MG_TRACE_PIPELINE_TRACER_H

@@ -1,0 +1,237 @@
+#include "trace/validate.h"
+
+namespace mg::trace
+{
+
+namespace
+{
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &s)
+        : text(s)
+    {
+    }
+
+    /** Parse one complete value; return "" or an error string. */
+    std::string
+    run()
+    {
+        skipWs();
+        if (!value())
+            return error;
+        skipWs();
+        if (pos != text.size())
+            fail("trailing data");
+        return error;
+    }
+
+  private:
+    bool
+    fail(const std::string &what)
+    {
+        if (error.empty())
+            error = what + " at offset " + std::to_string(pos);
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' ||
+                text[pos] == '\n' || text[pos] == '\r'))
+            ++pos;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        size_t n = 0;
+        while (word[n])
+            ++n;
+        if (text.compare(pos, n, word) != 0)
+            return fail(std::string("expected '") + word + "'");
+        pos += n;
+        return true;
+    }
+
+    bool
+    value()
+    {
+        if (pos >= text.size())
+            return fail("unexpected end of input");
+        switch (text[pos]) {
+        case '{': return object();
+        case '[': return array();
+        case '"': return string();
+        case 't': return literal("true");
+        case 'f': return literal("false");
+        case 'n': return literal("null");
+        default: return number();
+        }
+    }
+
+    bool
+    object()
+    {
+        ++pos; // '{'
+        skipWs();
+        if (pos < text.size() && text[pos] == '}') {
+            ++pos;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (pos >= text.size() || text[pos] != '"')
+                return fail("expected object key");
+            if (!string())
+                return false;
+            skipWs();
+            if (pos >= text.size() || text[pos] != ':')
+                return fail("expected ':'");
+            ++pos;
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (pos >= text.size())
+                return fail("unterminated object");
+            if (text[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            if (text[pos] == '}') {
+                ++pos;
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    bool
+    array()
+    {
+        ++pos; // '['
+        skipWs();
+        if (pos < text.size() && text[pos] == ']') {
+            ++pos;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (pos >= text.size())
+                return fail("unterminated array");
+            if (text[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            if (text[pos] == ']') {
+                ++pos;
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    bool
+    string()
+    {
+        ++pos; // '"'
+        while (pos < text.size()) {
+            unsigned char c = text[pos];
+            if (c == '"') {
+                ++pos;
+                return true;
+            }
+            if (c == '\\') {
+                ++pos;
+                if (pos >= text.size())
+                    return fail("unterminated escape");
+                char e = text[pos];
+                if (e == 'u') {
+                    for (int i = 0; i < 4; ++i) {
+                        ++pos;
+                        if (pos >= text.size() || !isHex(text[pos]))
+                            return fail("bad \\u escape");
+                    }
+                } else if (e != '"' && e != '\\' && e != '/' &&
+                           e != 'b' && e != 'f' && e != 'n' &&
+                           e != 'r' && e != 't') {
+                    return fail("bad escape character");
+                }
+                ++pos;
+            } else if (c < 0x20) {
+                return fail("raw control character in string");
+            } else {
+                ++pos;
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    number()
+    {
+        size_t start = pos;
+        if (pos < text.size() && text[pos] == '-')
+            ++pos;
+        if (pos >= text.size() || !isDigit(text[pos]))
+            return fail("expected value");
+        if (text[pos] == '0') {
+            ++pos;
+        } else {
+            while (pos < text.size() && isDigit(text[pos]))
+                ++pos;
+        }
+        if (pos < text.size() && text[pos] == '.') {
+            ++pos;
+            if (pos >= text.size() || !isDigit(text[pos]))
+                return fail("bad fraction");
+            while (pos < text.size() && isDigit(text[pos]))
+                ++pos;
+        }
+        if (pos < text.size() && (text[pos] == 'e' || text[pos] == 'E')) {
+            ++pos;
+            if (pos < text.size() &&
+                (text[pos] == '+' || text[pos] == '-'))
+                ++pos;
+            if (pos >= text.size() || !isDigit(text[pos]))
+                return fail("bad exponent");
+            while (pos < text.size() && isDigit(text[pos]))
+                ++pos;
+        }
+        return pos > start;
+    }
+
+    static bool
+    isDigit(char c)
+    {
+        return c >= '0' && c <= '9';
+    }
+
+    static bool
+    isHex(char c)
+    {
+        return isDigit(c) || (c >= 'a' && c <= 'f') ||
+               (c >= 'A' && c <= 'F');
+    }
+
+    const std::string &text;
+    size_t pos = 0;
+    std::string error;
+};
+
+} // namespace
+
+std::string
+validateJson(const std::string &text)
+{
+    return Parser(text).run();
+}
+
+} // namespace mg::trace

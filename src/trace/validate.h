@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Minimal recursive-descent JSON syntax checker, used to round-trip
+ * validate the Chrome trace and stats output without an external JSON
+ * dependency.  Accepts exactly RFC 8259 (objects, arrays, strings
+ * with escapes, numbers, true/false/null); no extensions.
+ */
+
+#ifndef MG_TRACE_VALIDATE_H
+#define MG_TRACE_VALIDATE_H
+
+#include <string>
+
+namespace mg::trace
+{
+
+/**
+ * Validate that `text` is one complete JSON value.
+ *
+ * @return "" if valid, else a description with the byte offset of the
+ *         first problem.
+ */
+std::string validateJson(const std::string &text);
+
+} // namespace mg::trace
+
+#endif // MG_TRACE_VALIDATE_H

@@ -145,6 +145,16 @@ struct CoreConfig
     /** Maximum cycles to simulate (safety net against livelock). */
     uint64_t maxCycles = 1ull << 32;
 
+    // --- Observability (src/trace/) ---
+    /**
+     * Cycle-loss accounting: charge every unfilled retirement slot to
+     * a LossBucket and keep per-template serialization counters (see
+     * uarch/sim_stats.h and docs/TRACING.md).  One branchy O(1) check
+     * per non-ideal cycle; disable to shave the last percent off big
+     * sweeps.
+     */
+    bool lossAccounting = true;
+
     // --- Invariant auditing (src/check/) ---
     /**
      * End-of-cycle pipeline invariant auditing.  Defaults to

@@ -42,6 +42,12 @@ Core::Core(const CoreConfig &config, const assembler::Program &program,
         });
     }
 
+    if (mgInfo) {
+        tmplChainPenalty.reserve(mgInfo->templates.size());
+        for (const MgTemplate &t : mgInfo->templates)
+            tmplChainPenalty.push_back(t.internalChainPenalty());
+    }
+
     // Basic-block leaders for profiler BB-instance tracking.
     assembler::Cfg cfg_graph(prog);
     isLeader.assign(prog.code.size(), false);
@@ -189,6 +195,8 @@ Core::issueSingleton(DynInst &d)
         } else {
             actual = hier.dataAccess(d.memAddr, false);
         }
+        if (actual > cfg.dcache.hitLatency)
+            d.missedCache = true;
         d.specReady = cycle + cfg.dcache.hitLatency;
         d.ready = cycle + actual;
         d.execDone = cycle + cfg.regreadDelay + 1; // address known
@@ -214,6 +222,7 @@ Core::issueSingleton(DynInst &d)
         if (stalledOnSeq == d.seq) {
             stalledOnSeq = kCommitted;
             fetchResumeCycle = d.execDone + 1;
+            resumeBucket = LossBucket::BranchMispredict;
         }
     }
 }
@@ -243,6 +252,8 @@ Core::issueHandle(DynInst &d)
             } else {
                 lat_actual = hier.dataAccess(ce.memAddr, false);
             }
+            if (lat_actual > cfg.dcache.hitLatency)
+                d.missedCache = true;
         } else if (isa::isStore(c.op)) {
             d.memIssueCycle = cycle + cum_actual;
             d.memExecDone = cycle + cfg.regreadDelay + cum_actual + 1;
@@ -268,8 +279,132 @@ Core::issueHandle(DynInst &d)
         if (stalledOnSeq == d.seq) {
             stalledOnSeq = kCommitted;
             fetchResumeCycle = at + 1;
+            resumeBucket = LossBucket::BranchMispredict;
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Cycle-loss accounting
+// ---------------------------------------------------------------------
+
+unsigned
+Core::chainPenaltyOf(const DynInst &d) const
+{
+    if (d.ex.instance && d.ex.instance->templateIdx < tmplChainPenalty.size())
+        return tmplChainPenalty[d.ex.instance->templateIdx];
+    return d.ex.tmpl->internalChainPenalty();
+}
+
+void
+Core::accountHandleIssue(const DynInst &d,
+                         const std::array<uint64_t, 3> &src_ready)
+{
+    if (!d.ex.instance || res.mgTemplates.empty())
+        return;
+    MgTemplateSerialStats &ts =
+        res.mgTemplates[d.ex.instance->templateIdx];
+    ++ts.issues;
+    ts.intPenaltyCycles += chainPenaltyOf(d);
+
+    // External serialization: cycles issue slipped past the point the
+    // first constituent could have started (all non-serializing inputs
+    // ready, schedule delay elapsed) waiting for a serializing input.
+    uint64_t ser = 0, nonser = 0;
+    for (uint8_t i = 0; i < d.numSrcs; ++i) {
+        if (d.ex.tmpl->inputIsSerializing(d.srcSlots[i]))
+            ser = std::max(ser, src_ready[i]);
+        else
+            nonser = std::max(nonser, src_ready[i]);
+    }
+    uint64_t base = std::max(nonser, d.dispatchCycle + cfg.renameDelay);
+    if (ser > base)
+        ts.extWaitCycles += ser - base;
+}
+
+LossBucket
+Core::classifyLossCycle() const
+{
+    if (headSeq < tailSeq) {
+        const DynInst &d = robAt(headSeq);
+        if (d.issued) {
+            // Head is executing: its latency is the bottleneck.
+            if (d.missedCache)
+                return LossBucket::DCacheMiss;
+            if (d.mispredicted)
+                return LossBucket::BranchMispredict;
+            if (d.isHandle() && chainPenaltyOf(d) > 0)
+                return LossBucket::MgInternal;
+            // Short-latency head with nothing complete behind it:
+            // the window was supply-limited — charge the structure
+            // dispatch last blocked on, if any.
+            if (dispatchBlock >= 0)
+                return static_cast<LossBucket>(dispatchBlock);
+            return LossBucket::Other;
+        }
+
+        // Head dispatched but unissued: why could it not issue?
+        if (!memDepSatisfied(d))
+            return LossBucket::Other; // predicted store-order wait
+        if (!srcsSpecReady(d)) {
+            if (d.isHandle()) {
+                // External serialization only if every missing input
+                // is a *serializing* one (a singleton would already
+                // be running); otherwise charge the producer.
+                bool nonser_missing = false;
+                for (uint8_t i = 0; i < d.numSrcs; ++i) {
+                    if (srcSpecReady(d.srcProducers[i]) > cycle &&
+                        !d.ex.tmpl->inputIsSerializing(d.srcSlots[i]))
+                        nonser_missing = true;
+                }
+                if (!nonser_missing)
+                    return LossBucket::MgExternal;
+            }
+            for (uint8_t i = 0; i < d.numSrcs; ++i) {
+                uint64_t p = d.srcProducers[i];
+                if (p == kCommitted || !inFlight(p))
+                    continue;
+                const DynInst &prod = robAt(p);
+                if (prod.specReady <= cycle)
+                    continue;
+                if (prod.missedCache)
+                    return LossBucket::DCacheMiss;
+                if (prod.issued && prod.isHandle() &&
+                    chainPenaltyOf(prod) > 0)
+                    return LossBucket::MgInternal;
+            }
+            return LossBucket::Other; // plain dependence chain
+        }
+        // Replay shadow: speculative wakeup fired but actual operands
+        // are late — almost always a cache miss in the producer.
+        for (uint8_t i = 0; i < d.numSrcs; ++i) {
+            uint64_t p = d.srcProducers[i];
+            if (p != kCommitted && inFlight(p) &&
+                robAt(p).missedCache && robAt(p).ready > cycle)
+                return LossBucket::DCacheMiss;
+        }
+        return LossBucket::Other; // schedule delay / FU / issue width
+    }
+
+    // Empty window: the front end failed to supply.
+    if (stalledOnSeq != kCommitted)
+        return LossBucket::BranchMispredict;
+    if (cycle < fetchResumeCycle)
+        return resumeBucket;
+    if (cycle < fetchBlockedUntil)
+        return LossBucket::FrontEnd;
+    if (!fetchQueue.empty())
+        return LossBucket::FrontEnd; // front-end refill depth
+    return LossBucket::Other;        // drain / end of program
+}
+
+void
+Core::accountLoss(uint32_t committed_now)
+{
+    if (committed_now >= cfg.commitWidth)
+        return;
+    res.lossSlots[static_cast<size_t>(classifyLossCycle())] +=
+        cfg.commitWidth - committed_now;
 }
 
 void
@@ -464,6 +599,9 @@ Core::issueStage()
         else
             issueSingleton(d);
 
+        if (cfg.lossAccounting && d.isHandle())
+            accountHandleIssue(d, src_ready);
+
         if (slackDyn && d.isHandle())
             slackDynamicOnIssue(d, src_ready);
 
@@ -625,7 +763,10 @@ Core::flushFrom(uint64_t first_squashed)
         profiler->onSquash(first_squashed);
 
     // Reset fetch: resume re-fetching next cycle (the front-end depth
-    // charges the refill delay naturally).
+    // charges the refill delay naturally).  Loss accounting charges
+    // the recovery bubble to Other (memory-order violation), not to
+    // branch misprediction.
+    resumeBucket = LossBucket::Other;
     if (stalledOnSeq != kCommitted && stalledOnSeq >= first_squashed)
         stalledOnSeq = kCommitted;
     fetchResumeCycle = std::max(fetchResumeCycle, cycle + 1);
@@ -642,6 +783,7 @@ Core::flushFrom(uint64_t first_squashed)
 void
 Core::dispatchStage()
 {
+    dispatchBlock = -1;
     for (uint32_t n = 0; n < cfg.renameWidth; ++n) {
         if (fetchQueue.empty())
             return;
@@ -651,10 +793,12 @@ Core::dispatchStage()
 
         if (tailSeq - headSeq >= cfg.robEntries) {
             ++res.robStallCycles;
+            dispatchBlock = static_cast<int>(LossBucket::RobFull);
             return;
         }
         if (iq.size() >= cfg.issueQueueEntries) {
             ++res.iqStallCycles;
+            dispatchBlock = static_cast<int>(LossBucket::IqFull);
             return;
         }
 
@@ -662,6 +806,7 @@ Core::dispatchStage()
         int dest = inst.destReg();
         if (dest >= 0 && freePhys == 0) {
             ++res.regStallCycles;
+            dispatchBlock = static_cast<int>(LossBucket::RegFull);
             return;
         }
 
@@ -745,6 +890,9 @@ Core::dispatchStage()
         d.earliestIssue = cycle + cfg.renameDelay;
         d.inIq = true;
         iq.push_back(d.seq);
+
+        if (profiler)
+            profiler->onDispatch({d.seq, cycle});
 
         mg_assert(d.seq == tailSeq, "dispatch out of order");
         robAt(tailSeq) = std::move(d);
@@ -881,6 +1029,19 @@ Core::fetchStage()
             break_fetch = true;
         }
 
+        if (profiler) {
+            FetchObservation fo;
+            fo.pc = d.ex.pc;
+            fo.seq = d.seq;
+            fo.cycle = cycle;
+            fo.inst = &d.ex.inst;
+            fo.isHandle = d.isHandle();
+            fo.mgSize = d.isHandle()
+                            ? static_cast<uint8_t>(d.ex.tmpl->size())
+                            : 0;
+            profiler->onFetch(fo);
+        }
+
         ++slots;
         fetchQueue.push_back(std::move(d));
         if (break_fetch)
@@ -892,13 +1053,14 @@ Core::fetchStage()
 // Commit
 // ---------------------------------------------------------------------
 
-void
+uint32_t
 Core::commitStage()
 {
-    for (uint32_t n = 0; n < cfg.commitWidth && headSeq < tailSeq; ++n) {
+    uint32_t n = 0;
+    for (; n < cfg.commitWidth && headSeq < tailSeq; ++n) {
         DynInst &d = robAt(headSeq);
         if (!d.issued || d.complete > cycle)
-            return;
+            return n;
 
         if (d.isStoreOp) {
             hier.dataAccess(d.memAddr, true);
@@ -918,8 +1080,22 @@ Core::commitStage()
                 renameMap[static_cast<size_t>(d.destArch)] = kCommitted;
         }
         sdWatch.erase(d.seq);
-        if (profiler)
+        if (profiler) {
             profiler->onCommit(d.seq);
+            CommitObservation co;
+            co.seq = d.seq;
+            co.cycle = cycle;
+            co.fetchCycle = d.fetchCycle;
+            co.dispatchCycle = d.dispatchCycle;
+            co.issueCycle = d.issueCycle;
+            co.completeCycle = d.complete;
+            co.mispredicted = d.mispredicted;
+            co.isLoad = d.isLoadOp;
+            co.isStore = d.isStoreOp;
+            co.isHandle = d.isHandle();
+            co.missedCache = d.missedCache;
+            profiler->onCommitDetail(co);
+        }
 
         ++res.committedUnits;
         res.originalInsts += d.ex.originalInstCount();
@@ -932,6 +1108,7 @@ Core::commitStage()
 
         ++headSeq;
     }
+    return n;
 }
 
 // ---------------------------------------------------------------------
@@ -942,6 +1119,11 @@ SimResult
 Core::run()
 {
     res = SimResult{};
+    if (cfg.lossAccounting) {
+        res.accountedWidth = cfg.commitWidth;
+        if (mgInfo)
+            res.mgTemplates.resize(mgInfo->templates.size());
+    }
     while (!(oracle.halted() && headSeq == tailSeq &&
              fetchQueue.empty() && replayQueue.empty() && !pendingStep)) {
         ++cycle;
@@ -978,7 +1160,9 @@ Core::run()
                      static_cast<unsigned long long>(res.committedUnits),
                      head_state.c_str());
         }
-        commitStage();
+        uint32_t committed_now = commitStage();
+        if (cfg.lossAccounting)
+            accountLoss(committed_now);
         processEvents();
         issueStage();
         dispatchStage();

@@ -98,11 +98,23 @@ class Core
     friend struct CoreTestAccess;
 
     // ---- pipeline stages (called in back-to-front order) ----
-    void commitStage();
+    /** @return commit units retired this cycle (loss accounting). */
+    uint32_t commitStage();
     void processEvents();
     void issueStage();
     void dispatchStage();
     void fetchStage();
+
+    // ---- cycle-loss accounting (cfg.lossAccounting) ----
+    /** Charge this cycle's unfilled retirement slots to one bucket. */
+    void accountLoss(uint32_t committed_now);
+    /** Pick the bucket for a cycle that lost retirement slots. */
+    LossBucket classifyLossCycle() const;
+    /** Per-template external-serialization charge at handle issue. */
+    void accountHandleIssue(const DynInst &d,
+                            const std::array<uint64_t, 3> &src_ready);
+    /** Memoized MgTemplate::internalChainPenalty() for a handle. */
+    unsigned chainPenaltyOf(const DynInst &d) const;
 
     // ---- issue helpers ----
     bool srcsSpecReady(const DynInst &d) const;
@@ -182,6 +194,18 @@ class Core
 
     // Slack-Dynamic consumer-delay watch: producer seq -> handle pc.
     std::unordered_map<uint64_t, isa::Addr> sdWatch;
+
+    // Cycle-loss accounting state.
+    /** Why dispatch last blocked on a full structure (-1: it didn't). */
+    int dispatchBlock = -1;
+    /** Bucket charged while fetch waits for fetchResumeCycle. */
+    LossBucket resumeBucket = LossBucket::Other;
+    /**
+     * MgTemplate::internalChainPenalty() per template, memoized at
+     * construction: the recursive chain walk is too slow to repeat on
+     * every lost cycle in classifyLossCycle().
+     */
+    std::vector<uint32_t> tmplChainPenalty;
 
     // Basic-block instance tracking for the profiler.
     std::vector<bool> isLeader; ///< per-PC leader flags

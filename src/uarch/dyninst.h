@@ -64,6 +64,7 @@ struct DynInst
     uint64_t execDone = kInfCycle;  ///< resolve point (branches/stores)
     uint64_t complete = kInfCycle;  ///< commit-eligible cycle
     bool mispredicted = false;
+    bool missedCache = false;       ///< any D$ access exceeded hit latency
 
     // ---- mini-graph bookkeeping ----
     bool serializedIssue = false; ///< Slack-Dynamic serialization flag

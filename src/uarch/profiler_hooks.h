@@ -45,7 +45,48 @@ struct IssueObservation
     uint8_t numSrcs = 0;
 };
 
-/** Callbacks invoked by the core when a profiler is attached. */
+/** Observation of one instruction entering the pipeline. */
+struct FetchObservation
+{
+    isa::Addr pc = 0;
+    uint64_t seq = 0;
+    uint64_t cycle = 0;
+    const isa::Instruction *inst = nullptr;
+    bool isHandle = false;
+    uint8_t mgSize = 0;          ///< constituents (handles), else 0
+};
+
+/** Observation of one instruction renaming/dispatching into the IQ. */
+struct DispatchObservation
+{
+    uint64_t seq = 0;
+    uint64_t cycle = 0;
+};
+
+/** Observation of one instruction retiring, with its full timeline. */
+struct CommitObservation
+{
+    uint64_t seq = 0;
+    uint64_t cycle = 0;          ///< commit cycle
+    uint64_t fetchCycle = 0;
+    uint64_t dispatchCycle = 0;
+    uint64_t issueCycle = 0;
+    uint64_t completeCycle = 0;  ///< commit-eligible cycle
+    bool mispredicted = false;
+    bool isLoad = false;
+    bool isStore = false;
+    bool isHandle = false;
+    bool missedCache = false;
+};
+
+/**
+ * Callbacks invoked by the core when a profiler is attached.
+ *
+ * The slack profiler (src/profile) consumes the issue/commit/squash
+ * subset; the pipeline tracer (src/trace) additionally consumes the
+ * per-stage observations, which default to no-ops so existing
+ * implementations are unaffected.
+ */
 class ProfilerHooks
 {
   public:
@@ -63,6 +104,15 @@ class ProfilerHooks
 
     /** The instruction with this seq committed. */
     virtual void onCommit(uint64_t seq) = 0;
+
+    /** An instruction was fetched (trace-sink seam; default no-op). */
+    virtual void onFetch(const FetchObservation &) {}
+
+    /** An instruction dispatched into the window (default no-op). */
+    virtual void onDispatch(const DispatchObservation &) {}
+
+    /** An instruction retired, with its timeline (default no-op). */
+    virtual void onCommitDetail(const CommitObservation &) {}
 };
 
 } // namespace mg::uarch

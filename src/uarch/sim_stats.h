@@ -6,7 +6,10 @@
 #ifndef MG_UARCH_SIM_STATS_H
 #define MG_UARCH_SIM_STATS_H
 
+#include <array>
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "uarch/branch_pred.h"
 #include "uarch/cache.h"
@@ -15,6 +18,68 @@
 
 namespace mg::uarch
 {
+
+/**
+ * Cycle-loss taxonomy: where every non-ideal retirement slot went.
+ *
+ * Each simulated cycle offers `commitWidth` retirement slots; the
+ * core charges every cycle's unfilled slots to exactly one bucket,
+ * chosen from the oldest uncommitted instruction (or the front-end
+ * state when the window is empty).  By construction the buckets sum
+ * exactly to `commitWidth * cycles - committedUnits` — the identity
+ * the accounting regression tests and the invariant auditor enforce.
+ * See docs/TRACING.md for the attribution rules.
+ */
+enum class LossBucket : uint8_t
+{
+    FrontEnd,       ///< fetch supply: I$ miss, BTB penalty, refill depth
+    BranchMispredict, ///< resolving / recovering a mispredicted branch
+    DCacheMiss,     ///< D$/L2/memory latency at the window head
+    IqFull,         ///< issue queue back-pressure limited the window
+    RobFull,        ///< ROB back-pressure limited the window
+    RegFull,        ///< physical-register back-pressure
+    MgExternal,     ///< mini-graph external serialization (input wait)
+    MgInternal,     ///< mini-graph internal serialization (chain delay)
+    Other,          ///< dependence chains, FU limits, drain, misc.
+};
+
+constexpr size_t kNumLossBuckets = 9;
+
+/** Registry name of a loss bucket (stable: used in the JSON dump). */
+constexpr const char *
+lossBucketName(LossBucket b)
+{
+    constexpr const char *names[kNumLossBuckets] = {
+        "frontend", "branch-mispredict", "dcache-l2",
+        "iq-full",  "rob-full",          "reg-full",
+        "mg-external-serialization",     "mg-internal-serialization",
+        "other"};
+    return names[static_cast<size_t>(b)];
+}
+
+/**
+ * Per-mini-graph-template serialization counters, indexed by the
+ * rewritten binary's template id (MgBinaryInfo::templates order).
+ */
+struct MgTemplateSerialStats
+{
+    /** Issue events of handles naming this template. */
+    uint64_t issues = 0;
+
+    /**
+     * External serialization: cycles issue was delayed past the point
+     * the first constituent could have started, waiting for a
+     * *serializing* external input (one feeding a later constituent).
+     */
+    uint64_t extWaitCycles = 0;
+
+    /**
+     * Internal serialization: extra cycles consumers waited for the
+     * output because constituents execute in series instead of
+     * dataflow order (template-structural penalty x issues).
+     */
+    uint64_t intPenaltyCycles = 0;
+};
 
 /** Everything a simulation run reports. */
 struct SimResult
@@ -55,6 +120,47 @@ struct SimResult
     uint64_t blameFu = 0;            ///< class issue limit
     uint64_t blameReplay = 0;        ///< actual operands late (replay)
     uint64_t blameIssued = 0;        ///< it issued this cycle
+
+    // --- Cycle-loss accounting (cfg.lossAccounting) ---
+
+    /** Retirement width the accounting ran at (0 = accounting off). */
+    uint32_t accountedWidth = 0;
+
+    /** Lost retirement slots charged to each bucket. */
+    std::array<uint64_t, kNumLossBuckets> lossSlots{};
+
+    /** Per-template serialization counters (rewritten binaries). */
+    std::vector<MgTemplateSerialStats> mgTemplates;
+
+    /** Total retirement slots the accounting covered. */
+    uint64_t
+    totalSlots() const
+    {
+        return static_cast<uint64_t>(accountedWidth) * cycles;
+    }
+
+    /** Slots lost = totalSlots() - committedUnits (identity target). */
+    uint64_t
+    lostSlots() const
+    {
+        return totalSlots() - committedUnits;
+    }
+
+    /** Sum of all loss buckets (must equal lostSlots()). */
+    uint64_t
+    lossSum() const
+    {
+        uint64_t sum = 0;
+        for (uint64_t v : lossSlots)
+            sum += v;
+        return sum;
+    }
+
+    uint64_t
+    loss(LossBucket b) const
+    {
+        return lossSlots[static_cast<size_t>(b)];
+    }
 
     BranchPredStats branchPred;
     CacheStats icache, dcache, l2;

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "sim/runner.h"
+#include "trace/stats_json.h"
 
 namespace mg::sim
 {
@@ -73,6 +74,50 @@ TEST(Runner, ParallelMatchesSerialBitIdentical)
         ASSERT_TRUE(b[i].ok) << b[i].error;
         expectBitIdentical(a[i], b[i]);
     }
+}
+
+/** The serialized stats of one whole batch, one JSON line per job. */
+std::string
+batchStatsJson(const std::vector<RunRequest> &jobs,
+               const std::vector<RunResult> &results)
+{
+    std::string out;
+    for (size_t i = 0; i < results.size(); ++i) {
+        trace::StatsMeta meta;
+        meta.workload = jobs[i].workload.name();
+        meta.config = jobs[i].config.name;
+        meta.selector = jobs[i].selector
+                            ? minigraph::nameOf(*jobs[i].selector)
+                            : "none";
+        meta.templateNames = results[i].templateNames;
+        meta.mgInstances = results[i].instances;
+        meta.mgTemplatesUsed = results[i].templatesUsed;
+        out += trace::statsJson(meta, results[i].sim);
+        out += '\n';
+    }
+    return out;
+}
+
+TEST(Runner, StatsJsonByteIdenticalAcrossPoolSizesAndRuns)
+{
+    // The full serialized stats — every counter, the loss-bucket
+    // accounting, the per-template serialization counters — must be
+    // byte-identical at any pool size and across repeated runs.
+    auto jobs = sixJobBatch();
+
+    Runner serial({.jobs = 1});
+    Runner wide({.jobs = 8});
+    std::string a = batchStatsJson(jobs, serial.run(jobs, "json-1"));
+    std::string b = batchStatsJson(jobs, wide.run(jobs, "json-8"));
+    EXPECT_EQ(a, b) << "stats JSON differs between --jobs 1 and 8";
+
+    // Second run on a fresh pool: no hidden run-to-run state.
+    Runner again({.jobs = 8});
+    std::string c = batchStatsJson(jobs, again.run(jobs, "json-8b"));
+    EXPECT_EQ(b, c) << "stats JSON differs between repeated runs";
+
+    // The accounting must actually be on in these runs.
+    EXPECT_NE(a.find("\"lossAccounting\":{"), std::string::npos);
 }
 
 TEST(Runner, ResultsArriveInSubmissionOrder)

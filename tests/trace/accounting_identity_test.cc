@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The cycle-loss accounting identity, enforced across the whole
+ * benchmark suite: for every workload and every paper selector, the
+ * loss buckets must sum *exactly* to the lost retirement slots,
+ *
+ *     sum(lossSlots) == commitWidth * cycles - committedUnits.
+ *
+ * The runs execute with CheckLevel::Cheap, so the invariant auditor
+ * additionally proves the identity holds after *every cycle*, not
+ * just at the end.  Part of the `check` ctest label (with the audited
+ * experiment sweep), since it simulates the full suite.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/runner.h"
+
+namespace mg::sim
+{
+namespace
+{
+
+using minigraph::SelectorKind;
+
+TEST(AccountingIdentity, HoldsOnAllWorkloadsAndSelectors)
+{
+    const std::vector<SelectorKind> kinds{
+        SelectorKind::StructAll, SelectorKind::StructNone,
+        SelectorKind::StructBounded, SelectorKind::SlackProfile,
+        SelectorKind::SlackDynamic};
+
+    auto reduced = *uarch::configFromName("reduced");
+    // Per-cycle enforcement via the auditor's O(1) [loss] check.
+    reduced.checkLevel = uarch::CheckLevel::Cheap;
+
+    std::vector<RunRequest> jobs;
+    for (const auto &spec : workloads::workloadList())
+        for (auto kind : kinds)
+            jobs.push_back({.workload = spec,
+                            .config = reduced,
+                            .selector = kind});
+
+    Runner runner(Runner::Options{});
+    auto results = runner.run(jobs, "identity");
+    ASSERT_EQ(results.size(), jobs.size());
+
+    for (size_t i = 0; i < results.size(); ++i) {
+        const auto &r = results[i];
+        std::string what = jobs[i].workload.name() + " / " +
+                           minigraph::nameOf(*jobs[i].selector);
+        ASSERT_TRUE(r.ok) << what << ": " << r.error;
+
+        const uarch::SimResult &s = r.sim;
+        ASSERT_EQ(s.accountedWidth, reduced.commitWidth) << what;
+        EXPECT_EQ(s.lossSum(), s.lostSlots())
+            << what << ": buckets sum to " << s.lossSum()
+            << " but width*cycles-committed = " << s.lostSlots();
+
+        // Sanity on the per-template serialization counters: every
+        // counted issue belongs to a real template, and the internal
+        // penalty is an exact multiple of the template's structural
+        // chain penalty (charged once per issue).
+        for (const auto &t : s.mgTemplates) {
+            if (t.issues == 0) {
+                EXPECT_EQ(t.extWaitCycles, 0u) << what;
+                EXPECT_EQ(t.intPenaltyCycles, 0u) << what;
+            } else {
+                EXPECT_EQ(t.intPenaltyCycles % t.issues, 0u) << what;
+            }
+        }
+    }
+}
+
+TEST(AccountingIdentity, DisabledAccountingReportsNoBuckets)
+{
+    auto reduced = *uarch::configFromName("reduced");
+    reduced.lossAccounting = false;
+
+    auto spec = *workloads::findWorkload("crc32.0");
+    ProgramContext ctx(spec);
+    auto r = ctx.run({.config = reduced,
+                      .selector = SelectorKind::StructAll});
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.sim.accountedWidth, 0u);
+    EXPECT_EQ(r.sim.lossSum(), 0u);
+    EXPECT_TRUE(r.sim.mgTemplates.empty());
+}
+
+} // namespace
+} // namespace mg::sim

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Golden stats snapshots: the serialized statistics of a small
+ * workload x selector matrix, compared byte-for-byte against
+ * tests/golden/golden_stats.jsonl.  Any timing-model change that
+ * shifts a single counter shows up as a diff here — intentional
+ * changes re-bless with tools/bless_golden.sh (or by running this
+ * binary with MG_BLESS_GOLDEN=1).
+ */
+
+#include <cstdlib>
+#include <fstream>
+#include <iterator>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.h"
+#include "trace/stats_json.h"
+
+#ifndef MG_GOLDEN_DIR
+#error "MG_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace mg::trace
+{
+namespace
+{
+
+using minigraph::SelectorKind;
+
+constexpr const char *kGoldenPath =
+    MG_GOLDEN_DIR "/golden_stats.jsonl";
+
+struct Cell
+{
+    const char *workload;
+    const char *selector; ///< registry name, "none" = baseline
+};
+
+/** The snapshot matrix: three fast workloads, three policies. */
+constexpr Cell kMatrix[] = {
+    {"crc32.0", "none"},      {"crc32.0", "struct-all"},
+    {"crc32.0", "slack-profile"},
+    {"bitcount.0", "none"},   {"bitcount.0", "struct-all"},
+    {"bitcount.0", "slack-profile"},
+    {"adpcm_c.0", "none"},    {"adpcm_c.0", "struct-all"},
+    {"adpcm_c.0", "slack-profile"},
+};
+
+/** Serialize the whole matrix, one JSON line per cell. */
+std::string
+renderMatrix()
+{
+    auto reduced = *uarch::configFromName("reduced");
+    std::string out;
+
+    for (const Cell &cell : kMatrix) {
+        auto spec = *workloads::findWorkload(cell.workload);
+        sim::ProgramContext ctx(spec);
+
+        sim::RunRequest req;
+        req.config = reduced;
+        if (std::string(cell.selector) != "none")
+            req.selector = *minigraph::selectorFromName(cell.selector);
+
+        auto run = ctx.run(req);
+        EXPECT_TRUE(run.ok) << cell.workload << ": " << run.error;
+
+        StatsMeta meta;
+        meta.workload = cell.workload;
+        meta.config = reduced.name;
+        meta.selector = cell.selector;
+        meta.templateNames = run.templateNames;
+        meta.mgInstances = run.instances;
+        meta.mgTemplatesUsed = run.templatesUsed;
+        out += statsJson(meta, run.sim);
+        out += '\n';
+    }
+    return out;
+}
+
+TEST(GoldenStats, MatrixMatchesSnapshot)
+{
+    std::string actual = renderMatrix();
+
+    if (const char *bless = std::getenv("MG_BLESS_GOLDEN");
+        bless && *bless == '1') {
+        std::ofstream out(kGoldenPath, std::ios::binary);
+        ASSERT_TRUE(out) << "cannot write " << kGoldenPath;
+        out << actual;
+        GTEST_SKIP() << "blessed " << kGoldenPath;
+    }
+
+    std::ifstream in(kGoldenPath, std::ios::binary);
+    ASSERT_TRUE(in) << "missing " << kGoldenPath
+                    << " — run tools/bless_golden.sh";
+    std::stringstream ss;
+    ss << in.rdbuf();
+    std::string expected = ss.str();
+
+    if (expected != actual) {
+        // Line-by-line diff beats one giant string mismatch.
+        std::istringstream ea(expected), aa(actual);
+        std::string el, al;
+        size_t line = 0;
+        while (true) {
+            bool eok = static_cast<bool>(std::getline(ea, el));
+            bool aok = static_cast<bool>(std::getline(aa, al));
+            ++line;
+            if (!eok && !aok)
+                break;
+            EXPECT_EQ(eok ? el : "<eof>", aok ? al : "<eof>")
+                << "golden_stats.jsonl line " << line << " ("
+                << kMatrix[line - 1 < std::size(kMatrix) ? line - 1 : 0]
+                       .workload
+                << "); intentional timing changes: re-bless with "
+                   "tools/bless_golden.sh";
+        }
+        FAIL() << "stats snapshot diverged from " << kGoldenPath;
+    }
+}
+
+} // namespace
+} // namespace mg::trace

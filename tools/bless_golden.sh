@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Regenerate the golden stats snapshots in tests/golden/.
+#
+#   tools/bless_golden.sh [build-dir]
+#
+# Rebuilds mg_trace_test and re-runs the snapshot suite with
+# MG_BLESS_GOLDEN=1, which rewrites tests/golden/golden_stats.jsonl
+# from the current simulator instead of comparing against it.  Review
+# the diff before committing: every changed line is a timing-model
+# behaviour change.
+set -eu
+
+build_dir="${1:-build}"
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+
+if [ ! -d "$build_dir" ]; then
+    echo "bless_golden.sh: no build dir '$build_dir'" \
+         "(cmake -B $build_dir -S . first)" >&2
+    exit 2
+fi
+
+cmake --build "$build_dir" --target mg_trace_test -j
+MG_BLESS_GOLDEN=1 "$build_dir/tests/mg_trace_test" \
+    --gtest_filter='GoldenStats.*'
+
+echo
+git --no-pager diff --stat tests/golden/ || true
+echo "bless_golden.sh: done — review the diff above before committing"

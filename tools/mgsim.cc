@@ -5,6 +5,8 @@
  *   mgsim run <prog.s|workload> [--config NAME] [--selector NAME]
  *             [--jobs N] [--json]
  *   mgsim batch <jobs.txt|-> [--jobs N] [--json] [--progress]
+ *   mgsim trace <prog.s|workload> [--config NAME] [--selector NAME]
+ *               [--out PREFIX] [--start N] [--end N]
  *   mgsim candidates <prog.s|workload>
  *   mgsim lint <prog.s|workload|all> [--config NAME]
  *              [--selector NAME|all] [--budget N]
@@ -13,6 +15,12 @@
  *   mgsim workloads
  *   mgsim configs
  *   mgsim selectors
+ *
+ * `mgsim trace` simulates once with the pipeline tracer attached and
+ * writes <PREFIX>.kanata (Konata pipeline log), <PREFIX>.trace.json
+ * (Chrome trace_event) and <PREFIX>.stats.json (run statistics with
+ * the cycle-loss breakdown), round-trip validating each artefact; see
+ * docs/TRACING.md.
  *
  * A program argument is either a path to an MG-RISC assembly file or
  * the name of a built-in benchmark (e.g. "adpcm_c.0").
@@ -43,6 +51,9 @@
 #include "common/string_util.h"
 #include "profile/profile_io.h"
 #include "sim/runner.h"
+#include "trace/konata.h"
+#include "trace/stats_json.h"
+#include "trace/validate.h"
 
 namespace
 {
@@ -71,6 +82,9 @@ usage()
         "NAME]\n"
         "            [--jobs N] [--json]\n"
         "  mgsim batch <jobs.txt|-> [--jobs N] [--json] [--progress]\n"
+        "  mgsim trace <prog.s|workload> [--config NAME] [--selector "
+        "NAME]\n"
+        "              [--out PREFIX] [--start N] [--end N]\n"
         "  mgsim candidates <prog.s|workload>\n"
         "  mgsim lint <prog.s|workload|all> [--config NAME]\n"
         "             [--selector NAME|all] [--budget N]\n"
@@ -142,6 +156,39 @@ printStats(const uarch::SimResult &r)
     std::printf("mem violations    %llu, issue replays %llu\n",
                 static_cast<unsigned long long>(r.memOrderViolations),
                 static_cast<unsigned long long>(r.issueReplays));
+    if (r.accountedWidth) {
+        std::printf("loss accounting   %llu of %llu slots lost\n",
+                    static_cast<unsigned long long>(r.lostSlots()),
+                    static_cast<unsigned long long>(r.totalSlots()));
+        for (size_t i = 0; i < uarch::kNumLossBuckets; ++i) {
+            uint64_t v = r.lossSlots[i];
+            if (!v)
+                continue;
+            std::printf("  %-26s %10llu (%5.1f%%)\n",
+                        uarch::lossBucketName(
+                            static_cast<uarch::LossBucket>(i)),
+                        static_cast<unsigned long long>(v),
+                        r.lostSlots()
+                            ? 100.0 * v / r.lostSlots()
+                            : 0.0);
+        }
+    }
+}
+
+/** StatsMeta for one request/result pair (JSON identification). */
+trace::StatsMeta
+metaFor(const sim::RunRequest &req, const std::string &program_name,
+        const sim::RunResult &r)
+{
+    trace::StatsMeta meta;
+    meta.workload = program_name;
+    meta.config = req.config.name;
+    meta.selector =
+        req.selector ? minigraph::nameOf(*req.selector) : "none";
+    meta.templateNames = r.templateNames;
+    meta.mgInstances = r.instances;
+    meta.mgTemplatesUsed = r.templatesUsed;
+    return meta;
 }
 
 /** One machine-readable result line. */
@@ -149,23 +196,10 @@ void
 printJson(const sim::RunRequest &req, const std::string &program_name,
           const sim::RunResult &r)
 {
-    if (!r.ok) {
-        std::printf("{\"workload\":\"%s\",\"ok\":false,"
-                    "\"error\":\"%s\"}\n",
-                    program_name.c_str(), r.error.c_str());
-        return;
-    }
-    std::string selector =
-        req.selector ? minigraph::nameOf(*req.selector) : "none";
-    std::printf(
-        "{\"workload\":\"%s\",\"config\":\"%s\",\"selector\":\"%s\","
-        "\"cycles\":%llu,\"instructions\":%llu,\"ipc\":%.4f,"
-        "\"coverage\":%.4f,\"templates\":%u,\"instances\":%zu,"
-        "\"ok\":true}\n",
-        program_name.c_str(), req.config.name.c_str(), selector.c_str(),
-        static_cast<unsigned long long>(r.sim.cycles),
-        static_cast<unsigned long long>(r.sim.originalInsts), r.ipc(),
-        r.coverage(), r.templatesUsed, r.instances);
+    trace::StatsMeta meta = metaFor(req, program_name, r);
+    std::string line = r.ok ? trace::statsJson(meta, r.sim)
+                            : trace::errorJson(meta, r.error);
+    std::printf("%s\n", line.c_str());
 }
 
 struct CommonFlags
@@ -176,6 +210,11 @@ struct CommonFlags
     uint32_t budget = 512;
     bool json = false;
     bool progress = false;
+
+    // mgsim trace
+    std::string out = "mgtrace";
+    uint64_t start = 0;
+    uint64_t end = UINT64_MAX;
 };
 
 /** Parse trailing flags; returns false on an unknown flag. */
@@ -203,6 +242,19 @@ parseFlags(int argc, char **argv, int start, CommonFlags &out)
             out.json = true;
         } else if (std::strcmp(argv[i], "--progress") == 0) {
             out.progress = true;
+        } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+            out.out = argv[++i];
+        } else if (std::strcmp(argv[i], "--start") == 0 &&
+                   i + 1 < argc) {
+            long long v = std::atoll(argv[++i]);
+            if (v < 0)
+                return false;
+            out.start = static_cast<uint64_t>(v);
+        } else if (std::strcmp(argv[i], "--end") == 0 && i + 1 < argc) {
+            long long v = std::atoll(argv[++i]);
+            if (v < 0)
+                return false;
+            out.end = static_cast<uint64_t>(v);
         } else {
             return false;
         }
@@ -252,6 +304,90 @@ cmdRun(const std::string &prog_arg, const CommonFlags &flags)
     }
     printStats(run.sim);
     return 0;
+}
+
+/**
+ * Simulate once with the pipeline tracer attached; write and
+ * round-trip validate the Konata / Chrome / stats artefacts.
+ */
+int
+cmdTrace(const std::string &prog_arg, const CommonFlags &flags)
+{
+    auto cfg = uarch::configFromName(flags.config);
+    if (!cfg) {
+        std::fprintf(stderr, "unknown config '%s'\n",
+                     flags.config.c_str());
+        return 2;
+    }
+    auto prog = loadProgram(prog_arg);
+    if (!prog) {
+        std::fprintf(stderr, "cannot load '%s'\n", prog_arg.c_str());
+        return 2;
+    }
+
+    const std::string konata_path = flags.out + ".kanata";
+    const std::string chrome_path = flags.out + ".trace.json";
+    const std::string stats_path = flags.out + ".stats.json";
+
+    sim::RunRequest req;
+    req.config = *cfg;
+    if (flags.selector != "none") {
+        auto kind = minigraph::selectorFromName(flags.selector);
+        if (!kind) {
+            std::fprintf(stderr, "unknown selector '%s'\n",
+                         flags.selector.c_str());
+            return 2;
+        }
+        req.selector = *kind;
+    }
+    req.trace = trace::TraceConfig{flags.start, flags.end, konata_path,
+                                   chrome_path};
+
+    sim::ProgramContext ctx(*prog);
+    auto run = ctx.run(req);
+
+    trace::StatsMeta meta = metaFor(req, prog->name, run);
+    std::ofstream stats(stats_path, std::ios::binary);
+    stats << trace::statsJson(meta, run.sim) << "\n";
+    if (!stats) {
+        std::fprintf(stderr, "cannot write '%s'\n", stats_path.c_str());
+        return 1;
+    }
+    stats.close();
+
+    // Round-trip validate everything we just wrote.
+    auto slurp = [](const std::string &path) {
+        std::ifstream in(path, std::ios::binary);
+        std::stringstream ss;
+        ss << in.rdbuf();
+        return ss.str();
+    };
+    int rc = 0;
+    if (std::string err = trace::validateKonata(slurp(konata_path));
+        !err.empty()) {
+        std::fprintf(stderr, "%s: invalid Konata log: %s\n",
+                     konata_path.c_str(), err.c_str());
+        rc = 1;
+    }
+    if (std::string err = trace::validateJson(slurp(chrome_path));
+        !err.empty()) {
+        std::fprintf(stderr, "%s: invalid JSON: %s\n",
+                     chrome_path.c_str(), err.c_str());
+        rc = 1;
+    }
+    if (std::string err = trace::validateJson(slurp(stats_path));
+        !err.empty()) {
+        std::fprintf(stderr, "%s: invalid JSON: %s\n",
+                     stats_path.c_str(), err.c_str());
+        rc = 1;
+    }
+    if (rc == 0) {
+        std::printf("wrote %s %s %s (%llu cycles simulated)\n",
+                    konata_path.c_str(), chrome_path.c_str(),
+                    stats_path.c_str(),
+                    static_cast<unsigned long long>(run.sim.cycles));
+    }
+    return rc;
 }
 
 /** Parse one batch-file line into a request; false on error. */
@@ -556,6 +692,8 @@ main(int argc, char **argv)
             return cmdRun(prog_arg, flags);
         if (cmd == "batch")
             return cmdBatch(prog_arg, flags);
+        if (cmd == "trace")
+            return cmdTrace(prog_arg, flags);
         if (cmd == "candidates")
             return cmdCandidates(prog_arg);
         if (cmd == "lint")
