@@ -15,6 +15,7 @@
  * once and shared across them.
  */
 
+#include <cmath>
 #include <cstdio>
 
 #include "bench/bench_support.h"
@@ -61,8 +62,11 @@ main()
         for (const auto &spec : programs)
             jobs.push_back({.workload = spec, .config = full});
         auto results = runner.run(jobs, "ablation-baselines");
+        bench::reportFailures(jobs, results, "ablation-baselines");
         for (const auto &r : results)
-            baseCycles.push_back(static_cast<double>(r.sim.cycles));
+            baseCycles.push_back(r.ok
+                                     ? static_cast<double>(r.sim.cycles)
+                                     : std::nan(""));
     }
 
     // ---- 1. MGT budget ----
@@ -78,6 +82,7 @@ main()
             }
         }
         auto results = runner.run(jobs, "ablation1-budget");
+        bench::reportFailures(jobs, results, "ablation1-budget");
 
         TextTable t;
         t.header({"MGT budget", "mean coverage", "mean rel. perf"});
@@ -85,11 +90,12 @@ main()
             std::vector<double> cov, perf;
             for (size_t p = 0; p < programs.size(); ++p) {
                 const auto &r = results[p * budgets.size() + bi];
-                cov.push_back(r.coverage());
-                perf.push_back(baseCycles[p] / r.sim.cycles);
+                cov.push_back(bench::coverageOf(r));
+                perf.push_back(r.ok ? baseCycles[p] / r.sim.cycles
+                                    : std::nan(""));
             }
-            t.row({std::to_string(budgets[bi]), fmtDouble(mean(cov), 3),
-                   fmtDouble(mean(perf), 3)});
+            t.row({std::to_string(budgets[bi]), fmtDouble(bench::meanFinite(cov), 3),
+                   fmtDouble(bench::meanFinite(perf), 3)});
         }
         std::printf("\n== Ablation 1: MGT template budget ==\n%s",
                     t.render().c_str());
@@ -111,6 +117,7 @@ main()
             }
         }
         auto results = runner.run(jobs, "ablation2-width");
+        bench::reportFailures(jobs, results, "ablation2-width");
 
         TextTable t;
         t.header({"MG/cycle", "mean rel. perf"});
@@ -118,9 +125,10 @@ main()
             std::vector<double> perf;
             for (size_t p = 0; p < programs.size(); ++p) {
                 const auto &r = results[p * widths.size() + wi];
-                perf.push_back(baseCycles[p] / r.sim.cycles);
+                perf.push_back(r.ok ? baseCycles[p] / r.sim.cycles
+                                    : std::nan(""));
             }
-            t.row({std::to_string(widths[wi]), fmtDouble(mean(perf), 3)});
+            t.row({std::to_string(widths[wi]), fmtDouble(bench::meanFinite(perf), 3)});
         }
         std::printf("\n== Ablation 2: ALU pipelines (mini-graph issue "
                     "bandwidth) ==\n%s",
@@ -152,6 +160,7 @@ main()
             }
         }
         auto results = runner.run(jobs, "ablation3-size");
+        bench::reportFailures(jobs, results, "ablation3-size");
 
         TextTable t;
         t.header({"max size", "mean coverage", "mean rel. perf"});
@@ -159,11 +168,12 @@ main()
             std::vector<double> cov, perf;
             for (size_t p = 0; p < programs.size(); ++p) {
                 const auto &r = results[p * sizes.size() + si];
-                cov.push_back(r.coverage());
-                perf.push_back(baseCycles[p] / r.sim.cycles);
+                cov.push_back(bench::coverageOf(r));
+                perf.push_back(r.ok ? baseCycles[p] / r.sim.cycles
+                                    : std::nan(""));
             }
-            t.row({std::to_string(sizes[si]), fmtDouble(mean(cov), 3),
-                   fmtDouble(mean(perf), 3)});
+            t.row({std::to_string(sizes[si]), fmtDouble(bench::meanFinite(cov), 3),
+                   fmtDouble(bench::meanFinite(perf), 3)});
         }
         std::printf("\n== Ablation 3: maximum mini-graph size ==\n%s",
                     t.render().c_str());
@@ -194,6 +204,7 @@ main()
             }
         }
         auto results = runner.run(jobs, "ablation4-guard");
+        bench::reportFailures(jobs, results, "ablation4-guard");
 
         TextTable t;
         t.header({"recurrence guard", "mean coverage", "mean rel. perf"});
@@ -201,15 +212,16 @@ main()
             std::vector<double> cov, perf;
             for (size_t p = 0; p < programs.size(); ++p) {
                 const auto &r = results[p * 2 + gi];
-                cov.push_back(r.coverage());
-                perf.push_back(baseCycles[p] / r.sim.cycles);
+                cov.push_back(bench::coverageOf(r));
+                perf.push_back(r.ok ? baseCycles[p] / r.sim.cycles
+                                    : std::nan(""));
             }
-            t.row({guards[gi] ? "on" : "off", fmtDouble(mean(cov), 3),
-                   fmtDouble(mean(perf), 3)});
+            t.row({guards[gi] ? "on" : "off", fmtDouble(bench::meanFinite(cov), 3),
+                   fmtDouble(bench::meanFinite(perf), 3)});
         }
         std::printf("\n== Ablation 4: loop-carried recurrence guard "
                     "(DESIGN.md §6.3) ==\n%s",
                     t.render().c_str());
     }
-    return 0;
+    return bench::benchExitCode();
 }

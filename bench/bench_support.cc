@@ -1,6 +1,7 @@
 #include "bench/bench_support.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -43,6 +44,23 @@ takeBalanced(std::vector<workloads::WorkloadSpec> all, size_t want)
     return out;
 }
 
+/** Bench-wide failure tally (see reportFailures / benchExitCode). */
+size_t g_totalRuns = 0;
+size_t g_failedRuns = 0;
+
+/** The finite subset of a value vector (drops NaN "FAIL" cells). */
+std::vector<double>
+finiteOnly(const std::vector<double> &xs)
+{
+    std::vector<double> out;
+    out.reserve(xs.size());
+    for (double x : xs) {
+        if (std::isfinite(x))
+            out.push_back(x);
+    }
+    return out;
+}
+
 } // namespace
 
 std::vector<workloads::WorkloadSpec>
@@ -57,7 +75,74 @@ runnerOptions()
     sim::Runner::Options opts;
     if (const char *p = std::getenv("MG_PROGRESS"))
         opts.progress = p[0] == '1';
+    if (const char *p = std::getenv("MG_ISOLATE"))
+        opts.isolate = p[0] == '1';
+    if (const char *p = std::getenv("MG_TIMEOUT"))
+        opts.timeoutSec = std::atof(p);
+    if (const char *p = std::getenv("MG_RETRIES")) {
+        long v = std::atol(p);
+        if (v > 0)
+            opts.retries = static_cast<unsigned>(v);
+    }
     return opts;
+}
+
+double
+cycleRatio(const sim::RunResult &base, const sim::RunResult &run)
+{
+    if (!base.ok || !run.ok || run.sim.cycles == 0)
+        return std::nan("");
+    return static_cast<double>(base.sim.cycles) /
+           static_cast<double>(run.sim.cycles);
+}
+
+double
+coverageOf(const sim::RunResult &r)
+{
+    return r.ok ? r.coverage() : std::nan("");
+}
+
+size_t
+reportFailures(const std::vector<sim::RunRequest> &jobs,
+               const std::vector<sim::RunResult> &results,
+               const std::string &phase)
+{
+    size_t failed = 0;
+    for (size_t i = 0; i < results.size(); ++i) {
+        const sim::RunResult &r = results[i];
+        if (r.ok)
+            continue;
+        ++failed;
+        std::fprintf(stderr, "[%s] FAILED %s: [%s] %s\n", phase.c_str(),
+                     i < jobs.size()
+                         ? sim::journal::runKey(jobs[i]).c_str()
+                         : "?",
+                     sim::errorClassName(r.err.cls), r.error.c_str());
+    }
+    g_totalRuns += results.size();
+    g_failedRuns += failed;
+    if (failed) {
+        std::fprintf(stderr,
+                     "[%s] %zu of %zu runs failed; the affected cells "
+                     "are marked FAIL below\n",
+                     phase.c_str(), failed, results.size());
+    }
+    return failed;
+}
+
+double
+meanFinite(const std::vector<double> &xs)
+{
+    std::vector<double> f = finiteOnly(xs);
+    return f.empty() ? std::nan("") : mean(f);
+}
+
+int
+benchExitCode()
+{
+    if (g_failedRuns == 0)
+        return 0;
+    return g_failedRuns < g_totalRuns ? 3 : 1;
 }
 
 std::vector<workloads::WorkloadSpec>
@@ -86,10 +171,14 @@ printSCurves(const std::string &title, const std::vector<Series> &series)
     std::printf("(S-curves: each column sorted independently, "
                 "worst-to-best, as in the paper's figures)\n\n");
 
+    // Failed runs appear as NaN cells: drop them before sorting (NaN
+    // breaks the sort's strict weak ordering) and the summary rows,
+    // and render them as trailing FAIL rows so a partial figure is
+    // still printed.
     std::vector<std::vector<double>> sorted;
     size_t n = 0;
     for (const auto &s : series) {
-        sorted.push_back(mg::sCurve(s.values));
+        sorted.push_back(mg::sCurve(finiteOnly(s.values)));
         n = std::max(n, s.values.size());
     }
 
@@ -100,15 +189,23 @@ printSCurves(const std::string &title, const std::vector<Series> &series)
     t.header(head);
     for (size_t i = 0; i < n; ++i) {
         std::vector<std::string> row{std::to_string(i + 1)};
-        for (const auto &col : sorted) {
-            row.push_back(i < col.size() ? fmtDouble(col[i], 3) : "-");
+        for (size_t si = 0; si < series.size(); ++si) {
+            const auto &col = sorted[si];
+            if (i < col.size())
+                row.push_back(fmtDouble(col[i], 3));
+            else if (i < series[si].values.size())
+                row.push_back("FAIL");
+            else
+                row.push_back("-");
         }
         t.row(row);
     }
     auto stat_row = [&](const char *name, auto f) {
         std::vector<std::string> row{name};
-        for (const auto &s : series)
-            row.push_back(fmtDouble(f(s.values), 3));
+        for (size_t si = 0; si < series.size(); ++si) {
+            const auto &col = sorted[si];
+            row.push_back(col.empty() ? "-" : fmtDouble(f(col), 3));
+        }
         t.row(row);
     };
     t.row({"----"});
@@ -133,9 +230,14 @@ printPerProgram(const std::string &title,
     t.header(head);
     for (size_t i = 0; i < names.size(); ++i) {
         std::vector<std::string> row{names[i]};
-        for (const auto &s : series)
-            row.push_back(i < s.values.size() ? fmtDouble(s.values[i], 3)
-                                              : "-");
+        for (const auto &s : series) {
+            if (i >= s.values.size())
+                row.push_back("-");
+            else if (!std::isfinite(s.values[i]))
+                row.push_back("FAIL");
+            else
+                row.push_back(fmtDouble(s.values[i], 3));
+        }
         t.row(row);
     }
     std::printf("%s", t.render().c_str());
@@ -147,7 +249,8 @@ printHeadline(const std::string &what, const std::string &paper,
 {
     std::printf("HEADLINE  %-58s paper: %-10s measured: %s\n",
                 what.c_str(), paper.c_str(),
-                fmtDouble(measured, 3).c_str());
+                std::isfinite(measured) ? fmtDouble(measured, 3).c_str()
+                                        : "FAIL (no data)");
 }
 
 } // namespace mg::bench

@@ -32,9 +32,44 @@ benchPrograms(const std::vector<std::string> &suites);
 
 /**
  * Runner options for a bench: pool size from MG_JOBS (default: all
- * cores), progress lines on stderr when MG_PROGRESS=1.
+ * cores), progress lines on stderr when MG_PROGRESS=1.  Robustness
+ * knobs (docs/ROBUSTNESS.md): MG_ISOLATE=1 runs each job in a forked
+ * sandbox, MG_TIMEOUT=<sec> sets the per-run watchdog, and
+ * MG_RETRIES=<n> retries transient failures — so a bench survives a
+ * crash or hang in one cell and prints a partial figure.
  */
 sim::Runner::Options runnerOptions();
+
+/**
+ * Relative performance of `run` against `base` (base cycles / run
+ * cycles), or NaN when either run failed.  NaN cells render as
+ * "FAIL" in the figure tables and are excluded from the summary
+ * statistics.
+ */
+double cycleRatio(const sim::RunResult &base, const sim::RunResult &run);
+
+/** Dynamic coverage of a run, or NaN when it failed. */
+double coverageOf(const sim::RunResult &r);
+
+/**
+ * Report a batch's failures on stderr — one line per failed run with
+ * its journal key, error class, and message — and fold the counts
+ * into the bench-wide tally behind benchExitCode().  Returns the
+ * number of failed runs.
+ */
+size_t reportFailures(const std::vector<sim::RunRequest> &jobs,
+                      const std::vector<sim::RunResult> &results,
+                      const std::string &phase);
+
+/** Mean over the finite values only; NaN when none are finite. */
+double meanFinite(const std::vector<double> &xs);
+
+/**
+ * Exit code for a bench main, from the reportFailures() tally:
+ * 0 = every run succeeded, 3 = partial failure (the figures above
+ * are incomplete), 1 = every run failed.
+ */
+int benchExitCode();
 
 /**
  * One experiment series for an S-curve graph: a label and one value

@@ -41,6 +41,7 @@ main()
     }
     sim::Runner runner(bench::runnerOptions());
     auto results = runner.run(jobs, "fig1");
+    bench::reportFailures(jobs, results, "fig1");
 
     bench::Series no_mg{"no-minigraphs", {}};
     bench::Series s_all{"Struct-All", {}};
@@ -51,12 +52,11 @@ main()
     const size_t per = 2 + kinds.size();
     for (size_t p = 0; p < programs.size(); ++p) {
         const sim::RunResult *r = &results[p * per];
-        double base = static_cast<double>(r[0].sim.cycles);
         names.push_back(programs[p].name());
-        no_mg.values.push_back(base / r[1].sim.cycles);
-        s_all.values.push_back(base / r[2].sim.cycles);
-        s_none.values.push_back(base / r[3].sim.cycles);
-        s_prof.values.push_back(base / r[4].sim.cycles);
+        no_mg.values.push_back(bench::cycleRatio(r[0], r[1]));
+        s_all.values.push_back(bench::cycleRatio(r[0], r[2]));
+        s_none.values.push_back(bench::cycleRatio(r[0], r[3]));
+        s_prof.values.push_back(bench::cycleRatio(r[0], r[4]));
     }
 
     std::vector<bench::Series> series{no_mg, s_all, s_none, s_prof};
@@ -68,12 +68,12 @@ main()
 
     std::printf("\n");
     bench::printHeadline("reduced, no mini-graphs (rel. perf)", "~0.85",
-                         mean(no_mg.values));
+                         bench::meanFinite(no_mg.values));
     bench::printHeadline("reduced + Struct-All (rel. perf)", "~0.90",
-                         mean(s_all.values));
+                         bench::meanFinite(s_all.values));
     bench::printHeadline("reduced + Struct-None (rel. perf)", "~0.95",
-                         mean(s_none.values));
+                         bench::meanFinite(s_none.values));
     bench::printHeadline("reduced + Slack-Profile (rel. perf)", "~1.02",
-                         mean(s_prof.values));
-    return 0;
+                         bench::meanFinite(s_prof.values));
+    return bench::benchExitCode();
 }

@@ -46,6 +46,7 @@ main()
     }
     sim::Runner runner(bench::runnerOptions());
     auto results = runner.run(jobs, "fig3");
+    bench::reportFailures(jobs, results, "fig3");
 
     bench::Series red_none{"no-minigraphs", {}};
     bench::Series red_all{"Struct-All", {}};
@@ -61,17 +62,16 @@ main()
     const size_t per = 6;
     for (size_t p = 0; p < programs.size(); ++p) {
         const sim::RunResult *r = &results[p * per];
-        double base = static_cast<double>(r[0].sim.cycles);
         names.push_back(programs[p].name());
 
-        red_none.values.push_back(base / r[1].sim.cycles);
-        red_all.values.push_back(base / r[2].sim.cycles);
-        red_sn.values.push_back(base / r[3].sim.cycles);
-        full_all.values.push_back(base / r[4].sim.cycles);
-        full_sn.values.push_back(base / r[5].sim.cycles);
-        cov_all.values.push_back(r[2].coverage());
-        cov_sn.values.push_back(r[3].coverage());
-        if (base / r[4].sim.cycles < 0.995)
+        red_none.values.push_back(bench::cycleRatio(r[0], r[1]));
+        red_all.values.push_back(bench::cycleRatio(r[0], r[2]));
+        red_sn.values.push_back(bench::cycleRatio(r[0], r[3]));
+        full_all.values.push_back(bench::cycleRatio(r[0], r[4]));
+        full_sn.values.push_back(bench::cycleRatio(r[0], r[5]));
+        cov_all.values.push_back(bench::coverageOf(r[2]));
+        cov_sn.values.push_back(bench::coverageOf(r[3]));
+        if (bench::cycleRatio(r[0], r[4]) < 0.995)
             ++slowdowns_all_full;
     }
 
@@ -88,15 +88,15 @@ main()
 
     std::printf("\n");
     bench::printHeadline("Struct-All coverage (avg)", "0.38",
-                         mean(cov_all.values));
+                         bench::meanFinite(cov_all.values));
     bench::printHeadline("Struct-None coverage (avg)", "0.20",
-                         mean(cov_sn.values));
+                         bench::meanFinite(cov_sn.values));
     bench::printHeadline("Struct-All, reduced (rel. perf)", "~0.90",
-                         mean(red_all.values));
+                         bench::meanFinite(red_all.values));
     bench::printHeadline("Struct-None, reduced (rel. perf)", "~0.95",
-                         mean(red_sn.values));
+                         bench::meanFinite(red_sn.values));
     std::printf("Programs slowed by Struct-All on the fully-provisioned "
                 "machine: %d of %zu (paper: 29 of 78)\n",
                 slowdowns_all_full, names.size());
-    return 0;
+    return bench::benchExitCode();
 }

@@ -47,6 +47,7 @@ main()
     }
     sim::Runner runner(bench::runnerOptions());
     auto results = runner.run(jobs, "fig6");
+    bench::reportFailures(jobs, results, "fig6");
 
     std::vector<bench::Series> red, ful, cov;
     bench::Series base_red{"no-minigraphs", {}};
@@ -60,15 +61,14 @@ main()
     const size_t per = 2 + 2 * kinds.size();
     for (size_t p = 0; p < programs.size(); ++p) {
         const sim::RunResult *r = &results[p * per];
-        double base = static_cast<double>(r[0].sim.cycles);
         names.push_back(programs[p].name());
-        base_red.values.push_back(base / r[1].sim.cycles);
+        base_red.values.push_back(bench::cycleRatio(r[0], r[1]));
         for (size_t i = 0; i < kinds.size(); ++i) {
             const sim::RunResult &on_red = r[2 + 2 * i];
             const sim::RunResult &on_full = r[3 + 2 * i];
-            red[i].values.push_back(base / on_red.sim.cycles);
-            ful[i].values.push_back(base / on_full.sim.cycles);
-            cov[i].values.push_back(on_red.coverage());
+            red[i].values.push_back(bench::cycleRatio(r[0], on_red));
+            ful[i].values.push_back(bench::cycleRatio(r[0], on_full));
+            cov[i].values.push_back(bench::coverageOf(on_red));
         }
     }
 
@@ -84,20 +84,20 @@ main()
 
     std::printf("\n");
     bench::printHeadline("Struct-All coverage", "0.38",
-                         mean(cov[0].values));
+                         bench::meanFinite(cov[0].values));
     bench::printHeadline("Struct-None coverage", "0.20",
-                         mean(cov[1].values));
+                         bench::meanFinite(cov[1].values));
     bench::printHeadline("Struct-Bounded coverage", "0.30",
-                         mean(cov[2].values));
+                         bench::meanFinite(cov[2].values));
     bench::printHeadline("Slack-Dynamic coverage", "0.30",
-                         mean(cov[3].values));
+                         bench::meanFinite(cov[3].values));
     bench::printHeadline("Slack-Profile coverage", "0.34",
-                         mean(cov[4].values));
+                         bench::meanFinite(cov[4].values));
     bench::printHeadline("Struct-Bounded, reduced (rel. perf)", "~0.98",
-                         mean(red[2].values));
+                         bench::meanFinite(red[2].values));
     bench::printHeadline("Slack-Dynamic, reduced (rel. perf)", "~0.94",
-                         mean(red[3].values));
+                         bench::meanFinite(red[3].values));
     bench::printHeadline("Slack-Profile, reduced (rel. perf)", "~1.02",
-                         mean(red[4].values));
-    return 0;
+                         bench::meanFinite(red[4].values));
+    return bench::benchExitCode();
 }

@@ -111,6 +111,7 @@ main()
     }
     sim::Runner runner(bench::runnerOptions());
     auto results = runner.run(jobs, "fig7");
+    bench::reportFailures(jobs, results, "fig7");
 
     std::vector<bench::Series> top, bot;
     for (auto k : top_kinds)
@@ -135,17 +136,18 @@ main()
 
     for (size_t p = 0; p < programs.size(); ++p) {
         const sim::RunResult *r = &results[p * per];
-        double base = static_cast<double>(r[0].sim.cycles);
         for (size_t i = 0; i < top_kinds.size(); ++i)
-            top[i].values.push_back(base / r[1 + i].sim.cycles);
-        bot[0].values.push_back(base / r[1].sim.cycles); // Struct-All
+            top[i].values.push_back(bench::cycleRatio(r[0], r[1 + i]));
+        bot[0].values.push_back(
+            bench::cycleRatio(r[0], r[1])); // Struct-All
         for (size_t i = 0; i < bot_extra.size(); ++i)
-            bot[1 + i].values.push_back(
-                base / r[1 + top_kinds.size() + i].sim.cycles);
+            bot[1 + i].values.push_back(bench::cycleRatio(
+                r[0], r[1 + top_kinds.size() + i]));
 
         for (size_t j = 0; j < per; ++j) {
-            loss[j].add(r[j].sim);
-            if (emit_json) {
+            if (r[j].ok)
+                loss[j].add(r[j].sim);
+            if (emit_json && r[j].ok) {
                 trace::StatsMeta meta;
                 meta.workload = programs[p].name();
                 meta.config = jobs[p * per + j].config.name;
@@ -175,19 +177,23 @@ main()
         "Cycle-loss accounting: where the retirement slots went", loss);
 
     std::printf("\n");
-    double d_prof = mean(top[2].values) - mean(top[3].values);
-    double d_sial = mean(top[3].values) - mean(top[4].values);
+    double d_prof = bench::meanFinite(top[2].values) -
+                    bench::meanFinite(top[3].values);
+    double d_sial = bench::meanFinite(top[3].values) -
+                    bench::meanFinite(top[4].values);
     bench::printHeadline(
         "rule #4 (consumer slack) contribution, Profile", "+0.01",
         d_prof);
     bench::printHeadline(
         "true delay vs SIAL heuristic, Profile (-Delay minus -SIAL)",
         "+0.04", d_sial);
-    double d_outline = mean(bot[2].values) - mean(bot[1].values);
+    double d_outline = bench::meanFinite(bot[2].values) -
+                       bench::meanFinite(bot[1].values);
     bench::printHeadline("outlining penalty removed, Dynamic", "+0.03",
                          d_outline);
-    double d_consumer = mean(bot[2].values) - mean(bot[3].values);
+    double d_consumer = bench::meanFinite(bot[2].values) -
+                        bench::meanFinite(bot[3].values);
     bench::printHeadline("consumer check contribution, Ideal-Dynamic",
                          "<0.01", d_consumer);
-    return 0;
+    return bench::benchExitCode();
 }

@@ -14,6 +14,7 @@
  */
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -119,16 +120,22 @@ main()
                         .chosen = subset(base, mask)});
     }
     auto results = runner.run(jobs, "fig8-sweep");
+    bench::reportFailures(jobs, results, "fig8-sweep");
 
+    // Failed subsets carry NaN and drop out of the scatter and the
+    // exhaustive-best search.
     std::vector<double> perf(n_masks), cov(n_masks);
     for (unsigned mask = 0; mask < n_masks; ++mask) {
-        perf[mask] = base_cycles / results[mask].sim.cycles;
-        cov[mask] = results[mask].coverage();
+        perf[mask] = results[mask].ok
+                         ? base_cycles / results[mask].sim.cycles
+                         : std::nan("");
+        cov[mask] = bench::coverageOf(results[mask]);
     }
 
     unsigned best = 0;
     for (unsigned m = 1; m < n_masks; ++m) {
-        if (perf[m] > perf[best])
+        if (!std::isfinite(perf[best]) ||
+            (std::isfinite(perf[m]) && perf[m] > perf[best]))
             best = m;
     }
 
@@ -138,6 +145,8 @@ main()
                 n_masks);
     std::map<int, std::pair<double, double>> buckets;
     for (unsigned m = 0; m < n_masks; ++m) {
+        if (!std::isfinite(perf[m]) || !std::isfinite(cov[m]))
+            continue;
         int b = static_cast<int>(cov[m] * 20); // 5% buckets
         auto it = buckets.find(b);
         if (it == buckets.end())
@@ -174,8 +183,11 @@ main()
         for (size_t i = 0; i < base.size(); ++i)
             bits += (mask & (1u << i)) ? ('0' + static_cast<char>(i % 10))
                                        : '.';
-        ct.row({name, bits, fmtDouble(cov[mask], 3),
-                fmtDouble(perf[mask], 3)});
+        ct.row({name, bits,
+                std::isfinite(cov[mask]) ? fmtDouble(cov[mask], 3)
+                                         : "FAIL",
+                std::isfinite(perf[mask]) ? fmtDouble(perf[mask], 3)
+                                          : "FAIL"});
     };
     row("Struct-All", pick(SelectorKind::StructAll));
     row("Struct-None", pick(SelectorKind::StructNone));
@@ -202,5 +214,5 @@ main()
                          perf[pick(SelectorKind::StructAll)]);
     bench::printHeadline("Slack-Profile perf vs best", "close",
                          perf[pick(SelectorKind::SlackProfile)]);
-    return 0;
+    return bench::benchExitCode();
 }

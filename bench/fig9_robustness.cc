@@ -56,6 +56,7 @@ main()
             }
         }
         auto results = runner.run(jobs, "fig9-top");
+        bench::reportFailures(jobs, results, "fig9-top");
 
         bench::Series self{"self-trained", {}};
         bench::Series c2{"cross 2-way", {}};
@@ -66,21 +67,26 @@ main()
         const size_t per = 5;
         for (size_t p = 0; p < programs.size(); ++p) {
             const sim::RunResult *r = &results[p * per];
-            double base = static_cast<double>(r[0].sim.cycles);
             names.push_back(programs[p].name());
-            self.values.push_back(base / r[1].sim.cycles);
-            c2.values.push_back(base / r[2].sim.cycles);
-            c8.values.push_back(base / r[3].sim.cycles);
-            cd.values.push_back(base / r[4].sim.cycles);
+            self.values.push_back(bench::cycleRatio(r[0], r[1]));
+            c2.values.push_back(bench::cycleRatio(r[0], r[2]));
+            c8.values.push_back(bench::cycleRatio(r[0], r[3]));
+            cd.values.push_back(bench::cycleRatio(r[0], r[4]));
         }
         bench::printPerProgram("Figure 9 top (machine sensitivity)",
                                names, {self, c2, c8, cd});
 
         auto mean_abs_delta = [&](const bench::Series &s) {
             double sum = 0;
-            for (size_t i = 0; i < s.values.size(); ++i)
-                sum += std::fabs(s.values[i] - self.values[i]);
-            return sum / static_cast<double>(s.values.size());
+            size_t n = 0;
+            for (size_t i = 0; i < s.values.size(); ++i) {
+                double d = std::fabs(s.values[i] - self.values[i]);
+                if (std::isfinite(d)) {
+                    sum += d;
+                    ++n;
+                }
+            }
+            return n ? sum / static_cast<double>(n) : std::nan("");
         };
         std::printf("\n");
         bench::printHeadline("mean |delta| cross 2-way", "small",
@@ -111,6 +117,7 @@ main()
                             .profileFromAltInput = true});
         }
         auto results = runner.run(jobs, "fig9-bottom");
+        bench::reportFailures(jobs, results, "fig9-bottom");
 
         bench::Series self{"self-trained", {}};
         bench::Series cross{"cross-input", {}};
@@ -121,25 +128,30 @@ main()
         const size_t per = 3;
         for (size_t p = 0; p < programs.size(); ++p) {
             const sim::RunResult *r = &results[p * per];
-            double base = static_cast<double>(r[0].sim.cycles);
             names.push_back(programs[p].name());
-            self.values.push_back(base / r[1].sim.cycles);
-            cov_self.values.push_back(r[1].coverage());
-            cross.values.push_back(base / r[2].sim.cycles);
-            cov_cross.values.push_back(r[2].coverage());
+            self.values.push_back(bench::cycleRatio(r[0], r[1]));
+            cov_self.values.push_back(bench::coverageOf(r[1]));
+            cross.values.push_back(bench::cycleRatio(r[0], r[2]));
+            cov_cross.values.push_back(bench::coverageOf(r[2]));
         }
         bench::printPerProgram("Figure 9 bottom (input sensitivity)",
                                names,
                                {self, cross, cov_self, cov_cross});
 
         double sum = 0;
-        for (size_t i = 0; i < cross.values.size(); ++i)
-            sum += std::fabs(cross.values[i] - self.values[i]);
+        size_t n = 0;
+        for (size_t i = 0; i < cross.values.size(); ++i) {
+            double d = std::fabs(cross.values[i] - self.values[i]);
+            if (std::isfinite(d)) {
+                sum += d;
+                ++n;
+            }
+        }
         std::printf("\n");
         bench::printHeadline("mean |delta| cross-input (rel. perf)",
                              "<0.02",
-                             sum / static_cast<double>(
-                                       cross.values.size()));
+                             n ? sum / static_cast<double>(n)
+                               : std::nan(""));
     }
-    return 0;
+    return bench::benchExitCode();
 }

@@ -61,6 +61,7 @@ main()
     }
     sim::Runner runner(bench::runnerOptions());
     auto results = runner.run(jobs, "table1");
+    bench::reportFailures(jobs, results, "table1");
 
     bench::Series knee{"enlarged/baseline", {}};
     bench::Series redu{"reduced/baseline", {}};
@@ -68,16 +69,15 @@ main()
     const size_t per = 3;
     for (size_t p = 0; p < programs.size(); ++p) {
         const sim::RunResult *r = &results[p * per];
-        double base = static_cast<double>(r[0].sim.cycles);
         names.push_back(programs[p].name());
-        knee.values.push_back(base / r[1].sim.cycles);
-        redu.values.push_back(base / r[2].sim.cycles);
+        knee.values.push_back(bench::cycleRatio(r[0], r[1]));
+        redu.values.push_back(bench::cycleRatio(r[0], r[2]));
     }
     bench::printPerProgram("Table 1 claims", names, {knee, redu});
     std::printf("\n");
     bench::printHeadline("40 IQ / 164 regs over baseline", "+1.5%",
-                         (mean(knee.values) - 1.0) * 100.0);
+                         (bench::meanFinite(knee.values) - 1.0) * 100.0);
     bench::printHeadline("reduced config slowdown (%)", "18%",
-                         (1.0 - mean(redu.values)) * 100.0);
-    return 0;
+                         (1.0 - bench::meanFinite(redu.values)) * 100.0);
+    return bench::benchExitCode();
 }

@@ -41,6 +41,80 @@ exportTrace(const trace::PipelineTracer &tracer)
 
 } // namespace
 
+const char *
+errorClassName(ErrorClass cls)
+{
+    switch (cls) {
+    case ErrorClass::None: return "none";
+    case ErrorClass::Exception: return "exception";
+    case ErrorClass::Check: return "check";
+    case ErrorClass::Oom: return "oom";
+    case ErrorClass::Crash: return "crash";
+    case ErrorClass::Timeout: return "timeout";
+    case ErrorClass::Io: return "io";
+    case ErrorClass::Unknown: return "unknown";
+    }
+    return "unknown";
+}
+
+std::optional<ErrorClass>
+errorClassFromName(const std::string &name)
+{
+    for (ErrorClass cls :
+         {ErrorClass::None, ErrorClass::Exception, ErrorClass::Check,
+          ErrorClass::Oom, ErrorClass::Crash, ErrorClass::Timeout,
+          ErrorClass::Io, ErrorClass::Unknown}) {
+        if (name == errorClassName(cls))
+            return cls;
+    }
+    return std::nullopt;
+}
+
+bool
+errorClassTransient(ErrorClass cls)
+{
+    switch (cls) {
+    case ErrorClass::Oom:
+    case ErrorClass::Crash:
+    case ErrorClass::Timeout:
+    case ErrorClass::Io:
+        return true;
+    default:
+        return false;
+    }
+}
+
+trace::StatsMeta
+metaForRun(const RunRequest &req, const RunResult &r,
+           const std::string &workload_name)
+{
+    trace::StatsMeta meta;
+    meta.workload = !workload_name.empty()
+                        ? workload_name
+                        : req.workload.name() +
+                              (req.altInput ? "#alt" : "");
+    meta.config = req.config.name;
+    meta.selector =
+        req.selector ? minigraph::nameOf(*req.selector) : "none";
+    meta.templateNames = r.templateNames;
+    meta.mgInstances = r.instances;
+    meta.mgTemplatesUsed = r.templatesUsed;
+    return meta;
+}
+
+trace::ErrorDetail
+errorDetailOf(const RunError &err)
+{
+    trace::ErrorDetail d;
+    d.cls = errorClassName(err.cls);
+    d.signal = err.signal;
+    d.exitStatus = err.exitStatus;
+    d.lastCycle = err.lastCycle;
+    d.attempts = err.attempts;
+    d.stderrTail = err.stderrTail;
+    return d;
+}
+
 ProgramContext::ProgramContext(const workloads::WorkloadSpec &spec,
                                bool alt_input)
     : prog(workloads::buildWorkload(spec, alt_input).program)
@@ -141,18 +215,25 @@ ProgramContext::run(const RunRequest &req)
         return simulateChosen(*req.chosen, req.config,
                               req.selector.value_or(
                                   SelectorKind::StructAll),
-                              trc);
+                              trc, req.auditHook);
     }
 
     if (!req.selector) {
         RunResult out;
-        if (trc) {
-            // Tracing needs a live core; bypass the baseline cache.
-            trace::PipelineTracer tracer(*trc);
+        if (trc || req.auditHook) {
+            // Tracing (or a test hook) needs a live core; bypass the
+            // baseline cache.
+            std::optional<trace::PipelineTracer> tracer;
             uarch::Core core(req.config, prog);
-            core.setProfiler(&tracer);
+            if (trc) {
+                tracer.emplace(*trc);
+                core.setProfiler(&*tracer);
+            }
+            if (req.auditHook)
+                core.setAuditTestHook(req.auditHook);
             out.sim = core.run();
-            exportTrace(tracer);
+            if (tracer)
+                exportTrace(*tracer);
         } else {
             out.sim = baseline(req.config);
         }
@@ -170,14 +251,16 @@ ProgramContext::run(const RunRequest &req)
         minigraph::filterPool(candidatePool(), kind, prog, prof);
     minigraph::SelectionResult sel =
         minigraph::selectGreedy(filtered, counts(), req.templateBudget);
-    return simulateChosen(sel.chosen, req.config, kind, trc);
+    return simulateChosen(sel.chosen, req.config, kind, trc,
+                          req.auditHook);
 }
 
 RunResult
 ProgramContext::simulateChosen(
     const std::vector<minigraph::Candidate> &chosen,
     const uarch::CoreConfig &sim_config, SelectorKind kind,
-    const trace::TraceConfig *trc)
+    const trace::TraceConfig *trc,
+    const std::function<void(uarch::Core &)> &hook)
 {
     minigraph::RewrittenProgram rp = minigraph::rewrite(prog, chosen);
     uarch::CoreConfig cfg = configForSelector(sim_config, kind);
@@ -188,6 +271,8 @@ ProgramContext::simulateChosen(
         tracer.emplace(*trc);
         core.setProfiler(&*tracer);
     }
+    if (hook)
+        core.setAuditTestHook(hook);
 
     RunResult out;
     out.sim = core.run();

@@ -23,15 +23,79 @@
 #include <string>
 #include <vector>
 
+#include <functional>
+
 #include "minigraph/rewriter.h"
 #include "minigraph/selectors.h"
 #include "profile/slack_profile.h"
 #include "trace/pipeline_tracer.h"
+#include "trace/stats_json.h"
 #include "uarch/core.h"
 #include "workloads/workload.h"
 
 namespace mg::sim
 {
+
+/**
+ * How a run failed.  The class drives the retry policy: *transient*
+ * classes (infrastructure-flavoured failures that a re-run can
+ * plausibly clear: a crashed or OOM-killed sandbox, a watchdog
+ * timeout, a marshalling I/O error) are retried with exponential
+ * backoff; *permanent* classes (deterministic diagnoses: a C++
+ * exception from the pipeline, an invariant-audit CheckError) are
+ * reported immediately.
+ */
+enum class ErrorClass : uint8_t
+{
+    None,      ///< the run succeeded
+    Exception, ///< C++ exception escaped the job (permanent)
+    Check,     ///< invariant audit failed: CheckError (permanent)
+    Oom,       ///< allocation failure: std::bad_alloc (transient)
+    Crash,     ///< isolated child died on a signal (transient)
+    Timeout,   ///< watchdog expired; child SIGKILLed (transient)
+    Io,        ///< result marshalling / journal I/O failed (transient)
+    Unknown,   ///< unrecognised failure (permanent: retry won't help)
+};
+
+/** Registry name of an error class (stable: used in the JSON dump). */
+const char *errorClassName(ErrorClass cls);
+
+/** Inverse of errorClassName (nullopt for unknown names). */
+std::optional<ErrorClass> errorClassFromName(const std::string &name);
+
+/** True if the retry policy should re-run a failure of this class. */
+bool errorClassTransient(ErrorClass cls);
+
+/**
+ * Structured description of a failed run: everything the batch layer
+ * captured about the failure, so one bad run is a report instead of a
+ * dead sweep.
+ */
+struct RunError
+{
+    ErrorClass cls = ErrorClass::None;
+
+    /** Human-readable failure description. */
+    std::string message;
+
+    /** Death signal of the isolated child (0 = none). */
+    int signal = 0;
+
+    /** Child exit status (-1 = did not exit normally / unknown). */
+    int exitStatus = -1;
+
+    /** Last simulated cycle observed before the failure (0 = unknown). */
+    uint64_t lastCycle = 0;
+
+    /** Tail of the failed child's captured stderr ("" = none). */
+    std::string stderrTail;
+
+    /** Execution attempts made, including retries. */
+    unsigned attempts = 1;
+
+    /** Total deterministic backoff slept between attempts. */
+    double backoffSec = 0.0;
+};
 
 /**
  * One experiment job: which program, which machine, which selection
@@ -88,6 +152,23 @@ struct RunRequest
      * a fresh simulation (bypasses the baseline cache).
      */
     std::optional<trace::TraceConfig> trace{};
+
+    /**
+     * Per-run watchdog timeout in seconds (0 = the runner's default,
+     * which itself defaults to off).  Only enforceable in the
+     * process-isolated mode, where expiry SIGKILLs the sandbox child
+     * and records a Timeout RunError; see docs/ROBUSTNESS.md.
+     */
+    double timeoutSec = 0.0;
+
+    /**
+     * Hook installed on the final timing core via
+     * Core::setAuditTestHook (runs at the end of every cycle).  Used
+     * by the MG_FAULTS injection harness and tests; forces a fresh
+     * simulation (bypasses the baseline cache) so the hook always
+     * observes a live core.
+     */
+    std::function<void(uarch::Core &)> auditHook{};
 };
 
 /** Result of one experiment job. */
@@ -100,16 +181,52 @@ struct RunResult
     /** Labels aligned with sim.mgTemplates (trace::templateLabel). */
     std::vector<std::string> templateNames;
 
-    /** False if the job threw; `error` holds the message. */
+    /** False if the job failed; `error` holds the message. */
     bool ok = true;
     std::string error;
+
+    /** Structured failure details (cls == None iff ok). */
+    RunError err;
+
+    /** True if this result was replayed from a batch journal. */
+    bool fromJournal = false;
+
+    /**
+     * Raw stats-JSON line this result was unmarshalled from (isolated
+     * runs and journal replays; "" when the run executed in-process).
+     * Kept so journals and `--json` output re-emit the exact bytes.
+     */
+    std::string statsJsonLine;
 
     /** Dynamic coverage measured at commit. */
     double coverage() const { return sim.coverage(); }
 
     /** IPC over original-program instructions. */
     double ipc() const { return sim.ipc(); }
+
+    /** Mark this result failed with the given class and message. */
+    void
+    setError(ErrorClass cls, const std::string &message)
+    {
+        ok = false;
+        error = message;
+        err.cls = cls;
+        err.message = message;
+    }
 };
+
+/**
+ * StatsMeta identifying one request/result pair, as used by the
+ * stats-JSON wire format, the batch journal, and `mgsim --json`.
+ *
+ * @param workload_name  overrides the workload label ("" = derive it
+ *                       from the request: spec name plus "#alt")
+ */
+trace::StatsMeta metaForRun(const RunRequest &req, const RunResult &r,
+                            const std::string &workload_name = "");
+
+/** Convert a RunError into the trace-layer ErrorDetail fields. */
+trace::ErrorDetail errorDetailOf(const RunError &err);
 
 /**
  * Per-program experiment context: owns the program, its execution
@@ -160,7 +277,8 @@ class ProgramContext
     RunResult simulateChosen(
         const std::vector<minigraph::Candidate> &chosen,
         const uarch::CoreConfig &sim_config, minigraph::SelectorKind kind,
-        const trace::TraceConfig *trc = nullptr);
+        const trace::TraceConfig *trc = nullptr,
+        const std::function<void(uarch::Core &)> &hook = nullptr);
 
     assembler::Program prog;
 

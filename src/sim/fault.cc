@@ -1,0 +1,159 @@
+#include "sim/fault.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <thread>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace mg::sim
+{
+
+namespace
+{
+
+/**
+ * Updated at the end of every hooked cycle.  Plain relaxed atomic: a
+ * fatal-signal handler reads it, and lock-free atomic loads/stores
+ * are async-signal-safe.
+ */
+std::atomic<uint64_t> g_observedCycle{0};
+
+[[noreturn]] void
+fire(const FaultSpec &spec, uint64_t cycle)
+{
+    switch (spec.kind) {
+    case FaultKind::Crash:
+        // As close to a real native crash as we can make
+        // deterministic: dies on SIGABRT without unwinding.
+        std::abort();
+    case FaultKind::Hang:
+        for (;;)
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    case FaultKind::Oom:
+        throw std::bad_alloc();
+    case FaultKind::Corrupt:
+        // Drive the audit path: raise the same CheckError the
+        // invariant auditor raises on a genuine illegal state.
+        checkFailImpl(__FILE__, __LINE__, "injected-corruption",
+                      strprintf("injected state corruption at cycle "
+                                "%llu (MG_FAULTS)",
+                                static_cast<unsigned long long>(cycle)));
+    }
+    std::abort(); // unreachable
+}
+
+} // namespace
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+    case FaultKind::Crash: return "crash";
+    case FaultKind::Hang: return "hang";
+    case FaultKind::Oom: return "oom";
+    case FaultKind::Corrupt: return "corrupt";
+    }
+    return "?";
+}
+
+bool
+FaultSpec::appliesTo(const std::string &run_key, unsigned attempt) const
+{
+    if (attempt >= firstAttempts)
+        return false;
+    return match.empty() || run_key.find(match) != std::string::npos;
+}
+
+std::optional<FaultSpec>
+parseFaultSpec(const std::string &text, std::string &err)
+{
+    std::string body = trim(text);
+    FaultSpec spec;
+
+    // Trailing "!<attempts>".
+    if (size_t bang = body.rfind('!'); bang != std::string::npos) {
+        int64_t n = 0;
+        if (!parseInt(body.substr(bang + 1), n) || n <= 0) {
+            err = "bad fault attempt count in '" + text + "'";
+            return std::nullopt;
+        }
+        spec.firstAttempts = static_cast<unsigned>(n);
+        body = body.substr(0, bang);
+    }
+
+    // ":<match>" (first ':' — run keys never contain one).
+    if (size_t colon = body.find(':'); colon != std::string::npos) {
+        spec.match = body.substr(colon + 1);
+        body = body.substr(0, colon);
+    }
+
+    // "@<cycle>".
+    if (size_t at = body.find('@'); at != std::string::npos) {
+        int64_t n = 0;
+        if (!parseInt(body.substr(at + 1), n) || n <= 0) {
+            err = "bad fault cycle in '" + text + "'";
+            return std::nullopt;
+        }
+        spec.cycle = static_cast<uint64_t>(n);
+        body = body.substr(0, at);
+    }
+
+    if (body == "crash") {
+        spec.kind = FaultKind::Crash;
+    } else if (body == "hang") {
+        spec.kind = FaultKind::Hang;
+    } else if (body == "oom") {
+        spec.kind = FaultKind::Oom;
+    } else if (body == "corrupt") {
+        spec.kind = FaultKind::Corrupt;
+    } else {
+        err = "unknown fault kind '" + body +
+              "' (want crash|hang|oom|corrupt)";
+        return std::nullopt;
+    }
+    return spec;
+}
+
+std::function<void(uarch::Core &)>
+makeFaultHook(const FaultSpec &spec)
+{
+    // Cycle counter shared across copies of the hook (std::function
+    // copies its callable); one run installs exactly one hook.
+    auto count = std::make_shared<uint64_t>(0);
+    return [spec, count](uarch::Core &) {
+        uint64_t c = ++*count;
+        g_observedCycle.store(c, std::memory_order_relaxed);
+        if (c == spec.cycle)
+            fire(spec, c);
+    };
+}
+
+std::function<void(uarch::Core &)>
+makeCycleWatchHook(std::function<void(uarch::Core &)> inner)
+{
+    auto count = std::make_shared<uint64_t>(0);
+    return [inner = std::move(inner), count](uarch::Core &core) {
+        g_observedCycle.store(++*count, std::memory_order_relaxed);
+        if (inner)
+            inner(core);
+    };
+}
+
+uint64_t
+lastObservedCycle()
+{
+    return g_observedCycle.load(std::memory_order_relaxed);
+}
+
+void
+resetObservedCycle()
+{
+    g_observedCycle.store(0, std::memory_order_relaxed);
+}
+
+} // namespace mg::sim

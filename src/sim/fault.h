@@ -1,0 +1,108 @@
+/**
+ * @file
+ * MG_FAULTS: deterministic fault injection for the batch layer.
+ *
+ * A fault spec names a failure kind and where it fires:
+ *
+ *     <kind>[@<cycle>][:<match>][!<attempts>]
+ *
+ *     kind      crash | hang | oom | corrupt
+ *     cycle     simulated cycle of the final timing run at which the
+ *               fault triggers (default 1)
+ *     match     substring of the run key (journal::runKey); the fault
+ *               only arms for matching runs (default: every run)
+ *     attempts  only fire on the first N attempts of a run, so a
+ *               retried run recovers (default: every attempt)
+ *
+ * Examples: "crash@100", "corrupt@5000:crc32", "oom@10:adpcm!2".
+ *
+ * Kinds:
+ *   crash    std::abort() — the sandbox child dies on SIGABRT, as a
+ *            real heap corruption or sanitizer abort would
+ *   hang     spin forever — only the watchdog timeout can recover
+ *   oom      throw std::bad_alloc, as a failed allocation would
+ *   corrupt  drive the Core audit test hook (Core::setAuditTestHook)
+ *            to raise a CheckError, as the invariant auditor does
+ *            when it catches the pipeline in an illegal state
+ *
+ * The runner arms a fault from RunnerOptions::fault or the MG_FAULTS
+ * environment variable (`mgsim batch --inject-fault` sets the
+ * former).  Every recovery path in docs/ROBUSTNESS.md is exercised
+ * through this harness by the ctest label `robust`.
+ */
+
+#ifndef MG_SIM_FAULT_H
+#define MG_SIM_FAULT_H
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+namespace mg::uarch
+{
+class Core;
+}
+
+namespace mg::sim
+{
+
+enum class FaultKind : uint8_t { Crash, Hang, Oom, Corrupt };
+
+/** Registry name of a fault kind. */
+const char *faultKindName(FaultKind kind);
+
+/** One parsed fault directive. */
+struct FaultSpec
+{
+    FaultKind kind = FaultKind::Crash;
+
+    /** Fire at the end of this simulated cycle (1-based). */
+    uint64_t cycle = 1;
+
+    /** Run-key substring the fault applies to ("" = every run). */
+    std::string match;
+
+    /** Fire only on attempt indices < this (retries then succeed). */
+    unsigned firstAttempts = ~0u;
+
+    /** True if this spec arms for the given run key and attempt. */
+    bool appliesTo(const std::string &run_key, unsigned attempt) const;
+};
+
+/**
+ * Parse a fault spec.
+ *
+ * @return nullopt and set `err` on a malformed spec.
+ */
+std::optional<FaultSpec> parseFaultSpec(const std::string &text,
+                                        std::string &err);
+
+/**
+ * The audit hook implementing a fault: counts cycles and triggers the
+ * configured failure at the configured cycle.  Install with
+ * RunRequest::auditHook.  The hook also keeps lastObservedCycle()
+ * current so a crashing child can report how far it got.
+ */
+std::function<void(uarch::Core &)> makeFaultHook(const FaultSpec &spec);
+
+/**
+ * Wrap a hook (or nothing) so every end-of-cycle updates
+ * lastObservedCycle(); the isolated child installs this on all runs.
+ */
+std::function<void(uarch::Core &)>
+makeCycleWatchHook(std::function<void(uarch::Core &)> inner);
+
+/**
+ * Last end-of-cycle count observed by a fault/watch hook in this
+ * process (async-signal-safe to read; see supervisor.cc's fatal
+ * signal handler).  0 until a hooked run starts.
+ */
+uint64_t lastObservedCycle();
+
+/** Reset lastObservedCycle() (the child does this before its run). */
+void resetObservedCycle();
+
+} // namespace mg::sim
+
+#endif // MG_SIM_FAULT_H

@@ -1,10 +1,36 @@
 #include "sim/runner.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <new>
+
+#include "common/logging.h"
+#include "sim/supervisor.h"
+#include "trace/stats_parse.h"
 
 namespace mg::sim
 {
+
+BatchSummary
+summarize(const std::vector<RunResult> &results)
+{
+    BatchSummary s;
+    s.total = results.size();
+    for (const RunResult &r : results) {
+        if (r.ok)
+            ++s.ok;
+        else
+            ++s.failed;
+        if (r.err.attempts > 1)
+            ++s.retried;
+        if (!r.ok && r.err.cls == ErrorClass::Timeout)
+            ++s.timedOut;
+        if (r.fromJournal)
+            ++s.replayed;
+    }
+    return s;
+}
 
 unsigned
 Runner::defaultJobs()
@@ -13,6 +39,8 @@ Runner::defaultJobs()
         long v = std::atol(env);
         if (v > 0)
             return static_cast<unsigned>(v);
+        mg_warn("ignoring invalid MG_JOBS='%s' (want a positive "
+                "integer)", env);
     }
     unsigned hw = std::thread::hardware_concurrency();
     return hw ? hw : 1;
@@ -23,6 +51,36 @@ Runner::Runner(Options o) : opts(o)
     nThreads = opts.jobs ? opts.jobs : defaultJobs();
     if (nThreads < 1)
         nThreads = 1;
+
+    fault = opts.fault;
+    if (!fault) {
+        if (const char *env = std::getenv("MG_FAULTS");
+            env && env[0] != '\0') {
+            std::string err;
+            fault = parseFaultSpec(env, err);
+            if (!fault)
+                mg_warn("ignoring MG_FAULTS: %s", err.c_str());
+        }
+    }
+
+    if (!opts.journalPath.empty()) {
+        if (opts.resume) {
+            journal::LoadResult loaded =
+                journal::load(opts.journalPath);
+            if (loaded.dropped) {
+                mg_warn("journal '%s': dropped %zu corrupt entr%s "
+                        "(%s); resuming from the last valid entry",
+                        opts.journalPath.c_str(), loaded.dropped,
+                        loaded.dropped == 1 ? "y" : "ies",
+                        loaded.warning.c_str());
+            }
+            resumeEntries = std::move(loaded.entries);
+        }
+        if (std::string err = journalWriter.open(opts.journalPath);
+            !err.empty())
+            mg_warn("%s (journalling disabled)", err.c_str());
+    }
+
     if (nThreads > 1) {
         workers.reserve(nThreads);
         for (unsigned i = 0; i < nThreads; ++i)
@@ -64,6 +122,7 @@ Runner::context(const workloads::WorkloadSpec &spec, bool alt_input)
 RunResult
 Runner::execute(const RunRequest &req)
 {
+    RunResult out;
     try {
         ProgramContext &ctx = context(req.workload, req.altInput);
         if (req.profileFromAltInput && !req.profile && req.selector &&
@@ -79,12 +138,91 @@ Runner::execute(const RunRequest &req)
             return ctx.run(resolved);
         }
         return ctx.run(req);
+    } catch (const CheckError &e) {
+        out.setError(ErrorClass::Check, e.what());
+    } catch (const std::bad_alloc &) {
+        out.setError(ErrorClass::Oom,
+                     "allocation failure (std::bad_alloc)");
     } catch (const std::exception &e) {
+        out.setError(ErrorClass::Exception, e.what());
+    } catch (...) {
+        out.setError(ErrorClass::Unknown, "non-standard exception");
+    }
+    return out;
+}
+
+RunResult
+Runner::executeOnce(const RunRequest &req, const std::string &key,
+                    unsigned attempt)
+{
+    RunRequest armed = req;
+    if (fault && fault->appliesTo(key, attempt)) {
+        auto fault_hook = makeFaultHook(*fault);
+        if (req.auditHook) {
+            auto user = req.auditHook;
+            armed.auditHook = [user, fault_hook](uarch::Core &core) {
+                user(core);
+                fault_hook(core);
+            };
+        } else {
+            armed.auditHook = fault_hook;
+        }
+    }
+
+    if (opts.isolate) {
+        SupervisorOptions so;
+        so.timeoutSec =
+            req.timeoutSec > 0 ? req.timeoutSec : opts.timeoutSec;
+        return runIsolated(armed, so);
+    }
+    return execute(armed);
+}
+
+RunResult
+Runner::executeJob(const RunRequest &req)
+{
+    const std::string key = journal::runKey(req);
+
+    // Resume: replay a completed run from the journal.
+    if (auto it = resumeEntries.find(key); it != resumeEntries.end()) {
+        trace::ParsedStats parsed;
+        // Entries were validated at load time; parse cannot fail.
+        trace::parseStatsJson(it->second, parsed);
         RunResult out;
-        out.ok = false;
-        out.error = e.what();
+        out.sim = parsed.sim;
+        out.instances = parsed.meta.mgInstances;
+        out.templatesUsed =
+            static_cast<uint32_t>(parsed.meta.mgTemplatesUsed);
+        out.templateNames = parsed.meta.templateNames;
+        out.statsJsonLine = it->second;
+        out.fromJournal = true;
+        out.err.attempts = 0;
         return out;
     }
+
+    RunResult r;
+    double backoff = opts.backoffSec;
+    double backoff_total = 0.0;
+    for (unsigned attempt = 0;; ++attempt) {
+        r = executeOnce(req, key, attempt);
+        r.err.attempts = attempt + 1;
+        if (r.ok || !errorClassTransient(r.err.cls) ||
+            attempt >= opts.retries)
+            break;
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(backoff));
+        backoff_total += backoff;
+        backoff *= 2;
+    }
+    r.err.backoffSec = backoff_total;
+
+    if (r.ok && journalWriter.isOpen()) {
+        if (r.statsJsonLine.empty())
+            r.statsJsonLine =
+                trace::statsJson(metaForRun(req, r), r.sim);
+        journalWriter.append(key, r.statsJsonLine);
+    }
+    return r;
 }
 
 std::vector<RunResult>
@@ -104,7 +242,7 @@ Runner::run(const std::vector<RunRequest> &batch, const std::string &phase)
 
     if (nThreads == 1) {
         for (size_t i = 0; i < batch.size(); ++i) {
-            results[i] = execute(batch[i]);
+            results[i] = executeJob(batch[i]);
             report(i + 1);
         }
         return results;
@@ -143,7 +281,22 @@ Runner::workerLoop()
         size_t i = b->next++;
         lock.unlock();
 
-        RunResult r = execute((*b->reqs)[i]);
+        // Nothing may escape a worker body: an uncaught exception
+        // here would std::terminate the whole batch.  executeJob
+        // already catches everything; this is the last line of
+        // defence (e.g. an allocation failure in the result copy).
+        RunResult r;
+        try {
+            r = executeJob((*b->reqs)[i]);
+        } catch (const std::bad_alloc &) {
+            r.setError(ErrorClass::Oom,
+                       "allocation failure marshalling the result");
+        } catch (const std::exception &e) {
+            r.setError(ErrorClass::Unknown,
+                       std::string("worker body threw: ") + e.what());
+        } catch (...) {
+            r.setError(ErrorClass::Unknown, "worker body threw");
+        }
 
         lock.lock();
         (*b->results)[i] = std::move(r);

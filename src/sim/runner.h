@@ -18,6 +18,13 @@
  *
  * Worker count: Options::jobs if non-zero, else the MG_JOBS
  * environment variable, else std::thread::hardware_concurrency().
+ *
+ * Fault tolerance (docs/ROBUSTNESS.md): a failing job degrades to a
+ * structured RunError in its result slot — it never takes down the
+ * batch.  Opt-in layers: process isolation (fork-per-run sandbox),
+ * per-run watchdog timeouts, retry with exponential backoff for
+ * transient failures, and a journal enabling resume after a crash of
+ * the batch process itself.
  */
 
 #ifndef MG_SIM_RUNNER_H
@@ -32,6 +39,8 @@
 #include <vector>
 
 #include "sim/experiment.h"
+#include "sim/fault.h"
+#include "sim/journal.h"
 
 namespace mg::sim
 {
@@ -47,7 +56,65 @@ struct RunnerOptions
 
     /** Print "[phase] done/total" lines to stderr as jobs finish. */
     bool progress = false;
+
+    /**
+     * Execute every run in a forked sandbox (sim/supervisor.h): a
+     * crash, hang, OOM, or CheckError in one run becomes a RunError
+     * instead of killing the batch.  Each sandboxed run rebuilds its
+     * program artefacts rather than sharing this runner's contexts.
+     */
+    bool isolate = false;
+
+    /**
+     * Default per-run watchdog timeout in seconds (0 = off); a
+     * nonzero RunRequest::timeoutSec overrides it.  Enforced only
+     * with `isolate` (a runaway in-process run cannot be killed
+     * safely).
+     */
+    double timeoutSec = 0.0;
+
+    /** Re-run a *transient* failure up to this many extra times. */
+    unsigned retries = 0;
+
+    /**
+     * Base backoff before the first retry; doubles per attempt
+     * (base, 2*base, 4*base, ...).  Deterministic by construction.
+     */
+    double backoffSec = 0.05;
+
+    /**
+     * Append completed runs (key + stats JSON) to this journal file
+     * ("" = off); see sim/journal.h.
+     */
+    std::string journalPath{};
+
+    /**
+     * Load `journalPath` first and replay already-completed runs
+     * from it instead of re-executing them (corrupt journal lines
+     * are reported and dropped, resuming from the last valid entry).
+     */
+    bool resume = false;
+
+    /**
+     * Fault to inject (tests / `--inject-fault`); when unset, the
+     * MG_FAULTS environment variable is consulted.  See sim/fault.h.
+     */
+    std::optional<FaultSpec> fault{};
 };
+
+/** Outcome counts of one batch (see summarize()). */
+struct BatchSummary
+{
+    size_t total = 0;
+    size_t ok = 0;       ///< succeeded (including replays)
+    size_t failed = 0;   ///< final state is a RunError
+    size_t retried = 0;  ///< needed more than one attempt
+    size_t timedOut = 0; ///< failed with ErrorClass::Timeout
+    size_t replayed = 0; ///< served from the resume journal
+};
+
+/** Tally a batch's results. */
+BatchSummary summarize(const std::vector<RunResult> &results);
 
 class Runner
 {
@@ -102,6 +169,18 @@ class Runner
     };
 
     void workerLoop();
+
+    /**
+     * One job end-to-end: journal replay, fault arming, isolation,
+     * the retry/backoff loop, and journal append.  Never throws.
+     */
+    RunResult executeJob(const RunRequest &req);
+
+    /** One attempt (isolated or in-process); never throws. */
+    RunResult executeOnce(const RunRequest &req, const std::string &key,
+                          unsigned attempt);
+
+    /** In-process attempt body against the shared contexts. */
     RunResult execute(const RunRequest &req);
 
     Options opts;
@@ -116,6 +195,12 @@ class Runner
 
     std::mutex ctxMu;             ///< guards the contexts map
     std::map<std::string, std::unique_ptr<ContextSlot>> contexts;
+
+    /** Read-only after construction (workers may read concurrently). */
+    std::optional<FaultSpec> fault;
+    std::map<std::string, std::string> resumeEntries;
+
+    journal::Writer journalWriter;
 };
 
 } // namespace mg::sim

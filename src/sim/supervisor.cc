@@ -1,0 +1,405 @@
+#include "sim/supervisor.h"
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <new>
+
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/logging.h"
+#include "sim/fault.h"
+#include "trace/stats_parse.h"
+
+namespace mg::sim
+{
+
+namespace
+{
+
+/**
+ * Child -> parent wire protocol, one record per line on the result
+ * pipe:
+ *
+ *   "R <stats JSON>"   the run completed; payload is statsJson()
+ *   "E <class> <JSON>" the run failed in a contained way; payload is
+ *                      errorJson() carrying the message
+ *   "C <cycle>"        written by the fatal-signal handler: the last
+ *                      simulated cycle observed before dying
+ */
+constexpr char kResultTag = 'R';
+constexpr char kErrorTag = 'E';
+constexpr char kCycleTag = 'C';
+
+/** Result-pipe fd the child's fatal-signal handler writes to. */
+volatile int g_childResultFd = -1;
+
+/** write() the whole buffer, retrying EINTR; best-effort. */
+void
+writeAll(int fd, const char *buf, size_t len)
+{
+    while (len > 0) {
+        ssize_t n = ::write(fd, buf, len);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return;
+        }
+        buf += n;
+        len -= static_cast<size_t>(n);
+    }
+}
+
+/**
+ * Fatal-signal handler installed in the sandbox child: report the
+ * last simulated cycle, then die by the original signal.  Everything
+ * here is async-signal-safe (lock-free atomic load, manual integer
+ * formatting, write()).
+ */
+extern "C" void
+childFatalHandler(int sig)
+{
+    int fd = g_childResultFd;
+    if (fd >= 0) {
+        char buf[32];
+        size_t pos = sizeof buf;
+        buf[--pos] = '\n';
+        uint64_t c = lastObservedCycle();
+        if (c == 0) {
+            buf[--pos] = '0';
+        } else {
+            while (c > 0 && pos > 2) {
+                buf[--pos] = static_cast<char>('0' + c % 10);
+                c /= 10;
+            }
+        }
+        buf[--pos] = ' ';
+        buf[--pos] = kCycleTag;
+        writeAll(fd, buf + pos, sizeof buf - pos);
+    }
+    ::signal(sig, SIG_DFL);
+    ::raise(sig);
+}
+
+void
+installChildSignalHandlers()
+{
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof sa);
+    sa.sa_handler = childFatalHandler;
+    sigemptyset(&sa.sa_mask);
+    for (int sig : {SIGSEGV, SIGBUS, SIGFPE, SIGILL, SIGABRT})
+        ::sigaction(sig, &sa, nullptr);
+}
+
+/** Child side: run the request and report over `fd`; never returns. */
+[[noreturn]] void
+childMain(const RunRequest &req, int result_fd)
+{
+    g_childResultFd = result_fd;
+    installChildSignalHandlers();
+    resetObservedCycle();
+
+    RunRequest hooked = req;
+    hooked.auditHook = makeCycleWatchHook(req.auditHook);
+
+    std::string line;
+    int exit_code = 0;
+    try {
+        RunResult r = runFresh(hooked);
+        trace::StatsMeta meta = metaForRun(req, r);
+        line = std::string(1, kResultTag) + " " +
+               trace::statsJson(meta, r.sim) + "\n";
+    } catch (const CheckError &e) {
+        line = std::string(1, kErrorTag) + " " +
+               std::string(errorClassName(ErrorClass::Check)) + " " +
+               trace::errorJson(metaForRun(req, RunResult{}), e.what()) +
+               "\n";
+        exit_code = 1;
+    } catch (const std::bad_alloc &) {
+        line = std::string(1, kErrorTag) + " " +
+               std::string(errorClassName(ErrorClass::Oom)) + " " +
+               trace::errorJson(metaForRun(req, RunResult{}),
+                                "allocation failure (std::bad_alloc)") +
+               "\n";
+        exit_code = 1;
+    } catch (const std::exception &e) {
+        line = std::string(1, kErrorTag) + " " +
+               std::string(errorClassName(ErrorClass::Exception)) + " " +
+               trace::errorJson(metaForRun(req, RunResult{}), e.what()) +
+               "\n";
+        exit_code = 1;
+    } catch (...) {
+        line = std::string(1, kErrorTag) + " " +
+               std::string(errorClassName(ErrorClass::Unknown)) + " " +
+               trace::errorJson(metaForRun(req, RunResult{}),
+                                "non-standard exception") +
+               "\n";
+        exit_code = 1;
+    }
+    writeAll(result_fd, line.data(), line.size());
+    // _exit, not exit: no atexit handlers or stream flushes of state
+    // inherited from the (possibly threaded) parent.
+    ::_exit(exit_code);
+}
+
+/** Keep at most `cap` trailing bytes of `buf`. */
+void
+trimToTail(std::string &buf, size_t cap)
+{
+    if (buf.size() > cap)
+        buf.erase(0, buf.size() - cap);
+}
+
+struct ChildOutput
+{
+    std::string result; ///< result-pipe bytes
+    std::string tail;   ///< stdout/stderr tail
+    bool timedOut = false;
+};
+
+/**
+ * Drain both child pipes until EOF (or until the deadline passes, in
+ * which case the child is SIGKILLed and draining continues).
+ */
+ChildOutput
+drainChild(pid_t pid, int result_fd, int err_fd,
+           const SupervisorOptions &opts)
+{
+    using Clock = std::chrono::steady_clock;
+    const bool watchdog = opts.timeoutSec > 0;
+    const auto deadline =
+        Clock::now() +
+        std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double>(
+                watchdog ? opts.timeoutSec : 0));
+
+    ChildOutput out;
+    bool result_open = true, err_open = true;
+    char buf[4096];
+    while (result_open || err_open) {
+        struct pollfd fds[2];
+        nfds_t n = 0;
+        if (result_open)
+            fds[n++] = {result_fd, POLLIN, 0};
+        if (err_open)
+            fds[n++] = {err_fd, POLLIN, 0};
+
+        int timeout_ms = -1;
+        if (watchdog && !out.timedOut) {
+            auto left = std::chrono::duration_cast<
+                            std::chrono::milliseconds>(deadline -
+                                                       Clock::now())
+                            .count();
+            timeout_ms = left < 0 ? 0 : static_cast<int>(left) + 1;
+        }
+        int rc = ::poll(fds, n, timeout_ms);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (rc == 0) {
+            // Watchdog expired: kill the sandbox, keep draining so
+            // we still collect the stderr tail and cycle report.
+            out.timedOut = true;
+            ::kill(pid, SIGKILL);
+            continue;
+        }
+        for (nfds_t i = 0; i < n; ++i) {
+            if (!(fds[i].revents & (POLLIN | POLLHUP | POLLERR)))
+                continue;
+            ssize_t got = ::read(fds[i].fd, buf, sizeof buf);
+            if (got > 0) {
+                std::string &dst = fds[i].fd == result_fd
+                                       ? out.result
+                                       : out.tail;
+                dst.append(buf, static_cast<size_t>(got));
+                if (fds[i].fd == err_fd)
+                    trimToTail(out.tail, opts.stderrTailBytes);
+            } else if (got == 0 ||
+                       (got < 0 && errno != EINTR && errno != EAGAIN)) {
+                if (fds[i].fd == result_fd)
+                    result_open = false;
+                else
+                    err_open = false;
+            }
+        }
+    }
+    return out;
+}
+
+/** The last protocol line with the given tag, without the tag. */
+bool
+lastTagged(const std::string &text, char tag, std::string &payload)
+{
+    bool found = false;
+    size_t pos = 0;
+    while (pos < text.size()) {
+        size_t nl = text.find('\n', pos);
+        size_t end = nl == std::string::npos ? text.size() : nl;
+        if (end > pos + 1 && text[pos] == tag && text[pos + 1] == ' ') {
+            payload = text.substr(pos + 2, end - pos - 2);
+            found = true;
+        }
+        pos = nl == std::string::npos ? text.size() : nl + 1;
+    }
+    return found;
+}
+
+} // namespace
+
+RunResult
+runFresh(const RunRequest &req)
+{
+    ProgramContext ctx(req.workload, req.altInput);
+    if (req.profileFromAltInput && !req.profile && req.selector &&
+        minigraph::selectorNeedsProfile(*req.selector)) {
+        ProgramContext trainer(req.workload, !req.altInput);
+        const profile::SlackProfileData &prof = trainer.profileOn(
+            req.profileConfig ? *req.profileConfig : req.config);
+        RunRequest resolved = req;
+        resolved.profile = &prof;
+        resolved.profileFromAltInput = false;
+        return ctx.run(resolved);
+    }
+    return ctx.run(req);
+}
+
+RunResult
+runIsolated(const RunRequest &req, const SupervisorOptions &opts)
+{
+    RunResult out;
+
+    int result_pipe[2], err_pipe[2];
+    if (::pipe(result_pipe) != 0) {
+        out.setError(ErrorClass::Io,
+                     std::string("pipe: ") + std::strerror(errno));
+        return out;
+    }
+    if (::pipe(err_pipe) != 0) {
+        out.setError(ErrorClass::Io,
+                     std::string("pipe: ") + std::strerror(errno));
+        ::close(result_pipe[0]);
+        ::close(result_pipe[1]);
+        return out;
+    }
+
+    // Flush our own streams so the child doesn't replay buffered
+    // output into its captured stdout/stderr.
+    std::fflush(stdout);
+    std::fflush(stderr);
+
+    pid_t pid = ::fork();
+    if (pid < 0) {
+        out.setError(ErrorClass::Io,
+                     std::string("fork: ") + std::strerror(errno));
+        for (int fd : {result_pipe[0], result_pipe[1], err_pipe[0],
+                       err_pipe[1]})
+            ::close(fd);
+        return out;
+    }
+
+    if (pid == 0) {
+        ::close(result_pipe[0]);
+        ::close(err_pipe[0]);
+        // Capture everything the run prints.
+        ::dup2(err_pipe[1], STDOUT_FILENO);
+        ::dup2(err_pipe[1], STDERR_FILENO);
+        if (err_pipe[1] != STDOUT_FILENO &&
+            err_pipe[1] != STDERR_FILENO)
+            ::close(err_pipe[1]);
+        childMain(req, result_pipe[1]); // never returns
+    }
+
+    ::close(result_pipe[1]);
+    ::close(err_pipe[1]);
+    ChildOutput child =
+        drainChild(pid, result_pipe[0], err_pipe[0], opts);
+    ::close(result_pipe[0]);
+    ::close(err_pipe[0]);
+
+    int status = 0;
+    while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+    }
+
+    std::string payload;
+    uint64_t last_cycle = 0;
+    if (std::string cycle_str;
+        lastTagged(child.result, kCycleTag, cycle_str))
+        last_cycle = std::strtoull(cycle_str.c_str(), nullptr, 10);
+
+    if (lastTagged(child.result, kResultTag, payload)) {
+        trace::ParsedStats parsed;
+        if (std::string err = trace::parseStatsJson(payload, parsed);
+            !err.empty() || parsed.isError) {
+            out.setError(ErrorClass::Io,
+                         "cannot decode sandbox result: " +
+                             (err.empty() ? "error record" : err));
+            out.err.stderrTail = child.tail;
+            return out;
+        }
+        out.sim = parsed.sim;
+        out.instances = parsed.meta.mgInstances;
+        out.templatesUsed =
+            static_cast<uint32_t>(parsed.meta.mgTemplatesUsed);
+        out.templateNames = parsed.meta.templateNames;
+        out.statsJsonLine = payload;
+        return out;
+    }
+
+    // No result: classify the failure.
+    if (child.timedOut) {
+        out.setError(ErrorClass::Timeout,
+                     strprintf("watchdog timeout after %.1fs (child "
+                               "SIGKILLed at cycle %llu)",
+                               opts.timeoutSec,
+                               static_cast<unsigned long long>(
+                                   last_cycle)));
+    } else if (lastTagged(child.result, kErrorTag, payload)) {
+        size_t sp = payload.find(' ');
+        std::string cls_name =
+            sp == std::string::npos ? payload : payload.substr(0, sp);
+        std::string json =
+            sp == std::string::npos ? "" : payload.substr(sp + 1);
+        ErrorClass cls = errorClassFromName(cls_name)
+                             .value_or(ErrorClass::Unknown);
+        std::string message = "sandbox run failed";
+        trace::ParsedStats parsed;
+        if (trace::parseStatsJson(json, parsed).empty() &&
+            parsed.isError)
+            message = parsed.error;
+        out.setError(cls, message);
+        if (WIFEXITED(status))
+            out.err.exitStatus = WEXITSTATUS(status);
+    } else if (WIFSIGNALED(status)) {
+        out.setError(ErrorClass::Crash,
+                     strprintf("sandbox child died on signal %d (%s) "
+                               "at cycle %llu",
+                               WTERMSIG(status),
+                               strsignal(WTERMSIG(status)),
+                               static_cast<unsigned long long>(
+                                   last_cycle)));
+        out.err.signal = WTERMSIG(status);
+    } else {
+        // Exited without producing a result (e.g. a sanitizer abort
+        // path that calls _exit).
+        out.setError(ErrorClass::Crash,
+                     strprintf("sandbox child exited with status %d "
+                               "without a result (cycle %llu)",
+                               WIFEXITED(status) ? WEXITSTATUS(status)
+                                                 : -1,
+                               static_cast<unsigned long long>(
+                                   last_cycle)));
+        if (WIFEXITED(status))
+            out.err.exitStatus = WEXITSTATUS(status);
+    }
+    out.err.lastCycle = last_cycle;
+    out.err.stderrTail = child.tail;
+    return out;
+}
+
+} // namespace mg::sim

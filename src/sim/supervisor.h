@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Process-isolated run execution: one fork()ed sandbox per run, so a
+ * native crash, sanitizer abort, OOM kill, or runaway loop in one
+ * experiment is captured as a structured RunError instead of taking
+ * the whole batch (and every completed result) down with it.
+ *
+ * The child executes the request against *fresh* ProgramContexts (it
+ * must not touch mutexes other runner threads may have held at fork
+ * time) and marshals its result back over a pipe as one line of the
+ * deterministic stats JSON (trace/stats_json — the same bytes
+ * `mgsim --json` prints), so an isolated batch's output is
+ * byte-identical to an in-process one.  The parent:
+ *
+ *  - captures the child's stdout/stderr and keeps the tail for the
+ *    error report;
+ *  - applies the watchdog: if the child exceeds its timeout it is
+ *    SIGKILLed and the run reported as ErrorClass::Timeout;
+ *  - on a fatal signal in the child, reads the "last known cycle"
+ *    the child's signal handler managed to write before dying;
+ *  - classifies every other outcome into the ErrorClass taxonomy
+ *    (see docs/ROBUSTNESS.md).
+ *
+ * Cost: each sandboxed run rebuilds its program artefacts (profile,
+ * candidate pool, baseline) instead of sharing the runner's caches —
+ * isolation trades throughput for fault containment.
+ */
+
+#ifndef MG_SIM_SUPERVISOR_H
+#define MG_SIM_SUPERVISOR_H
+
+#include "sim/experiment.h"
+
+namespace mg::sim
+{
+
+/** Sandbox policy for one isolated run. */
+struct SupervisorOptions
+{
+    /** Watchdog timeout in seconds; 0 = no watchdog. */
+    double timeoutSec = 0.0;
+
+    /** Bytes of child stderr kept for the error report. */
+    size_t stderrTailBytes = 4096;
+};
+
+/**
+ * Execute one request in a forked sandbox and return its result (or
+ * a structured error; never throws on a child failure).
+ *
+ * The request's Runner-level fields (`workload`, `altInput`,
+ * `profileFromAltInput`) are honoured: the child builds the contexts
+ * it needs.  `RunRequest::auditHook` is installed on the timing core
+ * inside the child.
+ */
+RunResult runIsolated(const RunRequest &req,
+                      const SupervisorOptions &opts);
+
+/**
+ * Execute one request in-process against fresh contexts: the
+ * cross-training-aware body the sandbox child runs.  Exposed for the
+ * runner's non-isolated per-context path and tests.
+ */
+RunResult runFresh(const RunRequest &req);
+
+} // namespace mg::sim
+
+#endif // MG_SIM_SUPERVISOR_H

@@ -12,6 +12,14 @@ namespace
 std::string
 esc(const std::string &s)
 {
+    return jsonEscape(s);
+}
+
+} // namespace
+
+std::string
+jsonEscape(const std::string &s)
+{
     std::string out;
     out.reserve(s.size());
     for (char c : s) {
@@ -33,6 +41,9 @@ esc(const std::string &s)
     }
     return out;
 }
+
+namespace
+{
 
 /** Key/value emitter building one flat object at a time. */
 class Obj
@@ -266,6 +277,28 @@ errorJson(const StatsMeta &meta, const std::string &error)
     top.str("config", meta.config);
     top.str("selector", meta.selector);
     top.str("error", error);
+    top.close();
+    return out;
+}
+
+std::string
+errorJson(const StatsMeta &meta, const std::string &error,
+          const ErrorDetail &detail)
+{
+    std::string out;
+    Obj top(out);
+    top.str("workload", meta.workload);
+    top.str("config", meta.config);
+    top.str("selector", meta.selector);
+    top.str("error", error);
+    top.str("errorClass", detail.cls);
+    top.u64("signal", static_cast<uint64_t>(
+                          detail.signal < 0 ? 0 : detail.signal));
+    top.key("exitStatus");
+    out += std::to_string(detail.exitStatus);
+    top.u64("lastCycle", detail.lastCycle);
+    top.u64("attempts", detail.attempts);
+    top.str("stderrTail", detail.stderrTail);
     top.close();
     return out;
 }

@@ -53,8 +53,41 @@ struct StatsMeta
 std::string statsJson(const StatsMeta &meta,
                       const uarch::SimResult &res);
 
+/**
+ * Structured failure description for errorJson: how a run died, in
+ * plain strings/integers so this library needs nothing from src/sim
+ * (sim::RunError converts into one of these).
+ */
+struct ErrorDetail
+{
+    /** Error-class registry name (e.g. "crash", "timeout"). */
+    std::string cls;
+
+    /** Death signal (process-isolated runs; 0 = none). */
+    int signal = 0;
+
+    /** Child exit status (-1 = did not exit normally / unknown). */
+    int exitStatus = -1;
+
+    /** Last simulated cycle observed before the failure (0 = unknown). */
+    uint64_t lastCycle = 0;
+
+    /** Execution attempts made, including retries. */
+    uint64_t attempts = 1;
+
+    /** Tail of the failed run's captured stderr ("" = none). */
+    std::string stderrTail;
+};
+
 /** Serialize a failed run ({"workload":...,"error":...}). */
 std::string errorJson(const StatsMeta &meta, const std::string &error);
+
+/** Serialize a failed run with the structured failure fields. */
+std::string errorJson(const StatsMeta &meta, const std::string &error,
+                      const ErrorDetail &detail);
+
+/** JSON string escape (exported for callers composing JSON lines). */
+std::string jsonEscape(const std::string &s);
 
 } // namespace mg::trace
 

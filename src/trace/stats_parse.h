@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Parser for the deterministic stats JSON emitted by
+ * trace::statsJson / trace::errorJson: reconstructs the StatsMeta and
+ * uarch::SimResult a line was serialized from.
+ *
+ * This is the wire format of the process-isolated runner (the child
+ * marshals its result over a pipe as one stats line) and of the batch
+ * journal (`mgsim batch --journal/--resume`), so the parse must be
+ * *faithful*: every double statsJson emits is derived from integer
+ * counters, hence
+ *
+ *     statsJson(parse(line)) == line        (byte-identical)
+ *
+ * for any line statsJson produced.  The round trip is enforced by
+ * tests/trace/stats_parse_test.cc.
+ */
+
+#ifndef MG_TRACE_STATS_PARSE_H
+#define MG_TRACE_STATS_PARSE_H
+
+#include <string>
+
+#include "trace/stats_json.h"
+#include "uarch/sim_stats.h"
+
+namespace mg::trace
+{
+
+/** One decoded stats (or error) line. */
+struct ParsedStats
+{
+    StatsMeta meta;
+    uarch::SimResult sim;
+
+    /** True if the line was an errorJson record. */
+    bool isError = false;
+
+    /** Error message (errorJson lines). */
+    std::string error;
+
+    /** Structured error fields (errorJson lines; defaults if absent). */
+    ErrorDetail detail;
+};
+
+/**
+ * Decode one line produced by statsJson() or errorJson().
+ *
+ * @return "" on success, else a description of the first problem
+ *         (malformed JSON, missing key, non-integer counter).
+ */
+std::string parseStatsJson(const std::string &line, ParsedStats &out);
+
+} // namespace mg::trace
+
+#endif // MG_TRACE_STATS_PARSE_H

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * The batch journal (sim/journal.h): run-key derivation, append/load
+ * round trips, and corruption tolerance — a truncated final line or
+ * garbage bytes must be detected and dropped so a resume continues
+ * from the last valid entry (docs/ROBUSTNESS.md).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "sim/experiment.h"
+#include "sim/journal.h"
+#include "trace/stats_json.h"
+
+namespace mg::sim::journal
+{
+namespace
+{
+
+using minigraph::SelectorKind;
+
+std::string
+tmpPath(const std::string &name)
+{
+    return ::testing::TempDir() + "mg_journal_" + name + ".log";
+}
+
+/** A request for key-derivation tests. */
+RunRequest
+request(const std::string &workload, const std::string &config,
+        std::optional<SelectorKind> sel = std::nullopt)
+{
+    RunRequest req;
+    req.workload = *workloads::findWorkload(workload);
+    req.config = *uarch::configFromName(config);
+    req.selector = sel;
+    return req;
+}
+
+/** One real run + its journal-ready stats line. */
+std::pair<RunRequest, std::string>
+realEntry()
+{
+    RunRequest req = request("crc32.0", "reduced",
+                             SelectorKind::StructAll);
+    ProgramContext ctx(req.workload);
+    RunResult r = ctx.run(req);
+    EXPECT_TRUE(r.ok);
+    return {req, trace::statsJson(metaForRun(req, r), r.sim)};
+}
+
+TEST(JournalTest, RunKeyDistinguishesRequests)
+{
+    std::string base = runKey(request("crc32.0", "reduced"));
+    EXPECT_NE(base, runKey(request("bitcount.0", "reduced")));
+    EXPECT_NE(base, runKey(request("crc32.0", "full")));
+    EXPECT_NE(base, runKey(request("crc32.0", "reduced",
+                                   SelectorKind::StructAll)));
+
+    RunRequest alt = request("crc32.0", "reduced");
+    alt.altInput = true;
+    EXPECT_NE(base, runKey(alt));
+
+    RunRequest cross = request("crc32.0", "reduced",
+                               SelectorKind::SlackProfile);
+    RunRequest self = cross;
+    cross.profileFromAltInput = true;
+    EXPECT_NE(runKey(self), runKey(cross));
+
+    RunRequest budget = request("crc32.0", "reduced");
+    budget.templateBudget = 8;
+    EXPECT_NE(base, runKey(budget));
+}
+
+TEST(JournalTest, RunKeyIsFramingSafe)
+{
+    // Keys are the journal's first field (tab-delimited) and the
+    // fault-spec match text (':' / '!' / '@' delimited): they must
+    // never contain those characters.
+    for (const auto &key :
+         {runKey(request("crc32.0", "reduced")),
+          runKey(request("gcc_like.2", "full",
+                         SelectorKind::SlackProfile))}) {
+        EXPECT_EQ(key.find('\t'), std::string::npos) << key;
+        EXPECT_EQ(key.find('\n'), std::string::npos) << key;
+        EXPECT_EQ(key.find(':'), std::string::npos) << key;
+        EXPECT_EQ(key.find('!'), std::string::npos) << key;
+        EXPECT_EQ(key.find('@'), std::string::npos) << key;
+    }
+}
+
+TEST(JournalTest, AppendLoadRoundTrip)
+{
+    auto [req, line] = realEntry();
+    std::string path = tmpPath("roundtrip");
+    std::remove(path.c_str());
+
+    Writer w;
+    ASSERT_EQ(w.open(path), "");
+    ASSERT_TRUE(w.isOpen());
+    w.append(runKey(req), line);
+    w.append("other|key", line);
+
+    LoadResult loaded = load(path);
+    EXPECT_TRUE(loaded.existed);
+    EXPECT_EQ(loaded.dropped, 0u);
+    ASSERT_EQ(loaded.entries.size(), 2u);
+    EXPECT_EQ(loaded.entries[runKey(req)], line);
+    std::remove(path.c_str());
+}
+
+TEST(JournalTest, MissingFileIsEmptyNotError)
+{
+    LoadResult loaded = load(tmpPath("does_not_exist"));
+    EXPECT_FALSE(loaded.existed);
+    EXPECT_EQ(loaded.entries.size(), 0u);
+    EXPECT_EQ(loaded.dropped, 0u);
+}
+
+TEST(JournalTest, DuplicateKeyLastWins)
+{
+    auto [req, line] = realEntry();
+    std::string path = tmpPath("dup");
+    std::remove(path.c_str());
+    {
+        Writer w;
+        ASSERT_EQ(w.open(path), "");
+        w.append("k", line);
+        w.append("k", line); // re-run of the same job
+    }
+    LoadResult loaded = load(path);
+    EXPECT_EQ(loaded.entries.size(), 1u);
+    EXPECT_EQ(loaded.dropped, 0u);
+    EXPECT_EQ(loaded.entries["k"], line);
+    std::remove(path.c_str());
+}
+
+TEST(JournalTest, TruncatedFinalLineIsDropped)
+{
+    auto [req, line] = realEntry();
+    std::string path = tmpPath("trunc");
+    std::remove(path.c_str());
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "good\t" << line << "\n";
+        // A batch process SIGKILLed mid-write leaves a partial line
+        // with no trailing newline.
+        out << "half\t" << line.substr(0, line.size() / 2);
+    }
+    LoadResult loaded = load(path);
+    EXPECT_EQ(loaded.entries.size(), 1u);
+    EXPECT_EQ(loaded.dropped, 1u);
+    EXPECT_NE(loaded.warning.find("truncated"), std::string::npos)
+        << loaded.warning;
+    EXPECT_EQ(loaded.entries.count("good"), 1u);
+    std::remove(path.c_str());
+}
+
+TEST(JournalTest, GarbageBytesAreDroppedOthersSurvive)
+{
+    auto [req, line] = realEntry();
+    std::string path = tmpPath("garbage");
+    std::remove(path.c_str());
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "a\t" << line << "\n";
+        out << "\x01\x02\xff binary garbage, no tab\n";
+        out << "b\tnot a stats json line\n";
+        out << "c\t" << line << "\n";
+    }
+    LoadResult loaded = load(path);
+    EXPECT_EQ(loaded.entries.size(), 2u);
+    EXPECT_EQ(loaded.dropped, 2u);
+    EXPECT_FALSE(loaded.warning.empty());
+    EXPECT_EQ(loaded.entries.count("a"), 1u);
+    EXPECT_EQ(loaded.entries.count("c"), 1u);
+    std::remove(path.c_str());
+}
+
+TEST(JournalTest, ErrorRecordsAreNotReplayable)
+{
+    // Only successful runs may be replayed: an error record in the
+    // journal (hand-written or from an older format) must be skipped
+    // so the run re-executes on resume.
+    trace::StatsMeta meta;
+    meta.workload = "w";
+    meta.config = "c";
+    meta.selector = "none";
+    std::string err_line = trace::errorJson(meta, "boom");
+
+    std::string path = tmpPath("errors");
+    std::remove(path.c_str());
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "e\t" << err_line << "\n";
+    }
+    LoadResult loaded = load(path);
+    EXPECT_EQ(loaded.entries.size(), 0u);
+    EXPECT_EQ(loaded.dropped, 1u);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace mg::sim::journal

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * The stats-JSON parser (trace/stats_parse.h): byte-faithful round
+ * trips on real runs — the property the batch journal and the
+ * isolated-run wire format rely on — plus error-record parsing and
+ * malformed-input rejection.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.h"
+#include "trace/stats_json.h"
+#include "trace/stats_parse.h"
+
+namespace mg::trace
+{
+namespace
+{
+
+using minigraph::SelectorKind;
+
+/** One real run's stats-JSON line (with mini-graphs active). */
+std::string
+realStatsLine()
+{
+    auto spec = *workloads::findWorkload("crc32.0");
+    sim::ProgramContext ctx(spec);
+    sim::RunRequest req;
+    req.workload = spec;
+    req.config = *uarch::configFromName("reduced");
+    req.selector = SelectorKind::StructAll;
+    sim::RunResult r = ctx.run(req);
+    EXPECT_TRUE(r.ok);
+    return statsJson(sim::metaForRun(req, r), r.sim);
+}
+
+TEST(StatsParseTest, RoundTripIsByteIdentical)
+{
+    std::string line = realStatsLine();
+    ParsedStats parsed;
+    ASSERT_EQ(parseStatsJson(line, parsed), "");
+    EXPECT_FALSE(parsed.isError);
+    EXPECT_EQ(parsed.meta.workload, "crc32.0");
+    EXPECT_EQ(parsed.meta.config, "reduced-3w");
+    EXPECT_EQ(parsed.meta.selector, "struct-all");
+    EXPECT_GT(parsed.sim.cycles, 0u);
+
+    // The wire-format contract: re-serializing reproduces the exact
+    // bytes (every float in the stats JSON derives from integers).
+    EXPECT_EQ(statsJson(parsed.meta, parsed.sim), line);
+}
+
+TEST(StatsParseTest, RoundTripNoSelector)
+{
+    auto spec = *workloads::findWorkload("bitcount.0");
+    sim::ProgramContext ctx(spec);
+    sim::RunRequest req;
+    req.workload = spec;
+    req.config = *uarch::configFromName("full");
+    sim::RunResult r = ctx.run(req);
+    ASSERT_TRUE(r.ok);
+    std::string line = statsJson(sim::metaForRun(req, r), r.sim);
+
+    ParsedStats parsed;
+    ASSERT_EQ(parseStatsJson(line, parsed), "");
+    EXPECT_EQ(parsed.meta.selector, "none");
+    EXPECT_EQ(parsed.meta.templateNames.size(), 0u);
+    EXPECT_EQ(statsJson(parsed.meta, parsed.sim), line);
+}
+
+TEST(StatsParseTest, ErrorRecordRoundTrip)
+{
+    StatsMeta meta;
+    meta.workload = "w";
+    meta.config = "c";
+    meta.selector = "none";
+    ErrorDetail detail;
+    detail.cls = "crash";
+    detail.signal = 11;
+    detail.exitStatus = -1;
+    detail.lastCycle = 1234;
+    detail.attempts = 3;
+    detail.stderrTail = "boom\nline \"two\"";
+    std::string line =
+        errorJson(meta, "sandbox child died on signal 11", detail);
+
+    ParsedStats parsed;
+    ASSERT_EQ(parseStatsJson(line, parsed), "");
+    EXPECT_TRUE(parsed.isError);
+    EXPECT_EQ(parsed.error, "sandbox child died on signal 11");
+    EXPECT_EQ(parsed.detail.cls, "crash");
+    EXPECT_EQ(parsed.detail.signal, 11);
+    EXPECT_EQ(parsed.detail.exitStatus, -1);
+    EXPECT_EQ(parsed.detail.lastCycle, 1234u);
+    EXPECT_EQ(parsed.detail.attempts, 3u);
+    EXPECT_EQ(parsed.detail.stderrTail, "boom\nline \"two\"");
+    EXPECT_EQ(errorJson(parsed.meta, parsed.error, parsed.detail), line);
+}
+
+TEST(StatsParseTest, RejectsMalformedInput)
+{
+    ParsedStats parsed;
+    EXPECT_NE(parseStatsJson("", parsed), "");
+    EXPECT_NE(parseStatsJson("not json at all", parsed), "");
+    EXPECT_NE(parseStatsJson("{\"workload\":\"w\"", parsed), "");
+    EXPECT_NE(parseStatsJson("{}", parsed), "");
+    EXPECT_NE(parseStatsJson("[1,2,3]", parsed), "");
+
+    // A valid prefix with trailing garbage must not pass either.
+    std::string line = realStatsLine();
+    EXPECT_NE(parseStatsJson(line + "garbage", parsed), "");
+}
+
+TEST(StatsParseTest, RejectsTruncatedRealLine)
+{
+    std::string line = realStatsLine();
+    ParsedStats parsed;
+    // Chop the line at a few interior points: every prefix must fail.
+    for (size_t cut : {line.size() / 4, line.size() / 2,
+                       line.size() - 2}) {
+        EXPECT_NE(parseStatsJson(line.substr(0, cut), parsed), "")
+            << "prefix of " << cut << " bytes unexpectedly parsed";
+    }
+}
+
+} // namespace
+} // namespace mg::trace

@@ -5,6 +5,9 @@
  *   mgsim run <prog.s|workload> [--config NAME] [--selector NAME]
  *             [--jobs N] [--json]
  *   mgsim batch <jobs.txt|-> [--jobs N] [--json] [--progress]
+ *               [--isolate] [--timeout SEC] [--retries N]
+ *               [--backoff SEC] [--journal FILE] [--resume]
+ *               [--inject-fault SPEC]
  *   mgsim trace <prog.s|workload> [--config NAME] [--selector NAME]
  *               [--out PREFIX] [--start N] [--end N]
  *   mgsim candidates <prog.s|workload>
@@ -32,6 +35,15 @@
  *
  * Jobs run through the parallel sim::Runner (pool size: --jobs, else
  * MG_JOBS, else all cores) and results print in submission order.
+ *
+ * Robustness (docs/ROBUSTNESS.md): with --isolate each run executes
+ * in a forked sandbox, so a crash/hang/OOM in one run degrades to a
+ * structured error while the rest of the batch completes.  --timeout
+ * (requires --isolate) SIGKILLs runaway runs; --retries re-runs
+ * transient failures with exponential --backoff; --journal appends
+ * each completed run's stats JSON so --resume can replay them after
+ * the batch process itself is killed.  Batch exit codes: 0 = all runs
+ * ok, 3 = partial failure, 1 = total failure, 2 = usage error.
  */
 
 #include <cstdio>
@@ -82,6 +94,9 @@ usage()
         "NAME]\n"
         "            [--jobs N] [--json]\n"
         "  mgsim batch <jobs.txt|-> [--jobs N] [--json] [--progress]\n"
+        "              [--isolate] [--timeout SEC] [--retries N]\n"
+        "              [--backoff SEC] [--journal FILE] [--resume]\n"
+        "              [--inject-fault SPEC]\n"
         "  mgsim trace <prog.s|workload> [--config NAME] [--selector "
         "NAME]\n"
         "              [--out PREFIX] [--start N] [--end N]\n"
@@ -97,9 +112,27 @@ usage()
         "batch job lines: <workload> <config> <selector|none>\n"
         "                 [profile=<config>] [budget=<n>] [alt] "
         "[cross-input]\n"
-        "--jobs N   worker threads (default: MG_JOBS, else all cores)\n"
-        "--json     machine-readable results (one JSON object per "
-        "job)\n"
+        "--jobs N         worker threads, 1..1024 (default: MG_JOBS, "
+        "else all cores)\n"
+        "--json           machine-readable results (one JSON object "
+        "per job)\n"
+        "--isolate        run each job in a forked sandbox (fault "
+        "containment)\n"
+        "--timeout SEC    per-run watchdog, SIGKILL on expiry "
+        "(requires --isolate)\n"
+        "--retries N      re-run transient failures up to N extra "
+        "times\n"
+        "--backoff SEC    base retry backoff, doubling per attempt "
+        "(default 0.05)\n"
+        "--journal FILE   append completed runs (key + stats JSON) to "
+        "FILE\n"
+        "--resume         replay completed runs from --journal instead "
+        "of re-running\n"
+        "--inject-fault SPEC  inject a fault: "
+        "crash|hang|oom|corrupt[@cycle][:match][!attempts]\n"
+        "\n"
+        "batch exit codes: 0 all ok, 3 partial failure, 1 total "
+        "failure, 2 usage\n"
         "\n"
         "configs: %s\n"
         "selectors: none %s\n",
@@ -211,13 +244,25 @@ struct CommonFlags
     bool json = false;
     bool progress = false;
 
+    // mgsim batch robustness (docs/ROBUSTNESS.md)
+    bool isolate = false;
+    double timeoutSec = 0.0;
+    unsigned retries = 0;
+    double backoffSec = 0.05;
+    std::string journal;
+    bool resume = false;
+    std::string injectFault;
+
     // mgsim trace
     std::string out = "mgtrace";
     uint64_t start = 0;
     uint64_t end = UINT64_MAX;
 };
 
-/** Parse trailing flags; returns false on an unknown flag. */
+/**
+ * Parse trailing flags; returns false on an unknown flag or a bad
+ * value (specific complaint printed to stderr before the usage text).
+ */
 bool
 parseFlags(int argc, char **argv, int start, CommonFlags &out)
 {
@@ -229,9 +274,59 @@ parseFlags(int argc, char **argv, int start, CommonFlags &out)
             out.selector = argv[++i];
         } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
             long v = std::atol(argv[++i]);
-            if (v <= 0)
+            if (v <= 0 || v > 1024) {
+                std::fprintf(stderr,
+                             "mgsim: --jobs %s: worker count must be a "
+                             "positive integer in 1..1024 (omit the "
+                             "flag for the default: MG_JOBS, else all "
+                             "cores)\n",
+                             argv[i]);
                 return false;
+            }
             out.jobs = static_cast<unsigned>(v);
+        } else if (std::strcmp(argv[i], "--isolate") == 0) {
+            out.isolate = true;
+        } else if (std::strcmp(argv[i], "--timeout") == 0 &&
+                   i + 1 < argc) {
+            double v = std::atof(argv[++i]);
+            if (v <= 0) {
+                std::fprintf(stderr,
+                             "mgsim: --timeout %s: want a positive "
+                             "number of seconds\n",
+                             argv[i]);
+                return false;
+            }
+            out.timeoutSec = v;
+        } else if (std::strcmp(argv[i], "--retries") == 0 &&
+                   i + 1 < argc) {
+            long v = std::atol(argv[++i]);
+            if (v < 0 || v > 100) {
+                std::fprintf(stderr,
+                             "mgsim: --retries %s: want an integer in "
+                             "0..100\n",
+                             argv[i]);
+                return false;
+            }
+            out.retries = static_cast<unsigned>(v);
+        } else if (std::strcmp(argv[i], "--backoff") == 0 &&
+                   i + 1 < argc) {
+            double v = std::atof(argv[++i]);
+            if (v < 0) {
+                std::fprintf(stderr,
+                             "mgsim: --backoff %s: want a non-negative "
+                             "number of seconds\n",
+                             argv[i]);
+                return false;
+            }
+            out.backoffSec = v;
+        } else if (std::strcmp(argv[i], "--journal") == 0 &&
+                   i + 1 < argc) {
+            out.journal = argv[++i];
+        } else if (std::strcmp(argv[i], "--resume") == 0) {
+            out.resume = true;
+        } else if (std::strcmp(argv[i], "--inject-fault") == 0 &&
+                   i + 1 < argc) {
+            out.injectFault = argv[++i];
         } else if (std::strcmp(argv[i], "--budget") == 0 &&
                    i + 1 < argc) {
             long v = std::atol(argv[++i]);
@@ -484,33 +579,83 @@ cmdBatch(const std::string &list_arg, const CommonFlags &flags)
         return 2;
     }
 
+    if (flags.timeoutSec > 0 && !flags.isolate) {
+        std::fprintf(stderr,
+                     "mgsim: --timeout requires --isolate (an "
+                     "in-process run cannot be killed safely)\n");
+        return 2;
+    }
+    if (flags.resume && flags.journal.empty()) {
+        std::fprintf(stderr, "mgsim: --resume requires --journal\n");
+        return 2;
+    }
+
     sim::Runner::Options opts;
     opts.jobs = flags.jobs;
     opts.progress = flags.progress;
+    opts.isolate = flags.isolate;
+    opts.timeoutSec = flags.timeoutSec;
+    opts.retries = flags.retries;
+    opts.backoffSec = flags.backoffSec;
+    opts.journalPath = flags.journal;
+    opts.resume = flags.resume;
+    if (!flags.injectFault.empty()) {
+        std::string err;
+        opts.fault = sim::parseFaultSpec(flags.injectFault, err);
+        if (!opts.fault) {
+            std::fprintf(stderr, "mgsim: --inject-fault: %s\n",
+                         err.c_str());
+            return 2;
+        }
+    }
+
     sim::Runner runner(opts);
-    std::fprintf(stderr, "%zu jobs on %u threads\n", jobs.size(),
-                 runner.jobs());
+    std::fprintf(stderr, "%zu jobs on %u threads%s\n", jobs.size(),
+                 runner.jobs(), flags.isolate ? " (isolated)" : "");
     auto results = runner.run(jobs, "batch");
 
-    int rc = 0;
     for (size_t i = 0; i < results.size(); ++i) {
         const auto &req = jobs[i];
         const auto &r = results[i];
         std::string wname =
             req.workload.name() + (req.altInput ? "#alt" : "");
-        if (!r.ok)
-            rc = 1;
+        std::string key = sim::journal::runKey(req);
         if (flags.json) {
-            printJson(req, wname, r);
+            // Splice "status" and "key" in front of the stats-JSON
+            // payload so the rest of the line keeps the exact bytes
+            // the journal / isolated child produced.
+            std::string payload;
+            if (r.ok) {
+                payload = r.statsJsonLine.empty()
+                              ? trace::statsJson(
+                                    sim::metaForRun(req, r, wname),
+                                    r.sim)
+                              : r.statsJsonLine;
+            } else {
+                payload = trace::errorJson(
+                    sim::metaForRun(req, r, wname), r.error,
+                    sim::errorDetailOf(r.err));
+            }
+            std::printf("{\"status\":\"%s\",\"key\":\"%s\",%s\n",
+                        r.ok ? "ok" : "error",
+                        trace::jsonEscape(key).c_str(),
+                        payload.c_str() + 1);
             continue;
         }
         if (!r.ok) {
-            std::printf("%-18s %-10s %-22s ERROR %s\n", wname.c_str(),
-                        req.config.name.c_str(),
+            std::string attempts_note;
+            if (r.err.attempts > 1) {
+                attempts_note = " (after " +
+                                std::to_string(r.err.attempts) +
+                                " attempts)";
+            }
+            std::printf("%-18s %-10s %-22s ERROR [%s] %s%s\n",
+                        wname.c_str(), req.config.name.c_str(),
                         req.selector
                             ? minigraph::nameOf(*req.selector).c_str()
                             : "none",
-                        r.error.c_str());
+                        sim::errorClassName(r.err.cls),
+                        r.error.c_str(), attempts_note.c_str());
             continue;
         }
         std::printf("%-18s %-10s %-22s cycles=%-10llu ipc=%-6s "
@@ -524,7 +669,25 @@ cmdBatch(const std::string &list_arg, const CommonFlags &flags)
                     fmtDouble(r.coverage(), 3).c_str(), r.templatesUsed,
                     r.instances);
     }
-    return rc;
+
+    sim::BatchSummary sum = sim::summarize(results);
+    std::fprintf(stderr,
+                 "batch: %zu/%zu ok, %zu failed (%zu retried, %zu "
+                 "timed out, %zu replayed from journal)\n",
+                 sum.ok, sum.total, sum.failed, sum.retried,
+                 sum.timedOut, sum.replayed);
+    if (flags.json) {
+        std::printf("{\"batch\":{\"total\":%zu,\"ok\":%zu,"
+                    "\"failed\":%zu,\"retried\":%zu,\"timedOut\":%zu,"
+                    "\"replayed\":%zu}}\n",
+                    sum.total, sum.ok, sum.failed, sum.retried,
+                    sum.timedOut, sum.replayed);
+    }
+
+    // 0 = every run succeeded, 3 = partial failure, 1 = nothing ran.
+    if (sum.failed == 0)
+        return 0;
+    return sum.ok ? 3 : 1;
 }
 
 int
