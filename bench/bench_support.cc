@@ -6,6 +6,7 @@
 #include <cstdlib>
 
 #include "common/stats_util.h"
+#include "sim/batch_options.h"
 
 namespace mg::bench
 {
@@ -72,19 +73,9 @@ benchPrograms()
 sim::Runner::Options
 runnerOptions()
 {
-    sim::Runner::Options opts;
-    if (const char *p = std::getenv("MG_PROGRESS"))
-        opts.progress = p[0] == '1';
-    if (const char *p = std::getenv("MG_ISOLATE"))
-        opts.isolate = p[0] == '1';
-    if (const char *p = std::getenv("MG_TIMEOUT"))
-        opts.timeoutSec = std::atof(p);
-    if (const char *p = std::getenv("MG_RETRIES")) {
-        long v = std::atol(p);
-        if (v > 0)
-            opts.retries = static_cast<unsigned>(v);
-    }
-    return opts;
+    // One parse point for the whole batch-execution option surface
+    // (MG_JOBS, MG_ISOLATE, MG_TIMEOUT, ...): sim::BatchOptions.
+    return sim::BatchOptions::fromEnv().runnerOptions();
 }
 
 double

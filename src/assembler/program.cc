@@ -7,14 +7,6 @@
 namespace mg::assembler
 {
 
-const isa::Instruction &
-Program::at(isa::Addr pc) const
-{
-    mg_assert(pc < code.size(), "pc %u out of range (program '%s', %zu "
-              "instructions)", pc, name.c_str(), code.size());
-    return code[pc];
-}
-
 std::string
 Program::listing() const
 {

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common/logging.h"
 #include "isa/instruction.h"
 
 namespace mg::assembler
@@ -51,8 +52,18 @@ struct Program
     /** Number of instructions. */
     size_t size() const { return code.size(); }
 
-    /** Bounds-checked instruction access. */
-    const isa::Instruction &at(isa::Addr pc) const;
+    /**
+     * Bounds-checked instruction access.  Inline: fetch, dispatch and
+     * issue all read instructions through this accessor every cycle.
+     */
+    const isa::Instruction &
+    at(isa::Addr pc) const
+    {
+        mg_assert(pc < code.size(),
+                  "pc %u out of range (program '%s', %zu instructions)",
+                  pc, name.c_str(), code.size());
+        return code[pc];
+    }
 
     /** Full listing with PCs and labels (debugging aid). */
     std::string listing() const;

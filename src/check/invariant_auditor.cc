@@ -248,12 +248,12 @@ InvariantAuditor::auditFull(const Core &core, uint64_t cycle)
                      "inputs (max %u) (cycle %llu)",
                      static_cast<unsigned long long>(s), d.numSrcs,
                      isa::kMaxMgInputs, cyc);
-            mg_check(d.ex.constituents.size() == t.size(),
-                     "[mg-slots] handle seq %llu records %zu "
+            mg_check(d.ex.numConstituents == t.size(),
+                     "[mg-slots] handle seq %llu records %u "
                      "constituent executions for a %u-constituent "
                      "template (cycle %llu)",
                      static_cast<unsigned long long>(s),
-                     d.ex.constituents.size(), t.size(), cyc);
+                     d.ex.numConstituents, t.size(), cyc);
             mg_check((d.isLoadOp || d.isStoreOp) == t.hasMem &&
                          !(d.isLoadOp && d.isStoreOp),
                      "[mg-slots] handle seq %llu memory slot usage "

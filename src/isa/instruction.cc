@@ -5,42 +5,6 @@
 namespace mg::isa
 {
 
-Instruction::SrcList
-Instruction::srcRegs() const
-{
-    SrcList out;
-    auto push = [&out](uint8_t r) {
-        if (r != kZeroReg)
-            out.regs[out.count++] = r;
-    };
-    if (op == Opcode::MGHANDLE) {
-        if (numSrcs >= 1)
-            push(rs1);
-        if (numSrcs >= 2)
-            push(rs2);
-        if (numSrcs >= 3)
-            push(rs3);
-        return out;
-    }
-    const OpInfo &info = opInfo(op);
-    if (info.readsRs1)
-        push(rs1);
-    if (info.readsRs2)
-        push(rs2);
-    return out;
-}
-
-int
-Instruction::destReg() const
-{
-    if (op == Opcode::MGHANDLE)
-        return (hasDest && rd != kZeroReg) ? rd : -1;
-    const OpInfo &info = opInfo(op);
-    if (!info.writesRd || rd == kZeroReg)
-        return -1;
-    return rd;
-}
-
 std::string
 disassemble(const Instruction &inst)
 {

@@ -63,11 +63,47 @@ struct Instruction
         uint8_t count = 0;
     };
 
-    /** Collect this instruction's source registers (skipping r0). */
-    SrcList srcRegs() const;
+    /**
+     * Collect this instruction's source registers (skipping r0).
+     * Inline: rename and wakeup consult this for every in-flight
+     * instruction every cycle.
+     */
+    SrcList
+    srcRegs() const
+    {
+        SrcList out;
+        auto push = [&out](uint8_t r) {
+            if (r != kZeroReg)
+                out.regs[out.count++] = r;
+        };
+        if (op == Opcode::MGHANDLE) {
+            if (numSrcs >= 1)
+                push(rs1);
+            if (numSrcs >= 2)
+                push(rs2);
+            if (numSrcs >= 3)
+                push(rs3);
+            return out;
+        }
+        const OpInfo &info = opInfo(op);
+        if (info.readsRs1)
+            push(rs1);
+        if (info.readsRs2)
+            push(rs2);
+        return out;
+    }
 
     /** Destination register, or -1 if none (or r0). */
-    int destReg() const;
+    int
+    destReg() const
+    {
+        if (op == Opcode::MGHANDLE)
+            return (hasDest && rd != kZeroReg) ? rd : -1;
+        const OpInfo &info = opInfo(op);
+        if (!info.writesRd || rd == kZeroReg)
+            return -1;
+        return rd;
+    }
 
     /** Execution class (looked up from the opcode table). */
     ExecClass execClass() const { return opInfo(op).execClass; }

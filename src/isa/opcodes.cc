@@ -1,9 +1,6 @@
 #include "isa/opcodes.h"
 
-#include <array>
 #include <unordered_map>
-
-#include "common/logging.h"
 
 namespace mg::isa
 {
@@ -11,80 +8,20 @@ namespace mg::isa
 namespace
 {
 
-constexpr std::array<OpInfo, kNumOpcodes> kOpTable = {{
-    // mnemonic  format          execClass              lat  rs1    rs2    rd
-    {"add",   Format::RRR,    ExecClass::IntAlu,      1, true,  true,  true},
-    {"sub",   Format::RRR,    ExecClass::IntAlu,      1, true,  true,  true},
-    {"and",   Format::RRR,    ExecClass::IntAlu,      1, true,  true,  true},
-    {"or",    Format::RRR,    ExecClass::IntAlu,      1, true,  true,  true},
-    {"xor",   Format::RRR,    ExecClass::IntAlu,      1, true,  true,  true},
-    {"sll",   Format::RRR,    ExecClass::IntAlu,      1, true,  true,  true},
-    {"srl",   Format::RRR,    ExecClass::IntAlu,      1, true,  true,  true},
-    {"sra",   Format::RRR,    ExecClass::IntAlu,      1, true,  true,  true},
-    {"slt",   Format::RRR,    ExecClass::IntAlu,      1, true,  true,  true},
-    {"sltu",  Format::RRR,    ExecClass::IntAlu,      1, true,  true,  true},
-    {"addi",  Format::RRI,    ExecClass::IntAlu,      1, true,  false, true},
-    {"andi",  Format::RRI,    ExecClass::IntAlu,      1, true,  false, true},
-    {"ori",   Format::RRI,    ExecClass::IntAlu,      1, true,  false, true},
-    {"xori",  Format::RRI,    ExecClass::IntAlu,      1, true,  false, true},
-    {"slli",  Format::RRI,    ExecClass::IntAlu,      1, true,  false, true},
-    {"srli",  Format::RRI,    ExecClass::IntAlu,      1, true,  false, true},
-    {"srai",  Format::RRI,    ExecClass::IntAlu,      1, true,  false, true},
-    {"slti",  Format::RRI,    ExecClass::IntAlu,      1, true,  false, true},
-    {"sltiu", Format::RRI,    ExecClass::IntAlu,      1, true,  false, true},
-    {"li",    Format::RI,     ExecClass::IntAlu,      1, false, false, true},
-    {"mul",   Format::RRR,    ExecClass::IntComplex,  4, true,  true,  true},
-    {"muli",  Format::RRI,    ExecClass::IntComplex,  4, true,  false, true},
-    {"div",   Format::RRR,    ExecClass::IntComplex, 12, true,  true,  true},
-    {"rem",   Format::RRR,    ExecClass::IntComplex, 12, true,  true,  true},
-    {"lb",    Format::Load,   ExecClass::MemRead,     3, true,  false, true},
-    {"lbu",   Format::Load,   ExecClass::MemRead,     3, true,  false, true},
-    {"lh",    Format::Load,   ExecClass::MemRead,     3, true,  false, true},
-    {"lhu",   Format::Load,   ExecClass::MemRead,     3, true,  false, true},
-    {"lw",    Format::Load,   ExecClass::MemRead,     3, true,  false, true},
-    {"lwu",   Format::Load,   ExecClass::MemRead,     3, true,  false, true},
-    {"ld",    Format::Load,   ExecClass::MemRead,     3, true,  false, true},
-    {"sb",    Format::Store,  ExecClass::MemWrite,    1, true,  true,  false},
-    {"sh",    Format::Store,  ExecClass::MemWrite,    1, true,  true,  false},
-    {"sw",    Format::Store,  ExecClass::MemWrite,    1, true,  true,  false},
-    {"sd",    Format::Store,  ExecClass::MemWrite,    1, true,  true,  false},
-    {"beq",   Format::Branch, ExecClass::Control,     1, true,  true,  false},
-    {"bne",   Format::Branch, ExecClass::Control,     1, true,  true,  false},
-    {"blt",   Format::Branch, ExecClass::Control,     1, true,  true,  false},
-    {"bge",   Format::Branch, ExecClass::Control,     1, true,  true,  false},
-    {"bltu",  Format::Branch, ExecClass::Control,     1, true,  true,  false},
-    {"bgeu",  Format::Branch, ExecClass::Control,     1, true,  true,  false},
-    {"j",     Format::JTarget,ExecClass::Control,     1, false, false, false},
-    {"jal",   Format::JLink,  ExecClass::Control,     1, false, false, true},
-    {"jr",    Format::JReg,   ExecClass::Control,     1, true,  false, false},
-    {"jalr",  Format::JLinkReg,ExecClass::Control,    1, true,  false, true},
-    {"nop",   Format::None,   ExecClass::Nop,         1, false, false, false},
-    {"halt",  Format::None,   ExecClass::Nop,         1, false, false, false},
-    {"mghandle", Format::Handle, ExecClass::MgHandle, 1, false, false, false},
-    {"elided",   Format::None,   ExecClass::Nop,      1, false, false, false},
-}};
-
 const std::unordered_map<std::string_view, Opcode> &
 mnemonicMap()
 {
     static const auto *map = [] {
         auto *m = new std::unordered_map<std::string_view, Opcode>();
         for (size_t i = 0; i < kNumOpcodes; ++i)
-            m->emplace(kOpTable[i].mnemonic, static_cast<Opcode>(i));
+            m->emplace(detail::kOpTable[i].mnemonic,
+                       static_cast<Opcode>(i));
         return m;
     }();
     return *map;
 }
 
 } // namespace
-
-const OpInfo &
-opInfo(Opcode op)
-{
-    mg_assert(static_cast<size_t>(op) < kNumOpcodes, "bad opcode %d",
-              static_cast<int>(op));
-    return kOpTable[static_cast<size_t>(op)];
-}
 
 std::string_view
 mnemonic(Opcode op)
@@ -99,30 +36,6 @@ parseMnemonic(std::string_view s)
     if (it == mnemonicMap().end())
         return std::nullopt;
     return it->second;
-}
-
-bool
-isCondBranch(Opcode op)
-{
-    return op >= Opcode::BEQ && op <= Opcode::BGEU;
-}
-
-bool
-isControl(Opcode op)
-{
-    return opInfo(op).execClass == ExecClass::Control;
-}
-
-bool
-isLoad(Opcode op)
-{
-    return opInfo(op).execClass == ExecClass::MemRead;
-}
-
-bool
-isStore(Opcode op)
-{
-    return opInfo(op).execClass == ExecClass::MemWrite;
 }
 
 } // namespace mg::isa

@@ -97,8 +97,76 @@ struct OpInfo
     bool writesRd;
 };
 
+namespace detail
+{
+
+/**
+ * The opcode metadata table.  Lives in the header so the predicates
+ * below fold to a table load (or a range check) at every call site:
+ * the simulator consults them for every instruction in every cycle,
+ * which makes an out-of-line call per query a measurable cost.
+ */
+constexpr OpInfo kOpTable[kNumOpcodes] = {
+    // mnemonic  format          execClass              lat  rs1    rs2    rd
+    {"add",   Format::RRR,    ExecClass::IntAlu,      1, true,  true,  true},
+    {"sub",   Format::RRR,    ExecClass::IntAlu,      1, true,  true,  true},
+    {"and",   Format::RRR,    ExecClass::IntAlu,      1, true,  true,  true},
+    {"or",    Format::RRR,    ExecClass::IntAlu,      1, true,  true,  true},
+    {"xor",   Format::RRR,    ExecClass::IntAlu,      1, true,  true,  true},
+    {"sll",   Format::RRR,    ExecClass::IntAlu,      1, true,  true,  true},
+    {"srl",   Format::RRR,    ExecClass::IntAlu,      1, true,  true,  true},
+    {"sra",   Format::RRR,    ExecClass::IntAlu,      1, true,  true,  true},
+    {"slt",   Format::RRR,    ExecClass::IntAlu,      1, true,  true,  true},
+    {"sltu",  Format::RRR,    ExecClass::IntAlu,      1, true,  true,  true},
+    {"addi",  Format::RRI,    ExecClass::IntAlu,      1, true,  false, true},
+    {"andi",  Format::RRI,    ExecClass::IntAlu,      1, true,  false, true},
+    {"ori",   Format::RRI,    ExecClass::IntAlu,      1, true,  false, true},
+    {"xori",  Format::RRI,    ExecClass::IntAlu,      1, true,  false, true},
+    {"slli",  Format::RRI,    ExecClass::IntAlu,      1, true,  false, true},
+    {"srli",  Format::RRI,    ExecClass::IntAlu,      1, true,  false, true},
+    {"srai",  Format::RRI,    ExecClass::IntAlu,      1, true,  false, true},
+    {"slti",  Format::RRI,    ExecClass::IntAlu,      1, true,  false, true},
+    {"sltiu", Format::RRI,    ExecClass::IntAlu,      1, true,  false, true},
+    {"li",    Format::RI,     ExecClass::IntAlu,      1, false, false, true},
+    {"mul",   Format::RRR,    ExecClass::IntComplex,  4, true,  true,  true},
+    {"muli",  Format::RRI,    ExecClass::IntComplex,  4, true,  false, true},
+    {"div",   Format::RRR,    ExecClass::IntComplex, 12, true,  true,  true},
+    {"rem",   Format::RRR,    ExecClass::IntComplex, 12, true,  true,  true},
+    {"lb",    Format::Load,   ExecClass::MemRead,     3, true,  false, true},
+    {"lbu",   Format::Load,   ExecClass::MemRead,     3, true,  false, true},
+    {"lh",    Format::Load,   ExecClass::MemRead,     3, true,  false, true},
+    {"lhu",   Format::Load,   ExecClass::MemRead,     3, true,  false, true},
+    {"lw",    Format::Load,   ExecClass::MemRead,     3, true,  false, true},
+    {"lwu",   Format::Load,   ExecClass::MemRead,     3, true,  false, true},
+    {"ld",    Format::Load,   ExecClass::MemRead,     3, true,  false, true},
+    {"sb",    Format::Store,  ExecClass::MemWrite,    1, true,  true,  false},
+    {"sh",    Format::Store,  ExecClass::MemWrite,    1, true,  true,  false},
+    {"sw",    Format::Store,  ExecClass::MemWrite,    1, true,  true,  false},
+    {"sd",    Format::Store,  ExecClass::MemWrite,    1, true,  true,  false},
+    {"beq",   Format::Branch, ExecClass::Control,     1, true,  true,  false},
+    {"bne",   Format::Branch, ExecClass::Control,     1, true,  true,  false},
+    {"blt",   Format::Branch, ExecClass::Control,     1, true,  true,  false},
+    {"bge",   Format::Branch, ExecClass::Control,     1, true,  true,  false},
+    {"bltu",  Format::Branch, ExecClass::Control,     1, true,  true,  false},
+    {"bgeu",  Format::Branch, ExecClass::Control,     1, true,  true,  false},
+    {"j",     Format::JTarget,ExecClass::Control,     1, false, false, false},
+    {"jal",   Format::JLink,  ExecClass::Control,     1, false, false, true},
+    {"jr",    Format::JReg,   ExecClass::Control,     1, true,  false, false},
+    {"jalr",  Format::JLinkReg,ExecClass::Control,    1, true,  false, true},
+    {"nop",   Format::None,   ExecClass::Nop,         1, false, false, false},
+    {"halt",  Format::None,   ExecClass::Nop,         1, false, false, false},
+    {"mghandle", Format::Handle, ExecClass::MgHandle, 1, false, false, false},
+    {"elided",   Format::None,   ExecClass::Nop,      1, false, false, false},
+};
+
+} // namespace detail
+
 /** Look up the metadata for an opcode. */
-const OpInfo &opInfo(Opcode op);
+inline const OpInfo &
+opInfo(Opcode op)
+{
+    return detail::kOpTable[static_cast<size_t>(op)];
+}
 
 /** Mnemonic string for an opcode. */
 std::string_view mnemonic(Opcode op);
@@ -107,16 +175,32 @@ std::string_view mnemonic(Opcode op);
 std::optional<Opcode> parseMnemonic(std::string_view s);
 
 /** True for conditional branches (BEQ..BGEU). */
-bool isCondBranch(Opcode op);
+inline bool
+isCondBranch(Opcode op)
+{
+    return op >= Opcode::BEQ && op <= Opcode::BGEU;
+}
 
 /** True for any control transfer (branches, jumps). */
-bool isControl(Opcode op);
+inline bool
+isControl(Opcode op)
+{
+    return opInfo(op).execClass == ExecClass::Control;
+}
 
 /** True for loads. */
-bool isLoad(Opcode op);
+inline bool
+isLoad(Opcode op)
+{
+    return opInfo(op).execClass == ExecClass::MemRead;
+}
 
 /** True for stores. */
-bool isStore(Opcode op);
+inline bool
+isStore(Opcode op)
+{
+    return opInfo(op).execClass == ExecClass::MemWrite;
+}
 
 /** True for any memory op. */
 inline bool isMem(Opcode op) { return isLoad(op) || isStore(op); }

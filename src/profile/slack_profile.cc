@@ -28,12 +28,12 @@ SlackProfiler::onIssue(const uarch::IssueObservation &obs)
         const uarch::SrcObservation &s = obs.srcs[i];
         if (s.producerPc == isa::kNoAddr)
             continue;
-        auto it = producers.find(s.producerSeq);
-        if (it == producers.end())
+        Producer *prod = producers.find(s.producerSeq);
+        if (!prod)
             continue;
         double sample = static_cast<double>(obs.issueCycle) -
                         static_cast<double>(s.readyCycle);
-        it->second.minSlack = std::min(it->second.minSlack, sample);
+        prod->minSlack = std::min(prod->minSlack, sample);
     }
 
     // --- producer side: open a record for this value/store ---
@@ -43,14 +43,14 @@ SlackProfiler::onIssue(const uarch::IssueObservation &obs)
         p.readyCycle = obs.readyCycle;
         p.isStore = obs.isStore;
         p.storeExecDone = obs.storeExecDone;
-        producers[obs.seq] = p;
+        producers.get(obs.seq) = p;
         if (producers.size() > kProducerHighWater)
             pruneProducers();
     }
 
     // --- branch slack (direct, needs no resolution) ---
     if (obs.isCondBranch) {
-        Accumulator &a = acc[obs.pc];
+        Accumulator &a = accAt(obs.pc);
         a.branchSlackSum += obs.mispredicted ? 0.0 : kSlackCap;
         ++a.branchSlackCount;
     }
@@ -69,7 +69,7 @@ SlackProfiler::onIssue(const uarch::IssueObservation &obs)
         pend.srcs[i].known = obs.srcs[i].producerPc != isa::kNoAddr;
     }
 
-    BbInstance &bb = instances[obs.bbInstance];
+    BbInstance &bb = instances.get(obs.bbInstance);
     if (obs.bbHead) {
         bb.headKnown = true;
         bb.headIssue = obs.issueCycle;
@@ -88,12 +88,7 @@ SlackProfiler::onIssue(const uarch::IssueObservation &obs)
             obs.bbInstance > kInstanceWindow
                 ? obs.bbInstance - kInstanceWindow
                 : 0;
-        for (auto it = instances.begin(); it != instances.end();) {
-            if (it->first < cutoff)
-                it = instances.erase(it);
-            else
-                ++it;
-        }
+        instances.pruneBelow(cutoff, [](BbInstance &) {});
     }
 }
 
@@ -110,7 +105,7 @@ SlackProfiler::resolveInstance(BbInstance &bb)
 void
 SlackProfiler::foldPending(const PendingIssue &p, uint64_t head_issue)
 {
-    Accumulator &a = acc[p.pc];
+    Accumulator &a = accAt(p.pc);
     double head = static_cast<double>(head_issue);
     a.issueRelSum += static_cast<double>(p.issueCycle) - head;
     if (p.producesValue)
@@ -131,10 +126,10 @@ SlackProfiler::foldPending(const PendingIssue &p, uint64_t head_issue)
 void
 SlackProfiler::onStoreForward(uint64_t store_seq, uint64_t load_issue)
 {
-    auto it = producers.find(store_seq);
-    if (it == producers.end())
+    Producer *found = producers.find(store_seq);
+    if (!found)
         return;
-    Producer &p = it->second;
+    Producer &p = *found;
     double sample = static_cast<double>(load_issue) -
                     static_cast<double>(p.storeExecDone);
     p.storeSlack = std::min(p.storeSlack, std::max(sample, 0.0));
@@ -144,17 +139,12 @@ SlackProfiler::onStoreForward(uint64_t store_seq, uint64_t load_issue)
 void
 SlackProfiler::onSquash(uint64_t first_squashed)
 {
-    for (auto it = producers.begin(); it != producers.end();) {
-        if (it->first >= first_squashed)
-            it = producers.erase(it);
-        else
-            ++it;
-    }
-    for (auto &[id, bb] : instances) {
+    producers.eraseFrom(first_squashed);
+    instances.forEach([&](BbInstance &bb) {
         std::erase_if(bb.pending, [&](const PendingIssue &p) {
             return p.seq >= first_squashed;
         });
-    }
+    });
 }
 
 void
@@ -169,7 +159,7 @@ SlackProfiler::onCommit(uint64_t seq)
 void
 SlackProfiler::finalizeProducer(const Producer &p)
 {
-    Accumulator &a = acc[p.pc];
+    Accumulator &a = accAt(p.pc);
     if (p.isStore) {
         a.storeSlackSum += p.sawForward ? std::min(p.storeSlack, kSlackCap)
                                         : kSlackCap;
@@ -183,26 +173,20 @@ SlackProfiler::finalizeProducer(const Producer &p)
 void
 SlackProfiler::pruneProducers()
 {
-    for (auto it = producers.begin(); it != producers.end();) {
-        if (it->first < minLiveProducer) {
-            finalizeProducer(it->second);
-            it = producers.erase(it);
-        } else {
-            ++it;
-        }
-    }
+    producers.pruneBelow(minLiveProducer,
+                         [this](const Producer &p) { finalizeProducer(p); });
 }
 
 SlackProfileData
 SlackProfiler::finalize()
 {
-    for (auto &[seq, p] : producers)
-        finalizeProducer(p);
+    producers.forEach([this](const Producer &p) { finalizeProducer(p); });
     producers.clear();
     instances.clear();
 
     SlackProfileData data;
-    for (auto &[pc, a] : acc) {
+    for (isa::Addr pc = 0; pc < acc.size(); ++pc) {
+        const Accumulator &a = acc[pc];
         if (a.count == 0)
             continue;
         ProfileEntry e;

@@ -25,6 +25,7 @@
 #ifndef MG_PROFILE_SLACK_PROFILE_H
 #define MG_PROFILE_SLACK_PROFILE_H
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -68,6 +69,141 @@ struct SlackProfileData
 };
 
 /**
+ * Sliding window of sequence-numbered records, used in place of an
+ * unordered_map<uint64_t, V> where the keys (ROB sequence numbers,
+ * basic-block instance ids) are near-dense and only live inside a
+ * bounded window.  A power-of-two ring indexed by key avoids the
+ * per-record node allocation and hashing that otherwise dominate the
+ * profiler's cost on the issue path.  Slots are recycled through
+ * V::reset(), so any buffer a record owns keeps its capacity.
+ *
+ * All live keys stay within [base, end) and that span never exceeds
+ * the slot count (the ring grows to maintain this), so a key maps to
+ * exactly one slot.
+ */
+template <typename V>
+class SeqWindow
+{
+  public:
+    /** @param initial_slots starting ring size (power of two). */
+    explicit SeqWindow(size_t initial_slots)
+        : initialSlots(initial_slots)
+    {
+    }
+
+    size_t size() const { return liveCount; }
+
+    /** Record for a key, or nullptr if absent. */
+    V *
+    find(uint64_t key)
+    {
+        if (key < base || key >= end)
+            return nullptr;
+        Slot &s = slots[key & mask];
+        return (s.live && s.key == key) ? &s.v : nullptr;
+    }
+
+    /** operator[] semantics: existing record, or a fresh (reset) one. */
+    V &
+    get(uint64_t key)
+    {
+        if (slots.empty()) {
+            slots.resize(initialSlots);
+            mask = initialSlots - 1;
+            base = end = key;
+        }
+        if (key < base)
+            base = key;
+        uint64_t hi = std::max(end, key + 1);
+        while (hi - base > slots.size())
+            grow();
+        end = hi;
+        Slot &s = slots[key & mask];
+        if (!s.live || s.key != key) {
+            s.key = key;
+            s.live = true;
+            s.v.reset();
+            ++liveCount;
+        }
+        return s.v;
+    }
+
+    /** Drop every record with key >= first (squash semantics). */
+    void
+    eraseFrom(uint64_t first)
+    {
+        for (uint64_t k = std::max(base, first); k < end; ++k) {
+            Slot &s = slots[k & mask];
+            if (s.live && s.key == k) {
+                s.live = false;
+                --liveCount;
+            }
+        }
+        end = std::max(base, std::min(end, first));
+    }
+
+    /** Retire every record with key < cutoff through fn. */
+    template <typename Fn>
+    void
+    pruneBelow(uint64_t cutoff, Fn fn)
+    {
+        uint64_t stop = std::min(cutoff, end);
+        for (uint64_t k = base; k < stop; ++k) {
+            Slot &s = slots[k & mask];
+            if (s.live && s.key == k) {
+                fn(s.v);
+                s.live = false;
+                --liveCount;
+            }
+        }
+        if (cutoff > base)
+            base = std::min(cutoff, end);
+    }
+
+    template <typename Fn>
+    void
+    forEach(Fn fn)
+    {
+        for (uint64_t k = base; k < end; ++k) {
+            Slot &s = slots[k & mask];
+            if (s.live && s.key == k)
+                fn(s.v);
+        }
+    }
+
+    void clear() { eraseFrom(base); }
+
+  private:
+    struct Slot
+    {
+        uint64_t key = 0;
+        bool live = false;
+        V v;
+    };
+
+    void
+    grow()
+    {
+        std::vector<Slot> next(slots.size() * 2);
+        size_t next_mask = next.size() - 1;
+        for (uint64_t k = base; k < end; ++k) {
+            Slot &s = slots[k & mask];
+            if (s.live && s.key == k)
+                next[k & next_mask] = std::move(s);
+        }
+        slots = std::move(next);
+        mask = next_mask;
+    }
+
+    size_t initialSlots;
+    std::vector<Slot> slots;
+    uint64_t base = 0;     ///< lowest key possibly live
+    uint64_t end = 0;      ///< one past the highest key inserted
+    size_t liveCount = 0;
+    size_t mask = 0;
+};
+
+/**
  * The profiler: implements the core's observation hooks and builds a
  * SlackProfileData.  Attach with Core::setProfiler, run the singleton
  * program, then call finalize().
@@ -103,6 +239,15 @@ class SlackProfiler : public uarch::ProfilerHooks
         uint64_t count = 0;
     };
 
+    /** Accumulator for a PC, growing the table on first touch. */
+    Accumulator &
+    accAt(isa::Addr pc)
+    {
+        if (acc.size() <= pc)
+            acc.resize(pc + 1);
+        return acc[pc];
+    }
+
     /** Buffered per-dynamic-instruction record awaiting its BB head. */
     struct PendingIssue
     {
@@ -126,6 +271,15 @@ class SlackProfiler : public uarch::ProfilerHooks
         bool headKnown = false;
         uint64_t headIssue = 0;
         std::vector<PendingIssue> pending;
+
+        /** SeqWindow slot recycling; keeps pending's capacity. */
+        void
+        reset()
+        {
+            headKnown = false;
+            headIssue = 0;
+            pending.clear();
+        }
     };
 
     /** Producer record for local-slack resolution. */
@@ -138,6 +292,9 @@ class SlackProfiler : public uarch::ProfilerHooks
         uint64_t storeExecDone = 0;
         bool sawForward = false;
         double storeSlack = kSlackCap;
+
+        /** SeqWindow slot recycling. */
+        void reset() { *this = Producer(); }
     };
 
     void resolveInstance(BbInstance &bb);
@@ -145,9 +302,11 @@ class SlackProfiler : public uarch::ProfilerHooks
     void finalizeProducer(const Producer &p);
     void pruneProducers();
 
-    std::unordered_map<isa::Addr, Accumulator> acc;
-    std::unordered_map<uint64_t, BbInstance> instances;
-    std::unordered_map<uint64_t, Producer> producers;
+    // PCs are instruction indices, so the accumulator table is a
+    // plain vector; the seq-keyed maps are sliding windows (above).
+    std::vector<Accumulator> acc;
+    SeqWindow<BbInstance> instances{4096};
+    SeqWindow<Producer> producers{16384};
     uint64_t minLiveProducer = 0;
 };
 

@@ -1,0 +1,348 @@
+#include "sim/batch_options.h"
+
+#include <cstdlib>
+#include <thread>
+
+#include "common/logging.h"
+#include "sim/runner.h"
+#include "trace/stats_json.h"
+
+namespace mg::sim
+{
+
+namespace
+{
+
+/** True if the environment variable is set to "1". */
+bool
+envBool(const char *name, bool &present)
+{
+    const char *p = std::getenv(name);
+    present = p != nullptr;
+    return p && p[0] == '1';
+}
+
+/** Parse an unsigned integer in [lo, hi]; "" on success. */
+std::string
+parseUnsignedIn(const std::string &text, long lo, long hi,
+                const char *what, unsigned &out)
+{
+    char *end = nullptr;
+    long v = std::strtol(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0' || v < lo || v > hi) {
+        return strprintf("%s '%s': want an integer in %ld..%ld", what,
+                         text.c_str(), lo, hi);
+    }
+    out = static_cast<unsigned>(v);
+    return "";
+}
+
+/** Parse a double; "" on success. */
+std::string
+parseDoubleMin(const std::string &text, double min, const char *what,
+               double &out)
+{
+    char *end = nullptr;
+    double v = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0' || v < min) {
+        return strprintf("%s '%s': want a number >= %g", what,
+                         text.c_str(), min);
+    }
+    out = v;
+    return "";
+}
+
+} // namespace
+
+const char *
+optionSourceName(OptionSource src)
+{
+    switch (src) {
+      case OptionSource::Default: return "default";
+      case OptionSource::Env: return "env";
+      case OptionSource::Flag: return "flag";
+    }
+    return "?";
+}
+
+unsigned
+envJobs()
+{
+    if (const char *env = std::getenv("MG_JOBS")) {
+        long v = std::atol(env);
+        if (v > 0)
+            return static_cast<unsigned>(v);
+        mg_warn("ignoring invalid MG_JOBS='%s' (want a positive "
+                "integer)", env);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+BatchOptions
+BatchOptions::fromEnv()
+{
+    BatchOptions o;
+
+    o.jobs = envJobs();
+    if (std::getenv("MG_JOBS"))
+        o.src.jobs = OptionSource::Env;
+
+    bool present = false;
+    o.json = envBool("MG_JSON", present);
+    if (present)
+        o.src.json = OptionSource::Env;
+    o.progress = envBool("MG_PROGRESS", present);
+    if (present)
+        o.src.progress = OptionSource::Env;
+    o.isolate = envBool("MG_ISOLATE", present);
+    if (present)
+        o.src.isolate = OptionSource::Env;
+    o.resume = envBool("MG_RESUME", present);
+    if (present)
+        o.src.resume = OptionSource::Env;
+
+    if (const char *p = std::getenv("MG_TIMEOUT")) {
+        double v = std::atof(p);
+        if (v > 0) {
+            o.timeoutSec = v;
+            o.src.timeout = OptionSource::Env;
+        } else {
+            mg_warn("ignoring invalid MG_TIMEOUT='%s' (want a positive "
+                    "number of seconds)", p);
+        }
+    }
+    if (const char *p = std::getenv("MG_RETRIES")) {
+        long v = std::atol(p);
+        if (v > 0) {
+            o.retries = static_cast<unsigned>(v);
+            o.src.retries = OptionSource::Env;
+        }
+    }
+    if (const char *p = std::getenv("MG_BACKOFF")) {
+        double v = std::atof(p);
+        if (v >= 0) {
+            o.backoffSec = v;
+            o.src.backoff = OptionSource::Env;
+        } else {
+            mg_warn("ignoring invalid MG_BACKOFF='%s' (want a "
+                    "non-negative number of seconds)", p);
+        }
+    }
+    if (const char *p = std::getenv("MG_JOURNAL"); p && p[0] != '\0') {
+        o.journal = p;
+        o.src.journal = OptionSource::Env;
+    }
+    if (const char *p = std::getenv("MG_FAULTS"); p && p[0] != '\0') {
+        std::string err;
+        o.fault = parseFaultSpec(p, err);
+        if (o.fault) {
+            o.faultSpec = p;
+            o.src.fault = OptionSource::Env;
+        } else {
+            mg_warn("ignoring MG_FAULTS: %s", err.c_str());
+        }
+    }
+
+    o.checkLevel = uarch::defaultCheckLevel();
+    if (std::getenv("MG_CHECKLEVEL"))
+        o.src.checkLevel = OptionSource::Env;
+
+    return o;
+}
+
+bool
+BatchOptions::ownsFlag(const std::string &flag)
+{
+    return flag == "--jobs" || flag == "--json" ||
+           flag == "--progress" || flag == "--isolate" ||
+           flag == "--timeout" || flag == "--retries" ||
+           flag == "--backoff" || flag == "--journal" ||
+           flag == "--resume" || flag == "--inject-fault" ||
+           flag == "--check-level";
+}
+
+bool
+BatchOptions::applyFlag(const std::string &flag,
+                        const std::string &value, std::string &err)
+{
+    if (flag == "--jobs") {
+        // Distinct complaint: --jobs has a documented sizing rule.
+        char *end = nullptr;
+        long v = std::strtol(value.c_str(), &end, 10);
+        if (end == value.c_str() || *end != '\0' || v <= 0 ||
+            v > 1024) {
+            err = strprintf(
+                "--jobs %s: worker count must be a positive integer "
+                "in 1..1024 (omit the flag for the default: MG_JOBS, "
+                "else all cores)",
+                value.c_str());
+            return true;
+        }
+        jobs = static_cast<unsigned>(v);
+        src.jobs = OptionSource::Flag;
+        return true;
+    }
+    if (flag == "--json") {
+        json = true;
+        src.json = OptionSource::Flag;
+        return true;
+    }
+    if (flag == "--progress") {
+        progress = true;
+        src.progress = OptionSource::Flag;
+        return true;
+    }
+    if (flag == "--isolate") {
+        isolate = true;
+        src.isolate = OptionSource::Flag;
+        return true;
+    }
+    if (flag == "--timeout") {
+        double v = 0.0;
+        char *end = nullptr;
+        v = std::strtod(value.c_str(), &end);
+        if (end == value.c_str() || *end != '\0' || v <= 0) {
+            err = strprintf("--timeout %s: want a positive number of "
+                            "seconds", value.c_str());
+            return true;
+        }
+        timeoutSec = v;
+        src.timeout = OptionSource::Flag;
+        return true;
+    }
+    if (flag == "--retries") {
+        err = parseUnsignedIn(value, 0, 100, "--retries", retries);
+        if (err.empty())
+            src.retries = OptionSource::Flag;
+        return true;
+    }
+    if (flag == "--backoff") {
+        err = parseDoubleMin(value, 0.0, "--backoff", backoffSec);
+        if (err.empty())
+            src.backoff = OptionSource::Flag;
+        return true;
+    }
+    if (flag == "--journal") {
+        journal = value;
+        src.journal = OptionSource::Flag;
+        return true;
+    }
+    if (flag == "--resume") {
+        resume = true;
+        src.resume = OptionSource::Flag;
+        return true;
+    }
+    if (flag == "--inject-fault") {
+        std::string ferr;
+        fault = parseFaultSpec(value, ferr);
+        if (!fault) {
+            err = strprintf("--inject-fault: %s", ferr.c_str());
+            return true;
+        }
+        faultSpec = value;
+        src.fault = OptionSource::Flag;
+        return true;
+    }
+    if (flag == "--check-level") {
+        auto lvl = uarch::checkLevelFromName(value);
+        if (!lvl) {
+            err = strprintf("--check-level %s: want off, cheap or "
+                            "full", value.c_str());
+            return true;
+        }
+        checkLevel = *lvl;
+        src.checkLevel = OptionSource::Flag;
+        return true;
+    }
+    return false;
+}
+
+std::string
+BatchOptions::validate() const
+{
+    if (timeoutSec > 0 && !isolate) {
+        return "--timeout requires --isolate (an in-process run "
+               "cannot be killed safely)";
+    }
+    if (resume && journal.empty())
+        return "--resume requires --journal";
+    return "";
+}
+
+std::string
+BatchOptions::describe() const
+{
+    auto uintField = [](const char *name, uint64_t v, OptionSource s) {
+        return strprintf("\"%s\":{\"value\":%llu,\"source\":\"%s\"}",
+                         name, static_cast<unsigned long long>(v),
+                         optionSourceName(s));
+    };
+    auto boolField = [](const char *name, bool v, OptionSource s) {
+        return strprintf("\"%s\":{\"value\":%s,\"source\":\"%s\"}",
+                         name, v ? "true" : "false",
+                         optionSourceName(s));
+    };
+    auto numField = [](const char *name, double v, OptionSource s) {
+        return strprintf("\"%s\":{\"value\":%.6f,\"source\":\"%s\"}",
+                         name, v, optionSourceName(s));
+    };
+    auto strField = [](const char *name, const std::string &v,
+                       OptionSource s) {
+        return strprintf("\"%s\":{\"value\":\"%s\",\"source\":\"%s\"}",
+                         name, trace::jsonEscape(v).c_str(),
+                         optionSourceName(s));
+    };
+
+    std::string out = "{";
+    out += uintField("jobs", jobs, src.jobs) + ",";
+    out += boolField("json", json, src.json) + ",";
+    out += boolField("progress", progress, src.progress) + ",";
+    out += boolField("isolate", isolate, src.isolate) + ",";
+    out += numField("timeoutSec", timeoutSec, src.timeout) + ",";
+    out += uintField("retries", retries, src.retries) + ",";
+    out += numField("backoffSec", backoffSec, src.backoff) + ",";
+    out += strField("journal", journal, src.journal) + ",";
+    out += boolField("resume", resume, src.resume) + ",";
+    out += strField("injectFault", faultSpec, src.fault) + ",";
+    out += strField("checkLevel", uarch::nameOf(checkLevel),
+                    src.checkLevel);
+    out += "}";
+    return out;
+}
+
+RunnerOptions
+BatchOptions::runnerOptions() const
+{
+    RunnerOptions o;
+    o.jobs = jobs;
+    o.progress = progress;
+    o.isolate = isolate;
+    o.timeoutSec = timeoutSec;
+    o.retries = retries;
+    o.backoffSec = backoffSec;
+    o.journalPath = journal;
+    o.resume = resume;
+    o.fault = fault;
+    return o;
+}
+
+RunnerOptions
+resolveRunnerOptions(const RunnerOptions &opts)
+{
+    RunnerOptions out = opts;
+    if (out.jobs == 0)
+        out.jobs = envJobs();
+    if (!out.fault) {
+        if (const char *env = std::getenv("MG_FAULTS");
+            env && env[0] != '\0') {
+            std::string err;
+            out.fault = parseFaultSpec(env, err);
+            if (!out.fault)
+                mg_warn("ignoring MG_FAULTS: %s", err.c_str());
+        }
+    }
+    return out;
+}
+
+} // namespace mg::sim

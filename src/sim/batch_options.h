@@ -1,0 +1,169 @@
+/**
+ * @file
+ * sim::BatchOptions: the unified batch-execution option surface.
+ *
+ * PRs 1-4 accreted two parallel option channels — environment
+ * variables (MG_JOBS, MG_ISOLATE, MG_TIMEOUT, MG_RETRIES, MG_FAULTS,
+ * MG_JSON, MG_PROGRESS, MG_CHECKLEVEL) and per-tool command-line
+ * flags (--jobs/--isolate/--timeout/--retries/--backoff/--journal/
+ * --resume/--inject-fault) — each parsed ad hoc at its call site.
+ * This header is now the *single parse point* for all of them:
+ *
+ *  - `BatchOptions::fromEnv()` reads every batch-relevant environment
+ *    variable exactly once, with validation and warnings;
+ *  - `applyFlag()` layers command-line flags on top with explicit
+ *    flag-over-env precedence (a flag always wins; the provenance of
+ *    every field is tracked and reported);
+ *  - `validate()` performs the cross-field checks (e.g. `--timeout`
+ *    requires `--isolate`) at parse time, before any job runs;
+ *  - `describe()` dumps the resolved options (value + provenance per
+ *    field) as one JSON object, used by `--json` output so a
+ *    machine-readable batch records exactly how it was configured;
+ *  - `runnerOptions()` converts to the Runner's consumption struct.
+ *
+ * Runner and the benches consume resolved options from here instead
+ * of re-reading environment variables (see resolveRunnerOptions()).
+ */
+
+#ifndef MG_SIM_BATCH_OPTIONS_H
+#define MG_SIM_BATCH_OPTIONS_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/fault.h"
+#include "uarch/config.h"
+
+namespace mg::sim
+{
+
+struct RunnerOptions;
+
+/** Where a BatchOptions field's resolved value came from. */
+enum class OptionSource : uint8_t
+{
+    Default, ///< built-in default
+    Env,     ///< environment variable
+    Flag,    ///< command-line flag (highest precedence)
+};
+
+/** Registry name of an option source ("default" | "env" | "flag"). */
+const char *optionSourceName(OptionSource src);
+
+/**
+ * The consolidated batch option set.  Construct with fromEnv(), then
+ * layer flags with applyFlag(); check validate() before use.
+ */
+struct BatchOptions
+{
+    /** Worker threads (resolved: never 0 after fromEnv()). */
+    unsigned jobs = 0;
+
+    /** Machine-readable output (one JSON object per job). */
+    bool json = false;
+
+    /** Print "[phase] done/total" progress lines to stderr. */
+    bool progress = false;
+
+    /** Fork-per-run sandboxing (docs/ROBUSTNESS.md). */
+    bool isolate = false;
+
+    /** Per-run watchdog seconds (0 = off; requires isolate). */
+    double timeoutSec = 0.0;
+
+    /** Extra re-runs of transient failures. */
+    unsigned retries = 0;
+
+    /** Base retry backoff seconds, doubling per attempt. */
+    double backoffSec = 0.05;
+
+    /** Journal file for completed runs ("" = off). */
+    std::string journal;
+
+    /** Replay completed runs from `journal` instead of re-running. */
+    bool resume = false;
+
+    /** Fault-injection spec (parsed; see sim/fault.h). */
+    std::optional<FaultSpec> fault;
+
+    /** Raw fault spec text (for describe()). */
+    std::string faultSpec;
+
+    /** Invariant-audit level applied to every simulated core. */
+    uarch::CheckLevel checkLevel = uarch::CheckLevel::Off;
+
+    /** Per-field provenance (flag-over-env precedence audit trail). */
+    struct Sources
+    {
+        OptionSource jobs = OptionSource::Default;
+        OptionSource json = OptionSource::Default;
+        OptionSource progress = OptionSource::Default;
+        OptionSource isolate = OptionSource::Default;
+        OptionSource timeout = OptionSource::Default;
+        OptionSource retries = OptionSource::Default;
+        OptionSource backoff = OptionSource::Default;
+        OptionSource journal = OptionSource::Default;
+        OptionSource resume = OptionSource::Default;
+        OptionSource fault = OptionSource::Default;
+        OptionSource checkLevel = OptionSource::Default;
+    } src;
+
+    /**
+     * Resolve the environment layer: defaults overridden by MG_JOBS,
+     * MG_JSON, MG_PROGRESS, MG_ISOLATE, MG_TIMEOUT, MG_RETRIES,
+     * MG_BACKOFF, MG_JOURNAL, MG_RESUME, MG_FAULTS and MG_CHECKLEVEL.
+     * Invalid values warn and fall back to the default (matching the
+     * historical per-site behaviour).
+     */
+    static BatchOptions fromEnv();
+
+    /**
+     * Apply one command-line flag (highest precedence).
+     *
+     * @param flag   flag name including dashes (e.g. "--jobs")
+     * @param value  the flag's argument ("" for boolean flags)
+     * @param err    set to a usage complaint on a bad value
+     * @retval true  the flag belongs to the batch option surface and
+     *               was consumed (err empty) or rejected (err set)
+     * @retval false not a batch flag (caller owns it)
+     */
+    bool applyFlag(const std::string &flag, const std::string &value,
+                   std::string &err);
+
+    /** True if applyFlag() would consume this flag name. */
+    static bool ownsFlag(const std::string &flag);
+
+    /**
+     * Cross-field validation, run after all flags are applied so the
+     * result is independent of flag order.
+     * @return "" if consistent, else the usage complaint.
+     */
+    std::string validate() const;
+
+    /**
+     * One JSON object describing every resolved option and its
+     * provenance, e.g.
+     * {"jobs":{"value":4,"source":"flag"},...}; emitted by `--json`
+     * batch output as the "options" record.
+     */
+    std::string describe() const;
+
+    /** Convert to the Runner's option struct. */
+    RunnerOptions runnerOptions() const;
+};
+
+/**
+ * Fill any env-defaulted RunnerOptions fields (jobs == 0, unset
+ * fault) from the environment layer.  This is the only call through
+ * which Runner consults the environment; the parse itself lives in
+ * BatchOptions::fromEnv().
+ */
+RunnerOptions resolveRunnerOptions(const RunnerOptions &opts);
+
+/** The environment-resolved worker count (MG_JOBS, else all cores). */
+unsigned envJobs();
+
+} // namespace mg::sim
+
+#endif // MG_SIM_BATCH_OPTIONS_H

@@ -1,0 +1,583 @@
+#include "sim/perf_harness.h"
+
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.h"
+#include "minigraph/selectors.h"
+#include "sim/runner.h"
+#include "trace/stats_json.h"
+#include "uarch/config.h"
+#include "workloads/workload.h"
+
+namespace mg::sim
+{
+
+namespace
+{
+
+/** The five paper policies, in fixed bench order. */
+const char *const kPolicies[] = {
+    "none", "struct-all", "struct-bounded", "slack-profile",
+    "slack-dynamic",
+};
+
+constexpr const char *kBenchConfig = "reduced";
+
+/** The golden-snapshot workloads (tests/trace/golden_stats_test.cc). */
+const char *const kSmokeWorkloads[] = {
+    "crc32.0", "bitcount.0", "adpcm_c.0",
+};
+
+double
+nowSec()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(
+               clock::now().time_since_epoch())
+        .count();
+}
+
+long
+peakRssKb()
+{
+    struct rusage ru{};
+    if (getrusage(RUSAGE_SELF, &ru) != 0)
+        return 0;
+    return ru.ru_maxrss; // kilobytes on Linux
+}
+
+/** Cells for an explicit workload list x the five policies. */
+std::vector<PerfCell>
+crossWithPolicies(const std::vector<std::string> &names)
+{
+    std::vector<PerfCell> cells;
+    cells.reserve(names.size() * std::size(kPolicies));
+    for (const std::string &w : names)
+        for (const char *sel : kPolicies)
+            cells.push_back({w, kBenchConfig, sel});
+    return cells;
+}
+
+RunRequest
+requestFor(const PerfCell &cell, std::string &err)
+{
+    RunRequest req;
+    auto spec = workloads::findWorkload(cell.workload);
+    if (!spec) {
+        err = "unknown workload '" + cell.workload + "'";
+        return req;
+    }
+    req.workload = *spec;
+    auto cfg = uarch::configFromName(cell.config);
+    if (!cfg) {
+        err = "unknown config '" + cell.config + "'";
+        return req;
+    }
+    req.config = *cfg;
+    if (cell.selector != "none") {
+        auto kind = minigraph::selectorFromName(cell.selector);
+        if (!kind) {
+            err = "unknown selector '" + cell.selector + "'";
+            return req;
+        }
+        req.selector = *kind;
+    }
+    return req;
+}
+
+PerfRun
+runToPerf(const PerfCell &cell, const RunRequest &req,
+          const RunResult &r)
+{
+    PerfRun out;
+    out.cell = cell;
+    out.ok = r.ok;
+    if (!r.ok) {
+        out.error = r.error;
+        return out;
+    }
+    out.simCycles = r.sim.cycles;
+    out.statsJsonLine =
+        r.statsJsonLine.empty()
+            ? trace::statsJson(metaForRun(req, r), r.sim)
+            : r.statsJsonLine;
+    out.statsHash = fnv1a64(out.statsJsonLine);
+    return out;
+}
+
+} // namespace
+
+uint64_t
+fnv1a64(const std::string &text)
+{
+    uint64_t h = 14695981039346656037ULL;
+    for (unsigned char c : text) {
+        h ^= c;
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+double
+PerfReport::speedup() const
+{
+    if (!baseline || batchWallSec <= 0 || baseline->batchWallSec <= 0)
+        return 0.0;
+    return baseline->batchWallSec / batchWallSec;
+}
+
+bool
+PerfReport::allOk() const
+{
+    for (const PerfRun &r : runs)
+        if (!r.ok)
+            return false;
+    return true;
+}
+
+std::vector<PerfCell>
+perfPinnedCells()
+{
+    std::vector<std::string> names;
+    for (const auto &w : workloads::workloadList()) {
+        std::string n = w.name();
+        if (n.size() > 2 && n.compare(n.size() - 2, 2, ".0") == 0)
+            names.push_back(n);
+    }
+    return crossWithPolicies(names);
+}
+
+std::vector<PerfCell>
+perfSmokeCells()
+{
+    return crossWithPolicies(
+        {std::begin(kSmokeWorkloads), std::end(kSmokeWorkloads)});
+}
+
+std::vector<PerfCell>
+perfFullCells()
+{
+    std::vector<std::string> names;
+    for (const auto &w : workloads::workloadList())
+        names.push_back(w.name());
+    return crossWithPolicies(names);
+}
+
+std::vector<PerfCell>
+perfCellsForSubset(const std::string &name, std::string &err)
+{
+    if (name == "pinned")
+        return perfPinnedCells();
+    if (name == "smoke")
+        return perfSmokeCells();
+    if (name == "full")
+        return perfFullCells();
+    err = "unknown subset '" + name + "' (want pinned, smoke or full)";
+    return {};
+}
+
+PerfReport
+runPerf(const std::vector<PerfCell> &cells, unsigned jobs, unsigned pr,
+        const std::string &subset)
+{
+    PerfReport rep;
+    rep.pr = pr;
+    rep.subset = subset;
+    rep.jobs = jobs ? jobs : 1;
+
+    RunnerOptions opts;
+    opts.jobs = rep.jobs;
+    Runner runner(opts);
+
+    std::vector<RunRequest> reqs;
+    reqs.reserve(cells.size());
+    std::vector<std::string> badCell(cells.size());
+    for (size_t i = 0; i < cells.size(); ++i)
+        reqs.push_back(requestFor(cells[i], badCell[i]));
+
+    double t0 = nowSec();
+    if (rep.jobs == 1) {
+        // Pinned measurement mode: one cell at a time, so per-run
+        // wall times are meaningful.
+        for (size_t i = 0; i < cells.size(); ++i) {
+            if (!badCell[i].empty()) {
+                PerfRun bad;
+                bad.cell = cells[i];
+                bad.error = badCell[i];
+                rep.runs.push_back(std::move(bad));
+                continue;
+            }
+            double r0 = nowSec();
+            auto results = runner.run({reqs[i]}, "perf");
+            double r1 = nowSec();
+            PerfRun run = runToPerf(cells[i], reqs[i], results[0]);
+            run.wallSec = r1 - r0;
+            rep.runs.push_back(std::move(run));
+        }
+    } else {
+        auto results = runner.run(reqs, "perf");
+        for (size_t i = 0; i < cells.size(); ++i) {
+            if (!badCell[i].empty()) {
+                PerfRun bad;
+                bad.cell = cells[i];
+                bad.error = badCell[i];
+                rep.runs.push_back(std::move(bad));
+                continue;
+            }
+            rep.runs.push_back(
+                runToPerf(cells[i], reqs[i], results[i]));
+        }
+    }
+    rep.batchWallSec = nowSec() - t0;
+
+    for (const PerfRun &r : rep.runs)
+        rep.totalSimCycles += r.simCycles;
+    if (rep.batchWallSec > 0) {
+        rep.simCyclesPerSec =
+            static_cast<double>(rep.totalSimCycles) / rep.batchWallSec;
+    }
+    rep.peakRssKb = peakRssKb();
+    return rep;
+}
+
+// ---------------------------------------------------------------------
+// BENCH_<pr>.json serialization
+// ---------------------------------------------------------------------
+
+std::string
+benchJson(const PerfReport &rep)
+{
+    std::string out = "{\n";
+    out += "  \"schema\": \"mg-bench-v1\",\n";
+    out += strprintf("  \"pr\": %u,\n", rep.pr);
+    out += strprintf("  \"subset\": \"%s\",\n",
+                     trace::jsonEscape(rep.subset).c_str());
+    out += strprintf("  \"jobs\": %u,\n", rep.jobs);
+    out += strprintf("  \"batchWallSec\": %.6f,\n", rep.batchWallSec);
+    out += strprintf("  \"totalSimCycles\": %llu,\n",
+                     static_cast<unsigned long long>(
+                         rep.totalSimCycles));
+    out += strprintf("  \"simCyclesPerSec\": %.1f,\n",
+                     rep.simCyclesPerSec);
+    out += strprintf("  \"peakRssKb\": %ld,\n", rep.peakRssKb);
+    if (rep.baseline) {
+        const PerfBaseline &b = *rep.baseline;
+        out += strprintf(
+            "  \"baseline\": {\"label\": \"%s\", \"batchWallSec\": "
+            "%.6f, \"totalSimCycles\": %llu, \"simCyclesPerSec\": "
+            "%.1f, \"peakRssKb\": %ld},\n",
+            trace::jsonEscape(b.label).c_str(), b.batchWallSec,
+            static_cast<unsigned long long>(b.totalSimCycles),
+            b.simCyclesPerSec, b.peakRssKb);
+        out += strprintf("  \"speedup\": %.3f,\n", rep.speedup());
+    }
+    out += "  \"runs\": [\n";
+    for (size_t i = 0; i < rep.runs.size(); ++i) {
+        const PerfRun &r = rep.runs[i];
+        out += strprintf(
+            "    {\"workload\": \"%s\", \"config\": \"%s\", "
+            "\"selector\": \"%s\", \"ok\": %s, \"simCycles\": %llu, "
+            "\"statsHash\": \"%016llx\", \"wallSec\": %.6f%s}%s\n",
+            trace::jsonEscape(r.cell.workload).c_str(),
+            trace::jsonEscape(r.cell.config).c_str(),
+            trace::jsonEscape(r.cell.selector).c_str(),
+            r.ok ? "true" : "false",
+            static_cast<unsigned long long>(r.simCycles),
+            static_cast<unsigned long long>(r.statsHash), r.wallSec,
+            r.ok ? ""
+                 : strprintf(", \"error\": \"%s\"",
+                             trace::jsonEscape(r.error).c_str())
+                       .c_str(),
+            i + 1 < rep.runs.size() ? "," : "");
+    }
+    out += "  ]\n";
+    out += "}\n";
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// BENCH_<pr>.json parsing (schema mg-bench-v1)
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** Minimal cursor over a JSON document with our fixed shape. */
+struct JsonCursor
+{
+    const char *p;
+    const char *end;
+    std::string err;
+
+    void
+    skipWs()
+    {
+        while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' ||
+                           *p == '\r'))
+            ++p;
+    }
+
+    bool
+    fail(const std::string &what)
+    {
+        if (err.empty())
+            err = what;
+        return false;
+    }
+
+    bool
+    expect(char c)
+    {
+        skipWs();
+        if (p >= end || *p != c)
+            return fail(std::string("expected '") + c + "'");
+        ++p;
+        return true;
+    }
+
+    /** Peek (after whitespace) without consuming. */
+    char
+    peek()
+    {
+        skipWs();
+        return p < end ? *p : '\0';
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (!expect('"'))
+            return false;
+        out.clear();
+        while (p < end && *p != '"') {
+            if (*p == '\\') {
+                ++p;
+                if (p >= end)
+                    return fail("dangling escape");
+                switch (*p) {
+                  case 'n': out += '\n'; break;
+                  case 't': out += '\t'; break;
+                  case 'r': out += '\r'; break;
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  default: out += *p; break;
+                }
+                ++p;
+            } else {
+                out += *p++;
+            }
+        }
+        if (p >= end)
+            return fail("unterminated string");
+        ++p; // closing quote
+        return true;
+    }
+
+    bool
+    parseDouble(double &out)
+    {
+        skipWs();
+        char *after = nullptr;
+        out = std::strtod(p, &after);
+        if (after == p)
+            return fail("expected a number");
+        p = after;
+        return true;
+    }
+
+    bool
+    parseU64(uint64_t &out)
+    {
+        skipWs();
+        char *after = nullptr;
+        out = std::strtoull(p, &after, 10);
+        if (after == p)
+            return fail("expected an integer");
+        p = after;
+        return true;
+    }
+
+    bool
+    parseBool(bool &out)
+    {
+        skipWs();
+        if (end - p >= 4 && std::strncmp(p, "true", 4) == 0) {
+            out = true;
+            p += 4;
+            return true;
+        }
+        if (end - p >= 5 && std::strncmp(p, "false", 5) == 0) {
+            out = false;
+            p += 5;
+            return true;
+        }
+        return fail("expected true/false");
+    }
+
+    /**
+     * Iterate "key": value pairs of an object, invoking fn(key); fn
+     * parses the value and returns false on error.
+     */
+    template <typename Fn>
+    bool
+    parseObject(Fn fn)
+    {
+        if (!expect('{'))
+            return false;
+        if (peek() == '}') {
+            ++p;
+            return true;
+        }
+        for (;;) {
+            std::string key;
+            if (!parseString(key) || !expect(':'))
+                return false;
+            if (!fn(key))
+                return false;
+            char c = peek();
+            if (c == ',') {
+                ++p;
+                continue;
+            }
+            if (c == '}') {
+                ++p;
+                return true;
+            }
+            return fail("expected ',' or '}' in object");
+        }
+    }
+};
+
+} // namespace
+
+std::string
+parseBenchJson(const std::string &text, PerfReport &out)
+{
+    out = PerfReport{};
+    JsonCursor cur{text.data(), text.data() + text.size(), ""};
+    std::string schema;
+    double speedup_ignored = 0.0;
+
+    bool ok = cur.parseObject([&](const std::string &key) -> bool {
+        if (key == "schema")
+            return cur.parseString(schema);
+        if (key == "pr") {
+            uint64_t v;
+            if (!cur.parseU64(v))
+                return false;
+            out.pr = static_cast<unsigned>(v);
+            return true;
+        }
+        if (key == "subset")
+            return cur.parseString(out.subset);
+        if (key == "jobs") {
+            uint64_t v;
+            if (!cur.parseU64(v))
+                return false;
+            out.jobs = static_cast<unsigned>(v);
+            return true;
+        }
+        if (key == "batchWallSec")
+            return cur.parseDouble(out.batchWallSec);
+        if (key == "totalSimCycles")
+            return cur.parseU64(out.totalSimCycles);
+        if (key == "simCyclesPerSec")
+            return cur.parseDouble(out.simCyclesPerSec);
+        if (key == "peakRssKb") {
+            double v;
+            if (!cur.parseDouble(v))
+                return false;
+            out.peakRssKb = static_cast<long>(v);
+            return true;
+        }
+        if (key == "speedup")
+            return cur.parseDouble(speedup_ignored);
+        if (key == "baseline") {
+            PerfBaseline b;
+            bool bok = cur.parseObject([&](const std::string &k) {
+                if (k == "label")
+                    return cur.parseString(b.label);
+                if (k == "batchWallSec")
+                    return cur.parseDouble(b.batchWallSec);
+                if (k == "totalSimCycles")
+                    return cur.parseU64(b.totalSimCycles);
+                if (k == "simCyclesPerSec")
+                    return cur.parseDouble(b.simCyclesPerSec);
+                if (k == "peakRssKb") {
+                    double v;
+                    if (!cur.parseDouble(v))
+                        return false;
+                    b.peakRssKb = static_cast<long>(v);
+                    return true;
+                }
+                return cur.fail("unknown baseline key '" + k + "'");
+            });
+            if (!bok)
+                return false;
+            out.baseline = b;
+            return true;
+        }
+        if (key == "runs") {
+            if (!cur.expect('['))
+                return false;
+            if (cur.peek() == ']') {
+                ++cur.p;
+                return true;
+            }
+            for (;;) {
+                PerfRun r;
+                bool rok = cur.parseObject([&](const std::string &k) {
+                    if (k == "workload")
+                        return cur.parseString(r.cell.workload);
+                    if (k == "config")
+                        return cur.parseString(r.cell.config);
+                    if (k == "selector")
+                        return cur.parseString(r.cell.selector);
+                    if (k == "ok")
+                        return cur.parseBool(r.ok);
+                    if (k == "simCycles")
+                        return cur.parseU64(r.simCycles);
+                    if (k == "statsHash") {
+                        std::string hex;
+                        if (!cur.parseString(hex))
+                            return false;
+                        r.statsHash =
+                            std::strtoull(hex.c_str(), nullptr, 16);
+                        return true;
+                    }
+                    if (k == "wallSec")
+                        return cur.parseDouble(r.wallSec);
+                    if (k == "error")
+                        return cur.parseString(r.error);
+                    return cur.fail("unknown run key '" + k + "'");
+                });
+                if (!rok)
+                    return false;
+                out.runs.push_back(std::move(r));
+                char c = cur.peek();
+                if (c == ',') {
+                    ++cur.p;
+                    continue;
+                }
+                if (c == ']') {
+                    ++cur.p;
+                    return true;
+                }
+                return cur.fail("expected ',' or ']' in runs");
+            }
+        }
+        return cur.fail("unknown key '" + key + "'");
+    });
+
+    if (!ok)
+        return cur.err.empty() ? "malformed bench JSON" : cur.err;
+    if (schema != "mg-bench-v1")
+        return "unsupported schema '" + schema + "'";
+    return "";
+}
+
+} // namespace mg::sim

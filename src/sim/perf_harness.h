@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Self-benchmarking harness: `mgsim perf` and tools/perf.sh.
+ *
+ * Runs a pinned, deterministic subset of the workload x selector
+ * matrix and reports, per PR, the simulator's own performance:
+ * simulated cycles per second, wall time per run, end-to-end batch
+ * wall time, and peak RSS — machine-readable (BENCH_<pr>.json) and
+ * checked in so every later PR inherits a trajectory (docs/PERF.md).
+ *
+ * Determinism contract: the *simulation* outputs (per-cell simulated
+ * cycle counts and stats-JSON lines) are bit-identical across runs
+ * and job counts; only the wall-time and RSS fields vary.  The
+ * perf_determinism test runs the harness twice and compares exactly
+ * the deterministic fields; BENCH files record a hash of each cell's
+ * stats line so a bench result can be audited against the golden
+ * snapshots without embedding hundreds of stats lines.
+ *
+ * A bench file can embed the *baseline* measurements it is compared
+ * against (see PerfBaseline): `mgsim perf --baseline OLD.json` copies
+ * OLD's headline numbers into the new report and computes the
+ * end-to-end speedup, so a claim like "3x faster" is reproducible
+ * from one self-contained artefact.
+ */
+
+#ifndef MG_SIM_PERF_HARNESS_H
+#define MG_SIM_PERF_HARNESS_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mg::sim
+{
+
+/** One cell of the benchmark matrix. */
+struct PerfCell
+{
+    std::string workload;
+    std::string config;
+    std::string selector; ///< registry name; "none" = baseline
+};
+
+/** Measurements for one executed cell. */
+struct PerfRun
+{
+    PerfCell cell;
+    bool ok = false;
+    std::string error; ///< failure message when !ok
+
+    // Deterministic fields (bit-identical across harness runs).
+    uint64_t simCycles = 0;
+    uint64_t statsHash = 0;     ///< FNV-1a 64 of the stats-JSON line
+    std::string statsJsonLine;  ///< in-memory only (not in the JSON)
+
+    // Nondeterministic fields (excluded from determinism checks).
+    double wallSec = 0.0;
+};
+
+/** Baseline headline numbers embedded in a bench report. */
+struct PerfBaseline
+{
+    std::string label; ///< e.g. "pre-optimization (PR 6)"
+    double batchWallSec = 0.0;
+    uint64_t totalSimCycles = 0;
+    double simCyclesPerSec = 0.0;
+    long peakRssKb = 0;
+};
+
+/** One full harness execution. */
+struct PerfReport
+{
+    unsigned pr = 0;          ///< PR number (BENCH_<pr>.json)
+    std::string subset;       ///< "pinned" | "smoke" | "full"
+    unsigned jobs = 1;
+    std::vector<PerfRun> runs;
+
+    // End-to-end numbers (whole batch, shared-context effects
+    // included).
+    double batchWallSec = 0.0;
+    uint64_t totalSimCycles = 0;
+    double simCyclesPerSec = 0.0;
+    long peakRssKb = 0;
+
+    std::optional<PerfBaseline> baseline;
+
+    /** End-to-end speedup vs the baseline (0 if none embedded). */
+    double speedup() const;
+
+    /** True if every run succeeded. */
+    bool allOk() const;
+};
+
+/**
+ * The pinned benchmark subset: every ".0"-variant kernel crossed
+ * with the five paper policies (none, struct-all, struct-bounded,
+ * slack-profile, slack-dynamic) on the reduced machine.  Order is
+ * fixed (workload-major) and documented in docs/PERF.md; changing it
+ * invalidates wall-time comparisons across PRs.
+ */
+std::vector<PerfCell> perfPinnedCells();
+
+/** CI smoke subset: the golden-test workloads x the five policies. */
+std::vector<PerfCell> perfSmokeCells();
+
+/** The full workload x selector matrix (audit sweeps). */
+std::vector<PerfCell> perfFullCells();
+
+/** Resolve a subset name; empty result + err set on unknown name. */
+std::vector<PerfCell> perfCellsForSubset(const std::string &name,
+                                         std::string &err);
+
+/**
+ * Execute the cells (sequentially when jobs == 1 — the pinned
+ * measurement mode — else through a Runner pool) and measure.
+ * Contexts are shared across cells of the same workload, exactly as
+ * in `mgsim batch`.
+ */
+PerfReport runPerf(const std::vector<PerfCell> &cells, unsigned jobs,
+                   unsigned pr, const std::string &subset);
+
+/** Serialize a report as the BENCH_<pr>.json document. */
+std::string benchJson(const PerfReport &report);
+
+/**
+ * Parse a BENCH_*.json document (schema "mg-bench-v1") back into a
+ * report.  statsJsonLine is not recoverable (only its hash is
+ * stored).  @return "" on success, else the first problem found.
+ */
+std::string parseBenchJson(const std::string &text, PerfReport &out);
+
+/** FNV-1a 64-bit hash (stats-line digests in bench files). */
+uint64_t fnv1a64(const std::string &text);
+
+} // namespace mg::sim
+
+#endif // MG_SIM_PERF_HARNESS_H

@@ -6,6 +6,7 @@
 #include <new>
 
 #include "common/logging.h"
+#include "sim/batch_options.h"
 #include "sim/supervisor.h"
 #include "trace/stats_parse.h"
 
@@ -35,33 +36,14 @@ summarize(const std::vector<RunResult> &results)
 unsigned
 Runner::defaultJobs()
 {
-    if (const char *env = std::getenv("MG_JOBS")) {
-        long v = std::atol(env);
-        if (v > 0)
-            return static_cast<unsigned>(v);
-        mg_warn("ignoring invalid MG_JOBS='%s' (want a positive "
-                "integer)", env);
-    }
-    unsigned hw = std::thread::hardware_concurrency();
-    return hw ? hw : 1;
+    return envJobs();
 }
 
-Runner::Runner(Options o) : opts(o)
+Runner::Runner(Options o) : opts(resolveRunnerOptions(o))
 {
-    nThreads = opts.jobs ? opts.jobs : defaultJobs();
-    if (nThreads < 1)
-        nThreads = 1;
+    nThreads = opts.jobs ? opts.jobs : 1;
 
     fault = opts.fault;
-    if (!fault) {
-        if (const char *env = std::getenv("MG_FAULTS");
-            env && env[0] != '\0') {
-            std::string err;
-            fault = parseFaultSpec(env, err);
-            if (!fault)
-                mg_warn("ignoring MG_FAULTS: %s", err.c_str());
-        }
-    }
 
     if (!opts.journalPath.empty()) {
         if (opts.resume) {

@@ -16,8 +16,10 @@
  * deterministic computations), so an N-thread run produces
  * bit-identical results to a 1-thread run of the same batch.
  *
- * Worker count: Options::jobs if non-zero, else the MG_JOBS
- * environment variable, else std::thread::hardware_concurrency().
+ * Worker count: Options::jobs if non-zero, else the environment
+ * layer (sim/batch_options.h: MG_JOBS, else all cores).  All
+ * environment defaulting happens in resolveRunnerOptions() at
+ * construction — the runner itself never reads env vars.
  *
  * Fault tolerance (docs/ROBUSTNESS.md): a failing job degrades to a
  * structured RunError in its result slot — it never takes down the

@@ -18,11 +18,15 @@ isPow2(uint64_t v)
 
 Cache::Cache(const CacheConfig &config) : cfg(config)
 {
-    mg_assert(cfg.assoc > 0 && cfg.lineBytes > 0, "bad cache config");
+    mg_assert(cfg.assoc > 0 && isPow2(cfg.lineBytes),
+              "cache line size must be a power of two (line=%u)",
+              cfg.lineBytes);
     numSets = cfg.sizeBytes / (cfg.lineBytes * cfg.assoc);
     mg_assert(numSets > 0 && isPow2(numSets), "cache sets must be a "
               "power of two (size=%u line=%u assoc=%u)", cfg.sizeBytes,
               cfg.lineBytes, cfg.assoc);
+    lineShift = __builtin_ctz(cfg.lineBytes);
+    setShift = __builtin_ctz(numSets);
     ways.resize(static_cast<size_t>(numSets) * cfg.assoc);
 }
 
@@ -31,9 +35,9 @@ Cache::access(uint64_t addr)
 {
     ++stat.accesses;
     ++useCounter;
-    uint64_t line = addr / cfg.lineBytes;
+    uint64_t line = addr >> lineShift;
     uint32_t set = static_cast<uint32_t>(line & (numSets - 1));
-    uint64_t tag = line >> __builtin_ctz(numSets);
+    uint64_t tag = line >> setShift;
     Way *base = &ways[static_cast<size_t>(set) * cfg.assoc];
 
     Way *victim = base;
@@ -59,9 +63,9 @@ Cache::access(uint64_t addr)
 bool
 Cache::probe(uint64_t addr) const
 {
-    uint64_t line = addr / cfg.lineBytes;
+    uint64_t line = addr >> lineShift;
     uint32_t set = static_cast<uint32_t>(line & (numSets - 1));
-    uint64_t tag = line >> __builtin_ctz(numSets);
+    uint64_t tag = line >> setShift;
     const Way *base = &ways[static_cast<size_t>(set) * cfg.assoc];
     for (uint32_t w = 0; w < cfg.assoc; ++w) {
         if (base[w].valid && base[w].tag == tag)
@@ -82,6 +86,10 @@ Tlb::Tlb(const TlbConfig &config) : cfg(config)
     numSets = cfg.entries / cfg.assoc;
     mg_assert(numSets > 0 && isPow2(numSets), "TLB sets must be a power "
               "of two");
+    mg_assert(isPow2(cfg.pageBytes),
+              "TLB page size must be a power of two");
+    pageShift = __builtin_ctz(cfg.pageBytes);
+    setShift = __builtin_ctz(numSets);
     ways.resize(static_cast<size_t>(numSets) * cfg.assoc);
 }
 
@@ -90,9 +98,9 @@ Tlb::access(uint64_t addr)
 {
     ++stat.accesses;
     ++useCounter;
-    uint64_t vpn = addr / cfg.pageBytes;
+    uint64_t vpn = addr >> pageShift;
     uint32_t set = static_cast<uint32_t>(vpn & (numSets - 1));
-    uint64_t key = vpn >> __builtin_ctz(numSets);
+    uint64_t key = vpn >> setShift;
     Way *base = &ways[static_cast<size_t>(set) * cfg.assoc];
 
     Way *victim = base;

@@ -52,7 +52,7 @@ class Cache
     void flush();
 
     uint32_t hitLatency() const { return cfg.hitLatency; }
-    uint64_t lineOf(uint64_t addr) const { return addr / cfg.lineBytes; }
+    uint64_t lineOf(uint64_t addr) const { return addr >> lineShift; }
     const CacheStats &stats() const { return stat; }
 
   private:
@@ -65,6 +65,8 @@ class Cache
 
     CacheConfig cfg;
     uint32_t numSets;
+    uint32_t lineShift; ///< log2(cfg.lineBytes)
+    uint32_t setShift;  ///< log2(numSets)
     std::vector<Way> ways; ///< numSets * assoc
     uint64_t useCounter = 0;
     CacheStats stat;
@@ -84,6 +86,8 @@ class Tlb
   private:
     TlbConfig cfg;
     uint32_t numSets;
+    uint32_t pageShift; ///< log2(cfg.pageBytes)
+    uint32_t setShift;  ///< log2(numSets)
     struct Way
     {
         uint64_t vpn = 0;

@@ -9,6 +9,7 @@
 namespace mg::uarch
 {
 
+
 using isa::Addr;
 using isa::Instruction;
 using isa::MgConstituent;
@@ -23,7 +24,15 @@ Core::Core(const CoreConfig &config, const assembler::Program &program,
       storeSets(config.storeSetsSsitEntries, config.storeSetsLfstEntries,
                 config.storeSetsClearPeriod)
 {
-    rob.resize(cfg.robEntries);
+    // Power-of-two ROB backing store so robAt() is an AND, not a
+    // modulo; dispatch still caps occupancy at cfg.robEntries.
+    size_t rob_size = 1;
+    while (rob_size < cfg.robEntries)
+        rob_size <<= 1;
+    rob.resize(rob_size);
+    robMask = rob_size - 1;
+    iq.reserve(cfg.issueQueueEntries);
+    iqNextCheck.reserve(cfg.issueQueueEntries);
     renameMap.fill(kCommitted);
     mg_assert(cfg.physRegs > isa::kNumArchRegs,
               "config '%s': need more physical than architectural "
@@ -37,9 +46,7 @@ Core::Core(const CoreConfig &config, const assembler::Program &program,
 
     if (cfg.slackDynamicEnabled && mgInfo) {
         slackDyn = std::make_unique<SlackDynamicState>(cfg);
-        oracle.setDisableQuery([this](Addr pc) {
-            return slackDyn->isDisabled(pc);
-        });
+        oracle.setDisableState(slackDyn.get());
     }
 
     if (mgInfo) {
@@ -72,31 +79,6 @@ Core::buildFetchAddrMap()
         if (!prog.code[pc].isElided())
             addr += 4;
     }
-}
-
-uint64_t
-Core::fetchAddrOf(Addr pc) const
-{
-    mg_assert(pc < fetchAddr.size(), "fetch pc %u out of range", pc);
-    return fetchAddr[pc];
-}
-
-DynInst &
-Core::robAt(uint64_t seq)
-{
-    return rob[seq % rob.size()];
-}
-
-const DynInst &
-Core::robAt(uint64_t seq) const
-{
-    return rob[seq % rob.size()];
-}
-
-bool
-Core::inFlight(uint64_t seq) const
-{
-    return seq >= headSeq && seq < tailSeq && robAt(seq).seq == seq;
 }
 
 uint64_t
@@ -510,22 +492,138 @@ Core::observeIssue(const DynInst &d,
 }
 
 void
+Core::issueIdleBlame()
+{
+    // Mirrors the blame tail of issueStage() for a cycle on which the
+    // scan provably takes no action: nothing issued, replayed, or
+    // FU-blocked, so only the oldest entry's wait reason is charged.
+    uint64_t oldest = iq.empty() ? kCommitted : iq.front();
+    if (oldest == kCommitted) {
+        if (!fetchQueue.empty())
+            ++res.blameNotDispatched;
+        return;
+    }
+    const DynInst &od = robAt(oldest);
+    if (od.earliestIssue > cycle)
+        ++res.blameEarliest;
+    else if (!srcsSpecReady(od))
+        ++res.blameSrcs;
+    else if (!memDepSatisfied(od))
+        ++res.blameMemDep;
+    else
+        ++res.blameFu;
+}
+
+uint64_t
+Core::issueReadyBound(const DynInst &d, uint64_t &blocker) const
+{
+    // Lower bound on the first cycle this waiting entry could pass the
+    // readiness checks, from currently known timing.  An unissued
+    // producer contributes kInfCycle; that is safe because the
+    // producer sits in the IQ with its own (finite) bound.  A producer
+    // can also stop gating via commit, never earlier than its
+    // `complete` cycle, hence the min() with it.  When the bound is
+    // infinite, `blocker` names one unissued in-flight instruction the
+    // entry cannot get past: the caller memoizes it and, until it
+    // issues, skips the entry with a single ROB probe.
+    uint64_t lb = d.earliestIssue;
+    for (uint8_t i = 0; i < d.numSrcs; ++i) {
+        uint64_t p = d.srcProducers[i];
+        if (p == kCommitted || !inFlight(p))
+            continue;
+        const DynInst &prod = robAt(p);
+        uint64_t at = std::min(prod.specReady, prod.complete);
+        if (at == kInfCycle && blocker == kCommitted)
+            blocker = p;
+        lb = std::max(lb, at);
+    }
+    uint64_t ws = d.waitForStore;
+    if (ws != kCommitted && ws != StoreSets::kNone && inFlight(ws)) {
+        const DynInst &store = robAt(ws);
+        if (store.isStoreOp) {
+            uint64_t at = std::min(store.memExecDone, store.complete);
+            if (at == kInfCycle && blocker == kCommitted)
+                blocker = ws;
+            lb = std::max(lb, at);
+        }
+    }
+    return lb;
+}
+
+void
 Core::issueStage()
 {
+    // Skip the wakeup/select scan while nothing can happen.  Tests may
+    // mutate core state from the audit hook, so the memoized bound is
+    // only trusted without one.
+    if (cycle < issueSkipUntil && !auditTestHook) {
+        issueIdleBlame();
+        return;
+    }
+
     uint64_t oldest = iq.empty() ? kCommitted : iq.front();
     bool oldest_replayed = false;
     bool oldest_fu = false;
+    bool oldest_issued = false;
     uint32_t slots = 0;
     uint32_t simple_used = 0, complex_used = 0;
     uint32_t loads_used = 0, stores_used = 0;
     uint32_t mg_used = 0, mg_mem_used = 0;
 
-    for (size_t idx = 0; idx < iq.size() && slots < cfg.issueWidth;) {
+    // Single pass with in-place compaction: survivors are copied down
+    // over issued entries, so a cycle that issues k of n instructions
+    // costs O(n), not the O(n*k) of erasing from the middle k times.
+    const size_t n = iq.size();
+    size_t out = 0;
+    size_t idx = 0;
+    uint64_t min_lb = kInfCycle; // earliest future action, if no issue
+    for (; idx < n; ++idx) {
+        if (slots >= cfg.issueWidth)
+            break;
         uint64_t seq = iq[idx];
+        uint64_t memo = iqNextCheck[idx];
+        if (memo & kMemoSeqTag) {
+            // Blocked until a specific instruction issues: one ROB
+            // probe decides whether anything could have changed.
+            uint64_t pseq = memo & ~kMemoSeqTag;
+            if (inFlight(pseq) && !robAt(pseq).issued) {
+                // Still unissued; no finite bound to feed min_lb (the
+                // blocker's own IQ entry keeps the global gate
+                // honest, exactly as for an untagged infinite bound).
+                iq[out] = seq;
+                iqNextCheck[out] = memo;
+                ++out;
+                continue;
+            }
+            memo = 0; // blocker issued or squashed: recheck
+        }
+        if (cycle < memo) {
+            // Provably not ready before `memo`: keep the entry without
+            // touching its ROB slot.
+            min_lb = std::min(min_lb, memo);
+            iq[out] = seq;
+            iqNextCheck[out] = memo;
+            ++out;
+            continue;
+        }
         DynInst &d = robAt(seq);
-        if (d.earliestIssue > cycle || !srcsSpecReady(d) ||
-            !memDepSatisfied(d)) {
-            ++idx;
+        // One walk does double duty: the entry is ready exactly when
+        // the bound has arrived (for an in-flight producer specReady
+        // <= complete and for a store memExecDone <= complete, so the
+        // min() terms reduce to the readiness conditions themselves).
+        uint64_t blocker = kCommitted;
+        uint64_t b = issueReadyBound(d, blocker);
+        if (b > cycle) {
+            min_lb = std::min(min_lb, b);
+            iq[out] = seq;
+            // An infinite bound means "gated by an instruction that
+            // has not issued yet": memoize that blocker, or recheck
+            // every scan if it could not be identified.
+            iqNextCheck[out] = b != kInfCycle        ? b
+                               : blocker != kCommitted
+                                   ? (kMemoSeqTag | blocker)
+                                   : 0;
+            ++out;
             continue;
         }
 
@@ -556,7 +654,10 @@ Core::issueStage()
         if (!fu_ok) {
             if (seq == oldest)
                 oldest_fu = true;
-            ++idx;
+            min_lb = cycle; // ready now, blocked only by issue width
+            iq[out] = seq;
+            iqNextCheck[out] = 0;
+            ++out;
             continue;
         }
 
@@ -587,7 +688,9 @@ Core::issueStage()
             if (seq == oldest)
                 oldest_replayed = true;
             d.earliestIssue = actual_max;
-            ++idx;
+            iq[out] = seq;
+            iqNextCheck[out] = actual_max;
+            ++out;
             continue;
         }
 
@@ -627,10 +730,25 @@ Core::issueStage()
         if (profiler)
             observeIssue(d, src_ready);
 
-        iq.erase(iq.begin() + static_cast<long>(idx));
+        // Issued: drop from the IQ by not copying it down.
         d.inIq = false;
-        // Do not advance idx: erase shifted the next entry here.
+        if (seq == oldest)
+            oldest_issued = true;
     }
+    if (out != idx) {
+        for (; idx < n; ++idx) {
+            iq[out] = iq[idx];
+            iqNextCheck[out] = iqNextCheck[idx];
+            ++out;
+        }
+        iq.resize(out);
+        iqNextCheck.resize(out);
+    }
+
+    // A pass that took no action (no issue, no replay — both consume
+    // `slots`, so the loop cannot have broken early) examined or
+    // memo-skipped every entry: min_lb gates future scans entirely.
+    issueSkipUntil = slots == 0 ? min_lb : 0;
 
     // Oldest-unissued blame accounting (diagnostics).
     if (oldest == kCommitted) {
@@ -638,7 +756,7 @@ Core::issueStage()
             ++res.blameNotDispatched;
         return;
     }
-    if (std::find(iq.begin(), iq.end(), oldest) == iq.end()) {
+    if (oldest_issued) {
         ++res.blameIssued;
         return;
     }
@@ -724,15 +842,15 @@ Core::flushFrom(uint64_t first_squashed)
     std::vector<ExecStep> steps;
     for (uint64_t s = first_squashed; s < tailSeq; ++s)
         steps.push_back(std::move(robAt(s).ex));
-    for (DynInst &d : fetchQueue)
-        steps.push_back(std::move(d.ex));
+    for (size_t i = 0; i < fetchQueue.size(); ++i)
+        steps.push_back(std::move(fetchQueue[i].ex));
     if (pendingStep) {
         steps.push_back(std::move(*pendingStep));
         pendingStep.reset();
     }
-    replayQueue.insert(replayQueue.begin(),
-                       std::make_move_iterator(steps.begin()),
-                       std::make_move_iterator(steps.end()));
+    // Prepend ahead of any not-yet-refetched older squash remnants.
+    for (size_t i = steps.size(); i-- > 0;)
+        replayQueue.push_front(std::move(steps[i]));
 
     // Roll back rename state, youngest first (only ROB entries were
     // renamed; fetch-queue instructions had not reached rename).
@@ -746,11 +864,13 @@ Core::flushFrom(uint64_t first_squashed)
         }
         if (d.isStoreOp)
             storeSets.storeCompleted(d.ex.pc, s);
-        sdWatch.erase(s);
+        if (!sdWatch.empty())
+            sdWatch.erase(s);
     }
     fetchQueue.clear();
 
     std::erase_if(iq, [&](uint64_t s) { return s >= first_squashed; });
+    iqNextCheck.assign(iq.size(), 0); // squash can relax memo bounds
     while (!lq.empty() && lq.back() >= first_squashed)
         lq.pop_back();
     while (!sq.empty() && sq.back() >= first_squashed)
@@ -758,6 +878,10 @@ Core::flushFrom(uint64_t first_squashed)
 
     tailSeq = first_squashed;
     nextSeq = first_squashed;
+
+    // Squashing can relax memory-ordering waits (a waited-on store seq
+    // is no longer in flight): re-scan the IQ immediately.
+    issueSkipUntil = 0;
 
     if (profiler)
         profiler->onSquash(first_squashed);
@@ -816,7 +940,8 @@ Core::dispatchStage()
         uint64_t maddr = 0;
         uint8_t msize = 0;
         if (d.isHandle()) {
-            for (const auto &ce : d.ex.constituents) {
+            for (uint8_t k = 0; k < d.ex.numConstituents; ++k) {
+                const ConstituentExec &ce = d.ex.constituents[k];
                 if (ce.isMem) {
                     is_load = !ce.isStore;
                     is_store = ce.isStore;
@@ -890,6 +1015,13 @@ Core::dispatchStage()
         d.earliestIssue = cycle + cfg.renameDelay;
         d.inIq = true;
         iq.push_back(d.seq);
+        iqNextCheck.push_back(0);
+
+        // New IQ entry: the issue gate must scan no later than its
+        // first possible issue cycle (issue already ran this cycle).
+        uint64_t first = std::max(d.earliestIssue, cycle + 1);
+        if (issueSkipUntil > first)
+            issueSkipUntil = first;
 
         if (profiler)
             profiler->onDispatch({d.seq, cycle});
@@ -946,7 +1078,7 @@ Core::fetchStage()
         // they behave as if fetched inline).
         bool skip_icache = cfg.slackDynamicIdeal && step.fromDisabledMg;
         if (!skip_icache) {
-            uint64_t line = fetchAddrOf(step.pc) / cfg.icache.lineBytes;
+            uint64_t line = hier.icache().lineOf(fetchAddrOf(step.pc));
             if (line != curFetchLine || new_fetch_group) {
                 if (lines >= kMaxFetchLines)
                     return; // step stays pending for next cycle
@@ -961,8 +1093,11 @@ Core::fetchStage()
         }
         new_fetch_group = false;
 
-        // Create the in-flight instruction.
-        DynInst d;
+        // Create the in-flight instruction directly in the fetch
+        // queue: DynInst is large enough (inline ExecStep) that an
+        // extra stack copy per fetched instruction is measurable.
+        DynInst &d = fetchQueue.emplace_back_raw();
+        d.resetMeta();
         d.seq = nextSeq++;
         d.ex = std::move(step);
         pendingStep.reset();
@@ -1043,7 +1178,6 @@ Core::fetchStage()
         }
 
         ++slots;
-        fetchQueue.push_back(std::move(d));
         if (break_fetch)
             return;
     }
@@ -1079,7 +1213,8 @@ Core::commitStage()
             if (renameMap[static_cast<size_t>(d.destArch)] == d.seq)
                 renameMap[static_cast<size_t>(d.destArch)] = kCommitted;
         }
-        sdWatch.erase(d.seq);
+        if (!sdWatch.empty())
+            sdWatch.erase(d.seq);
         if (profiler) {
             profiler->onCommit(d.seq);
             CommitObservation co;

@@ -47,6 +47,7 @@
 #include "uarch/dyninst.h"
 #include "uarch/functional.h"
 #include "uarch/profiler_hooks.h"
+#include "uarch/ring_queue.h"
 #include "uarch/sim_stats.h"
 #include "uarch/slack_dynamic.h"
 #include "uarch/store_sets.h"
@@ -117,6 +118,13 @@ class Core
     unsigned chainPenaltyOf(const DynInst &d) const;
 
     // ---- issue helpers ----
+    /** Blame accounting for a cycle with provably no issue action. */
+    void issueIdleBlame();
+    /**
+     * Earliest cycle a waiting entry could issue or replay; when
+     * infinite, `blocker` names an unissued instruction gating it.
+     */
+    uint64_t issueReadyBound(const DynInst &d, uint64_t &blocker) const;
     bool srcsSpecReady(const DynInst &d) const;
     uint64_t srcActualReady(uint64_t producer) const;
     uint64_t srcSpecReady(uint64_t producer) const;
@@ -139,10 +147,22 @@ class Core
     void flushFrom(uint64_t first_squashed);
 
     // ---- bookkeeping ----
-    DynInst &robAt(uint64_t seq);
-    const DynInst &robAt(uint64_t seq) const;
-    bool inFlight(uint64_t seq) const;
-    uint64_t fetchAddrOf(isa::Addr pc) const;
+    // The ROB vector is sized to the next power of two above
+    // cfg.robEntries (occupancy is still limited to cfg.robEntries at
+    // dispatch) purely so this seq -> slot map is an AND instead of a
+    // modulo: robAt() is the single hottest operation in the model.
+    DynInst &robAt(uint64_t seq) { return rob[seq & robMask]; }
+    const DynInst &
+    robAt(uint64_t seq) const
+    {
+        return rob[seq & robMask];
+    }
+    bool
+    inFlight(uint64_t seq) const
+    {
+        return seq >= headSeq && seq < tailSeq && robAt(seq).seq == seq;
+    }
+    uint64_t fetchAddrOf(isa::Addr pc) const { return fetchAddr[pc]; }
     void buildFetchAddrMap();
 
     // ---- members ----
@@ -162,14 +182,38 @@ class Core
 
     uint64_t cycle = 0;
 
-    // ROB as a seq-indexed circular buffer.
+    // ROB as a seq-indexed circular buffer (power-of-two size, see
+    // robAt()).
     std::vector<DynInst> rob;
+    uint64_t robMask = 0;  ///< rob.size() - 1
     uint64_t headSeq = 0;  ///< oldest in-flight (in ROB)
     uint64_t tailSeq = 0;  ///< next ROB slot (== first fetch-queue seq)
     uint64_t nextSeq = 0;  ///< next seq to assign at fetch
 
-    std::deque<DynInst> fetchQueue;    ///< fetched, awaiting dispatch
+    RingQueue<DynInst> fetchQueue;     ///< fetched, awaiting dispatch
     std::vector<uint64_t> iq;          ///< in-flight seqs, age order
+
+    /**
+     * Issue-scan gate: no IQ entry can issue or replay before this
+     * cycle, so issueStage() runs only the per-cycle blame accounting
+     * (issueIdleBlame()) instead of the O(iq) wakeup/select scan.
+     * Recomputed by every full scan that takes no action, from each
+     * waiting entry's known producer timing (issueReadyBound());
+     * lowered on dispatch, cleared on flush.
+     */
+    uint64_t issueSkipUntil = 0;
+
+    /**
+     * Per-entry readiness memo, in lockstep with iq.  A plain value
+     * is a cycle bound: entry i cannot issue or replay before
+     * iqNextCheck[i], so the scan skips it without touching its ROB
+     * slot (0 = must recheck every scan).  A value with kMemoSeqTag
+     * set names an unissued instruction the entry is gated on; the
+     * scan skips the entry with a single ROB probe until that
+     * instruction issues.  Compacted alongside iq; reset by flushes.
+     */
+    static constexpr uint64_t kMemoSeqTag = 1ull << 63;
+    std::vector<uint64_t> iqNextCheck;
     std::deque<uint64_t> lq;           ///< load queue (seqs)
     std::deque<uint64_t> sq;           ///< store queue (seqs)
 
@@ -178,7 +222,7 @@ class Core
     uint32_t freePhys = 0;
 
     // Fetch state.
-    std::deque<ExecStep> replayQueue;  ///< squashed steps to re-fetch
+    RingQueue<ExecStep> replayQueue;   ///< squashed steps to re-fetch
     std::optional<ExecStep> pendingStep;
     uint64_t fetchResumeCycle = 0;     ///< stall until this cycle
     uint64_t stalledOnSeq = kCommitted;///< unresolved mispredict

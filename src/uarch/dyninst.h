@@ -71,6 +71,48 @@ struct DynInst
 
     bool isHandle() const { return ex.isHandle(); }
     bool hasDest() const { return destArch >= 0; }
+
+    /**
+     * Reset every field except `ex` to its freshly-constructed value.
+     * Fetch creates instructions directly in recycled fetch-queue
+     * slots (RingQueue::emplace_back_raw()) and overwrites `ex` with
+     * the oracle step separately; re-zeroing the large inline
+     * constituents array would be pure waste.
+     */
+    void
+    resetMeta()
+    {
+        seq = 0;
+        destArch = -1;
+        prevProducer = kCommitted;
+        numSrcs = 0;
+        srcProducers = {kCommitted, kCommitted, kCommitted};
+        srcSlots = {0, 0, 0};
+        bbInstance = 0;
+        bbHead = false;
+        isLoadOp = false;
+        isStoreOp = false;
+        memAddr = 0;
+        memSize = 0;
+        waitForStore = kCommitted;
+        memIssueCycle = kInfCycle;
+        memExecDone = kInfCycle;
+        forwarded = false;
+        fetchCycle = 0;
+        renameReady = 0;
+        dispatchCycle = 0;
+        earliestIssue = 0;
+        inIq = false;
+        issued = false;
+        issueCycle = kInfCycle;
+        specReady = kInfCycle;
+        ready = kInfCycle;
+        execDone = kInfCycle;
+        complete = kInfCycle;
+        mispredicted = false;
+        missedCache = false;
+        serializedIssue = false;
+    }
 };
 
 } // namespace mg::uarch

@@ -103,6 +103,20 @@ FunctionalCore::FunctionalCore(const assembler::Program &program,
     curPc = prog.entry;
     regs.fill(0);
     regs[isa::kStackReg] = mem.initialSp();
+
+    if (mgInfo) {
+        pcFlags.assign(prog.code.size(), 0);
+        pcInstance.assign(prog.code.size(), nullptr);
+        for (Addr pc : mgInfo->outlinedBodyPcs)
+            if (pc < pcFlags.size())
+                pcFlags[pc] |= kPcOutlinedBody;
+        for (Addr pc : mgInfo->outliningJumpPcs)
+            if (pc < pcFlags.size())
+                pcFlags[pc] |= kPcOutliningJump;
+        for (const auto &[pc, inst] : mgInfo->instances)
+            if (pc < pcInstance.size())
+                pcInstance[pc] = &inst;
+    }
 }
 
 ExecStep
@@ -113,9 +127,12 @@ FunctionalCore::step()
 
     if (inst.isHandle()) {
         mg_assert(mgInfo, "handle with no MgBinaryInfo at pc %u", curPc);
-        const isa::MgInstance *info = mgInfo->instanceAt(curPc);
+        const isa::MgInstance *info =
+            curPc < pcInstance.size() ? pcInstance[curPc] : nullptr;
         mg_assert(info, "no instance metadata for handle at pc %u", curPc);
-        bool disabled = disableQuery && disableQuery(curPc);
+        bool disabled = disableState
+                            ? disableState->isDisabled(curPc)
+                            : (disableQuery && disableQuery(curPc));
         if (!disabled)
             return execHandle(*info);
 
@@ -146,10 +163,11 @@ FunctionalCore::execSingleton()
     step.nextPc = curPc + 1;
     applySingleton(inst, step);
 
-    if (mgInfo) {
-        if (mgInfo->outlinedBodyPcs.count(curPc))
+    if (mgInfo && curPc < pcFlags.size()) {
+        uint8_t f = pcFlags[curPc];
+        if (f & kPcOutlinedBody)
             step.fromDisabledMg = true;
-        if (mgInfo->outliningJumpPcs.count(curPc)) {
+        if (f & kPcOutliningJump) {
             step.outliningJump = true;
             step.fromDisabledMg = false;
         }
@@ -251,7 +269,7 @@ FunctionalCore::execHandle(const isa::MgInstance &inst_info)
     step.tmpl = &tmpl;
     step.instance = &inst_info;
     step.nextPc = inst_info.pcAfter;
-    step.constituents.resize(tmpl.size());
+    step.numConstituents = static_cast<uint8_t>(tmpl.size());
 
     // Gather external inputs in slot order.
     std::array<uint64_t, isa::kMaxMgInputs> ext{};

@@ -26,6 +26,7 @@
 #include "assembler/program.h"
 #include "isa/minigraph_types.h"
 #include "uarch/memory.h"
+#include "uarch/slack_dynamic.h"
 
 namespace mg::uarch
 {
@@ -67,10 +68,39 @@ struct ExecStep
     /** Singleton that is part of a disabled handle's outlined body. */
     bool fromDisabledMg = false;
 
-    /** Enabled handle: template and per-constituent execution facts. */
+    /**
+     * Enabled handle: template and per-constituent execution facts.
+     * Inline capacity (templates have at most kMaxMgSize
+     * constituents) so copying a step around the front end never
+     * touches the heap; numConstituents gives the live count.
+     */
     const isa::MgTemplate *tmpl = nullptr;
     const isa::MgInstance *instance = nullptr;
-    std::vector<ConstituentExec> constituents;
+    std::array<ConstituentExec, isa::kMaxMgSize> constituents;
+    uint8_t numConstituents = 0;
+
+    // A step is copied several times on its way through the pipeline
+    // (oracle -> pending -> fetch queue -> ROB, back out on squash).
+    // Most steps are singletons with numConstituents == 0, so copying
+    // the whole constituents array is pure waste: copy only the live
+    // prefix.  Stale elements beyond numConstituents are never read;
+    // for the same reason the copy and move constructors leave the
+    // array uninitialized rather than zeroing all of it before
+    // assign() overwrites the live part (measurable at tens of
+    // millions of steps per run).
+    ExecStep() : constituents{} {}
+    ExecStep(const ExecStep &o) { assign(o); }
+    ExecStep(ExecStep &&o) noexcept { assign(o); }
+    ExecStep &operator=(const ExecStep &o)
+    {
+        assign(o);
+        return *this;
+    }
+    ExecStep &operator=(ExecStep &&o) noexcept
+    {
+        assign(o);
+        return *this;
+    }
 
     bool isHandle() const { return tmpl != nullptr; }
 
@@ -83,6 +113,26 @@ struct ExecStep
         if (syntheticJump || outliningJump)
             return 0;
         return 1;
+    }
+
+  private:
+    void
+    assign(const ExecStep &o)
+    {
+        pc = o.pc;
+        inst = o.inst;
+        nextPc = o.nextPc;
+        memAddr = o.memAddr;
+        memSize = o.memSize;
+        taken = o.taken;
+        syntheticJump = o.syntheticJump;
+        outliningJump = o.outliningJump;
+        fromDisabledMg = o.fromDisabledMg;
+        tmpl = o.tmpl;
+        instance = o.instance;
+        numConstituents = o.numConstituents;
+        for (uint8_t k = 0; k < o.numConstituents; ++k)
+            constituents[k] = o.constituents[k];
     }
 };
 
@@ -108,6 +158,19 @@ class FunctionalCore
     setDisableQuery(std::function<bool(isa::Addr)> query)
     {
         disableQuery = std::move(query);
+    }
+
+    /**
+     * Fast-path variant of setDisableQuery: query the Slack-Dynamic
+     * hardware state directly.  The timing core asks about every
+     * handle it fetches, so the type-erased std::function call is a
+     * measurable cost there; tests with ad-hoc predicates keep using
+     * setDisableQuery.  Takes precedence over disableQuery when set.
+     */
+    void
+    setDisableState(const SlackDynamicState *state)
+    {
+        disableState = state;
     }
 
     /** Execute one step. Must not be called once halted. */
@@ -147,6 +210,20 @@ class FunctionalCore
     const assembler::Program &prog;
     const isa::MgBinaryInfo *mgInfo;
     std::function<bool(isa::Addr)> disableQuery;
+    const SlackDynamicState *disableState = nullptr;
+
+    /**
+     * Dense per-PC caches of the MgBinaryInfo side tables.  The
+     * interpreter classifies every executed singleton against
+     * outlinedBodyPcs/outliningJumpPcs and resolves handles through
+     * instanceAt(); at one probe per architectural instruction the
+     * hash lookups dominate oracle time, so flatten them into arrays
+     * indexed by PC (PCs are instruction indices).
+     */
+    static constexpr uint8_t kPcOutlinedBody = 1;  ///< in an outlined body
+    static constexpr uint8_t kPcOutliningJump = 2; ///< body's jump-back
+    std::vector<uint8_t> pcFlags;
+    std::vector<const isa::MgInstance *> pcInstance;
 
     Memory mem;
     std::array<uint64_t, isa::kNumArchRegs> regs{};

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Fixed-layout FIFO over a power-of-two circular buffer.
+ *
+ * The timing core's fetch and replay queues hold large value types
+ * (DynInst is several hundred bytes), for which std::deque degrades
+ * to one element per chunk — every push/pop pair becomes a heap
+ * allocation plus deallocation, tens of millions of them per
+ * simulation.  This queue keeps elements in one contiguous buffer
+ * that only ever grows (doubling), so steady-state push/pop touch no
+ * allocator at all.
+ *
+ * pop_front() does not destroy the element, it only advances the
+ * head; slots are overwritten on reuse.  That is fine for the
+ * trivially-destructible pipeline records stored here and keeps the
+ * hot path branch-free.
+ */
+
+#ifndef MG_UARCH_RING_QUEUE_H
+#define MG_UARCH_RING_QUEUE_H
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace mg::uarch
+{
+
+template <typename T>
+class RingQueue
+{
+  public:
+    bool empty() const { return count == 0; }
+    size_t size() const { return count; }
+
+    T &front() { return buf[head]; }
+    const T &front() const { return buf[head]; }
+
+    T &operator[](size_t i) { return buf[(head + i) & mask]; }
+    const T &operator[](size_t i) const { return buf[(head + i) & mask]; }
+
+    /** Append a default-initialized element and return it. */
+    T &
+    emplace_back()
+    {
+        if (count == buf.size())
+            grow();
+        T &slot = buf[(head + count) & mask];
+        slot = T(); // reused slots hold stale values
+        ++count;
+        return slot;
+    }
+
+    /**
+     * Append without resetting the recycled slot: the caller must
+     * overwrite every field it will later read (e.g. fetch pairs this
+     * with DynInst::resetMeta() plus an ExecStep assignment).
+     */
+    T &
+    emplace_back_raw()
+    {
+        if (count == buf.size())
+            grow();
+        return buf[(head + count++) & mask];
+    }
+
+    // Assignment fully overwrites the recycled slot, no reset needed.
+    void push_back(T &&v) { emplace_back_raw() = std::move(v); }
+
+    /** Prepend; used when a squash re-queues steps for re-fetch. */
+    void
+    push_front(T &&v)
+    {
+        if (count == buf.size())
+            grow();
+        head = (head + mask) & mask; // head - 1, wrapped
+        buf[head] = std::move(v);
+        ++count;
+    }
+
+    void
+    pop_front()
+    {
+        head = (head + 1) & mask;
+        --count;
+    }
+
+    void
+    clear()
+    {
+        head = 0;
+        count = 0;
+    }
+
+  private:
+    void
+    grow()
+    {
+        size_t cap = buf.empty() ? kInitialCapacity : buf.size() * 2;
+        std::vector<T> next(cap);
+        for (size_t i = 0; i < count; ++i)
+            next[i] = std::move(buf[(head + i) & mask]);
+        buf = std::move(next);
+        head = 0;
+        mask = cap - 1;
+    }
+
+    static constexpr size_t kInitialCapacity = 16;
+
+    std::vector<T> buf;
+    size_t head = 0;
+    size_t count = 0;
+    size_t mask = 0;
+};
+
+} // namespace mg::uarch
+
+#endif // MG_UARCH_RING_QUEUE_H

@@ -43,7 +43,8 @@ class SlackDynamicState
     bool
     isDisabled(isa::Addr pc) const
     {
-        return disabled.count(pc) != 0;
+        // Most programs never disable anything; skip the hash probe.
+        return !disabled.empty() && disabled.count(pc) != 0;
     }
 
     /** Record a harmful serialization event for a handle. */

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * sim::BatchOptions: the consolidated option surface (env layer,
+ * flag-over-env precedence, order-independent validation, provenance
+ * reporting).
+ */
+
+#include <cstdlib>
+#include <map>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "sim/batch_options.h"
+#include "sim/runner.h"
+
+namespace mg::sim
+{
+namespace
+{
+
+/** All environment variables fromEnv() consults. */
+const char *const kBatchEnvVars[] = {
+    "MG_JOBS",    "MG_JSON",   "MG_PROGRESS", "MG_ISOLATE",
+    "MG_TIMEOUT", "MG_RETRIES", "MG_BACKOFF",  "MG_JOURNAL",
+    "MG_RESUME",  "MG_FAULTS", "MG_CHECKLEVEL",
+};
+
+/** Clears the batch environment for a test, restoring it afterward. */
+class BatchOptionsTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        for (const char *name : kBatchEnvVars) {
+            if (const char *v = std::getenv(name))
+                saved[name] = v;
+            unsetenv(name);
+        }
+    }
+
+    void
+    TearDown() override
+    {
+        for (const char *name : kBatchEnvVars) {
+            auto it = saved.find(name);
+            if (it == saved.end())
+                unsetenv(name);
+            else
+                setenv(name, it->second.c_str(), 1);
+        }
+    }
+
+  private:
+    std::map<std::string, std::string> saved;
+};
+
+TEST_F(BatchOptionsTest, DefaultsWithEmptyEnvironment)
+{
+    BatchOptions o = BatchOptions::fromEnv();
+    EXPECT_GE(o.jobs, 1u);
+    EXPECT_FALSE(o.json);
+    EXPECT_FALSE(o.progress);
+    EXPECT_FALSE(o.isolate);
+    EXPECT_FALSE(o.resume);
+    EXPECT_EQ(o.timeoutSec, 0.0);
+    EXPECT_EQ(o.retries, 0u);
+    EXPECT_DOUBLE_EQ(o.backoffSec, 0.05);
+    EXPECT_TRUE(o.journal.empty());
+    EXPECT_FALSE(o.fault.has_value());
+    EXPECT_EQ(o.src.jobs, OptionSource::Default);
+    EXPECT_EQ(o.src.json, OptionSource::Default);
+    EXPECT_EQ(o.src.timeout, OptionSource::Default);
+    EXPECT_TRUE(o.validate().empty());
+}
+
+TEST_F(BatchOptionsTest, EnvironmentLayerIsReadOnce)
+{
+    setenv("MG_JOBS", "3", 1);
+    setenv("MG_JSON", "1", 1);
+    setenv("MG_TIMEOUT", "2.5", 1);
+    setenv("MG_JOURNAL", "runs.journal", 1);
+    BatchOptions o = BatchOptions::fromEnv();
+    EXPECT_EQ(o.jobs, 3u);
+    EXPECT_EQ(o.src.jobs, OptionSource::Env);
+    EXPECT_TRUE(o.json);
+    EXPECT_EQ(o.src.json, OptionSource::Env);
+    EXPECT_DOUBLE_EQ(o.timeoutSec, 2.5);
+    EXPECT_EQ(o.src.timeout, OptionSource::Env);
+    EXPECT_EQ(o.journal, "runs.journal");
+    EXPECT_EQ(o.src.journal, OptionSource::Env);
+    // Untouched fields keep default provenance.
+    EXPECT_EQ(o.src.isolate, OptionSource::Default);
+}
+
+TEST_F(BatchOptionsTest, FlagBeatsEnvironment)
+{
+    setenv("MG_JOBS", "3", 1);
+    setenv("MG_ISOLATE", "1", 1);
+    BatchOptions o = BatchOptions::fromEnv();
+    std::string err;
+    ASSERT_TRUE(o.applyFlag("--jobs", "7", err));
+    EXPECT_TRUE(err.empty()) << err;
+    EXPECT_EQ(o.jobs, 7u);
+    EXPECT_EQ(o.src.jobs, OptionSource::Flag);
+    // The env-sourced isolate survives un-overridden.
+    EXPECT_TRUE(o.isolate);
+    EXPECT_EQ(o.src.isolate, OptionSource::Env);
+}
+
+TEST_F(BatchOptionsTest, BadFlagValuesAreConsumedWithComplaint)
+{
+    BatchOptions o = BatchOptions::fromEnv();
+    std::string err;
+    ASSERT_TRUE(o.applyFlag("--jobs", "0", err));
+    EXPECT_FALSE(err.empty());
+    err.clear();
+    ASSERT_TRUE(o.applyFlag("--timeout", "-1", err));
+    EXPECT_FALSE(err.empty());
+    err.clear();
+    ASSERT_TRUE(o.applyFlag("--retries", "101", err));
+    EXPECT_FALSE(err.empty());
+    err.clear();
+    ASSERT_TRUE(o.applyFlag("--check-level", "bogus", err));
+    EXPECT_FALSE(err.empty());
+    // A flag outside the batch surface is not consumed.
+    err.clear();
+    EXPECT_FALSE(o.applyFlag("--config", "reduced", err));
+    EXPECT_TRUE(err.empty());
+}
+
+TEST_F(BatchOptionsTest, OwnsFlagMatchesApplyFlag)
+{
+    for (const char *f :
+         {"--jobs", "--json", "--progress", "--isolate", "--timeout",
+          "--retries", "--backoff", "--journal", "--resume",
+          "--inject-fault", "--check-level"}) {
+        EXPECT_TRUE(BatchOptions::ownsFlag(f)) << f;
+    }
+    EXPECT_FALSE(BatchOptions::ownsFlag("--config"));
+    EXPECT_FALSE(BatchOptions::ownsFlag("--out"));
+}
+
+TEST_F(BatchOptionsTest, ValidateIsFlagOrderIndependent)
+{
+    // --timeout before --isolate.
+    BatchOptions a = BatchOptions::fromEnv();
+    std::string err;
+    ASSERT_TRUE(a.applyFlag("--timeout", "5", err) && err.empty());
+    ASSERT_TRUE(a.applyFlag("--isolate", "", err) && err.empty());
+    EXPECT_TRUE(a.validate().empty()) << a.validate();
+
+    // --isolate before --timeout.
+    BatchOptions b = BatchOptions::fromEnv();
+    ASSERT_TRUE(b.applyFlag("--isolate", "", err) && err.empty());
+    ASSERT_TRUE(b.applyFlag("--timeout", "5", err) && err.empty());
+    EXPECT_TRUE(b.validate().empty()) << b.validate();
+
+    // --timeout alone is rejected, naming the missing flag.
+    BatchOptions c = BatchOptions::fromEnv();
+    ASSERT_TRUE(c.applyFlag("--timeout", "5", err) && err.empty());
+    EXPECT_NE(c.validate().find("--isolate"), std::string::npos);
+
+    // --resume alone is rejected, naming --journal.
+    BatchOptions d = BatchOptions::fromEnv();
+    ASSERT_TRUE(d.applyFlag("--resume", "", err) && err.empty());
+    EXPECT_NE(d.validate().find("--journal"), std::string::npos);
+}
+
+TEST_F(BatchOptionsTest, TimeoutFromEnvStillRequiresIsolate)
+{
+    setenv("MG_TIMEOUT", "5", 1);
+    BatchOptions o = BatchOptions::fromEnv();
+    EXPECT_FALSE(o.validate().empty());
+    std::string err;
+    ASSERT_TRUE(o.applyFlag("--isolate", "", err) && err.empty());
+    EXPECT_TRUE(o.validate().empty());
+}
+
+TEST_F(BatchOptionsTest, DescribeReportsProvenance)
+{
+    setenv("MG_JOBS", "3", 1);
+    BatchOptions o = BatchOptions::fromEnv();
+    std::string err;
+    ASSERT_TRUE(o.applyFlag("--json", "", err) && err.empty());
+    std::string d = o.describe();
+    EXPECT_NE(d.find("\"jobs\":{\"value\":3,\"source\":\"env\"}"),
+              std::string::npos)
+        << d;
+    EXPECT_NE(d.find("\"json\":{\"value\":true,\"source\":\"flag\"}"),
+              std::string::npos)
+        << d;
+    EXPECT_NE(
+        d.find("\"progress\":{\"value\":false,\"source\":\"default\"}"),
+        std::string::npos)
+        << d;
+}
+
+TEST_F(BatchOptionsTest, RunnerOptionsCarryResolvedValues)
+{
+    setenv("MG_RETRIES", "2", 1);
+    BatchOptions o = BatchOptions::fromEnv();
+    std::string err;
+    ASSERT_TRUE(o.applyFlag("--isolate", "", err) && err.empty());
+    ASSERT_TRUE(o.applyFlag("--timeout", "1.5", err) && err.empty());
+    RunnerOptions r = o.runnerOptions();
+    EXPECT_EQ(r.jobs, o.jobs);
+    EXPECT_TRUE(r.isolate);
+    EXPECT_DOUBLE_EQ(r.timeoutSec, 1.5);
+    EXPECT_EQ(r.retries, 2u);
+}
+
+} // namespace
+} // namespace mg::sim

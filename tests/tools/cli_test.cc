@@ -1,0 +1,171 @@
+/**
+ * @file
+ * The shared mgsim subcommand parser: one grammar for every
+ * subcommand, uniform unknown-flag/bad-value complaints, and
+ * parse-time cross-flag validation independent of flag order.
+ */
+
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cli.h"
+
+namespace mg::cli
+{
+namespace
+{
+
+/** Environment variables that would leak into BatchOptions::fromEnv. */
+const char *const kBatchEnvVars[] = {
+    "MG_JOBS",    "MG_JSON",   "MG_PROGRESS", "MG_ISOLATE",
+    "MG_TIMEOUT", "MG_RETRIES", "MG_BACKOFF",  "MG_JOURNAL",
+    "MG_RESUME",  "MG_FAULTS", "MG_CHECKLEVEL",
+};
+
+class CliTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        for (const char *name : kBatchEnvVars) {
+            if (const char *v = std::getenv(name))
+                saved[name] = v;
+            unsetenv(name);
+        }
+    }
+
+    void
+    TearDown() override
+    {
+        for (const char *name : kBatchEnvVars) {
+            auto it = saved.find(name);
+            if (it == saved.end())
+                unsetenv(name);
+            else
+                setenv(name, it->second.c_str(), 1);
+        }
+    }
+
+    /** Parse as if argv were {"mgsim", cmd.name, args...}. */
+    static bool
+    parse(const std::vector<std::string> &args, const Command &cmd,
+          Args &out)
+    {
+        std::vector<std::string> full = {"mgsim", cmd.name};
+        full.insert(full.end(), args.begin(), args.end());
+        std::vector<char *> argv;
+        argv.reserve(full.size());
+        for (std::string &s : full)
+            argv.push_back(s.data());
+        return parseArgs(static_cast<int>(argv.size()), argv.data(), 2,
+                         cmd, out);
+    }
+
+  private:
+    std::map<std::string, std::string> saved;
+};
+
+Command
+runLikeCommand()
+{
+    Command cmd;
+    cmd.name = "run";
+    cmd.own = {{"--config", true}, {"--verbose", false}};
+    cmd.batchFlags = {"--jobs", "--json", "--isolate", "--timeout"};
+    cmd.minPositional = 1;
+    return cmd;
+}
+
+TEST_F(CliTest, OwnFlagsAndPositionals)
+{
+    Args out;
+    ASSERT_TRUE(parse({"--config", "reduced", "prog", "--verbose"},
+                      runLikeCommand(), out));
+    EXPECT_EQ(out.get("--config"), "reduced");
+    EXPECT_TRUE(out.has("--verbose"));
+    EXPECT_FALSE(out.has("--config-missing"));
+    ASSERT_EQ(out.positional.size(), 1u);
+    EXPECT_EQ(out.positional[0], "prog");
+}
+
+TEST_F(CliTest, UnknownFlagIsUsageError)
+{
+    Args out;
+    EXPECT_FALSE(parse({"--bogus", "prog"}, runLikeCommand(), out));
+}
+
+TEST_F(CliTest, MissingFlagValueIsUsageError)
+{
+    Args out;
+    EXPECT_FALSE(parse({"prog", "--config"}, runLikeCommand(), out));
+}
+
+TEST_F(CliTest, MissingPositionalIsUsageError)
+{
+    Args out;
+    EXPECT_FALSE(parse({"--verbose"}, runLikeCommand(), out));
+}
+
+TEST_F(CliTest, BatchFlagsParseIntoBatchOptions)
+{
+    Args out;
+    ASSERT_TRUE(
+        parse({"--jobs", "4", "--json", "prog"}, runLikeCommand(), out));
+    EXPECT_EQ(out.batch.jobs, 4u);
+    EXPECT_EQ(out.batch.src.jobs, sim::OptionSource::Flag);
+    EXPECT_TRUE(out.batch.json);
+    // Batch flags are not duplicated into the own-flag map.
+    EXPECT_FALSE(out.has("--jobs"));
+}
+
+TEST_F(CliTest, BatchFlagValueErrorsAreUsageErrors)
+{
+    Args out;
+    EXPECT_FALSE(parse({"--jobs", "0", "prog"}, runLikeCommand(), out));
+    EXPECT_FALSE(
+        parse({"--timeout", "nope", "prog"}, runLikeCommand(), out));
+}
+
+TEST_F(CliTest, TimeoutRequiresIsolateInEitherFlagOrder)
+{
+    // Regression: `--timeout` without `--isolate` must be rejected at
+    // parse time, whichever side of the other flags it lands on.
+    Args out;
+    EXPECT_TRUE(parse({"--timeout", "5", "--isolate", "prog"},
+                      runLikeCommand(), out));
+    Args out2;
+    EXPECT_TRUE(parse({"--isolate", "--timeout", "5", "prog"},
+                      runLikeCommand(), out2));
+    Args out3;
+    EXPECT_FALSE(
+        parse({"--timeout", "5", "prog"}, runLikeCommand(), out3));
+    Args out4;
+    EXPECT_FALSE(
+        parse({"prog", "--timeout", "5"}, runLikeCommand(), out4));
+}
+
+TEST_F(CliTest, BatchFlagsOutsideTheCommandSurfaceAreUnknown)
+{
+    // runLikeCommand accepts no --retries; it must be treated exactly
+    // like any other unknown flag.
+    Args out;
+    EXPECT_FALSE(
+        parse({"--retries", "2", "prog"}, runLikeCommand(), out));
+}
+
+TEST_F(CliTest, EnvLayerFlowsThroughParse)
+{
+    setenv("MG_JOBS", "5", 1);
+    Args out;
+    ASSERT_TRUE(parse({"prog"}, runLikeCommand(), out));
+    EXPECT_EQ(out.batch.jobs, 5u);
+    EXPECT_EQ(out.batch.src.jobs, sim::OptionSource::Env);
+}
+
+} // namespace
+} // namespace mg::cli

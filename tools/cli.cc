@@ -1,0 +1,109 @@
+#include "cli.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace mg::cli
+{
+
+namespace
+{
+
+/** Does this batch-surface flag take a value argument? */
+bool
+batchFlagTakesValue(const std::string &flag)
+{
+    return flag == "--jobs" || flag == "--timeout" ||
+           flag == "--retries" || flag == "--backoff" ||
+           flag == "--journal" || flag == "--inject-fault" ||
+           flag == "--check-level";
+}
+
+void
+complain(const Command &cmd, const std::string &msg)
+{
+    std::fprintf(stderr, "mgsim %s: %s\n", cmd.name.c_str(),
+                 msg.c_str());
+}
+
+} // namespace
+
+bool
+parseArgs(int argc, char **argv, int start, const Command &cmd,
+          Args &out)
+{
+    out.batch = sim::BatchOptions::fromEnv();
+
+    for (int i = start; i < argc; ++i) {
+        const std::string arg = argv[i];
+
+        if (arg.rfind("--", 0) != 0) {
+            out.positional.push_back(arg);
+            continue;
+        }
+
+        // Command-specific flag?
+        auto spec = std::find_if(
+            cmd.own.begin(), cmd.own.end(),
+            [&](const FlagSpec &f) { return f.name == arg; });
+        if (spec != cmd.own.end()) {
+            if (!spec->takesValue) {
+                out.own[arg] = "";
+                continue;
+            }
+            if (i + 1 >= argc) {
+                complain(cmd, arg + " needs a value");
+                return false;
+            }
+            out.own[arg] = argv[++i];
+            continue;
+        }
+
+        // Batch-surface flag accepted by this command?
+        if (std::find(cmd.batchFlags.begin(), cmd.batchFlags.end(),
+                      arg) != cmd.batchFlags.end()) {
+            std::string value;
+            if (batchFlagTakesValue(arg)) {
+                if (i + 1 >= argc) {
+                    complain(cmd, arg + " needs a value");
+                    return false;
+                }
+                value = argv[++i];
+            }
+            std::string err;
+            if (!out.batch.applyFlag(arg, value, err)) {
+                // ownsFlag and batchFlagTakesValue are in sync with
+                // applyFlag; reaching here means they diverged.
+                complain(cmd, "internal: unhandled batch flag " + arg);
+                return false;
+            }
+            if (!err.empty()) {
+                complain(cmd, err);
+                return false;
+            }
+            continue;
+        }
+
+        if (sim::BatchOptions::ownsFlag(arg)) {
+            complain(cmd, "flag " + arg +
+                              " is not accepted by this subcommand");
+            return false;
+        }
+        complain(cmd, "unknown flag " + arg);
+        return false;
+    }
+
+    if (out.positional.size() < cmd.minPositional) {
+        complain(cmd, "missing argument");
+        return false;
+    }
+
+    // Cross-flag rules hold regardless of the order flags appeared.
+    if (std::string err = out.batch.validate(); !err.empty()) {
+        complain(cmd, err);
+        return false;
+    }
+    return true;
+}
+
+} // namespace mg::cli

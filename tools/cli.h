@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Shared mgsim subcommand argument parser.
+ *
+ * Every mgsim subcommand used to hand-roll its own argv loop, so the
+ * flag surfaces drifted: `--json` meant different things, unknown
+ * flags were sometimes silently treated as usage and sometimes
+ * produced a specific complaint, and cross-flag rules (`--timeout`
+ * requires `--isolate`) were enforced late, inside the Runner.  This
+ * parser gives run/batch/trace/lint/perf one grammar:
+ *
+ *  - each command declares its own value/boolean flags plus the
+ *    subset of the sim::BatchOptions surface it accepts;
+ *  - batch-surface flags (--jobs, --json, --progress, --isolate,
+ *    --timeout, --retries, --backoff, --journal, --resume,
+ *    --inject-fault, --check-level) parse into a BatchOptions with
+ *    flag-over-env precedence (the env layer is read first via
+ *    BatchOptions::fromEnv());
+ *  - unknown flags and bad values produce one "mgsim <cmd>: ..."
+ *    complaint on stderr and a usage exit (code 2), everywhere;
+ *  - BatchOptions::validate() runs after all flags are consumed, so
+ *    cross-flag rules hold regardless of flag order.
+ */
+
+#ifndef MG_TOOLS_CLI_H
+#define MG_TOOLS_CLI_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/batch_options.h"
+
+namespace mg::cli
+{
+
+/** One command-specific flag. */
+struct FlagSpec
+{
+    std::string name; ///< including dashes, e.g. "--config"
+    bool takesValue = false;
+};
+
+/** A subcommand's accepted argument surface. */
+struct Command
+{
+    std::string name; ///< e.g. "batch" (used in error messages)
+
+    /** Command-specific flags (e.g. --config, --out). */
+    std::vector<FlagSpec> own;
+
+    /**
+     * Accepted sim::BatchOptions flags by name; parsed straight into
+     * Args::batch with flag-over-env precedence.
+     */
+    std::vector<std::string> batchFlags;
+
+    /** Positional arguments required (after the subcommand name). */
+    size_t minPositional = 0;
+};
+
+/** The parsed argument set for one invocation. */
+struct Args
+{
+    /** Positional arguments in order. */
+    std::vector<std::string> positional;
+
+    /** Env layer + accepted batch flags, validated. */
+    sim::BatchOptions batch;
+
+    /** Command-specific flag values ("" for boolean presence). */
+    std::map<std::string, std::string> own;
+
+    bool has(const std::string &flag) const
+    {
+        return own.count(flag) != 0;
+    }
+
+    std::string get(const std::string &flag,
+                    const std::string &dflt = "") const
+    {
+        auto it = own.find(flag);
+        return it == own.end() ? dflt : it->second;
+    }
+};
+
+/**
+ * Parse argv[start..argc) against `cmd`.
+ *
+ * On success fills `out` (batch fields resolved env-then-flags and
+ * cross-validated) and returns true.  On any usage problem — unknown
+ * flag, missing value, bad value, missing positional, failed
+ * cross-flag validation — prints "mgsim <cmd>: <complaint>" to
+ * stderr and returns false; the caller exits with the uniform usage
+ * code 2.
+ */
+bool parseArgs(int argc, char **argv, int start, const Command &cmd,
+               Args &out);
+
+} // namespace mg::cli
+
+#endif // MG_TOOLS_CLI_H

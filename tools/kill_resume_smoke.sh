@@ -4,9 +4,10 @@
 # Starts an isolated, journalled `mgsim batch`, SIGKILLs the batch
 # process mid-flight, resumes it from the journal, and requires the
 # resumed run's --json output to be byte-identical to an uninterrupted
-# reference run.  The per-batch summary line (`{"batch":...}`) is
-# stripped before comparing: its "replayed" count legitimately differs
-# between an interrupted-and-resumed batch and a straight-through one.
+# reference run.  The per-batch option record (`{"options":...}`) and
+# summary line (`{"batch":...}`) are stripped before comparing: the
+# resumed batch legitimately differs there (--journal/--resume flags,
+# "replayed" count).
 #
 # Usage: tools/kill_resume_smoke.sh [path/to/mgsim]
 
@@ -35,7 +36,7 @@ EOF
 echo "== reference: uninterrupted batch =="
 "$MGSIM" batch "$WORK/jobs.txt" --jobs 1 --isolate --json \
     > "$WORK/ref.json" 2> /dev/null
-grep -v '^{"batch"' "$WORK/ref.json" > "$WORK/ref.stripped"
+grep -v -e '^{"batch"' -e '^{"options"' "$WORK/ref.json" > "$WORK/ref.stripped"
 
 echo "== interrupted batch: SIGKILL once the journal has 2 entries =="
 "$MGSIM" batch "$WORK/jobs.txt" --jobs 1 --isolate --json \
@@ -61,7 +62,7 @@ echo "== resume from the journal =="
 "$MGSIM" batch "$WORK/jobs.txt" --jobs 1 --isolate --json \
     --journal "$WORK/journal.log" --resume \
     > "$WORK/resumed.json" 2> "$WORK/resumed.err"
-grep -v '^{"batch"' "$WORK/resumed.json" > "$WORK/resumed.stripped"
+grep -v -e '^{"batch"' -e '^{"options"' "$WORK/resumed.json" > "$WORK/resumed.stripped"
 
 if ! diff -u "$WORK/ref.stripped" "$WORK/resumed.stripped"; then
     echo "kill_resume_smoke: FAIL — resumed output differs from the" \

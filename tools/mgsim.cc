@@ -7,23 +7,39 @@
  *   mgsim batch <jobs.txt|-> [--jobs N] [--json] [--progress]
  *               [--isolate] [--timeout SEC] [--retries N]
  *               [--backoff SEC] [--journal FILE] [--resume]
- *               [--inject-fault SPEC]
+ *               [--inject-fault SPEC] [--check-level LVL]
  *   mgsim trace <prog.s|workload> [--config NAME] [--selector NAME]
- *               [--out PREFIX] [--start N] [--end N]
+ *               [--out PREFIX] [--start N] [--end N] [--json]
+ *   mgsim perf [--subset pinned|smoke|full] [--out FILE]
+ *              [--baseline FILE] [--label TEXT] [--pr N] [--jobs N]
+ *              [--json] | perf --check FILE
  *   mgsim candidates <prog.s|workload>
  *   mgsim lint <prog.s|workload|all> [--config NAME]
- *              [--selector NAME|all] [--budget N]
+ *              [--selector NAME|all] [--budget N] [--json]
  *   mgsim disasm <prog.s|workload>
  *   mgsim profile <prog.s|workload> [--config NAME]   (stdout: profile)
  *   mgsim workloads
  *   mgsim configs
  *   mgsim selectors
  *
+ * All subcommands share one argument grammar (tools/cli.h): flags of
+ * the batch-execution surface (--jobs, --json, ...) parse into
+ * sim::BatchOptions with flag-over-env precedence, command-specific
+ * flags are declared per subcommand, and any usage problem — unknown
+ * flag, bad value, inconsistent combination like `--timeout` without
+ * `--isolate` — is a parse-time complaint with exit code 2.
+ *
  * `mgsim trace` simulates once with the pipeline tracer attached and
  * writes <PREFIX>.kanata (Konata pipeline log), <PREFIX>.trace.json
  * (Chrome trace_event) and <PREFIX>.stats.json (run statistics with
  * the cycle-loss breakdown), round-trip validating each artefact; see
  * docs/TRACING.md.
+ *
+ * `mgsim perf` is the self-benchmarking harness (docs/PERF.md): it
+ * runs a pinned subset of the workload x selector matrix and writes
+ * the BENCH_<pr>.json document with simulated-cycles/sec, per-run and
+ * end-to-end wall time, and peak RSS; `--baseline OLD.json` embeds
+ * the previous measurement and the end-to-end speedup.
  *
  * A program argument is either a path to an MG-RISC assembly file or
  * the name of a built-in benchmark (e.g. "adpcm_c.0").
@@ -47,7 +63,7 @@
  */
 
 #include <cstdio>
-#include <cstring>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -55,13 +71,15 @@
 
 #include "assembler/assembler.h"
 #include "check/mg_lint.h"
+#include "cli.h"
 #include "common/stats_util.h"
+#include "common/string_util.h"
 #include "minigraph/rewriter.h"
 #include "minigraph/selectors.h"
 #include "profile/exec_counts.h"
-#include "profile/slack_profile.h"
-#include "common/string_util.h"
 #include "profile/profile_io.h"
+#include "profile/slack_profile.h"
+#include "sim/perf_harness.h"
 #include "sim/runner.h"
 #include "trace/konata.h"
 #include "trace/stats_json.h"
@@ -96,13 +114,16 @@ usage()
         "  mgsim batch <jobs.txt|-> [--jobs N] [--json] [--progress]\n"
         "              [--isolate] [--timeout SEC] [--retries N]\n"
         "              [--backoff SEC] [--journal FILE] [--resume]\n"
-        "              [--inject-fault SPEC]\n"
+        "              [--inject-fault SPEC] [--check-level LVL]\n"
         "  mgsim trace <prog.s|workload> [--config NAME] [--selector "
         "NAME]\n"
-        "              [--out PREFIX] [--start N] [--end N]\n"
+        "              [--out PREFIX] [--start N] [--end N] [--json]\n"
+        "  mgsim perf [--subset pinned|smoke|full] [--out FILE]\n"
+        "             [--baseline FILE] [--label TEXT] [--pr N]\n"
+        "             [--jobs N] [--json] | perf --check FILE\n"
         "  mgsim candidates <prog.s|workload>\n"
         "  mgsim lint <prog.s|workload|all> [--config NAME]\n"
-        "             [--selector NAME|all] [--budget N]\n"
+        "             [--selector NAME|all] [--budget N] [--json]\n"
         "  mgsim disasm <prog.s|workload>\n"
         "  mgsim profile <prog.s|workload> [--config NAME]\n"
         "  mgsim workloads\n"
@@ -130,6 +151,7 @@ usage()
         "of re-running\n"
         "--inject-fault SPEC  inject a fault: "
         "crash|hang|oom|corrupt[@cycle][:match][!attempts]\n"
+        "--check-level LVL    invariant audit level: off, cheap, full\n"
         "\n"
         "batch exit codes: 0 all ok, 3 partial failure, 1 total "
         "failure, 2 usage\n"
@@ -235,135 +257,29 @@ printJson(const sim::RunRequest &req, const std::string &program_name,
     std::printf("%s\n", line.c_str());
 }
 
-struct CommonFlags
-{
-    std::string config = "reduced";
-    std::string selector = "none";
-    unsigned jobs = 0;
-    uint32_t budget = 512;
-    bool json = false;
-    bool progress = false;
-
-    // mgsim batch robustness (docs/ROBUSTNESS.md)
-    bool isolate = false;
-    double timeoutSec = 0.0;
-    unsigned retries = 0;
-    double backoffSec = 0.05;
-    std::string journal;
-    bool resume = false;
-    std::string injectFault;
-
-    // mgsim trace
-    std::string out = "mgtrace";
-    uint64_t start = 0;
-    uint64_t end = UINT64_MAX;
-};
-
-/**
- * Parse trailing flags; returns false on an unknown flag or a bad
- * value (specific complaint printed to stderr before the usage text).
- */
+/** Parse a selector name into a RunRequest; complain on stderr. */
 bool
-parseFlags(int argc, char **argv, int start, CommonFlags &out)
+applySelector(const std::string &name, sim::RunRequest &req)
 {
-    for (int i = start; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--config") == 0 && i + 1 < argc) {
-            out.config = argv[++i];
-        } else if (std::strcmp(argv[i], "--selector") == 0 &&
-                   i + 1 < argc) {
-            out.selector = argv[++i];
-        } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
-            long v = std::atol(argv[++i]);
-            if (v <= 0 || v > 1024) {
-                std::fprintf(stderr,
-                             "mgsim: --jobs %s: worker count must be a "
-                             "positive integer in 1..1024 (omit the "
-                             "flag for the default: MG_JOBS, else all "
-                             "cores)\n",
-                             argv[i]);
-                return false;
-            }
-            out.jobs = static_cast<unsigned>(v);
-        } else if (std::strcmp(argv[i], "--isolate") == 0) {
-            out.isolate = true;
-        } else if (std::strcmp(argv[i], "--timeout") == 0 &&
-                   i + 1 < argc) {
-            double v = std::atof(argv[++i]);
-            if (v <= 0) {
-                std::fprintf(stderr,
-                             "mgsim: --timeout %s: want a positive "
-                             "number of seconds\n",
-                             argv[i]);
-                return false;
-            }
-            out.timeoutSec = v;
-        } else if (std::strcmp(argv[i], "--retries") == 0 &&
-                   i + 1 < argc) {
-            long v = std::atol(argv[++i]);
-            if (v < 0 || v > 100) {
-                std::fprintf(stderr,
-                             "mgsim: --retries %s: want an integer in "
-                             "0..100\n",
-                             argv[i]);
-                return false;
-            }
-            out.retries = static_cast<unsigned>(v);
-        } else if (std::strcmp(argv[i], "--backoff") == 0 &&
-                   i + 1 < argc) {
-            double v = std::atof(argv[++i]);
-            if (v < 0) {
-                std::fprintf(stderr,
-                             "mgsim: --backoff %s: want a non-negative "
-                             "number of seconds\n",
-                             argv[i]);
-                return false;
-            }
-            out.backoffSec = v;
-        } else if (std::strcmp(argv[i], "--journal") == 0 &&
-                   i + 1 < argc) {
-            out.journal = argv[++i];
-        } else if (std::strcmp(argv[i], "--resume") == 0) {
-            out.resume = true;
-        } else if (std::strcmp(argv[i], "--inject-fault") == 0 &&
-                   i + 1 < argc) {
-            out.injectFault = argv[++i];
-        } else if (std::strcmp(argv[i], "--budget") == 0 &&
-                   i + 1 < argc) {
-            long v = std::atol(argv[++i]);
-            if (v <= 0)
-                return false;
-            out.budget = static_cast<uint32_t>(v);
-        } else if (std::strcmp(argv[i], "--json") == 0) {
-            out.json = true;
-        } else if (std::strcmp(argv[i], "--progress") == 0) {
-            out.progress = true;
-        } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
-            out.out = argv[++i];
-        } else if (std::strcmp(argv[i], "--start") == 0 &&
-                   i + 1 < argc) {
-            long long v = std::atoll(argv[++i]);
-            if (v < 0)
-                return false;
-            out.start = static_cast<uint64_t>(v);
-        } else if (std::strcmp(argv[i], "--end") == 0 && i + 1 < argc) {
-            long long v = std::atoll(argv[++i]);
-            if (v < 0)
-                return false;
-            out.end = static_cast<uint64_t>(v);
-        } else {
-            return false;
-        }
+    if (name == "none")
+        return true;
+    auto kind = minigraph::selectorFromName(name);
+    if (!kind) {
+        std::fprintf(stderr, "unknown selector '%s'\n", name.c_str());
+        return false;
     }
+    req.selector = *kind;
     return true;
 }
 
 int
-cmdRun(const std::string &prog_arg, const CommonFlags &flags)
+cmdRun(const cli::Args &args)
 {
-    auto cfg = uarch::configFromName(flags.config);
+    const std::string &prog_arg = args.positional[0];
+    const std::string config = args.get("--config", "reduced");
+    auto cfg = uarch::configFromName(config);
     if (!cfg) {
-        std::fprintf(stderr, "unknown config '%s'\n",
-                     flags.config.c_str());
+        std::fprintf(stderr, "unknown config '%s'\n", config.c_str());
         return 2;
     }
     auto prog = loadProgram(prog_arg);
@@ -374,19 +290,12 @@ cmdRun(const std::string &prog_arg, const CommonFlags &flags)
 
     sim::RunRequest req;
     req.config = *cfg;
-    if (flags.selector != "none") {
-        auto kind = minigraph::selectorFromName(flags.selector);
-        if (!kind) {
-            std::fprintf(stderr, "unknown selector '%s'\n",
-                         flags.selector.c_str());
-            return 2;
-        }
-        req.selector = *kind;
-    }
+    if (!applySelector(args.get("--selector", "none"), req))
+        return 2;
 
     sim::ProgramContext ctx(*prog);
     auto run = ctx.run(req);
-    if (flags.json) {
+    if (args.batch.json) {
         printJson(req, prog->name, run);
         return run.ok ? 0 : 1;
     }
@@ -406,12 +315,13 @@ cmdRun(const std::string &prog_arg, const CommonFlags &flags)
  * round-trip validate the Konata / Chrome / stats artefacts.
  */
 int
-cmdTrace(const std::string &prog_arg, const CommonFlags &flags)
+cmdTrace(const cli::Args &args)
 {
-    auto cfg = uarch::configFromName(flags.config);
+    const std::string &prog_arg = args.positional[0];
+    const std::string config = args.get("--config", "reduced");
+    auto cfg = uarch::configFromName(config);
     if (!cfg) {
-        std::fprintf(stderr, "unknown config '%s'\n",
-                     flags.config.c_str());
+        std::fprintf(stderr, "unknown config '%s'\n", config.c_str());
         return 2;
     }
     auto prog = loadProgram(prog_arg);
@@ -420,23 +330,34 @@ cmdTrace(const std::string &prog_arg, const CommonFlags &flags)
         return 2;
     }
 
-    const std::string konata_path = flags.out + ".kanata";
-    const std::string chrome_path = flags.out + ".trace.json";
-    const std::string stats_path = flags.out + ".stats.json";
+    const std::string prefix = args.get("--out", "mgtrace");
+    const std::string konata_path = prefix + ".kanata";
+    const std::string chrome_path = prefix + ".trace.json";
+    const std::string stats_path = prefix + ".stats.json";
 
     sim::RunRequest req;
     req.config = *cfg;
-    if (flags.selector != "none") {
-        auto kind = minigraph::selectorFromName(flags.selector);
-        if (!kind) {
-            std::fprintf(stderr, "unknown selector '%s'\n",
-                         flags.selector.c_str());
+    if (!applySelector(args.get("--selector", "none"), req))
+        return 2;
+    uint64_t start = 0, end = UINT64_MAX;
+    if (args.has("--start")) {
+        long long v = std::atoll(args.get("--start").c_str());
+        if (v < 0) {
+            std::fprintf(stderr, "mgsim trace: bad --start\n");
             return 2;
         }
-        req.selector = *kind;
+        start = static_cast<uint64_t>(v);
     }
-    req.trace = trace::TraceConfig{flags.start, flags.end, konata_path,
-                                   chrome_path};
+    if (args.has("--end")) {
+        long long v = std::atoll(args.get("--end").c_str());
+        if (v < 0) {
+            std::fprintf(stderr, "mgsim trace: bad --end\n");
+            return 2;
+        }
+        end = static_cast<uint64_t>(v);
+    }
+    req.trace =
+        trace::TraceConfig{start, end, konata_path, chrome_path};
 
     sim::ProgramContext ctx(*prog);
     auto run = ctx.run(req);
@@ -476,13 +397,22 @@ cmdTrace(const std::string &prog_arg, const CommonFlags &flags)
                      stats_path.c_str(), err.c_str());
         rc = 1;
     }
-    if (rc == 0) {
+    if (rc != 0)
+        return rc;
+    if (args.batch.json) {
+        std::printf("{\"konata\":\"%s\",\"chrome\":\"%s\",\"stats\":"
+                    "\"%s\",\"cycles\":%llu}\n",
+                    trace::jsonEscape(konata_path).c_str(),
+                    trace::jsonEscape(chrome_path).c_str(),
+                    trace::jsonEscape(stats_path).c_str(),
+                    static_cast<unsigned long long>(run.sim.cycles));
+    } else {
         std::printf("wrote %s %s %s (%llu cycles simulated)\n",
                     konata_path.c_str(), chrome_path.c_str(),
                     stats_path.c_str(),
                     static_cast<unsigned long long>(run.sim.cycles));
     }
-    return rc;
+    return 0;
 }
 
 /** Parse one batch-file line into a request; false on error. */
@@ -544,8 +474,11 @@ parseJobLine(const std::string &line, sim::RunRequest &out,
 }
 
 int
-cmdBatch(const std::string &list_arg, const CommonFlags &flags)
+cmdBatch(const cli::Args &args)
 {
+    const std::string &list_arg = args.positional[0];
+    const sim::BatchOptions &bopts = args.batch;
+
     std::ifstream file;
     std::istream *in = &std::cin;
     if (list_arg != "-") {
@@ -572,6 +505,11 @@ cmdBatch(const std::string &list_arg, const CommonFlags &flags)
                          lineno, err.c_str());
             return 2;
         }
+        // An explicit --check-level overrides the per-config default
+        // for every job (the env var is already folded into the
+        // config default; see uarch::defaultCheckLevel()).
+        if (bopts.src.checkLevel == sim::OptionSource::Flag)
+            req.config.checkLevel = bopts.checkLevel;
         jobs.push_back(std::move(req));
     }
     if (jobs.empty()) {
@@ -579,39 +517,16 @@ cmdBatch(const std::string &list_arg, const CommonFlags &flags)
         return 2;
     }
 
-    if (flags.timeoutSec > 0 && !flags.isolate) {
-        std::fprintf(stderr,
-                     "mgsim: --timeout requires --isolate (an "
-                     "in-process run cannot be killed safely)\n");
-        return 2;
-    }
-    if (flags.resume && flags.journal.empty()) {
-        std::fprintf(stderr, "mgsim: --resume requires --journal\n");
-        return 2;
+    if (bopts.json) {
+        // First record: the resolved option set with per-field
+        // provenance, so a machine-readable batch documents exactly
+        // how it was configured.
+        std::printf("{\"options\":%s}\n", bopts.describe().c_str());
     }
 
-    sim::Runner::Options opts;
-    opts.jobs = flags.jobs;
-    opts.progress = flags.progress;
-    opts.isolate = flags.isolate;
-    opts.timeoutSec = flags.timeoutSec;
-    opts.retries = flags.retries;
-    opts.backoffSec = flags.backoffSec;
-    opts.journalPath = flags.journal;
-    opts.resume = flags.resume;
-    if (!flags.injectFault.empty()) {
-        std::string err;
-        opts.fault = sim::parseFaultSpec(flags.injectFault, err);
-        if (!opts.fault) {
-            std::fprintf(stderr, "mgsim: --inject-fault: %s\n",
-                         err.c_str());
-            return 2;
-        }
-    }
-
-    sim::Runner runner(opts);
+    sim::Runner runner(bopts.runnerOptions());
     std::fprintf(stderr, "%zu jobs on %u threads%s\n", jobs.size(),
-                 runner.jobs(), flags.isolate ? " (isolated)" : "");
+                 runner.jobs(), bopts.isolate ? " (isolated)" : "");
     auto results = runner.run(jobs, "batch");
 
     for (size_t i = 0; i < results.size(); ++i) {
@@ -620,7 +535,7 @@ cmdBatch(const std::string &list_arg, const CommonFlags &flags)
         std::string wname =
             req.workload.name() + (req.altInput ? "#alt" : "");
         std::string key = sim::journal::runKey(req);
-        if (flags.json) {
+        if (bopts.json) {
             // Splice "status" and "key" in front of the stats-JSON
             // payload so the rest of the line keeps the exact bytes
             // the journal / isolated child produced.
@@ -676,7 +591,7 @@ cmdBatch(const std::string &list_arg, const CommonFlags &flags)
                  "timed out, %zu replayed from journal)\n",
                  sum.ok, sum.total, sum.failed, sum.retried,
                  sum.timedOut, sum.replayed);
-    if (flags.json) {
+    if (bopts.json) {
         std::printf("{\"batch\":{\"total\":%zu,\"ok\":%zu,"
                     "\"failed\":%zu,\"retried\":%zu,\"timedOut\":%zu,"
                     "\"replayed\":%zu}}\n",
@@ -688,6 +603,131 @@ cmdBatch(const std::string &list_arg, const CommonFlags &flags)
     if (sum.failed == 0)
         return 0;
     return sum.ok ? 3 : 1;
+}
+
+int
+cmdPerf(const cli::Args &args)
+{
+    // --check FILE: validate an existing bench report (schema parse,
+    // round-trip, every cell ok) without running anything.  CI runs
+    // this on the report it just produced; the per-PR workflow runs
+    // it on checked-in BENCH_*.json files.
+    if (args.has("--check")) {
+        const std::string path = args.get("--check");
+        std::ifstream in(path, std::ios::binary);
+        if (!in) {
+            std::fprintf(stderr, "mgsim perf: cannot open '%s'\n",
+                         path.c_str());
+            return 2;
+        }
+        std::stringstream ss;
+        ss << in.rdbuf();
+        sim::PerfReport rep;
+        if (std::string perr = sim::parseBenchJson(ss.str(), rep);
+            !perr.empty()) {
+            std::fprintf(stderr, "mgsim perf: %s: %s\n", path.c_str(),
+                         perr.c_str());
+            return 1;
+        }
+        if (!rep.allOk()) {
+            std::fprintf(stderr,
+                         "mgsim perf: %s: contains failed runs\n",
+                         path.c_str());
+            return 1;
+        }
+        std::fprintf(stderr,
+                     "perf: %s ok (%s subset, %zu cells, %.2fs)\n",
+                     path.c_str(), rep.subset.c_str(),
+                     rep.runs.size(), rep.batchWallSec);
+        return 0;
+    }
+
+    const std::string subset = args.get("--subset", "pinned");
+    std::string err;
+    auto cells = sim::perfCellsForSubset(subset, err);
+    if (!err.empty()) {
+        std::fprintf(stderr, "mgsim perf: %s\n", err.c_str());
+        return 2;
+    }
+
+    unsigned pr = 0;
+    if (args.has("--pr")) {
+        long v = std::atol(args.get("--pr").c_str());
+        if (v <= 0) {
+            std::fprintf(stderr,
+                         "mgsim perf: --pr %s: want a positive "
+                         "integer\n",
+                         args.get("--pr").c_str());
+            return 2;
+        }
+        pr = static_cast<unsigned>(v);
+    }
+
+    // Unless --jobs was given explicitly, measure with one worker:
+    // the pinned numbers must not depend on the machine's core count.
+    unsigned jobs = args.batch.src.jobs == sim::OptionSource::Flag
+                        ? args.batch.jobs
+                        : 1;
+
+    std::optional<sim::PerfBaseline> baseline;
+    if (args.has("--baseline")) {
+        const std::string path = args.get("--baseline");
+        std::ifstream in(path, std::ios::binary);
+        if (!in) {
+            std::fprintf(stderr, "mgsim perf: cannot open '%s'\n",
+                         path.c_str());
+            return 2;
+        }
+        std::stringstream ss;
+        ss << in.rdbuf();
+        sim::PerfReport base;
+        if (std::string perr = sim::parseBenchJson(ss.str(), base);
+            !perr.empty()) {
+            std::fprintf(stderr, "mgsim perf: %s: %s\n", path.c_str(),
+                         perr.c_str());
+            return 2;
+        }
+        sim::PerfBaseline b;
+        b.label = args.get("--label", "baseline");
+        b.batchWallSec = base.batchWallSec;
+        b.totalSimCycles = base.totalSimCycles;
+        b.simCyclesPerSec = base.simCyclesPerSec;
+        b.peakRssKb = base.peakRssKb;
+        baseline = b;
+    }
+
+    std::fprintf(stderr, "perf: %zu cells (%s subset) on %u thread%s\n",
+                 cells.size(), subset.c_str(), jobs,
+                 jobs == 1 ? "" : "s");
+    sim::PerfReport rep = sim::runPerf(cells, jobs, pr, subset);
+    rep.baseline = baseline;
+
+    std::string doc = sim::benchJson(rep);
+    const std::string out_path = args.get("--out", "");
+    if (!out_path.empty() && out_path != "-") {
+        std::ofstream out(out_path, std::ios::binary);
+        out << doc;
+        if (!out) {
+            std::fprintf(stderr, "mgsim perf: cannot write '%s'\n",
+                         out_path.c_str());
+            return 1;
+        }
+    }
+    if (args.batch.json || out_path.empty() || out_path == "-")
+        std::fwrite(doc.data(), 1, doc.size(), stdout);
+
+    std::fprintf(stderr,
+                 "perf: %.2fs end-to-end, %llu simulated cycles "
+                 "(%.2fM cyc/s), peak RSS %ld KB\n",
+                 rep.batchWallSec,
+                 static_cast<unsigned long long>(rep.totalSimCycles),
+                 rep.simCyclesPerSec / 1e6, rep.peakRssKb);
+    if (rep.baseline) {
+        std::fprintf(stderr, "perf: %.2fx end-to-end vs %s (%.2fs)\n",
+                     rep.speedup(), rep.baseline->label.c_str(),
+                     rep.baseline->batchWallSec);
+    }
+    return rep.allOk() ? 0 : 1;
 }
 
 int
@@ -728,7 +768,8 @@ cmdCandidates(const std::string &prog_arg)
 size_t
 lintProgram(const assembler::Program &prog,
             const std::vector<minigraph::SelectorKind> &kinds,
-            const uarch::CoreConfig &machine, uint32_t budget)
+            const uarch::CoreConfig &machine, uint32_t budget,
+            bool json)
 {
     auto pool = minigraph::enumerateCandidates(prog);
     auto counts = profile::countExecutions(prog);
@@ -747,44 +788,67 @@ lintProgram(const assembler::Program &prog,
         auto rw = minigraph::rewrite(prog, sel.chosen);
         check::LintReport rep =
             check::lintRewrite(prog, sel.chosen, rw.program, rw.info);
-        std::printf("%-18s %-22s templates=%-4zu instances=%-5zu %s\n",
-                    prog.name.c_str(), minigraph::nameOf(kind).c_str(),
-                    rep.templatesChecked, rep.instancesChecked,
-                    rep.clean() ? "clean"
-                                : ("FINDINGS(" +
-                                   std::to_string(rep.findings.size()) +
-                                   ")")
-                                      .c_str());
-        if (!rep.clean())
-            std::printf("%s", rep.render().c_str());
+        if (json) {
+            std::printf("{\"workload\":\"%s\",\"selector\":\"%s\","
+                        "\"templates\":%zu,\"instances\":%zu,"
+                        "\"findings\":%zu}\n",
+                        trace::jsonEscape(prog.name).c_str(),
+                        trace::jsonEscape(minigraph::nameOf(kind))
+                            .c_str(),
+                        rep.templatesChecked, rep.instancesChecked,
+                        rep.findings.size());
+        } else {
+            std::printf(
+                "%-18s %-22s templates=%-4zu instances=%-5zu %s\n",
+                prog.name.c_str(), minigraph::nameOf(kind).c_str(),
+                rep.templatesChecked, rep.instancesChecked,
+                rep.clean() ? "clean"
+                            : ("FINDINGS(" +
+                               std::to_string(rep.findings.size()) +
+                               ")")
+                                  .c_str());
+            if (!rep.clean())
+                std::printf("%s", rep.render().c_str());
+        }
         findings += rep.findings.size();
     }
     return findings;
 }
 
 int
-cmdLint(const std::string &prog_arg, const CommonFlags &flags)
+cmdLint(const cli::Args &args)
 {
-    auto machine = uarch::configFromName(flags.config);
+    const std::string &prog_arg = args.positional[0];
+    const std::string config = args.get("--config", "reduced");
+    auto machine = uarch::configFromName(config);
     if (!machine) {
-        std::fprintf(stderr, "unknown config '%s'\n",
-                     flags.config.c_str());
+        std::fprintf(stderr, "unknown config '%s'\n", config.c_str());
         return 2;
+    }
+    uint32_t budget = 512;
+    if (args.has("--budget")) {
+        long v = std::atol(args.get("--budget").c_str());
+        if (v <= 0) {
+            std::fprintf(stderr, "mgsim lint: bad --budget\n");
+            return 2;
+        }
+        budget = static_cast<uint32_t>(v);
     }
 
     // Default: the five paper selectors (lint "none" is vacuous).
+    const std::string selector = args.get("--selector", "none");
     std::vector<minigraph::SelectorKind> kinds;
-    if (flags.selector == "none" || flags.selector == "all") {
+    if (selector == "none" || selector == "all") {
         kinds = {minigraph::SelectorKind::StructAll,
                  minigraph::SelectorKind::StructNone,
                  minigraph::SelectorKind::StructBounded,
                  minigraph::SelectorKind::SlackProfile,
                  minigraph::SelectorKind::SlackDynamic};
     } else {
-        auto kind = minigraph::selectorFromName(flags.selector);
+        auto kind = minigraph::selectorFromName(selector);
         if (!kind) {
             std::fprintf(stderr, "unknown selector '%s'\n",
-                         flags.selector.c_str());
+                         selector.c_str());
             return 2;
         }
         kinds = {*kind};
@@ -794,7 +858,8 @@ cmdLint(const std::string &prog_arg, const CommonFlags &flags)
     if (prog_arg == "all") {
         for (const auto &spec : workloads::workloadList()) {
             auto prog = workloads::buildWorkload(spec).program;
-            findings += lintProgram(prog, kinds, *machine, flags.budget);
+            findings += lintProgram(prog, kinds, *machine, budget,
+                                    args.batch.json);
         }
     } else {
         auto prog = loadProgram(prog_arg);
@@ -802,7 +867,8 @@ cmdLint(const std::string &prog_arg, const CommonFlags &flags)
             std::fprintf(stderr, "cannot load '%s'\n", prog_arg.c_str());
             return 2;
         }
-        findings += lintProgram(*prog, kinds, *machine, flags.budget);
+        findings += lintProgram(*prog, kinds, *machine, budget,
+                                args.batch.json);
     }
     if (findings) {
         std::fprintf(stderr, "lint: %zu finding%s\n", findings,
@@ -810,6 +876,53 @@ cmdLint(const std::string &prog_arg, const CommonFlags &flags)
         return 1;
     }
     return 0;
+}
+
+/** The accepted argument surface of each subcommand. */
+cli::Command
+commandSpec(const std::string &cmd)
+{
+    cli::Command c;
+    c.name = cmd;
+    if (cmd == "run") {
+        c.own = {{"--config", true}, {"--selector", true}};
+        c.batchFlags = {"--jobs", "--json"};
+        c.minPositional = 1;
+    } else if (cmd == "batch") {
+        c.batchFlags = {"--jobs",    "--json",    "--progress",
+                        "--isolate", "--timeout", "--retries",
+                        "--backoff", "--journal", "--resume",
+                        "--inject-fault", "--check-level"};
+        c.minPositional = 1;
+    } else if (cmd == "trace") {
+        c.own = {{"--config", true},
+                 {"--selector", true},
+                 {"--out", true},
+                 {"--start", true},
+                 {"--end", true}};
+        c.batchFlags = {"--jobs", "--json"};
+        c.minPositional = 1;
+    } else if (cmd == "perf") {
+        c.own = {{"--subset", true},
+                 {"--out", true},
+                 {"--baseline", true},
+                 {"--label", true},
+                 {"--pr", true},
+                 {"--check", true}};
+        c.batchFlags = {"--jobs", "--json", "--progress"};
+    } else if (cmd == "lint") {
+        c.own = {{"--config", true},
+                 {"--selector", true},
+                 {"--budget", true}};
+        c.batchFlags = {"--jobs", "--json"};
+        c.minPositional = 1;
+    } else if (cmd == "candidates" || cmd == "disasm" ||
+               cmd == "profile") {
+        if (cmd == "profile")
+            c.own = {{"--config", true}};
+        c.minPositional = 1;
+    }
+    return c;
 }
 
 } // namespace
@@ -842,35 +955,42 @@ main(int argc, char **argv)
         }
         return 0;
     }
-    if (argc < 3)
-        return usage();
-    std::string prog_arg = argv[2];
 
-    CommonFlags flags;
-    if (!parseFlags(argc, argv, 3, flags))
+    const bool known = cmd == "run" || cmd == "batch" ||
+                       cmd == "trace" || cmd == "perf" ||
+                       cmd == "candidates" || cmd == "lint" ||
+                       cmd == "disasm" || cmd == "profile";
+    if (!known)
+        return usage();
+
+    cli::Args args;
+    if (!cli::parseArgs(argc, argv, 2, commandSpec(cmd), args))
         return usage();
 
     try {
         if (cmd == "run")
-            return cmdRun(prog_arg, flags);
+            return cmdRun(args);
         if (cmd == "batch")
-            return cmdBatch(prog_arg, flags);
+            return cmdBatch(args);
         if (cmd == "trace")
-            return cmdTrace(prog_arg, flags);
+            return cmdTrace(args);
+        if (cmd == "perf")
+            return cmdPerf(args);
         if (cmd == "candidates")
-            return cmdCandidates(prog_arg);
+            return cmdCandidates(args.positional[0]);
         if (cmd == "lint")
-            return cmdLint(prog_arg, flags);
+            return cmdLint(args);
         if (cmd == "disasm") {
-            auto prog = loadProgram(prog_arg);
+            auto prog = loadProgram(args.positional[0]);
             if (!prog)
                 return 2;
             std::printf("%s", prog->listing().c_str());
             return 0;
         }
         if (cmd == "profile") {
-            auto cfg = uarch::configFromName(flags.config);
-            auto prog = loadProgram(prog_arg);
+            auto cfg =
+                uarch::configFromName(args.get("--config", "reduced"));
+            auto prog = loadProgram(args.positional[0]);
             if (!cfg || !prog)
                 return 2;
             auto data = profile::profileProgram(*prog, *cfg);

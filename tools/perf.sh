@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# Self-benchmarking harness driver (docs/PERF.md).
+#
+# Builds mgsim in Release mode and runs the pinned benchmark subset,
+# writing BENCH_<pr>.json.  With --baseline OLD.json the previous
+# measurement is embedded and the end-to-end speedup computed, so a
+# checked-in bench file is a self-contained before/after record.
+#
+# Usage:
+#   tools/perf.sh --pr N [--subset pinned|smoke|full] [--out FILE]
+#                 [--baseline OLD.json] [--label TEXT] [--build DIR]
+#                 [--pgo]
+#
+# --pgo builds the tuned benchmark binary (-march=native plus
+# two-phase profile-guided optimization, trained on the same subset
+# being measured); without it a plain portable Release build is used.
+#
+# Environment: MG_PERF_SKIP_BUILD=1 skips the cmake step (use the
+# binary already in the build dir).
+
+set -euo pipefail
+
+BUILD=build-perf
+SUBSET=pinned
+PR=""
+OUT=""
+BASELINE=""
+LABEL=""
+PGO=0
+
+while [ $# -gt 0 ]; do
+    case "$1" in
+      --pr)       PR=$2; shift 2 ;;
+      --subset)   SUBSET=$2; shift 2 ;;
+      --out)      OUT=$2; shift 2 ;;
+      --baseline) BASELINE=$2; shift 2 ;;
+      --label)    LABEL=$2; shift 2 ;;
+      --build)    BUILD=$2; shift 2 ;;
+      --pgo)      PGO=1; shift ;;
+      *)
+        echo "perf.sh: unknown argument '$1'" >&2
+        exit 2
+        ;;
+    esac
+done
+
+if [ -z "$PR" ]; then
+    echo "perf.sh: --pr N is required (names BENCH_<pr>.json)" >&2
+    exit 2
+fi
+OUT=${OUT:-BENCH_${PR}.json}
+
+if [ "${MG_PERF_SKIP_BUILD:-0}" != "1" ]; then
+    if [ "$PGO" = "1" ]; then
+        echo "== build ($BUILD, Release, PGO phase 1: instrument) =="
+        cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release \
+              -DMG_NATIVE=ON -DMG_PGO=generate > /dev/null
+        cmake --build "$BUILD" -j --target mgsim
+        echo "== PGO training run ($SUBSET subset) =="
+        "$BUILD/tools/mgsim" perf --subset "$SUBSET" --pr "$PR" \
+              --out "$BUILD/pgo-train.json" > /dev/null
+        echo "== build ($BUILD, Release, PGO phase 2: optimize) =="
+        cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release \
+              -DMG_NATIVE=ON -DMG_PGO=use > /dev/null
+        cmake --build "$BUILD" -j --target mgsim
+    else
+        echo "== build ($BUILD, Release) =="
+        cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release \
+              -DMG_NATIVE=OFF -DMG_PGO= > /dev/null
+        cmake --build "$BUILD" -j --target mgsim
+    fi
+fi
+
+MGSIM="$BUILD/tools/mgsim"
+if [ ! -x "$MGSIM" ]; then
+    echo "perf.sh: no mgsim at '$MGSIM'" >&2
+    exit 2
+fi
+
+echo "== perf: $SUBSET subset -> $OUT =="
+args=(perf --subset "$SUBSET" --pr "$PR" --out "$OUT")
+if [ -n "$BASELINE" ]; then
+    args+=(--baseline "$BASELINE")
+fi
+if [ -n "$LABEL" ]; then
+    args+=(--label "$LABEL")
+fi
+"$MGSIM" "${args[@]}"
+echo "perf.sh: wrote $OUT"
