@@ -1,0 +1,57 @@
+#include "analysis/analyzer.h"
+
+#include <algorithm>
+
+namespace mg::analysis
+{
+
+ProgramAnalysis::ProgramAnalysis(const assembler::Program &prog)
+    : progP(&prog), cfgA(prog), liveA(cfgA), domA(cfgA),
+      loopA(cfgA, domA), flowA(cfgA, domA)
+{
+}
+
+StaticSerialBounds
+staticSerialBounds(const ProgramAnalysis &pa, const isa::MgTemplate &tmpl,
+                   isa::Addr first_pc, uint8_t len,
+                   const std::array<uint8_t, isa::kMaxMgInputs> &input_regs,
+                   int output_reg)
+{
+    StaticSerialBounds out;
+    out.internalChainPenalty = tmpl.internalChainPenalty();
+    out.frequency = pa.frequencyAt(first_pc);
+
+    const Dataflow &flow = pa.dataflow();
+    isa::Addr pc_after = first_pc + len;
+    for (uint8_t s = 0; s < tmpl.numInputs; ++s) {
+        // External inputs are read at the handle: their value is
+        // whatever reaches the aggregate's first PC.
+        uint32_t h = flow.valueHeightAt(first_pc, input_regs[s]);
+        out.inputHeight[s] = h;
+        if (!tmpl.inputIsSerializing(s)) {
+            out.baseHeight = std::max(out.baseHeight, h);
+            continue;
+        }
+        out.hasSerializingInput = true;
+        out.serializingHeight = std::max(out.serializingHeight, h);
+        if (h >= kHeightCap)
+            out.saturated = true;
+
+        // Loop-carried self-recurrence: the serializing input is the
+        // site's own output register and one of its reaching
+        // definitions lies inside the aggregate itself — the value
+        // consumed is the previous dynamic instance's output.
+        if (output_reg >= 0 &&
+            input_regs[s] == static_cast<uint8_t>(output_reg)) {
+            for (isa::Addr d : flow.reachingDefs(first_pc, input_regs[s])) {
+                if (d >= first_pc && d < pc_after) {
+                    out.recurrent = true;
+                    break;
+                }
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace mg::analysis

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Whole-program static analysis facade and static serialization
+ * bounds.
+ *
+ * ProgramAnalysis bundles every analysis the serialization-aware
+ * tooling needs over one program — CFG, liveness, dominators, natural
+ * loops with static trip-count/frequency estimates, reaching
+ * definitions and dataflow readiness heights — built once and shared
+ * by the Slack-Static selector, the `mgsim analyze` report, the
+ * analyzer-backed lint rules and the static-vs-dynamic consistency
+ * checker.
+ *
+ * staticSerialBounds() is the analyzer's per-aggregation-site product:
+ * for a mini-graph template instantiated at a given PC with given
+ * external input registers, it bounds the serialization behaviour the
+ * paper measures dynamically (§4.2) using only program structure —
+ * the readiness height of each external input (how long the dataflow
+ * chain feeding it is), whether a serializing input is fed by a
+ * loop-carried recurrence (unbounded arrival), and the template's
+ * internal chain penalty.  The bounds layer deliberately takes plain
+ * ISA/assembler types so it sits below the minigraph library in the
+ * link order; minigraph/static_rank.h adapts it to Candidate.
+ */
+
+#ifndef MG_ANALYSIS_ANALYZER_H
+#define MG_ANALYSIS_ANALYZER_H
+
+#include <array>
+#include <cstdint>
+
+#include "analysis/dataflow.h"
+#include "analysis/dominators.h"
+#include "analysis/loops.h"
+#include "assembler/cfg.h"
+#include "assembler/liveness.h"
+#include "assembler/program.h"
+#include "isa/minigraph_types.h"
+
+namespace mg::analysis
+{
+
+/** All static analyses over one program, built once. */
+class ProgramAnalysis
+{
+  public:
+    explicit ProgramAnalysis(const assembler::Program &prog);
+
+    const assembler::Program &program() const { return *progP; }
+    const assembler::Cfg &cfg() const { return cfgA; }
+    const assembler::Liveness &liveness() const { return liveA; }
+    const Dominators &dominators() const { return domA; }
+    const LoopInfo &loops() const { return loopA; }
+    const Dataflow &dataflow() const { return flowA; }
+
+    /** Static execution-frequency estimate of the block holding pc. */
+    uint64_t frequencyAt(isa::Addr pc) const
+    {
+        return loopA.frequencyOf(cfgA.blockIdOf(pc));
+    }
+
+    /** True if pc's block is reachable from the program entry. */
+    bool reachableAt(isa::Addr pc) const
+    {
+        return domA.reachable(cfgA.blockIdOf(pc));
+    }
+
+  private:
+    const assembler::Program *progP;
+    assembler::Cfg cfgA;
+    assembler::Liveness liveA;
+    Dominators domA;
+    LoopInfo loopA;
+    Dataflow flowA;
+};
+
+/**
+ * Static serialization bounds for one mini-graph aggregation site.
+ *
+ * Mirrors the dynamic quantities the timing core accounts per
+ * template (uarch::MgTemplateSerialStats): external input wait and
+ * internal chain penalty — but derived purely from program structure.
+ */
+struct StaticSerialBounds
+{
+    /** Readiness height of each external input slot's value. */
+    std::array<uint32_t, isa::kMaxMgInputs> inputHeight{};
+
+    /** Max height over *serializing* slots (feeding a non-first op). */
+    uint32_t serializingHeight = 0;
+
+    /** Max height over non-serializing slots (handle issues no
+     *  earlier than these arrive anyway). */
+    uint32_t baseHeight = 0;
+
+    /** The template's structural internal chain penalty (cycles). */
+    uint32_t internalChainPenalty = 0;
+
+    /** Any serializing input at all? */
+    bool hasSerializingInput = false;
+
+    /** A serializing input's height hit the saturation cap (its
+     *  dataflow chain contains a loop recurrence). */
+    bool saturated = false;
+
+    /** A serializing input is the site's own output register carried
+     *  around a loop — the aggregate feeds itself next iteration. */
+    bool recurrent = false;
+
+    /** Static frequency estimate of the site's block. */
+    uint64_t frequency = 0;
+
+    /**
+     * Bound on the external-serialization delay of the handle's issue
+     * relative to singleton execution: how much later the serializing
+     * inputs can arrive than the inputs the first constituent needs
+     * anyway.  Meaningful only when !saturated && !recurrent.
+     */
+    uint32_t externalDelayBound() const
+    {
+        return serializingHeight > baseHeight
+                   ? serializingHeight - baseHeight
+                   : 0;
+    }
+};
+
+/**
+ * Compute the static serialization bounds of a template instantiated
+ * at `first_pc` over `len` original instructions with the given
+ * external input registers and architectural output register (-1 for
+ * none).
+ */
+StaticSerialBounds
+staticSerialBounds(const ProgramAnalysis &pa, const isa::MgTemplate &tmpl,
+                   isa::Addr first_pc, uint8_t len,
+                   const std::array<uint8_t, isa::kMaxMgInputs> &input_regs,
+                   int output_reg);
+
+} // namespace mg::analysis
+
+#endif // MG_ANALYSIS_ANALYZER_H

@@ -1,0 +1,104 @@
+#include "analysis/consistency.h"
+
+#include "common/logging.h"
+
+namespace mg::analysis
+{
+
+namespace
+{
+
+std::string
+templateWhere(size_t idx)
+{
+    return "template " + std::to_string(idx);
+}
+
+void
+finding(ConsistencyReport &rep, std::string where, std::string message)
+{
+    rep.findings.push_back(
+        {std::move(where), std::move(message)});
+}
+
+} // namespace
+
+std::string
+ConsistencyReport::render() const
+{
+    std::string out;
+    for (const auto &f : findings) {
+        out += "  [static-dynamic] ";
+        out += f.where;
+        out += ": ";
+        out += f.message;
+        out += "\n";
+    }
+    return out;
+}
+
+ConsistencyReport
+checkStaticDynamic(const std::vector<TemplateDynStats> &templates,
+                   uint64_t mg_external_loss, uint64_t mg_internal_loss)
+{
+    ConsistencyReport rep;
+    bool any_penalty = false;
+    bool any_serializing = false;
+
+    for (size_t i = 0; i < templates.size(); ++i) {
+        const TemplateDynStats &t = templates[i];
+        mg_assert(t.tmpl, "TemplateDynStats without a template");
+        uint64_t penalty = t.tmpl->internalChainPenalty();
+        bool serializing = t.tmpl->hasSerializingInput();
+        any_penalty |= penalty > 0;
+        any_serializing |= serializing;
+
+        // 1. No issues, no accumulation.
+        ++rep.checksRun;
+        if (t.issues == 0 &&
+            (t.extWaitCycles != 0 || t.intPenaltyCycles != 0)) {
+            finding(rep, templateWhere(i),
+                    "never issued but accumulated " +
+                        std::to_string(t.extWaitCycles) + " ext-wait / " +
+                        std::to_string(t.intPenaltyCycles) +
+                        " int-penalty cycles");
+        }
+
+        // 2. Internal penalty is charged per issue, exactly.
+        ++rep.checksRun;
+        if (t.intPenaltyCycles != t.issues * penalty) {
+            finding(rep, templateWhere(i),
+                    "internal-penalty cycles " +
+                        std::to_string(t.intPenaltyCycles) +
+                        " != issues " + std::to_string(t.issues) +
+                        " x static chain penalty " +
+                        std::to_string(penalty));
+        }
+
+        // 3. External wait needs a serializing input.
+        ++rep.checksRun;
+        if (!serializing && t.extWaitCycles != 0) {
+            finding(rep, templateWhere(i),
+                    "no serializing input but " +
+                        std::to_string(t.extWaitCycles) +
+                        " external-wait cycles");
+        }
+    }
+
+    // 4/5. Program-level loss buckets need a template to blame.
+    ++rep.checksRun;
+    if (!any_penalty && mg_internal_loss != 0) {
+        finding(rep, "program",
+                "mg-internal loss " + std::to_string(mg_internal_loss) +
+                    " with no positive-chain-penalty template selected");
+    }
+    ++rep.checksRun;
+    if (!any_serializing && mg_external_loss != 0) {
+        finding(rep, "program",
+                "mg-external loss " + std::to_string(mg_external_loss) +
+                    " with no serializing-input template selected");
+    }
+    return rep;
+}
+
+} // namespace mg::analysis

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Static-vs-dynamic serialization consistency checking.
+ *
+ * The timing core accounts serialization dynamically (per-template
+ * issue counts, external-input wait cycles, internal chain-penalty
+ * cycles, and the mg-external / mg-internal cycle-loss buckets); the
+ * static analyzer predicts the same phenomena from program structure.
+ * The two views are produced by disjoint code, so invariants relating
+ * them catch real bugs on either side — an analyzer that mis-derives
+ * a template's internal chain penalty, or a core that charges
+ * external-serialization wait to a template with no serializing
+ * input, shows up as a violation here.
+ *
+ * Every check is an *implication that must hold by construction*:
+ *
+ *  1. a template that never issued accumulated no wait/penalty;
+ *  2. internal-penalty cycles are exactly issues x the template's
+ *     internalChainPenalty() (the core charges the static penalty on
+ *     every issue);
+ *  3. a template with no serializing input accumulated no
+ *     external-input wait;
+ *  4. if no selected template has a positive internal chain penalty,
+ *     the mg-internal loss bucket is empty;
+ *  5. if no selected template has a serializing input, the
+ *     mg-external loss bucket is empty.
+ *
+ * Violations are data, not exceptions, in the mg_lint style: the
+ * checker describes every inconsistency it finds.
+ *
+ * The header takes plain counters plus isa::MgTemplate so it sits
+ * below the uarch library: callers copy the three fields out of
+ * uarch::MgTemplateSerialStats (tests) or any other stats source.
+ */
+
+#ifndef MG_ANALYSIS_CONSISTENCY_H
+#define MG_ANALYSIS_CONSISTENCY_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/minigraph_types.h"
+
+namespace mg::analysis
+{
+
+/** Dynamic serialization counters of one selected template. */
+struct TemplateDynStats
+{
+    const isa::MgTemplate *tmpl = nullptr;
+    uint64_t issues = 0;           ///< dynamic handle issues
+    uint64_t extWaitCycles = 0;    ///< external-input wait cycles
+    uint64_t intPenaltyCycles = 0; ///< internal chain-penalty cycles
+};
+
+/** One static/dynamic disagreement. */
+struct ConsistencyFinding
+{
+    std::string where;   ///< e.g. "template 3"
+    std::string message;
+};
+
+/** Result of one consistency pass. */
+struct ConsistencyReport
+{
+    std::vector<ConsistencyFinding> findings;
+    size_t checksRun = 0;
+
+    bool clean() const { return findings.empty(); }
+
+    /** Human-readable one-line-per-finding rendering. */
+    std::string render() const;
+};
+
+/**
+ * Check the dynamic serialization accounting of one run against the
+ * static properties of its selected templates.
+ *
+ * @param templates        per-template dynamic counters
+ * @param mg_external_loss the run's mg-external cycle-loss slots
+ * @param mg_internal_loss the run's mg-internal cycle-loss slots
+ */
+ConsistencyReport
+checkStaticDynamic(const std::vector<TemplateDynStats> &templates,
+                   uint64_t mg_external_loss, uint64_t mg_internal_loss);
+
+} // namespace mg::analysis
+
+#endif // MG_ANALYSIS_CONSISTENCY_H

@@ -1,0 +1,272 @@
+#include "analysis/dataflow.h"
+
+#include <algorithm>
+#include <array>
+
+#include "common/logging.h"
+
+namespace mg::analysis
+{
+
+using assembler::BasicBlock;
+using assembler::Cfg;
+using isa::Addr;
+using isa::Instruction;
+
+namespace
+{
+
+/** Per-register running height state used by the height fixpoint. */
+using RegHeights = std::array<uint32_t, isa::kNumArchRegs>;
+
+uint32_t
+satAdd(uint32_t a, uint32_t b)
+{
+    return std::min(a + b, kHeightCap);
+}
+
+/**
+ * Apply one instruction to the running per-register height state and
+ * return the instruction's own readiness height.
+ */
+uint32_t
+stepHeights(const Instruction &inst, RegHeights &regs)
+{
+    uint32_t operand_h = 0;
+    auto srcs = inst.srcRegs();
+    for (uint8_t i = 0; i < srcs.count; ++i)
+        operand_h = std::max(operand_h, regs[srcs.regs[i]]);
+    uint32_t h = satAdd(operand_h, inst.latency());
+    int dest = inst.destReg();
+    if (dest >= 0)
+        regs[static_cast<size_t>(dest)] = h;
+    return h;
+}
+
+} // namespace
+
+Dataflow::Dataflow(const Cfg &cfg_in, const Dominators &dom_in)
+    : cfg(&cfg_in), dom(&dom_in)
+{
+    const auto &prog = cfg->program();
+    const auto &blocks = cfg->blocks();
+    size_t n_pcs = prog.size();
+    size_t n_blocks = blocks.size();
+
+    defIndex.assign(n_pcs, -1);
+    heights.assign(n_pcs, 0);
+    if (n_pcs == 0)
+        return;
+
+    // --- Def-site numbering -----------------------------------------
+    std::array<std::vector<uint32_t>, isa::kNumArchRegs> defs_of_reg;
+    for (Addr pc = 0; pc < n_pcs; ++pc) {
+        int dest = prog.at(pc).destReg();
+        if (dest < 0)
+            continue;
+        defIndex[pc] = static_cast<int>(defs.size());
+        defs_of_reg[static_cast<size_t>(dest)].push_back(
+            static_cast<uint32_t>(defs.size()));
+        defs.push_back(pc);
+        defReg.push_back(static_cast<uint8_t>(dest));
+    }
+    defUses.assign(defs.size(), {});
+
+    size_t n_defs = defs.size();
+    words = (n_defs + 63) / 64;
+    inSets.assign(n_blocks * words, 0);
+    if (n_defs == 0)
+        return;
+
+    // --- Reaching definitions (forward may-analysis) ----------------
+    auto set_bit = [](std::vector<uint64_t> &s, size_t base, size_t i) {
+        s[base + i / 64] |= 1ull << (i % 64);
+    };
+
+    // GEN/KILL per block, derived by walking the block once.
+    std::vector<uint64_t> gen(n_blocks * words, 0);
+    std::vector<uint64_t> kill(n_blocks * words, 0);
+    for (const BasicBlock &bb : blocks) {
+        size_t base = bb.id * words;
+        for (Addr pc = bb.first; pc <= bb.last; ++pc) {
+            int di = defIndex[pc];
+            if (di < 0)
+                continue;
+            // This def kills every other def of the same register.
+            for (uint32_t other : defs_of_reg[defReg[di]]) {
+                if (static_cast<int>(other) == di)
+                    continue;
+                set_bit(kill, base, other);
+                gen[base + other / 64] &= ~(1ull << (other % 64));
+            }
+            set_bit(gen, base, static_cast<size_t>(di));
+            kill[base + static_cast<size_t>(di) / 64] &=
+                ~(1ull << (static_cast<size_t>(di) % 64));
+        }
+    }
+
+    std::vector<uint64_t> outSets(n_blocks * words, 0);
+    for (const BasicBlock &bb : blocks) {
+        size_t base = bb.id * words;
+        for (size_t w = 0; w < words; ++w)
+            outSets[base + w] = gen[base + w];
+    }
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (uint32_t b : dom->rpoOrder()) {
+            size_t base = b * words;
+            for (size_t w = 0; w < words; ++w) {
+                uint64_t in = 0;
+                for (uint32_t p : blocks[b].preds)
+                    in |= outSets[p * words + w];
+                uint64_t out =
+                    gen[base + w] | (in & ~kill[base + w]);
+                if (in != inSets[base + w] ||
+                    out != outSets[base + w]) {
+                    inSets[base + w] = in;
+                    outSets[base + w] = out;
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    // --- Def-use chains ---------------------------------------------
+    std::vector<uint64_t> live(words);
+    for (const BasicBlock &bb : blocks) {
+        size_t base = bb.id * words;
+        for (size_t w = 0; w < words; ++w)
+            live[w] = inSets[base + w];
+        for (Addr pc = bb.first; pc <= bb.last; ++pc) {
+            const Instruction &inst = prog.at(pc);
+            auto srcs = inst.srcRegs();
+            for (uint8_t i = 0; i < srcs.count; ++i) {
+                for (uint32_t d : defs_of_reg[srcs.regs[i]]) {
+                    if (live[d / 64] >> (d % 64) & 1)
+                        defUses[d].push_back(pc);
+                }
+            }
+            int di = defIndex[pc];
+            if (di < 0)
+                continue;
+            for (uint32_t other : defs_of_reg[defReg[di]])
+                live[other / 64] &= ~(1ull << (other % 64));
+            live[static_cast<size_t>(di) / 64] |=
+                1ull << (static_cast<size_t>(di) % 64);
+        }
+    }
+    // Deterministic, duplicate-free chains regardless of block order.
+    for (auto &uses : defUses) {
+        std::sort(uses.begin(), uses.end());
+        uses.erase(std::unique(uses.begin(), uses.end()), uses.end());
+    }
+
+    // --- Readiness heights (per-register max lattice) ---------------
+    // Forward fixpoint over a 32-entry height vector per block; the
+    // join is element-wise max, the transfer walks the block.  Heights
+    // saturate at kHeightCap so loop-carried recurrences converge.
+    std::vector<RegHeights> blockIn(n_blocks);
+    std::vector<RegHeights> blockOut(n_blocks);
+    for (size_t b = 0; b < n_blocks; ++b) {
+        blockIn[b].fill(0);
+        blockOut[b].fill(0);
+    }
+    changed = true;
+    while (changed) {
+        changed = false;
+        for (uint32_t b : dom->rpoOrder()) {
+            RegHeights in{};
+            for (uint32_t p : blocks[b].preds) {
+                if (!dom->reachable(p))
+                    continue;
+                for (unsigned r = 0; r < isa::kNumArchRegs; ++r)
+                    in[r] = std::max(in[r], blockOut[p][r]);
+            }
+            RegHeights out = in;
+            for (Addr pc = blocks[b].first; pc <= blocks[b].last; ++pc)
+                stepHeights(prog.at(pc), out);
+            if (in != blockIn[b] || out != blockOut[b]) {
+                blockIn[b] = in;
+                blockOut[b] = out;
+                changed = true;
+            }
+        }
+    }
+
+    // Final walk: record per-instruction heights.
+    for (uint32_t b : dom->rpoOrder()) {
+        RegHeights regs = blockIn[b];
+        for (Addr pc = blocks[b].first; pc <= blocks[b].last; ++pc) {
+            heights[pc] = stepHeights(prog.at(pc), regs);
+            if (heights[pc] >= kHeightCap)
+                hitCap = true;
+        }
+    }
+
+    entryHeights = std::move(blockIn);
+}
+
+std::vector<Addr>
+Dataflow::reachingDefs(Addr pc, uint8_t reg) const
+{
+    std::vector<Addr> out;
+    if (reg == isa::kZeroReg || defs.empty())
+        return out;
+    const BasicBlock &bb = cfg->blockOf(pc);
+    size_t base = bb.id * words;
+
+    // Replay the block's defs on top of the IN set up to (not
+    // including) pc, then read off the survivors defining `reg`.
+    std::vector<uint64_t> live(inSets.begin() + base,
+                               inSets.begin() + base + words);
+    for (Addr p = bb.first; p < pc; ++p) {
+        int di = defIndex[p];
+        if (di < 0)
+            continue;
+        for (size_t d = 0; d < defs.size(); ++d) {
+            if (defReg[d] == defReg[di])
+                live[d / 64] &= ~(1ull << (d % 64));
+        }
+        live[static_cast<size_t>(di) / 64] |=
+            1ull << (static_cast<size_t>(di) % 64);
+    }
+    for (size_t d = 0; d < defs.size(); ++d) {
+        if (defReg[d] == reg && (live[d / 64] >> (d % 64) & 1))
+            out.push_back(defs[d]);
+    }
+    return out;
+}
+
+const std::vector<Addr> &
+Dataflow::usesOf(Addr def_pc) const
+{
+    static const std::vector<Addr> empty;
+    int di = defIndex[def_pc];
+    return di < 0 ? empty : defUses[static_cast<size_t>(di)];
+}
+
+uint32_t
+Dataflow::valueHeightAt(Addr pc, uint8_t reg) const
+{
+    if (reg == isa::kZeroReg || entryHeights.empty())
+        return 0;
+    const BasicBlock &bb = cfg->blockOf(pc);
+    if (!dom->reachable(bb.id))
+        return 0;
+    RegHeights regs = entryHeights[bb.id];
+    for (Addr p = bb.first; p < pc; ++p)
+        stepHeights(cfg->program().at(p), regs);
+    return regs[reg];
+}
+
+uint32_t
+Dataflow::maxHeight() const
+{
+    uint32_t h = 0;
+    for (uint32_t v : heights)
+        h = std::max(h, v);
+    return h;
+}
+
+} // namespace mg::analysis

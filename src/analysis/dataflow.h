@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Reaching definitions, def-use chains, and dataflow readiness
+ * heights over a CFG.
+ *
+ * The static serialization analysis needs to know, for every operand
+ * of every instruction, which definitions can supply its value and
+ * how long the dependence chain behind each of those definitions is.
+ * Reaching definitions is the classic forward may-analysis over def
+ * sites; the *readiness height* of a definition is the longest
+ * def-to-use dataflow path (in cycles of execution latency, cache
+ * hits assumed) that must complete before the defined value exists.
+ *
+ * Heights are computed by fixpoint iteration and saturate at
+ * kHeightCap so loop-carried dependence cycles converge: a recurrence
+ * pushes its members to the cap, which is exactly the right signal
+ * for the Slack-Static selector (a serializing input fed by a
+ * recurrence has unbounded arrival time).
+ */
+
+#ifndef MG_ANALYSIS_DATAFLOW_H
+#define MG_ANALYSIS_DATAFLOW_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "analysis/dominators.h"
+#include "assembler/cfg.h"
+
+namespace mg::analysis
+{
+
+/** Saturation bound for readiness heights (dependence cycles). */
+constexpr uint32_t kHeightCap = 1024;
+
+/** Reaching definitions / def-use chains / readiness heights. */
+class Dataflow
+{
+  public:
+    Dataflow(const assembler::Cfg &cfg, const Dominators &dom);
+
+    /** All definition sites (PCs that write a non-r0 register). */
+    const std::vector<isa::Addr> &defSites() const { return defs; }
+
+    /**
+     * Definitions of `reg` reaching the instruction at `pc` (i.e.
+     * possibly supplying the value `pc` reads).  Empty when the only
+     * reaching value is the loader-initialised register state.
+     */
+    std::vector<isa::Addr> reachingDefs(isa::Addr pc, uint8_t reg) const;
+
+    /** Uses (PCs) possibly reading the definition at `def_pc`. */
+    const std::vector<isa::Addr> &usesOf(isa::Addr def_pc) const;
+
+    /**
+     * True if the definition at `def_pc` has no possible reader: no
+     * use it reaches reads the defined register.  (The analyzer-backed
+     * dead-output lint rule and dead-code diagnostics build on this.)
+     */
+    bool defIsDead(isa::Addr def_pc) const
+    {
+        return usesOf(def_pc).empty();
+    }
+
+    /**
+     * Readiness height of the instruction at `pc`: execution latency
+     * plus the longest reaching-definition height among its operands,
+     * saturated at kHeightCap.  Instructions in unreachable blocks
+     * have height 0.
+     */
+    uint32_t heightOf(isa::Addr pc) const { return heights[pc]; }
+
+    /**
+     * Readiness height of the value of `reg` consumed at `pc`: the
+     * maximum height over its reaching definitions (0 when only the
+     * initial register state reaches).
+     */
+    uint32_t valueHeightAt(isa::Addr pc, uint8_t reg) const;
+
+    /** Largest instruction height in the program. */
+    uint32_t maxHeight() const;
+
+    /** True if height iteration hit the saturation cap anywhere. */
+    bool saturated() const { return hitCap; }
+
+  private:
+    /** Dense index of a def site, or -1. */
+    int defIndexOf(isa::Addr pc) const { return defIndex[pc]; }
+
+    const assembler::Cfg *cfg;
+    const Dominators *dom;
+
+    std::vector<isa::Addr> defs;   ///< def sites in ascending PC order
+    std::vector<int> defIndex;     ///< PC -> dense def index (-1 none)
+    std::vector<uint8_t> defReg;   ///< per def: the register written
+
+    size_t words = 0;              ///< bitset words per block
+    std::vector<uint64_t> inSets;  ///< per block: reaching-def IN set
+    std::vector<std::vector<isa::Addr>> defUses; ///< per def: use PCs
+    std::vector<uint32_t> heights; ///< per PC
+
+    /** Per block: register readiness heights at block entry. */
+    std::vector<std::array<uint32_t, isa::kNumArchRegs>> entryHeights;
+    bool hitCap = false;
+};
+
+} // namespace mg::analysis
+
+#endif // MG_ANALYSIS_DATAFLOW_H

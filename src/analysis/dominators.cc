@@ -1,0 +1,104 @@
+#include "analysis/dominators.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace mg::analysis
+{
+
+using assembler::BasicBlock;
+using assembler::Cfg;
+
+Dominators::Dominators(const Cfg &cfg)
+{
+    const auto &blocks = cfg.blocks();
+    size_t n = blocks.size();
+    idoms.assign(n, kNoBlock);
+    rpoNumber.assign(n, kNoBlock);
+    if (n == 0)
+        return;
+
+    entryBlock = cfg.blockIdOf(cfg.program().entry);
+
+    // Iterative DFS producing a postorder over reachable blocks.
+    std::vector<uint32_t> post;
+    post.reserve(n);
+    std::vector<uint8_t> state(n, 0); // 0 unvisited, 1 open, 2 done
+    std::vector<std::pair<uint32_t, size_t>> stack;
+    stack.emplace_back(entryBlock, 0);
+    state[entryBlock] = 1;
+    while (!stack.empty()) {
+        auto &[b, next] = stack.back();
+        const BasicBlock &bb = blocks[b];
+        if (next < bb.succs.size()) {
+            uint32_t s = bb.succs[next++];
+            if (state[s] == 0) {
+                state[s] = 1;
+                stack.emplace_back(s, 0);
+            }
+            continue;
+        }
+        state[b] = 2;
+        post.push_back(b);
+        stack.pop_back();
+    }
+
+    order.assign(post.rbegin(), post.rend());
+    for (uint32_t i = 0; i < order.size(); ++i)
+        rpoNumber[order[i]] = i;
+
+    // Cooper-Harvey-Kennedy: iterate idom = intersect(processed preds)
+    // to a fixpoint in reverse postorder.
+    auto intersect = [&](uint32_t a, uint32_t b) {
+        while (a != b) {
+            while (rpoNumber[a] > rpoNumber[b])
+                a = idoms[a];
+            while (rpoNumber[b] > rpoNumber[a])
+                b = idoms[b];
+        }
+        return a;
+    };
+
+    idoms[entryBlock] = entryBlock; // temporary self-idom for intersect
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (uint32_t b : order) {
+            if (b == entryBlock)
+                continue;
+            uint32_t new_idom = kNoBlock;
+            for (uint32_t p : blocks[b].preds) {
+                if (!reachable(p) || idoms[p] == kNoBlock)
+                    continue;
+                new_idom = new_idom == kNoBlock ? p
+                                                : intersect(p, new_idom);
+            }
+            if (new_idom != kNoBlock && idoms[b] != new_idom) {
+                idoms[b] = new_idom;
+                changed = true;
+            }
+        }
+    }
+    idoms[entryBlock] = kNoBlock; // the entry has no dominator parent
+}
+
+bool
+Dominators::dominates(uint32_t a, uint32_t b) const
+{
+    if (!reachable(a) || !reachable(b))
+        return false;
+    // Walk b's dominator chain toward the entry; RPO numbers strictly
+    // decrease along idom links, so the walk terminates.
+    uint32_t cur = b;
+    while (true) {
+        if (cur == a)
+            return true;
+        uint32_t up = idoms[cur];
+        if (up == kNoBlock)
+            return false;
+        cur = up;
+    }
+}
+
+} // namespace mg::analysis

@@ -1,0 +1,367 @@
+#include "analysis/loops.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace mg::analysis
+{
+
+using assembler::BasicBlock;
+using assembler::Cfg;
+using isa::Addr;
+using isa::Instruction;
+using isa::Opcode;
+
+namespace
+{
+
+/**
+ * Saturating product for static frequency estimates: trip counts
+ * multiply per nesting level and must not overflow into nonsense.
+ */
+uint64_t
+satMul(uint64_t a, uint64_t b)
+{
+    if (a == 0 || b == 0)
+        return 0;
+    if (a > kMaxFrequency / b)
+        return kMaxFrequency;
+    return std::min(a * b, kMaxFrequency);
+}
+
+/**
+ * Find the unique definition of `reg` among the loop-body blocks and
+ * report its constant step if it is `addi reg, reg, c`.  Returns
+ * false if `reg` is not stepped exactly once per iteration by a
+ * recognisable constant increment.
+ */
+bool
+findInductionStep(const Cfg &cfg, const Loop &loop, uint8_t reg,
+                  int64_t &step)
+{
+    const auto &prog = cfg.program();
+    int defs = 0;
+    for (uint32_t b : loop.body) {
+        const BasicBlock &bb = cfg.blocks()[b];
+        for (Addr pc = bb.first; pc <= bb.last; ++pc) {
+            const Instruction &inst = prog.at(pc);
+            if (inst.destReg() != static_cast<int>(reg))
+                continue;
+            ++defs;
+            if (inst.op != Opcode::ADDI || inst.rs1 != reg ||
+                inst.imm == 0)
+                return false;
+            step = inst.imm;
+        }
+    }
+    return defs == 1;
+}
+
+/**
+ * Find the unique constant value `reg` carries into the loop: exactly
+ * one definition outside the loop body, and it is `li reg, K`.  r0 is
+ * always the constant zero.  For the induction register the in-loop
+ * step definition (already validated by findInductionStep) is skipped
+ * with `skip_loop_defs`; for the bound register any in-loop
+ * redefinition means it is not loop-invariant and the pattern fails.
+ */
+bool
+findConstantValue(const Cfg &cfg, const Loop &loop, uint8_t reg,
+                  bool skip_loop_defs, int64_t &value)
+{
+    if (reg == isa::kZeroReg) {
+        value = 0;
+        return true;
+    }
+    const auto &prog = cfg.program();
+    int defs = 0;
+    for (Addr pc = 0; pc < prog.size(); ++pc) {
+        const Instruction &inst = prog.at(pc);
+        if (inst.destReg() != static_cast<int>(reg))
+            continue;
+        if (loop.contains(cfg.blockIdOf(pc))) {
+            if (skip_loop_defs)
+                continue;
+            return false; // redefined inside the loop
+        }
+        ++defs;
+        if (inst.op != Opcode::LI)
+            return false;
+        value = inst.imm;
+    }
+    return defs == 1;
+}
+
+/**
+ * Iterations of a counted loop whose continue condition is
+ * `induction (op) bound` with the induction stepped by `step` from
+ * `init`.  Returns 0 when the pattern does not resolve to a positive
+ * finite count.
+ */
+uint64_t
+countedTrips(Opcode op, int64_t init, int64_t bound, int64_t step)
+{
+    switch (op) {
+      case Opcode::BNE: {
+        // repeat while i != bound; must land exactly on the bound.
+        int64_t span = bound - init;
+        if (step == 0 || (span > 0) != (step > 0) || span % step != 0)
+            return 0;
+        return static_cast<uint64_t>(span / step);
+      }
+      case Opcode::BLT:
+      case Opcode::BLTU: {
+        // repeat while i < bound (unsigned variant treated the same:
+        // the generated kernels count over non-negative ranges).
+        if (step <= 0 || bound <= init)
+            return 0;
+        int64_t span = bound - init;
+        return static_cast<uint64_t>((span + step - 1) / step);
+      }
+      case Opcode::BGE:
+      case Opcode::BGEU: {
+        // repeat while i >= bound (counting down).
+        if (step >= 0 || init < bound)
+            return 0;
+        int64_t span = init - bound;
+        return static_cast<uint64_t>(span / (-step)) + 1;
+      }
+      default:
+        return 0;
+    }
+}
+
+/**
+ * Estimate one loop's trip count from the counted-loop patterns:
+ * either the latch ends in a conditional branch back to the header
+ * ("do-while" rotation), or the header ends in a conditional branch
+ * that exits the loop ("while" rotation, latch jumps back
+ * unconditionally).
+ */
+void
+estimateTripCount(const Cfg &cfg, Loop &loop)
+{
+    const auto &prog = cfg.program();
+    const BasicBlock &latch = cfg.blocks()[loop.latch];
+    const BasicBlock &header = cfg.blocks()[loop.header];
+
+    const Instruction *branch = nullptr;
+    bool branch_continues = false; // taken path stays in the loop?
+
+    const Instruction &latch_end = prog.at(latch.last);
+    if (latch_end.isCondBranch() &&
+        static_cast<Addr>(latch_end.imm) == header.first) {
+        branch = &latch_end;
+        branch_continues = true;
+    } else {
+        const Instruction &header_end = prog.at(header.last);
+        if (header_end.isCondBranch() &&
+            !loop.contains(cfg.blockIdOf(
+                static_cast<Addr>(header_end.imm)))) {
+            branch = &header_end;
+            branch_continues = false;
+        }
+    }
+    if (!branch)
+        return;
+
+    // Identify the induction side: the compared register stepped by a
+    // constant inside the loop; the other side must be loop-invariant.
+    for (int swap = 0; swap < 2; ++swap) {
+        uint8_t ind = swap ? branch->rs2 : branch->rs1;
+        uint8_t bnd = swap ? branch->rs1 : branch->rs2;
+        if (ind == isa::kZeroReg)
+            continue;
+        int64_t step = 0, init = 0, bound = 0;
+        if (!findInductionStep(cfg, loop, ind, step) ||
+            !findConstantValue(cfg, loop, ind, true, init) ||
+            !findConstantValue(cfg, loop, bnd, false, bound))
+            continue;
+
+        Opcode cond = branch->op;
+        if (!branch_continues) {
+            // Exit branch: the continue condition is the negation.
+            switch (cond) {
+              case Opcode::BEQ: cond = Opcode::BNE; break;
+              case Opcode::BNE: cond = Opcode::BEQ; break;
+              case Opcode::BLT: cond = Opcode::BGE; break;
+              case Opcode::BGE: cond = Opcode::BLT; break;
+              case Opcode::BLTU: cond = Opcode::BGEU; break;
+              case Opcode::BGEU: cond = Opcode::BLTU; break;
+              default: break;
+            }
+        }
+        if (swap) {
+            // bound (op) induction: mirror the comparison.
+            switch (cond) {
+              case Opcode::BLT: cond = Opcode::BGE; break;
+              case Opcode::BGE: cond = Opcode::BLT; break;
+              case Opcode::BLTU: cond = Opcode::BGEU; break;
+              case Opcode::BGEU: cond = Opcode::BLTU; break;
+              default: break; // beq/bne are symmetric
+            }
+            // After mirroring, the continue condition reads
+            // `induction (cond) bound` again, except BGE/BGEU now
+            // mean "repeat while bound <= i", i.e. i >= bound: the
+            // same counting-down form countedTrips handles.
+        }
+        if (uint64_t trips = countedTrips(cond, init, bound, step)) {
+            loop.tripCount = trips;
+            loop.tripCountExact = true;
+            return;
+        }
+    }
+}
+
+} // namespace
+
+LoopInfo::LoopInfo(const Cfg &cfg_in, const Dominators &dom)
+    : cfg(&cfg_in)
+{
+    const auto &blocks = cfg->blocks();
+    size_t n = blocks.size();
+    blockLoop.assign(n, -1);
+    blockFreq.assign(n, 0);
+    if (n == 0)
+        return;
+
+    // Back edges u->h with h dominating u form natural loops; other
+    // retreating edges (target open on the DFS stack but not a
+    // dominator) mark irreducible regions.
+    std::vector<uint8_t> state(n, 0);
+    std::vector<std::pair<uint32_t, size_t>> stack;
+    stack.emplace_back(dom.entry(), 0);
+    state[dom.entry()] = 1;
+    while (!stack.empty()) {
+        auto &[b, next] = stack.back();
+        if (next < blocks[b].succs.size()) {
+            uint32_t s = blocks[b].succs[next++];
+            if (state[s] == 0) {
+                state[s] = 1;
+                stack.emplace_back(s, 0);
+            } else if (state[s] == 1 && !dom.dominates(s, b)) {
+                ++irreducible;
+            }
+            continue;
+        }
+        state[b] = 2;
+        stack.pop_back();
+    }
+
+    // Collect natural loops (one per back edge; loops sharing a
+    // header are merged).
+    for (uint32_t u = 0; u < n; ++u) {
+        if (!dom.reachable(u))
+            continue;
+        for (uint32_t h : blocks[u].succs) {
+            if (!dom.dominates(h, u))
+                continue;
+
+            // Body: h, u, plus everything reaching u without passing
+            // through h (reverse reachability over predecessors).
+            std::vector<uint8_t> in_body(n, 0);
+            in_body[h] = 1;
+            std::vector<uint32_t> work;
+            if (!in_body[u]) {
+                in_body[u] = 1;
+                work.push_back(u);
+            }
+            while (!work.empty()) {
+                uint32_t b = work.back();
+                work.pop_back();
+                for (uint32_t p : blocks[b].preds) {
+                    if (!dom.reachable(p) || in_body[p])
+                        continue;
+                    in_body[p] = 1;
+                    work.push_back(p);
+                }
+            }
+
+            // Merge into an existing loop with the same header.
+            Loop *loop = nullptr;
+            for (Loop &l : loopList) {
+                if (l.header == h) {
+                    loop = &l;
+                    break;
+                }
+            }
+            if (!loop) {
+                loopList.push_back(Loop{});
+                loop = &loopList.back();
+                loop->header = h;
+                loop->latch = u;
+            }
+            std::vector<uint32_t> merged;
+            for (uint32_t b = 0; b < n; ++b) {
+                if (in_body[b] || loop->contains(b))
+                    merged.push_back(b);
+            }
+            loop->body = std::move(merged);
+        }
+    }
+
+    // Nesting: parent = smallest strictly-larger loop containing the
+    // header; innermost loop per block = smallest body containing it.
+    for (size_t i = 0; i < loopList.size(); ++i) {
+        Loop &l = loopList[i];
+        size_t best_size = SIZE_MAX;
+        for (size_t j = 0; j < loopList.size(); ++j) {
+            if (i == j)
+                continue;
+            const Loop &o = loopList[j];
+            if (o.body.size() > l.body.size() &&
+                o.contains(l.header) && o.body.size() < best_size) {
+                best_size = o.body.size();
+                l.parent = static_cast<int>(j);
+            }
+        }
+    }
+    for (Loop &l : loopList) {
+        uint32_t d = 1;
+        for (int p = l.parent; p >= 0; p = loopList[p].parent)
+            ++d;
+        l.depth = d;
+    }
+    for (uint32_t b = 0; b < n; ++b) {
+        size_t best_size = SIZE_MAX;
+        for (size_t i = 0; i < loopList.size(); ++i) {
+            const Loop &l = loopList[i];
+            if (l.contains(b) && l.body.size() < best_size) {
+                best_size = l.body.size();
+                blockLoop[b] = static_cast<int>(i);
+            }
+        }
+    }
+
+    for (Loop &l : loopList)
+        estimateTripCount(*cfg, l);
+
+    // Static frequency: product of enclosing trip counts.
+    for (uint32_t b = 0; b < n; ++b) {
+        if (!dom.reachable(b))
+            continue;
+        uint64_t f = 1;
+        for (int i = blockLoop[b]; i >= 0; i = loopList[i].parent)
+            f = satMul(f, loopList[i].tripCount);
+        blockFreq[b] = f;
+    }
+}
+
+uint32_t
+LoopInfo::loopDepthOf(uint32_t block_id) const
+{
+    int i = blockLoop[block_id];
+    return i < 0 ? 0 : loopList[i].depth;
+}
+
+uint32_t
+LoopInfo::maxDepth() const
+{
+    uint32_t d = 0;
+    for (const Loop &l : loopList)
+        d = std::max(d, l.depth);
+    return d;
+}
+
+} // namespace mg::analysis

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Natural-loop detection with static trip-count and block-frequency
+ * estimates.
+ *
+ * A natural loop is the body of a back edge u->h where the header h
+ * dominates the latch u.  Retreating edges whose target does not
+ * dominate their source mark *irreducible* control flow; those
+ * regions get no loop structure, only a program-level flag (and the
+ * frequency estimator falls back to the default trip count for them).
+ *
+ * Trip counts are estimated purely from program structure: a counted
+ * loop whose exit branch compares an induction register (stepped by a
+ * constant inside the loop) against a loop-invariant bound register
+ * defined by a single `li` (or against the branch's immediate
+ * pattern) gets the exact count; everything else gets
+ * kDefaultTripCount.  Static block frequency is the product of the
+ * trip counts of the enclosing loops, saturated at kMaxFrequency —
+ * the zero-simulation stand-in for a dynamic execution profile that
+ * the Slack-Static selector and the sweep-service pre-filter use.
+ */
+
+#ifndef MG_ANALYSIS_LOOPS_H
+#define MG_ANALYSIS_LOOPS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/dominators.h"
+
+namespace mg::analysis
+{
+
+/** Trip-count estimate when the bound cannot be derived statically. */
+constexpr uint64_t kDefaultTripCount = 8;
+
+/** Saturation bound for static frequency products. */
+constexpr uint64_t kMaxFrequency = 1ull << 40;
+
+/** One natural loop. */
+struct Loop
+{
+    uint32_t header = 0;        ///< header block id
+    uint32_t latch = 0;         ///< source block of the back edge
+    std::vector<uint32_t> body; ///< member block ids, ascending
+
+    /** Nesting depth: 1 = outermost. */
+    uint32_t depth = 1;
+
+    /** Enclosing loop index (into LoopInfo::loops), or -1. */
+    int parent = -1;
+
+    /** Estimated iterations per entry. */
+    uint64_t tripCount = kDefaultTripCount;
+
+    /** True if tripCount came from a recognised counted-loop pattern. */
+    bool tripCountExact = false;
+
+    bool
+    contains(uint32_t block_id) const
+    {
+        for (uint32_t b : body) {
+            if (b == block_id)
+                return true;
+        }
+        return false;
+    }
+};
+
+/** Loop structure of one CFG. */
+class LoopInfo
+{
+  public:
+    LoopInfo(const assembler::Cfg &cfg, const Dominators &dom);
+
+    const std::vector<Loop> &loops() const { return loopList; }
+
+    /** Innermost loop containing the block (index), or -1. */
+    int innermostLoopOf(uint32_t block_id) const
+    {
+        return blockLoop[block_id];
+    }
+
+    /** Loop nesting depth of a block (0 = not in any loop). */
+    uint32_t loopDepthOf(uint32_t block_id) const;
+
+    /**
+     * Estimated executions of the block per program run: the product
+     * of enclosing trip counts (1 outside all loops, 0 for blocks
+     * unreachable from the entry), saturated at kMaxFrequency.
+     */
+    uint64_t frequencyOf(uint32_t block_id) const
+    {
+        return blockFreq[block_id];
+    }
+
+    /** Retreating edges that are not dominator back edges. */
+    uint32_t irreducibleEdges() const { return irreducible; }
+
+    /** Deepest nesting depth in the program (0 = loop-free). */
+    uint32_t maxDepth() const;
+
+  private:
+    const assembler::Cfg *cfg;
+    std::vector<Loop> loopList;
+    std::vector<int> blockLoop;       ///< innermost loop per block
+    std::vector<uint64_t> blockFreq;  ///< static frequency per block
+    uint32_t irreducible = 0;
+};
+
+} // namespace mg::analysis
+
+#endif // MG_ANALYSIS_LOOPS_H

@@ -1,8 +1,10 @@
 #include "check/mg_lint.h"
 
 #include <algorithm>
+#include <optional>
 #include <unordered_set>
 
+#include "analysis/analyzer.h"
 #include "common/logging.h"
 
 namespace mg::check
@@ -35,6 +37,9 @@ lintRuleName(LintRule rule)
       case LintRule::Elided: return "elided";
       case LintRule::Outline: return "outline";
       case LintRule::Target: return "target";
+      case LintRule::DeadOutput: return "dead-output";
+      case LintRule::Unreachable: return "unreachable";
+      case LintRule::SerialClass: return "serial-class";
     }
     return "?";
 }
@@ -393,9 +398,43 @@ lintChosen(const Program &orig,
 
     std::vector<Addr> targets = directControlTargets(orig);
 
+    // Whole-program analysis, built independently of the selection
+    // pipeline's own CFG/liveness (same analyses, fresh instances):
+    // reachability, liveness and dataflow facts to re-check the
+    // enumeration's structural claims against.
+    std::optional<analysis::ProgramAnalysis> pa;
+    if (!chosen.empty())
+        pa.emplace(orig);
+
     for (const auto &c : chosen) {
         const std::string where = strprintf("candidate pc %u", c.firstPc);
         rep.merge(lintTemplate(c.tmpl, where));
+
+        if (!pa->reachableAt(c.firstPc)) {
+            report(rep, LintRule::Unreachable, where,
+                   "constituents are unreachable from the program "
+                   "entry");
+        }
+        if (c.outputReg >= 0 &&
+            !assembler::regIn(
+                pa->liveness().liveAfter(c.firstPc + c.len - 1),
+                static_cast<unsigned>(c.outputReg))) {
+            report(rep, LintRule::DeadOutput, where,
+                   strprintf("declared output r%d is dead on every "
+                             "path after the aggregate", c.outputReg));
+        }
+        bool serializing = c.tmpl.hasSerializingInput();
+        if ((c.serialClass ==
+             minigraph::SerialClass::NonSerializing) == serializing) {
+            report(rep, LintRule::SerialClass, where,
+                   strprintf("class %s but template %s a serializing "
+                             "input",
+                             c.serialClass ==
+                                     minigraph::SerialClass::NonSerializing
+                                 ? "non-serializing"
+                                 : "serializing",
+                             serializing ? "has" : "does not have"));
+        }
 
         if (c.len != c.tmpl.size()) {
             report(rep, LintRule::SiteMatch, where,

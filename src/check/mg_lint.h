@@ -51,6 +51,9 @@ enum class LintRule : uint8_t
     Elided,   ///< elided interior slots malformed or orphaned
     Outline,  ///< outlined body missing, wrong, or not jump-terminated
     Target,   ///< control transfer targets the interior of a mini-graph
+    DeadOutput,  ///< declared register output dead on every CFG path
+    Unreachable, ///< constituents unreachable from the program entry
+    SerialClass, ///< structural class disagrees with template dataflow
 };
 
 /** Registry name of a rule (stable, used in reports and tests). */
@@ -95,8 +98,13 @@ LintReport lintTemplates(const std::vector<isa::MgTemplate> &templates);
 
 /**
  * Check a chosen candidate set against the original program:
- * every template legal, candidates pairwise disjoint, and each
- * template re-derivable from the instructions at its site.
+ * every template legal, candidates pairwise disjoint, each template
+ * re-derivable from the instructions at its site, and — via an
+ * independently built whole-program analysis (analysis/analyzer.h) —
+ * every candidate's block reachable from the entry, its declared
+ * register output actually live on some path after the aggregate, and
+ * its structural serialization class consistent with the template's
+ * own dataflow facts.
  */
 LintReport lintChosen(const assembler::Program &orig,
                       const std::vector<minigraph::Candidate> &chosen);

@@ -1,8 +1,10 @@
 #include "minigraph/selectors.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "common/logging.h"
+#include "minigraph/static_rank.h"
 
 namespace mg::minigraph
 {
@@ -27,6 +29,7 @@ selectorName(SelectorKind kind)
         return "Ideal-Slack-Dynamic-Delay";
       case SelectorKind::IdealSlackDynamicSial:
         return "Ideal-Slack-Dynamic-SIAL";
+      case SelectorKind::SlackStatic: return "Slack-Static";
     }
     return "?";
 }
@@ -51,6 +54,7 @@ constexpr SelectorEntry kSelectorRegistry[] = {
     {"ideal-slack-dynamic", SelectorKind::IdealSlackDynamic},
     {"ideal-slack-dynamic-delay", SelectorKind::IdealSlackDynamicDelay},
     {"ideal-slack-dynamic-sial", SelectorKind::IdealSlackDynamicSial},
+    {"slack-static", SelectorKind::SlackStatic},
 };
 
 } // namespace
@@ -243,6 +247,12 @@ filterPool(const std::vector<Candidate> &all, SelectorKind kind,
     mg_assert(!selectorNeedsProfile(kind) || prof,
               "%s requires a slack profile", selectorName(kind).c_str());
 
+    // Slack-Static replaces the profile with the static analyzer,
+    // built once per pool.
+    std::unique_ptr<analysis::ProgramAnalysis> pa;
+    if (kind == SelectorKind::SlackStatic)
+        pa = std::make_unique<analysis::ProgramAnalysis>(prog);
+
     std::vector<Candidate> out;
     out.reserve(all.size());
     for (const Candidate &c : all) {
@@ -276,6 +286,9 @@ filterPool(const std::vector<Candidate> &all, SelectorKind kind,
             keep = !m.serialInputArrivesLast;
             break;
           }
+          case SelectorKind::SlackStatic:
+            keep = slackStaticKeep(c, *pa);
+            break;
         }
         if (keep)
             out.push_back(c);

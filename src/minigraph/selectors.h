@@ -18,6 +18,13 @@
  *  - Slack-Dynamic   selects like Struct-All and relies on the
  *                    saturating-counter disable hardware (§4.4);
  *                    Ideal/-Delay/-SIAL variants support Figure 7.
+ *  - Slack-Static    applies the whole-program static analyzer's
+ *                    serialization bounds (analysis/analyzer.h) with
+ *                    no profile run: non-serializing candidates pass,
+ *                    recurrence-fed or saturated-arrival candidates
+ *                    are rejected, and bounded candidates pass when
+ *                    the predicted arrival delay fits within the
+ *                    template's own critical-path latency.
  */
 
 #ifndef MG_MINIGRAPH_SELECTORS_H
@@ -47,6 +54,7 @@ enum class SelectorKind
     IdealSlackDynamic,      ///< ... without the outlining penalty
     IdealSlackDynamicDelay, ///< ... and without the consumer check
     IdealSlackDynamicSial,  ///< ... with the SIAL heuristic
+    SlackStatic,            ///< static analyzer bounds, no profile
 };
 
 /** Human-readable selector name (as used in the paper's figures). */
@@ -58,7 +66,7 @@ std::string selectorName(SelectorKind kind);
 // runner's job lists and the tests: struct-all, struct-none,
 // struct-bounded, slack-profile, slack-profile-delay,
 // slack-profile-sial, slack-dynamic, ideal-slack-dynamic,
-// ideal-slack-dynamic-delay, ideal-slack-dynamic-sial.
+// ideal-slack-dynamic-delay, ideal-slack-dynamic-sial, slack-static.
 
 /** Look up a selector by registry name; nullopt for unknown names. */
 std::optional<SelectorKind> selectorFromName(const std::string &name);

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Candidate-level adapter over the static serialization analyzer.
+ *
+ * The analysis library (analysis/analyzer.h) bounds serialization
+ * behaviour for a (template, site, input registers) tuple; this
+ * header adapts it to minigraph::Candidate and defines on top of it:
+ *
+ *  - the predicted serialization bucket of a candidate — the static
+ *    analogue of the dynamic mg-external / mg-internal accounting;
+ *  - the Slack-Static keep decision, a profile-free selector filter
+ *    that stands in for Slack-Profile when no training run exists
+ *    (the "performance with fewer resources *and* no profile" point
+ *    in the selector design space, see docs/ANALYSIS.md);
+ *  - the `mgsim analyze` per-program report and its deterministic
+ *    one-line JSON rendering (golden-snapshotted by the tests).
+ */
+
+#ifndef MG_MINIGRAPH_STATIC_RANK_H
+#define MG_MINIGRAPH_STATIC_RANK_H
+
+#include <string>
+
+#include "analysis/analyzer.h"
+#include "minigraph/candidate.h"
+
+namespace mg::minigraph
+{
+
+/** Static serialization prediction for one candidate. */
+enum class PredictedSerial : uint8_t
+{
+    NonSerializing, ///< no serializing input: never waits externally
+    Bounded,        ///< serializing, arrival delay statically bounded
+    Unbounded,      ///< recurrence-fed or saturated arrival chain
+};
+
+/** Static bounds of one candidate (analysis adapter). */
+analysis::StaticSerialBounds
+staticBoundsFor(const Candidate &cand, const analysis::ProgramAnalysis &pa);
+
+/** Predicted serialization bucket from the static bounds. */
+PredictedSerial predictedSerial(const analysis::StaticSerialBounds &b);
+
+/**
+ * The Slack-Static filter: keep non-serializing candidates; reject
+ * recurrence-fed and saturated ones outright; keep the rest when the
+ * serializing inputs' statically-bounded extra arrival delay does not
+ * exceed the template's own dataflow critical-path latency (the delay
+ * the aggregate can absorb while executing).
+ */
+bool slackStaticKeep(const Candidate &cand,
+                     const analysis::ProgramAnalysis &pa);
+
+/** The `mgsim analyze` per-program report. */
+struct AnalyzeReport
+{
+    std::string program;        ///< program name
+    size_t instructions = 0;
+    size_t blocks = 0;
+    size_t reachableBlocks = 0;
+    size_t loops = 0;
+    size_t exactTripCounts = 0; ///< loops with a derived trip count
+    uint32_t maxLoopDepth = 0;
+    uint32_t irreducibleEdges = 0;
+    uint64_t maxBlockFrequency = 0;
+    uint32_t maxHeight = 0;     ///< largest readiness height
+    bool saturated = false;     ///< any height hit the cap
+
+    size_t candidates = 0;
+    /** Structural classes (candidate.h). */
+    size_t structNonSerializing = 0;
+    size_t structBounded = 0;
+    size_t structUnbounded = 0;
+    /** Predicted buckets (this header). */
+    size_t predNonSerializing = 0;
+    size_t predBounded = 0;
+    size_t predUnbounded = 0;
+    /** Candidates the Slack-Static filter keeps. */
+    size_t slackStaticKept = 0;
+};
+
+/** Analyze one program (builds the ProgramAnalysis internally). */
+AnalyzeReport analyzeProgram(const assembler::Program &prog);
+
+/**
+ * Deterministic one-line JSON rendering of a report: fixed key order,
+ * integer-only values, byte-identical across runs and job counts (the
+ * PR-3 stats-JSON contract; golden-snapshotted in tests/golden/).
+ */
+std::string analyzeReportJson(const AnalyzeReport &rep);
+
+} // namespace mg::minigraph
+
+#endif // MG_MINIGRAPH_STATIC_RANK_H

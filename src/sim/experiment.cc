@@ -281,6 +281,7 @@ ProgramContext::simulateChosen(
     out.templateNames.reserve(rp.info.templates.size());
     for (const isa::MgTemplate &t : rp.info.templates)
         out.templateNames.push_back(trace::templateLabel(t));
+    out.templates = rp.info.templates;
 
     if (tracer)
         exportTrace(*tracer);

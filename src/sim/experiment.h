@@ -181,6 +181,15 @@ struct RunResult
     /** Labels aligned with sim.mgTemplates (trace::templateLabel). */
     std::vector<std::string> templateNames;
 
+    /**
+     * The selected templates themselves, aligned with sim.mgTemplates
+     * (the rewritten binary's MgBinaryInfo::templates order).  Only
+     * populated for in-process runs; isolated runs and journal replays
+     * marshal through stats JSON, which carries names only.  The
+     * static-vs-dynamic consistency tests read these.
+     */
+    std::vector<isa::MgTemplate> templates;
+
     /** False if the job failed; `error` holds the message. */
     bool ok = true;
     std::string error;

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Static-vs-dynamic consistency checker: a clean run passes, and each
+ * invariant class produces a finding when violated.
+ */
+
+#include "analysis/consistency.h"
+
+#include <gtest/gtest.h>
+
+namespace mg::analysis
+{
+namespace
+{
+
+using isa::MgConstituent;
+using isa::MgSrcKind;
+using isa::MgTemplate;
+using isa::Opcode;
+
+/** add(ext0, ext1) -> add(internal, ext2): a serializing input on
+ *  slot 2, fully chained so the internal penalty is zero. */
+MgTemplate
+serializingTemplate()
+{
+    MgTemplate t;
+    t.ops.push_back({Opcode::ADD, MgSrcKind::External,
+                     MgSrcKind::External, 0, 1, 0, false});
+    t.ops.push_back({Opcode::ADD, MgSrcKind::Internal,
+                     MgSrcKind::External, 0, 2, 0, true});
+    t.numInputs = 3;
+    t.hasOutput = true;
+    t.outputIdx = 1;
+    return t;
+}
+
+/** add(ext0, ext1) -> addi(internal): chained, no external input
+ *  past the first constituent. */
+MgTemplate
+nonSerializingTemplate()
+{
+    MgTemplate t;
+    t.ops.push_back({Opcode::ADD, MgSrcKind::External,
+                     MgSrcKind::External, 0, 1, 0, false});
+    t.ops.push_back({Opcode::ADDI, MgSrcKind::Internal,
+                     MgSrcKind::None, 0, 0, 1, true});
+    t.numInputs = 2;
+    t.hasOutput = true;
+    t.outputIdx = 1;
+    return t;
+}
+
+/** Two independent all-external adds forced into series: the serial
+ *  latency to the output exceeds the dataflow critical path by 1. */
+MgTemplate
+penaltyTemplate()
+{
+    MgTemplate t;
+    t.ops.push_back({Opcode::ADD, MgSrcKind::External,
+                     MgSrcKind::External, 0, 1, 0, false});
+    t.ops.push_back({Opcode::ADD, MgSrcKind::External,
+                     MgSrcKind::External, 0, 1, 0, true});
+    t.numInputs = 2;
+    t.hasOutput = true;
+    t.outputIdx = 1;
+    return t;
+}
+
+TEST(Consistency, TemplateFixturesHaveTheIntendedStatics)
+{
+    EXPECT_TRUE(serializingTemplate().hasSerializingInput());
+    EXPECT_EQ(serializingTemplate().internalChainPenalty(), 0u);
+    EXPECT_FALSE(nonSerializingTemplate().hasSerializingInput());
+    EXPECT_EQ(nonSerializingTemplate().internalChainPenalty(), 0u);
+    EXPECT_EQ(penaltyTemplate().internalChainPenalty(), 1u);
+}
+
+TEST(Consistency, CleanRunProducesNoFindings)
+{
+    auto ser = serializingTemplate();
+    auto non = nonSerializingTemplate();
+    auto pen = penaltyTemplate();
+    std::vector<TemplateDynStats> stats{
+        {&ser, 10, 37, 0},  // waits allowed: serializing input
+        {&non, 4, 0, 0},    // no serializing input, no wait
+        {&pen, 6, 12, 6},   // penalty 1 x 6 issues, serializing
+    };
+    auto rep = checkStaticDynamic(stats, 37, 6);
+    EXPECT_TRUE(rep.clean()) << rep.render();
+    // 3 per-template checks x 3 templates + 2 program-level checks.
+    EXPECT_EQ(rep.checksRun, 11u);
+    EXPECT_EQ(rep.render(), "");
+}
+
+TEST(Consistency, NeverIssuedMustNotAccumulate)
+{
+    auto ser = serializingTemplate();
+    std::vector<TemplateDynStats> stats{{&ser, 0, 5, 0}};
+    auto rep = checkStaticDynamic(stats, 0, 0);
+    ASSERT_FALSE(rep.clean());
+    EXPECT_EQ(rep.findings[0].where, "template 0");
+    EXPECT_NE(rep.findings[0].message.find("never issued"),
+              std::string::npos);
+    EXPECT_NE(rep.render().find("[static-dynamic]"), std::string::npos);
+}
+
+TEST(Consistency, InternalPenaltyMustBeExactMultiple)
+{
+    auto pen = penaltyTemplate();
+    // Penalty 1/issue, 6 issues, but 7 cycles charged.
+    std::vector<TemplateDynStats> stats{{&pen, 6, 0, 7}};
+    auto rep = checkStaticDynamic(stats, 0, 7);
+    ASSERT_EQ(rep.findings.size(), 1u);
+    EXPECT_NE(rep.findings[0].message.find("internal-penalty"),
+              std::string::npos);
+}
+
+TEST(Consistency, ExternalWaitNeedsASerializingInput)
+{
+    auto non = nonSerializingTemplate();
+    std::vector<TemplateDynStats> stats{{&non, 4, 9, 0}};
+    auto rep = checkStaticDynamic(stats, 9, 0);
+    // Finding for the impossible wait, plus the program-level
+    // mg-external bucket with no serializing template to blame.
+    ASSERT_EQ(rep.findings.size(), 2u);
+    EXPECT_NE(rep.findings[0].message.find("no serializing input"),
+              std::string::npos);
+    EXPECT_EQ(rep.findings[1].where, "program");
+}
+
+TEST(Consistency, InternalLossNeedsAPenaltyTemplate)
+{
+    auto ser = serializingTemplate(); // penalty 0
+    std::vector<TemplateDynStats> stats{{&ser, 3, 2, 0}};
+    auto rep = checkStaticDynamic(stats, 2, 50);
+    ASSERT_EQ(rep.findings.size(), 1u);
+    EXPECT_EQ(rep.findings[0].where, "program");
+    EXPECT_NE(rep.findings[0].message.find("mg-internal"),
+              std::string::npos);
+}
+
+TEST(Consistency, ExternalLossNeedsASerializingTemplate)
+{
+    auto non = nonSerializingTemplate();
+    std::vector<TemplateDynStats> stats{{&non, 3, 0, 0}};
+    auto rep = checkStaticDynamic(stats, 25, 0);
+    ASSERT_EQ(rep.findings.size(), 1u);
+    EXPECT_EQ(rep.findings[0].where, "program");
+    EXPECT_NE(rep.findings[0].message.find("mg-external"),
+              std::string::npos);
+}
+
+TEST(Consistency, EmptyRunIsTriviallyClean)
+{
+    auto rep = checkStaticDynamic({}, 0, 0);
+    EXPECT_TRUE(rep.clean());
+    EXPECT_EQ(rep.checksRun, 2u);
+}
+
+} // namespace
+} // namespace mg::analysis

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Reaching definitions, def-use chains, and readiness heights —
+ * straight-line chains, merges at joins, dead definitions, loop
+ * recurrences saturating at the height cap, and unreachable code.
+ */
+
+#include "analysis/dataflow.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "assembler/assembler.h"
+#include "assembler/cfg.h"
+
+namespace mg::analysis
+{
+namespace
+{
+
+using assembler::Cfg;
+using assembler::Program;
+
+struct Built
+{
+    Program prog;
+    Cfg cfg;
+    Dominators dom;
+    Dataflow flow;
+
+    explicit Built(const std::string &src)
+        : prog(assembler::assemble(src)), cfg(prog), dom(cfg),
+          flow(cfg, dom)
+    {
+    }
+};
+
+TEST(Dataflow, StraightLineDefUseChain)
+{
+    // pc0: li r1 (lat 1); pc1: addi r2 <- r1 (lat 1); pc2: halt.
+    Built b("li r1, 5\n"
+            "addi r2, r1, 1\n"
+            "halt\n");
+    ASSERT_EQ(b.flow.defSites().size(), 2u);
+    EXPECT_EQ(b.flow.defSites()[0], 0u);
+    EXPECT_EQ(b.flow.defSites()[1], 1u);
+
+    auto reach = b.flow.reachingDefs(1, 1);
+    ASSERT_EQ(reach.size(), 1u);
+    EXPECT_EQ(reach[0], 0u);
+
+    const auto &uses = b.flow.usesOf(0);
+    ASSERT_EQ(uses.size(), 1u);
+    EXPECT_EQ(uses[0], 1u);
+
+    // r2 is never read: its definition is dead.
+    EXPECT_FALSE(b.flow.defIsDead(0));
+    EXPECT_TRUE(b.flow.defIsDead(1));
+
+    // Heights: li = 1; addi = value(r1) + 1 = 2.
+    EXPECT_EQ(b.flow.heightOf(0), 1u);
+    EXPECT_EQ(b.flow.valueHeightAt(1, 1), 1u);
+    EXPECT_EQ(b.flow.heightOf(1), 2u);
+    EXPECT_EQ(b.flow.maxHeight(), 2u);
+    EXPECT_FALSE(b.flow.saturated());
+}
+
+TEST(Dataflow, LaterDefKillsEarlierSameReg)
+{
+    Built b("li r1, 1\n"
+            "li r1, 2\n"
+            "addi r2, r1, 0\n"
+            "halt\n");
+    auto reach = b.flow.reachingDefs(2, 1);
+    ASSERT_EQ(reach.size(), 1u);
+    EXPECT_EQ(reach[0], 1u);
+    // The killed first def has no readers.
+    EXPECT_TRUE(b.flow.defIsDead(0));
+    EXPECT_FALSE(b.flow.defIsDead(1));
+}
+
+TEST(Dataflow, BothArmsReachTheJoin)
+{
+    // r3 defined in both arms of a diamond; both defs reach the use.
+    Built b("      bne r1, r2, other\n"
+            "      li r3, 1\n"
+            "      j join\n"
+            "other: li r3, 2\n"
+            "join: addi r4, r3, 0\n"
+            "      halt\n");
+    auto reach = b.flow.reachingDefs(4, 3);
+    std::sort(reach.begin(), reach.end());
+    ASSERT_EQ(reach.size(), 2u);
+    EXPECT_EQ(reach[0], 1u);
+    EXPECT_EQ(reach[1], 3u);
+    // ... and symmetrically each def's use list has the join.
+    ASSERT_EQ(b.flow.usesOf(1).size(), 1u);
+    EXPECT_EQ(b.flow.usesOf(1)[0], 4u);
+    ASSERT_EQ(b.flow.usesOf(3).size(), 1u);
+    EXPECT_EQ(b.flow.usesOf(3)[0], 4u);
+
+    // The join's value height is the max over both arms (each li = 1).
+    EXPECT_EQ(b.flow.valueHeightAt(4, 3), 1u);
+}
+
+TEST(Dataflow, InitialRegisterStateReachesAsNoDefs)
+{
+    // r7 is never defined: only the loader-initialised state reaches,
+    // reported as an empty def list and height 0.
+    Built b("addi r2, r7, 1\nhalt\n");
+    EXPECT_TRUE(b.flow.reachingDefs(0, 7).empty());
+    EXPECT_EQ(b.flow.valueHeightAt(0, 7), 0u);
+    EXPECT_EQ(b.flow.heightOf(0), 1u);
+}
+
+TEST(Dataflow, LoadLatencyEntersTheHeight)
+{
+    // lw latency is 3; the dependent addi sits at 3 + 1.
+    Built b("lw r1, 0(r2)\n"
+            "addi r3, r1, 1\n"
+            "halt\n");
+    EXPECT_EQ(b.flow.heightOf(0), 3u);
+    EXPECT_EQ(b.flow.valueHeightAt(1, 1), 3u);
+    EXPECT_EQ(b.flow.heightOf(1), 4u);
+}
+
+TEST(Dataflow, LoopRecurrenceSaturatesAtTheCap)
+{
+    // r1 += 1 around a back edge: a loop-carried dependence cycle
+    // pushes the height fixpoint to the saturation cap.
+    Built b("      li r1, 0\n"
+            "loop: addi r1, r1, 1\n"
+            "      bne r1, r2, loop\n"
+            "      halt\n");
+    EXPECT_TRUE(b.flow.saturated());
+    EXPECT_EQ(b.flow.heightOf(1), kHeightCap);
+    EXPECT_EQ(b.flow.valueHeightAt(1, 1), kHeightCap);
+    EXPECT_EQ(b.flow.maxHeight(), kHeightCap);
+
+    // The recurrence def reaches its own PC around the back edge.
+    auto reach = b.flow.reachingDefs(1, 1);
+    std::sort(reach.begin(), reach.end());
+    ASSERT_EQ(reach.size(), 2u);
+    EXPECT_EQ(reach[0], 0u); // li from the preheader
+    EXPECT_EQ(reach[1], 1u); // itself, loop-carried
+}
+
+TEST(Dataflow, LoopInvariantStaysFinite)
+{
+    // r5 is defined once outside the loop and only *read* inside:
+    // no recurrence through it, so its consumer's height is finite.
+    Built b("      li r5, 7\n"
+            "      li r1, 0\n"
+            "loop: addi r6, r5, 1\n"
+            "      addi r1, r1, 1\n"
+            "      bne r1, r2, loop\n"
+            "      halt\n");
+    EXPECT_EQ(b.flow.valueHeightAt(2, 5), 1u);
+    EXPECT_EQ(b.flow.heightOf(2), 2u);
+    // The induction register still saturates.
+    EXPECT_EQ(b.flow.heightOf(3), kHeightCap);
+}
+
+TEST(Dataflow, UnreachableBlockHasZeroHeights)
+{
+    Built b("j skip\n"
+            "addi r1, r1, 1\n"
+            "skip: halt\n");
+    EXPECT_EQ(b.flow.heightOf(1), 0u);
+    EXPECT_EQ(b.flow.valueHeightAt(1, 1), 0u);
+}
+
+TEST(Dataflow, ZeroRegisterIsNeverADef)
+{
+    // Branches/stores define nothing; r0 reads are height 0.
+    Built b("sw r1, 0(r2)\n"
+            "addi r3, r0, 1\n"
+            "halt\n");
+    ASSERT_EQ(b.flow.defSites().size(), 1u);
+    EXPECT_EQ(b.flow.defSites()[0], 1u);
+    EXPECT_EQ(b.flow.valueHeightAt(1, isa::kZeroReg), 0u);
+}
+
+} // namespace
+} // namespace mg::analysis

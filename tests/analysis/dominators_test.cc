@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Dominator-tree edge cases the static analyzer must survive:
+ * single-block programs, diamonds, unreachable blocks, fallthrough
+ * into a labeled block, and loops (header dominating the latch).
+ */
+
+#include "analysis/dominators.h"
+
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.h"
+#include "assembler/cfg.h"
+
+namespace mg::analysis
+{
+namespace
+{
+
+using assembler::Cfg;
+using assembler::Program;
+
+TEST(Dominators, SingleBlockProgram)
+{
+    Program p = assembler::assemble("nop\nnop\nhalt\n");
+    Cfg cfg(p);
+    ASSERT_EQ(cfg.blocks().size(), 1u);
+    Dominators dom(cfg);
+    EXPECT_EQ(dom.entry(), 0u);
+    EXPECT_TRUE(dom.reachable(0));
+    EXPECT_EQ(dom.idom(0), kNoBlock);
+    EXPECT_TRUE(dom.dominates(0, 0));
+    EXPECT_EQ(dom.reachableCount(), 1u);
+    ASSERT_EQ(dom.rpoOrder().size(), 1u);
+    EXPECT_EQ(dom.rpoOrder()[0], 0u);
+}
+
+TEST(Dominators, DiamondJoinDominatedOnlyByFork)
+{
+    // b0: branch; b1: then; b2: else; b3: join.
+    Program p = assembler::assemble("      bne r1, r2, other\n"
+                                    "      addi r3, r3, 1\n"
+                                    "      j join\n"
+                                    "other: addi r4, r4, 1\n"
+                                    "join: halt\n");
+    Cfg cfg(p);
+    ASSERT_EQ(cfg.blocks().size(), 4u);
+    Dominators dom(cfg);
+    uint32_t b0 = cfg.blockIdOf(0);
+    uint32_t b1 = cfg.blockIdOf(1);
+    uint32_t b2 = cfg.blockIdOf(3);
+    uint32_t b3 = cfg.blockIdOf(4);
+
+    EXPECT_EQ(dom.idom(b1), b0);
+    EXPECT_EQ(dom.idom(b2), b0);
+    // Join: neither arm dominates it, only the fork does.
+    EXPECT_EQ(dom.idom(b3), b0);
+    EXPECT_TRUE(dom.dominates(b0, b3));
+    EXPECT_FALSE(dom.dominates(b1, b3));
+    EXPECT_FALSE(dom.dominates(b2, b3));
+    // Dominance is reflexive on reachable blocks.
+    EXPECT_TRUE(dom.dominates(b3, b3));
+}
+
+TEST(Dominators, UnreachableBlockHasNoDominatorInfo)
+{
+    // The nop after the jump is dead code that falls through into
+    // the labeled halt block.
+    Program p = assembler::assemble("j skip\n"
+                                    "nop\n"
+                                    "skip: halt\n");
+    Cfg cfg(p);
+    ASSERT_EQ(cfg.blocks().size(), 3u);
+    Dominators dom(cfg);
+    uint32_t dead = cfg.blockIdOf(1);
+    uint32_t skip = cfg.blockIdOf(2);
+
+    EXPECT_FALSE(dom.reachable(dead));
+    EXPECT_EQ(dom.idom(dead), kNoBlock);
+    EXPECT_EQ(dom.rpo(dead), kNoBlock);
+    // Unreachable blocks dominate nothing and are dominated by nothing.
+    EXPECT_FALSE(dom.dominates(dead, skip));
+    EXPECT_FALSE(dom.dominates(0, dead));
+    EXPECT_FALSE(dom.dominates(dead, dead));
+    EXPECT_EQ(dom.reachableCount(), 2u);
+
+    // The reachable join still has the entry as idom even though it
+    // also has an (unreachable) fallthrough predecessor.
+    EXPECT_TRUE(dom.reachable(skip));
+    EXPECT_EQ(dom.idom(skip), cfg.blockIdOf(0));
+}
+
+TEST(Dominators, FallthroughIntoLabeledBlock)
+{
+    // The label splits a straight line; the first block dominates
+    // the second through the fallthrough edge.
+    Program p = assembler::assemble("      addi r1, r1, 1\n"
+                                    "next: addi r2, r2, 1\n"
+                                    "      bne r1, r2, next\n"
+                                    "      halt\n");
+    Cfg cfg(p);
+    Dominators dom(cfg);
+    uint32_t b0 = cfg.blockIdOf(0);
+    uint32_t b1 = cfg.blockIdOf(1);
+    EXPECT_EQ(dom.idom(b1), b0);
+    EXPECT_TRUE(dom.dominates(b0, b1));
+    EXPECT_FALSE(dom.dominates(b1, b0));
+}
+
+TEST(Dominators, LoopHeaderDominatesLatch)
+{
+    Program p = assembler::assemble("      li r1, 0\n"
+                                    "loop: addi r1, r1, 1\n"
+                                    "      bne r1, r2, loop\n"
+                                    "      halt\n");
+    Cfg cfg(p);
+    Dominators dom(cfg);
+    uint32_t pre = cfg.blockIdOf(0);
+    uint32_t body = cfg.blockIdOf(1);
+    EXPECT_TRUE(dom.dominates(pre, body));
+    EXPECT_EQ(dom.idom(body), pre);
+    // Self-loop: the body block is both header and latch.
+    EXPECT_TRUE(dom.dominates(body, body));
+}
+
+TEST(Dominators, RpoOrderStartsAtEntryAndCoversReachable)
+{
+    Program p = assembler::assemble("      bne r1, r2, other\n"
+                                    "      j join\n"
+                                    "other: nop\n"
+                                    "join: halt\n");
+    Cfg cfg(p);
+    Dominators dom(cfg);
+    const auto &order = dom.rpoOrder();
+    ASSERT_FALSE(order.empty());
+    EXPECT_EQ(order.front(), dom.entry());
+    for (size_t i = 0; i < order.size(); ++i)
+        EXPECT_EQ(dom.rpo(order[i]), i);
+}
+
+} // namespace
+} // namespace mg::analysis

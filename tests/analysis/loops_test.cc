@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Natural-loop detection, static trip-count estimation, and block
+ * frequency — including the irreducible-loop and unreachable-block
+ * edge cases.
+ */
+
+#include "analysis/loops.h"
+
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.h"
+#include "assembler/cfg.h"
+
+namespace mg::analysis
+{
+namespace
+{
+
+using assembler::Cfg;
+using assembler::Program;
+
+struct Built
+{
+    Program prog;
+    Cfg cfg;
+    Dominators dom;
+    LoopInfo loops;
+
+    explicit Built(const std::string &src)
+        : prog(assembler::assemble(src)), cfg(prog), dom(cfg),
+          loops(cfg, dom)
+    {
+    }
+};
+
+TEST(Loops, LoopFreeProgram)
+{
+    Built b("nop\nbne r1, r2, skip\nnop\nskip: halt\n");
+    EXPECT_TRUE(b.loops.loops().empty());
+    EXPECT_EQ(b.loops.maxDepth(), 0u);
+    EXPECT_EQ(b.loops.irreducibleEdges(), 0u);
+    for (uint32_t blk = 0; blk < b.cfg.blocks().size(); ++blk) {
+        EXPECT_EQ(b.loops.loopDepthOf(blk), 0u);
+        EXPECT_EQ(b.loops.frequencyOf(blk), 1u);
+    }
+}
+
+TEST(Loops, CountedLoopGetsExactTripCount)
+{
+    // i = 0; do { i += 1 } while (i != 8): exactly 8 iterations.
+    Built b("      li r1, 0\n"
+            "      li r2, 8\n"
+            "loop: addi r1, r1, 1\n"
+            "      bne r1, r2, loop\n"
+            "      halt\n");
+    ASSERT_EQ(b.loops.loops().size(), 1u);
+    const Loop &l = b.loops.loops()[0];
+    EXPECT_TRUE(l.tripCountExact);
+    EXPECT_EQ(l.tripCount, 8u);
+    EXPECT_EQ(l.depth, 1u);
+    EXPECT_EQ(l.parent, -1);
+
+    uint32_t body = b.cfg.blockIdOf(2);
+    EXPECT_EQ(b.loops.frequencyOf(body), 8u);
+    // Pre-header and exit execute once.
+    EXPECT_EQ(b.loops.frequencyOf(b.cfg.blockIdOf(0)), 1u);
+    EXPECT_EQ(b.loops.frequencyOf(b.cfg.blockIdOf(4)), 1u);
+}
+
+TEST(Loops, CountingDownBltPatterns)
+{
+    // i = 10; do { i -= 2 } while (i >= 1): i = 10,8,6,4,2 -> 5 trips.
+    Built down("      li r1, 10\n"
+               "      li r2, 1\n"
+               "loop: addi r1, r1, -2\n"
+               "      bge r1, r2, loop\n"
+               "      halt\n");
+    ASSERT_EQ(down.loops.loops().size(), 1u);
+    EXPECT_TRUE(down.loops.loops()[0].tripCountExact);
+    EXPECT_EQ(down.loops.loops()[0].tripCount, 5u);
+
+    // i = 0; do { i += 3 } while (i < 10): i = 0,3,6,9 -> 4 trips.
+    Built up("      li r1, 0\n"
+             "      li r2, 10\n"
+             "loop: addi r1, r1, 3\n"
+             "      blt r1, r2, loop\n"
+             "      halt\n");
+    ASSERT_EQ(up.loops.loops().size(), 1u);
+    EXPECT_TRUE(up.loops.loops()[0].tripCountExact);
+    EXPECT_EQ(up.loops.loops()[0].tripCount, 4u);
+}
+
+TEST(Loops, UnknowableBoundFallsBackToDefault)
+{
+    // The bound register is never defined by a `li` we can see, so
+    // the trip count stays at the default estimate.
+    Built b("loop: addi r1, r1, 1\n"
+            "      bne r1, r2, loop\n"
+            "      halt\n");
+    ASSERT_EQ(b.loops.loops().size(), 1u);
+    EXPECT_FALSE(b.loops.loops()[0].tripCountExact);
+    EXPECT_EQ(b.loops.loops()[0].tripCount, kDefaultTripCount);
+}
+
+TEST(Loops, NestedLoopsMultiplyFrequencies)
+{
+    // Outer 4 trips, inner 8 trips per outer iteration.
+    Built b("       li r1, 0\n"
+            "       li r3, 4\n"
+            "       li r4, 8\n"
+            "outer: li r2, 0\n"
+            "inner: addi r2, r2, 1\n"
+            "       bne r2, r4, inner\n"
+            "       addi r1, r1, 1\n"
+            "       bne r1, r3, outer\n"
+            "       halt\n");
+    ASSERT_EQ(b.loops.loops().size(), 2u);
+    EXPECT_EQ(b.loops.maxDepth(), 2u);
+
+    uint32_t inner_blk = b.cfg.blockIdOf(4);
+    uint32_t outer_hdr = b.cfg.blockIdOf(3);
+    EXPECT_EQ(b.loops.loopDepthOf(inner_blk), 2u);
+    EXPECT_EQ(b.loops.loopDepthOf(outer_hdr), 1u);
+    EXPECT_EQ(b.loops.frequencyOf(outer_hdr), 4u);
+    EXPECT_EQ(b.loops.frequencyOf(inner_blk), 32u);
+
+    // The inner loop's parent is the outer loop.
+    const Loop &inner =
+        b.loops.loops()[b.loops.innermostLoopOf(inner_blk)];
+    EXPECT_EQ(inner.depth, 2u);
+    ASSERT_GE(inner.parent, 0);
+    EXPECT_EQ(b.loops.loops()[inner.parent].depth, 1u);
+}
+
+TEST(Loops, IrreducibleEntryIsFlaggedNotLooped)
+{
+    // Two blocks jumping at each other, entered from the side at
+    // `b`: the retreating edge's target does not dominate its
+    // source, so no natural loop forms and the edge is flagged.
+    Built b("   bne r1, r2, second\n"
+            "first:  nop\n"
+            "   j second\n"
+            "second: nop\n"
+            "   bne r3, r4, first\n"
+            "   halt\n");
+    EXPECT_GE(b.loops.irreducibleEdges(), 1u);
+    EXPECT_TRUE(b.loops.loops().empty());
+}
+
+TEST(Loops, UnreachableBlockHasZeroFrequency)
+{
+    Built b("j skip\n"
+            "nop\n"
+            "skip: halt\n");
+    uint32_t dead = b.cfg.blockIdOf(1);
+    EXPECT_EQ(b.loops.frequencyOf(dead), 0u);
+    EXPECT_EQ(b.loops.frequencyOf(b.cfg.blockIdOf(0)), 1u);
+}
+
+TEST(Loops, SelfLoopSingleBlockHeaderIsLatch)
+{
+    Built b("loop: addi r1, r1, 1\n"
+            "      bne r1, r2, loop\n"
+            "      halt\n");
+    ASSERT_EQ(b.loops.loops().size(), 1u);
+    const Loop &l = b.loops.loops()[0];
+    EXPECT_EQ(l.header, l.latch);
+    ASSERT_EQ(l.body.size(), 1u);
+    EXPECT_EQ(l.body[0], l.header);
+}
+
+} // namespace
+} // namespace mg::analysis

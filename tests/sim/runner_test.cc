@@ -197,7 +197,7 @@ TEST(NameRegistry, ConfigRoundTrip)
 
 TEST(NameRegistry, SelectorRoundTrip)
 {
-    EXPECT_EQ(minigraph::allSelectorNames().size(), 10u);
+    EXPECT_EQ(minigraph::allSelectorNames().size(), 11u);
     for (const auto &name : minigraph::allSelectorNames()) {
         auto kind = minigraph::selectorFromName(name);
         ASSERT_TRUE(kind.has_value()) << name;
@@ -213,7 +213,8 @@ TEST(NameRegistry, SelectorRoundTrip)
           SelectorKind::SlackProfileSial, SelectorKind::SlackDynamic,
           SelectorKind::IdealSlackDynamic,
           SelectorKind::IdealSlackDynamicDelay,
-          SelectorKind::IdealSlackDynamicSial}) {
+          SelectorKind::IdealSlackDynamicSial,
+          SelectorKind::SlackStatic}) {
         EXPECT_FALSE(minigraph::nameOf(kind).empty());
         EXPECT_NE(minigraph::selectorName(kind), "?");
     }

@@ -167,5 +167,50 @@ TEST_F(CliTest, EnvLayerFlowsThroughParse)
     EXPECT_EQ(out.batch.src.jobs, sim::OptionSource::Env);
 }
 
+TEST_F(CliTest, GetIntValidatesBoundsAndKeepsDefaults)
+{
+    Command cmd;
+    cmd.name = "lint";
+    cmd.own = {{"--budget", true}};
+
+    // Absent flag: the default survives and parsing succeeds.
+    Args absent;
+    ASSERT_TRUE(parse({}, cmd, absent));
+    int64_t v = 42;
+    EXPECT_TRUE(getInt(absent, "lint", "--budget", 1, 512, v));
+    EXPECT_EQ(v, 42);
+
+    // Present and in range: the value lands.
+    Args good;
+    ASSERT_TRUE(parse({"--budget", "17"}, cmd, good));
+    EXPECT_TRUE(getInt(good, "lint", "--budget", 1, 512, v));
+    EXPECT_EQ(v, 17);
+
+    // Out of range or malformed: usage error, value untouched.
+    for (const char *bad : {"0", "513", "-3", "nope", "1x", ""}) {
+        Args args;
+        ASSERT_TRUE(parse({"--budget", bad}, cmd, args)) << bad;
+        v = 42;
+        EXPECT_FALSE(getInt(args, "lint", "--budget", 1, 512, v))
+            << bad;
+        EXPECT_EQ(v, 42) << bad;
+    }
+}
+
+TEST_F(CliTest, PositiveAndNonNegativeHelpers)
+{
+    Command cmd;
+    cmd.name = "trace";
+    cmd.own = {{"--pr", true}, {"--start", true}};
+
+    Args args;
+    ASSERT_TRUE(parse({"--pr", "0", "--start", "0"}, cmd, args));
+    int64_t v = 7;
+    EXPECT_FALSE(getPositive(args, "trace", "--pr", v));
+    EXPECT_EQ(v, 7);
+    EXPECT_TRUE(getNonNegative(args, "trace", "--start", v));
+    EXPECT_EQ(v, 0);
+}
+
 } // namespace
 } // namespace mg::cli

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Golden analyze snapshots: the `mgsim analyze` one-line JSON report
+ * of every workload in the suite, compared byte-for-byte against
+ * tests/golden/golden_analyze.jsonl.  The static analyzer runs no
+ * simulation, so the whole 78-program suite snapshots in well under a
+ * second — any change to the CFG, dominator, loop, trip-count,
+ * height, candidate, or Slack-Static logic shows up as a diff here.
+ * Intentional changes re-bless with tools/bless_golden.sh (or by
+ * running this binary with MG_BLESS_GOLDEN=1).
+ */
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "minigraph/static_rank.h"
+#include "workloads/workload.h"
+
+#ifndef MG_GOLDEN_DIR
+#error "MG_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace mg::minigraph
+{
+namespace
+{
+
+constexpr const char *kGoldenPath =
+    MG_GOLDEN_DIR "/golden_analyze.jsonl";
+
+/** One JSON line per workload program, suite order. */
+std::string
+renderSuite(std::vector<std::string> &names)
+{
+    std::string out;
+    for (const auto &spec : workloads::workloadList()) {
+        auto built = workloads::buildWorkload(spec);
+        names.push_back(spec.name());
+        out += analyzeReportJson(analyzeProgram(built.program));
+        out += '\n';
+    }
+    return out;
+}
+
+TEST(GoldenAnalyze, SuiteMatchesSnapshot)
+{
+    std::vector<std::string> names;
+    std::string actual = renderSuite(names);
+
+    if (const char *bless = std::getenv("MG_BLESS_GOLDEN");
+        bless && *bless == '1') {
+        std::ofstream out(kGoldenPath, std::ios::binary);
+        ASSERT_TRUE(out) << "cannot write " << kGoldenPath;
+        out << actual;
+        GTEST_SKIP() << "blessed " << kGoldenPath;
+    }
+
+    std::ifstream in(kGoldenPath, std::ios::binary);
+    ASSERT_TRUE(in) << "missing " << kGoldenPath
+                    << " — run tools/bless_golden.sh";
+    std::stringstream ss;
+    ss << in.rdbuf();
+    std::string expected = ss.str();
+
+    if (expected != actual) {
+        std::istringstream ea(expected), aa(actual);
+        std::string el, al;
+        size_t line = 0;
+        while (true) {
+            bool eok = static_cast<bool>(std::getline(ea, el));
+            bool aok = static_cast<bool>(std::getline(aa, al));
+            ++line;
+            if (!eok && !aok)
+                break;
+            EXPECT_EQ(eok ? el : "<eof>", aok ? al : "<eof>")
+                << "golden_analyze.jsonl line " << line << " ("
+                << (line - 1 < names.size() ? names[line - 1]
+                                            : "<extra>")
+                << "); intentional analyzer changes: re-bless with "
+                   "tools/bless_golden.sh";
+        }
+        FAIL() << "analyze snapshot diverged from " << kGoldenPath;
+    }
+}
+
+} // namespace
+} // namespace mg::minigraph

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Static-vs-dynamic serialization cross-check, swept across the whole
+ * benchmark suite: every workload x every selector (the five paper
+ * policies plus Slack-Static), the dynamic per-template serialization
+ * counters and mg-external / mg-internal loss buckets must satisfy
+ * the analyzer's structural invariants (analysis/consistency.h).
+ * Part of the `check` ctest label, since it simulates the full suite.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/consistency.h"
+#include "sim/runner.h"
+
+namespace mg::sim
+{
+namespace
+{
+
+using minigraph::SelectorKind;
+
+TEST(StaticDynamicCheck, SuiteIsConsistentAcrossSelectors)
+{
+    const std::vector<SelectorKind> kinds{
+        SelectorKind::StructAll,     SelectorKind::StructNone,
+        SelectorKind::StructBounded, SelectorKind::SlackProfile,
+        SelectorKind::SlackDynamic,  SelectorKind::SlackStatic};
+
+    auto reduced = *uarch::configFromName("reduced");
+
+    std::vector<RunRequest> jobs;
+    for (const auto &spec : workloads::workloadList())
+        for (auto kind : kinds)
+            jobs.push_back({.workload = spec,
+                            .config = reduced,
+                            .selector = kind});
+
+    Runner runner(Runner::Options{});
+    auto results = runner.run(jobs, "static-dynamic");
+    ASSERT_EQ(results.size(), jobs.size());
+
+    size_t checks = 0;
+    for (size_t i = 0; i < results.size(); ++i) {
+        const auto &r = results[i];
+        std::string what = jobs[i].workload.name() + " / " +
+                           minigraph::nameOf(*jobs[i].selector);
+        ASSERT_TRUE(r.ok) << what << ": " << r.error;
+        ASSERT_EQ(r.templates.size(), r.sim.mgTemplates.size()) << what;
+
+        std::vector<analysis::TemplateDynStats> stats;
+        stats.reserve(r.templates.size());
+        for (size_t t = 0; t < r.templates.size(); ++t) {
+            const auto &dyn = r.sim.mgTemplates[t];
+            stats.push_back({&r.templates[t], dyn.issues,
+                             dyn.extWaitCycles, dyn.intPenaltyCycles});
+        }
+
+        auto rep = analysis::checkStaticDynamic(
+            stats, r.sim.loss(uarch::LossBucket::MgExternal),
+            r.sim.loss(uarch::LossBucket::MgInternal));
+        EXPECT_TRUE(rep.clean()) << what << ":\n" << rep.render();
+        checks += rep.checksRun;
+    }
+    // The sweep actually checked something substantial.
+    EXPECT_GT(checks, jobs.size() * 2);
+}
+
+TEST(StaticDynamicCheck, SlackStaticNeedsNoProfile)
+{
+    // Slack-Static is a pure static policy: it must run without a
+    // training simulation and still select mini-graphs.
+    EXPECT_FALSE(
+        minigraph::selectorNeedsProfile(SelectorKind::SlackStatic));
+
+    auto spec = *workloads::findWorkload("crc32.0");
+    ProgramContext ctx(spec);
+    auto r = ctx.run({.config = *uarch::configFromName("reduced"),
+                      .selector = SelectorKind::SlackStatic});
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_GT(r.templatesUsed, 0u);
+    EXPECT_GT(r.sim.committedHandles, 0u);
+}
+
+} // namespace
+} // namespace mg::sim

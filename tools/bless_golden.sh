@@ -1,13 +1,14 @@
 #!/usr/bin/env bash
-# Regenerate the golden stats snapshots in tests/golden/.
+# Regenerate the golden snapshots in tests/golden/.
 #
 #   tools/bless_golden.sh [build-dir]
 #
-# Rebuilds mg_trace_test and re-runs the snapshot suite with
+# Rebuilds mg_trace_test and re-runs the snapshot suites with
 # MG_BLESS_GOLDEN=1, which rewrites tests/golden/golden_stats.jsonl
-# from the current simulator instead of comparing against it.  Review
-# the diff before committing: every changed line is a timing-model
-# behaviour change.
+# (timing-model stats) and tests/golden/golden_analyze.jsonl (static
+# analyzer reports) from the current build instead of comparing
+# against them.  Review the diff before committing: every changed
+# line is a timing-model or analyzer behaviour change.
 set -eu
 
 build_dir="${1:-build}"
@@ -22,7 +23,7 @@ fi
 
 cmake --build "$build_dir" --target mg_trace_test -j
 MG_BLESS_GOLDEN=1 "$build_dir/tests/mg_trace_test" \
-    --gtest_filter='GoldenStats.*'
+    --gtest_filter='GoldenStats.*:GoldenAnalyze.*'
 
 echo
 git --no-pager diff --stat tests/golden/ || true

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <limits>
+
+#include "common/string_util.h"
 
 namespace mg::cli
 {
@@ -104,6 +107,46 @@ parseArgs(int argc, char **argv, int start, const Command &cmd,
         return false;
     }
     return true;
+}
+
+bool
+getInt(const Args &args, const std::string &cmd,
+       const std::string &flag, int64_t min, int64_t max, int64_t &out)
+{
+    if (!args.has(flag))
+        return true;
+    const std::string value = args.get(flag);
+    int64_t v = 0;
+    if (!mg::parseInt(value, v) || v < min || v > max) {
+        std::string want =
+            min == 1 && max == std::numeric_limits<int64_t>::max()
+                ? "want a positive integer"
+            : min == 0 && max == std::numeric_limits<int64_t>::max()
+                ? "want a non-negative integer"
+                : "want an integer in [" + std::to_string(min) + ", " +
+                      std::to_string(max) + "]";
+        std::fprintf(stderr, "mgsim %s: %s %s: %s\n", cmd.c_str(),
+                     flag.c_str(), value.c_str(), want.c_str());
+        return false;
+    }
+    out = v;
+    return true;
+}
+
+bool
+getPositive(const Args &args, const std::string &cmd,
+            const std::string &flag, int64_t &out)
+{
+    return getInt(args, cmd, flag, 1,
+                  std::numeric_limits<int64_t>::max(), out);
+}
+
+bool
+getNonNegative(const Args &args, const std::string &cmd,
+               const std::string &flag, int64_t &out)
+{
+    return getInt(args, cmd, flag, 0,
+                  std::numeric_limits<int64_t>::max(), out);
 }
 
 } // namespace mg::cli

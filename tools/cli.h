@@ -97,6 +97,28 @@ struct Args
 bool parseArgs(int argc, char **argv, int start, const Command &cmd,
                Args &out);
 
+/**
+ * Read an integer-valued flag with validated bounds.
+ *
+ * `out` keeps its prior value (the default) when the flag is absent.
+ * On a malformed or out-of-range value, prints the uniform
+ * "mgsim <cmd>: --flag V: want ..." complaint to stderr and returns
+ * false; the caller exits with the usage code 2.  Every subcommand's
+ * hand-rolled atol/atoll parsing funnels through here so bad numeric
+ * values behave exactly like unknown flags.
+ */
+bool getInt(const Args &args, const std::string &cmd,
+            const std::string &flag, int64_t min, int64_t max,
+            int64_t &out);
+
+/** getInt with bounds [1, max]: a positive integer. */
+bool getPositive(const Args &args, const std::string &cmd,
+                 const std::string &flag, int64_t &out);
+
+/** getInt with bounds [0, max]: a non-negative integer. */
+bool getNonNegative(const Args &args, const std::string &cmd,
+                    const std::string &flag, int64_t &out);
+
 } // namespace mg::cli
 
 #endif // MG_TOOLS_CLI_H

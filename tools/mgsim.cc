@@ -14,6 +14,7 @@
  *              [--baseline FILE] [--label TEXT] [--pr N] [--jobs N]
  *              [--json] | perf --check FILE
  *   mgsim candidates <prog.s|workload>
+ *   mgsim analyze <prog.s|workload|all> [--json]
  *   mgsim lint <prog.s|workload|all> [--config NAME]
  *              [--selector NAME|all] [--budget N] [--json]
  *   mgsim disasm <prog.s|workload>
@@ -40,6 +41,14 @@
  * the BENCH_<pr>.json document with simulated-cycles/sec, per-run and
  * end-to-end wall time, and peak RSS; `--baseline OLD.json` embeds
  * the previous measurement and the end-to-end speedup.
+ *
+ * `mgsim analyze` runs the whole-program static analyzer
+ * (docs/ANALYSIS.md) — dominators, natural loops with trip-count
+ * estimates, dataflow readiness heights, candidate serialization
+ * predictions — and emits one deterministic JSON line per program
+ * (golden-snapshotted in tests/golden/golden_analyze.jsonl).  No
+ * simulation is involved; `analyze all` covers all 78 benchmarks in
+ * well under a second.
  *
  * A program argument is either a path to an MG-RISC assembly file or
  * the name of a built-in benchmark (e.g. "adpcm_c.0").
@@ -76,6 +85,7 @@
 #include "common/string_util.h"
 #include "minigraph/rewriter.h"
 #include "minigraph/selectors.h"
+#include "minigraph/static_rank.h"
 #include "profile/exec_counts.h"
 #include "profile/profile_io.h"
 #include "profile/slack_profile.h"
@@ -122,6 +132,7 @@ usage()
         "             [--baseline FILE] [--label TEXT] [--pr N]\n"
         "             [--jobs N] [--json] | perf --check FILE\n"
         "  mgsim candidates <prog.s|workload>\n"
+        "  mgsim analyze <prog.s|workload|all> [--json]\n"
         "  mgsim lint <prog.s|workload|all> [--config NAME]\n"
         "             [--selector NAME|all] [--budget N] [--json]\n"
         "  mgsim disasm <prog.s|workload>\n"
@@ -339,25 +350,14 @@ cmdTrace(const cli::Args &args)
     req.config = *cfg;
     if (!applySelector(args.get("--selector", "none"), req))
         return 2;
-    uint64_t start = 0, end = UINT64_MAX;
-    if (args.has("--start")) {
-        long long v = std::atoll(args.get("--start").c_str());
-        if (v < 0) {
-            std::fprintf(stderr, "mgsim trace: bad --start\n");
-            return 2;
-        }
-        start = static_cast<uint64_t>(v);
+    int64_t start = 0, end = INT64_MAX;
+    if (!cli::getNonNegative(args, "trace", "--start", start) ||
+        !cli::getNonNegative(args, "trace", "--end", end)) {
+        return 2;
     }
-    if (args.has("--end")) {
-        long long v = std::atoll(args.get("--end").c_str());
-        if (v < 0) {
-            std::fprintf(stderr, "mgsim trace: bad --end\n");
-            return 2;
-        }
-        end = static_cast<uint64_t>(v);
-    }
-    req.trace =
-        trace::TraceConfig{start, end, konata_path, chrome_path};
+    req.trace = trace::TraceConfig{static_cast<uint64_t>(start),
+                                   static_cast<uint64_t>(end),
+                                   konata_path, chrome_path};
 
     sim::ProgramContext ctx(*prog);
     auto run = ctx.run(req);
@@ -650,18 +650,9 @@ cmdPerf(const cli::Args &args)
         return 2;
     }
 
-    unsigned pr = 0;
-    if (args.has("--pr")) {
-        long v = std::atol(args.get("--pr").c_str());
-        if (v <= 0) {
-            std::fprintf(stderr,
-                         "mgsim perf: --pr %s: want a positive "
-                         "integer\n",
-                         args.get("--pr").c_str());
-            return 2;
-        }
-        pr = static_cast<unsigned>(v);
-    }
+    int64_t pr = 0;
+    if (!cli::getPositive(args, "perf", "--pr", pr))
+        return 2;
 
     // Unless --jobs was given explicitly, measure with one worker:
     // the pinned numbers must not depend on the machine's core count.
@@ -699,7 +690,7 @@ cmdPerf(const cli::Args &args)
     std::fprintf(stderr, "perf: %zu cells (%s subset) on %u thread%s\n",
                  cells.size(), subset.c_str(), jobs,
                  jobs == 1 ? "" : "s");
-    sim::PerfReport rep = sim::runPerf(cells, jobs, pr, subset);
+    sim::PerfReport rep = sim::runPerf(cells, jobs, static_cast<unsigned>(pr), subset);
     rep.baseline = baseline;
 
     std::string doc = sim::benchJson(rep);
@@ -756,6 +747,44 @@ cmdCandidates(const std::string &prog_arg)
     }
     std::printf("%zu candidates in '%s'\n%s", pool.size(),
                 prog->name.c_str(), t.render().c_str());
+    return 0;
+}
+
+/** Analyze one program; print one line (JSON or human-readable). */
+void
+analyzeOne(const assembler::Program &prog, bool json)
+{
+    minigraph::AnalyzeReport rep = minigraph::analyzeProgram(prog);
+    if (json) {
+        std::printf("%s\n", minigraph::analyzeReportJson(rep).c_str());
+        return;
+    }
+    std::printf("%-18s insts=%-5zu blocks=%-3zu loops=%zu(%zu exact, "
+                "depth %u) height=%-4u cands=%-3zu "
+                "pred=%zu/%zu/%zu slack-static=%zu\n",
+                rep.program.c_str(), rep.instructions, rep.blocks,
+                rep.loops, rep.exactTripCounts, rep.maxLoopDepth,
+                rep.maxHeight, rep.candidates, rep.predNonSerializing,
+                rep.predBounded, rep.predUnbounded, rep.slackStaticKept);
+}
+
+int
+cmdAnalyze(const cli::Args &args)
+{
+    const std::string &prog_arg = args.positional[0];
+    if (prog_arg == "all") {
+        for (const auto &spec : workloads::workloadList()) {
+            analyzeOne(workloads::buildWorkload(spec).program,
+                       args.batch.json);
+        }
+        return 0;
+    }
+    auto prog = loadProgram(prog_arg);
+    if (!prog) {
+        std::fprintf(stderr, "cannot load '%s'\n", prog_arg.c_str());
+        return 2;
+    }
+    analyzeOne(*prog, args.batch.json);
     return 0;
 }
 
@@ -825,15 +854,9 @@ cmdLint(const cli::Args &args)
         std::fprintf(stderr, "unknown config '%s'\n", config.c_str());
         return 2;
     }
-    uint32_t budget = 512;
-    if (args.has("--budget")) {
-        long v = std::atol(args.get("--budget").c_str());
-        if (v <= 0) {
-            std::fprintf(stderr, "mgsim lint: bad --budget\n");
-            return 2;
-        }
-        budget = static_cast<uint32_t>(v);
-    }
+    int64_t budget = 512;
+    if (!cli::getInt(args, "lint", "--budget", 1, UINT32_MAX, budget))
+        return 2;
 
     // Default: the five paper selectors (lint "none" is vacuous).
     const std::string selector = args.get("--selector", "none");
@@ -858,7 +881,8 @@ cmdLint(const cli::Args &args)
     if (prog_arg == "all") {
         for (const auto &spec : workloads::workloadList()) {
             auto prog = workloads::buildWorkload(spec).program;
-            findings += lintProgram(prog, kinds, *machine, budget,
+            findings += lintProgram(prog, kinds, *machine,
+                                    static_cast<uint32_t>(budget),
                                     args.batch.json);
         }
     } else {
@@ -867,7 +891,8 @@ cmdLint(const cli::Args &args)
             std::fprintf(stderr, "cannot load '%s'\n", prog_arg.c_str());
             return 2;
         }
-        findings += lintProgram(*prog, kinds, *machine, budget,
+        findings += lintProgram(*prog, kinds, *machine,
+                                static_cast<uint32_t>(budget),
                                 args.batch.json);
     }
     if (findings) {
@@ -916,6 +941,9 @@ commandSpec(const std::string &cmd)
                  {"--budget", true}};
         c.batchFlags = {"--jobs", "--json"};
         c.minPositional = 1;
+    } else if (cmd == "analyze") {
+        c.batchFlags = {"--json"};
+        c.minPositional = 1;
     } else if (cmd == "candidates" || cmd == "disasm" ||
                cmd == "profile") {
         if (cmd == "profile")
@@ -958,8 +986,9 @@ main(int argc, char **argv)
 
     const bool known = cmd == "run" || cmd == "batch" ||
                        cmd == "trace" || cmd == "perf" ||
-                       cmd == "candidates" || cmd == "lint" ||
-                       cmd == "disasm" || cmd == "profile";
+                       cmd == "candidates" || cmd == "analyze" ||
+                       cmd == "lint" || cmd == "disasm" ||
+                       cmd == "profile";
     if (!known)
         return usage();
 
@@ -978,6 +1007,8 @@ main(int argc, char **argv)
             return cmdPerf(args);
         if (cmd == "candidates")
             return cmdCandidates(args.positional[0]);
+        if (cmd == "analyze")
+            return cmdAnalyze(args);
         if (cmd == "lint")
             return cmdLint(args);
         if (cmd == "disasm") {
