@@ -1,0 +1,119 @@
+/**
+ * @file
+ * DSE frontier bench (docs/DSE.md): run the pinned 130-cell grid
+ * through `runSweep` twice against one result store — a cold pass
+ * that simulates everything, then a warm pass that must answer
+ * entirely from the store — and report the measured Pareto frontier
+ * plus the cache's wall-time reduction.  The second pass simulating
+ * anything, or speeding up by less than 10x, is a regression in the
+ * DSE service's core promise.
+ *
+ * The store lives under MG_STORE (default: a fresh directory beside
+ * the working directory's .mgstore, wiped first so the cold pass is
+ * genuinely cold).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <sstream>
+
+#include "bench/bench_support.h"
+#include "dse/sweep.h"
+
+using namespace mg;
+
+namespace
+{
+
+double
+seconds(std::chrono::steady_clock::time_point a,
+        std::chrono::steady_clock::time_point b)
+{
+    return std::chrono::duration<double>(b - a).count();
+}
+
+dse::SweepOutcome
+timedSweep(const dse::GridSpec &grid, const dse::SweepOptions &opts,
+           const char *label, double &wall)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    dse::SweepOutcome out = dse::runSweep(grid, opts);
+    wall = seconds(t0, std::chrono::steady_clock::now());
+    std::printf("%-6s %6.2fs  %3zu hits %3zu simulated %3zu failed\n",
+                label, wall, out.summary.hits, out.summary.simulated,
+                out.summary.failed);
+    return out;
+}
+
+/** Print the document's "pareto" section verbatim. */
+void
+printFrontier(const std::string &doc)
+{
+    std::istringstream in(doc);
+    std::string line;
+    bool inside = false;
+    while (std::getline(in, line)) {
+        if (line.find("\"pareto\": [") != std::string::npos)
+            inside = true;
+        if (inside)
+            std::printf("%s\n", line.c_str());
+        if (inside && line.find(']') != std::string::npos &&
+            line.find('{') == std::string::npos)
+            break;
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    const char *env_store = std::getenv("MG_STORE");
+    const std::string root =
+        env_store && *env_store ? env_store : ".mgstore-bench";
+    std::filesystem::remove_all(root);
+
+    dse::SweepOptions opts;
+    opts.storeRoot = root;
+    opts.prefilter = false; // measure every cell; the frontier is golden
+    opts.batch = sim::BatchOptions::fromEnv();
+
+    const dse::GridSpec grid = dse::pinnedDseGrid();
+    std::printf("== DSE frontier: pinned grid (%zu workloads x %zu "
+                "selectors x %zu configs) ==\n",
+                grid.workloads.size(), grid.selectors.size(),
+                grid.configs.size());
+
+    double cold_s = 0.0, warm_s = 0.0;
+    dse::SweepOutcome cold = timedSweep(grid, opts, "cold", cold_s);
+    if (!cold.error.empty()) {
+        std::fprintf(stderr, "dse_frontier: %s\n", cold.error.c_str());
+        return 1;
+    }
+    dse::SweepOutcome warm = timedSweep(grid, opts, "warm", warm_s);
+
+    std::printf("\n");
+    printFrontier(cold.doc);
+
+    const bool identical = cold.doc == warm.doc;
+    const double speedup = warm_s > 0.0 ? cold_s / warm_s : 1e9;
+    std::printf("\ncold=%.2fs warm=%.2fs speedup=%.0fx "
+                "identical-docs=%s\n",
+                cold_s, warm_s, speedup, identical ? "yes" : "NO");
+
+    int rc = cold.ok() ? 0 : 3;
+    if (!identical || warm.summary.simulated != 0) {
+        std::fprintf(stderr, "dse_frontier: warm pass was not a pure "
+                             "cache replay\n");
+        rc = 1;
+    }
+    if (speedup < 10.0) {
+        std::fprintf(stderr, "dse_frontier: cache speedup %.1fx is "
+                             "below the 10x floor\n",
+                     speedup);
+        rc = 1;
+    }
+    return rc;
+}

@@ -6,6 +6,7 @@
 #ifndef MG_COMMON_STRING_UTIL_H
 #define MG_COMMON_STRING_UTIL_H
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -36,6 +37,16 @@ std::string toLower(std::string_view s);
  * @retval true on success (value stored in out).
  */
 bool parseInt(std::string_view s, int64_t &out);
+
+/**
+ * FNV-1a 64-bit hash: the digest behind every content address in the
+ * repo — BENCH stats-line digests (sim/perf_harness.h) and the DSE
+ * result store's entry keys (dse/result_store.h).
+ */
+uint64_t fnv1a64(std::string_view text);
+
+/** Fixed-width lower-case hex rendering of a 64-bit hash. */
+std::string hex64(uint64_t value);
 
 } // namespace mg
 

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * The simulator version string: the timing-model generation folded
+ * into every persistent run identity (the DSE result store's content
+ * address and the batch journal's run key).
+ *
+ * Bump this whenever a change can alter the deterministic stats JSON
+ * of *any* run — a timing-model change, a stats-schema change, a
+ * selector behaviour change.  Stale identities then simply miss:
+ * cached results from an older simulator are never served as current
+ * ones (`mgsim cache gc` reclaims them).  The golden snapshots in
+ * tests/golden/ are the practical bump detector: if bless_golden.sh
+ * shows a diff, this constant must change too.
+ */
+
+#ifndef MG_COMMON_VERSION_H
+#define MG_COMMON_VERSION_H
+
+namespace mg
+{
+
+/** Timing-model generation (see file comment for the bump rule). */
+inline constexpr const char *kSimVersion = "mg-sim-8";
+
+} // namespace mg
+
+#endif // MG_COMMON_VERSION_H

@@ -1,0 +1,518 @@
+#include "dse/grid.h"
+
+#include <map>
+
+#include "common/string_util.h"
+#include "minigraph/selectors.h"
+#include "workloads/workload.h"
+
+namespace mg::dse
+{
+
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Minimal JSON reader — just enough for grid documents: objects,
+// arrays, strings, integers.  (The repo's JSON *writers* are all
+// deterministic hand-rolled emitters; this is its first reader of
+// externally authored JSON, so errors must be positioned and clear.)
+// ---------------------------------------------------------------------
+
+struct JValue
+{
+    enum Kind { Object, Array, String, Number, Bool, Null } kind = Null;
+    std::map<std::string, JValue> object;
+    std::vector<JValue> array;
+    std::string string_;
+    double number = 0.0;
+    bool boolean = false;
+};
+
+struct JParser
+{
+    const std::string &text;
+    size_t pos = 0;
+    std::string err;
+
+    explicit JParser(const std::string &t) : text(t) {}
+
+    void
+    fail(const std::string &why)
+    {
+        if (err.empty())
+            err = "offset " + std::to_string(pos) + ": " + why;
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' ||
+                text[pos] == '\n' || text[pos] == '\r'))
+            ++pos;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipSpace();
+        if (pos < text.size() && text[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    JValue
+    parseValue()
+    {
+        skipSpace();
+        if (pos >= text.size()) {
+            fail("unexpected end of input");
+            return {};
+        }
+        char c = text[pos];
+        if (c == '{')
+            return parseObject();
+        if (c == '[')
+            return parseArray();
+        if (c == '"')
+            return parseString();
+        if (c == 't' || c == 'f')
+            return parseBool();
+        if (c == 'n') {
+            if (text.compare(pos, 4, "null") == 0) {
+                pos += 4;
+                return {};
+            }
+            fail("bad literal");
+            return {};
+        }
+        return parseNumber();
+    }
+
+    JValue
+    parseObject()
+    {
+        JValue v;
+        v.kind = JValue::Object;
+        ++pos; // '{'
+        skipSpace();
+        if (consume('}'))
+            return v;
+        for (;;) {
+            skipSpace();
+            if (pos >= text.size() || text[pos] != '"') {
+                fail("expected object key string");
+                return v;
+            }
+            JValue key = parseString();
+            if (!err.empty())
+                return v;
+            if (!consume(':')) {
+                fail("expected ':'");
+                return v;
+            }
+            v.object[key.string_] = parseValue();
+            if (!err.empty())
+                return v;
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                return v;
+            fail("expected ',' or '}'");
+            return v;
+        }
+    }
+
+    JValue
+    parseArray()
+    {
+        JValue v;
+        v.kind = JValue::Array;
+        ++pos; // '['
+        skipSpace();
+        if (consume(']'))
+            return v;
+        for (;;) {
+            v.array.push_back(parseValue());
+            if (!err.empty())
+                return v;
+            if (consume(','))
+                continue;
+            if (consume(']'))
+                return v;
+            fail("expected ',' or ']'");
+            return v;
+        }
+    }
+
+    JValue
+    parseString()
+    {
+        JValue v;
+        v.kind = JValue::String;
+        ++pos; // '"'
+        while (pos < text.size() && text[pos] != '"') {
+            char c = text[pos];
+            if (c == '\\') {
+                if (pos + 1 >= text.size()) {
+                    fail("bad escape");
+                    return v;
+                }
+                char e = text[pos + 1];
+                switch (e) {
+                case 'n': v.string_ += '\n'; break;
+                case 't': v.string_ += '\t'; break;
+                case 'r': v.string_ += '\r'; break;
+                case '"':
+                case '\\':
+                case '/': v.string_ += e; break;
+                default: fail("unsupported escape"); return v;
+                }
+                pos += 2;
+                continue;
+            }
+            v.string_ += c;
+            ++pos;
+        }
+        if (pos >= text.size()) {
+            fail("unterminated string");
+            return v;
+        }
+        ++pos; // closing '"'
+        return v;
+    }
+
+    JValue
+    parseBool()
+    {
+        JValue v;
+        v.kind = JValue::Bool;
+        if (text.compare(pos, 4, "true") == 0) {
+            v.boolean = true;
+            pos += 4;
+        } else if (text.compare(pos, 5, "false") == 0) {
+            v.boolean = false;
+            pos += 5;
+        } else {
+            fail("bad literal");
+        }
+        return v;
+    }
+
+    JValue
+    parseNumber()
+    {
+        JValue v;
+        v.kind = JValue::Number;
+        size_t start = pos;
+        if (pos < text.size() && (text[pos] == '-' || text[pos] == '+'))
+            ++pos;
+        while (pos < text.size() &&
+               ((text[pos] >= '0' && text[pos] <= '9') ||
+                text[pos] == '.' || text[pos] == 'e' ||
+                text[pos] == 'E' || text[pos] == '-' ||
+                text[pos] == '+'))
+            ++pos;
+        if (pos == start) {
+            fail("expected a value");
+            return v;
+        }
+        try {
+            v.number = std::stod(text.substr(start, pos - start));
+        } catch (...) {
+            fail("bad number");
+        }
+        return v;
+    }
+};
+
+/** Read one positive-integer axis ("width": [2, 4] or "width": 4). */
+std::string
+readAxis(const JValue &root, const std::string &name, uint32_t base_value,
+         std::vector<uint32_t> &out)
+{
+    out.clear();
+    auto it = root.object.find(name);
+    if (it == root.object.end()) {
+        out.push_back(base_value);
+        return "";
+    }
+    std::vector<const JValue *> items;
+    if (it->second.kind == JValue::Number) {
+        items.push_back(&it->second);
+    } else if (it->second.kind == JValue::Array) {
+        for (const JValue &v : it->second.array)
+            items.push_back(&v);
+    } else {
+        return "'" + name + "' must be a number or array of numbers";
+    }
+    if (items.empty())
+        return "'" + name + "' must not be empty";
+    for (const JValue *v : items) {
+        if (v->kind != JValue::Number || v->number < 1 ||
+            v->number != static_cast<uint32_t>(v->number))
+            return "'" + name + "' values must be positive integers";
+        out.push_back(static_cast<uint32_t>(v->number));
+    }
+    return "";
+}
+
+std::string
+readStringList(const JValue &v, const std::string &name,
+               std::vector<std::string> &out)
+{
+    if (v.kind != JValue::Array)
+        return "'" + name + "' must be an array of strings";
+    for (const JValue &e : v.array) {
+        if (e.kind != JValue::String)
+            return "'" + name + "' must be an array of strings";
+        out.push_back(e.string_);
+    }
+    if (out.empty())
+        return "'" + name + "' must not be empty";
+    return "";
+}
+
+/** The five paper policies plus baseline, in fixed order. */
+const std::vector<std::string> &
+paperSelectors()
+{
+    static const std::vector<std::string> kSelectors = {
+        "none", "struct-all", "struct-bounded", "slack-profile",
+        "slack-dynamic",
+    };
+    return kSelectors;
+}
+
+std::vector<std::string>
+workloadSet(const std::string &name)
+{
+    std::vector<std::string> out;
+    if (name == "golden") {
+        out = {"crc32.0", "bitcount.0", "adpcm_c.0"};
+    } else if (name == "pinned") {
+        for (const auto &w : workloads::workloadList()) {
+            std::string n = w.name();
+            if (endsWith(n, ".0"))
+                out.push_back(n);
+        }
+    } else if (name == "all") {
+        for (const auto &w : workloads::workloadList())
+            out.push_back(w.name());
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+parseGrid(const std::string &json_text, GridSpec &out)
+{
+    JParser p(json_text);
+    JValue root = p.parseValue();
+    p.skipSpace();
+    if (p.err.empty() && p.pos != p.text.size())
+        p.fail("trailing garbage after document");
+    if (!p.err.empty())
+        return "grid JSON: " + p.err;
+    if (root.kind != JValue::Object)
+        return "grid JSON: top level must be an object";
+
+    for (const auto &[key, value] : root.object) {
+        (void)value;
+        if (key != "base" && key != "workloads" && key != "selectors" &&
+            key != "width" && key != "iq" && key != "regs" &&
+            key != "mgt" && key != "configs")
+            return "grid JSON: unknown key '" + key + "'";
+    }
+
+    GridSpec grid;
+    if (auto it = root.object.find("base"); it != root.object.end()) {
+        if (it->second.kind != JValue::String)
+            return "grid JSON: 'base' must be a string";
+        grid.base = it->second.string_;
+    }
+    auto base = uarch::configFromName(grid.base);
+    if (!base)
+        return "grid JSON: unknown base config '" + grid.base + "'";
+
+    // Workloads: named set or explicit list.
+    if (auto it = root.object.find("workloads");
+        it != root.object.end()) {
+        if (it->second.kind == JValue::String) {
+            grid.workloads = workloadSet(it->second.string_);
+            if (grid.workloads.empty())
+                return "grid JSON: unknown workload set '" +
+                       it->second.string_ +
+                       "' (want golden, pinned or all)";
+        } else if (std::string err = readStringList(
+                       it->second, "workloads", grid.workloads);
+                   !err.empty()) {
+            return "grid JSON: " + err;
+        }
+    } else {
+        grid.workloads = workloadSet("golden");
+    }
+
+    // Selectors: explicit list or the paper set.
+    if (auto it = root.object.find("selectors");
+        it != root.object.end()) {
+        if (it->second.kind == JValue::String &&
+            it->second.string_ == "paper") {
+            grid.selectors = paperSelectors();
+        } else if (std::string err = readStringList(
+                       it->second, "selectors", grid.selectors);
+                   !err.empty()) {
+            return "grid JSON: " + err;
+        }
+    } else {
+        grid.selectors = {"none"};
+    }
+
+    // Configurations: explicit tuples win over the axis product.
+    if (auto it = root.object.find("configs");
+        it != root.object.end()) {
+        for (const char *axis : {"width", "iq", "regs", "mgt"}) {
+            if (root.object.count(axis))
+                return std::string("grid JSON: '") + axis +
+                       "' and 'configs' are mutually exclusive";
+        }
+        if (it->second.kind != JValue::Array ||
+            it->second.array.empty())
+            return "grid JSON: 'configs' must be a non-empty array";
+        for (const JValue &tuple : it->second.array) {
+            if (tuple.kind != JValue::Array ||
+                tuple.array.size() != 4)
+                return "grid JSON: each 'configs' entry must be "
+                       "[width, iq, regs, mgt]";
+            ConfigTuple t{};
+            for (size_t i = 0; i < 4; ++i) {
+                const JValue &v = tuple.array[i];
+                if (v.kind != JValue::Number || v.number < 1 ||
+                    v.number != static_cast<uint32_t>(v.number))
+                    return "grid JSON: 'configs' values must be "
+                           "positive integers";
+                t[i] = static_cast<uint32_t>(v.number);
+            }
+            grid.configs.push_back(t);
+        }
+    } else {
+        std::vector<uint32_t> width, iq, regs, mgt;
+        struct Axis
+        {
+            const char *name;
+            std::vector<uint32_t> *values;
+            uint32_t baseValue;
+        };
+        const Axis axes[] = {
+            {"width", &width, base->issueWidth},
+            {"iq", &iq, base->issueQueueEntries},
+            {"regs", &regs, base->physRegs},
+            {"mgt", &mgt, base->mgtEntries},
+        };
+        for (const Axis &axis : axes) {
+            if (std::string err = readAxis(root, axis.name,
+                                           axis.baseValue,
+                                           *axis.values);
+                !err.empty())
+                return "grid JSON: " + err;
+        }
+        for (uint32_t w : width)
+            for (uint32_t q : iq)
+                for (uint32_t r : regs)
+                    for (uint32_t m : mgt)
+                        grid.configs.push_back({w, q, r, m});
+    }
+
+    out = std::move(grid);
+    return "";
+}
+
+uarch::CoreConfig
+deriveConfig(const uarch::CoreConfig &base, const ConfigTuple &tuple)
+{
+    uarch::CoreConfig cfg = base;
+    const auto [width, iq, regs, mgt] = tuple;
+    cfg.fetchWidth = width;
+    cfg.renameWidth = width;
+    cfg.issueWidth = width;
+    cfg.commitWidth = width;
+    cfg.issueQueueEntries = iq;
+    cfg.physRegs = regs;
+    cfg.mgtEntries = mgt;
+    if (width != base.issueWidth || iq != base.issueQueueEntries ||
+        regs != base.physRegs || mgt != base.mgtEntries) {
+        cfg.name = base.name + "+w" + std::to_string(width) + "-iq" +
+                   std::to_string(iq) + "-r" + std::to_string(regs) +
+                   "-mgt" + std::to_string(mgt);
+    }
+    return cfg;
+}
+
+uint64_t
+resourceCost(const uarch::CoreConfig &config)
+{
+    uint64_t regs = config.physRegs > 32 ? config.physRegs - 32 : 0;
+    return 64ull * config.issueWidth +
+           4ull * config.issueQueueEntries + 2ull * regs +
+           config.mgtEntries / 8;
+}
+
+std::string
+expandGrid(const GridSpec &grid, std::vector<SweepPoint> &out)
+{
+    out.clear();
+    auto base = uarch::configFromName(grid.base);
+    if (!base)
+        return "unknown base config '" + grid.base + "'";
+    for (const std::string &w : grid.workloads) {
+        if (!workloads::findWorkload(w))
+            return "unknown workload '" + w + "'";
+    }
+    for (const std::string &s : grid.selectors) {
+        if (s != "none" && !minigraph::selectorFromName(s))
+            return "unknown selector '" + s + "'";
+    }
+
+    size_t index = 0;
+    for (const std::string &w : grid.workloads) {
+        for (const std::string &sel : grid.selectors) {
+            for (const ConfigTuple &tuple : grid.configs) {
+                SweepPoint pt;
+                pt.index = index++;
+                pt.workload = w;
+                pt.selector = sel;
+                pt.config = deriveConfig(*base, tuple);
+                pt.templateBudget = tuple[3];
+                pt.cost = resourceCost(pt.config);
+                out.push_back(std::move(pt));
+            }
+        }
+    }
+    return "";
+}
+
+GridSpec
+pinnedDseGrid()
+{
+    GridSpec grid;
+    grid.base = "reduced";
+    grid.workloads = {"crc32.0", "bitcount.0"};
+    grid.selectors = paperSelectors();
+    // 13 tuples spanning the paper's resource trade-off space: three
+    // width tiers, IQ/regs knees around the reduced machine, and MGT
+    // capacities from starved to overprovisioned.
+    grid.configs = {
+        {2, 12, 80, 128},  {2, 18, 96, 256},  {2, 30, 96, 256},
+        {2, 30, 144, 512}, {3, 18, 96, 256},  {3, 24, 128, 384},
+        {3, 30, 112, 512}, {3, 30, 144, 128}, {3, 30, 144, 512},
+        {4, 18, 112, 256}, {4, 30, 144, 512}, {4, 36, 160, 640},
+        {4, 42, 176, 512},
+    };
+    return grid;
+}
+
+} // namespace mg::dse

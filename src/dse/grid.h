@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Parameter-grid specification and expansion for `mgsim sweep`
+ * (docs/DSE.md).
+ *
+ * A grid is a JSON object naming a base configuration, a workload
+ * set, a selector set, and per-axis value lists for the resource
+ * dimensions the paper sweeps: pipeline width, issue-queue entries,
+ * physical registers, and MGT capacity.  Expansion is the cartesian
+ * product in a fixed nesting order (workload-major, then selector,
+ * width, iq, regs, mgt), so point indices — and therefore shard
+ * assignment and output ordering — are deterministic for a given
+ * grid.
+ *
+ *     {"base": "reduced",
+ *      "workloads": ["crc32.0", "bitcount.0"],   // or "golden" |
+ *                                                //    "pinned" | "all"
+ *      "selectors": ["none", "struct-all"],
+ *      "width": [2, 4], "iq": [20, 30],
+ *      "regs": [96, 144], "mgt": [256, 512]}
+ *
+ * An omitted axis inherits the base configuration's value.  The
+ * alternative "configs" key supplies explicit [width, iq, regs, mgt]
+ * tuples instead of a product (the pinned DSE grid uses this).
+ */
+
+#ifndef MG_DSE_GRID_H
+#define MG_DSE_GRID_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "uarch/config.h"
+
+namespace mg::dse
+{
+
+/** One resolved configuration tuple: width, iq, regs, mgt. */
+using ConfigTuple = std::array<uint32_t, 4>;
+
+/** A parsed, resolved grid specification. */
+struct GridSpec
+{
+    /** Base configuration registry name (axes override its fields). */
+    std::string base = "reduced";
+
+    /** Resolved workload display names, in grid order. */
+    std::vector<std::string> workloads;
+
+    /** Selector registry names ("none" = baseline). */
+    std::vector<std::string> selectors;
+
+    /**
+     * Explicit configuration tuples, in grid order.  Always resolved:
+     * parsing a product-form grid expands the axis product into this
+     * list, so expansion has one code path.
+     */
+    std::vector<ConfigTuple> configs;
+};
+
+/**
+ * Parse a grid JSON document.
+ * @return "" on success (out filled), else the first problem found
+ */
+std::string parseGrid(const std::string &json_text, GridSpec &out);
+
+/** One expanded grid point. */
+struct SweepPoint
+{
+    size_t index = 0; ///< position in expansion order (shard identity)
+    std::string workload;
+    std::string selector;
+    uarch::CoreConfig config; ///< derived from base, deterministic name
+    uint32_t templateBudget = 512; ///< follows the mgt axis
+    uint64_t cost = 0;             ///< aggregate resource cost
+};
+
+/**
+ * Derive the configuration for one tuple: the four widths track the
+ * width axis; iq, regs and mgt override their fields.  The derived
+ * name is deterministic — the base name when the tuple equals the
+ * base's own values, else "<base>+w<W>-iq<Q>-r<R>-mgt<M>".
+ */
+uarch::CoreConfig deriveConfig(const uarch::CoreConfig &base,
+                               const ConfigTuple &tuple);
+
+/**
+ * Aggregate resource cost of a configuration (the Pareto x-axis):
+ * a fixed-weight integer sum of the swept resources,
+ *
+ *     64*issueWidth + 4*IQ + 2*(physRegs - 32) + MGT/8
+ *
+ * chosen so one issue-way trades against ~16 IQ entries or ~32
+ * renaming registers (the paper's Table-1 proportions).
+ */
+uint64_t resourceCost(const uarch::CoreConfig &config);
+
+/**
+ * Expand a grid into points, in the fixed deterministic order.
+ * @return "" on success, else the first problem (unknown base
+ *         config, workload or selector)
+ */
+std::string expandGrid(const GridSpec &grid,
+                       std::vector<SweepPoint> &out);
+
+/**
+ * The pinned DSE grid (docs/DSE.md): 2 workloads x 5 selectors x 13
+ * configuration tuples = 130 cells.  The Pareto output of this grid
+ * is golden-snapshotted in tests/golden/golden_pareto.json, and the
+ * pre-filter safety test proves pruning never removes a measured
+ * frontier point on it.
+ */
+GridSpec pinnedDseGrid();
+
+} // namespace mg::dse
+
+#endif // MG_DSE_GRID_H

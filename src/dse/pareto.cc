@@ -1,0 +1,45 @@
+#include "dse/pareto.h"
+
+#include <algorithm>
+
+namespace mg::dse
+{
+
+void
+markFrontier(std::vector<ParetoPoint> &points)
+{
+    for (ParetoPoint &p : points) {
+        p.onFrontier = true;
+        for (const ParetoPoint &q : points) {
+            bool betterOrEqual = q.cost <= p.cost && q.ipc >= p.ipc;
+            bool strict = q.cost < p.cost || q.ipc > p.ipc;
+            if (betterOrEqual && strict) {
+                p.onFrontier = false;
+                break;
+            }
+        }
+    }
+}
+
+std::vector<ParetoPoint>
+frontierOf(std::vector<ParetoPoint> points)
+{
+    markFrontier(points);
+    std::vector<ParetoPoint> frontier;
+    for (const ParetoPoint &p : points)
+        if (p.onFrontier)
+            frontier.push_back(p);
+    std::sort(frontier.begin(), frontier.end(),
+              [](const ParetoPoint &a, const ParetoPoint &b) {
+                  if (a.cost != b.cost)
+                      return a.cost < b.cost;
+                  if (a.ipc != b.ipc)
+                      return a.ipc > b.ipc;
+                  if (a.config != b.config)
+                      return a.config < b.config;
+                  return a.selector < b.selector;
+              });
+    return frontier;
+}
+
+} // namespace mg::dse

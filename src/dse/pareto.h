@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Pareto-frontier computation over (resource cost, IPC) points — the
+ * first-class output of the sweep engine (docs/DSE.md): which
+ * configurations buy performance *per resource*, the paper's central
+ * question asked of the whole design space at once.
+ *
+ * Convention: cost is minimized, IPC is maximized.  A point is
+ * dominated when another point has cost <= and ipc >= with at least
+ * one strict; the frontier is the set of non-dominated points.  Ties
+ * (equal cost, equal IPC) all stay on the frontier, so the result is
+ * independent of input order.
+ */
+
+#ifndef MG_DSE_PARETO_H
+#define MG_DSE_PARETO_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mg::dse
+{
+
+/** One candidate design point. */
+struct ParetoPoint
+{
+    std::string config;   ///< derived configuration name
+    std::string selector; ///< selector registry name
+    uint64_t cost = 0;    ///< aggregate resource cost (grid.h)
+    double ipc = 0.0;     ///< geomean IPC over the measured workloads
+    size_t workloads = 0; ///< measurements aggregated into `ipc`
+    bool onFrontier = false;
+};
+
+/** Mark every non-dominated point (O(n^2); grids are small). */
+void markFrontier(std::vector<ParetoPoint> &points);
+
+/**
+ * The frontier itself, sorted by (cost asc, ipc desc, config,
+ * selector) — a deterministic order for JSON emission.
+ */
+std::vector<ParetoPoint> frontierOf(std::vector<ParetoPoint> points);
+
+} // namespace mg::dse
+
+#endif // MG_DSE_PARETO_H

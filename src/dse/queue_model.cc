@@ -1,0 +1,104 @@
+#include "dse/queue_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mg::dse
+{
+
+namespace
+{
+
+/**
+ * Mean service demand per instruction in cycles: the execute
+ * occupancy of an average instruction over the suite's mix (ALU ops
+ * at 1 cycle, loads at the D$ hit latency, a miss tail, multiplies).
+ * A constant — the model ranks configurations, it does not predict
+ * absolute IPC.
+ */
+constexpr double kServiceCycles = 2.1;
+
+/**
+ * Effective issue-parallelism ceiling.  The suite's kernels expose
+ * roughly three instructions of ILP; beyond that, extra issue ways
+ * buy only scheduling slack, not throughput (measured on the pinned
+ * grid: width 3 -> 4 moves geomean IPC by under 1%).  Without this
+ * cap the M/M/s station scales almost linearly in s and predicts
+ * width-4 configurations ~4/3 faster than width-3 ones — an error
+ * far beyond kPruneMargin that made cross-width pruning unsafe.
+ */
+constexpr double kIlpCeiling = 3.0;
+
+/**
+ * Sargent/Allen-Cunneen style approximation of the M/M/s queueing
+ * delay factor: rho^(sqrt(2(s+1))) / (s (1 - rho)).  Cheap, smooth,
+ * and exact enough for ranking (Carroll & Lin use the closed-form
+ * Erlang-C; this approximation tracks it within a few percent over
+ * the utilizations a grid visits).
+ */
+double
+mmsWait(double rho, double servers)
+{
+    rho = std::clamp(rho, 0.0, 0.995);
+    double exponent = std::sqrt(2.0 * (servers + 1.0));
+    return std::pow(rho, exponent) / (servers * (1.0 - rho));
+}
+
+} // namespace
+
+double
+predictedIpc(const uarch::CoreConfig &config, bool minigraphs)
+{
+    // Servers: issue ways, capped at the ILP the workloads can feed.
+    const double s =
+        std::min(static_cast<double>(config.issueWidth), kIlpCeiling);
+
+    // Customer population: in-flight instructions, bounded by the ROB,
+    // the renaming pool, and what the scheduler window plus the
+    // pipeline itself can hold (the pipeline drains at the full
+    // physical width, so the buffering term keeps issueWidth).
+    const double renamePool =
+        config.physRegs > 32 ? config.physRegs - 32 : 1;
+    const double pipeline = config.frontendDelay + config.renameDelay +
+                            config.regreadDelay + config.regwriteDelay;
+    const double window = std::min(
+        {static_cast<double>(config.robEntries), renamePool,
+         config.issueQueueEntries + config.issueWidth * pipeline});
+
+    // Mini-graph amplification: fused instructions share issue slots
+    // and window entries; the benefit saturates with MGT capacity
+    // (most of the suite's coverage fits in a few hundred templates).
+    double amplify = 1.0;
+    if (minigraphs && config.mgEnabled) {
+        double mgt = config.mgtEntries;
+        amplify = 1.0 + 0.30 * (mgt / (mgt + 192.0));
+    }
+
+    // Fused instructions share issue slots and window entries, so in
+    // units of *original* instructions both capacities scale by the
+    // amplification factor.
+    const double cap = s * amplify;        // issue limit
+    const double pop = window * amplify;   // population limit
+
+    // Fixed point between throughput and queueing delay: residency
+    // R = service * (1 + wait(rho)), X = min(pop / R, cap).  The map
+    // x -> min(pop / R(x), cap) is decreasing in x, so g(x) = x - map(x)
+    // is strictly increasing with a unique root in [0, cap]; bisection
+    // finds it exactly (a damped Picard iteration oscillates when the
+    // station saturates, which broke monotonicity in the population).
+    auto excess = [&](double x) {
+        double rho = x / cap;
+        double residency = kServiceCycles * (1.0 + mmsWait(rho, s));
+        return x - std::min(pop / residency, cap);
+    };
+    double lo = 0.0, hi = cap;
+    for (int iter = 0; iter < 64; ++iter) {
+        double mid = 0.5 * (lo + hi);
+        (excess(mid) < 0.0 ? lo : hi) = mid;
+    }
+    return std::min(
+        0.5 * (lo + hi),
+        static_cast<double>(config.commitWidth) * amplify);
+}
+
+} // namespace mg::dse

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Analytic throughput pre-filter for the sweep engine, after the
+ * queuing model of Carroll & Lin, "A Queuing Model for CPU Functional
+ * Unit and Issue Queue Configuration" (arXiv 1807.08586; PAPERS.md).
+ *
+ * The issue stage is modelled as an M/M/s station: s servers (the
+ * issue width), a waiting room bounded by the issue queue, and a
+ * customer population bounded by the instruction window (min of ROB
+ * and renaming registers — Little's law turns that population and the
+ * per-instruction residency into a throughput bound).  The model
+ * iterates a fixed point between utilization and queueing delay: as a
+ * resource saturates, extra capacity on the other axes stops moving
+ * the prediction, which is exactly the "obviously dominated"
+ * signature the pre-filter prunes on.
+ *
+ * Predictions are *relative* IPC estimates for ranking configurations
+ * of one grid — deliberately coarse, never a substitute for
+ * simulation.  The sweep engine only prunes a configuration when a
+ * strictly cheaper one is predicted better by at least the safety
+ * margin (kPruneMargin), and the pre-filter safety test
+ * (tests/dse/prefilter_test.cc) proves on the pinned grid that no
+ * pruned point would have been on the measured Pareto frontier.
+ */
+
+#ifndef MG_DSE_QUEUE_MODEL_H
+#define MG_DSE_QUEUE_MODEL_H
+
+#include "uarch/config.h"
+
+namespace mg::dse
+{
+
+/**
+ * Safety factor of the pre-filter: a point is pruned only when a
+ * strictly cheaper configuration is predicted at least this much
+ * faster (1.25 = 25% — well beyond the model's observed ranking
+ * error on the pinned grid).
+ */
+inline constexpr double kPruneMargin = 1.25;
+
+/**
+ * Predicted relative IPC of one configuration.
+ *
+ * @param minigraphs  true when a mini-graph selector is active: the
+ *                    MGT then amplifies effective width/capacity
+ *                    (saturating in mgtEntries)
+ */
+double predictedIpc(const uarch::CoreConfig &config, bool minigraphs);
+
+} // namespace mg::dse
+
+#endif // MG_DSE_QUEUE_MODEL_H

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The sweep engine behind `mgsim sweep` (docs/DSE.md): expand a
+ * parameter grid (dse/grid.h), answer every point it can from the
+ * content-addressed result store (dse/result_store.h), simulate only
+ * the misses through the parallel batch substrate (sim/runner.h), and
+ * emit one deterministic JSON document — grid, per-point results,
+ * per-(config, selector) aggregates, and the Pareto frontier of
+ * geomean IPC versus aggregate resource cost.
+ *
+ * Determinism contract (proved by tests/dse/sweep_diff_test.cc): for
+ * a given grid and simulator version, the emitted document is
+ * byte-identical whether every point was freshly simulated, every
+ * point was a cache hit, or the grid was split into shards whose
+ * results were merged afterwards.  Everything run-provenance-shaped —
+ * hit/miss counts, wall time, worker count — therefore lives in the
+ * SweepSummary (for the CLI's stderr report), never in the document.
+ *
+ * Sharding protocol: shard i of N (1-based) simulates exactly the
+ * cache-missing points whose expansion index satisfies
+ * `index % N == i-1`, publishing results only into the shared store
+ * (no document).  A final `--merge` pass reads every point back from
+ * the store and emits the document; it fails loudly if any point is
+ * still missing rather than emit a partial sweep.
+ *
+ * The analytic pre-filter (dse/queue_model.h) marks grid
+ * configurations that a strictly cheaper configuration is predicted
+ * to beat by at least kPruneMargin.  Pruned points are never silent:
+ * they appear in the document as explicit `"status": "pruned"`
+ * records carrying the model's prediction and the dominating
+ * configuration.
+ */
+
+#ifndef MG_DSE_SWEEP_H
+#define MG_DSE_SWEEP_H
+
+#include <cstddef>
+#include <string>
+
+#include "dse/grid.h"
+#include "dse/result_store.h"
+#include "sim/batch_options.h"
+
+namespace mg::dse
+{
+
+/** How one sweep invocation should run. */
+struct SweepOptions
+{
+    /** Result-store root directory. */
+    std::string storeRoot = ".mgstore";
+
+    /** 1-based shard identity (with shardCount; 1/1 = unsharded). */
+    unsigned shardIndex = 1;
+    unsigned shardCount = 1;
+
+    /**
+     * Merge mode: simulate nothing — every unpruned point must
+     * already be in the store (the shards ran first), and a miss is
+     * an error instead of a simulation.
+     */
+    bool merge = false;
+
+    /** Apply the analytic pre-filter (--no-prefilter disables). */
+    bool prefilter = true;
+
+    /**
+     * Batch execution surface for the misses (jobs, isolation,
+     * timeouts, retries...); the sweep inherits the full
+     * fault-tolerance substrate of `mgsim batch`.
+     */
+    sim::BatchOptions batch = sim::BatchOptions::fromEnv();
+};
+
+/** Run-provenance tallies (stderr report only — never in the doc). */
+struct SweepSummary
+{
+    size_t points = 0;    ///< expanded grid points
+    size_t pruned = 0;    ///< pre-filtered (explicit in the doc)
+    size_t hits = 0;      ///< served from the result store
+    size_t misses = 0;    ///< not in the store
+    size_t skipped = 0;   ///< other shards' points (shard mode)
+    size_t simulated = 0; ///< executed by this invocation
+    size_t failed = 0;    ///< simulations that ended in a RunError
+};
+
+/** Everything one sweep invocation produced. */
+struct SweepOutcome
+{
+    /** Fatal problem ("" = the sweep ran). */
+    std::string error;
+
+    /**
+     * The deterministic sweep document ("" in shard mode, where only
+     * the store is updated).
+     */
+    std::string doc;
+
+    SweepSummary summary;
+
+    /** True when the sweep ran and every simulated point succeeded. */
+    bool ok() const { return error.empty() && summary.failed == 0; }
+};
+
+/** Execute one sweep. */
+SweepOutcome runSweep(const GridSpec &grid, const SweepOptions &opts);
+
+} // namespace mg::dse
+
+#endif // MG_DSE_SWEEP_H

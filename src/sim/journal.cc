@@ -11,7 +11,7 @@ namespace mg::sim::journal
 {
 
 std::string
-runKey(const RunRequest &req)
+runKey(const RunRequest &req, const std::string &sim_version)
 {
     std::string key = req.workload.name();
     if (req.altInput)
@@ -30,6 +30,7 @@ runKey(const RunRequest &req)
         key += "|cross-input";
     if (req.chosen)
         key += "|chosen=" + std::to_string(req.chosen->size());
+    key += "|sim=" + sim_version;
     return key;
 }
 

@@ -24,6 +24,7 @@
 #include <mutex>
 #include <string>
 
+#include "common/version.h"
 #include "sim/experiment.h"
 
 namespace mg::sim::journal
@@ -31,15 +32,22 @@ namespace mg::sim::journal
 
 /**
  * Deterministic identity of a run: every request field that changes
- * the result is folded into the key, e.g.
+ * the result is folded into the key — including the simulator
+ * version, so a journal written by an older timing model can never
+ * be replayed as current results (the same rule the DSE result store
+ * applies to its content addresses).  E.g.
  *
- *     "crc32.0#alt|reduced|slack-profile|budget=512|cross-input"
+ *     "crc32.0#alt|reduced|slack-profile|budget=512|cross-input|sim=mg-sim-8"
  *
  * Keys contain no tabs or newlines (journal framing) and no ':'
  * (fault-spec match separator).  Configs must be named (registry
  * configs always are); an unnamed config yields an "?" component.
+ *
+ * @param sim_version  defaults to the compiled-in kSimVersion;
+ *                     overridable so tests can fabricate stale keys
  */
-std::string runKey(const RunRequest &req);
+std::string runKey(const RunRequest &req,
+                   const std::string &sim_version = kSimVersion);
 
 /** Result of loading a journal file. */
 struct LoadResult

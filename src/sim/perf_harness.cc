@@ -7,6 +7,7 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "common/string_util.h"
 #include "minigraph/selectors.h"
 #include "sim/runner.h"
 #include "trace/stats_json.h"
@@ -114,12 +115,7 @@ runToPerf(const PerfCell &cell, const RunRequest &req,
 uint64_t
 fnv1a64(const std::string &text)
 {
-    uint64_t h = 14695981039346656037ULL;
-    for (unsigned char c : text) {
-        h ^= c;
-        h *= 1099511628211ULL;
-    }
-    return h;
+    return mg::fnv1a64(text);
 }
 
 double

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Pre-filter safety and the golden Pareto snapshot, both on the
+ * pinned 130-cell DSE grid (dse/grid.h pinnedDseGrid).
+ *
+ * The safety property is the one that makes analytic pruning
+ * admissible at all: run the grid both ways — fully measured, and
+ * with the queuing-model pre-filter on — and require that NO pruned
+ * configuration sits on the measured Pareto frontier.  The queuing
+ * model may rank wrongly inside the dominated mass; it must never
+ * cost us a frontier point.
+ *
+ * The measured frontier itself is golden-snapshotted
+ * (tests/golden/golden_pareto.json): any timing-model change that
+ * moves the frontier shows up as a byte diff here, re-blessed via
+ * tools/bless_golden.sh (or MG_BLESS_GOLDEN=1).
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "dse/queue_model.h"
+#include "dse/sweep.h"
+
+#ifndef MG_GOLDEN_DIR
+#error "MG_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace mg::dse
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+constexpr const char *kGoldenPath =
+    MG_GOLDEN_DIR "/golden_pareto.json";
+
+/**
+ * One shared store + fully measured (no pre-filter) sweep of the
+ * pinned grid, computed once per process: the prefilter run and the
+ * golden snapshot both reuse its results as cache hits.  The root is
+ * keyed by pid because ctest runs each TEST as its own process, and
+ * under -j two of them would otherwise race on the same store.
+ */
+const std::string &
+sharedRoot()
+{
+    static const std::string root = [] {
+        fs::path p = fs::path(::testing::TempDir()) /
+                     ("mg_prefilter_" + std::to_string(::getpid()));
+        fs::remove_all(p);
+        return p.string();
+    }();
+    return root;
+}
+
+const SweepOutcome &
+fullSweep()
+{
+    static const SweepOutcome out = [] {
+        SweepOptions opts;
+        opts.storeRoot = sharedRoot();
+        opts.prefilter = false;
+        return runSweep(pinnedDseGrid(), opts);
+    }();
+    return out;
+}
+
+/** Extract `"key": "value"` from one document line. */
+std::string
+fieldOf(const std::string &line, const std::string &key)
+{
+    const std::string pat = "\"" + key + "\": \"";
+    size_t pos = line.find(pat);
+    if (pos == std::string::npos)
+        return "";
+    pos += pat.size();
+    return line.substr(pos, line.find('"', pos) - pos);
+}
+
+/** (config, selector) pairs of every point with the given status. */
+std::set<std::string>
+pairsWithStatus(const std::string &doc, const std::string &status)
+{
+    std::set<std::string> pairs;
+    std::istringstream in(doc);
+    std::string line;
+    while (std::getline(in, line))
+        if (line.find("\"status\": \"" + status + "\"") !=
+            std::string::npos)
+            pairs.insert(fieldOf(line, "config") + "|" +
+                         fieldOf(line, "selector"));
+    return pairs;
+}
+
+/** (config, selector) pairs of the document's measured frontier. */
+std::set<std::string>
+frontierPairs(const std::string &doc)
+{
+    std::set<std::string> pairs;
+    std::istringstream in(doc);
+    std::string line;
+    bool inside = false;
+    while (std::getline(in, line)) {
+        if (line.find("\"pareto\": [") != std::string::npos) {
+            inside = true;
+            continue;
+        }
+        if (!inside)
+            continue;
+        if (line.find(']') != std::string::npos && line.find('{') ==
+            std::string::npos)
+            break;
+        pairs.insert(fieldOf(line, "config") + "|" +
+                     fieldOf(line, "selector"));
+    }
+    return pairs;
+}
+
+TEST(QueueModel, PredictionsAreSaneAndMonotone)
+{
+    auto base = *uarch::configFromName("reduced");
+    const double ref = predictedIpc(base, false);
+    EXPECT_GT(ref, 0.0);
+    EXPECT_LE(ref, base.commitWidth);
+
+    // More of any swept resource never predicts slower.
+    auto wider = base;
+    wider.issueWidth += 1;
+    wider.commitWidth += 1;
+    EXPECT_GE(predictedIpc(wider, false), ref);
+    auto deeper = base;
+    deeper.issueQueueEntries += 16;
+    EXPECT_GE(predictedIpc(deeper, false), ref);
+    auto regs = base;
+    regs.physRegs += 32;
+    EXPECT_GE(predictedIpc(regs, false), ref);
+
+    // Mini-graphs amplify, saturating in MGT capacity.
+    const double mg = predictedIpc(base, true);
+    EXPECT_GT(mg, ref);
+    auto big_mgt = base;
+    big_mgt.mgtEntries = 4096;
+    EXPECT_GE(predictedIpc(big_mgt, true), mg);
+
+    // Determinism: the fixed point converges to the same value.
+    EXPECT_EQ(predictedIpc(base, true), predictedIpc(base, true));
+}
+
+TEST(Prefilter, PrunedPointsNeverOnMeasuredFrontier)
+{
+    const SweepOutcome &full = fullSweep();
+    ASSERT_EQ(full.error, "");
+    ASSERT_TRUE(full.ok()) << "pinned grid must simulate cleanly";
+    ASSERT_EQ(full.summary.points, 130u);
+    EXPECT_EQ(full.summary.pruned, 0u);
+
+    // The pre-filtered run reuses the store: every unpruned point is
+    // a cache hit, so this costs no extra simulation.
+    SweepOptions opts;
+    opts.storeRoot = sharedRoot();
+    opts.prefilter = true;
+    SweepOutcome pruned_run = runSweep(pinnedDseGrid(), opts);
+    ASSERT_EQ(pruned_run.error, "");
+    EXPECT_EQ(pruned_run.summary.hits,
+              130u - pruned_run.summary.pruned);
+    EXPECT_EQ(pruned_run.summary.simulated, 0u);
+
+    std::set<std::string> pruned =
+        pairsWithStatus(pruned_run.doc, "pruned");
+    EXPECT_EQ(pruned.size() * pinnedDseGrid().workloads.size(),
+              pruned_run.summary.pruned)
+        << "prune decisions are per (config, selector), uniform "
+           "across workloads";
+    EXPECT_FALSE(pruned.empty())
+        << "the pinned grid is built to exercise pruning; if the "
+           "model stopped pruning anything this test is vacuous";
+
+    // The safety property: pruning must not delete frontier points.
+    std::set<std::string> frontier = frontierPairs(full.doc);
+    ASSERT_FALSE(frontier.empty());
+    for (const std::string &p : pruned)
+        EXPECT_EQ(frontier.count(p), 0u)
+            << "pre-filter pruned measured-frontier point " << p
+            << " — the queuing model's margin (kPruneMargin) is "
+               "no longer safe on the pinned grid";
+}
+
+TEST(Prefilter, GoldenParetoSnapshot)
+{
+    const SweepOutcome &full = fullSweep();
+    ASSERT_EQ(full.error, "");
+
+    // The snapshot is the document's "pareto" section, re-wrapped as
+    // a standalone JSON object so it reads on its own.
+    size_t pos = full.doc.find("  \"pareto\": [");
+    ASSERT_NE(pos, std::string::npos);
+    std::string actual = "{\n" + full.doc.substr(pos);
+
+    if (const char *bless = std::getenv("MG_BLESS_GOLDEN");
+        bless && *bless == '1') {
+        std::ofstream out(kGoldenPath, std::ios::binary);
+        ASSERT_TRUE(out) << "cannot write " << kGoldenPath;
+        out << actual;
+        GTEST_SKIP() << "blessed " << kGoldenPath;
+    }
+
+    std::ifstream in(kGoldenPath, std::ios::binary);
+    ASSERT_TRUE(in) << "missing " << kGoldenPath
+                    << " — run tools/bless_golden.sh";
+    std::stringstream ss;
+    ss << in.rdbuf();
+    EXPECT_EQ(ss.str(), actual)
+        << "measured Pareto frontier diverged; intentional timing "
+           "changes: re-bless with tools/bless_golden.sh";
+}
+
+} // namespace
+} // namespace mg::dse

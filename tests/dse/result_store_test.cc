@@ -1,0 +1,345 @@
+/**
+ * @file
+ * The content-addressed result store (dse/result_store.h): key
+ * derivation, round trips, and — above all — the corruption
+ * contract: a truncated, bit-flipped or mis-keyed entry is
+ * quarantined and *never served*, `verify` reports it, and `gc`
+ * removes quarantined files and stale-version entries.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "common/string_util.h"
+#include "dse/result_store.h"
+#include "trace/stats_json.h"
+#include "workloads/workload.h"
+
+namespace mg::dse
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+/** A fresh store root per test. */
+std::string
+tmpRoot(const std::string &name)
+{
+    fs::path root =
+        fs::path(::testing::TempDir()) / ("mg_store_" + name);
+    fs::remove_all(root);
+    return root.string();
+}
+
+const assembler::Program &
+testProgram()
+{
+    static const assembler::Program prog =
+        workloads::buildWorkload(*workloads::findWorkload("crc32.0"))
+            .program;
+    return prog;
+}
+
+/** A syntactically valid, successful stats line to store. */
+std::string
+testStatsLine(uint64_t cycles = 1000)
+{
+    trace::StatsMeta meta;
+    meta.workload = "crc32.0";
+    meta.config = "reduced";
+    meta.selector = "none";
+    uarch::SimResult res;
+    res.cycles = cycles;
+    res.originalInsts = 2 * cycles;
+    return trace::statsJson(meta, res);
+}
+
+StoreKey
+testKey(uint32_t budget = 512)
+{
+    return deriveKey(testProgram(), *uarch::configFromName("reduced"),
+                     "none", budget);
+}
+
+/** The documented on-disk location of an entry. */
+std::string
+entryPath(const std::string &root, const StoreKey &key)
+{
+    std::string hex = key.hex();
+    return root + "/objects/" + hex.substr(0, 2) + "/" + hex + ".entry";
+}
+
+std::string
+slurpFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+void
+writeFile(const std::string &path, const std::string &content)
+{
+    fs::create_directories(fs::path(path).parent_path());
+    std::ofstream out(path, std::ios::binary);
+    out << content;
+}
+
+size_t
+quarantineCount(const std::string &root)
+{
+    size_t n = 0;
+    std::error_code ec;
+    for (auto it = fs::directory_iterator(root + "/quarantine", ec);
+         !ec && it != fs::directory_iterator(); ++it)
+        ++n;
+    return n;
+}
+
+TEST(StoreKey, CoversEveryInput)
+{
+    StoreKey base = testKey();
+    EXPECT_EQ(base.value, fnv1a64(base.identity));
+    EXPECT_EQ(base.hex(), hex64(base.value));
+    EXPECT_EQ(base.hex().size(), 16u);
+
+    // Same inputs, same key (the whole point of content addressing).
+    EXPECT_EQ(base.value, testKey().value);
+
+    auto reduced = *uarch::configFromName("reduced");
+    const auto &prog = testProgram();
+
+    // Selector, budget and simulator version are all identity.
+    EXPECT_NE(base.value,
+              deriveKey(prog, reduced, "struct-all", 512).value);
+    EXPECT_NE(base.value, testKey(256).value);
+    EXPECT_NE(base.value,
+              deriveKey(prog, reduced, "none", 512, "mg-sim-0").value);
+
+    // Any configuration field counts — not just the registry name.
+    auto tweaked = reduced;
+    tweaked.issueQueueEntries += 1;
+    EXPECT_NE(base.value, deriveKey(prog, tweaked, "none", 512).value);
+
+    // So do the program bytes.
+    auto other =
+        workloads::buildWorkload(*workloads::findWorkload("bitcount.0"))
+            .program;
+    EXPECT_NE(base.value, deriveKey(other, reduced, "none", 512).value);
+}
+
+TEST(ResultStore, InsertLookupRoundTrip)
+{
+    const std::string root = tmpRoot("roundtrip");
+    ResultStore store;
+    ASSERT_EQ(store.open(root), "");
+
+    StoreKey key = testKey();
+    EXPECT_FALSE(store.lookup(key).has_value());
+    EXPECT_EQ(store.misses(), 1u);
+
+    const std::string line = testStatsLine();
+    ASSERT_EQ(store.insert(key, line), "");
+
+    auto got = store.lookup(key);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, line) << "lookup must return the exact bytes";
+    EXPECT_EQ(store.hits(), 1u);
+    EXPECT_EQ(store.quarantines(), 0u);
+
+    StoreStats st = store.stats();
+    EXPECT_EQ(st.entries, 1u);
+    EXPECT_EQ(st.quarantined, 0u);
+    EXPECT_EQ(st.byVersion.at(kSimVersion), 1u);
+}
+
+TEST(ResultStore, RefusesToStoreErrorRecords)
+{
+    ResultStore store;
+    ASSERT_EQ(store.open(tmpRoot("norerror")), "");
+    trace::StatsMeta meta;
+    meta.workload = "crc32.0";
+    std::string err_line = trace::errorJson(meta, "boom");
+    EXPECT_NE(store.insert(testKey(), err_line), "");
+    EXPECT_NE(store.insert(testKey(), "not json at all"), "");
+}
+
+TEST(ResultStore, TruncatedEntryIsQuarantinedNotServed)
+{
+    const std::string root = tmpRoot("truncated");
+    ResultStore store;
+    ASSERT_EQ(store.open(root), "");
+    StoreKey key = testKey();
+    ASSERT_EQ(store.insert(key, testStatsLine()), "");
+
+    // Chop the trailing newline + a few bytes: the mid-write
+    // truncation signature.
+    const std::string path = entryPath(root, key);
+    std::string bytes = slurpFile(path);
+    writeFile(path, bytes.substr(0, bytes.size() - 5));
+
+    EXPECT_FALSE(store.lookup(key).has_value())
+        << "a truncated entry must read as a miss";
+    EXPECT_EQ(store.quarantines(), 1u);
+    ASSERT_EQ(store.quarantined().size(), 1u);
+    EXPECT_EQ(store.quarantined()[0].reason, "truncated");
+    EXPECT_FALSE(fs::exists(path)) << "bad entry left in objects/";
+    EXPECT_EQ(quarantineCount(root), 1u);
+
+    // And it stays a miss — never "recovers".
+    EXPECT_FALSE(store.lookup(key).has_value());
+}
+
+TEST(ResultStore, BitFlippedPayloadIsQuarantined)
+{
+    const std::string root = tmpRoot("bitflip");
+    ResultStore store;
+    ASSERT_EQ(store.open(root), "");
+    StoreKey key = testKey();
+    ASSERT_EQ(store.insert(key, testStatsLine()), "");
+
+    const std::string path = entryPath(root, key);
+    std::string bytes = slurpFile(path);
+    // Flip one bit inside the stats payload (the last line).
+    bytes[bytes.rfind("cycles")] ^= 0x20;
+    writeFile(path, bytes);
+
+    EXPECT_FALSE(store.lookup(key).has_value());
+    ASSERT_EQ(store.quarantined().size(), 1u);
+    EXPECT_EQ(store.quarantined()[0].reason, "payload-hash");
+}
+
+TEST(ResultStore, KeyMismatchIsQuarantined)
+{
+    const std::string root = tmpRoot("keymismatch");
+    ResultStore store;
+    ASSERT_EQ(store.open(root), "");
+    StoreKey key = testKey();
+    ASSERT_EQ(store.insert(key, testStatsLine()), "");
+
+    // Copy the (internally consistent) entry to a different key's
+    // path: the filename no longer matches the content address.
+    StoreKey other = testKey(256);
+    writeFile(entryPath(root, other),
+              slurpFile(entryPath(root, key)));
+
+    EXPECT_FALSE(store.lookup(other).has_value());
+    ASSERT_EQ(store.quarantined().size(), 1u);
+    EXPECT_EQ(store.quarantined()[0].reason, "key-mismatch");
+
+    // The genuine entry is untouched.
+    EXPECT_TRUE(store.lookup(key).has_value());
+}
+
+TEST(ResultStore, VerifyWalksAndQuarantines)
+{
+    const std::string root = tmpRoot("verify");
+    ResultStore store;
+    ASSERT_EQ(store.open(root), "");
+    StoreKey good = testKey();
+    StoreKey bad = testKey(128);
+    ASSERT_EQ(store.insert(good, testStatsLine(1000)), "");
+    ASSERT_EQ(store.insert(bad, testStatsLine(2000)), "");
+
+    VerifyReport clean = store.verify();
+    EXPECT_TRUE(clean.clean());
+    EXPECT_EQ(clean.checked, 2u);
+
+    const std::string path = entryPath(root, bad);
+    std::string bytes = slurpFile(path);
+    writeFile(path, bytes.substr(0, bytes.size() - 1));
+
+    VerifyReport rep = store.verify();
+    EXPECT_EQ(rep.checked, 2u);
+    ASSERT_EQ(rep.bad.size(), 1u);
+    EXPECT_EQ(rep.bad[0].reason, "truncated");
+    EXPECT_FALSE(rep.clean());
+
+    // After the quarantine the store verifies clean again.
+    EXPECT_TRUE(store.verify().clean());
+    EXPECT_TRUE(store.lookup(good).has_value());
+}
+
+TEST(ResultStore, GcRemovesStaleVersionsAndQuarantine)
+{
+    const std::string root = tmpRoot("gc");
+    ResultStore store;
+    ASSERT_EQ(store.open(root), "");
+    ASSERT_EQ(store.insert(testKey(), testStatsLine()), "");
+
+    // Handcraft a valid entry of an older simulator version (insert
+    // always writes the current one): identity ends in the stale
+    // version, key = fnv of the identity, so it self-validates.
+    const std::string stats = testStatsLine(4242);
+    const std::string identity = "prog=x#0|cfg=c|sel=none|budget=512|"
+                                 "sim=mg-sim-0";
+    const std::string key_hex = hex64(fnv1a64(identity));
+    writeFile(root + "/objects/" + key_hex.substr(0, 2) + "/" +
+                  key_hex + ".entry",
+              "mg-dse-v1 " + key_hex + " " + hex64(fnv1a64(stats)) +
+                  " mg-sim-0\n" + identity + "\n" + stats + "\n");
+
+    // And one quarantined file.
+    writeFile(root + "/quarantine/deadbeefdeadbeef.truncated", "junk");
+
+    StoreStats before = store.stats();
+    EXPECT_EQ(before.entries, 2u);
+    EXPECT_EQ(before.byVersion.at("mg-sim-0"), 1u);
+    EXPECT_EQ(before.quarantined, 1u);
+
+    GcReport rep = store.gc();
+    EXPECT_EQ(rep.staleRemoved, 1u);
+    EXPECT_EQ(rep.quarantineRemoved, 1u);
+    EXPECT_GT(rep.bytesReclaimed, 0u);
+
+    StoreStats after = store.stats();
+    EXPECT_EQ(after.entries, 1u);
+    EXPECT_EQ(after.quarantined, 0u);
+    EXPECT_EQ(after.byVersion.count("mg-sim-0"), 0u);
+    EXPECT_TRUE(store.lookup(testKey()).has_value())
+        << "gc must keep current-version entries";
+}
+
+TEST(ResultStore, ConcurrentDoubleWriterIsSafe)
+{
+    const std::string root = tmpRoot("race");
+    ResultStore store;
+    ASSERT_EQ(store.open(root), "");
+    StoreKey key = testKey();
+    const std::string line = testStatsLine();
+
+    // Content-addressed writes are idempotent: N racing writers of
+    // the same key stage identical bytes under unique tmp names and
+    // rename into place; whoever lands last wins with the same bytes.
+    std::vector<std::thread> writers;
+    for (int t = 0; t < 8; ++t)
+        writers.emplace_back([&] {
+            ResultStore mine;
+            ASSERT_EQ(mine.open(root), "");
+            for (int i = 0; i < 25; ++i)
+                EXPECT_EQ(mine.insert(key, line), "");
+        });
+    for (auto &th : writers)
+        th.join();
+
+    auto got = store.lookup(key);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, line);
+    EXPECT_TRUE(store.verify().clean());
+    EXPECT_EQ(store.stats().entries, 1u);
+
+    // No staging debris left behind.
+    size_t tmp_files = 0;
+    for (auto &e : fs::directory_iterator(root + "/tmp"))
+        (void)e, ++tmp_files;
+    EXPECT_EQ(tmp_files, 0u);
+}
+
+} // namespace
+} // namespace mg::dse

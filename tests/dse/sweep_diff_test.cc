@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Differential equivalence harness for the sweep engine (dse/sweep.h)
+ * — the DSE service's central promise, checked byte-for-byte: for a
+ * fixed grid, the emitted document is IDENTICAL whether every point
+ * was freshly simulated (cold store), every point was a cache hit
+ * (warm store), some were each (partially warm), or the grid was
+ * split into three shards whose results were merged afterwards.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "dse/sweep.h"
+
+namespace mg::dse
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+std::string
+tmpRoot(const std::string &name)
+{
+    fs::path root =
+        fs::path(::testing::TempDir()) / ("mg_sweep_" + name);
+    fs::remove_all(root);
+    return root.string();
+}
+
+/** The reduced differential grid: 2 selectors x 2 configs x 1 wl. */
+GridSpec
+diffGrid()
+{
+    GridSpec g;
+    g.base = "reduced";
+    g.workloads = {"crc32.0"};
+    g.selectors = {"none", "struct-all"};
+    g.configs = {{3, 20, 96, 256}, {3, 30, 144, 512}};
+    return g;
+}
+
+/**
+ * Options for one store.  The pre-filter is off so the hit/miss
+ * arithmetic below is exact (pruning is exercised in
+ * prefilter_test.cc); equivalence holds either way because prune
+ * decisions are a pure function of the grid.
+ */
+SweepOptions
+optsFor(const std::string &root)
+{
+    SweepOptions o;
+    o.storeRoot = root;
+    o.prefilter = false;
+    return o;
+}
+
+TEST(SweepDiff, FreshThenCachedAreByteIdentical)
+{
+    const std::string root = tmpRoot("fresh_cached");
+    const GridSpec grid = diffGrid();
+
+    // Cold store: everything simulates.
+    SweepOutcome fresh = runSweep(grid, optsFor(root));
+    ASSERT_EQ(fresh.error, "");
+    EXPECT_TRUE(fresh.ok());
+    EXPECT_EQ(fresh.summary.points, 4u);
+    EXPECT_EQ(fresh.summary.hits, 0u);
+    EXPECT_EQ(fresh.summary.misses, 4u);
+    EXPECT_EQ(fresh.summary.simulated, 4u);
+    ASSERT_FALSE(fresh.doc.empty());
+
+    // Warm store: everything hits, nothing simulates...
+    SweepOutcome cached = runSweep(grid, optsFor(root));
+    ASSERT_EQ(cached.error, "");
+    EXPECT_EQ(cached.summary.hits, 4u);
+    EXPECT_EQ(cached.summary.misses, 0u);
+    EXPECT_EQ(cached.summary.simulated, 0u);
+
+    // ...and the documents are the same bytes.
+    EXPECT_EQ(fresh.doc, cached.doc);
+}
+
+TEST(SweepDiff, PartiallyWarmStoreProducesTheSameBytes)
+{
+    const std::string cold_root = tmpRoot("partial_ref");
+    const std::string warm_root = tmpRoot("partial");
+    const GridSpec grid = diffGrid();
+
+    // Reference document from a fully cold sweep.
+    SweepOutcome ref = runSweep(grid, optsFor(cold_root));
+    ASSERT_EQ(ref.error, "");
+
+    // Pre-warm the second store with half the grid (one selector).
+    GridSpec half = grid;
+    half.selectors = {"struct-all"};
+    SweepOutcome pre = runSweep(half, optsFor(warm_root));
+    ASSERT_EQ(pre.error, "");
+    EXPECT_EQ(pre.summary.simulated, 2u);
+
+    // The full sweep hits the warmed half, simulates the rest, and
+    // still emits the reference bytes.
+    SweepOutcome mixed = runSweep(grid, optsFor(warm_root));
+    ASSERT_EQ(mixed.error, "");
+    EXPECT_EQ(mixed.summary.hits, 2u);
+    EXPECT_EQ(mixed.summary.misses, 2u);
+    EXPECT_EQ(mixed.summary.simulated, 2u);
+    EXPECT_EQ(ref.doc, mixed.doc);
+}
+
+TEST(SweepDiff, ThreeShardsThenMergeAreByteIdentical)
+{
+    const std::string ref_root = tmpRoot("shard_ref");
+    const std::string shard_root = tmpRoot("shard");
+    const GridSpec grid = diffGrid();
+
+    SweepOutcome ref = runSweep(grid, optsFor(ref_root));
+    ASSERT_EQ(ref.error, "");
+
+    // Merging before any shard ran fails loudly — a partial sweep
+    // must never masquerade as a complete one.
+    SweepOptions merge = optsFor(shard_root);
+    merge.merge = true;
+    SweepOutcome premature = runSweep(grid, merge);
+    EXPECT_NE(premature.error, "");
+
+    // Run the three shards (any order; disjoint by construction).
+    size_t simulated = 0;
+    for (unsigned i = 1; i <= 3; ++i) {
+        SweepOptions shard = optsFor(shard_root);
+        shard.shardIndex = i;
+        shard.shardCount = 3;
+        SweepOutcome out = runSweep(grid, shard);
+        ASSERT_EQ(out.error, "") << "shard " << i;
+        EXPECT_TRUE(out.doc.empty())
+            << "shards publish to the store, not a document";
+        EXPECT_EQ(out.summary.skipped + out.summary.simulated +
+                      out.summary.hits,
+                  4u);
+        simulated += out.summary.simulated;
+    }
+    EXPECT_EQ(simulated, 4u) << "shards must partition the grid";
+
+    // The merge is pure cache reads and emits the reference bytes.
+    SweepOutcome merged = runSweep(grid, merge);
+    ASSERT_EQ(merged.error, "");
+    EXPECT_EQ(merged.summary.hits, 4u);
+    EXPECT_EQ(merged.summary.simulated, 0u);
+    EXPECT_EQ(ref.doc, merged.doc);
+}
+
+TEST(SweepDiff, ShardBoundsAreValidated)
+{
+    SweepOptions bad = optsFor(tmpRoot("badshard"));
+    bad.shardIndex = 4;
+    bad.shardCount = 3;
+    EXPECT_NE(runSweep(diffGrid(), bad).error, "");
+}
+
+} // namespace
+} // namespace mg::dse

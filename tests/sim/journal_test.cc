@@ -92,6 +92,53 @@ TEST(JournalTest, RunKeyIsFramingSafe)
     }
 }
 
+TEST(JournalTest, RunKeyFoldsInSimulatorVersion)
+{
+    // The simulator version is part of the run identity (the same
+    // rule the DSE result store applies to its content addresses): a
+    // journal written by an older timing model must never be replayed
+    // as current results, because the stats line it stored can no
+    // longer be reproduced by this binary.
+    RunRequest req = request("crc32.0", "reduced");
+    std::string current = runKey(req);
+    EXPECT_NE(current.find("|sim=" + std::string(kSimVersion)),
+              std::string::npos)
+        << current;
+
+    // A key derived under any other version cannot collide with the
+    // current one, so stale entries are silently skipped on resume
+    // (the run re-executes) instead of being served.
+    std::string stale = runKey(req, "mg-sim-0");
+    EXPECT_NE(current, stale);
+
+    // Everything before the version suffix is unchanged, so bumping
+    // kSimVersion invalidates journals without perturbing how the
+    // rest of the identity is spelled.
+    EXPECT_EQ(current.substr(0, current.rfind("|sim=")),
+              stale.substr(0, stale.rfind("|sim=")));
+}
+
+TEST(JournalTest, StaleVersionJournalIsNotReplayed)
+{
+    // Simulate a journal left behind by an older simulator: the entry
+    // is valid JSON under a stale-version key.  A resume under the
+    // current version derives a different key, so the runner re-runs
+    // the job instead of replaying the stale line.
+    auto [req, line] = realEntry();
+    const std::string path = tmpPath("stale_version");
+    {
+        Writer w;
+        ASSERT_EQ(w.open(path), "");
+        w.append(runKey(req, "mg-sim-0"), line);
+    }
+    LoadResult loaded = load(path);
+    EXPECT_EQ(loaded.dropped, 0u);
+    ASSERT_EQ(loaded.entries.size(), 1u);
+    EXPECT_EQ(loaded.entries.count(runKey(req)), 0u)
+        << "stale-version journal entry must not match a current key";
+    std::remove(path.c_str());
+}
+
 TEST(JournalTest, AppendLoadRoundTrip)
 {
     auto [req, line] = realEntry();

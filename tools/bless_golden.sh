@@ -3,12 +3,14 @@
 #
 #   tools/bless_golden.sh [build-dir]
 #
-# Rebuilds mg_trace_test and re-runs the snapshot suites with
+# Rebuilds the snapshot suites and re-runs them with
 # MG_BLESS_GOLDEN=1, which rewrites tests/golden/golden_stats.jsonl
-# (timing-model stats) and tests/golden/golden_analyze.jsonl (static
-# analyzer reports) from the current build instead of comparing
-# against them.  Review the diff before committing: every changed
-# line is a timing-model or analyzer behaviour change.
+# (timing-model stats), tests/golden/golden_analyze.jsonl (static
+# analyzer reports) and tests/golden/golden_pareto.json (the measured
+# Pareto frontier of the pinned DSE grid) from the current build
+# instead of comparing against them.  Review the diff before
+# committing: every changed line is a timing-model or analyzer
+# behaviour change.
 set -eu
 
 build_dir="${1:-build}"
@@ -21,9 +23,11 @@ if [ ! -d "$build_dir" ]; then
     exit 2
 fi
 
-cmake --build "$build_dir" --target mg_trace_test -j
+cmake --build "$build_dir" --target mg_trace_test dse_suite_test -j
 MG_BLESS_GOLDEN=1 "$build_dir/tests/mg_trace_test" \
     --gtest_filter='GoldenStats.*:GoldenAnalyze.*'
+MG_BLESS_GOLDEN=1 "$build_dir/tests/dse_suite_test" \
+    --gtest_filter='Prefilter.GoldenParetoSnapshot'
 
 echo
 git --no-pager diff --stat tests/golden/ || true

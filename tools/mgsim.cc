@@ -8,6 +8,11 @@
  *               [--isolate] [--timeout SEC] [--retries N]
  *               [--backoff SEC] [--journal FILE] [--resume]
  *               [--inject-fault SPEC] [--check-level LVL]
+ *   mgsim sweep <grid.json|-|pinned> [--store DIR] [--out FILE]
+ *               [--shard i/N] [--merge] [--no-prefilter] [--jobs N]
+ *               [--progress] [--isolate] [--timeout SEC] [--retries N]
+ *               [--backoff SEC] [--check-level LVL]
+ *   mgsim cache stats|verify|gc [--store DIR] [--json]
  *   mgsim trace <prog.s|workload> [--config NAME] [--selector NAME]
  *               [--out PREFIX] [--start N] [--end N] [--json]
  *   mgsim perf [--subset pinned|smoke|full] [--out FILE]
@@ -71,6 +76,7 @@
  * ok, 3 = partial failure, 1 = total failure, 2 = usage error.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -81,6 +87,8 @@
 #include "assembler/assembler.h"
 #include "check/mg_lint.h"
 #include "cli.h"
+#include "dse/result_store.h"
+#include "dse/sweep.h"
 #include "common/stats_util.h"
 #include "common/string_util.h"
 #include "minigraph/rewriter.h"
@@ -125,6 +133,14 @@ usage()
         "              [--isolate] [--timeout SEC] [--retries N]\n"
         "              [--backoff SEC] [--journal FILE] [--resume]\n"
         "              [--inject-fault SPEC] [--check-level LVL]\n"
+        "  mgsim sweep <grid.json|-|pinned> [--store DIR] [--out "
+        "FILE]\n"
+        "              [--shard i/N] [--merge] [--no-prefilter]\n"
+        "              [--jobs N] [--progress] [--isolate] [--timeout "
+        "SEC]\n"
+        "              [--retries N] [--backoff SEC] [--check-level "
+        "LVL]\n"
+        "  mgsim cache stats|verify|gc [--store DIR] [--json]\n"
         "  mgsim trace <prog.s|workload> [--config NAME] [--selector "
         "NAME]\n"
         "              [--out PREFIX] [--start N] [--end N] [--json]\n"
@@ -605,6 +621,193 @@ cmdBatch(const cli::Args &args)
     return sum.ok ? 3 : 1;
 }
 
+/**
+ * `mgsim sweep`: design-space exploration over a parameter grid with
+ * the content-addressed result store (docs/DSE.md).  The grid
+ * argument is a JSON file, "-" for stdin, or "pinned" for the
+ * built-in 130-cell pinned grid.  Exit codes mirror batch: 0 all ok,
+ * 3 some simulations failed, 1 fatal, 2 usage.
+ */
+int
+cmdSweep(const cli::Args &args)
+{
+    const std::string &grid_arg = args.positional[0];
+
+    dse::GridSpec grid;
+    if (grid_arg == "pinned") {
+        grid = dse::pinnedDseGrid();
+    } else {
+        std::ifstream file;
+        std::istream *in = &std::cin;
+        if (grid_arg != "-") {
+            file.open(grid_arg);
+            if (!file) {
+                std::fprintf(stderr, "cannot open '%s'\n",
+                             grid_arg.c_str());
+                return 2;
+            }
+            in = &file;
+        }
+        std::stringstream ss;
+        ss << in->rdbuf();
+        std::string err = dse::parseGrid(ss.str(), grid);
+        if (!err.empty()) {
+            std::fprintf(stderr, "mgsim sweep: %s: %s\n",
+                         grid_arg.c_str(), err.c_str());
+            return 2;
+        }
+    }
+
+    dse::SweepOptions opts;
+    opts.batch = args.batch;
+    opts.storeRoot = args.get("--store", opts.storeRoot);
+    opts.merge = args.has("--merge");
+    opts.prefilter = !args.has("--no-prefilter");
+    if (args.has("--shard")) {
+        unsigned i = 0, n = 0;
+        if (std::sscanf(args.get("--shard").c_str(), "%u/%u", &i, &n) !=
+                2 ||
+            i < 1 || n < 1 || i > n) {
+            std::fprintf(stderr,
+                         "mgsim sweep: --shard %s: want i/N with "
+                         "1 <= i <= N\n",
+                         args.get("--shard").c_str());
+            return 2;
+        }
+        opts.shardIndex = i;
+        opts.shardCount = n;
+    }
+    if (opts.merge && args.has("--shard")) {
+        std::fprintf(stderr,
+                     "mgsim sweep: --merge and --shard are exclusive "
+                     "(merge reads every shard's results)\n");
+        return 2;
+    }
+
+    auto t0 = std::chrono::steady_clock::now();
+    dse::SweepOutcome out = dse::runSweep(grid, opts);
+    double wall = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    if (!out.error.empty()) {
+        std::fprintf(stderr, "mgsim sweep: %s\n", out.error.c_str());
+        return 1;
+    }
+
+    // Run provenance goes to stderr only: the document on stdout is
+    // byte-identical whether points were simulated or cache hits.
+    std::fprintf(stderr,
+                 "sweep: %zu points, %zu pruned, %zu hits, %zu misses, "
+                 "%zu simulated, %zu failed, %zu other-shard (%.2fs)\n",
+                 out.summary.points, out.summary.pruned, out.summary.hits,
+                 out.summary.misses, out.summary.simulated,
+                 out.summary.failed, out.summary.skipped, wall);
+
+    if (!out.doc.empty()) {
+        const std::string out_path = args.get("--out");
+        if (out_path.empty()) {
+            std::fputs(out.doc.c_str(), stdout);
+        } else {
+            std::ofstream f(out_path, std::ios::binary);
+            f << out.doc;
+            if (!f) {
+                std::fprintf(stderr, "cannot write '%s'\n",
+                             out_path.c_str());
+                return 1;
+            }
+            std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+        }
+    }
+    if (out.summary.failed == 0)
+        return 0;
+    return out.summary.failed < out.summary.points ? 3 : 1;
+}
+
+/**
+ * `mgsim cache`: inspect and maintain the DSE result store.
+ * `stats` tallies entries; `verify` validates every entry
+ * (quarantining and exiting 1 on any corruption); `gc` removes
+ * quarantined files and entries of other simulator versions.
+ */
+int
+cmdCache(const cli::Args &args)
+{
+    const std::string &verb = args.positional[0];
+    if (verb != "stats" && verb != "verify" && verb != "gc") {
+        std::fprintf(stderr,
+                     "mgsim cache: unknown action '%s' (want stats, "
+                     "verify or gc)\n",
+                     verb.c_str());
+        return 2;
+    }
+
+    dse::ResultStore store;
+    std::string err = store.open(args.get("--store", ".mgstore"));
+    if (!err.empty()) {
+        std::fprintf(stderr, "mgsim cache: %s\n", err.c_str());
+        return 1;
+    }
+
+    if (verb == "stats") {
+        dse::StoreStats st = store.stats();
+        if (args.batch.json) {
+            std::string versions;
+            for (const auto &[ver, n] : st.byVersion) {
+                versions += versions.empty() ? "" : ",";
+                versions += "\"" + trace::jsonEscape(ver) +
+                            "\":" + std::to_string(n);
+            }
+            std::printf("{\"store\":\"%s\",\"entries\":%zu,"
+                        "\"quarantined\":%zu,\"objectBytes\":%llu,"
+                        "\"byVersion\":{%s}}\n",
+                        trace::jsonEscape(store.rootDir()).c_str(),
+                        st.entries, st.quarantined,
+                        static_cast<unsigned long long>(st.objectBytes),
+                        versions.c_str());
+        } else {
+            std::printf("store       %s\n", store.rootDir().c_str());
+            std::printf("entries     %zu (%llu bytes)\n", st.entries,
+                        static_cast<unsigned long long>(st.objectBytes));
+            std::printf("quarantined %zu\n", st.quarantined);
+            for (const auto &[ver, n] : st.byVersion)
+                std::printf("  %-12s %zu\n", ver.c_str(), n);
+        }
+        return 0;
+    }
+
+    if (verb == "verify") {
+        dse::VerifyReport rep = store.verify();
+        for (const auto &bad : rep.bad)
+            std::fprintf(stderr, "quarantined %s: %s\n",
+                         bad.file.c_str(), bad.reason.c_str());
+        if (args.batch.json) {
+            std::printf("{\"checked\":%zu,\"bad\":%zu,\"clean\":%s}\n",
+                        rep.checked, rep.bad.size(),
+                        rep.clean() ? "true" : "false");
+        } else {
+            std::printf("verified %zu entr%s, %zu bad\n", rep.checked,
+                        rep.checked == 1 ? "y" : "ies", rep.bad.size());
+        }
+        return rep.clean() ? 0 : 1;
+    }
+
+    dse::GcReport rep = store.gc();
+    if (args.batch.json) {
+        std::printf("{\"staleRemoved\":%zu,\"quarantineRemoved\":%zu,"
+                    "\"bytesReclaimed\":%llu}\n",
+                    rep.staleRemoved, rep.quarantineRemoved,
+                    static_cast<unsigned long long>(rep.bytesReclaimed));
+    } else {
+        std::printf("removed %zu stale entr%s, %zu quarantined file%s "
+                    "(%llu bytes)\n",
+                    rep.staleRemoved, rep.staleRemoved == 1 ? "y" : "ies",
+                    rep.quarantineRemoved,
+                    rep.quarantineRemoved == 1 ? "" : "s",
+                    static_cast<unsigned long long>(rep.bytesReclaimed));
+    }
+    return 0;
+}
+
 int
 cmdPerf(const cli::Args &args)
 {
@@ -919,6 +1122,20 @@ commandSpec(const std::string &cmd)
                         "--backoff", "--journal", "--resume",
                         "--inject-fault", "--check-level"};
         c.minPositional = 1;
+    } else if (cmd == "sweep") {
+        c.own = {{"--store", true},
+                 {"--out", true},
+                 {"--shard", true},
+                 {"--merge", false},
+                 {"--no-prefilter", false}};
+        c.batchFlags = {"--jobs",    "--progress", "--isolate",
+                        "--timeout", "--retries",  "--backoff",
+                        "--check-level"};
+        c.minPositional = 1;
+    } else if (cmd == "cache") {
+        c.own = {{"--store", true}};
+        c.batchFlags = {"--json"};
+        c.minPositional = 1;
     } else if (cmd == "trace") {
         c.own = {{"--config", true},
                  {"--selector", true},
@@ -985,6 +1202,7 @@ main(int argc, char **argv)
     }
 
     const bool known = cmd == "run" || cmd == "batch" ||
+                       cmd == "sweep" || cmd == "cache" ||
                        cmd == "trace" || cmd == "perf" ||
                        cmd == "candidates" || cmd == "analyze" ||
                        cmd == "lint" || cmd == "disasm" ||
@@ -1001,6 +1219,10 @@ main(int argc, char **argv)
             return cmdRun(args);
         if (cmd == "batch")
             return cmdBatch(args);
+        if (cmd == "sweep")
+            return cmdSweep(args);
+        if (cmd == "cache")
+            return cmdCache(args);
         if (cmd == "trace")
             return cmdTrace(args);
         if (cmd == "perf")
