@@ -397,6 +397,14 @@ parseGrid(const std::string &json_text, GridSpec &out)
                            "positive integers";
                 t[i] = static_cast<uint32_t>(v.number);
             }
+            for (const ConfigTuple &prev : grid.configs) {
+                if (prev == t)
+                    return "grid JSON: duplicate 'configs' entry [" +
+                           std::to_string(t[0]) + ", " +
+                           std::to_string(t[1]) + ", " +
+                           std::to_string(t[2]) + ", " +
+                           std::to_string(t[3]) + "]";
+            }
             grid.configs.push_back(t);
         }
     } else {

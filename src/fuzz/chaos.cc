@@ -1,0 +1,262 @@
+#include "fuzz/chaos.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "dse/grid.h"
+#include "dse/result_store.h"
+#include "dse/sweep.h"
+#include "sim/fault.h"
+#include "trace/stats_json.h"
+
+namespace fs = std::filesystem;
+
+namespace mg::fuzz
+{
+
+namespace
+{
+
+/**
+ * The fixed sweep every schedule replays: small enough that one
+ * schedule is seconds, rich enough to exercise hits, misses, both a
+ * baseline and a mini-graph selector, and two machine sizes.
+ */
+const char *kChaosGrid =
+    "{\"base\": \"reduced\", \"workloads\": [\"crc32.0\"],"
+    " \"selectors\": [\"none\", \"struct-all\"],"
+    " \"configs\": [[3, 20, 96, 256], [3, 30, 144, 512]]}";
+
+dse::SweepOptions
+sweepOptions(const std::string &store_root, unsigned jobs)
+{
+    dse::SweepOptions opts;
+    opts.storeRoot = store_root;
+    // The analytic pre-filter is orthogonal to the fault machinery;
+    // keep every point live so corruption has targets.
+    opts.prefilter = false;
+    opts.batch = sim::BatchOptions::fromEnv();
+    if (jobs)
+        opts.batch.jobs = jobs;
+    opts.batch.json = false;
+    opts.batch.progress = false;
+    return opts;
+}
+
+/** Corrupt one store entry file in a randomly chosen way. */
+void
+corruptFile(const fs::path &path, Rng &rng)
+{
+    std::error_code ec;
+    switch (rng.below(4)) {
+    case 0: // truncate mid-entry (the torn-write signature)
+        fs::resize_file(path, fs::file_size(path, ec) / 2, ec);
+        break;
+    case 1: { // flip one byte of the payload
+        std::fstream f(path,
+                       std::ios::in | std::ios::out | std::ios::binary);
+        f.seekg(0, std::ios::end);
+        auto size = static_cast<uint64_t>(f.tellg());
+        if (size == 0)
+            break;
+        uint64_t pos = rng.below(size);
+        f.seekg(static_cast<std::streamoff>(pos));
+        char c = 0;
+        f.get(c);
+        f.seekp(static_cast<std::streamoff>(pos));
+        f.put(static_cast<char>(c ^ 0x20));
+        break;
+    }
+    case 2: { // append garbage after the entry
+        std::ofstream f(path, std::ios::app | std::ios::binary);
+        f << "trailing garbage\n";
+        break;
+    }
+    default: // empty the file entirely
+        std::ofstream(path, std::ios::trunc | std::ios::binary);
+        break;
+    }
+}
+
+/** Corrupt a random subset of the store's object files. */
+uint64_t
+corruptStore(const std::string &store_root, Rng &rng)
+{
+    fs::path objects = fs::path(store_root) / "objects";
+    std::error_code ec;
+    if (!fs::exists(objects, ec))
+        return 0;
+    std::vector<fs::path> entries;
+    for (const auto &e : fs::recursive_directory_iterator(objects, ec))
+        if (e.is_regular_file())
+            entries.push_back(e.path());
+    uint64_t corrupted = 0;
+    for (const fs::path &p : entries) {
+        if (!rng.chance(0.5))
+            continue;
+        corruptFile(p, rng);
+        ++corrupted;
+    }
+    return corrupted;
+}
+
+/** Seed a journal with garbage lines and a torn (no-newline) tail. */
+void
+seedJournal(const std::string &path, Rng &rng)
+{
+    std::ofstream f(path, std::ios::trunc | std::ios::binary);
+    f << "not json at all\n";
+    f << "{\"run\":\"half-written\",\"status\"";
+    if (rng.chance(0.5))
+        f << '\n'; // complete-but-malformed instead of torn
+}
+
+} // namespace
+
+ChaosResult
+runChaos(const ChaosOptions &opts)
+{
+    ChaosResult result;
+
+    dse::GridSpec grid;
+    if (std::string err = dse::parseGrid(kChaosGrid, grid);
+        !err.empty()) {
+        result.error = "chaos grid: " + err;
+        return result;
+    }
+
+    std::error_code ec;
+    fs::create_directories(opts.workDir, ec);
+    if (ec) {
+        result.error =
+            "cannot create work dir " + opts.workDir + ": " + ec.message();
+        return result;
+    }
+
+    // Reference: the undisturbed sweep, fresh store, no faults.
+    const std::string ref_root =
+        (fs::path(opts.workDir) / "ref-store").string();
+    fs::remove_all(ref_root, ec);
+    dse::SweepOutcome ref =
+        dse::runSweep(grid, sweepOptions(ref_root, opts.jobs));
+    if (!ref.ok()) {
+        result.error = "reference sweep failed: " +
+                       (ref.error.empty() ? "points failed" : ref.error);
+        return result;
+    }
+
+    for (unsigned i = 0; i < opts.schedules; ++i) {
+        Rng rng(opts.seed + i);
+        const std::string tag = std::to_string(i);
+        const std::string store_root =
+            (fs::path(opts.workDir) / ("store-" + tag)).string();
+        const std::string journal =
+            (fs::path(opts.workDir) / ("journal-" + tag + ".jsonl"))
+                .string();
+        fs::remove_all(store_root, ec);
+        fs::remove(journal, ec);
+
+        // 1. Maybe pre-populate via one shard (mix hits and misses).
+        if (rng.chance(0.7)) {
+            dse::SweepOptions shard =
+                sweepOptions(store_root, opts.jobs);
+            shard.shardIndex = 1 + static_cast<unsigned>(rng.below(2));
+            shard.shardCount = 2;
+            dse::runSweep(grid, shard);
+        }
+
+        // 2. Corrupt a random subset of whatever is stored.
+        result.corrupted += corruptStore(store_root, rng);
+
+        // 3. Maybe seed the journal with garbage and a torn tail.
+        bool seeded = rng.chance(0.6);
+        if (seeded) {
+            seedJournal(journal, rng);
+            ++result.resumes;
+        }
+
+        // 4. The full sweep, isolated, with a transient first-attempt
+        //    fault armed and retries to absorb it.
+        dse::SweepOptions final_opts =
+            sweepOptions(store_root, opts.jobs);
+        final_opts.batch.isolate = true;
+        final_opts.batch.retries = 2;
+        final_opts.batch.backoffSec = 0.0;
+        final_opts.batch.journal = journal;
+        final_opts.batch.resume = true;
+        if (rng.chance(0.8)) {
+            sim::FaultSpec fault;
+            fault.kind = rng.chance(0.5) ? sim::FaultKind::Crash
+                                         : sim::FaultKind::Oom;
+            fault.cycle = 1 + rng.below(64);
+            fault.firstAttempts = 1;
+            final_opts.batch.fault = fault;
+            final_opts.batch.faultSpec =
+                std::string(sim::faultKindName(fault.kind)) + "@" +
+                std::to_string(fault.cycle) + ":first=1";
+            ++result.faultsInjected;
+        }
+
+        dse::SweepOutcome out = dse::runSweep(grid, final_opts);
+        ++result.schedules;
+
+        if (!out.error.empty()) {
+            result.failures.push_back("schedule " + tag +
+                                      ": sweep error: " + out.error);
+            continue;
+        }
+        if (out.summary.failed != 0)
+            result.failures.push_back(
+                "schedule " + tag + ": " +
+                std::to_string(out.summary.failed) + " failed point(s)");
+        if (out.doc != ref.doc)
+            result.failures.push_back(
+                "schedule " + tag +
+                ": sweep document differs from the undisturbed "
+                "reference");
+
+        // 5. A corrupted entry must never be servable: a fresh store
+        //    object verifying the directory quarantines exactly the
+        //    damage and keeps the healthy (rewritten) entries.
+        dse::ResultStore store;
+        if (std::string err = store.open(store_root); !err.empty()) {
+            result.failures.push_back("schedule " + tag +
+                                      ": store reopen: " + err);
+            continue;
+        }
+        dse::VerifyReport report = store.verify();
+        if (!report.clean())
+            result.failures.push_back(
+                "schedule " + tag + ": " +
+                std::to_string(report.bad.size()) +
+                " invalid store entr(ies) after the sweep — a corrupt "
+                "entry survived into the final store");
+    }
+    return result;
+}
+
+std::string
+chaosJson(const ChaosResult &result, uint64_t seed)
+{
+    std::string out =
+        "{\"mode\":\"chaos\",\"seed\":" + std::to_string(seed) +
+        ",\"ok\":" + (result.ok() ? "true" : "false") +
+        ",\"schedules\":" + std::to_string(result.schedules) +
+        ",\"faults\":" + std::to_string(result.faultsInjected) +
+        ",\"resumes\":" + std::to_string(result.resumes) +
+        ",\"corrupted\":" + std::to_string(result.corrupted) +
+        ",\"failures\":[";
+    for (size_t i = 0; i < result.failures.size(); ++i) {
+        if (i)
+            out += ',';
+        out += '"' + trace::jsonEscape(result.failures[i]) + '"';
+    }
+    out += "]}";
+    return out;
+}
+
+} // namespace mg::fuzz

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Chaos mode: randomized end-to-end fault schedules over the DSE
+ * service (docs/FUZZING.md).
+ *
+ * Where the oracle (fuzz/oracle.h) fuzzes the *simulator*, chaos mode
+ * fuzzes the *robustness substrate around it*: fault injection
+ * (MG_FAULTS), fork isolation, journal resume, and the
+ * content-addressed result store are composed into randomized
+ * kill/corrupt/retry schedules against one fixed reference sweep.
+ *
+ * Each schedule, from a seed:
+ *
+ *  1. optionally pre-populates the result store with one shard of the
+ *     sweep (so the final pass mixes hits and misses);
+ *  2. corrupts a random subset of store entries (truncation, bit
+ *     flips, appended garbage, emptying — the quarantine signatures);
+ *  3. seeds the journal with garbage lines and a torn tail (the
+ *     power-loss signature the loader must skip);
+ *  4. runs the full sweep isolated, with a transient crash/OOM fault
+ *     armed for each run's first attempt, retries enabled, and
+ *     journal resume on.
+ *
+ * Invariant: whatever the schedule did, the final sweep document must
+ * be byte-identical to the undisturbed reference document, the sweep
+ * must report zero failed points, and a corrupt store entry must
+ * never have been served (byte-identity is the proof; the store's
+ * quarantine counters are cross-checked on top).
+ */
+
+#ifndef MG_FUZZ_CHAOS_H
+#define MG_FUZZ_CHAOS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mg::fuzz
+{
+
+/** Knobs for one chaos campaign. */
+struct ChaosOptions
+{
+    /** Seed for the schedule stream (schedule i uses seed+i). */
+    uint64_t seed = 1;
+
+    /** Randomized schedules to run. */
+    unsigned schedules = 5;
+
+    /**
+     * Scratch directory for stores and journals; created if missing,
+     * reused (and scribbled over) if present.
+     */
+    std::string workDir = "chaos-work";
+
+    /** Worker threads for each sweep (0 = BatchOptions default). */
+    unsigned jobs = 1;
+};
+
+/** Outcome of a chaos campaign. */
+struct ChaosResult
+{
+    /** Fatal setup problem ("" = the campaign ran). */
+    std::string error;
+
+    unsigned schedules = 0;      ///< schedules executed
+    unsigned faultsInjected = 0; ///< schedules that armed a fault
+    unsigned resumes = 0;        ///< schedules that pre-seeded a journal
+    uint64_t corrupted = 0;      ///< store files corrupted in total
+
+    /** One line per violated invariant (empty = all held). */
+    std::vector<std::string> failures;
+
+    bool ok() const { return error.empty() && failures.empty(); }
+};
+
+/** Run a chaos campaign. */
+ChaosResult runChaos(const ChaosOptions &opts);
+
+/** One deterministic JSON summary line for a campaign. */
+std::string chaosJson(const ChaosResult &result, uint64_t seed);
+
+} // namespace mg::fuzz
+
+#endif // MG_FUZZ_CHAOS_H

@@ -1,0 +1,314 @@
+#include "fuzz/generator.h"
+
+#include <array>
+#include <vector>
+
+#include "assembler/assembler.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace mg::fuzz
+{
+
+namespace
+{
+
+// Register discipline (see generator.h): value registers hold the
+// data the program computes on; scratch registers hold masked array
+// indices and guarded divisors; counter registers belong to counted
+// loops and are never written by anything else, which is the whole
+// termination argument.
+constexpr unsigned kFirstValueReg = 1, kLastValueReg = 16;
+constexpr unsigned kFirstScratchReg = 17, kLastScratchReg = 20;
+constexpr unsigned kFirstCounterReg = 21, kLastCounterReg = 24;
+
+constexpr unsigned kNumArrays = 4;
+constexpr unsigned kArrayBytes = 64;
+
+/** Emission state threaded through the segment emitters. */
+struct Gen
+{
+    Rng rng;
+    std::string text;
+    unsigned nextLabel = 0;
+    unsigned nextCounter = kFirstCounterReg;
+
+    explicit Gen(uint64_t seed) : rng(seed ? seed : 1) {}
+
+    unsigned valueReg() { return kFirstValueReg +
+        static_cast<unsigned>(rng.below(kLastValueReg - kFirstValueReg + 1)); }
+    unsigned scratchReg() { return kFirstScratchReg +
+        static_cast<unsigned>(rng.below(kLastScratchReg - kFirstScratchReg + 1)); }
+
+    std::string label() { return "L" + std::to_string(nextLabel++); }
+
+    void
+    emit(const std::string &line)
+    {
+        text += "        ";
+        text += line;
+        text += '\n';
+    }
+
+    void emitLabel(const std::string &l) { text += l + ":\n"; }
+};
+
+std::string
+reg(unsigned r)
+{
+    return "r" + std::to_string(r);
+}
+
+/** One random 2-source ALU op writing `rd`. */
+void
+emitAluOp(Gen &g, unsigned rd, unsigned ra, unsigned rb)
+{
+    // Weighted toward the simple ALU ops the selectors aggregate;
+    // shifts are safe unguarded (the functional model masks the shift
+    // amount), division gets an odd divisor.
+    switch (g.rng.below(12)) {
+    case 0: g.emit("add  " + reg(rd) + ", " + reg(ra) + ", " + reg(rb)); break;
+    case 1: g.emit("sub  " + reg(rd) + ", " + reg(ra) + ", " + reg(rb)); break;
+    case 2: g.emit("and  " + reg(rd) + ", " + reg(ra) + ", " + reg(rb)); break;
+    case 3: g.emit("or   " + reg(rd) + ", " + reg(ra) + ", " + reg(rb)); break;
+    case 4: g.emit("xor  " + reg(rd) + ", " + reg(ra) + ", " + reg(rb)); break;
+    case 5: g.emit("sll  " + reg(rd) + ", " + reg(ra) + ", " + reg(rb)); break;
+    case 6: g.emit("srl  " + reg(rd) + ", " + reg(ra) + ", " + reg(rb)); break;
+    case 7: g.emit("slt  " + reg(rd) + ", " + reg(ra) + ", " + reg(rb)); break;
+    case 8: g.emit("sltu " + reg(rd) + ", " + reg(ra) + ", " + reg(rb)); break;
+    case 9: g.emit("mul  " + reg(rd) + ", " + reg(ra) + ", " + reg(rb)); break;
+    case 10: {
+        unsigned t = g.scratchReg();
+        g.emit("ori  " + reg(t) + ", " + reg(rb) + ", 1");
+        g.emit((g.rng.chance(0.5) ? "div  " : "rem  ") + reg(rd) + ", " +
+               reg(ra) + ", " + reg(t));
+        break;
+    }
+    default:
+        g.emit("addi " + reg(rd) + ", " + reg(ra) + ", " +
+               std::to_string(g.rng.range(-64, 64)));
+        break;
+    }
+}
+
+/**
+ * Long dependence chain: each op consumes the previous result, the
+ * shape that maximizes mini-graph internal serialization.
+ */
+void
+emitDepChain(Gen &g)
+{
+    unsigned acc = g.valueReg();
+    unsigned len = 4 + static_cast<unsigned>(g.rng.below(13));
+    for (unsigned i = 0; i < len; ++i)
+        emitAluOp(g, acc, acc, g.valueReg());
+}
+
+/**
+ * Register-pressure DAG: produce a wave of independent values, then
+ * reduce them pairwise — wide live ranges that stress selection on a
+ * reduced register file.
+ */
+void
+emitPressureDag(Gen &g)
+{
+    unsigned width = 6 + static_cast<unsigned>(g.rng.below(7));
+    std::vector<unsigned> live;
+    for (unsigned i = 0; i < width; ++i) {
+        unsigned rd = g.valueReg();
+        emitAluOp(g, rd, g.valueReg(), g.valueReg());
+        live.push_back(rd);
+    }
+    while (live.size() > 1) {
+        unsigned a = live.back();
+        live.pop_back();
+        unsigned b = live.back();
+        emitAluOp(g, b, b, a);
+    }
+}
+
+/**
+ * Memory traffic with deliberate aliasing: masked indices into one of
+ * the arrays, a store followed by loads that may hit the same slot
+ * (store-to-load forwarding and memory-order speculation fodder).
+ */
+void
+emitMemAlias(Gen &g)
+{
+    unsigned arr = static_cast<unsigned>(g.rng.below(kNumArrays));
+    std::string name = "a" + std::to_string(arr);
+
+    struct Access { const char *load, *store; unsigned mask; };
+    // Mask keeps index + access size inside kArrayBytes, aligned.
+    static constexpr Access kAccess[] = {
+        {"ld", "sd", 0x38}, {"lw", "sw", 0x3c},
+        {"lh", "sh", 0x3e}, {"lb", "sb", 0x3f},
+    };
+    const Access &acc = kAccess[g.rng.below(4)];
+
+    unsigned idx = g.scratchReg();
+    unsigned ops = 2 + static_cast<unsigned>(g.rng.below(4));
+    for (unsigned i = 0; i < ops; ++i) {
+        g.emit("andi " + reg(idx) + ", " + reg(g.valueReg()) + ", " +
+               std::to_string(acc.mask));
+        if (g.rng.chance(0.5)) {
+            g.emit(std::string(acc.store) + "   " + reg(g.valueReg()) +
+                   ", " + name + "(" + reg(idx) + ")");
+        } else {
+            g.emit(std::string(acc.load) + "   " + reg(g.valueReg()) +
+                   ", " + name + "(" + reg(idx) + ")");
+        }
+    }
+}
+
+void emitSegment(Gen &g, bool allowLoop);
+
+/** Forward if/else diamond (or a single skipped arm). */
+void
+emitDiamond(Gen &g)
+{
+    unsigned a = g.valueReg(), b = g.valueReg();
+    std::string join = g.label();
+
+    static constexpr const char *kBranches[] = {"beq", "bne", "blt",
+                                                "bge", "bltu", "bgeu"};
+    const char *br = kBranches[g.rng.below(6)];
+
+    if (g.rng.chance(0.5)) {
+        // if/else: branch to else, then-arm, jump to join.
+        std::string other = g.label();
+        g.emit(std::string(br) + "  " + reg(a) + ", " + reg(b) + ", " +
+               other);
+        emitSegment(g, false);
+        g.emit("j    " + join);
+        g.emitLabel(other);
+        emitSegment(g, false);
+    } else {
+        // if only: branch over the arm.
+        g.emit(std::string(br) + "  " + reg(a) + ", " + reg(b) + ", " +
+               join);
+        emitSegment(g, false);
+    }
+    g.emitLabel(join);
+}
+
+/**
+ * Counted loop: the only backward control flow the generator emits.
+ * The counter register is claimed from the reserved pool for the
+ * loop's whole extent, so no body instruction can clobber it.
+ */
+void
+emitCountedLoop(Gen &g)
+{
+    if (g.nextCounter > kLastCounterReg) {
+        emitDepChain(g); // counter pool exhausted: degrade gracefully
+        return;
+    }
+    unsigned rc = g.nextCounter++;
+    // One level of loop nesting is allowed while a counter register
+    // remains for the inner loop.
+    bool nest = g.rng.chance(0.3) && g.nextCounter <= kLastCounterReg;
+
+    int64_t trips = g.rng.range(1, 6);
+    std::string top = g.label();
+    g.emit("li   " + reg(rc) + ", " + std::to_string(trips));
+    g.emitLabel(top);
+    unsigned body = 1 + static_cast<unsigned>(g.rng.below(3));
+    for (unsigned i = 0; i < body; ++i)
+        emitSegment(g, false);
+    if (nest)
+        emitCountedLoop(g);
+    g.emit("addi " + reg(rc) + ", " + reg(rc) + ", -1");
+    g.emit("bne  " + reg(rc) + ", r0, " + top);
+    // Release our counter; a nested loop released its own on return.
+    --g.nextCounter;
+}
+
+void
+emitSegment(Gen &g, bool allowLoop)
+{
+    switch (g.rng.below(allowLoop ? 5u : 4u)) {
+    case 0: emitDepChain(g); break;
+    case 1: emitPressureDag(g); break;
+    case 2: emitMemAlias(g); break;
+    case 3: emitDiamond(g); break;
+    default: emitCountedLoop(g); break;
+    }
+}
+
+} // namespace
+
+std::string
+fuzzProgramName(uint64_t seed)
+{
+    return "fuzz-" + std::to_string(seed);
+}
+
+std::string
+generateSource(const GeneratorOptions &opts)
+{
+    Gen g(opts.seed);
+    g.text += "; generated by mgsim fuzz, seed " +
+              std::to_string(opts.seed) + "\n";
+    g.text += "        .data\n";
+    for (unsigned a = 0; a < kNumArrays; ++a) {
+        g.text += "a" + std::to_string(a) + ":";
+        if (a == 0) {
+            // One array starts initialized so early loads see data.
+            g.text += "     .word";
+            for (unsigned i = 0; i < kArrayBytes / 4; ++i)
+                g.text += std::string(i ? "," : "") + " " +
+                          std::to_string(g.rng.range(-1000, 1000));
+            g.text += "\n";
+        } else {
+            g.text +=
+                "     .space " + std::to_string(kArrayBytes) + "\n";
+        }
+    }
+    // Final-value spill area for the observability epilogue.
+    g.text += "out:    .space " +
+              std::to_string((kLastValueReg - kFirstValueReg + 1) * 8) +
+              "\n";
+    g.text += "        .text\n";
+    g.text += "main:\n";
+    for (unsigned r = kFirstValueReg; r <= kLastValueReg; ++r)
+        g.emit("li   " + reg(r) + ", " +
+               std::to_string(g.rng.range(-32768, 32767)));
+
+    unsigned segs =
+        opts.minSegments +
+        static_cast<unsigned>(g.rng.below(
+            opts.maxSegments - opts.minSegments + 1));
+    for (unsigned s = 0; s < segs; ++s)
+        emitSegment(g, true);
+
+    // Observability epilogue: spill every value register to the
+    // `out` area so the oracle's memory digest sees each final live
+    // value individually.  Mini-graph packing may legally elide dead
+    // register writes, so the register file is not comparable on
+    // enabled-handle runs — memory is, and this makes memory carry
+    // everything the program computed.
+    for (unsigned r = kFirstValueReg; r <= kLastValueReg; ++r) {
+        g.emit("li   " + reg(kFirstScratchReg) + ", " +
+               std::to_string((r - kFirstValueReg) * 8));
+        g.emit("sd   " + reg(r) + ", out(" + reg(kFirstScratchReg) +
+               ")");
+    }
+    g.emit("halt");
+    return g.text;
+}
+
+GeneratedProgram
+generateProgram(const GeneratorOptions &opts)
+{
+    GeneratedProgram out;
+    out.seed = opts.seed;
+    out.source = generateSource(opts);
+    assembler::AssembleOptions aopts;
+    aopts.name = fuzzProgramName(opts.seed);
+    aopts.memSize = opts.memSize;
+    out.program = assembler::assemble(out.source, aopts);
+    return out;
+}
+
+} // namespace mg::fuzz

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Seeded random MG-RISC program generator for differential fuzzing
+ * (docs/FUZZING.md).
+ *
+ * The generator emits assembly *source*, not decoded instructions, so
+ * every fuzz program flows through the real assembler (two-pass label
+ * resolution, pseudo-op expansion, data-segment layout) exactly like a
+ * hand-written workload — and so a failing program shrinks (and gets
+ * committed as a regression test) as ordinary readable assembly.
+ *
+ * Programs are always-terminating *by construction*, never by
+ * analysis:
+ *
+ *  - the only backward branches are counted loops
+ *    (`li rc, T; ...; addi rc, rc, -1; bne rc, r0, top`) whose
+ *    counter registers come from a reserved set no generated body
+ *    instruction ever writes;
+ *  - every other branch is strictly forward (if/else diamonds);
+ *  - every load/store index is masked (`andi`) into a fixed-size
+ *    `.data` array before use, so no access depends on unconstrained
+ *    values;
+ *  - every DIV/REM divisor is forced odd (`ori rt, rs, 1`), so it is
+ *    never zero.
+ *
+ * Within those guardrails the generator aims at what the mini-graph
+ * selectors care about: long dependence chains, register-pressure
+ * DAGs, store-to-load aliasing through one array, and branchy CFGs —
+ * the shapes that decide serialization and coverage.
+ *
+ * Every program ends with an observability epilogue that spills each
+ * value register to a dedicated `out` array: mini-graph packing may
+ * legally elide *dead* register writes, so the oracle compares
+ * enabled-handle runs on memory, and the epilogue makes memory carry
+ * every final live value.
+ *
+ * Determinism: every random decision flows through one mg::Rng seeded
+ * from GeneratorOptions::seed, so a seed reproduces its program
+ * bit-for-bit on any host.
+ */
+
+#ifndef MG_FUZZ_GENERATOR_H
+#define MG_FUZZ_GENERATOR_H
+
+#include <cstdint>
+#include <string>
+
+#include "assembler/program.h"
+
+namespace mg::fuzz
+{
+
+/** Knobs for one generated program. */
+struct GeneratorOptions
+{
+    /** Seed: same seed, same program, bit for bit. */
+    uint64_t seed = 1;
+
+    /** Top-level code segments (loops count as one). */
+    unsigned minSegments = 4;
+    unsigned maxSegments = 10;
+
+    /**
+     * Flat memory size for the assembled program.  Must clear the
+     * assembler's default 64KB data base plus the arrays and the
+     * stack; 128KB keeps the simulated Memory small.
+     */
+    uint64_t memSize = 1ull << 17;
+};
+
+/** One generated program: the source and its assembled form. */
+struct GeneratedProgram
+{
+    uint64_t seed = 0;
+    std::string source;
+    assembler::Program program;
+};
+
+/** Generate assembly source only (the shrinker re-enters here). */
+std::string generateSource(const GeneratorOptions &opts);
+
+/**
+ * Generate and assemble one program.  Assembly cannot fail: the
+ * generator emits only syntax it knows the assembler accepts (and the
+ * fuzz tests prove that over many seeds).
+ */
+GeneratedProgram generateProgram(const GeneratorOptions &opts);
+
+/** Program name for a seed ("fuzz-<seed>"). */
+std::string fuzzProgramName(uint64_t seed);
+
+} // namespace mg::fuzz
+
+#endif // MG_FUZZ_GENERATOR_H

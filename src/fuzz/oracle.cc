@@ -1,0 +1,444 @@
+#include "fuzz/oracle.h"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <fcntl.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+
+#include "check/mg_lint.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "minigraph/candidate.h"
+#include "minigraph/rewriter.h"
+#include "minigraph/selection.h"
+#include "profile/exec_counts.h"
+#include "profile/slack_profile.h"
+#include "sim/experiment.h"
+#include "trace/stats_json.h"
+#include "uarch/core.h"
+
+namespace mg::fuzz
+{
+
+namespace
+{
+
+/** FNV-1a over the whole data memory, 8 bytes at a time. */
+uint64_t
+memoryDigest(const uarch::Memory &mem)
+{
+    uint64_t h = 14695981039346656037ull;
+    for (uint64_t addr = 0; addr + 8 <= mem.size(); addr += 8) {
+        uint64_t v = mem.read(addr, 8);
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 1099511628211ull;
+        }
+    }
+    return h;
+}
+
+/** What of the final state a comparison is entitled to check. */
+struct CompareParts
+{
+    bool regs = true;  ///< false where dead-write elision is legal
+    bool insts = true; ///< false where synthetic jumps skew the count
+};
+
+/** First difference between two states, or "" if equal. */
+std::string
+diffStates(const ArchState &want, const ArchState &got,
+           CompareParts parts)
+{
+    if (parts.regs) {
+        for (unsigned r = 0; r < 32; ++r) {
+            if (want.regs[r] != got.regs[r])
+                return strprintf("r%u: want %llu, got %llu", r,
+                                 static_cast<unsigned long long>(
+                                     want.regs[r]),
+                                 static_cast<unsigned long long>(
+                                     got.regs[r]));
+        }
+    }
+    if (want.memDigest != got.memDigest)
+        return strprintf("memory digest: want %016llx, got %016llx",
+                         static_cast<unsigned long long>(
+                             want.memDigest),
+                         static_cast<unsigned long long>(
+                             got.memDigest));
+    if (parts.insts && want.instCount != got.instCount)
+        return strprintf("inst count: want %llu, got %llu",
+                         static_cast<unsigned long long>(
+                             want.instCount),
+                         static_cast<unsigned long long>(
+                             got.instCount));
+    return "";
+}
+
+/**
+ * Step a functional core up to `max_steps` without tripping run()'s
+ * internal step-cap assert (nontermination must be a verdict, not a
+ * panic).
+ * @return true if the core halted
+ */
+bool
+boundedRun(uarch::FunctionalCore &core, uint64_t max_steps)
+{
+    for (uint64_t s = 0; !core.halted() && s < max_steps; ++s)
+        core.step();
+    return core.halted();
+}
+
+/**
+ * Functionally execute a (possibly rewritten) binary and compare its
+ * final state against the ground truth.
+ */
+void
+compareFunctional(const assembler::Program &prog,
+                  const isa::MgBinaryInfo *info, bool disable_all,
+                  const ArchState &truth, const std::string &selector,
+                  const char *kind, CompareParts parts,
+                  uint64_t max_steps,
+                  std::vector<OracleFailure> &failures)
+{
+    uarch::FunctionalCore core(prog, info);
+    if (disable_all)
+        core.setDisableQuery([](isa::Addr) { return true; });
+    if (!boundedRun(core, max_steps)) {
+        failures.push_back(
+            {selector, "nontermination",
+             strprintf("functional run (%s) did not halt within "
+                       "%llu steps",
+                       kind,
+                       static_cast<unsigned long long>(max_steps))});
+        return;
+    }
+    if (std::string diff =
+            diffStates(truth, captureState(core), parts);
+        !diff.empty())
+        failures.push_back({selector, kind, diff});
+}
+
+} // namespace
+
+const std::vector<minigraph::SelectorKind> &
+defaultOracleSelectors()
+{
+    using minigraph::SelectorKind;
+    // One selector per family, including the rewritten-code-heavy
+    // Slack-Dynamic (outlined expansion at run time) and the
+    // analyzer-driven Slack-Static the issue calls out.
+    static const std::vector<SelectorKind> kDefault = {
+        SelectorKind::StructAll,    SelectorKind::StructNone,
+        SelectorKind::StructBounded, SelectorKind::SlackProfile,
+        SelectorKind::SlackDynamic,  SelectorKind::SlackStatic,
+    };
+    return kDefault;
+}
+
+uarch::CoreConfig
+defaultOracleConfig()
+{
+    uarch::CoreConfig cfg = uarch::reducedConfig();
+    cfg.checkLevel = uarch::CheckLevel::Full;
+    return cfg;
+}
+
+ArchState
+captureState(const uarch::FunctionalCore &core)
+{
+    ArchState s;
+    for (unsigned r = 0; r < 32; ++r)
+        s.regs[r] = core.reg(r);
+    s.memDigest = memoryDigest(core.memory());
+    s.instCount = core.instCount();
+    return s;
+}
+
+bool
+sabotageOutlinedImmediate(assembler::Program &prog,
+                          const isa::MgBinaryInfo &info)
+{
+    for (isa::Addr pc = 0; pc < prog.code.size(); ++pc) {
+        if (!info.outlinedBodyPcs.count(pc) ||
+            info.outliningJumpPcs.count(pc))
+            continue;
+        const isa::Format f = isa::opInfo(prog.code[pc].op).format;
+        if (f != isa::Format::RRI && f != isa::Format::RI &&
+            f != isa::Format::Load && f != isa::Format::Store)
+            continue;
+        prog.code[pc].imm += 1;
+        return true;
+    }
+    return false;
+}
+
+OracleVerdict
+checkProgram(const assembler::Program &prog, const OracleOptions &opts)
+{
+    OracleVerdict verdict;
+
+    // 1. Ground truth: the original program, functionally executed.
+    uarch::FunctionalCore golden(prog);
+    if (!boundedRun(golden, opts.maxSteps)) {
+        verdict.failures.push_back(
+            {"", "nontermination",
+             strprintf("original program did not halt within %llu "
+                       "steps",
+                       static_cast<unsigned long long>(
+                           opts.maxSteps))});
+        return verdict;
+    }
+    const ArchState truth = captureState(golden);
+    verdict.instCount = truth.instCount;
+
+    // Shared one-run timing checker (baseline and every selector).
+    auto checkTiming = [&](const uarch::CoreConfig &cfg,
+                           const assembler::Program &binary,
+                           const isa::MgBinaryInfo *info,
+                           const std::string &selector) {
+        std::optional<uarch::SimResult> res;
+        try {
+            uarch::Core core(cfg, binary, info);
+            res = core.run();
+            if (!core.architecturalState().halted()) {
+                verdict.failures.push_back(
+                    {selector, "nontermination",
+                     "timing run hit the cycle limit"});
+                return;
+            }
+            // Memory digest only: the timing oracle executes the
+            // rewritten binary (dead-write elision) with dynamic
+            // disables (synthetic jumps), so neither the register
+            // file nor the raw executed-instruction count is
+            // comparable; originalInsts below carries the count check.
+            if (std::string diff = diffStates(
+                    truth, captureState(core.architecturalState()),
+                    {/*regs=*/false, /*insts=*/false});
+                !diff.empty())
+                verdict.failures.push_back(
+                    {selector, "timing-arch", diff});
+        } catch (const CheckError &e) {
+            verdict.failures.push_back({selector, "check", e.what()});
+            return;
+        } catch (const std::exception &e) {
+            verdict.failures.push_back(
+                {selector, "exception", e.what()});
+            return;
+        }
+        if (res->originalInsts != truth.instCount)
+            verdict.failures.push_back(
+                {selector, "inst-count",
+                 strprintf("committed %llu original instructions, "
+                           "ground truth %llu",
+                           static_cast<unsigned long long>(
+                               res->originalInsts),
+                           static_cast<unsigned long long>(
+                               truth.instCount))});
+        if (res->accountedWidth && res->lossSum() != res->lostSlots())
+            verdict.failures.push_back(
+                {selector, "accounting",
+                 strprintf("loss buckets sum to %llu, lost slots %llu",
+                           static_cast<unsigned long long>(
+                               res->lossSum()),
+                           static_cast<unsigned long long>(
+                               res->lostSlots()))});
+    };
+
+    // 2. Baseline timing run (no mini-graphs).
+    checkTiming(opts.config, prog, nullptr, "none");
+
+    // 3. Every selector: select, rewrite, (sabotage,) lint, execute.
+    auto pool = minigraph::enumerateCandidates(prog);
+    auto counts = profile::countExecutions(prog, opts.maxSteps);
+    std::optional<profile::SlackProfileData> prof;
+
+    for (minigraph::SelectorKind kind : opts.selectors) {
+        const std::string selector = minigraph::nameOf(kind);
+        try {
+            const profile::SlackProfileData *p = nullptr;
+            if (minigraph::selectorNeedsProfile(kind)) {
+                if (!prof)
+                    prof = profile::profileProgram(prog, opts.config);
+                p = &*prof;
+            }
+            auto filtered =
+                minigraph::filterPool(pool, kind, prog, p);
+            auto sel = minigraph::selectGreedy(filtered, counts,
+                                               opts.templateBudget);
+            auto rw = minigraph::rewrite(prog, sel.chosen);
+            if (opts.sabotage)
+                opts.sabotage(rw.program, rw.info);
+
+            check::LintReport lint = check::lintRewrite(
+                prog, sel.chosen, rw.program, rw.info);
+            if (!lint.clean())
+                verdict.failures.push_back(
+                    {selector, "lint",
+                     strprintf("%zu finding(s): %s",
+                               lint.findings.size(),
+                               lint.findings.front().message.c_str())});
+
+            // Enabled handles execute template semantics: dead
+            // interior register writes are legally elided, so memory
+            // and instruction count are the comparable state.
+            compareFunctional(rw.program, &rw.info,
+                              /*disable_all=*/false, truth, selector,
+                              "functional-enabled",
+                              {/*regs=*/false, /*insts=*/true},
+                              opts.maxSteps, verdict.failures);
+            // Disabled handles expand to the outlined original
+            // singletons: everything must match (the synthetic
+            // outlining jumps are uncounted by design).
+            compareFunctional(rw.program, &rw.info,
+                              /*disable_all=*/true, truth, selector,
+                              "functional-disabled",
+                              {/*regs=*/true, /*insts=*/true},
+                              opts.maxSteps, verdict.failures);
+
+            checkTiming(sim::configForSelector(opts.config, kind),
+                        rw.program, &rw.info, selector);
+        } catch (const CheckError &e) {
+            verdict.failures.push_back({selector, "check", e.what()});
+        } catch (const std::exception &e) {
+            verdict.failures.push_back(
+                {selector, "exception", e.what()});
+        }
+    }
+    return verdict;
+}
+
+OracleVerdict
+checkProgramIsolated(const assembler::Program &prog,
+                     const OracleOptions &opts)
+{
+    int fds[2];
+    if (pipe(fds) != 0) {
+        OracleVerdict v;
+        v.failures.push_back(
+            {"", "crash",
+             strprintf("pipe() failed: %s", std::strerror(errno))});
+        return v;
+    }
+
+    pid_t pid = fork();
+    if (pid < 0) {
+        close(fds[0]);
+        close(fds[1]);
+        OracleVerdict v;
+        v.failures.push_back(
+            {"", "crash",
+             strprintf("fork() failed: %s", std::strerror(errno))});
+        return v;
+    }
+
+    if (pid == 0) {
+        // Child: verdict out through the pipe, one record per line
+        // ('\x1f' separates fields; newlines in details flattened).
+        // Panic/fatal logs from a doomed candidate are noise — send
+        // them to /dev/null.
+        close(fds[0]);
+        int devnull = open("/dev/null", O_WRONLY);
+        if (devnull >= 0)
+            dup2(devnull, STDERR_FILENO);
+        OracleVerdict v = checkProgram(prog, opts);
+        std::string wire =
+            "insts " + std::to_string(v.instCount) + "\n";
+        for (const OracleFailure &f : v.failures) {
+            std::string detail = f.detail;
+            for (char &c : detail)
+                if (c == '\n' || c == '\x1f')
+                    c = ' ';
+            wire += "fail " + f.selector + "\x1f" + f.kind + "\x1f" +
+                    detail + "\n";
+        }
+        size_t off = 0;
+        while (off < wire.size()) {
+            ssize_t n =
+                write(fds[1], wire.data() + off, wire.size() - off);
+            if (n <= 0)
+                break;
+            off += static_cast<size_t>(n);
+        }
+        close(fds[1]);
+        _exit(0);
+    }
+
+    // Parent: drain, reap, decode.
+    close(fds[1]);
+    std::string wire;
+    char buf[4096];
+    ssize_t n;
+    while ((n = read(fds[0], buf, sizeof buf)) > 0)
+        wire.append(buf, static_cast<size_t>(n));
+    close(fds[0]);
+
+    int status = 0;
+    while (waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+    }
+
+    OracleVerdict verdict;
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+        verdict.failures.push_back(
+            {"", "crash",
+             WIFSIGNALED(status)
+                 ? strprintf("simulator aborted (signal %d)",
+                             WTERMSIG(status))
+                 : strprintf("oracle child exited with status %d",
+                             WIFEXITED(status) ? WEXITSTATUS(status)
+                                               : -1)});
+        return verdict;
+    }
+    size_t pos = 0;
+    while (pos < wire.size()) {
+        size_t nl = wire.find('\n', pos);
+        if (nl == std::string::npos)
+            break;
+        std::string line = wire.substr(pos, nl - pos);
+        pos = nl + 1;
+        if (line.rfind("insts ", 0) == 0) {
+            verdict.instCount = std::strtoull(line.c_str() + 6,
+                                              nullptr, 10);
+        } else if (line.rfind("fail ", 0) == 0) {
+            std::string rest = line.substr(5);
+            size_t a = rest.find('\x1f');
+            size_t b = rest.find('\x1f', a + 1);
+            if (a == std::string::npos || b == std::string::npos)
+                continue;
+            verdict.failures.push_back(
+                {rest.substr(0, a), rest.substr(a + 1, b - a - 1),
+                 rest.substr(b + 1)});
+        }
+    }
+    return verdict;
+}
+
+std::string
+verdictJson(const std::string &program, uint64_t seed,
+            const OracleVerdict &verdict)
+{
+    std::string out = "{\"program\":\"" + trace::jsonEscape(program) +
+                      "\",\"seed\":" + std::to_string(seed) +
+                      ",\"ok\":" + (verdict.ok() ? "true" : "false") +
+                      ",\"insts\":" +
+                      std::to_string(verdict.instCount) +
+                      ",\"failures\":[";
+    for (size_t i = 0; i < verdict.failures.size(); ++i) {
+        const OracleFailure &f = verdict.failures[i];
+        if (i)
+            out += ',';
+        out += "{\"selector\":\"" + trace::jsonEscape(f.selector) +
+               "\",\"kind\":\"" + trace::jsonEscape(f.kind) +
+               "\",\"detail\":\"" + trace::jsonEscape(f.detail) +
+               "\"}";
+    }
+    out += "]}";
+    return out;
+}
+
+} // namespace mg::fuzz

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * The differential architectural oracle (docs/FUZZING.md).
+ *
+ * Ground truth is one uarch::FunctionalCore run of the *original*
+ * program.  Everything else must agree with it:
+ *
+ *  - the rewritten binary, functionally executed with every handle
+ *    *enabled* (template semantics): memory digest and committed
+ *    original-instruction count.  The register file is deliberately
+ *    excluded here — mini-graph packing legally elides *dead*
+ *    interior register writes (a template architecturally writes only
+ *    its single live output), so dead registers may differ; the
+ *    generator spills every value register to memory before halting
+ *    precisely so that all live values still land in the digest;
+ *  - the rewritten binary, functionally executed with every handle
+ *    *disabled* (outlined singleton expansion — the path a
+ *    Slack-Dynamic disable takes at run time): full register file,
+ *    memory digest, and instruction count, since the outlined bodies
+ *    are the original singletons and elide nothing;
+ *  - the timing core under each selector at CheckLevel::Full, whose
+ *    fetch-driving oracle's final state is the committed
+ *    architectural state (Core::architecturalState()): memory digest,
+ *    plus committed-original-instruction-count equality from the
+ *    SimResult.
+ *
+ * On top of the state equalities the oracle asserts the PR-3
+ * loss-bucket accounting identity (sum(buckets) ==
+ * commitWidth*cycles - committedUnits), mg_lint cleanliness of every
+ * rewrite, and that no run raises a CheckError.
+ *
+ * The `sabotage` hook exists to prove the oracle has teeth: tests
+ * plant a miscompile into the freshly rewritten binary (emulating a
+ * rewriter bug without committing one) and require a failure verdict.
+ */
+
+#ifndef MG_FUZZ_ORACLE_H
+#define MG_FUZZ_ORACLE_H
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "assembler/program.h"
+#include "isa/minigraph_types.h"
+#include "minigraph/selectors.h"
+#include "uarch/config.h"
+#include "uarch/functional.h"
+
+namespace mg::fuzz
+{
+
+/** The selectors a fuzz trial runs by default (one per family). */
+const std::vector<minigraph::SelectorKind> &defaultOracleSelectors();
+
+/** reducedConfig() with the invariant audit forced to Full. */
+uarch::CoreConfig defaultOracleConfig();
+
+/** How one program gets checked. */
+struct OracleOptions
+{
+    std::vector<minigraph::SelectorKind> selectors =
+        defaultOracleSelectors();
+
+    /** Machine for every run (checkLevel should stay Full). */
+    uarch::CoreConfig config = defaultOracleConfig();
+
+    uint32_t templateBudget = 512;
+
+    /** Functional-execution step cap (nontermination tripwire). */
+    uint64_t maxSteps = 1ull << 22;
+
+    /**
+     * Test-only miscompile planting: runs on each freshly rewritten
+     * binary before it is linted and executed.
+     */
+    std::function<void(assembler::Program &, isa::MgBinaryInfo &)>
+        sabotage;
+};
+
+/** Final architectural state of one execution. */
+struct ArchState
+{
+    std::array<uint64_t, 32> regs{};
+    uint64_t memDigest = 0; ///< FNV-1a over the whole data memory
+    uint64_t instCount = 0; ///< original-program instructions
+
+    bool operator==(const ArchState &o) const
+    {
+        return regs == o.regs && memDigest == o.memDigest &&
+               instCount == o.instCount;
+    }
+};
+
+/** Capture a halted functional core's architectural state. */
+ArchState captureState(const uarch::FunctionalCore &core);
+
+/** One oracle invariant violation. */
+struct OracleFailure
+{
+    /** Selector registry name ("" = program-level, "none" = baseline). */
+    std::string selector;
+
+    /**
+     * Which invariant: nontermination | lint | functional-enabled |
+     * functional-disabled | timing-arch | inst-count | accounting |
+     * check | exception.
+     */
+    std::string kind;
+
+    std::string detail;
+};
+
+/** Verdict for one program. */
+struct OracleVerdict
+{
+    std::vector<OracleFailure> failures;
+    uint64_t instCount = 0; ///< ground-truth dynamic instructions
+
+    bool ok() const { return failures.empty(); }
+};
+
+/** Run the full differential check on one program, in-process. */
+OracleVerdict checkProgram(const assembler::Program &prog,
+                           const OracleOptions &opts);
+
+/**
+ * checkProgram() in a forked child, so that a simulator abort
+ * (mg_panic / mg_assert — out-of-range pc or memory access, a step
+ * cap, an internal invariant) becomes a verdict with kind "crash"
+ * instead of killing the calling process.  The shrinker depends on
+ * this: deleting lines routinely produces programs that run off the
+ * end or index unmasked addresses, and those candidates must be
+ * *rejected*, not fatal.  The child's stderr is discarded (panic and
+ * fatal logs from doomed candidates are noise).
+ */
+OracleVerdict checkProgramIsolated(const assembler::Program &prog,
+                                   const OracleOptions &opts);
+
+/**
+ * One deterministic JSON line for a trial:
+ * {"program":...,"seed":N,"ok":true,"insts":N,"failures":[...]}.
+ */
+std::string verdictJson(const std::string &program, uint64_t seed,
+                        const OracleVerdict &verdict);
+
+/**
+ * The planted-miscompile sabotage used by tests and docs: bump the
+ * immediate of the first outlined-body instruction that has one.
+ * Enabled handles still execute correct template semantics, so only
+ * the disabled/outlined path — and the linter's faithfulness check —
+ * can catch it, exactly like a real outlining bug in the rewriter.
+ * No-op (and reports false) if the binary has no such instruction.
+ */
+bool sabotageOutlinedImmediate(assembler::Program &prog,
+                               const isa::MgBinaryInfo &info);
+
+} // namespace mg::fuzz
+
+#endif // MG_FUZZ_ORACLE_H

@@ -1,0 +1,159 @@
+#include "fuzz/shrink.h"
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "assembler/assembler.h"
+
+namespace mg::fuzz
+{
+
+namespace
+{
+
+std::vector<std::string>
+splitLines(const std::string &text)
+{
+    std::vector<std::string> lines;
+    size_t start = 0;
+    while (start <= text.size()) {
+        size_t nl = text.find('\n', start);
+        if (nl == std::string::npos) {
+            if (start < text.size())
+                lines.push_back(text.substr(start));
+            break;
+        }
+        lines.push_back(text.substr(start, nl - start));
+        start = nl + 1;
+    }
+    return lines;
+}
+
+std::string
+joinLines(const std::vector<std::string> &lines)
+{
+    std::string out;
+    for (const std::string &l : lines) {
+        out += l;
+        out += '\n';
+    }
+    return out;
+}
+
+/** Assemble a candidate; nullopt if the slice no longer assembles. */
+std::optional<assembler::Program>
+tryAssemble(const std::vector<std::string> &lines,
+            const ShrinkOptions &opts)
+{
+    assembler::AssembleOptions aopts;
+    aopts.name = opts.name;
+    aopts.memSize = opts.memSize;
+    try {
+        return assembler::assemble(joinLines(lines), aopts);
+    } catch (const std::exception &) {
+        // Removing a label a branch still targets, the .text
+        // directive, etc.  ddmin treats it as "does not reproduce".
+        return std::nullopt;
+    }
+}
+
+} // namespace
+
+ShrinkResult
+shrink(const std::string &source, const ShrinkOptions &opts)
+{
+    ShrinkResult result;
+    result.source = source;
+
+    // Candidate predicate: assembles AND fails the oracle with a
+    // *differential* failure (selector non-empty).  The oracle runs
+    // in a forked child (checkProgramIsolated) because deleting lines
+    // routinely yields programs that abort the simulator — run off
+    // the end, unmasked addresses, lost loop decrements — and those
+    // are rejected as degenerate rather than chased: a "crash" or
+    // program-level verdict means the *candidate* is broken, not that
+    // it still reproduces the original divergence.
+    std::vector<std::string> best = splitLines(source);
+    auto fails = [&](const std::vector<std::string> &lines,
+                     OracleVerdict &verdict_out,
+                     uint64_t &insts_out) {
+        ++result.trials;
+        std::optional<assembler::Program> prog =
+            tryAssemble(lines, opts);
+        if (!prog)
+            return false;
+        OracleVerdict v = checkProgramIsolated(*prog, opts.oracle);
+        bool differential = false;
+        for (const OracleFailure &f : v.failures)
+            differential |= !f.selector.empty();
+        if (!differential)
+            return false;
+        verdict_out = v;
+        insts_out = prog->size();
+        return true;
+    };
+
+    if (!fails(best, result.verdict, result.instructions))
+        return result; // does not reproduce: hand the input back
+    result.reproduced = true;
+
+    // ddmin: try removing chunks at granularity n, restarting at the
+    // coarsest level after every successful removal; finish when no
+    // single line can be removed.
+    size_t n = 2;
+    while (best.size() >= 2) {
+        bool removed = false;
+        size_t chunk = (best.size() + n - 1) / n;
+        for (size_t start = 0; start < best.size(); start += chunk) {
+            std::vector<std::string> candidate;
+            candidate.reserve(best.size());
+            for (size_t i = 0; i < best.size(); ++i)
+                if (i < start || i >= start + chunk)
+                    candidate.push_back(best[i]);
+            if (candidate.empty())
+                continue;
+            OracleVerdict v;
+            uint64_t insts = 0;
+            if (fails(candidate, v, insts)) {
+                best = std::move(candidate);
+                result.verdict = std::move(v);
+                result.instructions = insts;
+                removed = true;
+                break;
+            }
+        }
+        if (removed) {
+            n = 2; // restart coarse on the smaller program
+        } else if (chunk > 1) {
+            n = std::min(n * 2, best.size()); // refine
+        } else {
+            break; // 1-line granularity, nothing removable
+        }
+    }
+
+    result.source = joinLines(best);
+    return result;
+}
+
+std::string
+reproSource(const ShrinkResult &result, uint64_t seed)
+{
+    std::string out = "; mgfuzz repro, seed " + std::to_string(seed) +
+                      "\n";
+    if (!result.verdict.failures.empty()) {
+        const OracleFailure &f = result.verdict.failures.front();
+        out += "; failure: kind=" + f.kind +
+               (f.selector.empty() ? std::string()
+                                   : " selector=" + f.selector) +
+               "\n";
+        out += ";   " + f.detail + "\n";
+    }
+    out += "; " + std::to_string(result.instructions) +
+           " instructions after " + std::to_string(result.trials) +
+           " shrink trials\n";
+    out += result.source;
+    return out;
+}
+
+} // namespace mg::fuzz

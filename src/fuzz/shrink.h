@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Automatic shrinking of failing fuzz programs (docs/FUZZING.md).
+ *
+ * Delta debugging (ddmin) over assembly source *lines*: repeatedly try
+ * removing chunks of lines, keeping any removal after which the
+ * program still (a) assembles and (b) fails the differential oracle.
+ * The result is a local minimum — removing any single remaining line
+ * either breaks assembly or makes the failure disappear — rendered as
+ * ready-to-commit assembly with the failure recorded in header
+ * comments.
+ *
+ * The predicate is "fails differentially for any reason", not "fails
+ * identically": pinning the exact failure makes shrinking brittle (a
+ * smaller program often trips the *same bug* through a different
+ * selector or bucket), and any differentially failing program is
+ * worth a repro.  Program-level breakage — the candidate itself
+ * crashes or never halts — is rejected, so line deletion cannot walk
+ * away from the bug toward a trivially broken program.  Candidates
+ * execute in a forked child (fuzz::checkProgramIsolated), so even
+ * aborting candidates are survivable.
+ */
+
+#ifndef MG_FUZZ_SHRINK_H
+#define MG_FUZZ_SHRINK_H
+
+#include <cstdint>
+#include <string>
+
+#include "fuzz/oracle.h"
+
+namespace mg::fuzz
+{
+
+/** Knobs for one shrink run. */
+struct ShrinkOptions
+{
+    /** Oracle the predicate re-runs (match the failing trial's). */
+    OracleOptions oracle;
+
+    /** Program name used when re-assembling candidates. */
+    std::string name = "shrink";
+
+    /** memSize for re-assembly (match the generator's). */
+    uint64_t memSize = 1ull << 17;
+};
+
+/** Outcome of shrinking one failing program. */
+struct ShrinkResult
+{
+    /** Minimized source, or the input verbatim if it never failed. */
+    std::string source;
+
+    /** Instruction count of the minimized assembled program. */
+    uint64_t instructions = 0;
+
+    /** Oracle verdict of the minimized program. */
+    OracleVerdict verdict;
+
+    /** Candidate programs evaluated (assemble + oracle attempts). */
+    uint64_t trials = 0;
+
+    /** True if the input failed the oracle (shrinking happened). */
+    bool reproduced = false;
+};
+
+/**
+ * Shrink a failing program to a minimal failing repro.  If `source`
+ * does not fail the oracle at all, returns it unchanged with
+ * reproduced=false.
+ */
+ShrinkResult shrink(const std::string &source,
+                    const ShrinkOptions &opts);
+
+/**
+ * Render a shrunk repro as a committable .s file: header comments
+ * naming the seed and the first oracle failure, then the minimized
+ * source.
+ */
+std::string reproSource(const ShrinkResult &result, uint64_t seed);
+
+} // namespace mg::fuzz
+
+#endif // MG_FUZZ_SHRINK_H

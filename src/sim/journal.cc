@@ -5,6 +5,8 @@
 #include <fstream>
 #include <sstream>
 
+#include <unistd.h>
+
 #include "trace/stats_parse.h"
 
 namespace mg::sim::journal
@@ -128,10 +130,19 @@ Writer::append(const std::string &key, const std::string &stats_json)
     std::fputc('\t', file);
     std::fputs(stats_json.c_str(), file);
     std::fputc('\n', file);
-    // Flush to the OS: data buffered in the kernel survives SIGKILL
-    // of this process (an fsync would also survive host power loss,
-    // but costs too much per run for what the journal protects).
+    // fflush hands the entry to the kernel (survives SIGKILL of this
+    // process); fsync makes it durable on the device before append()
+    // returns.  The per-entry fsync is what makes the loader's
+    // truncation handling sound after a power-loss-style kill: with
+    // ordered appends, a torn entry can only ever be the *final*
+    // line — there is no window where entry N is a hole on disk while
+    // a later complete entry N+1 already is, which --resume would
+    // misread as "N never ran" even though its result was reported.
+    // One fsync per completed simulation (milliseconds of work at
+    // minimum) is noise; batches that cannot afford it can simply not
+    // pass --journal.
     std::fflush(file);
+    ::fsync(fileno(file));
 }
 
 } // namespace mg::sim::journal

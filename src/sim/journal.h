@@ -91,8 +91,11 @@ class Writer
     bool isOpen() const { return file != nullptr; }
 
     /**
-     * Append one completed run and flush to the OS, so entries
-     * survive a SIGKILL of this process.  Thread-safe.
+     * Append one completed run, flush, and fsync, so entries survive
+     * both a SIGKILL of this process and a host power loss — and so a
+     * torn entry can only ever be the journal's final line (the
+     * loader's truncated-tail recovery depends on that ordering).
+     * Thread-safe.
      */
     void append(const std::string &key, const std::string &stats_json);
 

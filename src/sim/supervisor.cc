@@ -158,6 +158,7 @@ struct ChildOutput
 {
     std::string result; ///< result-pipe bytes
     std::string tail;   ///< stdout/stderr tail
+    size_t errBytes = 0; ///< total stdout/stderr bytes the child wrote
     bool timedOut = false;
 };
 
@@ -218,8 +219,13 @@ drainChild(pid_t pid, int result_fd, int err_fd,
                                        ? out.result
                                        : out.tail;
                 dst.append(buf, static_cast<size_t>(got));
-                if (fds[i].fd == err_fd)
+                if (fds[i].fd == err_fd) {
+                    // Trim per read, not once at EOF: a worker that
+                    // spews stderr forever must never grow the
+                    // parent's buffer past the cap.
+                    out.errBytes += static_cast<size_t>(got);
                     trimToTail(out.tail, opts.stderrTailBytes);
+                }
             } else if (got == 0 ||
                        (got < 0 && errno != EINTR && errno != EAGAIN)) {
                 if (fds[i].fd == result_fd)
@@ -229,6 +235,12 @@ drainChild(pid_t pid, int result_fd, int err_fd,
             }
         }
     }
+    // A truncated tail gets an explicit marker so an error report
+    // never silently presents the tail as the whole output.
+    if (out.errBytes > out.tail.size())
+        out.tail.insert(
+            0, strprintf("[stderr tail: last %zu of %zu bytes]\n",
+                         out.tail.size(), out.errBytes));
     return out;
 }
 

@@ -40,7 +40,12 @@ struct SupervisorOptions
     /** Watchdog timeout in seconds; 0 = no watchdog. */
     double timeoutSec = 0.0;
 
-    /** Bytes of child stderr kept for the error report. */
+    /**
+     * Bytes of child stderr kept for the error report.  The parent's
+     * buffer never grows past this cap regardless of how much the
+     * child writes; a truncated tail is prefixed with an explicit
+     * "[stderr tail: last N of M bytes]" marker.
+     */
     size_t stderrTailBytes = 4096;
 };
 

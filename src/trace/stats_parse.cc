@@ -1,5 +1,7 @@
 #include "trace/stats_parse.h"
 
+#include <cerrno>
+#include <cstdint>
 #include <cstdlib>
 #include <map>
 #include <memory>
@@ -323,7 +325,22 @@ class Extract
         const JsonValue *v = obj.find(key);
         if (!v || v->kind != JsonValue::Kind::Number)
             return fail(std::string("missing counter '") + key + "'");
-        out = std::strtoull(v->text.c_str(), nullptr, 10);
+        // Counters are non-negative integers; the tokenizer already
+        // rejects NaN/Infinity as syntax errors, but "-5", "1.5" and
+        // "1e3" are valid JSON numbers that strtoull would quietly
+        // mangle (wrap, truncate, stop at the dot), as would a value
+        // past 2^64 (ERANGE saturation).  All of those are corrupt
+        // input for a counter field, not data.
+        const std::string &t = v->text;
+        if (t.find_first_of("-.eE") != std::string::npos)
+            return fail(std::string("counter '") + key +
+                        "' is not a non-negative integer");
+        errno = 0;
+        char *end = nullptr;
+        out = std::strtoull(t.c_str(), &end, 10);
+        if (errno == ERANGE || end != t.c_str() + t.size())
+            return fail(std::string("counter '") + key +
+                        "' out of uint64 range");
         return true;
     }
 
@@ -333,6 +350,9 @@ class Extract
         uint64_t v = 0;
         if (!u64(obj, key, v))
             return false;
+        if (v > UINT32_MAX)
+            return fail(std::string("counter '") + key +
+                        "' out of uint32 range");
         out = static_cast<uint32_t>(v);
         return true;
     }

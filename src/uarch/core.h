@@ -94,6 +94,16 @@ class Core
     /** Run the program to completion and return the results. */
     SimResult run();
 
+    /**
+     * The functional oracle that drove fetch.  After run() its
+     * architectural state (registers, memory, instruction count) *is*
+     * the committed final state of the program — the timing model
+     * never advances it down a wrong path — so the differential
+     * fuzzing oracle (fuzz/oracle.h) compares it against an
+     * independent functional run of the original binary.
+     */
+    const FunctionalCore &architecturalState() const { return oracle; }
+
   private:
     friend class mg::check::InvariantAuditor;
     friend struct CoreTestAccess;

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Chaos mode's contract (src/fuzz/chaos.h): randomized
+ * kill/corrupt/resume schedules over the DSE service leave the final
+ * sweep document byte-identical to the undisturbed reference, with
+ * zero failed points and no corrupt store entry served.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "fuzz/chaos.h"
+
+namespace mg::fuzz
+{
+namespace
+{
+
+TEST(FuzzChaos, SchedulesPreserveSweepByteIdentity)
+{
+    ChaosOptions opts;
+    opts.seed = 11;
+    opts.schedules = 3;
+    opts.jobs = 2;
+    opts.workDir = (std::filesystem::path(::testing::TempDir()) /
+                    "mg-chaos-test")
+                       .string();
+    std::filesystem::remove_all(opts.workDir);
+
+    ChaosResult result = runChaos(opts);
+    EXPECT_EQ(result.error, "");
+    EXPECT_EQ(result.schedules, 3u);
+    for (const std::string &f : result.failures)
+        ADD_FAILURE() << f;
+    EXPECT_TRUE(result.ok());
+
+    // Same seed, same campaign: the summary JSON is deterministic.
+    std::filesystem::remove_all(opts.workDir);
+    ChaosResult again = runChaos(opts);
+    EXPECT_EQ(chaosJson(result, opts.seed),
+              chaosJson(again, opts.seed));
+
+    std::filesystem::remove_all(opts.workDir);
+}
+
+TEST(FuzzChaos, JsonShapeIsStable)
+{
+    ChaosResult result;
+    result.schedules = 2;
+    result.faultsInjected = 1;
+    result.resumes = 1;
+    result.corrupted = 3;
+    EXPECT_EQ(chaosJson(result, 9),
+              "{\"mode\":\"chaos\",\"seed\":9,\"ok\":true,"
+              "\"schedules\":2,\"faults\":1,\"resumes\":1,"
+              "\"corrupted\":3,\"failures\":[]}");
+
+    result.failures.push_back("schedule 0: doc \"diff\"");
+    EXPECT_EQ(chaosJson(result, 9),
+              "{\"mode\":\"chaos\",\"seed\":9,\"ok\":false,"
+              "\"schedules\":2,\"faults\":1,\"resumes\":1,"
+              "\"corrupted\":3,\"failures\":[\"schedule 0: doc "
+              "\\\"diff\\\"\"]}");
+}
+
+} // namespace
+} // namespace mg::fuzz

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * The differential oracle's contract (src/fuzz/oracle.h): clean
+ * verdicts across many seeds and every default selector, a planted
+ * miscompile always caught, deterministic verdict JSON, and crash
+ * containment in the isolated flavour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.h"
+#include "fuzz/generator.h"
+#include "fuzz/oracle.h"
+
+namespace mg::fuzz
+{
+namespace
+{
+
+OracleOptions
+fastOracle()
+{
+    // StructAll alone keeps per-seed cost low where the full default
+    // selector set isn't the point of the test.
+    OracleOptions opts;
+    opts.selectors = {minigraph::SelectorKind::StructAll};
+    return opts;
+}
+
+TEST(FuzzOracle, CleanVerdictsAcrossSeedsAllSelectors)
+{
+    for (uint64_t seed = 1; seed <= 8; ++seed) {
+        GeneratorOptions gopts;
+        gopts.seed = seed;
+        GeneratedProgram gen = generateProgram(gopts);
+        OracleVerdict verdict = checkProgram(gen.program, {});
+        EXPECT_TRUE(verdict.ok())
+            << "seed " << seed << ": "
+            << verdictJson(gen.program.name, seed, verdict);
+        EXPECT_GT(verdict.instCount, 0u);
+    }
+}
+
+TEST(FuzzOracle, VerdictJsonIsDeterministic)
+{
+    GeneratorOptions gopts;
+    gopts.seed = 5;
+    GeneratedProgram gen = generateProgram(gopts);
+    std::string a = verdictJson(gen.program.name, 5,
+                                checkProgram(gen.program, {}));
+    std::string b = verdictJson(gen.program.name, 5,
+                                checkProgram(gen.program, {}));
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a.find("\"ok\":true"), std::string::npos);
+}
+
+TEST(FuzzOracle, PlantedMiscompileIsCaught)
+{
+    // Emulate a rewriter outlining bug: bump an immediate in an
+    // outlined body.  Enabled handles still execute correct template
+    // semantics, so the disabled/outlined path and the linter carry
+    // the detection — exactly the surface a real outlining bug hits.
+    unsigned planted = 0, caught = 0;
+    for (uint64_t seed = 1; seed <= 8; ++seed) {
+        GeneratorOptions gopts;
+        gopts.seed = seed;
+        GeneratedProgram gen = generateProgram(gopts);
+
+        bool applied = false;
+        OracleOptions opts = fastOracle();
+        opts.sabotage = [&applied](assembler::Program &p,
+                                   isa::MgBinaryInfo &info) {
+            applied |= sabotageOutlinedImmediate(p, info);
+        };
+        OracleVerdict verdict = checkProgram(gen.program, opts);
+        if (!applied)
+            continue; // nothing outlined with an immediate: no plant
+        ++planted;
+        if (!verdict.ok())
+            ++caught;
+    }
+    ASSERT_GT(planted, 0u)
+        << "no seed produced an outlined immediate to sabotage";
+    EXPECT_EQ(caught, planted)
+        << "a planted miscompile escaped the oracle";
+}
+
+TEST(FuzzOracle, SabotageReportsFalseWithoutTarget)
+{
+    // A program with no mini-graphs has no outlined body to damage.
+    assembler::Program prog =
+        assembler::assemble("        .text\n"
+                            "main:\n"
+                            "        halt\n");
+    isa::MgBinaryInfo info;
+    EXPECT_FALSE(sabotageOutlinedImmediate(prog, info));
+}
+
+TEST(FuzzOracle, NonterminationIsAVerdictNotAPanic)
+{
+    assembler::Program prog =
+        assembler::assemble("        .text\n"
+                            "main:\n"
+                            "loop:   addi r1, r1, 1\n"
+                            "        j    loop\n");
+    OracleOptions opts = fastOracle();
+    opts.maxSteps = 1000;
+    OracleVerdict verdict = checkProgram(prog, opts);
+    ASSERT_FALSE(verdict.ok());
+    EXPECT_EQ(verdict.failures.front().kind, "nontermination");
+    EXPECT_EQ(verdict.failures.front().selector, "");
+}
+
+TEST(FuzzOracle, IsolatedTurnsSimulatorAbortIntoCrashVerdict)
+{
+    // Falling off the end of the code segment trips an mg_assert
+    // (abort).  In-process that would kill the test runner; isolated
+    // it must come back as a "crash" failure.
+    assembler::Program prog =
+        assembler::assemble("        .text\n"
+                            "main:\n"
+                            "        addi r1, r1, 1\n");
+    OracleVerdict verdict = checkProgramIsolated(prog, fastOracle());
+    ASSERT_FALSE(verdict.ok());
+    EXPECT_EQ(verdict.failures.front().kind, "crash");
+}
+
+TEST(FuzzOracle, IsolatedMatchesInProcessOnCleanPrograms)
+{
+    GeneratorOptions gopts;
+    gopts.seed = 4;
+    GeneratedProgram gen = generateProgram(gopts);
+    OracleOptions opts = fastOracle();
+    OracleVerdict in_process = checkProgram(gen.program, opts);
+    OracleVerdict isolated = checkProgramIsolated(gen.program, opts);
+    EXPECT_EQ(verdictJson(gen.program.name, 4, in_process),
+              verdictJson(gen.program.name, 4, isolated));
+}
+
+} // namespace
+} // namespace mg::fuzz

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The ddmin shrinker's contract (src/fuzz/shrink.h): a planted
+ * miscompile shrinks to a minimal, still-failing, ready-to-commit
+ * repro; non-failing input is returned untouched; degenerate
+ * candidates (crash / nontermination) are never chased.
+ */
+
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.h"
+#include "fuzz/generator.h"
+#include "fuzz/shrink.h"
+
+namespace mg::fuzz
+{
+namespace
+{
+
+/** Oracle that plants the outlined-immediate miscompile. */
+OracleOptions
+sabotagedOracle()
+{
+    OracleOptions opts;
+    opts.selectors = {minigraph::SelectorKind::StructAll};
+    opts.sabotage = [](assembler::Program &p,
+                       isa::MgBinaryInfo &info) {
+        sabotageOutlinedImmediate(p, info);
+    };
+    return opts;
+}
+
+/** First generated program the sabotaged oracle fails on. */
+std::string
+failingSource()
+{
+    for (uint64_t seed = 1; seed <= 16; ++seed) {
+        GeneratorOptions gopts;
+        gopts.seed = seed;
+        GeneratedProgram gen = generateProgram(gopts);
+        if (!checkProgram(gen.program, sabotagedOracle()).ok())
+            return gen.source;
+    }
+    ADD_FAILURE() << "no seed in 1..16 trips the planted miscompile";
+    return "";
+}
+
+TEST(FuzzShrink, PlantedMiscompileShrinksToSmallRepro)
+{
+    std::string source = failingSource();
+    ASSERT_FALSE(source.empty());
+
+    ShrinkOptions opts;
+    opts.oracle = sabotagedOracle();
+    ShrinkResult result = shrink(source, opts);
+
+    ASSERT_TRUE(result.reproduced);
+    EXPECT_FALSE(result.verdict.ok());
+    EXPECT_GT(result.trials, 1u);
+    // The acceptance bar: a planted rewriter miscompile reduces to a
+    // handful of instructions, not a page of program.
+    EXPECT_LE(result.instructions, 20u)
+        << "shrunk repro still has " << result.instructions
+        << " instructions:\n"
+        << result.source;
+    EXPECT_LT(result.source.size(), source.size());
+
+    // The minimized source must itself still assemble and fail.
+    assembler::AssembleOptions aopts;
+    aopts.name = "repro";
+    aopts.memSize = opts.memSize;
+    assembler::Program prog =
+        assembler::assemble(result.source, aopts);
+    EXPECT_FALSE(checkProgram(prog, opts.oracle).ok());
+}
+
+TEST(FuzzShrink, CleanProgramDoesNotReproduce)
+{
+    GeneratorOptions gopts;
+    gopts.seed = 2;
+    GeneratedProgram gen = generateProgram(gopts);
+
+    ShrinkOptions opts;
+    opts.oracle.selectors = {minigraph::SelectorKind::StructAll};
+    ShrinkResult result = shrink(gen.source, opts);
+    EXPECT_FALSE(result.reproduced);
+    EXPECT_EQ(result.source, gen.source);
+    EXPECT_EQ(result.trials, 1u);
+}
+
+TEST(FuzzShrink, ReproSourceCarriesFailureHeader)
+{
+    std::string source = failingSource();
+    ASSERT_FALSE(source.empty());
+    ShrinkOptions opts;
+    opts.oracle = sabotagedOracle();
+    ShrinkResult result = shrink(source, opts);
+    ASSERT_TRUE(result.reproduced);
+
+    std::string repro = reproSource(result, 42);
+    EXPECT_NE(repro.find("mgfuzz repro, seed 42"), std::string::npos);
+    EXPECT_NE(repro.find("failure: kind="), std::string::npos);
+    EXPECT_NE(repro.find(result.source), std::string::npos);
+}
+
+} // namespace
+} // namespace mg::fuzz

@@ -227,6 +227,58 @@ TEST(JournalTest, GarbageBytesAreDroppedOthersSurvive)
     std::remove(path.c_str());
 }
 
+TEST(JournalTest, AppendIsDurableBeforeReturning)
+{
+    // append() fsyncs each entry: an observer reading the file after
+    // append() returns — with the writer still open, as a resuming
+    // process after a SIGKILL effectively is — must see the entry.
+    auto [req, line] = realEntry();
+    std::string path = tmpPath("durable");
+    std::remove(path.c_str());
+
+    Writer w;
+    ASSERT_EQ(w.open(path), "");
+    w.append(runKey(req), line);
+    // No close, no flush by the test: append alone must suffice.
+    LoadResult loaded = load(path);
+    ASSERT_EQ(loaded.entries.size(), 1u);
+    EXPECT_EQ(loaded.dropped, 0u);
+    EXPECT_EQ(loaded.entries[runKey(req)], line);
+    std::remove(path.c_str());
+}
+
+TEST(JournalTest, TornTailFollowedByValidLineDropsBoth)
+{
+    // The failure mode per-entry fsync exists to rule out: a torn
+    // entry with bytes of a *later* complete entry after it.  Ordered
+    // durable appends make this impossible in a real journal (a torn
+    // entry can only be the final line), but the loader must still
+    // handle the bytes defensively: the torn fragment glues onto the
+    // next line, the garbled result is dropped, and no entry is
+    // misattributed — earlier and later well-formed lines survive.
+    auto [req, line] = realEntry();
+    std::string path = tmpPath("torn_then_valid");
+    std::remove(path.c_str());
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "a\t" << line << "\n";
+        out << "torn\t" << line.substr(0, line.size() / 2); // no '\n'
+        out << "b\t" << line << "\n"; // glued onto the torn fragment
+        out << "c\t" << line << "\n";
+    }
+    LoadResult loaded = load(path);
+    EXPECT_EQ(loaded.entries.size(), 2u);
+    EXPECT_EQ(loaded.dropped, 1u);
+    EXPECT_EQ(loaded.entries.count("a"), 1u);
+    EXPECT_EQ(loaded.entries.count("torn"), 0u)
+        << "a torn entry must never be replayed";
+    EXPECT_EQ(loaded.entries.count("b"), 0u)
+        << "an entry glued onto a torn tail must never be replayed";
+    EXPECT_EQ(loaded.entries.count("c"), 1u);
+    EXPECT_FALSE(loaded.warning.empty());
+    std::remove(path.c_str());
+}
+
 TEST(JournalTest, ErrorRecordsAreNotReplayable)
 {
     // Only successful runs may be replayed: an error record in the

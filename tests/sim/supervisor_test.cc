@@ -188,6 +188,64 @@ TEST(SupervisorTest, ChildStderrIsCapturedInTail)
         << r.err.stderrTail;
 }
 
+TEST(SupervisorTest, UnboundedStderrSpewIsTrimmedToTail)
+{
+    // A worker that floods stderr must never grow the parent's
+    // capture buffer past the configured cap: the tail is trimmed per
+    // read, and a truncation marker makes the cut explicit.
+    RunRequest req = request("crc32.0", "reduced");
+    req.auditHook = [](uarch::Core &) {
+        static bool once = false;
+        if (!once) {
+            once = true;
+            // ~4MB of stderr, three orders of magnitude over the cap.
+            for (int i = 0; i < 65536; ++i)
+                std::fprintf(stderr,
+                             "spew line %06d padding-padding-padding-"
+                             "padding-padding\n",
+                             i);
+            std::fprintf(stderr, "final-marker-after-the-flood\n");
+            std::abort();
+        }
+    };
+    SupervisorOptions opts;
+    opts.stderrTailBytes = 4096;
+    RunResult r = runIsolated(req, opts);
+    ASSERT_FALSE(r.ok);
+    EXPECT_EQ(r.err.cls, ErrorClass::Crash);
+
+    // Tail = cap + the explicit truncation marker line, nothing more.
+    EXPECT_LE(r.err.stderrTail.size(), 4096u + 128u)
+        << "tail size " << r.err.stderrTail.size();
+    EXPECT_EQ(r.err.stderrTail.find("[stderr tail: last "), 0u)
+        << r.err.stderrTail.substr(0, 120);
+    // The *end* of the spew is what survives.
+    EXPECT_NE(r.err.stderrTail.find("final-marker-after-the-flood"),
+              std::string::npos);
+    EXPECT_EQ(r.err.stderrTail.find("spew line 000000"),
+              std::string::npos)
+        << "the head of the flood should have been trimmed away";
+}
+
+TEST(SupervisorTest, SmallStderrHasNoTruncationMarker)
+{
+    RunRequest req = request("crc32.0", "reduced");
+    req.auditHook = [](uarch::Core &) {
+        static bool once = false;
+        if (!once) {
+            once = true;
+            std::fprintf(stderr, "tiny\n");
+            std::abort();
+        }
+    };
+    RunResult r = runIsolated(req, {});
+    ASSERT_FALSE(r.ok);
+    EXPECT_NE(r.err.stderrTail.find("tiny"), std::string::npos);
+    EXPECT_EQ(r.err.stderrTail.find("[stderr tail:"),
+              std::string::npos)
+        << "unclipped output must not claim truncation";
+}
+
 // ---------------------------------------------------------------
 // The fault matrix through a full batch
 // ---------------------------------------------------------------

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * RingQueue (src/uarch/ring_queue.h) edge cases: wrap-around at
+ * exactly the capacity, growth while the head is mid-buffer, FIFO
+ * order across repeated fill/drain cycles spanning the power-of-two
+ * boundary, and push_front wrapping below index zero.
+ */
+
+#include <gtest/gtest.h>
+
+#include "uarch/ring_queue.h"
+
+namespace mg::uarch
+{
+namespace
+{
+
+TEST(RingQueue, FillToExactlyInitialCapacityThenDrain)
+{
+    RingQueue<int> q;
+    for (int i = 0; i < 16; ++i) // kInitialCapacity, no growth yet
+        q.push_back(int(i));
+    ASSERT_EQ(q.size(), 16u);
+    for (int i = 0; i < 16; ++i) {
+        EXPECT_EQ(q.front(), i);
+        q.pop_front();
+    }
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(RingQueue, FillDrainFillAcrossPowerOfTwoBoundary)
+{
+    // Leave the head mid-buffer, then push enough that the tail wraps
+    // past the capacity boundary and the queue must grow with wrapped
+    // contents.
+    RingQueue<int> q;
+    for (int i = 0; i < 16; ++i)
+        q.push_back(int(i));
+    for (int i = 0; i < 10; ++i)
+        q.pop_front(); // head = 10, count = 6
+
+    for (int i = 16; i < 40; ++i) // wraps, then grows (16 -> 32 -> 64)
+        q.push_back(int(i));
+    ASSERT_EQ(q.size(), 30u);
+    for (int i = 10; i < 40; ++i) {
+        EXPECT_EQ(q.front(), i) << "FIFO order broken at " << i;
+        q.pop_front();
+    }
+    EXPECT_TRUE(q.empty());
+
+    // The queue stays usable after the growth cycle.
+    q.push_back(99);
+    EXPECT_EQ(q.front(), 99);
+}
+
+TEST(RingQueue, GrowAtExactlyCapacityWithWrappedHead)
+{
+    RingQueue<int> q;
+    for (int i = 0; i < 16; ++i)
+        q.push_back(int(i));
+    for (int i = 0; i < 15; ++i)
+        q.pop_front(); // head = 15 (last slot), count = 1
+
+    for (int i = 16; i < 31; ++i)
+        q.push_back(int(i)); // count back to 16 with head mid-buffer
+    ASSERT_EQ(q.size(), 16u);
+    q.push_back(31); // the push at exactly capacity forces grow()
+
+    ASSERT_EQ(q.size(), 17u);
+    for (int i = 15; i <= 31; ++i) {
+        EXPECT_EQ(q.front(), i);
+        q.pop_front();
+    }
+}
+
+TEST(RingQueue, IndexOperatorFollowsWrappedHead)
+{
+    RingQueue<int> q;
+    for (int i = 0; i < 16; ++i)
+        q.push_back(int(i));
+    for (int i = 0; i < 12; ++i)
+        q.pop_front();
+    for (int i = 16; i < 24; ++i)
+        q.push_back(int(i)); // physically wrapped
+    for (size_t i = 0; i < q.size(); ++i)
+        EXPECT_EQ(q[i], static_cast<int>(12 + i));
+}
+
+TEST(RingQueue, PushFrontWrapsBelowZero)
+{
+    RingQueue<int> q;
+    q.push_back(1); // head = 0: push_front must wrap to slot 15
+    q.push_front(0);
+    ASSERT_EQ(q.size(), 2u);
+    EXPECT_EQ(q[0], 0);
+    EXPECT_EQ(q[1], 1);
+
+    // push_front at exactly capacity grows first.
+    RingQueue<int> full;
+    for (int i = 1; i <= 16; ++i)
+        full.push_back(int(i));
+    full.push_front(0);
+    ASSERT_EQ(full.size(), 17u);
+    for (int i = 0; i <= 16; ++i) {
+        EXPECT_EQ(full.front(), i);
+        full.pop_front();
+    }
+}
+
+TEST(RingQueue, EmplaceBackResetsRecycledSlot)
+{
+    RingQueue<int> q;
+    for (int i = 0; i < 16; ++i)
+        q.push_back(int(i + 100));
+    for (int i = 0; i < 16; ++i)
+        q.pop_front();
+    // The recycled slot held 100..115; emplace_back must hand back a
+    // default-initialized element, not stale contents.
+    EXPECT_EQ(q.emplace_back(), 0);
+}
+
+TEST(RingQueue, ClearThenReuse)
+{
+    RingQueue<int> q;
+    for (int i = 0; i < 20; ++i)
+        q.push_back(int(i));
+    q.clear();
+    EXPECT_TRUE(q.empty());
+    q.push_back(7);
+    EXPECT_EQ(q.front(), 7);
+    EXPECT_EQ(q.size(), 1u);
+}
+
+} // namespace
+} // namespace mg::uarch

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Nightly/local fuzzing soak (docs/FUZZING.md).
+#
+# Runs consecutive fixed-seed blocks of `mgsim fuzz` (so any failure
+# names the exact command that reproduces it), plus one chaos campaign
+# per block, stopping at the first failure and keeping its shrunk
+# repro under the repro directory.  Unlike the CI smoke, this runs
+# until the block budget (or you) stops it.
+#
+# Usage: tools/fuzz_nightly.sh [path/to/mgsim] [blocks] [trials-per-block]
+#   MG_FUZZ_REPRO_DIR  where repros land      (default: fuzz-repros)
+#   MG_FUZZ_START_SEED first seed of block 0  (default: 1)
+
+set -euo pipefail
+
+MGSIM=${1:-build/tools/mgsim}
+BLOCKS=${2:-20}
+TRIALS=${3:-500}
+REPRO_DIR=${MG_FUZZ_REPRO_DIR:-fuzz-repros}
+START=${MG_FUZZ_START_SEED:-1}
+
+if [ ! -x "$MGSIM" ]; then
+    echo "fuzz_nightly: no mgsim at '$MGSIM'" >&2
+    exit 2
+fi
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+for ((b = 0; b < BLOCKS; ++b)); do
+    seed=$((START + b * TRIALS))
+    echo "== block $b: mgsim fuzz --seed $seed --count $TRIALS =="
+    if ! "$MGSIM" fuzz --seed "$seed" --count "$TRIALS" \
+        --repro-dir "$REPRO_DIR" > "$WORK/block.json"; then
+        echo "fuzz_nightly: FAIL in block $b" >&2
+        echo "  repros: $REPRO_DIR/" >&2
+        echo "  reproduce: $MGSIM fuzz --seed $seed --count $TRIALS" >&2
+        grep '"ok":false' "$WORK/block.json" >&2 || true
+        exit 1
+    fi
+
+    echo "== block $b: chaos campaign (seed $seed) =="
+    if ! "$MGSIM" fuzz --chaos --seed "$seed" --schedules 10 \
+        --work-dir "$WORK/chaos" --jobs 2 > "$WORK/chaos.json"; then
+        echo "fuzz_nightly: FAIL — chaos campaign, seed $seed" >&2
+        cat "$WORK/chaos.json" >&2
+        echo "  reproduce: $MGSIM fuzz --chaos --seed $seed" \
+            "--schedules 10" >&2
+        exit 1
+    fi
+    rm -rf "$WORK/chaos"
+done
+
+echo "fuzz_nightly: PASS — $BLOCKS block(s) × $TRIALS trial(s) clean"

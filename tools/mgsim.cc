@@ -79,6 +79,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -89,6 +90,10 @@
 #include "cli.h"
 #include "dse/result_store.h"
 #include "dse/sweep.h"
+#include "fuzz/chaos.h"
+#include "fuzz/generator.h"
+#include "fuzz/oracle.h"
+#include "fuzz/shrink.h"
 #include "common/stats_util.h"
 #include "common/string_util.h"
 #include "minigraph/rewriter.h"
@@ -151,6 +156,14 @@ usage()
         "  mgsim analyze <prog.s|workload|all> [--json]\n"
         "  mgsim lint <prog.s|workload|all> [--config NAME]\n"
         "             [--selector NAME|all] [--budget N] [--json]\n"
+        "  mgsim fuzz [--seed N] [--count M] [--config NAME]\n"
+        "             [--selectors A,B,...] [--budget N] "
+        "[--no-shrink]\n"
+        "             [--repro-dir DIR] | fuzz --chaos [--seed N]\n"
+        "             [--schedules M] [--work-dir DIR] [--jobs N]\n"
+        "  mgsim shrink <repro.s> [--config NAME] [--selectors "
+        "A,B,...]\n"
+        "             [--budget N] [--out FILE]\n"
         "  mgsim disasm <prog.s|workload>\n"
         "  mgsim profile <prog.s|workload> [--config NAME]\n"
         "  mgsim workloads\n"
@@ -1106,6 +1119,196 @@ cmdLint(const cli::Args &args)
     return 0;
 }
 
+/**
+ * Resolve the oracle options shared by `mgsim fuzz` and
+ * `mgsim shrink`: --config and a comma-separated --selectors list.
+ * @return false on a usage error (complaint already printed).
+ */
+bool
+oracleOptionsFromArgs(const cli::Args &args, const std::string &cmd,
+                      fuzz::OracleOptions &opts)
+{
+    const std::string config = args.get("--config", "reduced");
+    auto machine = uarch::configFromName(config);
+    if (!machine) {
+        std::fprintf(stderr, "unknown config '%s'\n", config.c_str());
+        return false;
+    }
+    opts.config = *machine;
+    opts.config.checkLevel = uarch::CheckLevel::Full;
+
+    int64_t budget = opts.templateBudget;
+    if (!cli::getInt(args, cmd, "--budget", 1, UINT32_MAX, budget))
+        return false;
+    opts.templateBudget = static_cast<uint32_t>(budget);
+
+    if (args.has("--selectors")) {
+        opts.selectors.clear();
+        std::stringstream ss(args.get("--selectors"));
+        std::string name;
+        while (std::getline(ss, name, ',')) {
+            auto kind = minigraph::selectorFromName(name);
+            if (!kind) {
+                std::fprintf(stderr, "unknown selector '%s'\n",
+                             name.c_str());
+                return false;
+            }
+            opts.selectors.push_back(*kind);
+        }
+        if (opts.selectors.empty()) {
+            std::fprintf(stderr,
+                         "mgsim %s: --selectors: want a "
+                         "comma-separated selector list\n",
+                         cmd.c_str());
+            return false;
+        }
+    }
+    return true;
+}
+
+/**
+ * `mgsim fuzz`: differential fuzzing (docs/FUZZING.md).  Default
+ * mode generates --count programs from consecutive seeds and runs
+ * each through the architectural oracle, printing one JSON verdict
+ * line per trial; failures are shrunk to ready-to-commit repros
+ * under --repro-dir unless --no-shrink.  --chaos instead runs
+ * randomized kill/corrupt/resume schedules against the DSE service.
+ */
+int
+cmdFuzz(const cli::Args &args)
+{
+    int64_t seed = 1, count = 100;
+    if (!cli::getInt(args, "fuzz", "--seed", 0, INT64_MAX, seed) ||
+        !cli::getPositive(args, "fuzz", "--count", count))
+        return 2;
+
+    if (args.has("--chaos")) {
+        fuzz::ChaosOptions copts;
+        copts.seed = static_cast<uint64_t>(seed);
+        int64_t schedules = 20;
+        if (!cli::getPositive(args, "fuzz", "--schedules", schedules))
+            return 2;
+        copts.schedules = static_cast<unsigned>(schedules);
+        copts.workDir = args.get("--work-dir", copts.workDir);
+        copts.jobs = args.batch.jobs;
+        fuzz::ChaosResult res = fuzz::runChaos(copts);
+        if (!res.error.empty()) {
+            std::fprintf(stderr, "mgsim fuzz: %s\n", res.error.c_str());
+            return 1;
+        }
+        std::printf("%s\n", fuzz::chaosJson(res, copts.seed).c_str());
+        std::fprintf(stderr,
+                     "chaos: %u schedules, %u faulted, %u resumed, "
+                     "%llu files corrupted, %zu invariant "
+                     "violation(s)\n",
+                     res.schedules, res.faultsInjected, res.resumes,
+                     static_cast<unsigned long long>(res.corrupted),
+                     res.failures.size());
+        for (const std::string &f : res.failures)
+            std::fprintf(stderr, "chaos: FAIL: %s\n", f.c_str());
+        return res.ok() ? 0 : 1;
+    }
+
+    fuzz::OracleOptions oracle;
+    if (!oracleOptionsFromArgs(args, "fuzz", oracle))
+        return 2;
+    const bool do_shrink = !args.has("--no-shrink");
+    const std::string repro_dir =
+        args.get("--repro-dir", "fuzz-repros");
+
+    unsigned failures = 0;
+    for (int64_t i = 0; i < count; ++i) {
+        const uint64_t s = static_cast<uint64_t>(seed + i);
+        fuzz::GeneratorOptions gopts;
+        gopts.seed = s;
+        fuzz::GeneratedProgram gen = fuzz::generateProgram(gopts);
+        fuzz::OracleVerdict verdict =
+            fuzz::checkProgramIsolated(gen.program, oracle);
+        std::printf("%s\n",
+                    fuzz::verdictJson(gen.program.name, s, verdict)
+                        .c_str());
+        std::fflush(stdout);
+        if (verdict.ok())
+            continue;
+        ++failures;
+        if (!do_shrink)
+            continue;
+        fuzz::ShrinkOptions sopts;
+        sopts.oracle = oracle;
+        sopts.name = gen.program.name;
+        sopts.memSize = gopts.memSize;
+        fuzz::ShrinkResult shrunk = fuzz::shrink(gen.source, sopts);
+        std::error_code ec;
+        std::filesystem::create_directories(repro_dir, ec);
+        const std::string path =
+            (std::filesystem::path(repro_dir) /
+             (gen.program.name + ".s"))
+                .string();
+        std::ofstream f(path, std::ios::binary);
+        f << fuzz::reproSource(shrunk, s);
+        std::fprintf(stderr,
+                     "fuzz: seed %llu FAILED (%s/%s), repro: %s "
+                     "(%llu insts, %llu trials)\n",
+                     static_cast<unsigned long long>(s),
+                     verdict.failures.front().selector.c_str(),
+                     verdict.failures.front().kind.c_str(),
+                     path.c_str(),
+                     static_cast<unsigned long long>(
+                         shrunk.instructions),
+                     static_cast<unsigned long long>(shrunk.trials));
+    }
+    std::fprintf(stderr, "fuzz: %lld trial(s), %u failure(s)\n",
+                 static_cast<long long>(count), failures);
+    return failures ? 1 : 0;
+}
+
+/**
+ * `mgsim shrink`: re-shrink a failing program (typically a repro a
+ * soak run produced with different oracle options, or a hand-edited
+ * candidate).  Exits 1 if the input does not fail the oracle.
+ */
+int
+cmdShrink(const cli::Args &args)
+{
+    const std::string &in_path = args.positional[0];
+    std::ifstream in(in_path);
+    if (!in) {
+        std::fprintf(stderr, "cannot open '%s'\n", in_path.c_str());
+        return 2;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+
+    fuzz::ShrinkOptions sopts;
+    if (!oracleOptionsFromArgs(args, "shrink", sopts.oracle))
+        return 2;
+
+    fuzz::ShrinkResult shrunk = fuzz::shrink(ss.str(), sopts);
+    if (!shrunk.reproduced) {
+        std::fprintf(stderr,
+                     "mgsim shrink: %s does not fail the oracle "
+                     "(nothing to shrink)\n",
+                     in_path.c_str());
+        return 1;
+    }
+    const std::string out_path =
+        args.get("--out", in_path + ".min.s");
+    std::ofstream f(out_path, std::ios::binary);
+    f << fuzz::reproSource(shrunk, 0);
+    if (!f) {
+        std::fprintf(stderr, "cannot write '%s'\n", out_path.c_str());
+        return 1;
+    }
+    std::fprintf(stderr,
+                 "shrink: %s -> %s (%llu insts, %llu trials, first "
+                 "failure: %s)\n",
+                 in_path.c_str(), out_path.c_str(),
+                 static_cast<unsigned long long>(shrunk.instructions),
+                 static_cast<unsigned long long>(shrunk.trials),
+                 shrunk.verdict.failures.front().kind.c_str());
+    return 0;
+}
+
 /** The accepted argument surface of each subcommand. */
 cli::Command
 commandSpec(const std::string &cmd)
@@ -1161,6 +1364,19 @@ commandSpec(const std::string &cmd)
     } else if (cmd == "analyze") {
         c.batchFlags = {"--json"};
         c.minPositional = 1;
+    } else if (cmd == "fuzz") {
+        c.own = {{"--seed", true},      {"--count", true},
+                 {"--chaos", false},    {"--config", true},
+                 {"--selectors", true}, {"--budget", true},
+                 {"--no-shrink", false}, {"--repro-dir", true},
+                 {"--schedules", true}, {"--work-dir", true}};
+        c.batchFlags = {"--jobs"};
+    } else if (cmd == "shrink") {
+        c.own = {{"--config", true},
+                 {"--selectors", true},
+                 {"--budget", true},
+                 {"--out", true}};
+        c.minPositional = 1;
     } else if (cmd == "candidates" || cmd == "disasm" ||
                cmd == "profile") {
         if (cmd == "profile")
@@ -1206,7 +1422,8 @@ main(int argc, char **argv)
                        cmd == "trace" || cmd == "perf" ||
                        cmd == "candidates" || cmd == "analyze" ||
                        cmd == "lint" || cmd == "disasm" ||
-                       cmd == "profile";
+                       cmd == "profile" || cmd == "fuzz" ||
+                       cmd == "shrink";
     if (!known)
         return usage();
 
@@ -1233,6 +1450,10 @@ main(int argc, char **argv)
             return cmdAnalyze(args);
         if (cmd == "lint")
             return cmdLint(args);
+        if (cmd == "fuzz")
+            return cmdFuzz(args);
+        if (cmd == "shrink")
+            return cmdShrink(args);
         if (cmd == "disasm") {
             auto prog = loadProgram(args.positional[0]);
             if (!prog)
