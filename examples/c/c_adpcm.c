@@ -1,0 +1,72 @@
+// c_adpcm: IMA ADPCM encode of a centered random sample stream --
+// branchy quantization with table-driven step adaptation and signed
+// predictor clamping.
+unsigned SEED = 1;
+unsigned N = 600;
+unsigned result = 0;
+unsigned rs = 0;
+
+int STEPTBL[89] = {
+    7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31,
+    34, 37, 41, 45, 50, 55, 60, 66, 73, 80, 88, 97, 107, 118, 130, 143,
+    157, 173, 190, 209, 230, 253, 279, 307, 337, 371, 408, 449, 494, 544,
+    598, 658, 724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707,
+    1878, 2066, 2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871,
+    5358, 5894, 6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635,
+    13899, 15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767};
+int IDXTBL[8] = {-1, -1, -1, -1, 2, 4, 6, 8};
+
+unsigned rnd() {
+    rs = rs * 6364136223846793005 + 1442695040888963407;
+    return (rs >> 33) & 0xffff;
+}
+
+int main() {
+    int pred = 0;
+    int index = 0;
+    unsigned chk = 0;
+    unsigned i;
+    rs = SEED;
+    for (i = 0; i < N; i = i + 1) {
+        int sample = rnd() - 32768;
+        int step = STEPTBL[index];
+        int diff = sample - pred;
+        int sign = 0;
+        if (diff < 0) {
+            sign = 8;
+            diff = -diff;
+        }
+        int delta = 0;
+        int vpdiff = step >> 3;
+        if (diff >= step) {
+            delta = 4;
+            diff = diff - step;
+            vpdiff = vpdiff + step;
+        }
+        if (diff >= (step >> 1)) {
+            delta = delta | 2;
+            diff = diff - (step >> 1);
+            vpdiff = vpdiff + (step >> 1);
+        }
+        if (diff >= (step >> 2)) {
+            delta = delta | 1;
+            vpdiff = vpdiff + (step >> 2);
+        }
+        if (sign)
+            pred = pred - vpdiff;
+        else
+            pred = pred + vpdiff;
+        if (pred > 32767)
+            pred = 32767;
+        if (pred < -32768)
+            pred = -32768;
+        index = index + IDXTBL[delta];
+        if (index < 0)
+            index = 0;
+        if (index > 88)
+            index = 88;
+        chk = (chk * 33 + (delta | sign)) & 4294967295;
+    }
+    result = (chk ^ (pred & 65535) ^ (index * 65536)) & 4294967295;
+    return 0;
+}

@@ -1,0 +1,28 @@
+// c_bitcount: Kernighan popcount over 32-bit LCG words, weighted by
+// position so element order matters in the checksum.
+unsigned SEED = 1;
+unsigned N = 400;
+unsigned result = 0;
+unsigned rs = 0;
+
+unsigned rnd() {
+    rs = rs * 6364136223846793005 + 1442695040888963407;
+    return (rs >> 33) & 0xffff;
+}
+
+int main() {
+    unsigned acc = 0;
+    unsigned i;
+    rs = SEED;
+    for (i = 0; i < N; i = i + 1) {
+        unsigned v = rnd() | (rnd() << 16);
+        unsigned c = 0;
+        while (v) {
+            v = v & (v - 1);
+            c = c + 1;
+        }
+        acc = acc + c * (i + 1);
+    }
+    result = acc & 4294967295;
+    return 0;
+}

@@ -1,0 +1,54 @@
+// c_dijkstra: single-source shortest paths on a dense random 16-node
+// graph, run from N different sources; checksums the distance vectors.
+unsigned SEED = 1;
+unsigned N = 8;
+unsigned result = 0;
+unsigned rs = 0;
+
+unsigned G[256];
+unsigned DIST[16];
+unsigned DONE[16];
+
+unsigned rnd() {
+    rs = rs * 6364136223846793005 + 1442695040888963407;
+    return (rs >> 33) & 0xffff;
+}
+
+int main() {
+    unsigned i;
+    unsigned j;
+    unsigned src;
+    unsigned chk = 0;
+    rs = SEED;
+    for (i = 0; i < 256; i = i + 1)
+        G[i] = (rnd() & 63) + 1;
+    for (src = 0; src < N; src = src + 1) {
+        for (i = 0; i < 16; i = i + 1) {
+            DIST[i] = 1000000;
+            DONE[i] = 0;
+        }
+        DIST[src & 15] = 0;
+        unsigned it;
+        for (it = 0; it < 16; it = it + 1) {
+            unsigned best = 1000001;
+            int bi = -1;
+            for (i = 0; i < 16; i = i + 1)
+                if (!DONE[i] && DIST[i] < best) {
+                    best = DIST[i];
+                    bi = i;
+                }
+            if (bi < 0)
+                break;
+            DONE[bi] = 1;
+            for (j = 0; j < 16; j = j + 1) {
+                unsigned nd = DIST[bi] + G[bi * 16 + j];
+                if (nd < DIST[j])
+                    DIST[j] = nd;
+            }
+        }
+        for (i = 0; i < 16; i = i + 1)
+            chk = (chk * 31 + DIST[i]) & 4294967295;
+    }
+    result = chk;
+    return 0;
+}

@@ -1,0 +1,31 @@
+// c_fir: 16-tap FIR filter over an LCG sample stream with a
+// multiply-fold checksum of the filtered output.
+unsigned SEED = 1;
+unsigned N = 160;
+unsigned result = 0;
+unsigned rs = 0;
+
+unsigned TAPS[16] = {3, 7, 11, 5, 2, 13, 8, 1, 6, 9, 4, 12, 10, 15, 14, 3};
+unsigned X[256];
+
+unsigned rnd() {
+    rs = rs * 6364136223846793005 + 1442695040888963407;
+    return (rs >> 33) & 0xffff;
+}
+
+int main() {
+    unsigned i;
+    unsigned t;
+    unsigned chk = 2166136261;
+    rs = SEED;
+    for (i = 0; i < N; i = i + 1)
+        X[i] = rnd();
+    for (i = 16; i < N; i = i + 1) {
+        unsigned acc = 0;
+        for (t = 0; t < 16; t = t + 1)
+            acc = acc + TAPS[t] * X[i - t];
+        chk = ((chk ^ (acc & 4294967295)) * 16777619) & 4294967295;
+    }
+    result = chk;
+    return 0;
+}

@@ -1,0 +1,29 @@
+// c_histogram: 64-bin histogram of an LCG stream with a secondary
+// xor-weighted accumulation, folded into one checksum.
+unsigned SEED = 1;
+unsigned N = 1500;
+unsigned result = 0;
+unsigned rs = 0;
+
+unsigned H[64];
+unsigned W[64];
+
+unsigned rnd() {
+    rs = rs * 6364136223846793005 + 1442695040888963407;
+    return (rs >> 33) & 0xffff;
+}
+
+int main() {
+    unsigned i;
+    rs = SEED;
+    for (i = 0; i < N; i = i + 1) {
+        unsigned v = rnd();
+        H[v & 63] = H[v & 63] + 1;
+        W[(v >> 5) & 63] = W[(v >> 5) & 63] ^ (v & 255);
+    }
+    unsigned chk = 0;
+    for (i = 0; i < 64; i = i + 1)
+        chk = (chk * 31 + H[i] * 7 + W[i]) & 4294967295;
+    result = chk;
+    return 0;
+}

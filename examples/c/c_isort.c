@@ -1,0 +1,35 @@
+// c_isort: insertion sort of random keys (signed comparisons via a
+// short-circuit guard), checksummed with an FNV-style fold over the
+// sorted order.
+unsigned SEED = 1;
+unsigned N = 96;
+unsigned result = 0;
+unsigned rs = 0;
+
+unsigned A[160];
+
+unsigned rnd() {
+    rs = rs * 6364136223846793005 + 1442695040888963407;
+    return (rs >> 33) & 0xffff;
+}
+
+int main() {
+    unsigned i;
+    rs = SEED;
+    for (i = 0; i < N; i = i + 1)
+        A[i] = rnd();
+    for (i = 1; i < N; i = i + 1) {
+        unsigned v = A[i];
+        int j = i - 1;
+        while (j >= 0 && A[j] > v) {
+            A[j + 1] = A[j];
+            j = j - 1;
+        }
+        A[j + 1] = v;
+    }
+    unsigned chk = 2166136261;
+    for (i = 0; i < N; i = i + 1)
+        chk = ((chk ^ A[i]) * 16777619) & 4294967295;
+    result = chk;
+    return 0;
+}

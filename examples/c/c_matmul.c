@@ -1,0 +1,44 @@
+// c_matmul: chained 12x12 matrix products -- each round multiplies the
+// running product by a fresh random matrix, masking entries back to 16
+// bits so values stay bounded across rounds.
+unsigned SEED = 1;
+unsigned N = 3;
+unsigned result = 0;
+unsigned rs = 0;
+
+unsigned MA[144];
+unsigned MB[144];
+unsigned MC[144];
+
+unsigned rnd() {
+    rs = rs * 6364136223846793005 + 1442695040888963407;
+    return (rs >> 33) & 0xffff;
+}
+
+int main() {
+    unsigned i;
+    unsigned j;
+    unsigned k;
+    unsigned r;
+    rs = SEED;
+    for (i = 0; i < 144; i = i + 1)
+        MA[i] = rnd() & 255;
+    for (r = 0; r < N; r = r + 1) {
+        for (i = 0; i < 144; i = i + 1)
+            MB[i] = rnd() & 255;
+        for (i = 0; i < 12; i = i + 1)
+            for (j = 0; j < 12; j = j + 1) {
+                unsigned acc = 0;
+                for (k = 0; k < 12; k = k + 1)
+                    acc = acc + MA[i * 12 + k] * MB[k * 12 + j];
+                MC[i * 12 + j] = acc & 65535;
+            }
+        for (i = 0; i < 144; i = i + 1)
+            MA[i] = MC[i];
+    }
+    unsigned chk = 0;
+    for (i = 0; i < 144; i = i + 1)
+        chk = (chk * 131 + MA[i]) & 4294967295;
+    result = chk;
+    return 0;
+}

@@ -1,0 +1,77 @@
+// c_sha: SHA-1-style compression rounds over random message blocks --
+// 32-bit rotate-mix arithmetic emulated on 64-bit registers via a
+// helper function with two scalar arguments.
+unsigned SEED = 1;
+unsigned N = 4;
+unsigned result = 0;
+unsigned rs = 0;
+
+unsigned W[16];
+
+unsigned rnd() {
+    rs = rs * 6364136223846793005 + 1442695040888963407;
+    return (rs >> 33) & 0xffff;
+}
+
+unsigned rotl(unsigned x, unsigned c) {
+    return ((x << c) | ((x & 4294967295) >> (32 - c))) & 4294967295;
+}
+
+int main() {
+    unsigned h0 = 0x67452301;
+    unsigned h1 = 0xefcdab89;
+    unsigned h2 = 0x98badcfe;
+    unsigned h3 = 0x10325476;
+    unsigned h4 = 0xc3d2e1f0;
+    unsigned blk;
+    unsigned t;
+    rs = SEED;
+    for (blk = 0; blk < N; blk = blk + 1) {
+        for (t = 0; t < 16; t = t + 1)
+            W[t] = rnd() | (rnd() << 16);
+        unsigned a = h0;
+        unsigned b = h1;
+        unsigned c = h2;
+        unsigned d = h3;
+        unsigned e = h4;
+        for (t = 0; t < 80; t = t + 1) {
+            unsigned wv;
+            if (t < 16) {
+                wv = W[t];
+            } else {
+                wv = rotl(W[(t - 3) & 15] ^ W[(t - 8) & 15] ^
+                              W[(t - 14) & 15] ^ W[t & 15],
+                          1);
+                W[t & 15] = wv;
+            }
+            unsigned f;
+            unsigned k;
+            if (t < 20) {
+                f = (b & c) | ((~b) & d);
+                k = 0x5a827999;
+            } else if (t < 40) {
+                f = b ^ c ^ d;
+                k = 0x6ed9eba1;
+            } else if (t < 60) {
+                f = (b & c) | (b & d) | (c & d);
+                k = 0x8f1bbcdc;
+            } else {
+                f = b ^ c ^ d;
+                k = 0xca62c1d6;
+            }
+            unsigned tmp = (rotl(a, 5) + f + e + k + wv) & 4294967295;
+            e = d;
+            d = c;
+            c = rotl(b, 30);
+            b = a;
+            a = tmp;
+        }
+        h0 = (h0 + a) & 4294967295;
+        h1 = (h1 + b) & 4294967295;
+        h2 = (h2 + c) & 4294967295;
+        h3 = (h3 + d) & 4294967295;
+        h4 = (h4 + e) & 4294967295;
+    }
+    result = (h0 ^ h1 ^ h2 ^ h3 ^ h4) & 4294967295;
+    return 0;
+}

@@ -1,0 +1,47 @@
+// c_strsearch: naive substring search of 8 random 4-symbol patterns
+// over a 4-letter-alphabet random text; counts matches and folds the
+// match positions and pattern bytes into the checksum.
+unsigned SEED = 1;
+unsigned N = 384;
+unsigned result = 0;
+unsigned rs = 0;
+
+unsigned TXT[512];
+unsigned PAT[4];
+
+unsigned rnd() {
+    rs = rs * 6364136223846793005 + 1442695040888963407;
+    return (rs >> 33) & 0xffff;
+}
+
+int main() {
+    unsigned i;
+    unsigned p;
+    unsigned chk = 0;
+    rs = SEED;
+    for (i = 0; i < N; i = i + 1)
+        TXT[i] = rnd() & 3;
+    for (p = 0; p < 8; p = p + 1) {
+        unsigned k;
+        for (k = 0; k < 4; k = k + 1)
+            PAT[k] = rnd() & 3;
+        unsigned hits = 0;
+        for (i = 0; i + 4 <= N; i = i + 1) {
+            unsigned ok = 1;
+            for (k = 0; k < 4; k = k + 1)
+                if (TXT[i + k] != PAT[k]) {
+                    ok = 0;
+                    break;
+                }
+            if (ok) {
+                hits = hits + 1;
+                chk = (chk ^ (i * 2654435761)) & 4294967295;
+            }
+        }
+        chk = ((chk * 33 + hits) ^
+               (PAT[0] + PAT[1] * 4 + PAT[2] * 16 + PAT[3] * 64)) &
+              4294967295;
+    }
+    result = chk;
+    return 0;
+}

@@ -225,6 +225,7 @@ class Assembler
             else
                 prog.dataLabels[pl.name] = prog.dataBase + doff;
         }
+        codeSlots = pc;
         prog.code.reserve(pc);
         prog.dataInit.resize(doff, 0);
         if (prog.dataBase + doff > prog.memSize)
@@ -393,8 +394,25 @@ class Assembler
                            : st.mnemonic == ".half"  ? 2
                            : st.mnemonic == ".word"  ? 4
                                                      : 8;
-            for (const auto &a : st.args)
-                poke(static_cast<uint64_t>(resolveValue(st, a)), bytes);
+            for (const auto &a : st.args) {
+                int64_t v = resolveValue(st, a);
+                // Accept anything representable at this width, signed
+                // or unsigned; silently truncating a wide value would
+                // corrupt the data image.
+                if (bytes < 8) {
+                    int64_t lo = -(1ll << (8 * bytes - 1));
+                    int64_t hi = (1ll << (8 * bytes)) - 1;
+                    if (v < lo || v > hi)
+                        err(st.line,
+                            "value %lld does not fit in '%s' "
+                            "(range %lld..%lld)",
+                            static_cast<long long>(v),
+                            st.mnemonic.c_str(),
+                            static_cast<long long>(lo),
+                            static_cast<long long>(hi));
+                }
+                poke(static_cast<uint64_t>(v), bytes);
+            }
         } else if (st.mnemonic == ".space") {
             int64_t n = 0;
             parseInt(st.args[0], n);
@@ -526,11 +544,43 @@ class Assembler
           case Format::Handle:
             err(st.line, "mghandle cannot be written in assembly source");
         }
+        validate(st, inst, info);
         prog.code.push_back(inst);
+    }
+
+    /**
+     * Encode-time range checks.  Without these a bad shift count is
+     * silently masked by the ALU and a dangling branch target only
+     * traps (or wanders into data) at run time; a stable line-tagged
+     * diagnostic here is worth much more than either.
+     */
+    void
+    validate(const Statement &st, const Instruction &inst,
+             const isa::OpInfo &info)
+    {
+        using isa::Opcode;
+        if ((inst.op == Opcode::SLLI || inst.op == Opcode::SRLI ||
+             inst.op == Opcode::SRAI) &&
+            (inst.imm < 0 || inst.imm > 63)) {
+            err(st.line, "shift immediate %lld out of range 0..63",
+                static_cast<long long>(inst.imm));
+        }
+        if (info.format == Format::Branch ||
+            info.format == Format::JTarget ||
+            info.format == Format::JLink) {
+            if (inst.imm < 0 ||
+                inst.imm >= static_cast<int64_t>(codeSlots)) {
+                err(st.line,
+                    "branch target %lld outside code (0..%llu)",
+                    static_cast<long long>(inst.imm),
+                    static_cast<unsigned long long>(codeSlots) - 1);
+            }
+        }
     }
 
     AssembleOptions opts;
     Program prog;
+    uint64_t codeSlots = 0;
     std::vector<Statement> statements;
     std::unordered_map<size_t, std::vector<PendingLabel>> labelsFor;
     std::vector<PendingLabel> pendingLabels;

@@ -1,0 +1,140 @@
+// Typed AST for the MG-RISC C subset (docs/FRONTEND.md).
+//
+// The parser produces this tree fully type-annotated; the codegen
+// (frontend/codegen.h) and the reference interpreter
+// (frontend/interp.h) both consume it, which is what makes the
+// differential fuzz gate meaningful: two independent executions of the
+// same tree.
+//
+// All values are 64-bit.  `int` is signed 64-bit, `unsigned` is
+// unsigned 64-bit; the distinction only changes comparisons, right
+// shifts, and which division semantics apply (the ISA has no unsigned
+// divide, so / and % are always the signed MG-RISC DIV/REM — see
+// docs/FRONTEND.md for the deviation note).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mg::frontend {
+
+enum class CType { Int, Unsigned, Void };
+
+inline const char *typeName(CType t) {
+    switch (t) {
+    case CType::Int: return "int";
+    case CType::Unsigned: return "unsigned";
+    case CType::Void: return "void";
+    }
+    return "?";
+}
+
+struct Expr {
+    enum class K {
+        Num,     // value / isUnsigned-driven type
+        Var,     // name (+ localId >= 0 when local/param)
+        Index,   // name[a] — global array element
+        Unary,   // op in {"-","~","!","+"}; operand a
+        Binary,  // op; operands a, b
+        Assign,  // op "" for plain =, else the compound base ("+", "<<", ...)
+                 // a = lvalue (Var or Index), b = rhs
+        Cond,    // a ? b : c
+        Call,    // name(args...)
+    };
+    K k = K::Num;
+    CType type = CType::Int;
+    int line = 0, col = 0;
+
+    uint64_t value = 0;     // Num
+    std::string name;       // Var / Index / Call
+    int localId = -1;       // Var: local slot; -1 = global scalar
+    std::string op;         // Unary / Binary / Assign
+    std::unique_ptr<Expr> a, b, c;
+    std::vector<std::unique_ptr<Expr>> args;  // Call
+};
+
+// True when the (already-typed) binary comparison or division-free op
+// should use unsigned semantics: either operand unsigned.
+inline bool unsignedOperands(const Expr &e) {
+    return e.a->type == CType::Unsigned || e.b->type == CType::Unsigned;
+}
+
+struct Stmt {
+    enum class K {
+        Expr,      // e
+        Decl,      // decls
+        Block,     // body
+        If,        // e, s1, optional s2
+        While,     // e, s1
+        DoWhile,   // s1, e
+        For,       // forInit (may be null), e (may be null), forStep
+                   // (may be null), s1
+        Return,    // optional e
+        Break,
+        Continue,
+        Empty,
+    };
+    K k = K::Empty;
+    int line = 0, col = 0;
+
+    std::unique_ptr<Expr> e;
+    std::vector<Stmt> body;
+    std::unique_ptr<Stmt> s1, s2;
+
+    struct DeclItem {
+        int localId = -1;
+        std::string name;
+        CType type = CType::Int;
+        std::unique_ptr<Expr> init;  // may be null
+    };
+    std::vector<DeclItem> decls;
+
+    std::unique_ptr<Stmt> forInit;   // Decl, Expr or null
+    std::unique_ptr<Expr> forStep;   // may be null
+};
+
+struct Param {
+    std::string name;
+    CType type = CType::Int;
+};
+
+struct FuncDecl {
+    std::string name;
+    CType ret = CType::Void;
+    std::vector<Param> params;  // local ids 0..params.size()-1
+    Stmt body;                  // K::Block
+    int numLocals = 0;          // params + all declared locals
+    int line = 0, col = 0;
+};
+
+struct GlobalDecl {
+    std::string name;
+    CType type = CType::Int;
+    // 0 = scalar; otherwise the element count of a 1-D array.  All
+    // elements are 8 bytes in the emitted memory image.
+    uint64_t arraySize = 0;
+    std::vector<uint64_t> init;  // <= max(1, arraySize) leading values
+    int line = 0, col = 0;
+};
+
+struct CProgram {
+    std::string name = "cprog";
+    std::vector<GlobalDecl> globals;       // declaration order
+    std::map<std::string, int> globalIdx;  // name -> index in globals
+    std::vector<FuncDecl> funcs;           // declaration order
+    std::map<std::string, int> funcIdx;    // name -> index in funcs
+
+    const GlobalDecl *findGlobal(const std::string &n) const {
+        auto it = globalIdx.find(n);
+        return it == globalIdx.end() ? nullptr : &globals[it->second];
+    }
+    const FuncDecl *findFunc(const std::string &n) const {
+        auto it = funcIdx.find(n);
+        return it == funcIdx.end() ? nullptr : &funcs[it->second];
+    }
+};
+
+}  // namespace mg::frontend

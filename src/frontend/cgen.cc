@@ -1,0 +1,302 @@
+#include "frontend/cgen.h"
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace mg::frontend {
+namespace {
+
+constexpr int kArrayLen = 16;  // every index is masked `& 15`
+
+struct Ctx {
+    Rng rng;
+    std::ostringstream os;
+    int indent = 1;
+
+    // Readable scalar names (globals + locals + live loop counters);
+    // writable is a prefix-set: counters are readable but reserved.
+    std::vector<std::string> readable;
+    std::vector<std::string> writable;
+    std::vector<std::string> arrays;     // always A (int), B (unsigned)
+    std::vector<std::string> helpers;    // callable function names
+    std::vector<int> helperArity;
+    int nextCounter = 0;
+
+    explicit Ctx(uint64_t seed) : rng(seed ? seed : 1) {}
+
+    void line(const std::string &text) {
+        for (int i = 0; i < indent; ++i) os << "    ";
+        os << text << "\n";
+    }
+
+    const std::string &pick(const std::vector<std::string> &v) {
+        return v[rng.below(v.size())];
+    }
+};
+
+std::string literal(Ctx &c) {
+    switch (c.rng.below(6)) {
+    case 0:
+        return std::to_string(c.rng.range(0, 9));
+    case 1:
+        return std::to_string(c.rng.range(-100, 100));
+    case 2:
+        return std::to_string(c.rng.range(0, 65535)) + "u";
+    case 3: {
+        // Large 64-bit constant in hex (exercises li + the lexer's
+        // implicit-unsigned promotion).
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "0x%llx",
+                      static_cast<unsigned long long>(c.rng.next()));
+        return buf;
+    }
+    case 4:
+        return std::to_string(1ll << c.rng.below(32));
+    default:
+        return std::to_string(c.rng.range(-7, 7));
+    }
+}
+
+std::string expr(Ctx &c, int depth);
+
+std::string leaf(Ctx &c, int depth) {
+    unsigned roll = static_cast<unsigned>(c.rng.below(10));
+    if (roll < 4) return literal(c);
+    if (roll < 8 && !c.readable.empty()) return c.pick(c.readable);
+    if (depth > 0 && !c.arrays.empty())
+        return c.pick(c.arrays) + "[(" + expr(c, depth - 1) + ") & 15]";
+    return literal(c);
+}
+
+std::string expr(Ctx &c, int depth) {
+    if (depth <= 0 || c.rng.chance(0.25)) return leaf(c, depth);
+    switch (c.rng.below(12)) {
+    case 0:
+        return "(" + expr(c, depth - 1) + " + " + expr(c, depth - 1) + ")";
+    case 1:
+        return "(" + expr(c, depth - 1) + " - " + expr(c, depth - 1) + ")";
+    case 2:
+        return "(" + expr(c, depth - 1) + " * " + expr(c, depth - 1) + ")";
+    case 3:
+        return "(" + expr(c, depth - 1) + " & " + expr(c, depth - 1) + ")";
+    case 4:
+        return "(" + expr(c, depth - 1) + " | " + expr(c, depth - 1) + ")";
+    case 5:
+        return "(" + expr(c, depth - 1) + " ^ " + expr(c, depth - 1) + ")";
+    case 6:
+        return "(" + expr(c, depth - 1) + " << (" + expr(c, depth - 1) +
+               " & 15))";
+    case 7:
+        return "(" + expr(c, depth - 1) + " >> (" + expr(c, depth - 1) +
+               " & 15))";
+    case 8:
+        // Guarded division: an odd divisor is never zero, and the
+        // INT64_MIN/-1 edge case is defined identically on both sides
+        // of the differential gate.
+        return "(" + expr(c, depth - 1) + (c.rng.chance(0.5) ? " / (" : " % (") +
+               expr(c, depth - 1) + " | 1))";
+    case 9: {
+        static const char *kRel[] = {"<", ">", "<=", ">=", "==", "!="};
+        return "(" + expr(c, depth - 1) + " " + kRel[c.rng.below(6)] +
+               " " + expr(c, depth - 1) + ")";
+    }
+    case 10: {
+        static const char *kUn[] = {"-", "~", "!"};
+        return std::string(kUn[c.rng.below(3)]) + "(" +
+               expr(c, depth - 1) + ")";
+    }
+    default:
+        if (!c.helpers.empty() && c.rng.chance(0.5)) {
+            size_t h = c.rng.below(c.helpers.size());
+            std::string call = c.helpers[h] + "(";
+            for (int i = 0; i < c.helperArity[h]; ++i) {
+                if (i) call += ", ";
+                call += expr(c, depth - 1);
+            }
+            return call + ")";
+        }
+        return "(" + expr(c, depth - 1) + " ? " + expr(c, depth - 1) +
+               " : " + expr(c, depth - 1) + ")";
+    }
+}
+
+std::string cond(Ctx &c) {
+    static const char *kRel[] = {"<", ">", "<=", ">=", "==", "!="};
+    std::string base = expr(c, 2) + " " + kRel[c.rng.below(6)] + " " +
+                       expr(c, 2);
+    if (c.rng.chance(0.2))
+        return "(" + base + ") " + (c.rng.chance(0.5) ? "&&" : "||") +
+               " (" + expr(c, 2) + " " + kRel[c.rng.below(6)] + " " +
+               expr(c, 2) + ")";
+    return base;
+}
+
+void statements(Ctx &c, int count, int depth);
+
+void statement(Ctx &c, int depth) {
+    static const char *kCompound[] = {"+=", "-=", "*=", "&=", "|=",
+                                      "^=", "<<=", ">>="};
+    unsigned roll = static_cast<unsigned>(c.rng.below(10));
+    if (roll < 3) {  // scalar assignment
+        c.line(c.pick(c.writable) + " = " + expr(c, 3) + ";");
+        return;
+    }
+    if (roll < 5) {  // scalar compound assignment
+        c.line(c.pick(c.writable) + " " +
+               kCompound[c.rng.below(8)] + " " + expr(c, 3) + ";");
+        return;
+    }
+    if (roll < 7) {  // array store (plain or compound)
+        std::string target = c.pick(c.arrays) + "[(" + expr(c, 2) +
+                             ") & 15]";
+        if (c.rng.chance(0.3)) {
+            c.line(target + " " + kCompound[c.rng.below(8)] + " " +
+                   expr(c, 2) + ";");
+        } else {
+            c.line(target + " = " + expr(c, 3) + ";");
+        }
+        return;
+    }
+    if (roll < 8 && !c.helpers.empty()) {  // call into a helper
+        size_t h = c.rng.below(c.helpers.size());
+        std::string call = c.helpers[h] + "(";
+        for (int i = 0; i < c.helperArity[h]; ++i) {
+            if (i) call += ", ";
+            call += expr(c, 2);
+        }
+        c.line(c.pick(c.writable) + " = " + call + ");");
+        return;
+    }
+    if (roll < 9 && depth > 0) {  // if / if-else
+        c.line("if (" + cond(c) + ") {");
+        ++c.indent;
+        statements(c, 1 + static_cast<int>(c.rng.below(3)), depth - 1);
+        --c.indent;
+        if (c.rng.chance(0.4)) {
+            c.line("} else {");
+            ++c.indent;
+            statements(c, 1 + static_cast<int>(c.rng.below(2)),
+                       depth - 1);
+            --c.indent;
+        }
+        c.line("}");
+        return;
+    }
+    if (depth > 0 && c.nextCounter < 3) {  // bounded for loop
+        std::string i = "i" + std::to_string(c.nextCounter++);
+        int64_t trips = c.rng.range(1, 8);
+        c.line("for (" + i + " = 0; " + i + " < " +
+               std::to_string(trips) + "; " + i + " = " + i + " + 1) {");
+        c.readable.push_back(i);
+        ++c.indent;
+        statements(c, 1 + static_cast<int>(c.rng.below(3)), depth - 1);
+        --c.indent;
+        c.readable.pop_back();
+        --c.nextCounter;
+        c.line("}");
+        return;
+    }
+    c.line(c.pick(c.writable) + " ^= " + expr(c, 2) + ";");
+}
+
+void statements(Ctx &c, int count, int depth) {
+    for (int i = 0; i < count; ++i) statement(c, depth);
+}
+
+}  // namespace
+
+std::string cFuzzProgramName(uint64_t seed) {
+    return "cfuzz-" + std::to_string(seed);
+}
+
+std::string generateCSource(const CGenOptions &opts) {
+    Ctx c(opts.seed);
+    c.os << "// " << cFuzzProgramName(opts.seed)
+         << " -- generated by `mgsim fuzz --frontend` (docs/FRONTEND.md)\n";
+
+    // Globals: mixed-signedness scalars plus two 16-element arrays.
+    int numGlobals = 4 + static_cast<int>(c.rng.below(3));
+    for (int i = 0; i < numGlobals; ++i) {
+        std::string name = "g" + std::to_string(i);
+        bool uns = c.rng.chance(0.4);
+        c.os << (uns ? "unsigned " : "int ") << name << " = "
+             << literal(c) << ";\n";
+        c.readable.push_back(name);
+        c.writable.push_back(name);
+    }
+    c.os << "int A[" << kArrayLen << "] = {";
+    for (int i = 0; i < kArrayLen; ++i) {
+        if (i) c.os << ", ";
+        c.os << c.rng.range(-1000, 1000);
+    }
+    c.os << "};\n";
+    c.os << "unsigned B[" << kArrayLen << "];\n";
+    c.arrays.push_back("A");
+    c.arrays.push_back("B");
+
+    // 0-2 straight-line helper functions (no loops, no further calls:
+    // termination by construction).
+    int numHelpers = static_cast<int>(c.rng.below(3));
+    for (int h = 0; h < numHelpers; ++h) {
+        std::string name = "h" + std::to_string(h);
+        int arity = 1 + static_cast<int>(c.rng.below(2));
+        c.os << "\nint " << name << "(";
+        std::vector<std::string> params;
+        for (int p = 0; p < arity; ++p) {
+            if (p) c.os << ", ";
+            std::string pn = "p" + std::to_string(p);
+            c.os << (c.rng.chance(0.3) ? "unsigned " : "int ") << pn;
+            params.push_back(pn);
+        }
+        c.os << ") {\n";
+        size_t baseReadable = c.readable.size();
+        size_t baseWritable = c.writable.size();
+        for (const std::string &p : params) {
+            c.readable.push_back(p);
+            c.writable.push_back(p);
+        }
+        c.line("int t0 = " + expr(c, 2) + ";");
+        c.readable.push_back("t0");
+        c.writable.push_back("t0");
+        int body = 1 + static_cast<int>(c.rng.below(4));
+        for (int s = 0; s < body; ++s)
+            c.line(c.pick(c.writable) + " = " + expr(c, 3) + ";");
+        c.line("return " + expr(c, 3) + ";");
+        c.os << "}\n";
+        c.readable.resize(baseReadable);
+        c.writable.resize(baseWritable);
+        c.helpers.push_back(name);
+        c.helperArity.push_back(arity);
+    }
+
+    // main: local scalars, reserved loop counters, then the body.
+    c.os << "\nint main() {\n";
+    int numLocals = 2 + static_cast<int>(c.rng.below(3));
+    for (int i = 0; i < numLocals; ++i) {
+        std::string name = "x" + std::to_string(i);
+        c.line((c.rng.chance(0.3) ? std::string("unsigned ")
+                                  : std::string("int ")) +
+               name + " = " + literal(c) + ";");
+        c.readable.push_back(name);
+        c.writable.push_back(name);
+    }
+    c.line("int i0 = 0;");
+    c.line("int i1 = 0;");
+    c.line("int i2 = 0;");
+    statements(c, 6 + static_cast<int>(c.rng.below(10)), 2);
+    // Fold the locals into observable state: the differential gate
+    // compares final globals only.
+    for (int i = 0; i < numLocals; ++i)
+        c.line("g0 ^= x" + std::to_string(i) + ";");
+    c.line("g1 ^= i0 + i1 + i2;");
+    c.line("return 0;");
+    c.os << "}\n";
+    return c.os.str();
+}
+
+}  // namespace mg::frontend

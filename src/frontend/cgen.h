@@ -1,0 +1,27 @@
+// Seeded random C-subset program generator (docs/FRONTEND.md).
+//
+// `mgsim fuzz --frontend` feeds these programs to the differential
+// pipeline: AST interpreter vs compile→assemble→FunctionalCore vs the
+// full PR-9 architectural oracle.  Programs are always terminating by
+// construction — every loop is a constant-trip-count `for` over a
+// reserved counter variable that nothing else writes, helper functions
+// are straight-line, and there is no recursion — and every array index
+// is masked to the array bound, every divisor forced odd, so the only
+// way a trial can fail is a frontend, assembler, or simulator bug.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mg::frontend {
+
+struct CGenOptions {
+    uint64_t seed = 1;
+};
+
+std::string generateCSource(const CGenOptions &opts);
+
+// Canonical program name for a fuzz trial seed ("cfuzz-<seed>").
+std::string cFuzzProgramName(uint64_t seed);
+
+}  // namespace mg::frontend

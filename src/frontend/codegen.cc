@@ -1,0 +1,1311 @@
+#include "frontend/codegen.h"
+
+#include <algorithm>
+#include <functional>
+#include <iterator>
+#include <map>
+#include <set>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "frontend/interp.h"
+
+// The IR below is built with designated initializers; fields not named
+// take their member defaults, which is the point — don't warn on them.
+#pragma GCC diagnostic ignored "-Wmissing-field-initializers"
+
+namespace mg::frontend {
+namespace {
+
+// Physical register convention (see codegen.h).
+constexpr int kAllocBase = 1;
+constexpr int kAllocCount = 25;  // r1..r25
+constexpr int kScratchA = 26;
+constexpr int kScratchB = 27;
+constexpr int kScratchAddr = 28;
+constexpr int kRetValReg = 29;
+
+// Virtual-register operand encoding: >= 0 is a vreg, kNone is absent,
+// kZero is the physical zero register (r0).
+constexpr int kNone = -1;
+constexpr int kZero = -2;
+
+struct Ir {
+    enum class K {
+        Li,      // d <- imm
+        Rr,      // d <- a op b            (op = mnemonic)
+        Ri,      // d <- a op imm
+        Mov,     // d <- a
+        LdG,     // d <- mem[g + off + (a<<3 if a != kNone)]
+        StG,     // mem[g + off + (b<<3 if b != kNone)] <- a
+        LdArg,   // d <- incoming argument #imm
+        Call,    // d (may be kNone) <- g(args...)
+        RetVal,  // r29 <- a (a may be kNone for void)
+        Lbl,     // label #lbl
+        Jmp,     // goto #lbl
+        Br,      // if (a op b) goto #lbl
+    };
+    K k;
+    std::string op;
+    int d = kNone, a = kNone, b = kNone;
+    int64_t imm = 0;
+    int lbl = kNone;
+    std::string g;
+    int64_t off = 0;
+    std::vector<int> args;
+};
+
+bool containsAssign(const Expr &e) {
+    if (e.k == Expr::K::Assign) return true;
+    if (e.a && containsAssign(*e.a)) return true;
+    if (e.b && containsAssign(*e.b)) return true;
+    if (e.c && containsAssign(*e.c)) return true;
+    for (const auto &arg : e.args)
+        if (containsAssign(*arg)) return true;
+    return false;
+}
+
+void collectCalls(const Expr &e, std::set<std::string> &out) {
+    if (e.k == Expr::K::Call) out.insert(e.name);
+    if (e.a) collectCalls(*e.a, out);
+    if (e.b) collectCalls(*e.b, out);
+    if (e.c) collectCalls(*e.c, out);
+    for (const auto &arg : e.args) collectCalls(*arg, out);
+}
+
+void collectCalls(const Stmt &s, std::set<std::string> &out) {
+    if (s.e) collectCalls(*s.e, out);
+    if (s.s1) collectCalls(*s.s1, out);
+    if (s.s2) collectCalls(*s.s2, out);
+    if (s.forInit) collectCalls(*s.forInit, out);
+    if (s.forStep) collectCalls(*s.forStep, out);
+    for (const Stmt::DeclItem &d : s.decls)
+        if (d.init) collectCalls(*d.init, out);
+    for (const Stmt &sub : s.body) collectCalls(sub, out);
+}
+
+/** Function names reachable from main() over the static call graph. */
+std::set<std::string> liveFunctions(const CProgram &program) {
+    std::set<std::string> live{"main"};
+    std::vector<const FuncDecl *> work{program.findFunc("main")};
+    while (!work.empty()) {
+        const FuncDecl *fn = work.back();
+        work.pop_back();
+        std::set<std::string> calls;
+        collectCalls(fn->body, calls);
+        for (const std::string &name : calls)
+            if (live.insert(name).second)
+                work.push_back(program.findFunc(name));
+    }
+    return live;
+}
+
+// Drop IR blocks no control path from the function entry reaches.
+// Lowering `return` mid-block leaves its fall-through tail in place
+// (e.g. the implicit "return 0" after an explicit final return), and
+// mg_lint rejects candidates built over unreachable instructions, so
+// the dead tail must not survive into the binary.  The epilogue label
+// (always the last IR) is retained even when unreachable: the emitter
+// hangs the frame teardown off it.
+std::vector<Ir> pruneUnreachable(std::vector<Ir> code) {
+    const int n = static_cast<int>(code.size());
+    if (n == 0) return code;
+    std::set<int> leaderSet{0};
+    std::map<int, int> labelPos;
+    for (int i = 0; i < n; ++i) {
+        if (code[i].k == Ir::K::Lbl) {
+            leaderSet.insert(i);
+            labelPos[code[i].lbl] = i;
+        }
+        if (code[i].k == Ir::K::Jmp || code[i].k == Ir::K::Br)
+            if (i + 1 < n) leaderSet.insert(i + 1);
+    }
+    const std::vector<int> leaders(leaderSet.begin(), leaderSet.end());
+    const int numBlocks = static_cast<int>(leaders.size());
+    auto blockOf = [&](int pos) {
+        return static_cast<int>(std::upper_bound(leaders.begin(),
+                                                 leaders.end(), pos) -
+                                leaders.begin()) -
+               1;
+    };
+    std::vector<char> reach(numBlocks, 0);
+    std::vector<int> work{0};
+    reach[0] = 1;
+    while (!work.empty()) {
+        const int b = work.back();
+        work.pop_back();
+        const int end = b + 1 < numBlocks ? leaders[b + 1] : n;
+        const Ir &last = code[end - 1];
+        auto add = [&](int nb) {
+            if (!reach[nb]) {
+                reach[nb] = 1;
+                work.push_back(nb);
+            }
+        };
+        if (last.k == Ir::K::Jmp || last.k == Ir::K::Br)
+            add(blockOf(labelPos.at(last.lbl)));
+        if (last.k != Ir::K::Jmp && end < n) add(blockOf(end));
+    }
+    std::vector<Ir> out;
+    out.reserve(code.size());
+    for (int b = 0; b < numBlocks; ++b) {
+        if (!reach[b]) continue;
+        const int end = b + 1 < numBlocks ? leaders[b + 1] : n;
+        for (int p = leaders[b]; p < end; ++p)
+            out.push_back(std::move(code[p]));
+    }
+    if (out.empty() || out.back().k != Ir::K::Lbl)
+        out.push_back(code[n - 1]);  // unreachable epilogue label
+    return out;
+}
+
+// Compile-time constant folding.  Uses the same scalar evaluator as
+// the reference interpreter (interp.h) so folded arithmetic cannot
+// diverge from it.  Short-circuit and ?: fold lazily, mirroring the
+// interpreter's evaluation (the discarded arm may be non-constant).
+bool constantOf(const Expr &e, uint64_t &out) {
+    switch (e.k) {
+    case Expr::K::Num:
+        out = e.value;
+        return true;
+    case Expr::K::Unary: {
+        uint64_t v;
+        if (!constantOf(*e.a, v)) return false;
+        if (e.op == "-") out = 0 - v;
+        else if (e.op == "~") out = ~v;
+        else if (e.op == "!") out = v == 0 ? 1 : 0;
+        else out = v;
+        return true;
+    }
+    case Expr::K::Binary: {
+        uint64_t a;
+        if (!constantOf(*e.a, a)) return false;
+        if (e.op == "&&") {
+            if (a == 0) { out = 0; return true; }
+            uint64_t b;
+            if (!constantOf(*e.b, b)) return false;
+            out = b != 0 ? 1 : 0;
+            return true;
+        }
+        if (e.op == "||") {
+            if (a != 0) { out = 1; return true; }
+            uint64_t b;
+            if (!constantOf(*e.b, b)) return false;
+            out = b != 0 ? 1 : 0;
+            return true;
+        }
+        uint64_t b;
+        if (!constantOf(*e.b, b)) return false;
+        bool uns = (e.op == "<<" || e.op == ">>")
+                       ? e.a->type == CType::Unsigned
+                       : unsignedOperands(e);
+        out = evalCBinary(e.op, uns, a, b);
+        return true;
+    }
+    case Expr::K::Cond: {
+        uint64_t c;
+        if (!constantOf(*e.a, c)) return false;
+        return constantOf(c != 0 ? *e.b : *e.c, out);
+    }
+    default:
+        return false;
+    }
+}
+
+// An expression's value: a vreg, plus whether that vreg is a local
+// variable's long-lived register (raw == lazily read) rather than a
+// fresh temporary.  Raw values must be materialized before a later-
+// evaluated sibling expression can assign to locals.
+struct Val {
+    int v = kNone;
+    bool raw = false;
+};
+
+class FuncLower {
+  public:
+    explicit FuncLower(const FuncDecl &fn) : fn_(fn) {}
+
+    std::vector<Ir> run() {
+        epilogue_ = newLabel();
+        for (size_t i = 0; i < fn_.params.size(); ++i) {
+            int v = localVreg(static_cast<int>(i));
+            emit({.k = Ir::K::LdArg, .d = v,
+                  .imm = static_cast<int64_t>(i)});
+        }
+        genStmt(fn_.body);
+        if (fn_.ret != CType::Void) {
+            // Falling off the end of a non-void function returns 0,
+            // matching the interpreter's zero-initialized return slot.
+            int z = newVreg();
+            emit({.k = Ir::K::Li, .d = z, .imm = 0});
+            emit({.k = Ir::K::RetVal, .a = z});
+        }
+        emit({.k = Ir::K::Lbl, .lbl = epilogue_});
+        return std::move(code_);
+    }
+
+    int numLabels() const { return nextLabel_; }
+    int numVregs() const { return nextVreg_; }
+    int epilogueLabel() const { return epilogue_; }
+
+  private:
+    void emit(Ir ir) { code_.push_back(std::move(ir)); }
+    int newVreg() { return nextVreg_++; }
+    int newLabel() { return nextLabel_++; }
+    int localVreg(int localId) {
+        auto it = locals_.find(localId);
+        if (it != locals_.end()) return it->second;
+        int v = newVreg();
+        locals_.emplace(localId, v);
+        return v;
+    }
+
+    bool unsignedCmp(const Expr &e) const { return unsignedOperands(e); }
+
+    Val materialize(Val val) {
+        if (!val.raw) return val;
+        int t = newVreg();
+        emit({.k = Ir::K::Mov, .d = t, .a = val.v});
+        return Val{t, false};
+    }
+
+    // Operand for an Rr/Br: constant zero folds to r0.
+    int operand(const Expr &e) {
+        uint64_t c;
+        if (constantOf(e, c)) {
+            if (c == 0) return kZero;
+            int t = newVreg();
+            emit({.k = Ir::K::Li, .d = t,
+                  .imm = static_cast<int64_t>(c)});
+            return t;
+        }
+        return genExpr(e).v;
+    }
+
+    // ---- expressions --------------------------------------------------
+    Val genExpr(const Expr &e) {
+        uint64_t c;
+        if (constantOf(e, c)) {
+            int t = newVreg();
+            emit({.k = Ir::K::Li, .d = t, .imm = static_cast<int64_t>(c)});
+            return Val{t, false};
+        }
+        switch (e.k) {
+        case Expr::K::Num:
+            mg_panic("codegen: Num not caught by constantOf");
+        case Expr::K::Var:
+            if (e.localId >= 0) return Val{localVreg(e.localId), true};
+            return loadGlobal(e.name, 0, kNone);
+        case Expr::K::Index: {
+            auto [off, idx] = indexOperand(e, /*rhsAssigns=*/false);
+            return loadGlobal(e.name, off, idx);
+        }
+        case Expr::K::Unary:
+            return genUnary(e);
+        case Expr::K::Binary:
+            return genBinary(e);
+        case Expr::K::Assign:
+            return genAssign(e);
+        case Expr::K::Cond: {
+            // A constant selector picks its arm at compile time; the
+            // discarded arm must not be emitted (unreachable code).
+            uint64_t sel;
+            if (constantOf(*e.a, sel))
+                return genExpr(sel != 0 ? *e.b : *e.c);
+            int lElse = newLabel(), lEnd = newLabel();
+            int d = newVreg();
+            genCondBranch(*e.a, lElse, false);
+            Val bv = genExpr(*e.b);
+            emit({.k = Ir::K::Mov, .d = d, .a = bv.v});
+            emit({.k = Ir::K::Jmp, .lbl = lEnd});
+            emit({.k = Ir::K::Lbl, .lbl = lElse});
+            Val cv = genExpr(*e.c);
+            emit({.k = Ir::K::Mov, .d = d, .a = cv.v});
+            emit({.k = Ir::K::Lbl, .lbl = lEnd});
+            return Val{d, false};
+        }
+        case Expr::K::Call:
+            return genCall(e);
+        }
+        mg_panic("codegen: unhandled expression kind");
+    }
+
+    Val loadGlobal(const std::string &name, int64_t off, int idx) {
+        int d = newVreg();
+        emit({.k = Ir::K::LdG, .d = d, .a = idx, .g = name, .off = off});
+        return Val{d, false};
+    }
+
+    // Index of e (an Expr::K::Index): returns {byteOff, idxVreg}.
+    // Constant indices fold into the byte offset (idx == kNone).
+    std::pair<int64_t, int> indexOperand(const Expr &e, bool rhsAssigns) {
+        uint64_t c;
+        if (constantOf(*e.a, c))
+            return {static_cast<int64_t>(c * 8), kNone};
+        Val iv = genExpr(*e.a);
+        if (rhsAssigns) iv = materialize(iv);
+        return {0, iv.v};
+    }
+
+    Val genUnary(const Expr &e) {
+        if (e.op == "+") return genExpr(*e.a);
+        if (e.op == "-") {
+            int a = operand(*e.a);
+            int d = newVreg();
+            emit({.k = Ir::K::Rr, .op = "sub", .d = d, .a = kZero,
+                  .b = a});
+            return Val{d, false};
+        }
+        int a = genExpr(*e.a).v;
+        int d = newVreg();
+        if (e.op == "~")
+            emit({.k = Ir::K::Ri, .op = "xori", .d = d, .a = a,
+                  .imm = -1});
+        else  // "!"
+            emit({.k = Ir::K::Ri, .op = "sltiu", .d = d, .a = a,
+                  .imm = 1});
+        return Val{d, false};
+    }
+
+    // The hardware mnemonic pair (register form, immediate form) for a
+    // C arithmetic operator; empty immediate form = none in the ISA.
+    struct OpPair {
+        const char *rr;
+        const char *ri;
+        bool commutative;
+    };
+    OpPair arithOp(const Expr &e) const {
+        const std::string &op = e.op;
+        bool uns = e.a->type == CType::Unsigned ||
+                   (e.b && e.b->type == CType::Unsigned);
+        if (op == "+") return {"add", "addi", true};
+        if (op == "-") return {"sub", "", false};
+        if (op == "*") return {"mul", "muli", true};
+        if (op == "&") return {"and", "andi", true};
+        if (op == "|") return {"or", "ori", true};
+        if (op == "^") return {"xor", "xori", true};
+        if (op == "<<") return {"sll", "slli", false};
+        if (op == ">>")
+            return e.a->type == CType::Unsigned
+                       ? OpPair{"srl", "srli", false}
+                       : OpPair{"sra", "srai", false};
+        if (op == "/") return {"div", "", false};
+        if (op == "%") return {"rem", "", false};
+        if (op == "<") return uns ? OpPair{"sltu", "sltiu", false}
+                                  : OpPair{"slt", "slti", false};
+        mg_panic("codegen: no ALU op for '%s'", op.c_str());
+    }
+
+    // d <- a OP rhs, where rhs may fold to an immediate form.
+    int emitArith(const Expr &shape, int a, const Expr &rhs) {
+        OpPair ops = arithOp(shape);
+        int d = newVreg();
+        uint64_t c;
+        if (ops.ri[0] != '\0' && constantOf(rhs, c)) {
+            int64_t imm = static_cast<int64_t>(c);
+            const std::string &op = shape.op;
+            if (op == "<<" || op == ">>") imm &= 63;
+            emit({.k = Ir::K::Ri, .op = ops.ri, .d = d, .a = a,
+                  .imm = imm});
+            return d;
+        }
+        int b = operand(rhs);
+        emit({.k = Ir::K::Rr, .op = ops.rr, .d = d, .a = a, .b = b});
+        return d;
+    }
+
+    Val genBinary(const Expr &e) {
+        const std::string &op = e.op;
+        if (op == "&&" || op == "||") {
+            int lFalse = newLabel(), lEnd = newLabel();
+            int d = newVreg();
+            genCondBranch(e, lFalse, false);
+            emit({.k = Ir::K::Li, .d = d, .imm = 1});
+            emit({.k = Ir::K::Jmp, .lbl = lEnd});
+            emit({.k = Ir::K::Lbl, .lbl = lFalse});
+            emit({.k = Ir::K::Li, .d = d, .imm = 0});
+            emit({.k = Ir::K::Lbl, .lbl = lEnd});
+            return Val{d, false};
+        }
+        if (op == "==" || op == "!=") {
+            int d = cmpEq(e);
+            return Val{d, false};
+        }
+        if (op == ">" || op == "<=" || op == ">=") {
+            bool uns = unsignedCmp(e);
+            const char *sltOp = uns ? "sltu" : "slt";
+            // a > b  ==  b < a;   a <= b == !(b < a);  a >= b == !(a < b)
+            bool swap = (op == ">" || op == "<=");
+            bool invert = (op == "<=" || op == ">=");
+            Val av = genExpr(*e.a);
+            if (containsAssign(*e.b)) av = materialize(av);
+            int bo = operand(*e.b);
+            int lhs = swap ? bo : av.v;
+            int rhs = swap ? av.v : bo;
+            int d = newVreg();
+            emit({.k = Ir::K::Rr, .op = sltOp, .d = d, .a = lhs,
+                  .b = rhs});
+            if (invert) {
+                int d2 = newVreg();
+                emit({.k = Ir::K::Ri, .op = "xori", .d = d2, .a = d,
+                      .imm = 1});
+                return Val{d2, false};
+            }
+            return Val{d, false};
+        }
+        // "<" and the arithmetic family share the immediate-folding
+        // path.  Commutative ops with a constant lhs swap it over.
+        uint64_t c;
+        OpPair ops = arithOp(e);
+        if (ops.commutative && constantOf(*e.a, c) &&
+            !constantOf(*e.b, c)) {
+            Val bv = genExpr(*e.b);
+            return Val{emitArith(e, bv.v, *e.a), false};
+        }
+        if (op == "-" && constantOf(*e.b, c)) {
+            // a - c  ==  a + (-c), with 2^64 wraparound.
+            Val av = genExpr(*e.a);
+            int d = newVreg();
+            emit({.k = Ir::K::Ri, .op = "addi", .d = d, .a = av.v,
+                  .imm = static_cast<int64_t>(0 - c)});
+            return Val{d, false};
+        }
+        Val av = genExpr(*e.a);
+        if (containsAssign(*e.b)) av = materialize(av);
+        return Val{emitArith(e, av.v, *e.b), false};
+    }
+
+    int cmpEq(const Expr &e) {
+        Val av = genExpr(*e.a);
+        if (containsAssign(*e.b)) av = materialize(av);
+        int t = newVreg();
+        uint64_t c;
+        if (constantOf(*e.b, c)) {
+            emit({.k = Ir::K::Ri, .op = "xori", .d = t, .a = av.v,
+                  .imm = static_cast<int64_t>(c)});
+        } else {
+            int bo = operand(*e.b);
+            emit({.k = Ir::K::Rr, .op = "xor", .d = t, .a = av.v,
+                  .b = bo});
+        }
+        int d = newVreg();
+        if (e.op == "==")
+            emit({.k = Ir::K::Ri, .op = "sltiu", .d = d, .a = t,
+                  .imm = 1});
+        else
+            emit({.k = Ir::K::Rr, .op = "sltu", .d = d, .a = kZero,
+                  .b = t});
+        return d;
+    }
+
+    Val genAssign(const Expr &e) {
+        const Expr &lhs = *e.a;
+        bool compound = !e.op.empty();
+        // Shape node for arithOp/emitArith: operand types of the
+        // expanded `lhs op rhs` (signedness of >> and < come from it).
+        if (lhs.k == Expr::K::Var && lhs.localId >= 0) {
+            int lv = localVreg(lhs.localId);
+            if (!compound) {
+                Val bv = genExpr(*e.b);
+                emit({.k = Ir::K::Mov, .d = lv, .a = bv.v});
+                return bv;
+            }
+            int d = compoundValue(e, Val{lv, true});
+            emit({.k = Ir::K::Mov, .d = lv, .a = d});
+            return Val{lv, true};
+        }
+        if (lhs.k == Expr::K::Var) {  // global scalar
+            if (!compound) {
+                Val bv = genExpr(*e.b);
+                emit({.k = Ir::K::StG, .a = bv.v, .g = lhs.name});
+                return bv;
+            }
+            int d = compoundValue(e, Val{kNone, false});
+            emit({.k = Ir::K::StG, .a = d, .g = lhs.name});
+            return Val{d, false};
+        }
+        // Array element.  Order (matched with the interpreter):
+        // index, rhs, (load), store.
+        auto [off, idx] = indexOperand(lhs, containsAssign(*e.b));
+        if (!compound) {
+            Val bv = genExpr(*e.b);
+            emit({.k = Ir::K::StG, .a = bv.v, .b = idx, .g = lhs.name,
+                  .off = off});
+            return bv;
+        }
+        int d = compoundValue(e, Val{kNone, false}, off, idx);
+        emit({.k = Ir::K::StG, .a = d, .b = idx, .g = lhs.name,
+              .off = off});
+        return Val{d, false};
+    }
+
+    // Evaluates `current op= rhs` for a compound assignment: rhs
+    // first, then the load of the current value (interpreter order).
+    // `cur.v == kNone` means load from the lhs global/array.
+    int compoundValue(const Expr &e, Val cur, int64_t off = 0,
+                      int idx = kNone) {
+        const Expr &lhs = *e.a;
+        // Synthesize the operator shape: `lhs op rhs`.
+        Expr shape;
+        shape.k = Expr::K::Binary;
+        shape.op = e.op;
+        // Only .type of the operand slots is inspected by arithOp.
+        shape.a = std::make_unique<Expr>();
+        shape.a->type = lhs.type;
+        shape.b = std::make_unique<Expr>();
+        shape.b->type = e.b->type;
+        uint64_t c;
+        bool rhsConst = constantOf(*e.b, c);
+        int rhsVreg = kNone;
+        if (!rhsConst) rhsVreg = genExpr(*e.b).v;
+        int base = cur.v;
+        if (base == kNone)
+            base = loadGlobal(lhs.name, off, idx).v;
+        if (rhsConst) return emitArith(shape, base, *e.b);
+        OpPair ops = arithOp(shape);
+        int d = newVreg();
+        emit({.k = Ir::K::Rr, .op = ops.rr, .d = d, .a = base,
+              .b = rhsVreg});
+        return d;
+    }
+
+    Val genCall(const Expr &e) {
+        std::vector<Val> args;
+        args.reserve(e.args.size());
+        for (size_t i = 0; i < e.args.size(); ++i) {
+            Val v = genExpr(*e.args[i]);
+            bool laterAssigns = false;
+            for (size_t j = i + 1; j < e.args.size(); ++j)
+                laterAssigns |= containsAssign(*e.args[j]);
+            if (laterAssigns) v = materialize(v);
+            args.push_back(v);
+        }
+        Ir call{.k = Ir::K::Call, .g = e.name};
+        for (const Val &v : args) call.args.push_back(v.v);
+        if (e.type != CType::Void) call.d = newVreg();
+        int d = call.d;
+        emit(std::move(call));
+        return Val{d, false};
+    }
+
+    // ---- control flow -------------------------------------------------
+    void genCondBranch(const Expr &e, int target, bool jumpIfTrue) {
+        uint64_t c;
+        if (constantOf(e, c)) {
+            if ((c != 0) == jumpIfTrue)
+                emit({.k = Ir::K::Jmp, .lbl = target});
+            return;
+        }
+        if (e.k == Expr::K::Unary && e.op == "!") {
+            genCondBranch(*e.a, target, !jumpIfTrue);
+            return;
+        }
+        if (e.k == Expr::K::Binary && (e.op == "&&" || e.op == "||")) {
+            bool isAnd = e.op == "&&";
+            if (isAnd == jumpIfTrue) {
+                // all-must-hold (or all-must-fail): short circuit to a
+                // local skip label on the first decisive operand.
+                int skip = newLabel();
+                genCondBranch(*e.a, skip, !jumpIfTrue);
+                genCondBranch(*e.b, target, jumpIfTrue);
+                emit({.k = Ir::K::Lbl, .lbl = skip});
+            } else {
+                genCondBranch(*e.a, target, jumpIfTrue);
+                genCondBranch(*e.b, target, jumpIfTrue);
+            }
+            return;
+        }
+        if (e.k == Expr::K::Binary && isRelational(e.op)) {
+            relationalBranch(e, target, jumpIfTrue);
+            return;
+        }
+        int v = genExpr(e).v;
+        emit({.k = Ir::K::Br, .op = jumpIfTrue ? "bne" : "beq", .a = v,
+              .b = kZero, .lbl = target});
+    }
+
+    static bool isRelational(const std::string &op) {
+        return op == "<" || op == ">" || op == "<=" || op == ">=" ||
+               op == "==" || op == "!=";
+    }
+
+    void relationalBranch(const Expr &e, int target, bool jumpIfTrue) {
+        std::string op = e.op;
+        if (!jumpIfTrue) {
+            // Branch on the negated relation.
+            if (op == "<") op = ">=";
+            else if (op == ">=") op = "<";
+            else if (op == ">") op = "<=";
+            else if (op == "<=") op = ">";
+            else if (op == "==") op = "!=";
+            else op = "==";
+        }
+        bool uns = unsignedCmp(e);
+        Val av = genExpr(*e.a);
+        if (containsAssign(*e.b)) av = materialize(av);
+        int bo = operand(*e.b);
+        int a = av.v, b = bo;
+        const char *mn;
+        if (op == "==") mn = "beq";
+        else if (op == "!=") mn = "bne";
+        else if (op == "<") mn = uns ? "bltu" : "blt";
+        else if (op == ">=") mn = uns ? "bgeu" : "bge";
+        else if (op == ">") { mn = uns ? "bltu" : "blt"; std::swap(a, b); }
+        else { mn = uns ? "bgeu" : "bge"; std::swap(a, b); }  // "<="
+        emit({.k = Ir::K::Br, .op = mn, .a = a, .b = b, .lbl = target});
+    }
+
+    // ---- statements ---------------------------------------------------
+    void genStmt(const Stmt &s) {
+        switch (s.k) {
+        case Stmt::K::Empty:
+            return;
+        case Stmt::K::Expr:
+            genExpr(*s.e);
+            return;
+        case Stmt::K::Decl:
+            for (const Stmt::DeclItem &d : s.decls) {
+                int lv = localVreg(d.localId);
+                if (d.init) {
+                    Val v = genExpr(*d.init);
+                    emit({.k = Ir::K::Mov, .d = lv, .a = v.v});
+                } else {
+                    // Deterministic zero, matching the interpreter's
+                    // zero-filled frame.
+                    emit({.k = Ir::K::Li, .d = lv, .imm = 0});
+                }
+            }
+            return;
+        case Stmt::K::Block:
+            for (const Stmt &sub : s.body) genStmt(sub);
+            return;
+        case Stmt::K::If: {
+            // Constant conditions keep only the live arm: the dead
+            // arm would be unreachable code, which mg_lint rejects
+            // (candidates with constituents unreachable from entry).
+            uint64_t c;
+            if (constantOf(*s.e, c)) {
+                if (c != 0) genStmt(*s.s1);
+                else if (s.s2) genStmt(*s.s2);
+                return;
+            }
+            int lEnd = newLabel();
+            int lElse = s.s2 ? newLabel() : lEnd;
+            genCondBranch(*s.e, lElse, false);
+            genStmt(*s.s1);
+            if (s.s2) {
+                emit({.k = Ir::K::Jmp, .lbl = lEnd});
+                emit({.k = Ir::K::Lbl, .lbl = lElse});
+                genStmt(*s.s2);
+            }
+            emit({.k = Ir::K::Lbl, .lbl = lEnd});
+            return;
+        }
+        case Stmt::K::While: {
+            // while(0) vanishes; while(1) drops the exit test (break
+            // still leaves through lEnd).
+            uint64_t c;
+            const bool constCond = constantOf(*s.e, c);
+            if (constCond && c == 0) return;
+            int lHead = newLabel(), lEnd = newLabel();
+            emit({.k = Ir::K::Lbl, .lbl = lHead});
+            if (!constCond) genCondBranch(*s.e, lEnd, false);
+            loops_.push_back({lHead, lEnd});
+            genStmt(*s.s1);
+            loops_.pop_back();
+            emit({.k = Ir::K::Jmp, .lbl = lHead});
+            emit({.k = Ir::K::Lbl, .lbl = lEnd});
+            return;
+        }
+        case Stmt::K::DoWhile: {
+            int lBody = newLabel(), lCond = newLabel(), lEnd = newLabel();
+            emit({.k = Ir::K::Lbl, .lbl = lBody});
+            loops_.push_back({lCond, lEnd});
+            genStmt(*s.s1);
+            loops_.pop_back();
+            emit({.k = Ir::K::Lbl, .lbl = lCond});
+            // do-while(0) runs once and falls through; do-while(1)
+            // loops unconditionally.
+            uint64_t c;
+            if (!constantOf(*s.e, c)) {
+                genCondBranch(*s.e, lBody, true);
+            } else if (c != 0) {
+                emit({.k = Ir::K::Jmp, .lbl = lBody});
+            }
+            emit({.k = Ir::K::Lbl, .lbl = lEnd});
+            return;
+        }
+        case Stmt::K::For: {
+            // A constant-false condition leaves only the init; a
+            // constant-true one drops the exit test.
+            uint64_t c;
+            const bool constCond = s.e && constantOf(*s.e, c);
+            if (constCond && c == 0) {
+                if (s.forInit) genStmt(*s.forInit);
+                return;
+            }
+            int lHead = newLabel(), lStep = newLabel(), lEnd = newLabel();
+            if (s.forInit) genStmt(*s.forInit);
+            emit({.k = Ir::K::Lbl, .lbl = lHead});
+            if (s.e && !constCond) genCondBranch(*s.e, lEnd, false);
+            loops_.push_back({lStep, lEnd});
+            genStmt(*s.s1);
+            loops_.pop_back();
+            emit({.k = Ir::K::Lbl, .lbl = lStep});
+            if (s.forStep) genExpr(*s.forStep);
+            emit({.k = Ir::K::Jmp, .lbl = lHead});
+            emit({.k = Ir::K::Lbl, .lbl = lEnd});
+            return;
+        }
+        case Stmt::K::Return: {
+            if (s.e) {
+                int v = genExpr(*s.e).v;
+                emit({.k = Ir::K::RetVal, .a = v});
+            } else {
+                emit({.k = Ir::K::RetVal, .a = kNone});
+            }
+            emit({.k = Ir::K::Jmp, .lbl = epilogue_});
+            return;
+        }
+        case Stmt::K::Break:
+            emit({.k = Ir::K::Jmp, .lbl = loops_.back().breakLbl});
+            return;
+        case Stmt::K::Continue:
+            emit({.k = Ir::K::Jmp, .lbl = loops_.back().continueLbl});
+            return;
+        }
+        mg_panic("codegen: unhandled statement kind");
+    }
+
+    struct LoopLabels {
+        int continueLbl;
+        int breakLbl;
+    };
+
+    const FuncDecl &fn_;
+    std::vector<Ir> code_;
+    std::map<int, int> locals_;
+    std::vector<LoopLabels> loops_;
+    int nextVreg_ = 0;
+    int nextLabel_ = 0;
+    int epilogue_ = 0;
+};
+
+// ---- liveness + linear scan -------------------------------------------
+
+struct Interval {
+    int vreg = kNone;
+    int start = -1;  // IR position
+    int end = -1;
+    int reg = kNone;     // physical register, or kNone when spilled
+    bool spilled = false;
+};
+
+void forEachUse(const Ir &ir, const std::function<void(int)> &fn) {
+    auto u = [&](int v) {
+        if (v >= 0) fn(v);
+    };
+    switch (ir.k) {
+    case Ir::K::Rr:
+        u(ir.a);
+        u(ir.b);
+        break;
+    case Ir::K::Ri:
+    case Ir::K::Mov:
+        u(ir.a);
+        break;
+    case Ir::K::LdG:
+        u(ir.a);  // index
+        break;
+    case Ir::K::StG:
+        u(ir.a);  // source
+        u(ir.b);  // index
+        break;
+    case Ir::K::Br:
+        u(ir.a);
+        u(ir.b);
+        break;
+    case Ir::K::Call:
+        for (int v : ir.args) u(v);
+        break;
+    case Ir::K::RetVal:
+        u(ir.a);
+        break;
+    default:
+        break;
+    }
+}
+
+int defOf(const Ir &ir) {
+    switch (ir.k) {
+    case Ir::K::Li:
+    case Ir::K::Rr:
+    case Ir::K::Ri:
+    case Ir::K::Mov:
+    case Ir::K::LdG:
+    case Ir::K::LdArg:
+        return ir.d;
+    case Ir::K::Call:
+        return ir.d;  // may be kNone
+    default:
+        return kNone;
+    }
+}
+
+class Allocator {
+  public:
+    Allocator(const std::vector<Ir> &code, int numVregs)
+        : code_(code), numVregs_(numVregs) {}
+
+    void run() {
+        buildBlocks();
+        solveLiveness();
+        buildIntervals();
+        scan();
+        planCallSaves();
+    }
+
+    // Physical register of a vreg, or kNone when spilled.
+    int regOf(int vreg) const { return assignment_[vreg]; }
+    bool isSpilled(int vreg) const { return assignment_[vreg] == kNone; }
+    // Frame slot index of a spilled or call-saved vreg (asserted to
+    // exist).
+    int slotOf(int vreg) const { return slots_.at(vreg); }
+    bool hasSlot(int vreg) const { return slots_.count(vreg) != 0; }
+    int numSlots() const { return nextSlot_; }
+    // For a Call at position p: (physReg, vreg) pairs to save/restore.
+    const std::vector<std::pair<int, int>> &savesAt(int pos) const {
+        static const std::vector<std::pair<int, int>> kEmpty;
+        auto it = callSaves_.find(pos);
+        return it == callSaves_.end() ? kEmpty : it->second;
+    }
+
+  private:
+    void buildBlocks() {
+        // Block leaders: position 0, every Lbl, every successor of a
+        // Jmp/Br.
+        std::set<int> leaders;
+        leaders.insert(0);
+        for (size_t i = 0; i < code_.size(); ++i) {
+            const Ir &ir = code_[i];
+            if (ir.k == Ir::K::Lbl) {
+                leaders.insert(static_cast<int>(i));
+                labelPos_[ir.lbl] = static_cast<int>(i);
+            }
+            if (ir.k == Ir::K::Jmp || ir.k == Ir::K::Br)
+                leaders.insert(static_cast<int>(i) + 1);
+        }
+        leaders.insert(static_cast<int>(code_.size()));
+        std::vector<int> sorted(leaders.begin(), leaders.end());
+        for (size_t i = 0; i + 1 < sorted.size(); ++i) {
+            if (sorted[i] == sorted[i + 1]) continue;
+            blocks_.push_back({sorted[i], sorted[i + 1], {}, {}, {}, {}});
+        }
+        for (size_t b = 0; b < blocks_.size(); ++b) {
+            for (int p = blocks_[b].begin; p < blocks_[b].end; ++p)
+                blockOf_[p] = static_cast<int>(b);
+        }
+    }
+
+    int blockOfLabel(int lbl) const {
+        return blockOf_.at(labelPos_.at(lbl));
+    }
+
+    std::vector<int> successors(size_t b) const {
+        std::vector<int> out;
+        const Block &blk = blocks_[b];
+        const Ir &last = code_[blk.end - 1];
+        if (last.k == Ir::K::Jmp) {
+            out.push_back(blockOfLabel(last.lbl));
+            return out;
+        }
+        if (last.k == Ir::K::Br) out.push_back(blockOfLabel(last.lbl));
+        if (static_cast<size_t>(blk.end) < code_.size())
+            out.push_back(blockOf_.at(blk.end));
+        return out;
+    }
+
+    void solveLiveness() {
+        for (Block &blk : blocks_) {
+            std::set<int> defined;
+            for (int p = blk.begin; p < blk.end; ++p) {
+                forEachUse(code_[p], [&](int v) {
+                    if (defined.count(v) == 0) blk.use.insert(v);
+                });
+                int d = defOf(code_[p]);
+                if (d >= 0) defined.insert(d);
+            }
+            blk.def = std::move(defined);
+        }
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (size_t b = blocks_.size(); b-- > 0;) {
+                Block &blk = blocks_[b];
+                std::set<int> out;
+                for (int s : successors(b)) {
+                    const std::set<int> &in = blocks_[s].liveIn;
+                    out.insert(in.begin(), in.end());
+                }
+                std::set<int> in = blk.use;
+                for (int v : out)
+                    if (blk.def.count(v) == 0) in.insert(v);
+                if (out != blk.liveOut || in != blk.liveIn) {
+                    blk.liveOut = std::move(out);
+                    blk.liveIn = std::move(in);
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    void buildIntervals() {
+        intervals_.assign(static_cast<size_t>(numVregs_), Interval{});
+        auto extend = [&](int v, int pos) {
+            Interval &iv = intervals_[static_cast<size_t>(v)];
+            iv.vreg = v;
+            if (iv.start < 0 || pos < iv.start) iv.start = pos;
+            if (pos > iv.end) iv.end = pos;
+        };
+        for (const Block &blk : blocks_) {
+            for (int v : blk.liveIn) extend(v, blk.begin);
+            for (int v : blk.liveOut) extend(v, blk.end - 1);
+        }
+        for (size_t p = 0; p < code_.size(); ++p) {
+            int pos = static_cast<int>(p);
+            forEachUse(code_[p], [&](int v) { extend(v, pos); });
+            int d = defOf(code_[p]);
+            if (d >= 0) extend(d, pos);
+        }
+    }
+
+    void scan() {
+        assignment_.assign(static_cast<size_t>(numVregs_), kNone);
+        std::vector<const Interval *> order;
+        for (const Interval &iv : intervals_)
+            if (iv.vreg >= 0) order.push_back(&iv);
+        std::sort(order.begin(), order.end(),
+                  [](const Interval *x, const Interval *y) {
+                      if (x->start != y->start) return x->start < y->start;
+                      return x->vreg < y->vreg;
+                  });
+        // Free pool, lowest register first for deterministic output.
+        std::set<int> freeRegs;
+        for (int i = 0; i < kAllocCount; ++i)
+            freeRegs.insert(kAllocBase + i);
+        // Active set ordered by (end, vreg).
+        std::set<std::pair<int, int>> active;
+        for (const Interval *iv : order) {
+            // Expire intervals that ended strictly before this start.
+            while (!active.empty() &&
+                   active.begin()->first < iv->start) {
+                int ended = active.begin()->second;
+                freeRegs.insert(assignment_[ended]);
+                active.erase(active.begin());
+            }
+            if (!freeRegs.empty()) {
+                int reg = *freeRegs.begin();
+                freeRegs.erase(freeRegs.begin());
+                assignment_[iv->vreg] = reg;
+                active.emplace(iv->end, iv->vreg);
+                continue;
+            }
+            // Spill the interval that ends last.
+            auto victimIt = std::prev(active.end());
+            int victim = victimIt->second;
+            if (intervals_[victim].end > iv->end) {
+                assignment_[iv->vreg] = assignment_[victim];
+                assignment_[victim] = kNone;
+                ensureSlot(victim);
+                active.erase(victimIt);
+                active.emplace(iv->end, iv->vreg);
+            } else {
+                ensureSlot(iv->vreg);
+            }
+        }
+    }
+
+    void ensureSlot(int vreg) {
+        if (slots_.count(vreg) == 0) slots_[vreg] = nextSlot_++;
+    }
+
+    void planCallSaves() {
+        for (size_t p = 0; p < code_.size(); ++p) {
+            if (code_[p].k != Ir::K::Call) continue;
+            int pos = static_cast<int>(p);
+            std::vector<std::pair<int, int>> saves;
+            for (const Interval &iv : intervals_) {
+                if (iv.vreg < 0 || assignment_[iv.vreg] == kNone)
+                    continue;
+                if (iv.start < pos && iv.end > pos) {
+                    ensureSlot(iv.vreg);
+                    saves.emplace_back(assignment_[iv.vreg], iv.vreg);
+                }
+            }
+            std::sort(saves.begin(), saves.end());
+            if (!saves.empty()) callSaves_[pos] = std::move(saves);
+        }
+    }
+
+    struct Block {
+        int begin;
+        int end;
+        std::set<int> use, def, liveIn, liveOut;
+    };
+
+    const std::vector<Ir> &code_;
+    int numVregs_;
+    std::vector<Block> blocks_;
+    std::map<int, int> blockOf_;   // position -> block index
+    std::map<int, int> labelPos_;  // label id -> position
+    std::vector<Interval> intervals_;
+    std::vector<int> assignment_;  // vreg -> phys reg or kNone
+    std::map<int, int> slots_;     // vreg -> frame slot
+    std::map<int, std::vector<std::pair<int, int>>> callSaves_;
+    int nextSlot_ = 0;
+};
+
+// ---- assembly emission --------------------------------------------------
+
+class Emitter {
+  public:
+    Emitter(std::ostringstream &os, const FuncDecl &fn,
+            const std::vector<Ir> &code, const Allocator &alloc)
+        : os_(os), fn_(fn), code_(code), alloc_(alloc) {
+        frame_ = 8 * (static_cast<int64_t>(fn_.params.size()) + 1 +
+                      alloc_.numSlots());
+        raOffset_ = 8 * alloc_.numSlots();
+    }
+
+    void run() {
+        os_ << fn_.name << ":\n";
+        ins("addi", "sp", "sp", std::to_string(-frame_));
+        ins("sd", "ra", offSp(raOffset_));
+        for (size_t p = 0; p < code_.size(); ++p) emitOne(code_[p],
+                                                          static_cast<int>(p));
+        // Epilogue (the Lbl for it was emitted by emitOne).
+        if (fn_.name == "main") {
+            ins("halt");
+        } else {
+            ins("ld", "ra", offSp(raOffset_));
+            ins("addi", "sp", "sp", std::to_string(frame_));
+            ins("ret");
+        }
+    }
+
+  private:
+    std::string label(int id) const {
+        return strprintf(".L.%s.%d", fn_.name.c_str(), id);
+    }
+    static std::string offSp(int64_t off) {
+        return std::to_string(off) + "(sp)";
+    }
+    static std::string regName(int phys) {
+        return "r" + std::to_string(phys);
+    }
+
+    void ins(const std::string &mn) { os_ << "    " << mn << "\n"; }
+    template <typename First, typename... Rest>
+    void ins(const std::string &mn, First &&first, Rest &&...rest) {
+        os_ << "    " << mn << " " << first;
+        ((os_ << ", " << rest), ...);
+        os_ << "\n";
+    }
+
+    int64_t slotOff(int vreg) const { return 8 * alloc_.slotOf(vreg); }
+
+    // Operand read: returns the register name holding the value,
+    // reloading spilled vregs into the given scratch register.
+    std::string use(int v, int scratch) {
+        if (v == kZero) return "r0";
+        if (!alloc_.isSpilled(v)) return regName(alloc_.regOf(v));
+        std::string s = regName(scratch);
+        ins("ld", s, offSp(slotOff(v)));
+        return s;
+    }
+
+    // Destination write: pick the target register (scratch when
+    // spilled); finishDef stores it back if needed.
+    std::string defReg(int v, int scratch) const {
+        if (!alloc_.isSpilled(v)) return regName(alloc_.regOf(v));
+        return regName(scratch);
+    }
+    void finishDef(int v, int scratch) {
+        if (alloc_.isSpilled(v))
+            ins("sd", regName(scratch), offSp(slotOff(v)));
+    }
+
+    std::string memOperand(const Ir &ir, const std::string &idxReg) {
+        std::string sym = ir.g;
+        if (ir.off != 0) sym += "+" + std::to_string(ir.off);
+        if (!idxReg.empty()) sym += "(" + idxReg + ")";
+        return sym;
+    }
+
+    void emitOne(const Ir &ir, int pos) {
+        switch (ir.k) {
+        case Ir::K::Li: {
+            std::string d = defReg(ir.d, kScratchA);
+            ins("li", d, std::to_string(ir.imm));
+            finishDef(ir.d, kScratchA);
+            return;
+        }
+        case Ir::K::Rr: {
+            std::string a = use(ir.a, kScratchA);
+            std::string b = use(ir.b, kScratchB);
+            std::string d = defReg(ir.d, kScratchA);
+            ins(ir.op, d, a, b);
+            finishDef(ir.d, kScratchA);
+            return;
+        }
+        case Ir::K::Ri: {
+            std::string a = use(ir.a, kScratchA);
+            std::string d = defReg(ir.d, kScratchA);
+            ins(ir.op, d, a, std::to_string(ir.imm));
+            finishDef(ir.d, kScratchA);
+            return;
+        }
+        case Ir::K::Mov: {
+            std::string a = use(ir.a, kScratchA);
+            std::string d = defReg(ir.d, kScratchA);
+            if (d != a) ins("mov", d, a);
+            finishDef(ir.d, kScratchA);
+            return;
+        }
+        case Ir::K::LdG: {
+            std::string idxReg;
+            if (ir.a != kNone) {
+                std::string iv = use(ir.a, kScratchB);
+                ins("slli", regName(kScratchAddr), iv, "3");
+                idxReg = regName(kScratchAddr);
+            }
+            std::string d = defReg(ir.d, kScratchA);
+            ins("ld", d, memOperand(ir, idxReg));
+            finishDef(ir.d, kScratchA);
+            return;
+        }
+        case Ir::K::StG: {
+            std::string idxReg;
+            if (ir.b != kNone) {
+                std::string iv = use(ir.b, kScratchB);
+                ins("slli", regName(kScratchAddr), iv, "3");
+                idxReg = regName(kScratchAddr);
+            }
+            std::string src = use(ir.a, kScratchA);
+            ins("sd", src, memOperand(ir, idxReg));
+            return;
+        }
+        case Ir::K::LdArg: {
+            std::string d = defReg(ir.d, kScratchA);
+            ins("ld", d, offSp(frame_ - 8 * (ir.imm + 1)));
+            finishDef(ir.d, kScratchA);
+            return;
+        }
+        case Ir::K::Call: {
+            const auto &saves = alloc_.savesAt(pos);
+            for (const auto &[phys, vreg] : saves)
+                ins("sd", regName(phys), offSp(slotOff(vreg)));
+            for (size_t i = 0; i < ir.args.size(); ++i) {
+                std::string src = use(ir.args[i], kScratchA);
+                ins("sd", src,
+                    offSp(-8 * (static_cast<int64_t>(i) + 1)));
+            }
+            ins("call", ir.g);
+            for (const auto &[phys, vreg] : saves)
+                ins("ld", regName(phys), offSp(slotOff(vreg)));
+            if (ir.d != kNone) {
+                std::string d = defReg(ir.d, kScratchA);
+                if (d != regName(kRetValReg))
+                    ins("mov", d, regName(kRetValReg));
+                finishDef(ir.d, kScratchA);
+            }
+            return;
+        }
+        case Ir::K::RetVal: {
+            if (ir.a != kNone) {
+                std::string a = use(ir.a, kScratchA);
+                if (a != regName(kRetValReg))
+                    ins("mov", regName(kRetValReg), a);
+            }
+            return;
+        }
+        case Ir::K::Lbl:
+            os_ << label(ir.lbl) << ":\n";
+            return;
+        case Ir::K::Jmp:
+            ins("j", label(ir.lbl));
+            return;
+        case Ir::K::Br: {
+            std::string a = use(ir.a, kScratchA);
+            std::string b = use(ir.b, kScratchB);
+            ins(ir.op, a, b, label(ir.lbl));
+            return;
+        }
+        }
+        mg_panic("codegen: unhandled IR kind in emitter");
+    }
+
+    std::ostringstream &os_;
+    const FuncDecl &fn_;
+    const std::vector<Ir> &code_;
+    const Allocator &alloc_;
+    int64_t frame_ = 0;
+    int64_t raOffset_ = 0;
+};
+
+}  // namespace
+
+std::string generateAsm(const CProgram &program,
+                        const CodegenOptions &opts) {
+    std::vector<std::vector<uint64_t>> images;
+    std::string err =
+        initialGlobalImage(program, opts.globalOverrides, images);
+    if (!err.empty())
+        mg_fatal("%s: %s", program.name.c_str(), err.c_str());
+
+    std::ostringstream os;
+    os << "; " << program.name
+       << " -- generated by the mgsim C frontend (docs/FRONTEND.md)\n";
+    os << "    .text\n";
+    // Dead-function elimination: an uncalled helper would be
+    // unreachable code in the binary, and mg_lint rejects candidates
+    // whose constituents are unreachable from the program entry.
+    const std::set<std::string> live = liveFunctions(program);
+    for (const FuncDecl &fn : program.funcs) {
+        if (!live.count(fn.name)) continue;
+        FuncLower lower(fn);
+        std::vector<Ir> code = pruneUnreachable(lower.run());
+        Allocator alloc(code, lower.numVregs());
+        alloc.run();
+        Emitter(os, fn, code, alloc).run();
+    }
+    os << "\n    .data\n";
+    for (size_t gi = 0; gi < program.globals.size(); ++gi) {
+        const GlobalDecl &g = program.globals[gi];
+        const std::vector<uint64_t> &image = images[gi];
+        // Trailing zeros become .space so large arrays stay compact.
+        size_t tail = image.size();
+        while (tail > 0 && image[tail - 1] == 0) --tail;
+        os << g.name << ":";
+        if (tail == 0) {
+            os << "\n    .space " << 8 * image.size() << "\n";
+            continue;
+        }
+        os << "\n";
+        for (size_t i = 0; i < tail; i += 8) {
+            os << "    .dword ";
+            for (size_t j = i; j < std::min(tail, i + 8); ++j) {
+                if (j > i) os << ", ";
+                os << static_cast<int64_t>(image[j]);
+            }
+            os << "\n";
+        }
+        if (tail < image.size())
+            os << "    .space " << 8 * (image.size() - tail) << "\n";
+    }
+    return os.str();
+}
+
+}  // namespace mg::frontend

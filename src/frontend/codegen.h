@@ -1,0 +1,45 @@
+// MG-RISC code generation from the typed C-subset AST.
+//
+// Lowering pipeline: AST -> linear virtual-register IR -> basic-block
+// liveness -> linear-scan register allocation -> assembly text for the
+// existing two-pass assembler (assembler/assembler.h), consumed
+// unchanged.  Register convention (docs/FRONTEND.md):
+//
+//   r0          hardwired zero
+//   r1  - r25   allocatable pool (all caller-saved at call sites)
+//   r26 - r28   codegen scratch (spill reloads, address scaling)
+//   r29         function return value
+//   r30 (sp)    stack pointer
+//   r31 (ra)    link register
+//
+// Arguments are passed on the stack: the caller stores argument i at
+// -8*(i+1)(sp) immediately before `call`, and the callee's frame
+// covers that area, so argument i lands at F-8*(i+1)(sp) after the
+// callee's `addi sp, sp, -F`.
+//
+// The emitted text is a pure function of the AST and options — no
+// clocks, no randomness, no unordered containers — which is what the
+// byte-identical determinism test relies on.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "frontend/ast.h"
+
+namespace mg::frontend {
+
+struct CodegenOptions {
+    // Replaces the initial value of named scalar globals in the
+    // emitted .data image (must match the interpreter's overrides for
+    // the differential gate to be meaningful).
+    std::map<std::string, uint64_t> globalOverrides;
+};
+
+// Returns MG-RISC assembly text.  Throws (mg_fatal) on invalid
+// overrides; any other failure here is a compiler bug.
+std::string generateAsm(const CProgram &program,
+                        const CodegenOptions &opts);
+
+}  // namespace mg::frontend

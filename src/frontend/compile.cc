@@ -1,0 +1,54 @@
+#include "frontend/compile.h"
+
+#include <utility>
+
+#include "assembler/assembler.h"
+#include "common/logging.h"
+#include "frontend/codegen.h"
+#include "frontend/interp.h"
+#include "frontend/parser.h"
+
+namespace mg::frontend {
+
+CompileResult compile(const std::string &source,
+                      const CompileOptions &opts) {
+    CompileResult out;
+    ParseResult parsed = parse(source, opts.name);
+    if (!parsed.ok()) {
+        out.diags = std::move(parsed.diags);
+        if (out.diags.empty())
+            out.diags.push_back(Diag{0, 0, "parse failed"});
+        out.error = renderDiag(opts.name, out.diags.front());
+        return out;
+    }
+    // Validate overrides up front so the caller gets a diagnostic, not
+    // an mg_fatal out of codegen.
+    std::vector<std::vector<uint64_t>> images;
+    std::string err = initialGlobalImage(*parsed.program,
+                                         opts.globalOverrides, images);
+    if (!err.empty()) {
+        out.diags.push_back(Diag{0, 0, err});
+        out.error = opts.name + ": " + err;
+        return out;
+    }
+    CodegenOptions cg;
+    cg.globalOverrides = opts.globalOverrides;
+    out.asmText = generateAsm(*parsed.program, cg);
+    out.ast = std::shared_ptr<CProgram>(parsed.program.release());
+    out.ok = true;
+    return out;
+}
+
+assembler::Program assemble(const CompileResult &compiled,
+                            const CompileOptions &opts) {
+    if (!compiled.ok)
+        mg_fatal("assemble() on a failed compile: %s",
+                 compiled.error.c_str());
+    assembler::AssembleOptions ao;
+    ao.name = opts.name;
+    ao.memSize = opts.memSize;
+    if (opts.dataBase != 0) ao.dataBase = opts.dataBase;
+    return assembler::assemble(compiled.asmText, ao);
+}
+
+}  // namespace mg::frontend

@@ -1,0 +1,51 @@
+// frontend::compile() — the library entry point for the C-subset
+// compiler (docs/FRONTEND.md): source text in, MG-RISC assembly (and
+// optionally an assembled Program) out.  `mgsim cc`, the workload
+// registry (workloads/c_kernels.cc) and the differential fuzz gate
+// (fuzz/frontend_fuzz.h) all go through here.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "assembler/program.h"
+#include "frontend/ast.h"
+#include "frontend/lexer.h"
+
+namespace mg::frontend {
+
+struct CompileOptions {
+    std::string name = "cprog";
+    // Memory image size of the assembled program (code is index-based;
+    // this bounds data + stack).
+    uint64_t memSize = 8ull << 20;
+    // Base address of the .data section (assembler default when 0).
+    uint64_t dataBase = 0;
+    // Replaces the initial value of named scalar globals — the
+    // workload registry's SEED/N parameterization.
+    std::map<std::string, uint64_t> globalOverrides;
+};
+
+struct CompileResult {
+    bool ok = false;
+    // All diagnostics (first error wins; see parser.h).  `error` is
+    // the first one rendered "name:line:col: message".
+    std::vector<Diag> diags;
+    std::string error;
+    std::string asmText;                // empty unless ok
+    std::shared_ptr<CProgram> ast;      // null unless ok
+};
+
+CompileResult compile(const std::string &source,
+                      const CompileOptions &opts);
+
+// Assembles a successful CompileResult into a runnable Program.
+// Throws (mg_fatal) only on a frontend bug: frontend-emitted assembly
+// is assembler-clean by construction.
+assembler::Program assemble(const CompileResult &compiled,
+                            const CompileOptions &opts);
+
+}  // namespace mg::frontend

@@ -1,0 +1,301 @@
+#include "frontend/interp.h"
+
+#include <limits>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace mg::frontend {
+
+std::string initialGlobalImage(
+    const CProgram &program,
+    const std::map<std::string, uint64_t> &overrides,
+    std::vector<std::vector<uint64_t>> &out) {
+    for (const auto &[name, value] : overrides) {
+        (void)value;
+        const GlobalDecl *g = program.findGlobal(name);
+        if (g == nullptr)
+            return strprintf("override of unknown global '%s'",
+                             name.c_str());
+        if (g->arraySize != 0)
+            return strprintf("override of array global '%s' "
+                             "(only scalars can be overridden)",
+                             name.c_str());
+    }
+    out.clear();
+    out.reserve(program.globals.size());
+    for (const GlobalDecl &g : program.globals) {
+        std::vector<uint64_t> image(g.arraySize == 0 ? 1 : g.arraySize, 0);
+        for (size_t i = 0; i < g.init.size(); ++i) image[i] = g.init[i];
+        auto ov = overrides.find(g.name);
+        if (ov != overrides.end()) image[0] = ov->second;
+        out.push_back(std::move(image));
+    }
+    return "";
+}
+
+uint64_t evalCBinary(const std::string &op, bool uns, uint64_t a,
+                     uint64_t b) {
+    auto asS = [](uint64_t v) { return static_cast<int64_t>(v); };
+    const int64_t kMin = std::numeric_limits<int64_t>::min();
+    if (op == "+") return a + b;
+    if (op == "-") return a - b;
+    if (op == "*") return a * b;
+    if (op == "&") return a & b;
+    if (op == "|") return a | b;
+    if (op == "^") return a ^ b;
+    if (op == "<<") return a << (b & 63);
+    if (op == ">>") {
+        uint64_t sh = b & 63;
+        return uns ? a >> sh
+                   : static_cast<uint64_t>(asS(a) >> sh);
+    }
+    if (op == "/") {
+        // MG-RISC DIV (there is no DIVU): x/0 == -1, INT64_MIN/-1 == x.
+        if (b == 0) return ~0ull;
+        if (asS(a) == kMin && asS(b) == -1) return a;
+        return static_cast<uint64_t>(asS(a) / asS(b));
+    }
+    if (op == "%") {
+        if (b == 0) return a;
+        if (asS(a) == kMin && asS(b) == -1) return 0;
+        return static_cast<uint64_t>(asS(a) % asS(b));
+    }
+    if (op == "<") return uns ? (a < b) : (asS(a) < asS(b));
+    if (op == ">") return uns ? (a > b) : (asS(a) > asS(b));
+    if (op == "<=") return uns ? (a <= b) : (asS(a) <= asS(b));
+    if (op == ">=") return uns ? (a >= b) : (asS(a) >= asS(b));
+    if (op == "==") return a == b;
+    if (op == "!=") return a != b;
+    mg_panic("evalCBinary: unknown operator '%s'", op.c_str());
+}
+
+namespace {
+
+struct InterpAbort {
+    std::string msg;
+};
+
+class Interp {
+  public:
+    Interp(const CProgram &p, const InterpOptions &opts)
+        : p_(p), maxSteps_(opts.maxSteps) {}
+
+    InterpResult run(const InterpOptions &opts) {
+        InterpResult out;
+        std::string err =
+            initialGlobalImage(p_, opts.globalOverrides, g_);
+        if (!err.empty()) {
+            out.error = std::move(err);
+            return out;
+        }
+        try {
+            callFn(*p_.findFunc("main"), {});
+            out.ok = true;
+        } catch (const InterpAbort &abort) {
+            out.error = abort.msg;
+        }
+        out.steps = steps_;
+        out.globals = std::move(g_);
+        return out;
+    }
+
+  private:
+    enum class Flow { Normal, Break, Continue, Return };
+
+    struct Frame {
+        std::vector<uint64_t> locals;
+        uint64_t retValue = 0;
+    };
+
+    void tick() {
+        if (++steps_ > maxSteps_)
+            throw InterpAbort{"interpreter step budget exceeded "
+                              "(likely non-terminating program)"};
+    }
+    [[noreturn]] void abort(const Expr &e, std::string msg) {
+        throw InterpAbort{strprintf("%d:%d: %s", e.line, e.col,
+                                    msg.c_str())};
+    }
+
+    uint64_t callFn(const FuncDecl &fn, std::vector<uint64_t> args) {
+        if (++depth_ > kMaxDepth)
+            throw InterpAbort{strprintf(
+                "call depth exceeds %d (runaway recursion in '%s')",
+                kMaxDepth, fn.name.c_str())};
+        Frame frame;
+        frame.locals.assign(static_cast<size_t>(fn.numLocals), 0);
+        for (size_t i = 0; i < args.size(); ++i) frame.locals[i] = args[i];
+        Flow flow = exec(fn.body, frame);
+        (void)flow;  // falling off the end of a non-void fn returns 0
+        --depth_;
+        return frame.retValue;
+    }
+
+    Flow exec(const Stmt &s, Frame &f) {
+        tick();
+        switch (s.k) {
+        case Stmt::K::Empty:
+            return Flow::Normal;
+        case Stmt::K::Expr:
+            eval(*s.e, f);
+            return Flow::Normal;
+        case Stmt::K::Decl:
+            for (const Stmt::DeclItem &d : s.decls) {
+                f.locals[static_cast<size_t>(d.localId)] =
+                    d.init ? eval(*d.init, f) : 0;
+            }
+            return Flow::Normal;
+        case Stmt::K::Block:
+            for (const Stmt &sub : s.body) {
+                Flow flow = exec(sub, f);
+                if (flow != Flow::Normal) return flow;
+            }
+            return Flow::Normal;
+        case Stmt::K::If:
+            if (eval(*s.e, f) != 0) return exec(*s.s1, f);
+            if (s.s2) return exec(*s.s2, f);
+            return Flow::Normal;
+        case Stmt::K::While:
+            while (eval(*s.e, f) != 0) {
+                Flow flow = exec(*s.s1, f);
+                if (flow == Flow::Break) break;
+                if (flow == Flow::Return) return flow;
+            }
+            return Flow::Normal;
+        case Stmt::K::DoWhile:
+            do {
+                Flow flow = exec(*s.s1, f);
+                if (flow == Flow::Break) break;
+                if (flow == Flow::Return) return flow;
+            } while (eval(*s.e, f) != 0);
+            return Flow::Normal;
+        case Stmt::K::For: {
+            if (s.forInit) {
+                Flow flow = exec(*s.forInit, f);
+                if (flow != Flow::Normal) return flow;
+            }
+            while (s.e == nullptr || eval(*s.e, f) != 0) {
+                Flow flow = exec(*s.s1, f);
+                if (flow == Flow::Break) break;
+                if (flow == Flow::Return) return flow;
+                if (s.forStep) eval(*s.forStep, f);
+            }
+            return Flow::Normal;
+        }
+        case Stmt::K::Return:
+            if (s.e) f.retValue = eval(*s.e, f);
+            return Flow::Return;
+        case Stmt::K::Break:
+            return Flow::Break;
+        case Stmt::K::Continue:
+            return Flow::Continue;
+        }
+        mg_panic("interp: unhandled statement kind");
+    }
+
+    uint64_t *arraySlot(const Expr &e, uint64_t idx) {
+        int gi = p_.globalIdx.at(e.name);
+        std::vector<uint64_t> &img = g_[static_cast<size_t>(gi)];
+        if (idx >= img.size())
+            abort(e, strprintf("index %llu out of bounds for '%s[%zu]'",
+                               static_cast<unsigned long long>(idx),
+                               e.name.c_str(), img.size()));
+        return &img[idx];
+    }
+
+    uint64_t eval(const Expr &e, Frame &f) {
+        tick();
+        switch (e.k) {
+        case Expr::K::Num:
+            return e.value;
+        case Expr::K::Var:
+            if (e.localId >= 0)
+                return f.locals[static_cast<size_t>(e.localId)];
+            return g_[static_cast<size_t>(p_.globalIdx.at(e.name))][0];
+        case Expr::K::Index:
+            return *arraySlot(e, eval(*e.a, f));
+        case Expr::K::Unary: {
+            uint64_t v = eval(*e.a, f);
+            if (e.op == "-") return 0 - v;
+            if (e.op == "~") return ~v;
+            if (e.op == "!") return v == 0 ? 1 : 0;
+            return v;  // unary +
+        }
+        case Expr::K::Binary: {
+            if (e.op == "&&") {
+                if (eval(*e.a, f) == 0) return 0;
+                return eval(*e.b, f) != 0 ? 1 : 0;
+            }
+            if (e.op == "||") {
+                if (eval(*e.a, f) != 0) return 1;
+                return eval(*e.b, f) != 0 ? 1 : 0;
+            }
+            uint64_t a = eval(*e.a, f);
+            uint64_t b = eval(*e.b, f);
+            // Shift signedness comes from the left operand alone; for
+            // everything else the usual "unsigned wins" conversion.
+            bool uns = (e.op == "<<" || e.op == ">>")
+                           ? e.a->type == CType::Unsigned
+                           : unsignedOperands(e);
+            return evalCBinary(e.op, uns, a, b);
+        }
+        case Expr::K::Assign:
+            return assign(e, f);
+        case Expr::K::Cond:
+            return eval(*e.a, f) != 0 ? eval(*e.b, f) : eval(*e.c, f);
+        case Expr::K::Call: {
+            const FuncDecl &fn = *p_.findFunc(e.name);
+            std::vector<uint64_t> args;
+            args.reserve(e.args.size());
+            for (const auto &arg : e.args) args.push_back(eval(*arg, f));
+            return callFn(fn, std::move(args));
+        }
+        }
+        mg_panic("interp: unhandled expression kind");
+    }
+
+    // Evaluation order (matched by the codegen): array index first,
+    // then the rhs, then (for compound ops) the load.
+    uint64_t assign(const Expr &e, Frame &f) {
+        const Expr &lhs = *e.a;
+        uint64_t *slot = nullptr;
+        if (lhs.k == Expr::K::Index) {
+            slot = arraySlot(lhs, eval(*lhs.a, f));
+        } else if (lhs.localId >= 0) {
+            slot = &f.locals[static_cast<size_t>(lhs.localId)];
+        } else {
+            int gi = p_.globalIdx.at(lhs.name);
+            slot = &g_[static_cast<size_t>(gi)][0];
+        }
+        uint64_t rhs = eval(*e.b, f);
+        if (e.op.empty()) {
+            *slot = rhs;
+        } else {
+            // Compound signedness comes from the already-typed operand
+            // pair, same as the expanded `a = a op b` form.
+            bool uns = lhs.type == CType::Unsigned ||
+                       e.b->type == CType::Unsigned;
+            if (e.op == "<<" || e.op == ">>") uns =
+                lhs.type == CType::Unsigned;
+            *slot = evalCBinary(e.op, uns, *slot, rhs);
+        }
+        return *slot;
+    }
+
+    static constexpr int kMaxDepth = 1024;
+
+    const CProgram &p_;
+    uint64_t maxSteps_;
+    uint64_t steps_ = 0;
+    int depth_ = 0;
+    std::vector<std::vector<uint64_t>> g_;
+};
+
+}  // namespace
+
+InterpResult interpret(const CProgram &program, const InterpOptions &opts) {
+    return Interp(program, opts).run(opts);
+}
+
+}  // namespace mg::frontend

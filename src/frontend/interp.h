@@ -1,0 +1,56 @@
+// Reference interpreter for the MG-RISC C-subset AST.
+//
+// This is the compiler's differential ground truth: `mgsim fuzz
+// --frontend` executes the same typed AST here and through
+// compile→assemble→FunctionalCore, then requires the final global
+// images to match.  The arithmetic deliberately mirrors the MG-RISC
+// ALU semantics (uarch/functional.cc evalIntOp): shift counts mask
+// `& 63`, division is always the signed DIV/REM with the ISA's defined
+// edge cases (x/0 == -1, x%0 == x, INT64_MIN/-1 == INT64_MIN with
+// remainder 0).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "frontend/ast.h"
+
+namespace mg::frontend {
+
+struct InterpOptions {
+    uint64_t maxSteps = 1ull << 22;
+    // Replaces the initial value of named scalar globals (the workload
+    // registry's SEED/N parameterization).  Unknown names are errors.
+    std::map<std::string, uint64_t> globalOverrides;
+};
+
+struct InterpResult {
+    bool ok = false;
+    std::string error;     // non-empty when !ok
+    uint64_t steps = 0;    // AST nodes evaluated
+    // Final memory image per global, in CProgram::globals order; each
+    // inner vector has max(1, arraySize) elements.
+    std::vector<std::vector<uint64_t>> globals;
+};
+
+InterpResult interpret(const CProgram &program, const InterpOptions &opts);
+
+// Expands each global's initial 64-bit image (zero-filled past the
+// initializers), applying overrides.  Returns an empty string on
+// success or an error message.  Shared by the interpreter and the
+// codegen so both sides of the differential gate see identical data.
+std::string initialGlobalImage(
+    const CProgram &program,
+    const std::map<std::string, uint64_t> &overrides,
+    std::vector<std::vector<uint64_t>> &out);
+
+// The single scalar binary-op evaluator both the interpreter and any
+// constant folding use; `op` is the C operator spelling, `uns` selects
+// unsigned comparison/shift semantics.  Division is always signed
+// (the ISA has no DIVU/REMU).
+uint64_t evalCBinary(const std::string &op, bool uns, uint64_t a,
+                     uint64_t b);
+
+}  // namespace mg::frontend

@@ -1,0 +1,216 @@
+#include "frontend/lexer.h"
+
+#include <cctype>
+
+#include "common/logging.h"
+
+namespace mg::frontend {
+
+std::string renderDiag(const std::string &name, const Diag &d) {
+    return strprintf("%s:%d:%d: %s", name.c_str(), d.line, d.col,
+                     d.msg.c_str());
+}
+
+namespace {
+
+// Multi-character operators, longest first so maximal munch works.
+const char *kOps[] = {
+    "<<=", ">>=", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=",  "-=",  "*=", "/=", "%=", "&=", "|=", "^=", "+",  "-",
+    "*",   "/",   "%",  "&",  "|",  "^",  "~",  "!",  "<",  ">",
+    "=",   "(",   ")",  "[",  "]",  "{",  "}",  ",",  ";",  "?",
+    ":",
+};
+
+struct Keyword {
+    const char *name;
+    Token::Kind kind;
+};
+const Keyword kKeywords[] = {
+    {"int", Token::Kind::KwInt},
+    {"unsigned", Token::Kind::KwUnsigned},
+    {"void", Token::Kind::KwVoid},
+    {"if", Token::Kind::KwIf},
+    {"else", Token::Kind::KwElse},
+    {"while", Token::Kind::KwWhile},
+    {"do", Token::Kind::KwDo},
+    {"for", Token::Kind::KwFor},
+    {"return", Token::Kind::KwReturn},
+    {"break", Token::Kind::KwBreak},
+    {"continue", Token::Kind::KwContinue},
+};
+
+class Lexer {
+  public:
+    explicit Lexer(const std::string &src) : src_(src) {}
+
+    LexResult run() {
+        while (pos_ < src_.size()) {
+            char c = src_[pos_];
+            if (c == '\n') {
+                ++line_;
+                col_ = 1;
+                ++pos_;
+            } else if (std::isspace(static_cast<unsigned char>(c))) {
+                advance();
+            } else if (c == '/' && peek(1) == '/') {
+                while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+            } else if (c == '/' && peek(1) == '*') {
+                blockComment();
+            } else if (std::isdigit(static_cast<unsigned char>(c))) {
+                number();
+            } else if (std::isalpha(static_cast<unsigned char>(c)) ||
+                       c == '_') {
+                identifier();
+            } else {
+                op();
+            }
+        }
+        Token end;
+        end.kind = Token::Kind::End;
+        end.line = line_;
+        end.col = col_;
+        out_.tokens.push_back(end);
+        return std::move(out_);
+    }
+
+  private:
+    char peek(size_t ahead) const {
+        return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+    }
+    void advance() {
+        ++pos_;
+        ++col_;
+    }
+    void error(int line, int col, std::string msg) {
+        out_.diags.push_back(Diag{line, col, std::move(msg)});
+    }
+
+    void blockComment() {
+        int line = line_, col = col_;
+        advance();
+        advance();
+        while (pos_ < src_.size()) {
+            if (src_[pos_] == '*' && peek(1) == '/') {
+                advance();
+                advance();
+                return;
+            }
+            if (src_[pos_] == '\n') {
+                ++line_;
+                col_ = 1;
+                ++pos_;
+            } else {
+                advance();
+            }
+        }
+        error(line, col, "unterminated block comment");
+    }
+
+    void number() {
+        Token t;
+        t.kind = Token::Kind::Number;
+        t.line = line_;
+        t.col = col_;
+        uint64_t v = 0;
+        bool overflow = false;
+        if (src_[pos_] == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+            advance();
+            advance();
+            size_t digits = 0;
+            while (pos_ < src_.size() &&
+                   std::isxdigit(static_cast<unsigned char>(src_[pos_]))) {
+                char c = src_[pos_];
+                uint64_t d = std::isdigit(static_cast<unsigned char>(c))
+                                 ? static_cast<uint64_t>(c - '0')
+                                 : static_cast<uint64_t>(
+                                       std::tolower(c) - 'a' + 10);
+                if (v > (~0ull - d) / 16) overflow = true;
+                v = v * 16 + d;
+                ++digits;
+                advance();
+            }
+            if (digits == 0) error(t.line, t.col, "malformed hex literal");
+        } else {
+            while (pos_ < src_.size() &&
+                   std::isdigit(static_cast<unsigned char>(src_[pos_]))) {
+                uint64_t d = static_cast<uint64_t>(src_[pos_] - '0');
+                if (v > (~0ull - d) / 10) overflow = true;
+                v = v * 10 + d;
+                advance();
+            }
+        }
+        if (overflow) error(t.line, t.col, "integer literal overflows 64 bits");
+        if (pos_ < src_.size() && (src_[pos_] == 'u' || src_[pos_] == 'U')) {
+            t.isUnsigned = true;
+            advance();
+        }
+        // A decimal literal that does not fit a signed 64-bit int is
+        // unsigned even without the suffix (mirrors C's promotion).
+        if (v > 0x7fffffffffffffffull) t.isUnsigned = true;
+        if (pos_ < src_.size() &&
+            (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+             src_[pos_] == '_')) {
+            error(t.line, t.col, "malformed integer literal suffix");
+            while (pos_ < src_.size() &&
+                   (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+                    src_[pos_] == '_'))
+                advance();
+        }
+        t.value = v;
+        out_.tokens.push_back(std::move(t));
+    }
+
+    void identifier() {
+        Token t;
+        t.line = line_;
+        t.col = col_;
+        size_t start = pos_;
+        while (pos_ < src_.size() &&
+               (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+                src_[pos_] == '_'))
+            advance();
+        t.text = src_.substr(start, pos_ - start);
+        t.kind = Token::Kind::Ident;
+        for (const Keyword &kw : kKeywords) {
+            if (t.text == kw.name) {
+                t.kind = kw.kind;
+                break;
+            }
+        }
+        out_.tokens.push_back(std::move(t));
+    }
+
+    void op() {
+        for (const char *candidate : kOps) {
+            size_t n = std::string::npos;
+            for (n = 0; candidate[n] != '\0'; ++n) {
+                if (peek(n) != candidate[n]) break;
+            }
+            if (candidate[n] != '\0') continue;
+            Token t;
+            t.kind = Token::Kind::Punct;
+            t.text = candidate;
+            t.line = line_;
+            t.col = col_;
+            for (size_t i = 0; i < n; ++i) advance();
+            out_.tokens.push_back(std::move(t));
+            return;
+        }
+        error(line_, col_,
+              strprintf("unexpected character '%c'", src_[pos_]));
+        advance();
+    }
+
+    const std::string &src_;
+    size_t pos_ = 0;
+    int line_ = 1;
+    int col_ = 1;
+    LexResult out_;
+};
+
+}  // namespace
+
+LexResult lex(const std::string &source) { return Lexer(source).run(); }
+
+}  // namespace mg::frontend

@@ -1,0 +1,64 @@
+// Lexer for the MG-RISC C subset (docs/FRONTEND.md).
+//
+// Produces a flat token stream with 1-based line/column positions so
+// the parser can emit "name:line:col: message" diagnostics in the same
+// shape the assembler uses.  The lexer never throws: malformed input
+// becomes Diag entries and lexing continues where possible, which is
+// what the ddmin shrinker needs (arbitrary line subsets must fail
+// cleanly, not crash).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mg::frontend {
+
+// One diagnostic, positioned in the original source.
+struct Diag {
+    int line = 0;  // 1-based
+    int col = 0;   // 1-based
+    std::string msg;
+};
+
+std::string renderDiag(const std::string &name, const Diag &d);
+
+struct Token {
+    enum class Kind {
+        End,
+        Ident,
+        Number,
+        KwInt,
+        KwUnsigned,
+        KwVoid,
+        KwIf,
+        KwElse,
+        KwWhile,
+        KwDo,
+        KwFor,
+        KwReturn,
+        KwBreak,
+        KwContinue,
+        Punct,
+    };
+    Kind kind = Kind::End;
+    std::string text;  // identifier spelling / operator spelling
+    uint64_t value = 0;        // Number only
+    bool isUnsigned = false;   // Number only: 'u' suffix or > INT64_MAX
+    int line = 0;
+    int col = 0;
+
+    bool is(const char *punct) const {
+        return kind == Kind::Punct && text == punct;
+    }
+};
+
+struct LexResult {
+    std::vector<Token> tokens;  // always ends with Kind::End
+    std::vector<Diag> diags;
+    bool ok() const { return diags.empty(); }
+};
+
+LexResult lex(const std::string &source);
+
+}  // namespace mg::frontend

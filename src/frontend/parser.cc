@@ -1,0 +1,646 @@
+#include "frontend/parser.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace mg::frontend {
+namespace {
+
+// Internal unwind signal: the parser stops at the first diagnostic so
+// the returned tree is either fully typed or absent.
+struct ParseAbort {};
+
+struct LocalInfo {
+    int id = -1;
+    CType type = CType::Int;
+};
+
+class Parser {
+  public:
+    Parser(std::vector<Token> tokens, std::string name)
+        : toks_(std::move(tokens)), name_(std::move(name)) {}
+
+    ParseResult run() {
+        ParseResult out;
+        auto prog = std::make_unique<CProgram>();
+        prog->name = name_;
+        prog_ = prog.get();
+        try {
+            while (!at(Token::Kind::End)) topLevel();
+            if (prog_->funcIdx.find("main") == prog_->funcIdx.end())
+                fail(cur(), "program has no main() function");
+        } catch (const ParseAbort &) {
+            out.diags = std::move(diags_);
+            return out;
+        }
+        out.program = std::move(prog);
+        out.diags = std::move(diags_);
+        return out;
+    }
+
+  private:
+    // ---- token stream -------------------------------------------------
+    const Token &cur() const { return toks_[pos_]; }
+    const Token &peek(size_t n = 1) const {
+        size_t i = pos_ + n;
+        return i < toks_.size() ? toks_[i] : toks_.back();
+    }
+    bool at(Token::Kind k) const { return cur().kind == k; }
+    bool atPunct(const char *p) const { return cur().is(p); }
+    Token take() { return toks_[pos_ < toks_.size() - 1 ? pos_++ : pos_]; }
+    Token expectPunct(const char *p) {
+        if (!atPunct(p))
+            fail(cur(), strprintf("expected '%s'", p));
+        return take();
+    }
+    Token expectIdent(const char *what) {
+        if (!at(Token::Kind::Ident))
+            fail(cur(), strprintf("expected %s name", what));
+        return take();
+    }
+
+    [[noreturn]] void fail(const Token &t, std::string msg) {
+        diags_.push_back(Diag{t.line, t.col, std::move(msg)});
+        throw ParseAbort{};
+    }
+    [[noreturn]] void fail(const Expr &e, std::string msg) {
+        diags_.push_back(Diag{e.line, e.col, std::move(msg)});
+        throw ParseAbort{};
+    }
+
+    // ---- scopes -------------------------------------------------------
+    void pushScope() { scopes_.emplace_back(); }
+    void popScope() { scopes_.pop_back(); }
+    const LocalInfo *findLocal(const std::string &n) const {
+        for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+            auto hit = it->find(n);
+            if (hit != it->end()) return &hit->second;
+        }
+        return nullptr;
+    }
+    LocalInfo declareLocal(const Token &nameTok, CType type) {
+        auto &scope = scopes_.back();
+        if (scope.find(nameTok.text) != scope.end())
+            fail(nameTok, strprintf("redeclaration of '%s'",
+                                    nameTok.text.c_str()));
+        LocalInfo info{numLocals_++, type};
+        scope.emplace(nameTok.text, info);
+        return info;
+    }
+
+    // ---- types --------------------------------------------------------
+    bool atType() const {
+        return at(Token::Kind::KwInt) || at(Token::Kind::KwUnsigned) ||
+               at(Token::Kind::KwVoid);
+    }
+    CType takeType() {
+        if (at(Token::Kind::KwInt)) {
+            take();
+            return CType::Int;
+        }
+        if (at(Token::Kind::KwUnsigned)) {
+            take();
+            // Accept "unsigned int" as a synonym.
+            if (at(Token::Kind::KwInt)) take();
+            return CType::Unsigned;
+        }
+        if (at(Token::Kind::KwVoid)) {
+            take();
+            return CType::Void;
+        }
+        fail(cur(), "expected type ('int', 'unsigned' or 'void')");
+    }
+    void requireValue(const Expr &e, const char *what) {
+        if (e.type == CType::Void)
+            fail(e, strprintf("void value used as %s", what));
+    }
+
+    // ---- top level ----------------------------------------------------
+    void topLevel() {
+        if (!atType())
+            fail(cur(), "expected a global declaration or function");
+        const Token typeTok = cur();
+        CType type = takeType();
+        Token name = expectIdent("declaration");
+        if (atPunct("(")) {
+            function(type, name);
+            return;
+        }
+        if (type == CType::Void)
+            fail(typeTok, "global variables cannot be void");
+        global(type, name);
+    }
+
+    uint64_t constExpr() {
+        bool neg = false;
+        while (atPunct("-") || atPunct("+")) {
+            if (take().text == "-") neg = !neg;
+        }
+        if (!at(Token::Kind::Number))
+            fail(cur(), "expected an integer constant");
+        uint64_t v = take().value;
+        return neg ? 0 - v : v;
+    }
+
+    void global(CType type, const Token &name) {
+        checkFreshGlobalName(name);
+        GlobalDecl g;
+        g.name = name.text;
+        g.type = type;
+        g.line = name.line;
+        g.col = name.col;
+        if (atPunct("[")) {
+            take();
+            if (!at(Token::Kind::Number))
+                fail(cur(), "expected a constant array size");
+            Token sz = take();
+            if (sz.value == 0 || sz.value > 1u << 20)
+                fail(sz, "array size must be in [1, 1048576]");
+            g.arraySize = sz.value;
+            expectPunct("]");
+        }
+        if (atPunct("=")) {
+            take();
+            if (g.arraySize == 0) {
+                g.init.push_back(constExpr());
+            } else {
+                expectPunct("{");
+                if (!atPunct("}")) {
+                    g.init.push_back(constExpr());
+                    while (atPunct(",")) {
+                        take();
+                        g.init.push_back(constExpr());
+                    }
+                }
+                if (g.init.size() > g.arraySize)
+                    fail(name, strprintf(
+                                   "too many initializers for '%s' "
+                                   "(%zu > %llu)",
+                                   g.name.c_str(), g.init.size(),
+                                   static_cast<unsigned long long>(
+                                       g.arraySize)));
+                expectPunct("}");
+            }
+        }
+        expectPunct(";");
+        prog_->globalIdx.emplace(g.name,
+                                 static_cast<int>(prog_->globals.size()));
+        prog_->globals.push_back(std::move(g));
+    }
+
+    void checkFreshGlobalName(const Token &name) {
+        if (prog_->globalIdx.count(name.text) ||
+            prog_->funcIdx.count(name.text))
+            fail(name,
+                 strprintf("redefinition of '%s'", name.text.c_str()));
+    }
+
+    void function(CType ret, const Token &name) {
+        checkFreshGlobalName(name);
+        FuncDecl fn;
+        fn.name = name.text;
+        fn.ret = ret;
+        fn.line = name.line;
+        fn.col = name.col;
+        expectPunct("(");
+        numLocals_ = 0;
+        scopes_.clear();
+        pushScope();
+        if (!atPunct(")")) {
+            if (at(Token::Kind::KwVoid) && peek().is(")")) {
+                take();  // f(void)
+            } else {
+                do {
+                    CType pt = takeType();
+                    if (pt == CType::Void)
+                        fail(cur(), "parameters cannot be void");
+                    Token pn = expectIdent("parameter");
+                    if (atPunct("["))
+                        fail(cur(), "array parameters are not supported; "
+                                    "use a global array");
+                    declareLocal(pn, pt);
+                    fn.params.push_back(Param{pn.text, pt});
+                } while (atPunct(",") && (take(), true));
+            }
+        }
+        expectPunct(")");
+        if (fn.name == "main" && !fn.params.empty())
+            fail(name, "main() cannot take parameters");
+        if (!atPunct("{"))
+            fail(cur(), "expected function body "
+                        "(forward declarations are not supported)");
+        // Register before parsing the body so direct recursion works.
+        int idx = static_cast<int>(prog_->funcs.size());
+        prog_->funcIdx.emplace(fn.name, idx);
+        prog_->funcs.push_back(std::move(fn));
+        curFunc_ = &prog_->funcs[idx];
+        loopDepth_ = 0;
+        curFunc_->body = block();
+        curFunc_->numLocals = numLocals_;
+        curFunc_ = nullptr;
+        popScope();
+    }
+
+    // ---- statements ---------------------------------------------------
+    Stmt block() {
+        Stmt s;
+        s.k = Stmt::K::Block;
+        s.line = cur().line;
+        s.col = cur().col;
+        expectPunct("{");
+        pushScope();
+        while (!atPunct("}")) {
+            if (at(Token::Kind::End))
+                fail(cur(), "unexpected end of input inside a block");
+            s.body.push_back(statement());
+        }
+        popScope();
+        take();
+        return s;
+    }
+
+    Stmt declaration() {
+        Stmt s;
+        s.k = Stmt::K::Decl;
+        s.line = cur().line;
+        s.col = cur().col;
+        CType type = takeType();
+        if (type == CType::Void)
+            fail(cur(), "local variables cannot be void");
+        for (;;) {
+            Token nm = expectIdent("variable");
+            if (atPunct("["))
+                fail(cur(), "local arrays are not supported; "
+                            "declare the array as a global");
+            Stmt::DeclItem item;
+            item.name = nm.text;
+            item.type = type;
+            if (atPunct("=")) {
+                take();
+                item.init = assignment();
+                requireValue(*item.init, "an initializer");
+            }
+            // Declare after the initializer is parsed so `int x = x;`
+            // refers to an outer x (or errors), never to itself.
+            item.localId = declareLocal(nm, type).id;
+            s.decls.push_back(std::move(item));
+            if (!atPunct(",")) break;
+            take();
+        }
+        expectPunct(";");
+        return s;
+    }
+
+    Stmt statement() {
+        Stmt s;
+        s.line = cur().line;
+        s.col = cur().col;
+        if (atPunct("{")) return block();
+        if (atPunct(";")) {
+            take();
+            s.k = Stmt::K::Empty;
+            return s;
+        }
+        if (atType()) return declaration();
+        if (at(Token::Kind::KwIf)) {
+            take();
+            s.k = Stmt::K::If;
+            expectPunct("(");
+            s.e = expression();
+            requireValue(*s.e, "a condition");
+            expectPunct(")");
+            s.s1 = std::make_unique<Stmt>(statement());
+            if (at(Token::Kind::KwElse)) {
+                take();
+                s.s2 = std::make_unique<Stmt>(statement());
+            }
+            return s;
+        }
+        if (at(Token::Kind::KwWhile)) {
+            take();
+            s.k = Stmt::K::While;
+            expectPunct("(");
+            s.e = expression();
+            requireValue(*s.e, "a condition");
+            expectPunct(")");
+            ++loopDepth_;
+            s.s1 = std::make_unique<Stmt>(statement());
+            --loopDepth_;
+            return s;
+        }
+        if (at(Token::Kind::KwDo)) {
+            take();
+            s.k = Stmt::K::DoWhile;
+            ++loopDepth_;
+            s.s1 = std::make_unique<Stmt>(statement());
+            --loopDepth_;
+            if (!at(Token::Kind::KwWhile))
+                fail(cur(), "expected 'while' after do-body");
+            take();
+            expectPunct("(");
+            s.e = expression();
+            requireValue(*s.e, "a condition");
+            expectPunct(")");
+            expectPunct(";");
+            return s;
+        }
+        if (at(Token::Kind::KwFor)) {
+            take();
+            s.k = Stmt::K::For;
+            expectPunct("(");
+            pushScope();  // for-init declarations scope over the loop
+            if (atPunct(";")) {
+                take();
+            } else if (atType()) {
+                s.forInit = std::make_unique<Stmt>(declaration());
+            } else {
+                Stmt init;
+                init.k = Stmt::K::Expr;
+                init.line = cur().line;
+                init.col = cur().col;
+                init.e = expression();
+                s.forInit = std::make_unique<Stmt>(std::move(init));
+                expectPunct(";");
+            }
+            if (!atPunct(";")) {
+                s.e = expression();
+                requireValue(*s.e, "a condition");
+            }
+            expectPunct(";");
+            if (!atPunct(")")) s.forStep = expression();
+            expectPunct(")");
+            ++loopDepth_;
+            s.s1 = std::make_unique<Stmt>(statement());
+            --loopDepth_;
+            popScope();
+            return s;
+        }
+        if (at(Token::Kind::KwReturn)) {
+            Token kw = take();
+            s.k = Stmt::K::Return;
+            if (!atPunct(";")) {
+                s.e = expression();
+                requireValue(*s.e, "a return value");
+                if (curFunc_->ret == CType::Void)
+                    fail(kw, strprintf("void function '%s' returns a value",
+                                       curFunc_->name.c_str()));
+            } else if (curFunc_->ret != CType::Void) {
+                fail(kw, strprintf("non-void function '%s' returns nothing",
+                                   curFunc_->name.c_str()));
+            }
+            expectPunct(";");
+            return s;
+        }
+        if (at(Token::Kind::KwBreak) || at(Token::Kind::KwContinue)) {
+            Token kw = take();
+            if (loopDepth_ == 0)
+                fail(kw, strprintf("'%s' outside a loop", kw.text.c_str()));
+            s.k = kw.kind == Token::Kind::KwBreak ? Stmt::K::Break
+                                                  : Stmt::K::Continue;
+            expectPunct(";");
+            return s;
+        }
+        s.k = Stmt::K::Expr;
+        s.e = expression();
+        expectPunct(";");
+        return s;
+    }
+
+    // ---- expressions --------------------------------------------------
+    std::unique_ptr<Expr> makeExpr(Expr::K k, const Token &at) {
+        auto e = std::make_unique<Expr>();
+        e->k = k;
+        e->line = at.line;
+        e->col = at.col;
+        return e;
+    }
+
+    std::unique_ptr<Expr> expression() { return assignment(); }
+
+    bool isLvalue(const Expr &e) const {
+        return (e.k == Expr::K::Var) || (e.k == Expr::K::Index);
+    }
+
+    std::unique_ptr<Expr> assignment() {
+        std::unique_ptr<Expr> lhs = conditional();
+        static const char *kAssignOps[] = {"=",  "+=", "-=", "*=",
+                                           "/=", "%=", "&=", "|=",
+                                           "^=", "<<=", ">>="};
+        for (const char *opText : kAssignOps) {
+            if (!atPunct(opText)) continue;
+            Token opTok = take();
+            if (!isLvalue(*lhs))
+                fail(opTok, "left side of assignment is not assignable");
+            auto e = makeExpr(Expr::K::Assign, opTok);
+            std::string base = opText;
+            base.pop_back();  // strip '='
+            e->op = base;     // "" for plain =
+            e->type = lhs->type;
+            e->a = std::move(lhs);
+            e->b = assignment();  // right associative
+            requireValue(*e->b, "an assigned value");
+            return e;
+        }
+        return lhs;
+    }
+
+    std::unique_ptr<Expr> conditional() {
+        std::unique_ptr<Expr> c = binary(0);
+        if (!atPunct("?")) return c;
+        Token opTok = take();
+        requireValue(*c, "a condition");
+        auto e = makeExpr(Expr::K::Cond, opTok);
+        e->a = std::move(c);
+        e->b = expression();
+        expectPunct(":");
+        e->c = conditional();
+        requireValue(*e->b, "a conditional arm");
+        requireValue(*e->c, "a conditional arm");
+        e->type = (e->b->type == CType::Unsigned ||
+                   e->c->type == CType::Unsigned)
+                      ? CType::Unsigned
+                      : CType::Int;
+        return e;
+    }
+
+    // Precedence-climbing over the binary operator table.
+    struct OpLevel {
+        const char *ops[5];
+    };
+    static constexpr int kNumLevels = 10;
+    const OpLevel &level(int i) const {
+        static const OpLevel kLevels[kNumLevels] = {
+            {{"||", nullptr}},
+            {{"&&", nullptr}},
+            {{"|", nullptr}},
+            {{"^", nullptr}},
+            {{"&", nullptr}},
+            {{"==", "!=", nullptr}},
+            {{"<", ">", "<=", ">=", nullptr}},
+            {{"<<", ">>", nullptr}},
+            {{"+", "-", nullptr}},
+            {{"*", "/", "%", nullptr}},
+        };
+        return kLevels[i];
+    }
+
+    std::unique_ptr<Expr> binary(int lvl) {
+        if (lvl >= kNumLevels) return unary();
+        std::unique_ptr<Expr> lhs = binary(lvl + 1);
+        for (;;) {
+            const char *matched = nullptr;
+            for (const char *op : level(lvl).ops) {
+                if (op == nullptr) break;
+                if (atPunct(op)) {
+                    matched = op;
+                    break;
+                }
+            }
+            if (matched == nullptr) return lhs;
+            Token opTok = take();
+            auto e = makeExpr(Expr::K::Binary, opTok);
+            e->op = matched;
+            e->a = std::move(lhs);
+            e->b = binary(lvl + 1);
+            requireValue(*e->a, "an operand");
+            requireValue(*e->b, "an operand");
+            e->type = binaryResultType(*e);
+            lhs = std::move(e);
+        }
+    }
+
+    static CType binaryResultType(const Expr &e) {
+        const std::string &op = e.op;
+        if (op == "&&" || op == "||" || op == "==" || op == "!=" ||
+            op == "<" || op == ">" || op == "<=" || op == ">=")
+            return CType::Int;  // 0/1
+        if (op == "<<" || op == ">>") return e.a->type;
+        return unsignedOperands(e) ? CType::Unsigned : CType::Int;
+    }
+
+    std::unique_ptr<Expr> unary() {
+        if (atPunct("-") || atPunct("~") || atPunct("!") || atPunct("+")) {
+            Token opTok = take();
+            auto e = makeExpr(Expr::K::Unary, opTok);
+            e->op = opTok.text;
+            e->a = unary();
+            requireValue(*e->a, "an operand");
+            e->type = opTok.text == "!" ? CType::Int : e->a->type;
+            return e;
+        }
+        return postfix();
+    }
+
+    std::unique_ptr<Expr> postfix() {
+        std::unique_ptr<Expr> e = primary();
+        if (atPunct("[")) {
+            Token opTok = take();
+            if (e->k != Expr::K::Var || e->localId >= 0)
+                fail(opTok, "only global arrays can be indexed");
+            const GlobalDecl *g = prog_->findGlobal(e->name);
+            // primary() already resolved the name; a Var always exists.
+            if (g->arraySize == 0)
+                fail(opTok, strprintf("'%s' is a scalar, not an array",
+                                      e->name.c_str()));
+            auto idx = makeExpr(Expr::K::Index, opTok);
+            idx->name = e->name;
+            idx->type = g->type;
+            idx->a = expression();
+            requireValue(*idx->a, "an array index");
+            expectPunct("]");
+            if (atPunct("["))
+                fail(cur(), "multi-dimensional indexing is not supported");
+            return idx;
+        }
+        return e;
+    }
+
+    std::unique_ptr<Expr> primary() {
+        if (at(Token::Kind::Number)) {
+            Token t = take();
+            auto e = makeExpr(Expr::K::Num, t);
+            e->value = t.value;
+            e->type = t.isUnsigned ? CType::Unsigned : CType::Int;
+            return e;
+        }
+        if (atPunct("(")) {
+            take();
+            std::unique_ptr<Expr> e = expression();
+            expectPunct(")");
+            return e;
+        }
+        if (!at(Token::Kind::Ident))
+            fail(cur(), "expected an expression");
+        Token nameTok = take();
+        if (atPunct("(")) return call(nameTok);
+        auto e = makeExpr(Expr::K::Var, nameTok);
+        e->name = nameTok.text;
+        if (const LocalInfo *local = findLocal(nameTok.text)) {
+            e->localId = local->id;
+            e->type = local->type;
+            return e;
+        }
+        const GlobalDecl *g = prog_->findGlobal(nameTok.text);
+        if (g == nullptr)
+            fail(nameTok, strprintf("use of undeclared identifier '%s'",
+                                    nameTok.text.c_str()));
+        if (g->arraySize != 0 && !atPunct("["))
+            fail(nameTok, strprintf("array '%s' used without an index",
+                                    nameTok.text.c_str()));
+        e->type = g->type;
+        return e;
+    }
+
+    std::unique_ptr<Expr> call(const Token &nameTok) {
+        const FuncDecl *fn = prog_->findFunc(nameTok.text);
+        if (fn == nullptr)
+            fail(nameTok,
+                 strprintf("call to undefined function '%s' (functions "
+                           "must be defined before use)",
+                           nameTok.text.c_str()));
+        if (fn->name == "main")
+            fail(nameTok, "main() cannot be called");
+        auto e = makeExpr(Expr::K::Call, nameTok);
+        e->name = nameTok.text;
+        e->type = fn->ret;
+        expectPunct("(");
+        if (!atPunct(")")) {
+            do {
+                e->args.push_back(assignment());
+                requireValue(*e->args.back(), "an argument");
+            } while (atPunct(",") && (take(), true));
+        }
+        expectPunct(")");
+        if (e->args.size() != fn->params.size())
+            fail(nameTok,
+                 strprintf("'%s' expects %zu argument(s), got %zu",
+                           fn->name.c_str(), fn->params.size(),
+                           e->args.size()));
+        return e;
+    }
+
+    std::vector<Token> toks_;
+    std::string name_;
+    size_t pos_ = 0;
+    CProgram *prog_ = nullptr;
+    FuncDecl *curFunc_ = nullptr;
+    int numLocals_ = 0;
+    int loopDepth_ = 0;
+    std::vector<std::map<std::string, LocalInfo>> scopes_;
+    std::vector<Diag> diags_;
+};
+
+}  // namespace
+
+ParseResult parse(const std::string &source, const std::string &name) {
+    LexResult lexed = lex(source);
+    if (!lexed.ok()) {
+        ParseResult out;
+        out.diags = std::move(lexed.diags);
+        return out;
+    }
+    return Parser(std::move(lexed.tokens), name).run();
+}
+
+}  // namespace mg::frontend

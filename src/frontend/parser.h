@@ -1,0 +1,24 @@
+// Recursive-descent parser + type checker for the MG-RISC C subset.
+//
+// parse() never throws: syntax and semantic errors become Diag entries
+// (first error wins — parsing stops at the first diagnostic so the
+// tree is never half-typed).  See docs/FRONTEND.md for the grammar.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "frontend/ast.h"
+#include "frontend/lexer.h"
+
+namespace mg::frontend {
+
+struct ParseResult {
+    std::unique_ptr<CProgram> program;  // null on error
+    std::vector<Diag> diags;
+    bool ok() const { return program != nullptr && diags.empty(); }
+};
+
+ParseResult parse(const std::string &source, const std::string &name);
+
+}  // namespace mg::frontend

@@ -1,0 +1,200 @@
+#include "fuzz/frontend_fuzz.h"
+
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "frontend/interp.h"
+#include "uarch/functional.h"
+
+namespace mg::fuzz
+{
+
+namespace
+{
+
+/**
+ * Compare the compiled program's final globals against the reference
+ * interpreter's, one failure per diverging global (first diverging
+ * element each).  Addresses come from the assembler's data labels, so
+ * this also exercises the emitted data layout.
+ */
+void
+diffGlobals(const frontend::CProgram &ast,
+            const assembler::Program &prog,
+            const uarch::FunctionalCore &core,
+            const std::vector<std::vector<uint64_t>> &want,
+            std::vector<OracleFailure> &failures)
+{
+    for (size_t gi = 0; gi < ast.globals.size(); ++gi) {
+        const frontend::GlobalDecl &g = ast.globals[gi];
+        const uint64_t base = prog.dataLabels.at(g.name);
+        const size_t n = g.arraySize == 0 ? 1 : g.arraySize;
+        for (size_t i = 0; i < n; ++i) {
+            const uint64_t got = core.memory().read(base + 8 * i, 8);
+            if (got == want[gi][i])
+                continue;
+            std::string slot =
+                g.arraySize == 0
+                    ? g.name
+                    : strprintf("%s[%zu]", g.name.c_str(), i);
+            failures.push_back(
+                {"", "frontend-diff",
+                 strprintf("%s: interpreter %llu (0x%llx), compiled "
+                           "%llu (0x%llx)",
+                           slot.c_str(),
+                           static_cast<unsigned long long>(want[gi][i]),
+                           static_cast<unsigned long long>(want[gi][i]),
+                           static_cast<unsigned long long>(got),
+                           static_cast<unsigned long long>(got))});
+            break; // first diverging element per global is enough
+        }
+    }
+}
+
+} // namespace
+
+OracleVerdict
+checkCSource(const std::string &source,
+             const FrontendCheckOptions &opts)
+{
+    OracleVerdict verdict;
+
+    frontend::CompileResult comp =
+        frontend::compile(source, opts.compile);
+    if (!comp.ok) {
+        verdict.failures.push_back({"", "compile", comp.error});
+        return verdict;
+    }
+
+    frontend::InterpOptions iopts;
+    iopts.maxSteps = opts.oracle.maxSteps;
+    iopts.globalOverrides = opts.compile.globalOverrides;
+    frontend::InterpResult ref = frontend::interpret(*comp.ast, iopts);
+    if (!ref.ok) {
+        verdict.failures.push_back({"", "interp", ref.error});
+        return verdict;
+    }
+
+    assembler::Program prog;
+    try {
+        prog = frontend::assemble(comp, opts.compile);
+    } catch (const std::exception &e) {
+        verdict.failures.push_back({"", "compile", e.what()});
+        return verdict;
+    }
+
+    // Level 1: compiled execution vs the AST interpreter.
+    uarch::FunctionalCore core(prog);
+    for (uint64_t s = 0; !core.halted() && s < opts.oracle.maxSteps;
+         ++s)
+        core.step();
+    if (!core.halted()) {
+        verdict.failures.push_back(
+            {"", "nontermination",
+             strprintf("compiled program did not halt within %llu "
+                       "steps (interpreter finished in %llu)",
+                       static_cast<unsigned long long>(
+                           opts.oracle.maxSteps),
+                       static_cast<unsigned long long>(ref.steps))});
+        return verdict;
+    }
+    diffGlobals(*comp.ast, prog, core, ref.globals, verdict.failures);
+
+    // Level 2: the full architectural oracle on the assembled binary.
+    OracleVerdict oracle = checkProgram(prog, opts.oracle);
+    verdict.instCount = oracle.instCount;
+    for (OracleFailure &f : oracle.failures)
+        verdict.failures.push_back(std::move(f));
+    return verdict;
+}
+
+OracleVerdict
+checkCSourceIsolated(const std::string &source,
+                     const FrontendCheckOptions &opts)
+{
+    return runVerdictIsolated(
+        [&] { return checkCSource(source, opts); });
+}
+
+ShrinkResult
+shrinkCSource(const std::string &source,
+              const FrontendCheckOptions &opts)
+{
+    ShrinkResult result;
+    result.source = source;
+
+    // "Still reproduces" means a real failure: a frontend divergence
+    // or any oracle finding.  Degenerate candidate breakage —
+    // compile/assemble errors, interpreter faults, child crashes,
+    // nontermination — is rejected, so line deletion cannot walk away
+    // from the bug toward a trivially broken program.
+    auto realFailure = [](const OracleVerdict &v) {
+        for (const OracleFailure &f : v.failures) {
+            if (f.kind == "compile" || f.kind == "interp" ||
+                f.kind == "crash" || f.kind == "nontermination")
+                continue;
+            return true;
+        }
+        return false;
+    };
+    auto fails = [&](const std::vector<std::string> &lines,
+                     OracleVerdict &verdict_out) {
+        ++result.trials;
+        OracleVerdict v = checkCSourceIsolated(joinLines(lines), opts);
+        if (!realFailure(v))
+            return false;
+        verdict_out = std::move(v);
+        return true;
+    };
+
+    std::vector<std::string> best = splitLines(source);
+    if (!fails(best, result.verdict))
+        return result; // does not reproduce: hand the input back
+    result.reproduced = true;
+
+    best = ddminLines(std::move(best),
+                      [&](const std::vector<std::string> &candidate) {
+                          OracleVerdict v;
+                          if (!fails(candidate, v))
+                              return false;
+                          result.verdict = std::move(v);
+                          return true;
+                      });
+
+    result.source = joinLines(best);
+    // Static instruction count of the minimized program (a
+    // reproducing result always compiles: the predicate required it).
+    frontend::CompileResult comp =
+        frontend::compile(result.source, opts.compile);
+    if (comp.ok) {
+        try {
+            result.instructions =
+                frontend::assemble(comp, opts.compile).size();
+        } catch (const std::exception &) {
+        }
+    }
+    return result;
+}
+
+std::string
+reproCSource(const ShrinkResult &result, uint64_t seed)
+{
+    std::string out = "// mgsim fuzz --frontend repro, seed " +
+                      std::to_string(seed) + "\n";
+    if (!result.verdict.failures.empty()) {
+        const OracleFailure &f = result.verdict.failures.front();
+        out += "// failure: kind=" + f.kind +
+               (f.selector.empty() ? std::string()
+                                   : " selector=" + f.selector) +
+               "\n";
+        out += "//   " + f.detail + "\n";
+    }
+    out += "// " + std::to_string(result.instructions) +
+           " instructions after " + std::to_string(result.trials) +
+           " shrink trials\n";
+    out += result.source;
+    return out;
+}
+
+} // namespace mg::fuzz

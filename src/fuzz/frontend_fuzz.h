@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The frontend differential gate (docs/FRONTEND.md, docs/FUZZING.md).
+ *
+ * A C source is checked on two stacked levels:
+ *
+ *  1. frontend differential: the compiled program (lexer -> parser ->
+ *     codegen -> assembler), functionally executed, must leave every
+ *     global scalar and array element equal to what the AST
+ *     interpreter (frontend/interp.h) computes for the same source.
+ *     The interpreter never sees MG-RISC code, registers, or the
+ *     linear-scan allocator, so agreement here is evidence against
+ *     whole classes of codegen bugs (clobbered registers, wrong
+ *     spill slots, evaluation-order drift, signedness mixups);
+ *  2. the PR-9 architectural oracle (fuzz/oracle.h): the assembled
+ *     program then runs through checkProgram() — rewriter, linter,
+ *     every selector at CheckLevel::Full — exactly like a
+ *     generator-built fuzz program.
+ *
+ * Failure kinds added on top of the oracle's: "compile" (the source
+ * no longer compiles or assembles), "interp" (the reference
+ * interpreter itself faulted: step budget, array bounds, call
+ * depth), and "frontend-diff" (final global state divergence).
+ */
+
+#ifndef MG_FUZZ_FRONTEND_FUZZ_H
+#define MG_FUZZ_FRONTEND_FUZZ_H
+
+#include <cstdint>
+#include <string>
+
+#include "frontend/compile.h"
+#include "fuzz/oracle.h"
+#include "fuzz/shrink.h"
+
+namespace mg::fuzz
+{
+
+/** How one C source gets checked. */
+struct FrontendCheckOptions
+{
+    /** The architectural oracle run on the assembled program. */
+    OracleOptions oracle;
+
+    /** Name / memSize / global overrides for compilation. */
+    frontend::CompileOptions compile;
+};
+
+/**
+ * Run the two-level check on one C source, in-process.  All failures
+ * accumulate into one verdict: a frontend divergence does not mask an
+ * oracle finding or vice versa.
+ */
+OracleVerdict checkCSource(const std::string &source,
+                           const FrontendCheckOptions &opts);
+
+/** checkCSource() behind runVerdictIsolated() (fork containment). */
+OracleVerdict checkCSourceIsolated(const std::string &source,
+                                   const FrontendCheckOptions &opts);
+
+/**
+ * ddmin over C source *lines* (fuzz::ddminLines): keep deleting lines
+ * while the program still fails for a real reason.  Candidates that
+ * stop compiling, fault the reference interpreter, crash the child,
+ * or stop terminating are rejected as degenerate — deleting a
+ * declaration or a loop bound must not count as "still reproduces".
+ * ShrinkResult.instructions is the minimized program's *static*
+ * instruction count (0 if it no longer assembles cleanly, which
+ * cannot happen for a reproducing result).
+ */
+ShrinkResult shrinkCSource(const std::string &source,
+                           const FrontendCheckOptions &opts);
+
+/**
+ * Render a shrunk C repro as a committable .c file: "//" header
+ * comments naming the seed and the first failure, then the minimized
+ * source.  Repros live under tests/fuzz/repros/.
+ */
+std::string reproCSource(const ShrinkResult &result, uint64_t seed);
+
+} // namespace mg::fuzz
+
+#endif // MG_FUZZ_FRONTEND_FUZZ_H

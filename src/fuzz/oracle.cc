@@ -317,6 +317,13 @@ OracleVerdict
 checkProgramIsolated(const assembler::Program &prog,
                      const OracleOptions &opts)
 {
+    return runVerdictIsolated(
+        [&] { return checkProgram(prog, opts); });
+}
+
+OracleVerdict
+runVerdictIsolated(const std::function<OracleVerdict()> &body)
+{
     int fds[2];
     if (pipe(fds) != 0) {
         OracleVerdict v;
@@ -346,7 +353,7 @@ checkProgramIsolated(const assembler::Program &prog,
         int devnull = open("/dev/null", O_WRONLY);
         if (devnull >= 0)
             dup2(devnull, STDERR_FILENO);
-        OracleVerdict v = checkProgram(prog, opts);
+        OracleVerdict v = body();
         std::string wire =
             "insts " + std::to_string(v.instCount) + "\n";
         for (const OracleFailure &f : v.failures) {

@@ -140,6 +140,16 @@ OracleVerdict checkProgramIsolated(const assembler::Program &prog,
                                    const OracleOptions &opts);
 
 /**
+ * The fork-and-wire machinery behind checkProgramIsolated, reusable
+ * for any verdict-producing check (the frontend gate runs
+ * checkCSource through it): run `body` in a forked child with stderr
+ * silenced, ship the verdict back over a pipe, and turn a child abort
+ * of any kind into a single failure with kind "crash".
+ */
+OracleVerdict
+runVerdictIsolated(const std::function<OracleVerdict()> &body);
+
+/**
  * One deterministic JSON line for a trial:
  * {"program":...,"seed":N,"ok":true,"insts":N,"failures":[...]}.
  */

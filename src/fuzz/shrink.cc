@@ -9,9 +9,6 @@
 namespace mg::fuzz
 {
 
-namespace
-{
-
 std::vector<std::string>
 splitLines(const std::string &text)
 {
@@ -40,6 +37,46 @@ joinLines(const std::vector<std::string> &lines)
     }
     return out;
 }
+
+std::vector<std::string>
+ddminLines(
+    std::vector<std::string> lines,
+    const std::function<bool(const std::vector<std::string> &)> &fails)
+{
+    // ddmin: try removing chunks at granularity n, restarting at the
+    // coarsest level after every successful removal; finish when no
+    // single line can be removed.
+    size_t n = 2;
+    while (lines.size() >= 2) {
+        bool removed = false;
+        size_t chunk = (lines.size() + n - 1) / n;
+        for (size_t start = 0; start < lines.size(); start += chunk) {
+            std::vector<std::string> candidate;
+            candidate.reserve(lines.size());
+            for (size_t i = 0; i < lines.size(); ++i)
+                if (i < start || i >= start + chunk)
+                    candidate.push_back(lines[i]);
+            if (candidate.empty())
+                continue;
+            if (fails(candidate)) {
+                lines = std::move(candidate);
+                removed = true;
+                break;
+            }
+        }
+        if (removed) {
+            n = 2; // restart coarse on the smaller program
+        } else if (chunk > 1) {
+            n = std::min(n * 2, lines.size()); // refine
+        } else {
+            break; // 1-line granularity, nothing removable
+        }
+    }
+    return lines;
+}
+
+namespace
+{
 
 /** Assemble a candidate; nullopt if the slice no longer assembles. */
 std::optional<assembler::Program>
@@ -98,39 +135,17 @@ shrink(const std::string &source, const ShrinkOptions &opts)
         return result; // does not reproduce: hand the input back
     result.reproduced = true;
 
-    // ddmin: try removing chunks at granularity n, restarting at the
-    // coarsest level after every successful removal; finish when no
-    // single line can be removed.
-    size_t n = 2;
-    while (best.size() >= 2) {
-        bool removed = false;
-        size_t chunk = (best.size() + n - 1) / n;
-        for (size_t start = 0; start < best.size(); start += chunk) {
-            std::vector<std::string> candidate;
-            candidate.reserve(best.size());
-            for (size_t i = 0; i < best.size(); ++i)
-                if (i < start || i >= start + chunk)
-                    candidate.push_back(best[i]);
-            if (candidate.empty())
-                continue;
+    best = ddminLines(
+        std::move(best),
+        [&](const std::vector<std::string> &candidate) {
             OracleVerdict v;
             uint64_t insts = 0;
-            if (fails(candidate, v, insts)) {
-                best = std::move(candidate);
-                result.verdict = std::move(v);
-                result.instructions = insts;
-                removed = true;
-                break;
-            }
-        }
-        if (removed) {
-            n = 2; // restart coarse on the smaller program
-        } else if (chunk > 1) {
-            n = std::min(n * 2, best.size()); // refine
-        } else {
-            break; // 1-line granularity, nothing removable
-        }
-    }
+            if (!fails(candidate, v, insts))
+                return false;
+            result.verdict = std::move(v);
+            result.instructions = insts;
+            return true;
+        });
 
     result.source = joinLines(best);
     return result;

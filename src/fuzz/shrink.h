@@ -25,12 +25,32 @@
 #define MG_FUZZ_SHRINK_H
 
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "fuzz/oracle.h"
 
 namespace mg::fuzz
 {
+
+/** Split text on '\n' (no trailing empty line). */
+std::vector<std::string> splitLines(const std::string &text);
+
+/** Join lines back into text, one '\n' after each. */
+std::string joinLines(const std::vector<std::string> &lines);
+
+/**
+ * The ddmin kernel shared by the assembly and C shrinkers: starting
+ * from a line set known to satisfy `fails`, repeatedly delete chunks
+ * (restarting coarse after every successful deletion, halving the
+ * chunk size when a pass removes nothing) until no single line can go.
+ * `fails` sees each candidate and returns whether it still
+ * reproduces; callers record verdicts/counters inside the closure.
+ */
+std::vector<std::string> ddminLines(
+    std::vector<std::string> lines,
+    const std::function<bool(const std::vector<std::string> &)> &fails);
 
 /** Knobs for one shrink run. */
 struct ShrinkOptions

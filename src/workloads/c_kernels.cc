@@ -1,0 +1,133 @@
+/**
+ * @file
+ * The "cbench" suite: kernels written in the mgsim C subset
+ * (examples/c/) and compiled by the frontend at registry-build time.
+ *
+ * The build pipeline per workload is
+ *
+ *   embedded .c text --frontend::compile--> MG-RISC assembly
+ *                                           (KernelBuild::source)
+ *
+ * with SEED/N replaced per (variant, alt) through the compiler's
+ * globalOverrides, so the three variants and the +alt inputs of each
+ * kernel differ in both data and trip counts, like every other suite.
+ *
+ * The expected checksum comes from the AST interpreter
+ * (frontend/interp.h) — the compiler's differential ground truth.  It
+ * shares no lowering, register allocation, or assembler code with the
+ * compiled binary, so the workload self-check (final "result" word
+ * after a functional run) re-verifies compiler correctness on every
+ * kernel, complementing `mgsim fuzz --frontend`'s random programs.
+ */
+
+#include <cstring>
+
+#include "common/logging.h"
+#include "frontend/compile.h"
+#include "frontend/interp.h"
+#include "workloads/kernel_support.h"
+
+namespace mg::workloads
+{
+
+namespace
+{
+
+#include "c_kernel_sources.inc"
+
+/**
+ * Per-kernel problem sizes.  `n` is the N override per variant, alt
+ * adds `altDelta`.  Sizes are tuned so every workload's dynamic
+ * instruction count lands in roughly 5k-100k (see docs/FRONTEND.md).
+ */
+struct CKernelSpec
+{
+    const char *name;
+    uint64_t n[3];
+    uint64_t altDelta;
+};
+
+constexpr CKernelSpec kCKernels[] = {
+    {"c_adpcm", {300, 450, 600}, 50},
+    {"c_bitcount", {200, 300, 400}, 50},
+    {"c_crc32", {160, 256, 352}, 32},
+    {"c_dijkstra", {4, 6, 8}, 1},
+    {"c_fir", {96, 160, 224}, 16},
+    {"c_histogram", {600, 1000, 1400}, 100},
+    {"c_isort", {64, 96, 128}, 16},
+    {"c_matmul", {1, 2, 2}, 0},
+    {"c_sha", {2, 3, 4}, 1},
+    {"c_strsearch", {160, 256, 352}, 32},
+};
+
+const char *
+sourceFor(const char *name)
+{
+    for (const EmbeddedCSource &s : kEmbeddedCSources)
+        if (std::strcmp(s.name, name) == 0)
+            return s.text;
+    mg_fatal("cbench: no embedded source for kernel '%s' "
+             "(re-run cmake after adding examples/c files)",
+             name);
+}
+
+KernelBuild
+buildC(int ki, int variant, bool alt)
+{
+    const CKernelSpec &spec = kCKernels[ki];
+    const uint64_t seed = kernelSeed(spec.name, variant, alt);
+    const uint64_t n = spec.n[variant] + (alt ? spec.altDelta : 0);
+
+    frontend::CompileOptions copts;
+    copts.name = spec.name;
+    copts.globalOverrides = {{"SEED", seed}, {"N", n}};
+    frontend::CompileResult comp =
+        frontend::compile(sourceFor(spec.name), copts);
+    if (!comp.ok)
+        mg_fatal("cbench %s: %s", spec.name, comp.error.c_str());
+
+    frontend::InterpOptions iopts;
+    iopts.globalOverrides = copts.globalOverrides;
+    frontend::InterpResult ref = frontend::interpret(*comp.ast, iopts);
+    if (!ref.ok)
+        mg_fatal("cbench %s: interpreter: %s", spec.name,
+                 ref.error.c_str());
+
+    KernelBuild kb;
+    kb.source = comp.asmText;
+    for (size_t gi = 0; gi < comp.ast->globals.size(); ++gi)
+        if (comp.ast->globals[gi].name == "result")
+            kb.expected = ref.globals[gi][0];
+    if (!kb.expected)
+        mg_fatal("cbench %s: kernel has no 'result' global", spec.name);
+    return kb;
+}
+
+template <int I>
+KernelBuild
+buildCK(int variant, bool alt)
+{
+    return buildC(I, variant, alt);
+}
+
+} // namespace
+
+const std::vector<KernelDef> &
+cbenchKernels()
+{
+    static const std::vector<KernelDef> kKernels = {
+        {"c_adpcm", "cbench", buildCK<0>},
+        {"c_bitcount", "cbench", buildCK<1>},
+        {"c_crc32", "cbench", buildCK<2>},
+        {"c_dijkstra", "cbench", buildCK<3>},
+        {"c_fir", "cbench", buildCK<4>},
+        {"c_histogram", "cbench", buildCK<5>},
+        {"c_isort", "cbench", buildCK<6>},
+        {"c_matmul", "cbench", buildCK<7>},
+        {"c_sha", "cbench", buildCK<8>},
+        {"c_strsearch", "cbench", buildCK<9>},
+    };
+    return kKernels;
+}
+
+} // namespace mg::workloads

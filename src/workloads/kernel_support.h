@@ -126,6 +126,7 @@ const std::vector<KernelDef> &specKernels();
 const std::vector<KernelDef> &mediaKernels();
 const std::vector<KernelDef> &commKernels();
 const std::vector<KernelDef> &mibenchKernels();
+const std::vector<KernelDef> &cbenchKernels();
 
 } // namespace mg::workloads
 

@@ -1,16 +1,19 @@
 /**
  * @file
- * The benchmark suite: 26 kernels x 3 input variants = 78 programs,
- * mirroring the paper's 78 benchmarks from SPECint2000, MediaBench,
- * CommBench and MiBench (§3.1).
+ * The benchmark suite: 36 kernels x 3 input variants = 108 programs.
+ * The spec/media/comm/mibench suites mirror the paper's 78 benchmarks
+ * from SPECint2000, MediaBench, CommBench and MiBench (§3.1); the
+ * cbench suite adds kernels written in the C subset and compiled by
+ * the mgsim frontend (docs/FRONTEND.md).
  *
  * Every kernel is a real MG-RISC assembly program with
  * generator-produced input data embedded in its data segment, run to
  * completion.  Where the paper's suites contribute a behavioural
  * regime (pointer chasing, branchy byte processing, multiply-heavy
  * DSP, table-driven packet processing, ...), a kernel here reproduces
- * that regime.  Most kernels also carry a C++ reference result used
- * by the correctness tests: the program stores a 64-bit checksum at
+ * that regime.  Most kernels also carry a reference result used by
+ * the correctness tests (a C++ model for the assembly suites, the AST
+ * interpreter for cbench): the program stores a 64-bit checksum at
  * data label "result".
  *
  * Each (kernel, variant) additionally has an *alternate* input set
@@ -35,7 +38,7 @@ namespace mg::workloads
 struct WorkloadSpec
 {
     std::string kernel; ///< e.g. "crc32"
-    std::string suite;  ///< "spec" | "media" | "comm" | "mibench"
+    std::string suite;  ///< "spec" | "media" | "comm" | "mibench" | "cbench"
     int variant = 0;    ///< input variant 0..2
 
     /** Display name, e.g. "crc32.1". */
@@ -48,11 +51,11 @@ struct BuiltWorkload
     assembler::Program program;
 
     /** Expected value at data label "result" (if the kernel has a
-     *  C++ reference implementation). */
+     *  reference implementation). */
     std::optional<uint64_t> expected;
 };
 
-/** All 78 benchmarks, grouped by suite. */
+/** All 108 benchmarks, grouped by suite. */
 const std::vector<WorkloadSpec> &workloadList();
 
 /** Benchmarks of one suite. */
@@ -69,7 +72,7 @@ std::optional<WorkloadSpec> findWorkload(const std::string &name);
 BuiltWorkload buildWorkload(const WorkloadSpec &spec,
                             bool alt_input = false);
 
-/** Names of all kernels (26). */
+/** Names of all kernels (36). */
 std::vector<std::string> kernelNames();
 
 } // namespace mg::workloads

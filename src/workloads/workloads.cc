@@ -43,6 +43,8 @@ allKernels()
             v->push_back(k);
         for (const auto &k : mibenchKernels())
             v->push_back(k);
+        for (const auto &k : cbenchKernels())
+            v->push_back(k);
         return v;
     }();
     return *defs;

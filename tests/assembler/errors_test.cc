@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Assembler error-path coverage: every malformed-program class must
+ * produce a *stable*, line-tagged diagnostic ("name:line: message"),
+ * not just some exception.  The exact texts are contractual — the CI
+ * smoke scripts and shrinker repro headers quote them — so these
+ * tests pin the full strings, and a companion test asserts the
+ * `mgsim` CLI turns them into a nonzero exit (tools/frontend_smoke.sh
+ * covers the subprocess side).
+ */
+
+#include "assembler/assembler.h"
+
+#include <gtest/gtest.h>
+
+namespace mg::assembler
+{
+namespace
+{
+
+/** Diagnostic text of a failing assembly, or "" if it assembled. */
+std::string
+diagOf(const std::string &src)
+{
+    AssembleOptions opts;
+    opts.name = "t";
+    try {
+        assemble(src, opts);
+    } catch (const std::exception &e) {
+        return e.what();
+    }
+    return "";
+}
+
+TEST(AssemblerErrors, UnknownMnemonicNamesLine)
+{
+    EXPECT_EQ(diagOf("nop\nfrobnicate r1, r2\n"),
+              "t:2: unknown mnemonic 'frobnicate'");
+}
+
+TEST(AssemblerErrors, UndefinedSymbolNamesLine)
+{
+    EXPECT_EQ(diagOf("main: j nowhere\nhalt\n"),
+              "t:1: undefined symbol 'nowhere'");
+}
+
+TEST(AssemblerErrors, DuplicateLabelReportsSecondSite)
+{
+    EXPECT_EQ(diagOf("a: nop\nnop\na: halt\n"),
+              "t:3: duplicate label 'a'");
+}
+
+TEST(AssemblerErrors, DuplicateAcrossSections)
+{
+    EXPECT_EQ(diagOf("x: nop\nhalt\n    .data\nx: .dword 1\n"),
+              "t:4: duplicate label 'x'");
+}
+
+TEST(AssemblerErrors, BadRegister)
+{
+    EXPECT_EQ(diagOf("add r1, r2, r99\n"), "t:1: bad register 'r99'");
+}
+
+TEST(AssemblerErrors, WrongOperandCount)
+{
+    EXPECT_EQ(diagOf("add r1, r2\n"),
+              "t:1: 'add' expects 3 operand(s), got 2");
+}
+
+TEST(AssemblerErrors, ShiftImmediateTooLarge)
+{
+    EXPECT_EQ(diagOf("nop\nslli r1, r1, 64\nhalt\n"),
+              "t:2: shift immediate 64 out of range 0..63");
+}
+
+TEST(AssemblerErrors, ShiftImmediateNegative)
+{
+    EXPECT_EQ(diagOf("srai r1, r1, -1\nhalt\n"),
+              "t:1: shift immediate -1 out of range 0..63");
+}
+
+TEST(AssemblerErrors, ShiftImmediateBoundaryOk)
+{
+    EXPECT_EQ(diagOf("slli r1, r1, 63\nsrli r1, r1, 0\nhalt\n"), "");
+}
+
+TEST(AssemblerErrors, BranchTargetPastEndOfCode)
+{
+    EXPECT_EQ(diagOf("beq r1, r2, 7\nhalt\n"),
+              "t:1: branch target 7 outside code (0..1)");
+}
+
+TEST(AssemblerErrors, BranchTargetNegative)
+{
+    EXPECT_EQ(diagOf("j -3\nhalt\n"),
+              "t:1: branch target -3 outside code (0..1)");
+}
+
+TEST(AssemblerErrors, JumpAndLinkTargetChecked)
+{
+    EXPECT_EQ(diagOf("jal ra, 9\nhalt\n"),
+              "t:1: branch target 9 outside code (0..1)");
+}
+
+TEST(AssemblerErrors, BranchToLastInstructionOk)
+{
+    EXPECT_EQ(diagOf("main: beq r1, r2, 1\nhalt\n"), "");
+}
+
+TEST(AssemblerErrors, ByteValueTooWide)
+{
+    EXPECT_EQ(diagOf("halt\n    .data\nb: .byte 256\n"),
+              "t:3: value 256 does not fit in '.byte' (range -128..255)");
+}
+
+TEST(AssemblerErrors, HalfValueTooWide)
+{
+    EXPECT_EQ(
+        diagOf("halt\n    .data\nh: .half 65536\n"),
+        "t:3: value 65536 does not fit in '.half' (range -32768..65535)");
+}
+
+TEST(AssemblerErrors, WordValueTooWide)
+{
+    EXPECT_EQ(diagOf("halt\n    .data\nw: .word 4294967296\n"),
+              "t:3: value 4294967296 does not fit in '.word' "
+              "(range -2147483648..4294967295)");
+}
+
+TEST(AssemblerErrors, SignedNarrowValuesOk)
+{
+    EXPECT_EQ(diagOf("halt\n    .data\nv: .byte -128, 255\n"
+                     "h: .half -32768, 65535\nw: .word -2147483648\n"),
+              "");
+}
+
+TEST(AssemblerErrors, DwordTakesAnyValue)
+{
+    EXPECT_EQ(diagOf("halt\n    .data\nd: .dword -1, "
+                     "9223372036854775807\n"),
+              "");
+}
+
+TEST(AssemblerErrors, DirectiveInTextSection)
+{
+    EXPECT_EQ(diagOf(".text\n.word 5\n"),
+              "t:2: directive '.word' not allowed in .text");
+}
+
+TEST(AssemblerErrors, MalformedMemoryOperand)
+{
+    EXPECT_EQ(diagOf("ld r1, 0(r2\nhalt\n"),
+              "t:1: malformed memory operand '0(r2'");
+}
+
+TEST(AssemblerErrors, BadSpaceDirective)
+{
+    EXPECT_EQ(diagOf("halt\n    .data\ns: .space -4\n"),
+              "t:3: .space requires one non-negative integer");
+}
+
+TEST(AssemblerErrors, UnknownDataDirective)
+{
+    EXPECT_EQ(diagOf("halt\n    .data\nq: .quad 1\n"),
+              "t:3: unknown data directive '.quad'");
+}
+
+TEST(AssemblerErrors, MgHandleRejected)
+{
+    EXPECT_EQ(diagOf("mghandle 3\nhalt\n"),
+              "t:1: mghandle cannot be written in assembly source");
+}
+
+// The diagnostics must be deterministic: the same malformed source
+// yields byte-identical text every time (the fuzz shrinker dedups
+// repros by message).
+TEST(AssemblerErrors, DiagnosticsAreStable)
+{
+    const std::string src = "main: j gone\nhalt\n";
+    EXPECT_EQ(diagOf(src), diagOf(src));
+}
+
+} // namespace
+} // namespace mg::assembler

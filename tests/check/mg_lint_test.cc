@@ -5,7 +5,7 @@
  * Two halves: hand-built *illegal* artefacts (templates breaking each
  * interface rule, tampered rewritten binaries) must produce findings
  * of the right class, and every *legal* artefact the real pipeline
- * produces — all five paper selectors across all 78 workloads — must
+ * produces — all five paper selectors across all 108 workloads — must
  * lint clean.
  */
 

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * The C-subset compiler's library contract (docs/FRONTEND.md):
+ * deterministic byte-identical output (serially and under concurrent
+ * compiles, the `--jobs` story), stable "name:line:col" diagnostics
+ * with nonzero-ok=false results, global overrides, and the on-disk
+ * examples/c corpus compiling clean.
+ */
+
+#include "frontend/compile.h"
+
+#include <dirent.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "frontend/interp.h"
+#include "uarch/functional.h"
+
+#ifndef MG_EXAMPLES_C_DIR
+#error "MG_EXAMPLES_C_DIR must point at examples/c"
+#endif
+
+namespace mg::frontend
+{
+namespace
+{
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in) << "cannot read " << path;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+std::vector<std::string>
+exampleFiles()
+{
+    std::vector<std::string> files;
+    DIR *d = opendir(MG_EXAMPLES_C_DIR);
+    EXPECT_NE(d, nullptr) << "cannot open " << MG_EXAMPLES_C_DIR;
+    if (!d)
+        return files;
+    while (dirent *e = readdir(d)) {
+        std::string name = e->d_name;
+        if (name.size() > 2 &&
+            name.compare(name.size() - 2, 2, ".c") == 0)
+            files.push_back(std::string(MG_EXAMPLES_C_DIR) + "/" + name);
+    }
+    closedir(d);
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+const std::string kTiny = "unsigned g = 5;\n"
+                          "int main() { g = g * 3 + 1; return 0; }\n";
+
+TEST(FrontendCompile, TinyProgramCompilesAndRuns)
+{
+    CompileResult comp = compile(kTiny, {});
+    ASSERT_TRUE(comp.ok) << comp.error;
+    assembler::Program prog = assemble(comp, {});
+    uarch::FunctionalCore core(prog);
+    core.run(1000);
+    EXPECT_TRUE(core.halted());
+    EXPECT_EQ(core.memory().read(prog.dataLabels.at("g"), 8), 16u);
+}
+
+TEST(FrontendCompile, DeterministicSerially)
+{
+    CompileResult a = compile(kTiny, {});
+    CompileResult b = compile(kTiny, {});
+    ASSERT_TRUE(a.ok && b.ok);
+    EXPECT_EQ(a.asmText, b.asmText);
+}
+
+// The batch runner compiles .c workloads from worker threads under
+// --jobs>1; concurrent compiles of the same source must all produce
+// the byte-identical assembly the serial compile does.
+TEST(FrontendCompile, DeterministicUnderConcurrency)
+{
+    const std::string reference = compile(kTiny, {}).asmText;
+    ASSERT_FALSE(reference.empty());
+
+    constexpr int kThreads = 8;
+    std::vector<std::string> out(kThreads);
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back(
+            [&, t] { out[t] = compile(kTiny, {}).asmText; });
+    for (auto &th : threads)
+        th.join();
+    for (int t = 0; t < kThreads; ++t)
+        EXPECT_EQ(out[t], reference) << "thread " << t;
+}
+
+TEST(FrontendCompile, ExampleCorpusCompilesDeterministically)
+{
+    std::vector<std::string> files = exampleFiles();
+    EXPECT_GE(files.size(), 10u)
+        << "examples/c should hold the ported kernel corpus";
+    for (const std::string &path : files) {
+        std::string src = slurp(path);
+        CompileResult a = compile(src, {});
+        ASSERT_TRUE(a.ok) << path << ": " << a.error;
+        CompileResult b = compile(src, {});
+        EXPECT_EQ(a.asmText, b.asmText) << path;
+        EXPECT_FALSE(a.asmText.empty()) << path;
+    }
+}
+
+TEST(FrontendCompile, DiagnosticHasLineAndColumn)
+{
+    CompileOptions opts;
+    opts.name = "t.c";
+    CompileResult comp =
+        compile("int main() {\n  return x;\n}\n", opts);
+    ASSERT_FALSE(comp.ok);
+    EXPECT_EQ(comp.error, "t.c:2:10: use of undeclared identifier 'x'");
+}
+
+TEST(FrontendCompile, DiagnosticsAreStable)
+{
+    const std::string bad = "int main() { if x) return 0; }\n";
+    CompileOptions opts;
+    opts.name = "s.c";
+    std::string first = compile(bad, opts).error;
+    EXPECT_EQ(first, "s.c:1:17: expected '('");
+    EXPECT_EQ(compile(bad, opts).error, first);
+}
+
+TEST(FrontendCompile, GlobalOverridesChangeDataImage)
+{
+    CompileOptions opts;
+    opts.globalOverrides = {{"g", 41}};
+    CompileResult comp = compile(kTiny, opts);
+    ASSERT_TRUE(comp.ok) << comp.error;
+    assembler::Program prog = assemble(comp, opts);
+    uarch::FunctionalCore core(prog);
+    core.run(1000);
+    EXPECT_EQ(core.memory().read(prog.dataLabels.at("g"), 8), 124u);
+}
+
+TEST(FrontendCompile, UnknownOverrideIsAnError)
+{
+    CompileOptions opts;
+    opts.name = "o.c";
+    opts.globalOverrides = {{"nope", 1}};
+    CompileResult comp = compile(kTiny, opts);
+    EXPECT_FALSE(comp.ok);
+    EXPECT_NE(comp.error.find("nope"), std::string::npos);
+}
+
+// A function ending in an explicit return must not leave the implicit
+// "return 0" tail in the binary: mg_lint rejects candidates over
+// unreachable instructions, and the frontend's contract is
+// lint-cleanliness by construction.
+TEST(FrontendCompile, ExplicitFinalReturnLeavesNoDeadTail)
+{
+    const std::string explicitRet =
+        "unsigned g = 1;\nint main() { g = 2; return 0; }\n";
+    const std::string implicitRet =
+        "unsigned g = 1;\nint main() { g = 2; }\n";
+    CompileResult a = compile(explicitRet, {});
+    CompileResult b = compile(implicitRet, {});
+    ASSERT_TRUE(a.ok && b.ok);
+    // The explicit return keeps its jump to the epilogue, but the
+    // unreachable implicit-return tail (li 0 + move to the return
+    // register) must be pruned — exactly one instruction of
+    // difference, not three.
+    EXPECT_EQ(assemble(a, {}).size(), assemble(b, {}).size() + 1);
+}
+
+} // namespace
+} // namespace mg::frontend

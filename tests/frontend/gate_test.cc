@@ -1,0 +1,206 @@
+/**
+ * @file
+ * The frontend differential fuzz gate (src/fuzz/frontend_fuzz.h):
+ * generated C programs pass the two-level check clean across seeds, a
+ * planted miscompile is caught and shrinks to a small repro, the
+ * degenerate failure kinds (compile/interp/nontermination) come out as
+ * verdicts rather than exceptions, and repro rendering is stable.
+ *
+ * Own executable (LABELS frontend): shrinkCSource and the isolated
+ * checks fork, which the TSan job's test filter must be able to skip.
+ */
+
+#include "fuzz/frontend_fuzz.h"
+
+#include <dirent.h>
+
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "frontend/cgen.h"
+
+#ifndef MG_FUZZ_REPRO_DIR
+#error "MG_FUZZ_REPRO_DIR must point at tests/fuzz/repros"
+#endif
+
+namespace mg::fuzz
+{
+namespace
+{
+
+FrontendCheckOptions
+fastGate()
+{
+    // StructAll alone keeps per-seed cost low where the full default
+    // selector set isn't the point of the test (the 200-trial CLI
+    // sweep and checked_suite_test cover the full set).
+    FrontendCheckOptions opts;
+    opts.oracle.selectors = {minigraph::SelectorKind::StructAll};
+    return opts;
+}
+
+TEST(FrontendGate, GeneratorIsDeterministic)
+{
+    frontend::CGenOptions g;
+    g.seed = 42;
+    std::string a = frontend::generateCSource(g);
+    std::string b = frontend::generateCSource(g);
+    EXPECT_EQ(a, b);
+    g.seed = 43;
+    EXPECT_NE(frontend::generateCSource(g), a);
+}
+
+TEST(FrontendGate, CleanVerdictsAcrossGeneratedSeeds)
+{
+    for (uint64_t seed = 1; seed <= 6; ++seed) {
+        frontend::CGenOptions g;
+        g.seed = seed;
+        std::string src = frontend::generateCSource(g);
+        FrontendCheckOptions opts = fastGate();
+        opts.compile.name = frontend::cFuzzProgramName(seed);
+        OracleVerdict verdict = checkCSource(src, opts);
+        EXPECT_TRUE(verdict.ok())
+            << verdictJson(opts.compile.name, seed, verdict);
+        EXPECT_GT(verdict.instCount, 0u) << "seed " << seed;
+    }
+}
+
+TEST(FrontendGate, CompileFailureIsAVerdictNotAnException)
+{
+    FrontendCheckOptions opts = fastGate();
+    opts.compile.name = "broken.c";
+    OracleVerdict v = checkCSource("int main() { return x; }\n", opts);
+    ASSERT_EQ(v.failures.size(), 1u);
+    EXPECT_EQ(v.failures[0].kind, "compile");
+    EXPECT_NE(v.failures[0].detail.find("undeclared identifier"),
+              std::string::npos);
+}
+
+TEST(FrontendGate, InterpreterFaultIsAVerdict)
+{
+    FrontendCheckOptions opts = fastGate();
+    OracleVerdict v = checkCSource("unsigned A[2];\n"
+                                   "unsigned k = 7;\n"
+                                   "int main() { A[k] = 1; return 0; }\n",
+                                   opts);
+    ASSERT_EQ(v.failures.size(), 1u);
+    EXPECT_EQ(v.failures[0].kind, "interp");
+    EXPECT_NE(v.failures[0].detail.find("out of bounds"),
+              std::string::npos);
+}
+
+TEST(FrontendGate, NonterminationIsAVerdict)
+{
+    FrontendCheckOptions opts = fastGate();
+    opts.oracle.maxSteps = 2000;
+    OracleVerdict v =
+        checkCSource("unsigned s = 0;\n"
+                     "int main() {\n"
+                     "  unsigned i;\n"
+                     "  for (i = 0; i < 1000000; i = i + 1)\n"
+                     "    s = s + i;\n"
+                     "  return 0;\n"
+                     "}\n",
+                     opts);
+    ASSERT_FALSE(v.ok());
+    // The tiny step budget trips the reference interpreter first.
+    EXPECT_EQ(v.failures[0].kind, "interp");
+}
+
+TEST(FrontendGate, PlantedMiscompileIsCaughtAndShrinks)
+{
+    // Emulate a rewriter bug under a compiled program, exactly like
+    // the asm-level oracle tests: bump an outlined-body immediate.
+    // The gate must fail, and ddmin-over-lines must hand back a
+    // smaller-or-equal still-failing repro.
+    unsigned planted = 0;
+    for (uint64_t seed = 1; seed <= 6 && planted == 0; ++seed) {
+        frontend::CGenOptions g;
+        g.seed = seed;
+        std::string src = frontend::generateCSource(g);
+
+        bool applied = false;
+        FrontendCheckOptions opts = fastGate();
+        opts.oracle.sabotage = [&applied](assembler::Program &p,
+                                          isa::MgBinaryInfo &info) {
+            applied |= sabotageOutlinedImmediate(p, info);
+        };
+        OracleVerdict verdict = checkCSource(src, opts);
+        if (!applied)
+            continue; // nothing outlined with an immediate
+        ++planted;
+        ASSERT_FALSE(verdict.ok()) << "seed " << seed;
+
+        ShrinkResult shrunk = shrinkCSource(src, opts);
+        EXPECT_TRUE(shrunk.reproduced);
+        EXPECT_LE(shrunk.source.size(), src.size());
+        EXPECT_GT(shrunk.instructions, 0u);
+        EXPECT_FALSE(shrunk.verdict.ok());
+
+        std::string repro = reproCSource(shrunk, seed);
+        EXPECT_NE(repro.find("mgsim fuzz --frontend repro, seed " +
+                             std::to_string(seed)),
+                  std::string::npos);
+        EXPECT_NE(repro.find("// failure: kind="), std::string::npos);
+        EXPECT_NE(repro.find(shrunk.source), std::string::npos);
+    }
+    EXPECT_GE(planted, 1u)
+        << "no generated seed produced an outlined immediate to plant";
+}
+
+TEST(FrontendGate, CleanSourceDoesNotShrink)
+{
+    frontend::CGenOptions g;
+    g.seed = 3;
+    std::string src = frontend::generateCSource(g);
+    ShrinkResult r = shrinkCSource(src, fastGate());
+    EXPECT_FALSE(r.reproduced);
+    EXPECT_EQ(r.source, src);
+}
+
+// Every committed shrunk repro documents a *fixed* bug; it must stay
+// clean through the full gate.  A failure here means the bug the
+// repro's header describes has been reintroduced.
+TEST(FrontendGate, CommittedReprosStayClean)
+{
+    DIR *d = opendir(MG_FUZZ_REPRO_DIR);
+    ASSERT_NE(d, nullptr) << "cannot open " << MG_FUZZ_REPRO_DIR;
+    unsigned checked = 0;
+    while (dirent *e = readdir(d)) {
+        std::string name = e->d_name;
+        if (name.size() < 3 ||
+            name.compare(name.size() - 2, 2, ".c") != 0)
+            continue;
+        std::string path = std::string(MG_FUZZ_REPRO_DIR) + "/" + name;
+        std::ifstream in(path, std::ios::binary);
+        ASSERT_TRUE(in) << path;
+        std::ostringstream ss;
+        ss << in.rdbuf();
+
+        FrontendCheckOptions opts; // full default selector set
+        opts.compile.name = name;
+        OracleVerdict v = checkCSource(ss.str(), opts);
+        EXPECT_TRUE(v.ok())
+            << name << " regressed: " << verdictJson(name, 0, v);
+        ++checked;
+    }
+    closedir(d);
+    EXPECT_GE(checked, 1u);
+}
+
+TEST(FrontendGate, IsolatedCheckMatchesInProcess)
+{
+    frontend::CGenOptions g;
+    g.seed = 2;
+    std::string src = frontend::generateCSource(g);
+    FrontendCheckOptions opts = fastGate();
+    OracleVerdict in = checkCSource(src, opts);
+    OracleVerdict iso = checkCSourceIsolated(src, opts);
+    EXPECT_EQ(in.ok(), iso.ok());
+    EXPECT_EQ(in.instCount, iso.instCount);
+}
+
+} // namespace
+} // namespace mg::fuzz

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * The AST reference interpreter (frontend/interp.h) is the
+ * differential gate's ground truth, so its arithmetic must mirror the
+ * MG-RISC ALU exactly — these tests pin the ISA edge cases
+ * (shift-count masking, the defined division edges) and the
+ * interpreter's own failure modes (array bounds, step budget).
+ */
+
+#include "frontend/interp.h"
+
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "frontend/compile.h"
+
+namespace mg::frontend
+{
+namespace
+{
+
+InterpResult
+runSource(const std::string &src, InterpOptions opts = {})
+{
+    CompileResult comp = compile(src, {});
+    EXPECT_TRUE(comp.ok) << comp.error;
+    if (!comp.ok)
+        return {};
+    return interpret(*comp.ast, opts);
+}
+
+TEST(FrontendInterp, ShiftCountsMaskTo63)
+{
+    // The ALU masks shift counts `& 63`, and so must the interpreter:
+    // 1 << 64 is 1, not 0.
+    EXPECT_EQ(evalCBinary("<<", false, 1, 64), 1u);
+    EXPECT_EQ(evalCBinary("<<", false, 1, 65), 2u);
+    EXPECT_EQ(evalCBinary(">>", true, 0x8000000000000000ull, 64),
+              0x8000000000000000ull);
+}
+
+TEST(FrontendInterp, ShiftSignednessFromLeftOperand)
+{
+    const uint64_t neg = static_cast<uint64_t>(-8);
+    // signed >> is arithmetic...
+    EXPECT_EQ(evalCBinary(">>", false, neg, 1),
+              static_cast<uint64_t>(-4));
+    // ...unsigned >> is logical.
+    EXPECT_EQ(evalCBinary(">>", true, neg, 1), neg >> 1);
+}
+
+TEST(FrontendInterp, DivisionEdgesMatchIsa)
+{
+    // The ISA defines x/0 == -1, x%0 == x, INT64_MIN/-1 == INT64_MIN
+    // with remainder 0 (no trap, no UB).
+    const uint64_t minS =
+        static_cast<uint64_t>(std::numeric_limits<int64_t>::min());
+    EXPECT_EQ(evalCBinary("/", false, 7, 0), static_cast<uint64_t>(-1));
+    EXPECT_EQ(evalCBinary("%", false, 7, 0), 7u);
+    EXPECT_EQ(evalCBinary("/", false, minS, static_cast<uint64_t>(-1)),
+              minS);
+    EXPECT_EQ(evalCBinary("%", false, minS, static_cast<uint64_t>(-1)),
+              0u);
+}
+
+TEST(FrontendInterp, UnsignedWinsComparisons)
+{
+    const uint64_t neg1 = static_cast<uint64_t>(-1);
+    EXPECT_EQ(evalCBinary("<", false, neg1, 1), 1u); // -1 < 1 signed
+    EXPECT_EQ(evalCBinary("<", true, neg1, 1), 0u);  // huge > 1 unsigned
+}
+
+TEST(FrontendInterp, ComputesGlobals)
+{
+    InterpResult r = runSource("unsigned a = 3;\n"
+                               "unsigned b = 0;\n"
+                               "int main() {\n"
+                               "  unsigned i;\n"
+                               "  for (i = 0; i < 5; i = i + 1)\n"
+                               "    b = b + a * i;\n"
+                               "  return 0;\n"
+                               "}\n");
+    ASSERT_TRUE(r.ok) << r.error;
+    ASSERT_EQ(r.globals.size(), 2u);
+    EXPECT_EQ(r.globals[0][0], 3u);
+    EXPECT_EQ(r.globals[1][0], 30u);
+}
+
+TEST(FrontendInterp, ArrayIndexOutOfBoundsIsAnError)
+{
+    InterpResult r = runSource("unsigned A[4];\n"
+                               "unsigned k = 9;\n"
+                               "int main() { A[k] = 1; return 0; }\n");
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("out of bounds"), std::string::npos)
+        << r.error;
+    EXPECT_NE(r.error.find("'A[4]'"), std::string::npos) << r.error;
+}
+
+TEST(FrontendInterp, StepBudgetTripsOnLongLoops)
+{
+    InterpOptions opts;
+    opts.maxSteps = 100;
+    InterpResult r = runSource("unsigned s = 0;\n"
+                               "int main() {\n"
+                               "  unsigned i;\n"
+                               "  for (i = 0; i < 100000; i = i + 1)\n"
+                               "    s = s + i;\n"
+                               "  return 0;\n"
+                               "}\n",
+                               opts);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("step"), std::string::npos) << r.error;
+}
+
+TEST(FrontendInterp, OverridesReplaceInitialValues)
+{
+    InterpOptions opts;
+    opts.globalOverrides = {{"n", 7}};
+    InterpResult r = runSource("unsigned n = 2;\n"
+                               "unsigned out = 0;\n"
+                               "int main() { out = n * n; return 0; }\n",
+                               opts);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.globals[1][0], 49u);
+}
+
+TEST(FrontendInterp, ShortCircuitSkipsRhs)
+{
+    // The && rhs must not evaluate when the lhs is false: the rhs here
+    // would index out of bounds.
+    InterpResult r = runSource(
+        "unsigned A[2];\n"
+        "unsigned ok = 0;\n"
+        "int main() {\n"
+        "  unsigned k = 5;\n"
+        "  if (k < 2 && A[k] == 0) ok = 1; else ok = 2;\n"
+        "  return 0;\n"
+        "}\n");
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.globals[1][0], 2u);
+}
+
+} // namespace
+} // namespace mg::frontend

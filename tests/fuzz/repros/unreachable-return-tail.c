@@ -1,0 +1,19 @@
+// mgsim fuzz --frontend repro, seed 169
+// failure: kind=lint (all selectors)
+//   [unreachable] candidate pc: constituents are unreachable from
+//   the program entry
+//
+// A function body ending in an explicit `return` used to leave the
+// implicit default-return tail (li 0 + move into the return register)
+// in the emitted code, dead behind the return's jump to the epilogue.
+// Selectors happily formed a mini-graph candidate over the dead pair,
+// which mg_lint's Unreachable rule rejects.  Fixed by the
+// reachability prune over the codegen IR (codegen.cc,
+// pruneUnreachable); kept here so the dead tail never comes back.
+unsigned a = 5;
+unsigned b = 0;
+int main() {
+  b = a * 3 + 1;
+  b = b ^ (a << 2);
+  return 0;
+}

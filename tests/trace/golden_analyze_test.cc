@@ -3,7 +3,7 @@
  * Golden analyze snapshots: the `mgsim analyze` one-line JSON report
  * of every workload in the suite, compared byte-for-byte against
  * tests/golden/golden_analyze.jsonl.  The static analyzer runs no
- * simulation, so the whole 78-program suite snapshots in well under a
+ * simulation, so the whole 108-program suite snapshots in well under a
  * second — any change to the CFG, dominator, loop, trip-count,
  * height, candidate, or Slack-Static logic shows up as a diff here.
  * Intentional changes re-bless with tools/bless_golden.sh (or by

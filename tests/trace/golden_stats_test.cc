@@ -39,7 +39,12 @@ struct Cell
     const char *selector; ///< registry name, "none" = baseline
 };
 
-/** The snapshot matrix: three fast workloads, three policies. */
+/**
+ * The snapshot matrix: three fast hand-written workloads plus two
+ * compiled cbench workloads (the C frontend's emitted code is pinned
+ * here too — a codegen change that shifts a counter must re-bless),
+ * three policies each.
+ */
 constexpr Cell kMatrix[] = {
     {"crc32.0", "none"},      {"crc32.0", "struct-all"},
     {"crc32.0", "slack-profile"},
@@ -47,6 +52,10 @@ constexpr Cell kMatrix[] = {
     {"bitcount.0", "slack-profile"},
     {"adpcm_c.0", "none"},    {"adpcm_c.0", "struct-all"},
     {"adpcm_c.0", "slack-profile"},
+    {"c_crc32.0", "none"},    {"c_crc32.0", "struct-all"},
+    {"c_crc32.0", "slack-profile"},
+    {"c_dijkstra.0", "none"}, {"c_dijkstra.0", "struct-all"},
+    {"c_dijkstra.0", "slack-profile"},
 };
 
 /** Serialize the whole matrix, one JSON line per cell. */

@@ -1,9 +1,11 @@
 /**
  * @file
- * Correctness of the 78-program benchmark suite: every kernel, every
+ * Correctness of the 108-program benchmark suite: every kernel, every
  * input variant, and every alternate (cross-training) input set must
- * run to completion on the functional core and reproduce its C++
- * reference checksum.  Parameterised over the whole catalogue.
+ * run to completion on the functional core and reproduce its reference
+ * checksum (a C++ model for the assembly suites, the AST interpreter
+ * for the compiled cbench suite).  Parameterised over the whole
+ * catalogue.
  */
 
 #include "workloads/workload.h"
@@ -61,22 +63,24 @@ INSTANTIATE_TEST_SUITE_P(
         return name;
     });
 
-TEST(WorkloadCatalogue, Has78Programs)
+TEST(WorkloadCatalogue, Has108Programs)
 {
-    EXPECT_EQ(workloadList().size(), 78u);
+    EXPECT_EQ(workloadList().size(), 108u);
 }
 
-TEST(WorkloadCatalogue, FourSuitesPresent)
+TEST(WorkloadCatalogue, FiveSuitesPresent)
 {
     EXPECT_FALSE(suiteWorkloads("spec").empty());
     EXPECT_FALSE(suiteWorkloads("media").empty());
     EXPECT_FALSE(suiteWorkloads("comm").empty());
     EXPECT_FALSE(suiteWorkloads("mibench").empty());
+    EXPECT_FALSE(suiteWorkloads("cbench").empty());
     size_t total = suiteWorkloads("spec").size() +
                    suiteWorkloads("media").size() +
                    suiteWorkloads("comm").size() +
-                   suiteWorkloads("mibench").size();
-    EXPECT_EQ(total, 78u);
+                   suiteWorkloads("mibench").size() +
+                   suiteWorkloads("cbench").size();
+    EXPECT_EQ(total, 108u);
 }
 
 TEST(WorkloadCatalogue, LookupByName)
@@ -88,9 +92,9 @@ TEST(WorkloadCatalogue, LookupByName)
     EXPECT_FALSE(findWorkload("nope.9").has_value());
 }
 
-TEST(WorkloadCatalogue, TwentySixKernels)
+TEST(WorkloadCatalogue, ThirtySixKernels)
 {
-    EXPECT_EQ(kernelNames().size(), 26u);
+    EXPECT_EQ(kernelNames().size(), 36u);
 }
 
 TEST(WorkloadCatalogue, AltInputDiffersFromPrimary)
@@ -114,6 +118,29 @@ TEST(WorkloadCatalogue, DeterministicRebuild)
     auto spec = *findWorkload("sha_like.0");
     auto a = buildWorkload(spec);
     auto b = buildWorkload(spec);
+    EXPECT_EQ(a.expected, b.expected);
+    EXPECT_EQ(a.program.code.size(), b.program.code.size());
+    EXPECT_EQ(a.program.dataInit, b.program.dataInit);
+}
+
+// The compiled suite must behave like the hand-written ones: distinct
+// inputs per variant and per alt flag, and byte-identical rebuilds
+// (the compiler is deterministic; see FrontendDeterminism tests).
+TEST(WorkloadCatalogue, CbenchAltAndVariantsDiffer)
+{
+    auto spec = *findWorkload("c_crc32.0");
+    auto a = buildWorkload(spec, false);
+    auto b = buildWorkload(spec, true);
+    EXPECT_NE(a.expected, b.expected);
+    auto v2 = buildWorkload(*findWorkload("c_crc32.2"));
+    EXPECT_NE(a.expected, v2.expected);
+}
+
+TEST(WorkloadCatalogue, CbenchDeterministicRebuild)
+{
+    auto spec = *findWorkload("c_sha.1");
+    auto a = buildWorkload(spec, true);
+    auto b = buildWorkload(spec, true);
     EXPECT_EQ(a.expected, b.expected);
     EXPECT_EQ(a.program.code.size(), b.program.code.size());
     EXPECT_EQ(a.program.dataInit, b.program.dataInit);

@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# Frontend smoke test (docs/FRONTEND.md).
+#
+# Drives the C-subset compiler through the mgsim CLI exactly the way
+# CI consumes it:
+#
+#   1. compiles every kernel in examples/c/ to MG-RISC assembly,
+#      twice, and requires the two emissions to be byte-identical
+#      (compiler determinism is contractual — batch workers compile
+#      the same source concurrently);
+#   2. runs each kernel through `mgsim cc --check`, the two-level
+#      differential gate: AST interpreter vs compiled execution, then
+#      the full architectural oracle (rewriter, linter, every default
+#      selector at CheckLevel::Full);
+#   3. requires a malformed source to produce a line:col diagnostic
+#      and a nonzero exit;
+#   4. runs a seeded `mgsim fuzz --frontend` sweep over generated C
+#      programs.
+#
+# Emitted .s files are left in ARTIFACT_DIR (default: a temp dir) so
+# CI can upload them.
+#
+# Usage: tools/frontend_smoke.sh [path/to/mgsim] [fuzz-count] [artifact-dir]
+
+set -euo pipefail
+
+MGSIM=${1:-build/tools/mgsim}
+COUNT=${2:-50}
+ARTIFACTS=${3:-}
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+if [ -z "$ARTIFACTS" ]; then
+    ARTIFACTS="$WORK/asm"
+fi
+mkdir -p "$ARTIFACTS"
+
+if [ ! -x "$MGSIM" ]; then
+    echo "frontend_smoke: no mgsim at '$MGSIM'" >&2
+    exit 2
+fi
+
+kernels=("$repo_root"/examples/c/*.c)
+if [ "${#kernels[@]}" -lt 10 ]; then
+    echo "frontend_smoke: expected >=10 kernels in examples/c," \
+        "found ${#kernels[@]}" >&2
+    exit 1
+fi
+
+echo "== compile determinism: each kernel emitted twice, bytes compared =="
+for src in "${kernels[@]}"; do
+    base=$(basename "$src" .c)
+    "$MGSIM" cc "$src" --out "$ARTIFACTS/$base.s" 2> /dev/null
+    "$MGSIM" cc "$src" --out "$WORK/$base.2.s" 2> /dev/null
+    if ! cmp -s "$ARTIFACTS/$base.s" "$WORK/$base.2.s"; then
+        echo "frontend_smoke: FAIL — '$base.c' compiled to different" \
+            "bytes on the second run" >&2
+        exit 1
+    fi
+    echo "   $base.s: $(wc -l < "$ARTIFACTS/$base.s") lines, deterministic"
+done
+
+echo "== differential gate: mgsim cc --check on every kernel =="
+for src in "${kernels[@]}"; do
+    base=$(basename "$src" .c)
+    if ! "$MGSIM" cc "$src" --check > "$WORK/$base.verdict.json"; then
+        echo "frontend_smoke: FAIL — '$base.c' failed the gate:" >&2
+        cat "$WORK/$base.verdict.json" >&2
+        exit 1
+    fi
+    grep -q '"ok":true' "$WORK/$base.verdict.json"
+    echo "   $base.c: gate clean"
+done
+
+echo "== diagnostics: malformed source must fail with line:col =="
+printf 'int main() {\n  return x;\n}\n' > "$WORK/bad.c"
+if "$MGSIM" cc "$WORK/bad.c" 2> "$WORK/bad.err"; then
+    echo "frontend_smoke: FAIL — malformed source exited 0" >&2
+    exit 1
+fi
+if ! grep -q "bad.c:2:10: use of undeclared identifier 'x'" "$WORK/bad.err"; then
+    echo "frontend_smoke: FAIL — unexpected diagnostic:" >&2
+    cat "$WORK/bad.err" >&2
+    exit 1
+fi
+echo "   diagnostic stable: $(cat "$WORK/bad.err")"
+
+echo "== seeded random-C differential fuzz ($COUNT trials) =="
+"$MGSIM" fuzz --frontend --seed 1 --count "$COUNT" \
+    --repro-dir "$WORK/repros"
+
+echo "frontend_smoke: PASS — ${#kernels[@]} kernels deterministic and" \
+    "gate-clean, $COUNT fuzz trials, artifacts in $ARTIFACTS"

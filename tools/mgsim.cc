@@ -22,11 +22,20 @@
  *   mgsim analyze <prog.s|workload|all> [--json]
  *   mgsim lint <prog.s|workload|all> [--config NAME]
  *              [--selector NAME|all] [--budget N] [--json]
+ *   mgsim cc <file.c> [--emit] [--out FILE] [--run] [--check]
  *   mgsim disasm <prog.s|workload>
  *   mgsim profile <prog.s|workload> [--config NAME]   (stdout: profile)
  *   mgsim workloads
  *   mgsim configs
  *   mgsim selectors
+ *
+ * `mgsim cc` is the C-subset compiler frontend (docs/FRONTEND.md):
+ * --emit prints the MG-RISC assembly (--out writes it to a file),
+ * --run executes the compiled program functionally and prints the
+ * final value of every global, --check runs the two-level frontend
+ * differential gate (fuzz/frontend_fuzz.h).  Everywhere else a
+ * program argument is accepted, a path ending in ".c" is compiled on
+ * the fly, so `mgsim run/lint/analyze/trace foo.c` all work.
  *
  * All subcommands share one argument grammar (tools/cli.h): flags of
  * the batch-execution surface (--jobs, --json, ...) parse into
@@ -52,7 +61,7 @@
  * estimates, dataflow readiness heights, candidate serialization
  * predictions — and emits one deterministic JSON line per program
  * (golden-snapshotted in tests/golden/golden_analyze.jsonl).  No
- * simulation is involved; `analyze all` covers all 78 benchmarks in
+ * simulation is involved; `analyze all` covers all 108 benchmarks in
  * well under a second.
  *
  * A program argument is either a path to an MG-RISC assembly file or
@@ -76,6 +85,7 @@
  * ok, 3 = partial failure, 1 = total failure, 2 = usage error.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -90,7 +100,11 @@
 #include "cli.h"
 #include "dse/result_store.h"
 #include "dse/sweep.h"
+#include "frontend/cgen.h"
+#include "frontend/compile.h"
+#include "frontend/interp.h"
 #include "fuzz/chaos.h"
+#include "fuzz/frontend_fuzz.h"
 #include "fuzz/generator.h"
 #include "fuzz/oracle.h"
 #include "fuzz/shrink.h"
@@ -159,11 +173,14 @@ usage()
         "  mgsim fuzz [--seed N] [--count M] [--config NAME]\n"
         "             [--selectors A,B,...] [--budget N] "
         "[--no-shrink]\n"
-        "             [--repro-dir DIR] | fuzz --chaos [--seed N]\n"
-        "             [--schedules M] [--work-dir DIR] [--jobs N]\n"
-        "  mgsim shrink <repro.s> [--config NAME] [--selectors "
-        "A,B,...]\n"
-        "             [--budget N] [--out FILE]\n"
+        "             [--repro-dir DIR] [--frontend] | fuzz --chaos\n"
+        "             [--seed N] [--schedules M] [--work-dir DIR] "
+        "[--jobs N]\n"
+        "  mgsim shrink <repro.s|repro.c> [--frontend] [--config "
+        "NAME]\n"
+        "             [--selectors A,B,...] [--budget N] [--out "
+        "FILE]\n"
+        "  mgsim cc <file.c> [--emit] [--out FILE] [--run] [--check]\n"
         "  mgsim disasm <prog.s|workload>\n"
         "  mgsim profile <prog.s|workload> [--config NAME]\n"
         "  mgsim workloads\n"
@@ -203,6 +220,14 @@ usage()
     return 2;
 }
 
+bool
+endsWith(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(),
+                     suffix) == 0;
+}
+
 std::optional<assembler::Program>
 loadProgram(const std::string &arg)
 {
@@ -213,6 +238,17 @@ loadProgram(const std::string &arg)
         return std::nullopt;
     std::stringstream ss;
     ss << in.rdbuf();
+    if (endsWith(arg, ".c")) {
+        frontend::CompileOptions copts;
+        copts.name = arg;
+        frontend::CompileResult comp =
+            frontend::compile(ss.str(), copts);
+        if (!comp.ok) {
+            std::fprintf(stderr, "%s\n", comp.error.c_str());
+            return std::nullopt;
+        }
+        return frontend::assemble(comp, copts);
+    }
     assembler::AssembleOptions opts;
     opts.name = arg;
     return assembler::assemble(ss.str(), opts);
@@ -1120,6 +1156,112 @@ cmdLint(const cli::Args &args)
 }
 
 /**
+ * `mgsim cc`: the C-subset compiler frontend (docs/FRONTEND.md).
+ * Compiles one .c file; --emit/--out produce the MG-RISC assembly,
+ * --run executes the compiled program functionally and prints every
+ * global's final value, --check runs the two-level differential gate
+ * and prints its JSON verdict.  With none of those, prints a one-line
+ * summary.  Exit 1 on compile errors, check failures, or
+ * nontermination.
+ */
+int
+cmdCc(const cli::Args &args)
+{
+    const std::string &path = args.positional[0];
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "cannot open '%s'\n", path.c_str());
+        return 2;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string source = ss.str();
+
+    frontend::CompileOptions copts;
+    copts.name = path;
+    frontend::CompileResult comp = frontend::compile(source, copts);
+    if (!comp.ok) {
+        for (const auto &d : comp.diags)
+            std::fprintf(stderr, "%s\n",
+                         frontend::renderDiag(path, d).c_str());
+        return 1;
+    }
+    assembler::Program prog = frontend::assemble(comp, copts);
+
+    const std::string out_path = args.get("--out");
+    bool acted = false;
+    if (args.has("--emit") || !out_path.empty()) {
+        acted = true;
+        if (out_path.empty() || out_path == "-") {
+            std::fwrite(comp.asmText.data(), 1, comp.asmText.size(),
+                        stdout);
+        } else {
+            std::ofstream f(out_path, std::ios::binary);
+            f << comp.asmText;
+            if (!f) {
+                std::fprintf(stderr, "cannot write '%s'\n",
+                             out_path.c_str());
+                return 1;
+            }
+            std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+        }
+    }
+
+    int rc = 0;
+    if (args.has("--check")) {
+        acted = true;
+        fuzz::FrontendCheckOptions fopts;
+        fopts.compile = copts;
+        fuzz::OracleVerdict verdict = fuzz::checkCSource(source, fopts);
+        std::printf("%s\n",
+                    fuzz::verdictJson(path, 0, verdict).c_str());
+        if (!verdict.ok())
+            rc = 1;
+    }
+
+    if (args.has("--run")) {
+        acted = true;
+        uarch::FunctionalCore core(prog);
+        const uint64_t max_steps = fuzz::OracleOptions{}.maxSteps;
+        for (uint64_t s = 0; !core.halted() && s < max_steps; ++s)
+            core.step();
+        if (!core.halted()) {
+            std::fprintf(stderr,
+                         "%s: did not halt within %llu steps\n",
+                         path.c_str(),
+                         static_cast<unsigned long long>(max_steps));
+            return 1;
+        }
+        for (const auto &g : comp.ast->globals) {
+            const uint64_t base = prog.dataLabels.at(g.name);
+            if (g.arraySize == 0) {
+                std::printf("%s = %llu\n", g.name.c_str(),
+                            static_cast<unsigned long long>(
+                                core.memory().read(base, 8)));
+                continue;
+            }
+            std::printf("%s[%zu] =", g.name.c_str(), g.arraySize);
+            const size_t shown = std::min<size_t>(g.arraySize, 8);
+            for (size_t i = 0; i < shown; ++i)
+                std::printf(" %llu",
+                            static_cast<unsigned long long>(
+                                core.memory().read(base + 8 * i, 8)));
+            std::printf(g.arraySize > shown ? " ...\n" : "\n");
+        }
+        std::printf("insts = %llu\n",
+                    static_cast<unsigned long long>(core.instCount()));
+    }
+
+    if (!acted) {
+        std::printf("compiled '%s': %zu instructions, %zu globals, "
+                    "%zu functions\n",
+                    path.c_str(), prog.size(),
+                    comp.ast->globals.size(), comp.ast->funcs.size());
+    }
+    return rc;
+}
+
+/**
  * Resolve the oracle options shared by `mgsim fuzz` and
  * `mgsim shrink`: --config and a comma-separated --selectors list.
  * @return false on a usage error (complaint already printed).
@@ -1216,6 +1358,57 @@ cmdFuzz(const cli::Args &args)
     const std::string repro_dir =
         args.get("--repro-dir", "fuzz-repros");
 
+    // --frontend: random-C differential fuzzing of the compiler
+    // against the AST interpreter, then the architectural oracle on
+    // the compiled binary (docs/FRONTEND.md).
+    if (args.has("--frontend")) {
+        unsigned cfails = 0;
+        for (int64_t i = 0; i < count; ++i) {
+            const uint64_t s = static_cast<uint64_t>(seed + i);
+            frontend::CGenOptions gopts;
+            gopts.seed = s;
+            const std::string source =
+                frontend::generateCSource(gopts);
+            fuzz::FrontendCheckOptions fopts;
+            fopts.oracle = oracle;
+            fopts.compile.name = frontend::cFuzzProgramName(s);
+            fuzz::OracleVerdict verdict =
+                fuzz::checkCSourceIsolated(source, fopts);
+            std::printf("%s\n",
+                        fuzz::verdictJson(fopts.compile.name, s,
+                                          verdict)
+                            .c_str());
+            std::fflush(stdout);
+            if (verdict.ok())
+                continue;
+            ++cfails;
+            if (!do_shrink)
+                continue;
+            fuzz::ShrinkResult shrunk =
+                fuzz::shrinkCSource(source, fopts);
+            std::error_code ec;
+            std::filesystem::create_directories(repro_dir, ec);
+            const std::string path =
+                (std::filesystem::path(repro_dir) /
+                 (fopts.compile.name + ".c"))
+                    .string();
+            std::ofstream f(path, std::ios::binary);
+            f << fuzz::reproCSource(shrunk, s);
+            std::fprintf(
+                stderr,
+                "fuzz: seed %llu FAILED (%s), repro: %s "
+                "(%llu insts, %llu trials)\n",
+                static_cast<unsigned long long>(s),
+                verdict.failures.front().kind.c_str(), path.c_str(),
+                static_cast<unsigned long long>(shrunk.instructions),
+                static_cast<unsigned long long>(shrunk.trials));
+        }
+        std::fprintf(stderr,
+                     "fuzz: %lld frontend trial(s), %u failure(s)\n",
+                     static_cast<long long>(count), cfails);
+        return cfails ? 1 : 0;
+    }
+
     unsigned failures = 0;
     for (int64_t i = 0; i < count; ++i) {
         const uint64_t s = static_cast<uint64_t>(seed + i);
@@ -1278,6 +1471,42 @@ cmdShrink(const cli::Args &args)
     }
     std::stringstream ss;
     ss << in.rdbuf();
+
+    // C repros go through the frontend shrinker (ddmin over C lines);
+    // a .c suffix implies --frontend.
+    if (args.has("--frontend") || endsWith(in_path, ".c")) {
+        fuzz::FrontendCheckOptions fopts;
+        if (!oracleOptionsFromArgs(args, "shrink", fopts.oracle))
+            return 2;
+        fopts.compile.name = in_path;
+        fuzz::ShrinkResult shrunk =
+            fuzz::shrinkCSource(ss.str(), fopts);
+        if (!shrunk.reproduced) {
+            std::fprintf(stderr,
+                         "mgsim shrink: %s does not fail the "
+                         "frontend gate (nothing to shrink)\n",
+                         in_path.c_str());
+            return 1;
+        }
+        const std::string out_path =
+            args.get("--out", in_path + ".min.c");
+        std::ofstream f(out_path, std::ios::binary);
+        f << fuzz::reproCSource(shrunk, 0);
+        if (!f) {
+            std::fprintf(stderr, "cannot write '%s'\n",
+                         out_path.c_str());
+            return 1;
+        }
+        std::fprintf(
+            stderr,
+            "shrink: %s -> %s (%llu insts, %llu trials, first "
+            "failure: %s)\n",
+            in_path.c_str(), out_path.c_str(),
+            static_cast<unsigned long long>(shrunk.instructions),
+            static_cast<unsigned long long>(shrunk.trials),
+            shrunk.verdict.failures.front().kind.c_str());
+        return 0;
+    }
 
     fuzz::ShrinkOptions sopts;
     if (!oracleOptionsFromArgs(args, "shrink", sopts.oracle))
@@ -1369,13 +1598,21 @@ commandSpec(const std::string &cmd)
                  {"--chaos", false},    {"--config", true},
                  {"--selectors", true}, {"--budget", true},
                  {"--no-shrink", false}, {"--repro-dir", true},
-                 {"--schedules", true}, {"--work-dir", true}};
+                 {"--schedules", true}, {"--work-dir", true},
+                 {"--frontend", false}};
         c.batchFlags = {"--jobs"};
     } else if (cmd == "shrink") {
         c.own = {{"--config", true},
                  {"--selectors", true},
                  {"--budget", true},
-                 {"--out", true}};
+                 {"--out", true},
+                 {"--frontend", false}};
+        c.minPositional = 1;
+    } else if (cmd == "cc") {
+        c.own = {{"--emit", false},
+                 {"--out", true},
+                 {"--run", false},
+                 {"--check", false}};
         c.minPositional = 1;
     } else if (cmd == "candidates" || cmd == "disasm" ||
                cmd == "profile") {
@@ -1423,7 +1660,7 @@ main(int argc, char **argv)
                        cmd == "candidates" || cmd == "analyze" ||
                        cmd == "lint" || cmd == "disasm" ||
                        cmd == "profile" || cmd == "fuzz" ||
-                       cmd == "shrink";
+                       cmd == "shrink" || cmd == "cc";
     if (!known)
         return usage();
 
@@ -1450,6 +1687,8 @@ main(int argc, char **argv)
             return cmdAnalyze(args);
         if (cmd == "lint")
             return cmdLint(args);
+        if (cmd == "cc")
+            return cmdCc(args);
         if (cmd == "fuzz")
             return cmdFuzz(args);
         if (cmd == "shrink")
